@@ -1,0 +1,360 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 5) on the simulated hardware, plus ablations and
+   Bechamel micro-benchmarks of the compiler infrastructure itself.
+
+     dune exec bench/main.exe                 full run
+     BENCH_FAST=1 dune exec bench/main.exe    reduced trial counts (smoke)
+
+   Sections:
+     [fig8]     auto-tensorization mechanism walk-through
+     [fig10]    single-op vs ML compilers (TVM, AMOS) on GPU
+     [fig11]    single-op vs vendor libraries (CUTLASS, TensorRT)
+     [fig12]    end-to-end GPU models vs PyTorch/TVM/AMOS/TensorRT
+     [tab1]     tuning-time comparison TVM vs TensorIR
+     [fig13]    ARM single-op vs TVM and ArmComputeLib (int8 sdot)
+     [fig14]    ARM end-to-end vs PyTorch and TVM
+     [ablation] design-choice ablations (AutoCopy, cost model, evolution)
+     [micro]    Bechamel micro-benchmarks of the infrastructure *)
+
+module W = Tir_workloads.Workloads
+module Tune = Tir_autosched.Tune
+module B = Tir_baselines.Baselines
+module C = Tir_graph.Compile
+module M = Tir_graph.Models
+module Target = Tir_sim.Target
+
+let () = Tir_intrin.Library.register_all ()
+
+let fast = Sys.getenv_opt "BENCH_FAST" <> None
+
+let trials n = if fast then max 8 (n / 4) else n
+
+let gpu = Target.gpu_tensorcore
+let arm = Target.arm_sdot
+
+let hr () = Fmt.pr "%s@." (String.make 78 '-')
+
+let section name title =
+  Fmt.pr "@.";
+  hr ();
+  Fmt.pr "[%s] %s@." name title;
+  hr ()
+
+let geomean xs =
+  match List.filter (fun x -> x > 0.0 && Float.is_finite x) xs with
+  | [] -> 0.0
+  | xs ->
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+(* Cache single-op tuning results within the bench run. *)
+let op_cache : (string, Tune.result) Hashtbl.t = Hashtbl.create 32
+
+let cached name f =
+  match Hashtbl.find_opt op_cache name with
+  | Some r -> r
+  | None ->
+      let r = f () in
+      Hashtbl.add op_cache name r;
+      r
+
+let tensorir_op target (w : W.t) =
+  cached
+    (Printf.sprintf "tensorir|%s|%s" target.Target.name w.W.name)
+    (fun () -> Tune.tune ~trials:(trials 128) target w)
+
+let tvm_op target (w : W.t) =
+  cached
+    (Printf.sprintf "tvm|%s|%s" target.Target.name w.W.name)
+    (fun () -> B.tvm ~trials:(trials 96) target w)
+
+let amos_op target (w : W.t) =
+  cached
+    (Printf.sprintf "amos|%s|%s" target.Target.name w.W.name)
+    (fun () -> B.amos ~trials:(trials 64) target w)
+
+let vendor_op target (w : W.t) =
+  cached
+    (Printf.sprintf "vendor|%s|%s" target.Target.name w.W.name)
+    (fun () -> B.vendor ~trials:(trials 64) target w)
+
+(* ------------------------------------------------------------------ *)
+(* fig8: mechanism                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  section "fig8" "automatic tensorization of 64x64x64 matmul with the 4x4x4 intrinsic";
+  let w = W.gmm ~in_dtype:Tir_ir.Dtype.F32 ~acc_dtype:Tir_ir.Dtype.F32 ~m:64 ~n:64 ~k:64 () in
+  match
+    Tir_autosched.Candidate.generate w
+      (Tir_intrin.Tensor_intrin.lookup "accel.dot_4x4x4")
+  with
+  | None -> Fmt.pr "no candidate (unexpected)@."
+  | Some cand ->
+      Fmt.pr "candidate: fused M=%d N=%d K=%d (intrinsic tile 4x4x4)@."
+        cand.Tir_autosched.Candidate.fm cand.Tir_autosched.Candidate.fn
+        cand.Tir_autosched.Candidate.fk;
+      let r =
+        Tune.tune ~trials:(trials 32)
+          ~sketches:[ Tir_autosched.Sketch.tensorized_gpu ~use_wmma_scopes:false cand ]
+          gpu w
+      in
+      Fmt.pr "tuned latency: %.2f us (%.0f GFLOPS), %d trials, %d invalid filtered@."
+        (Tune.latency_us r) (Tune.gflops r) r.Tune.stats.trials r.Tune.stats.invalid;
+      (match r.Tune.best with
+      | Some best ->
+          Fmt.pr "best decisions: %s@."
+            (Tir_autosched.Space.key_of best.Tir_autosched.Evolutionary.decisions)
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* fig10 / fig11: single operator                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  section "fig10" "single-op vs ML compilers on GPU (fp16, Tensor Cores); latency in us";
+  Fmt.pr "%-4s %12s %12s %12s %10s %10s@." "op" "TVM" "AMOS" "TensorIR" "vs TVM" "vs AMOS";
+  let speedups_tvm = ref [] and speedups_amos = ref [] in
+  List.iter
+    (fun (w : W.t) ->
+      let tir = Tune.latency_us (tensorir_op gpu w) in
+      let tvm = Tune.latency_us (tvm_op gpu w) in
+      let amos = Tune.latency_us (amos_op gpu w) in
+      speedups_tvm := (tvm /. tir) :: !speedups_tvm;
+      speedups_amos := (amos /. tir) :: !speedups_amos;
+      Fmt.pr "%-4s %12.1f %12.1f %12.1f %9.2fx %9.2fx@." w.W.tag tvm amos tir
+        (tvm /. tir) (amos /. tir))
+    (W.gpu_suite ());
+  Fmt.pr "geomean speedup: vs TVM %.2fx, vs AMOS %.2fx@." (geomean !speedups_tvm)
+    (geomean !speedups_amos)
+
+let fig11 () =
+  section "fig11"
+    "single-op vs vendor libraries on GPU; TensorIR throughput relative to library";
+  Fmt.pr "%-4s %12s %12s %12s %12s %12s@." "op" "CUTLASS" "TensorRT" "TensorIR"
+    "vs CUTLASS" "vs TRT";
+  List.iter
+    (fun (w : W.t) ->
+      let tir = Tune.latency_us (tensorir_op gpu w) in
+      let vendor = Tune.latency_us (vendor_op gpu w) in
+      let cutlass = if B.cutlass_supports w then Some vendor else None in
+      let trt = Some vendor in
+      let pp_opt ppf = function
+        | Some v -> Fmt.pf ppf "%12.1f" v
+        | None -> Fmt.pf ppf "%12s" "n/a"
+      in
+      (* relative throughput of TensorIR = library_latency / tensorir_latency *)
+      let rel = function
+        | Some v -> Fmt.str "%11.0f%%" (100.0 *. v /. tir)
+        | None -> Fmt.str "%12s" "n/a"
+      in
+      Fmt.pr "%-4s %a %a %12.1f %s %s@." w.W.tag pp_opt cutlass pp_opt trt tir
+        (rel cutlass) (rel trt))
+    (W.gpu_suite ());
+  Fmt.pr "(>100%% means TensorIR is faster than the library)@."
+
+(* ------------------------------------------------------------------ *)
+(* fig12 / tab1: end-to-end GPU                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig12_reports : (M.t * C.model_report list) list ref = ref []
+
+let fig12 () =
+  section "fig12" "end-to-end models on GPU; latency in us (latency relative to TensorIR)";
+  let schedulers =
+    [
+      C.pytorch ();
+      C.tvm ~trials:(trials 32) ();
+      C.amos ~trials:(trials 24) ();
+      C.tensorrt ~trials:(trials 32) ();
+      C.tensorir ~trials:(trials 32) ();
+    ]
+  in
+  Fmt.pr "%-14s" "model";
+  List.iter (fun (s : C.scheduler) -> Fmt.pr " %16s" s.C.sname) schedulers;
+  Fmt.pr "@.";
+  List.iter
+    (fun (m : M.t) ->
+      let reports = List.map (fun s -> C.compile s gpu m) schedulers in
+      fig12_reports := (m, reports) :: !fig12_reports;
+      let tir =
+        (List.find
+           (fun (r : C.model_report) -> String.equal r.C.scheduler "TensorIR")
+           reports)
+          .C.latency_us
+      in
+      Fmt.pr "%-14s" m.M.name;
+      List.iter
+        (fun (r : C.model_report) ->
+          if not r.C.supported then Fmt.pr " %16s" "n/a"
+          else Fmt.pr " %9.0f (%3.0f%%)" r.C.latency_us (100.0 *. r.C.latency_us /. tir))
+        reports;
+      Fmt.pr "@.")
+    M.gpu_models;
+  Fmt.pr "(lower is better; 100%% = TensorIR)@."
+
+let tab1 () =
+  section "tab1" "tuning time per model (simulated profiling + search overhead), minutes";
+  Fmt.pr "%-14s %12s %12s %8s@." "model" "TVM" "TensorIR" "ratio";
+  List.iter
+    (fun ((m : M.t), reports) ->
+      let find name =
+        List.find (fun (r : C.model_report) -> String.equal r.C.scheduler name) reports
+      in
+      let tvm = (find "TVM").C.total_tuning_minutes in
+      let tir = (find "TensorIR").C.total_tuning_minutes in
+      Fmt.pr "%-14s %12.2f %12.2f %7.2fx@." m.M.name tvm tir (tvm /. tir))
+    (List.rev !fig12_reports)
+
+(* ------------------------------------------------------------------ *)
+(* fig13 / fig14: ARM                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  section "fig13" "single-op on ARM CPU (int8, sdot); latency in us";
+  Fmt.pr "%-4s %12s %12s %12s %10s %12s@." "op" "TVM" "ACL" "TensorIR" "vs TVM" "vs ACL";
+  List.iter
+    (fun (w : W.t) ->
+      let tir = Tune.latency_us (tensorir_op arm w) in
+      let tvm = Tune.latency_us (tvm_op arm w) in
+      let acl =
+        match B.arm_compute_lib ~trials:(trials 48) arm w with
+        | B.Supported r -> Some (Tune.latency_us r)
+        | B.Not_supported -> None
+      in
+      let acl_str = match acl with Some v -> Fmt.str "%12.1f" v | None -> "         n/a" in
+      let vs_acl =
+        match acl with
+        | Some v -> Fmt.str "%11.0f%%" (100.0 *. v /. tir)
+        | None -> "         n/a"
+      in
+      Fmt.pr "%-4s %12.1f %s %12.1f %9.2fx %s@." w.W.tag tvm acl_str tir (tvm /. tir) vs_acl)
+    (W.arm_suite ())
+
+let fig14 () =
+  section "fig14" "end-to-end models on ARM CPU (int8); latency in us";
+  let schedulers =
+    [ C.pytorch (); C.tvm ~trials:(trials 24) (); C.tensorir ~trials:(trials 24) () ]
+  in
+  Fmt.pr "%-14s" "model";
+  List.iter (fun (s : C.scheduler) -> Fmt.pr " %16s" s.C.sname) schedulers;
+  Fmt.pr "@.";
+  List.iter
+    (fun (m : M.t) ->
+      let reports = List.map (fun s -> C.compile s arm m) schedulers in
+      let tir =
+        (List.find
+           (fun (r : C.model_report) -> String.equal r.C.scheduler "TensorIR")
+           reports)
+          .C.latency_us
+      in
+      Fmt.pr "%-14s" m.M.name;
+      List.iter
+        (fun (r : C.model_report) ->
+          Fmt.pr " %9.0f (%3.0f%%)" r.C.latency_us (100.0 *. r.C.latency_us /. tir))
+        reports;
+      Fmt.pr "@.")
+    M.arm_models
+
+(* ------------------------------------------------------------------ *)
+(* ablation                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "ablation" "design-choice ablations on GPU (GMM and C2D); latency in us";
+  let module Sk = Tir_autosched.Sketch in
+  let module Cand = Tir_autosched.Candidate in
+  Fmt.pr "%-4s %12s %14s %14s %14s@." "op" "full" "no-AutoCopy" "no-costmodel"
+    "no-evolution";
+  List.iter
+    (fun (w : W.t) ->
+      let full = Tune.latency_us (tensorir_op gpu w) in
+      let intrins = Tune.target_intrinsics gpu in
+      let cands = Cand.candidates w intrins in
+      let no_autocopy_sketches =
+        List.map
+          (fun c -> Sk.tensorized_gpu ~use_wmma_scopes:false ~stage_shared:false c)
+          cands
+        @ [ Sk.scalar_gpu w ]
+      in
+      let no_autocopy =
+        Tune.latency_us (Tune.tune ~trials:(trials 64) ~sketches:no_autocopy_sketches gpu w)
+      in
+      let no_cost_model =
+        Tune.latency_us (Tune.tune ~trials:(trials 64) ~use_cost_model:false gpu w)
+      in
+      let no_evolve =
+        Tune.latency_us
+          (Tune.tune ~trials:(trials 64) ~use_cost_model:false ~evolve:false gpu w)
+      in
+      Fmt.pr "%-4s %12.1f %14.1f %14.1f %14.1f@." w.W.tag full no_autocopy no_cost_model
+        no_evolve)
+    [ W.gmm (); W.c2d () ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the infrastructure                      *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "micro" "Bechamel micro-benchmarks of the compiler infrastructure";
+  let open Bechamel in
+  let w = W.gmm ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 () in
+  let cand =
+    Option.get
+      (Tir_autosched.Candidate.generate w
+         (Tir_intrin.Tensor_intrin.lookup "wmma.mma_16x16x16"))
+  in
+  let sk = Tir_autosched.Sketch.tensorized_gpu cand in
+  let d =
+    List.map
+      (fun (k : Tir_autosched.Space.knob) -> (k.Tir_autosched.Space.name, 1))
+      sk.Tir_autosched.Sketch.knobs
+  in
+  let scheduled = sk.Tir_autosched.Sketch.apply d in
+  let tests =
+    [
+      Test.make ~name:"sketch-apply" (Staged.stage (fun () ->
+          ignore (sk.Tir_autosched.Sketch.apply d)));
+      Test.make ~name:"validate" (Staged.stage (fun () ->
+          ignore (Tir_sched.Validate.check_func scheduled)));
+      Test.make ~name:"machine-measure" (Staged.stage (fun () ->
+          ignore (Tir_sim.Machine.measure_us gpu scheduled)));
+      Test.make ~name:"feature-extract" (Staged.stage (fun () ->
+          ignore (Tir_autosched.Features.extract gpu scheduled)));
+      Test.make ~name:"candidate-gen" (Staged.stage (fun () ->
+          ignore
+            (Tir_autosched.Candidate.generate w
+               (Tir_intrin.Tensor_intrin.lookup "wmma.mma_16x16x16"))));
+      Test.make ~name:"print-program" (Staged.stage (fun () ->
+          ignore (Tir_ir.Printer.func_to_string scheduled)));
+    ]
+  in
+  List.iter
+    (fun test ->
+      let instances = [ Toolkit.Instance.monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) () in
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "%-44s %14.0f ns/run@." name est
+          | _ -> Fmt.pr "%-44s %14s@." name "-")
+        ols)
+    tests
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  fig8 ();
+  fig10 ();
+  fig11 ();
+  fig12 ();
+  tab1 ();
+  fig13 ();
+  fig14 ();
+  ablation ();
+  micro ();
+  Fmt.pr "@.total bench wall time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,210 @@
+(* Command-line interface.
+
+     tensorir show <workload>             print the lowered TensorIR program
+     tensorir candidates <workload>       show tensorization candidates
+     tensorir tune <workload> [opts]      auto-schedule and report
+     tensorir model <name> [opts]         end-to-end model compilation report
+     tensorir intrinsics                  list registered tensor intrinsics *)
+
+open Cmdliner
+module W = Tir_workloads.Workloads
+module Tune = Tir_autosched.Tune
+module TI = Tir_intrin.Tensor_intrin
+
+let () = Tir_intrin.Library.register_all ()
+
+let workload_arg =
+  let doc = "Workload tag: C1D C2D C3D DEP DIL GMM GRP T2D." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let target_arg =
+  let doc = "Target: gpu (Tensor Core) or arm (sdot)." in
+  Arg.(value & opt string "gpu" & info [ "target"; "t" ] ~docv:"TARGET" ~doc)
+
+let trials_arg =
+  let doc = "Number of measured trials for the evolutionary search." in
+  Arg.(value & opt int 64 & info [ "trials"; "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let workload_for target tag =
+  let t = Tir_sim.Target.by_name target in
+  match t.Tir_sim.Target.kind with
+  | Tir_sim.Target.Gpu -> (t, W.by_tag tag)
+  | Tir_sim.Target.Cpu -> (
+      ( t,
+        match String.uppercase_ascii tag with
+        | "C2D" -> W.c2d ~in_dtype:Tir_ir.Dtype.I8 ~acc_dtype:Tir_ir.Dtype.I32 ()
+        | "GMM" ->
+            W.gmm ~in_dtype:Tir_ir.Dtype.I8 ~acc_dtype:Tir_ir.Dtype.I32 ~m:512 ~n:512
+              ~k:512 ()
+        | _ -> W.by_tag tag ))
+
+(* --- show --- *)
+
+let show_cmd =
+  let run tag =
+    let w = W.by_tag tag in
+    Fmt.pr "%s" (Tir_ir.Printer.func_to_string w.W.func);
+    Fmt.pr "@.%.2f GFLOP, tensorizable: %b@." (w.W.flops /. 1e9) w.W.tensorizable
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print the lowered TensorIR program of a workload")
+    Term.(const run $ workload_arg)
+
+(* --- candidates --- *)
+
+let candidates_cmd =
+  let run tag target =
+    let t, w = workload_for target tag in
+    let intrins = Tune.target_intrinsics t in
+    let cands = Tir_autosched.Candidate.candidates w intrins in
+    if cands = [] then Fmt.pr "no tensorization candidates@."
+    else
+      List.iter
+        (fun (c : Tir_autosched.Candidate.t) ->
+          Fmt.pr "=== intrinsic %s: fused M=%d N=%d K=%d (real %d %d %d) ===@.%s@."
+            c.Tir_autosched.Candidate.intrin.TI.name c.Tir_autosched.Candidate.fm
+            c.Tir_autosched.Candidate.fn c.Tir_autosched.Candidate.fk
+            c.Tir_autosched.Candidate.real_m c.Tir_autosched.Candidate.real_n
+            c.Tir_autosched.Candidate.real_k
+            (Tir_ir.Printer.func_to_string c.Tir_autosched.Candidate.func))
+        cands
+  in
+  Cmd.v
+    (Cmd.info "candidates"
+       ~doc:"Show tensorization candidates (the canonical rewritten programs)")
+    Term.(const run $ workload_arg $ target_arg)
+
+(* --- tune --- *)
+
+let tune_cmd =
+  let run tag target trials seed print_best db_path =
+    let t, w = workload_for target tag in
+    let database = Option.map Tir_autosched.Database.load db_path in
+    let r = Tune.tune ~seed ~trials ?database t w in
+    Option.iter
+      (fun db -> Tir_autosched.Database.save db (Option.get db_path))
+      database;
+    Fmt.pr "workload: %s on %s@." w.W.name t.Tir_sim.Target.name;
+    Fmt.pr "best latency: %.2f us (%.0f GFLOPS)@." (Tune.latency_us r) (Tune.gflops r);
+    Fmt.pr "search: %d trials, %d proposed, %d invalid, %d inapplicable@."
+      r.Tune.stats.trials r.Tune.stats.proposed r.Tune.stats.invalid
+      r.Tune.stats.inapplicable;
+    Fmt.pr "simulated tuning time: %.2f minutes@." (Tune.tuning_minutes r);
+    match r.Tune.best with
+    | Some b ->
+        Fmt.pr "sketch: %s@.decisions: %s@." b.Tir_autosched.Evolutionary.sketch_name
+          (Tir_autosched.Space.key_of b.Tir_autosched.Evolutionary.decisions);
+        if print_best then
+          Fmt.pr "@.%s"
+            (Tir_ir.Printer.func_to_string b.Tir_autosched.Evolutionary.func)
+    | None -> Fmt.pr "no valid schedule found@."
+  in
+  let print_best =
+    Arg.(value & flag & info [ "print-best"; "p" ] ~doc:"Print the best program.")
+  in
+  let db_arg =
+    let doc = "Tuning-record database file: replay stored schedules, save new ones." in
+    Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Auto-schedule a workload with the tensorization-aware tuner")
+    Term.(const run $ workload_arg $ target_arg $ trials_arg $ seed_arg $ print_best $ db_arg)
+
+(* --- model --- *)
+
+let model_cmd =
+  let run name target trials =
+    let t = Tir_sim.Target.by_name target in
+    let m = Tir_graph.Models.by_name name in
+    let module C = Tir_graph.Compile in
+    List.iter
+      (fun s ->
+        let r = C.compile s t m in
+        Fmt.pr "%-10s %10.1f us  (%7.1f inf/s)  tuning %.2f min@." r.C.scheduler
+          r.C.latency_us (C.throughput r) r.C.total_tuning_minutes)
+      [ C.tensorir ~trials (); C.tvm ~trials (); C.pytorch () ]
+  in
+  let model_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL" ~doc:"resnet50 | mobilenetv2 | bert | vit")
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc:"End-to-end model compilation report")
+    Term.(const run $ model_name $ target_arg $ trials_arg)
+
+(* --- codegen --- *)
+
+let codegen_cmd =
+  let run tag target trials =
+    let t, w = workload_for target tag in
+    let r = Tune.tune ~trials t w in
+    match r.Tune.best with
+    | Some b ->
+        print_string (Tir_codegen.Codegen.emit ~target:t b.Tir_autosched.Evolutionary.func)
+    | None -> Fmt.epr "no valid schedule found@."
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Tune a workload and emit the best program as CUDA-like/C-like source")
+    Term.(const run $ workload_arg $ target_arg $ trials_arg)
+
+(* --- parse --- *)
+
+let parse_cmd =
+  let run path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    match Tir_ir.Parser.parse_func src with
+    | exception Tir_ir.Parser.Parse_error m ->
+        Fmt.epr "parse error: %s@." m;
+        exit 1
+    | f -> (
+        Fmt.pr "parsed %s: %d parameters, %d blocks@." f.Tir_ir.Primfunc.name
+          (List.length f.Tir_ir.Primfunc.params)
+          (List.length (Tir_ir.Primfunc.blocks f));
+        match Tir_sched.Validate.check_func f with
+        | [] -> Fmt.pr "validation: OK@."
+        | issues ->
+            Fmt.pr "validation issues:@.%a@."
+              (Fmt.list ~sep:Fmt.cut Tir_sched.Validate.pp_issue)
+              issues)
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Script file.")
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse and validate a TensorIR script file")
+    Term.(const run $ path)
+
+(* --- intrinsics --- *)
+
+let intrinsics_cmd =
+  let run () =
+    List.iter
+      (fun (i : TI.t) ->
+        Fmt.pr "%-22s %s scope=%s params=%a@." i.TI.name
+          (if i.TI.is_copy then "copy" else "mma ")
+          (match i.TI.exec_scope with TI.Warp -> "warp" | TI.Thread -> "thread")
+          Fmt.(list ~sep:(any ", ") Tir_ir.Buffer.pp_decl)
+          i.TI.desc_params)
+      (List.sort (fun (a : TI.t) b -> compare a.TI.name b.TI.name) (TI.all ()))
+  in
+  Cmd.v
+    (Cmd.info "intrinsics" ~doc:"List registered tensor intrinsics")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "tensorir" ~version:"1.0.0"
+      ~doc:"TensorIR: automatic tensorized program optimization (OCaml reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ show_cmd; candidates_cmd; tune_cmd; model_cmd; parse_cmd; codegen_cmd; intrinsics_cmd ]))

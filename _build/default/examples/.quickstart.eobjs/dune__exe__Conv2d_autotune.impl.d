@@ -1,0 +1,1 @@
+examples/conv2d_autotune.ml: Fmt Tir_autosched Tir_intrin Tir_ir Tir_sim Tir_workloads

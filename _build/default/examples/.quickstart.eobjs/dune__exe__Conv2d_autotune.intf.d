@@ -1,0 +1,1 @@
+examples/conv2d_autotune.mli:

@@ -1,0 +1,1 @@
+examples/custom_operator.ml: Array Dtype Expr Fmt List Primfunc Te Tir_exec Tir_intrin Tir_ir Tir_sched Tir_sim

@@ -1,0 +1,1 @@
+examples/end_to_end.ml: Array Fmt List String Sys Tir_graph Tir_intrin Tir_sim

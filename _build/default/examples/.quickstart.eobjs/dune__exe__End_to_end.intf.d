@@ -1,0 +1,1 @@
+examples/end_to_end.mli:

@@ -1,0 +1,1 @@
+examples/manual_tensorize.ml: Array Dtype Expr Fmt List Primfunc Printer Te Tir_exec Tir_intrin Tir_ir Tir_sched Tir_sim

@@ -1,0 +1,1 @@
+examples/manual_tensorize.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dtype Expr Fmt List Primfunc Printer Te Tir_codegen Tir_exec Tir_ir Tir_sched Tir_sim

@@ -1,0 +1,29 @@
+(* End-to-end model compilation (§5.2): extract tuning tasks from a network,
+   tune each distinct operator, and compose the model latency. Compares
+   TensorIR against the TVM-class loop-only baseline on the GPU target.
+
+   Run with: dune exec examples/end_to_end.exe [-- model] *)
+
+module C = Tir_graph.Compile
+module M = Tir_graph.Models
+
+let () = Tir_intrin.Library.register_all ()
+
+let () =
+  let model =
+    if Array.length Sys.argv > 1 then M.by_name Sys.argv.(1) else M.mobilenet_v2
+  in
+  let target = Tir_sim.Target.gpu_tensorcore in
+  Fmt.pr "model: %s, target: %s@." model.M.name target.Tir_sim.Target.name;
+  List.iter
+    (fun scheduler ->
+      let r = C.compile scheduler target model in
+      Fmt.pr "%-10s latency %8.1f us  (%6.1f inf/s)  heavy %8.1f  light %6.1f  tuning %.1f min@."
+        r.C.scheduler r.C.latency_us (C.throughput r) r.C.heavy_us r.C.light_us
+        r.C.total_tuning_minutes;
+      if String.equal r.C.scheduler "TensorIR" then
+        List.iter
+          (fun (o : C.op_report) ->
+            Fmt.pr "    %-28s x%-3d %8.2f us@." o.C.op_name o.C.count o.C.unit_latency_us)
+          r.C.ops)
+    [ C.tensorir ~trials:24 (); C.tvm ~trials:24 (); C.pytorch () ]

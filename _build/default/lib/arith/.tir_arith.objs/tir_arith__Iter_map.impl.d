@@ -1,0 +1,1 @@
+lib/arith/iter_map.ml: Expr Fmt Hashtbl Int List Option Printf Result Simplify String Tir_ir Var

@@ -1,0 +1,1 @@
+lib/arith/iter_map.mli: Expr Tir_ir Var

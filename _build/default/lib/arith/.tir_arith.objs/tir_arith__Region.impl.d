@@ -1,0 +1,1 @@
+lib/arith/region.ml: Bound Buffer Expr List Simplify Stmt Tir_ir Var

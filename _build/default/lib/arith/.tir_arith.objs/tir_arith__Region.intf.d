@@ -1,0 +1,1 @@
+lib/arith/region.mli: Bound Buffer Stmt Tir_ir Var

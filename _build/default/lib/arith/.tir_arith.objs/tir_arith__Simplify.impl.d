@@ -1,0 +1,1 @@
+lib/arith/simplify.ml: Bound Dtype Expr List Printf String Tir_ir Var

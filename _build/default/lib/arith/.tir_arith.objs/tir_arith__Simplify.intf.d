@@ -1,0 +1,1 @@
+lib/arith/simplify.mli: Bound Expr Tir_ir Var

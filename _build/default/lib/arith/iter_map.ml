@@ -1,0 +1,304 @@
+(** Quasi-affine iterator mapping detection (paper §3.3).
+
+    Loop-nest validation must check that the binding of block iterators to
+    outer loop variables is a *bijective* quasi-affine mapping — e.g.
+    [v1 = i/4, v2 = i%4] is legal while [v1 = i, v2 = i*2] is not. Following
+    TVM's IterMap, each binding is normalized into a sum of *splits*
+    [((source / lower_factor) mod extent) * scale]; bijectivity holds when
+    each binding's splits are compactly strided and, across all bindings,
+    the splits of every source variable tile its full domain exactly once. *)
+
+open Tir_ir
+
+type split = { source : Var.t; lower_factor : int; extent : int; scale : int }
+
+type sum = { splits : split list; base : int }
+
+type error = string
+
+let split_value s =
+  let open Expr in
+  let v = Var s.source in
+  let shifted = if s.lower_factor = 1 then v else div v (Int s.lower_factor) in
+  let wrapped = mod_ shifted (Int s.extent) in
+  mul wrapped (Int s.scale)
+
+let sum_value s =
+  List.fold_left (fun acc sp -> Expr.add acc (split_value sp)) (Expr.Int s.base) s.splits
+
+(** Maximum value the sum can take (for extent checks). *)
+let sum_max s =
+  List.fold_left (fun acc sp -> acc + ((sp.extent - 1) * sp.scale)) s.base s.splits
+
+let scale_sum k s =
+  { base = s.base * k; splits = List.map (fun sp -> { sp with scale = sp.scale * k }) s.splits }
+
+let add_sums a b = { base = a.base + b.base; splits = a.splits @ b.splits }
+
+(* Splits of extent <= 1 always contribute 0. *)
+let clean_sum s = { s with splits = List.filter (fun sp -> sp.extent > 1) s.splits }
+
+(* A *mark* wraps a full compact sum as a composite iterator (TVM's
+   IterMark): fuse-then-split scheduling produces bindings like
+   [(r*256 + t*8 + v) // 144] whose cut does not align with any term
+   boundary, yet the mapping is bijective because the compact sum ranges
+   over the whole product domain. We allocate a pseudo source variable for
+   the sum and express the division/modulo as splits of it; the underlying
+   variable splits are recorded once for the cross-binding overlap check. *)
+type marks = {
+  table : (string, Var.t * int * split list) Hashtbl.t;
+}
+
+let split_key sp =
+  Printf.sprintf "%d/%d%%%d*%d" sp.source.Var.id sp.lower_factor sp.extent sp.scale
+
+let sum_key (splits : split list) =
+  String.concat "+" (List.sort compare (List.map split_key splits))
+
+let mark_of marks splits =
+  let key = sum_key splits in
+  match Hashtbl.find_opt marks.table key with
+  | Some (v, ext, _) -> (v, ext)
+  | None ->
+      let ext = List.fold_left (fun acc sp -> acc * sp.extent) 1 splits in
+      let v = Var.fresh "fused_mark" in
+      Hashtbl.add marks.table key (v, ext, splits);
+      (v, ext)
+
+(* Normalize an expression over the loop domain into a sum of splits. *)
+let rec normalize marks domain (e : Expr.t) : (sum, error) result =
+  let ( let* ) = Result.bind in
+  match e with
+  | Expr.Int c -> Ok { base = c; splits = [] }
+  | Expr.Var v -> (
+      match List.find_opt (fun (lv, _) -> Var.equal lv v) domain with
+      | Some (_, ext) ->
+          if ext <= 1 then Ok { base = 0; splits = [] }
+          else
+            Ok
+              { base = 0; splits = [ { source = v; lower_factor = 1; extent = ext; scale = 1 } ] }
+      | None -> Error (Fmt.str "variable %a is not a loop iterator" Var.pp v))
+  | Expr.Bin (Expr.Add, a, b) ->
+      let* sa = normalize marks domain a in
+      let* sb = normalize marks domain b in
+      Ok (add_sums sa sb)
+  | Expr.Bin (Expr.Sub, a, b) ->
+      let* sa = normalize marks domain a in
+      let* sb = normalize marks domain b in
+      Ok (add_sums sa (scale_sum (-1) sb))
+  | Expr.Bin (Expr.Mul, a, Expr.Int k) | Expr.Bin (Expr.Mul, Expr.Int k, a) ->
+      let* sa = normalize marks domain a in
+      Ok (scale_sum k sa)
+  | Expr.Bin (Expr.Div, a, Expr.Int k) when k > 0 ->
+      let* sa = normalize marks domain a in
+      Result.map clean_sum (sum_div marks e (clean_sum sa) k)
+  | Expr.Bin (Expr.Mod, a, Expr.Int k) when k > 0 ->
+      let* sa = normalize marks domain a in
+      Result.map clean_sum (sum_mod marks e (clean_sum sa) k)
+  | _ -> Error (Fmt.str "non-affine binding %a" Expr.pp e)
+
+(* Division of a *compact* sum by [k]: with splits sorted by ascending scale
+   forming a mixed radix (scale_{i+1} = scale_i * extent_i) and base 0, the
+   value is a bijective fused index, so [S / k] and [S mod k] cut the radix
+   chain at [k]. A term straddling the boundary splits in two. *)
+and compact_parts (s : sum) =
+  if s.base <> 0 then None
+  else
+    let sorted = List.sort (fun a b -> Int.compare a.scale b.scale) s.splits in
+    let rec check expected = function
+      | [] -> Some sorted
+      | sp :: rest ->
+          if sp.scale <> expected then None else check (expected * sp.extent) rest
+    in
+    check 1 sorted
+
+and sum_div marks orig (s : sum) k =
+  match s with
+  | { base = 0; splits = [ ({ scale = 1; _ } as sp) ] } ->
+      if sp.extent <= k then Ok { base = 0; splits = [] }
+      else
+        Ok
+          {
+            base = 0;
+            splits =
+              [
+                {
+                  sp with
+                  lower_factor = sp.lower_factor * k;
+                  extent = (sp.extent + k - 1) / k;
+                };
+              ];
+          }
+  | _ -> (
+      match compact_parts s with
+      | None -> Error (Fmt.str "cannot divide non-compact binding %a" Expr.pp orig)
+      | Some sorted ->
+          (* Aligned cut: every term is wholly below, wholly above, or split
+             exactly at the boundary. Otherwise fall back to a composite
+             mark covering the whole sum. *)
+          let rec aligned = function
+            | [] -> Some []
+            | sp :: rest ->
+                if sp.scale * sp.extent <= k then aligned rest
+                else if sp.scale >= k && sp.scale mod k = 0 then
+                  Option.map
+                    (fun tail -> { sp with scale = sp.scale / k } :: tail)
+                    (aligned rest)
+                else if sp.scale < k && k mod sp.scale = 0 && sp.extent mod (k / sp.scale) = 0
+                then
+                  let f = k / sp.scale in
+                  Option.map
+                    (fun tail ->
+                      {
+                        sp with
+                        lower_factor = sp.lower_factor * f;
+                        extent = sp.extent / f;
+                        scale = 1;
+                      }
+                      :: tail)
+                    (aligned rest)
+                else None
+          in
+          match aligned sorted with
+          | Some splits -> Ok { base = 0; splits }
+          | None ->
+              Result.map (fun splits -> { base = 0; splits }) (mark_div marks sorted k))
+
+(* Misaligned cut of a full compact sum: treat the sum as one composite
+   iterator. *)
+and mark_div marks sorted k =
+  let v, ext = mark_of marks sorted in
+  if ext <= k then Ok []
+  else Ok [ { source = v; lower_factor = k; extent = (ext + k - 1) / k; scale = 1 } ]
+
+and mark_mod marks sorted k =
+  let v, ext = mark_of marks sorted in
+  Ok [ { source = v; lower_factor = 1; extent = min ext k; scale = 1 } ]
+
+and sum_mod marks orig (s : sum) k =
+  match s with
+  | { base = 0; splits = [ ({ scale = 1; _ } as sp) ] } ->
+      if sp.extent <= k then Ok s
+      else Ok { base = 0; splits = [ { sp with extent = k } ] }
+  | _ -> (
+      match compact_parts s with
+      | None -> Error (Fmt.str "cannot take modulo of non-compact binding %a" Expr.pp orig)
+      | Some sorted ->
+          let rec aligned = function
+            | [] -> Some []
+            | sp :: rest ->
+                if sp.scale * sp.extent <= k then
+                  Option.map (fun tail -> sp :: tail) (aligned rest)
+                else if sp.scale >= k && sp.scale mod k = 0 then aligned rest
+                else if sp.scale < k && k mod sp.scale = 0 && sp.extent mod (k / sp.scale) = 0
+                then
+                  let f = k / sp.scale in
+                  Option.map (fun tail -> { sp with extent = f } :: tail) (aligned rest)
+                else None
+          in
+          match aligned sorted with
+          | Some splits -> Ok { base = 0; splits }
+          | None ->
+              Result.map (fun splits -> { base = 0; splits }) (mark_mod marks sorted k))
+
+(* A binding is compact when, sorted by scale, scales form the mixed-radix
+   strides of its extents: scale_0 = 1, scale_{i+1} = scale_i * extent_i. *)
+let check_compact (s : sum) : (int, error) result =
+  if s.base <> 0 then Error "binding has a nonzero base offset"
+  else
+    match List.sort (fun a b -> Int.compare a.scale b.scale) s.splits with
+    | [] -> Ok 1
+    | first :: _ as sorted ->
+        if first.scale <> 1 then Error "lowest split has scale != 1"
+        else
+          let rec go expected = function
+            | [] -> Ok expected
+            | sp :: rest ->
+                if sp.scale <> expected then
+                  Error
+                    (Fmt.str "split of %a has scale %d, expected %d" Var.pp sp.source
+                       sp.scale expected)
+                else go (expected * sp.extent) rest
+          in
+          go 1 sorted
+
+(* Across bindings, each source variable's splits must be pairwise disjoint
+   (no part of a loop variable may drive two block iterators — the paper's
+   independence requirement, e.g. v1 = i, v2 = i*2 is rejected). Gaps are
+   allowed: a block may simply be replicated over unused loop ranges (as a
+   cooperatively-fetched copy block is over the dimensions it does not
+   depend on). *)
+let check_tiling (sums : sum list) : (unit, error) result =
+  let by_source = Hashtbl.create 8 in
+  let names = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun sp ->
+          let key = sp.source.Var.id in
+          Hashtbl.replace names key sp.source;
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_source key) in
+          Hashtbl.replace by_source key (sp :: prev))
+        s.splits)
+    sums;
+  let check_var key splits acc =
+    match acc with
+    | Error _ -> acc
+    | Ok () ->
+        let v = Hashtbl.find names key in
+        let sorted =
+          List.sort (fun a b -> Int.compare a.lower_factor b.lower_factor) splits
+        in
+        let rec go covered_to = function
+          | [] -> Ok ()
+          | sp :: rest ->
+              if sp.lower_factor < covered_to then
+                Error
+                  (Fmt.str "splits of %a overlap (factor %d below %d)" Var.pp v
+                     sp.lower_factor covered_to)
+              else go (sp.lower_factor * sp.extent) rest
+        in
+        go 1 sorted
+  in
+  Hashtbl.fold check_var by_source (Ok ())
+
+type detection = { sums : sum list; extents : int list }
+
+(** Detect a bijective quasi-affine mapping from the loop [domain] to the
+    given [bindings]. Returns the normalized bindings and the extent each
+    binding spans, or a diagnostic. Bindings are simplified first so that
+    schedule-generated arithmetic (e.g. [(io*4 + ii) / 4]) normalizes. *)
+let detect ~domain ~bindings : (detection, error) result =
+  let ( let* ) = Result.bind in
+  let ctx =
+    List.fold_left (fun c (v, e) -> Simplify.with_extent c v e) Simplify.empty_ctx domain
+  in
+  let marks = { table = Hashtbl.create 4 } in
+  let rec norm_all acc = function
+    | [] -> Ok (List.rev acc)
+    | b :: rest ->
+        let* s = normalize marks domain (Simplify.simplify ctx b) in
+        norm_all (s :: acc) rest
+  in
+  let* sums = norm_all [] bindings in
+  (* Splits of extent <= 1 contribute the constant 0; drop them so they do
+     not break the mixed-radix chain checks. *)
+  let sums =
+    List.map (fun s -> { s with splits = List.filter (fun sp -> sp.extent > 1) s.splits }) sums
+  in
+  let rec extents acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest ->
+        let* ext = check_compact s in
+        extents (ext :: acc) rest
+  in
+  let* exts = extents [] sums in
+  (* Each mark consumes its underlying variable splits exactly once; feed
+     them to the overlap check alongside the bindings' own splits. *)
+  let mark_sums =
+    Hashtbl.fold
+      (fun _ (_, _, splits) acc -> { base = 0; splits } :: acc)
+      marks.table []
+  in
+  let* () = check_tiling (sums @ mark_sums) in
+  Ok { sums; extents = exts }

@@ -1,0 +1,34 @@
+(** Quasi-affine iterator mapping detection (paper §3.3).
+
+    Normalizes each block-iterator binding into a sum of *splits*
+    [((source / lower_factor) mod extent) * scale] (TVM's IterMap);
+    bijectivity holds when each binding's splits form a compact mixed
+    radix and, across bindings, no part of a source variable drives two
+    iterators. Fuse-then-split bindings that cut a compact sum at an
+    unaligned boundary are handled through composite *marks*. *)
+
+open Tir_ir
+
+type split = { source : Var.t; lower_factor : int; extent : int; scale : int }
+
+type sum = { splits : split list; base : int }
+
+type error = string
+
+(** The expression a split denotes. *)
+val split_value : split -> Expr.t
+
+val sum_value : sum -> Expr.t
+
+(** Maximum value the sum can take. *)
+val sum_max : sum -> int
+
+type detection = {
+  sums : sum list;  (** normalized binding per input expression *)
+  extents : int list;  (** value-range extent each binding spans *)
+}
+
+(** Detect a bijective quasi-affine mapping from the loop [domain]
+    (variables with extents) to the given [bindings]; returns a diagnostic
+    on failure. *)
+val detect : domain:(Var.t * int) list -> bindings:Expr.t list -> (detection, error) result

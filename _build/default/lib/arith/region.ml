@@ -1,0 +1,91 @@
+(** Concrete region analysis for producer/consumer cover checks.
+
+    A buffer region's per-dimension hull is the inclusive [lo, hi] the region
+    can touch once every variable in scope is relaxed to its range. Cover
+    checks compare hulls; with the affine accesses our workloads use, hulls
+    are exact. *)
+
+open Tir_ir
+
+type hull = (int * int) list (* inclusive lo/hi per dimension *)
+
+(** Hull of a region given variable ranges. Returns [None] when a min
+    expression cannot be bounded. *)
+let hull_of_region ranges (r : Stmt.buffer_region) : hull option =
+  let dim (mn, ext) =
+    match Bound.of_expr_map ranges mn with
+    | Some { Bound.lo; hi } -> Some (lo, hi + ext - 1)
+    | None -> None
+  in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | d :: rest -> ( match dim d with Some h -> go (h :: acc) rest | None -> None)
+  in
+  go [] r.region
+
+(** Conservative fallback: the whole buffer. *)
+let full_hull (b : Buffer.t) : hull = List.map (fun e -> (0, e - 1)) b.shape
+
+let hull_or_full ranges (r : Stmt.buffer_region) =
+  match hull_of_region ranges r with Some h -> h | None -> full_hull r.buffer
+
+let union_hull a b = List.map2 (fun (l1, h1) (l2, h2) -> (min l1 l2, max h1 h2)) a b
+
+(** [covers producer consumer] iff every consumer dimension range lies within
+    the producer's. *)
+let covers (producer : hull) (consumer : hull) =
+  List.for_all2 (fun (pl, ph) (cl, ch) -> pl <= cl && ph >= ch) producer consumer
+
+(** Clip a hull to the buffer bounds (regions of padded blocks may extend
+    past the logical shape before the padding pass runs). *)
+let clip (b : Buffer.t) (h : hull) =
+  List.map2 (fun (lo, hi) ext -> (max 0 lo, min (ext - 1) hi)) h b.shape
+
+(** [relax_region ~relaxed r] eliminates the variables in [relaxed] (given
+    with their ranges) from the region's min expressions, widening extents
+    accordingly. Variables not in [relaxed] stay symbolic. Exact for affine
+    accesses; falls back to the whole dimension otherwise. *)
+let relax_region ~relaxed (r : Stmt.buffer_region) : Stmt.buffer_region =
+  let zero_relaxed =
+    Expr.subst (fun v -> if Var.Map.mem v relaxed then Some (Expr.Int 0) else None)
+  in
+  let dim i (mn, ext) =
+    let mn0 = Simplify.simplify Simplify.empty_ctx (zero_relaxed mn) in
+    (* For affine mins, [mn - mn0] only mentions relaxed variables. *)
+    let diff = Simplify.simplify Simplify.empty_ctx (Expr.sub mn mn0) in
+    if Var.Set.exists (fun v -> not (Var.Map.mem v relaxed)) (Expr.free_vars diff) then
+      (Expr.Int 0, List.nth r.buffer.Buffer.shape i)
+    else
+      match Bound.of_expr_map relaxed diff with
+      | Some { Bound.lo; hi } ->
+          ( Simplify.simplify Simplify.empty_ctx (Expr.add mn0 (Expr.Int lo)),
+            (hi - lo) + ext )
+      | None -> (Expr.Int 0, List.nth r.buffer.Buffer.shape i)
+  in
+  { r with region = List.mapi dim r.region }
+
+(* List.map2 with index; stdlib lacks it. *)
+let map2i f a b =
+  let rec go i a b =
+    match (a, b) with
+    | [], [] -> []
+    | x :: a', y :: b' -> f i x y :: go (i + 1) a' b'
+    | _ -> invalid_arg "map2i"
+  in
+  go 0 a b
+
+(** Union two relaxed regions of the same buffer. [ranges] bounds the
+    remaining symbolic variables for dominance checks; dimensions that
+    cannot be compared widen to the full buffer. *)
+let union_region ranges (a : Stmt.buffer_region) (b : Stmt.buffer_region) :
+    Stmt.buffer_region =
+  let dim i (m1, e1) (m2, e2) =
+    if Expr.equal m1 m2 then (m1, max e1 e2)
+    else
+      let diff = Simplify.simplify { Simplify.ranges } (Expr.sub m2 m1) in
+      match Bound.of_expr_map ranges diff with
+      | Some { Bound.lo; hi } when lo >= 0 -> (m1, max e1 (hi + e2))
+      | Some { Bound.hi; lo } when hi <= 0 -> (m2, max e2 (e1 - lo))
+      | _ -> (Expr.Int 0, List.nth a.buffer.Buffer.shape i)
+  in
+  { a with region = map2i dim a.region b.region }

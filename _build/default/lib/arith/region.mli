@@ -1,0 +1,35 @@
+(** Concrete region analysis for producer/consumer cover checks and
+    compute-at region shrinking. *)
+
+open Tir_ir
+
+type hull = (int * int) list
+(** Inclusive [lo, hi] per dimension. *)
+
+(** Hull of a region given variable ranges; [None] when a min expression
+    cannot be bounded. *)
+val hull_of_region : Bound.interval Var.Map.t -> Stmt.buffer_region -> hull option
+
+(** The whole buffer (conservative fallback). *)
+val full_hull : Buffer.t -> hull
+
+val hull_or_full : Bound.interval Var.Map.t -> Stmt.buffer_region -> hull
+val union_hull : hull -> hull -> hull
+
+(** [covers producer consumer]: every consumer range within the
+    producer's. *)
+val covers : hull -> hull -> bool
+
+(** Clip to the buffer bounds. *)
+val clip : Buffer.t -> hull -> hull
+
+(** Eliminate the [relaxed] variables (given with ranges) from a region's
+    min expressions, widening extents. Exact for affine accesses; falls
+    back to the whole dimension otherwise. *)
+val relax_region :
+  relaxed:Bound.interval Var.Map.t -> Stmt.buffer_region -> Stmt.buffer_region
+
+(** Union of two relaxed regions of the same buffer; [ranges] bounds the
+    remaining symbolic variables for dominance checks. *)
+val union_region :
+  Bound.interval Var.Map.t -> Stmt.buffer_region -> Stmt.buffer_region -> Stmt.buffer_region

@@ -1,0 +1,1 @@
+lib/autosched/candidate.ml: Buffer Dtype Expr List Primfunc Stmt Te Tir_intrin Tir_ir Tir_workloads Var

@@ -1,0 +1,1 @@
+lib/autosched/candidate.mli: Primfunc Tir_intrin Tir_ir Tir_workloads

@@ -1,0 +1,1 @@
+lib/autosched/cost_model.ml: Array Float Gbdt List Tir_sim

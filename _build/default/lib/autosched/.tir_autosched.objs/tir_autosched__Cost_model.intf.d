@@ -1,0 +1,1 @@
+lib/autosched/cost_model.mli: Gbdt Tir_sim

@@ -1,0 +1,1 @@
+lib/autosched/database.ml: Evolutionary List Printf Sketch Space String Sys Tir_sched Tir_sim Tir_workloads

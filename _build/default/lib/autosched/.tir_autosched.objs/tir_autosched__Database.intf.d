@@ -1,0 +1,1 @@
+lib/autosched/database.mli: Evolutionary Sketch Space Tir_sim Tir_workloads

@@ -1,0 +1,1 @@
+lib/autosched/evolutionary.ml: Cost_model Features Float Hashtbl List Primfunc Rng Sketch Space String Tir_ir Tir_sched Tir_sim

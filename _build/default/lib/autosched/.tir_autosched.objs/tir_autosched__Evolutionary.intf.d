@@ -1,0 +1,1 @@
+lib/autosched/evolutionary.mli: Primfunc Rng Sketch Space Tir_ir Tir_sim

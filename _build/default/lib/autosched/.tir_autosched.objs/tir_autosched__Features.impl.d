@@ -1,0 +1,1 @@
+lib/autosched/features.ml: Buffer Float List Primfunc Stmt String Tir_ir Tir_sim

@@ -1,0 +1,1 @@
+lib/autosched/features.mli: Primfunc Tir_ir Tir_sim

@@ -1,0 +1,1 @@
+lib/autosched/gbdt.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/autosched/rng.ml: List Random

@@ -1,0 +1,1 @@
+lib/autosched/sketch.ml: Buffer Candidate Expr List Option Primfunc Space Stmt String Te Tir_intrin Tir_ir Tir_sched Tir_sim Tir_workloads

@@ -1,0 +1,1 @@
+lib/autosched/sketch.mli: Candidate Primfunc Space Tir_intrin Tir_ir Tir_sim Tir_workloads

@@ -1,0 +1,1 @@
+lib/autosched/space.ml: List Option Printf Rng String

@@ -1,0 +1,1 @@
+lib/autosched/space.mli: Rng

@@ -1,0 +1,1 @@
+lib/autosched/tune.ml: Database Evolutionary Float List Rng Sketch Tir_intrin Tir_sim Tir_workloads

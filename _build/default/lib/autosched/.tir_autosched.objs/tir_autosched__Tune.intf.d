@@ -1,0 +1,1 @@
+lib/autosched/tune.mli: Database Evolutionary Sketch Tir_intrin Tir_sim Tir_workloads

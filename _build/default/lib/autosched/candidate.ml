@@ -1,0 +1,298 @@
+(** Tensorization candidate generation (paper §4.2, Figure 9).
+
+    Given a workload whose output stage is an einsum
+    [O[g0(v0)] += I1[g1(v1)] * I2[g2(v2)]] and a matrix-multiply intrinsic
+    [C[x,y] += A[x,k] * B[k,y]], the generator:
+
+    + computes the characteristic vector of every workload iterator — which
+      of (O, A, B) its index expressions mention;
+    + groups iterators by characteristic vector into M = (O,A), N = (O,B),
+      K = (A,B) classes plus "outer" iterators present in all three
+      (e.g. the batch dimension);
+    + fuses each class (in default order) and pads the fused extents up to
+      multiples of the intrinsic tile;
+    + rewrites the program through ReIndex + layout-rewrite stages
+      [A_t[outer.., fm, fk] = A[g_A(unfuse(fm), unfuse(fk))]] (the paper's
+      ReIndex and layout blocks, emitted pre-composed) and a write-back
+      stage recovering the original output layout.
+
+    The resulting canonical program has a compute block whose trailing
+    three iterators are exactly (fm, fn, fk), ready for tiling, blockize
+    and tensorize by the sketch generator. Workloads with an empty M, N or
+    K class (e.g. depthwise convolution) yield no candidate — the paper's
+    reason Tensor Cores cannot serve DEP. *)
+
+open Tir_ir
+module TI = Tir_intrin.Tensor_intrin
+
+type t = {
+  workload : Tir_workloads.Workloads.t;
+  intrin : TI.t;
+  func : Primfunc.t;  (** transformed canonical program *)
+  compute_block : string;
+  copy_in_blocks : string list;  (** A_t and B_t layout/ReIndex stages *)
+  writeback_block : string;
+  pre_blocks : string list;  (** original upstream stages (padding etc.) *)
+  outer_dims : int;  (** leading outer-only iterators of the compute block *)
+  fm : int;
+  fn : int;
+  fk : int;  (** padded fused extents *)
+  real_m : int;
+  real_n : int;
+  real_k : int;
+}
+
+(* The einsum structure extracted from a Te reduce stage. *)
+type einsum = {
+  spatial : Var.t list;
+  reduce : Var.t list;
+  extents : (Var.t * int) list;
+  acc_dtype : Dtype.t;
+  a_stage : Te.t;
+  a_idx : Expr.t list;
+  b_stage : Te.t;
+  b_idx : Expr.t list;
+}
+
+let strip_cast = function Expr.Cast (_, e) -> e | e -> e
+
+let parse_einsum (out : Te.t) : einsum option =
+  match out.Te.kind with
+  | Te.Reduce { spatial; reduce; rdom; combiner = Te.Sum; value } -> (
+      match strip_cast value with
+      | Expr.Bin (Expr.Mul, x, y) -> (
+          match (strip_cast x, strip_cast y) with
+          | Expr.Load (ba, a_idx), Expr.Load (bb, b_idx) -> (
+              match (Te.stage_of_buffer ba, Te.stage_of_buffer bb) with
+              | Some a_stage, Some b_stage ->
+                  let extents =
+                    List.map2 (fun v e -> (v, e)) spatial (Te.shape out)
+                    @ List.map2 (fun v e -> (v, e)) reduce rdom
+                  in
+                  Some
+                    {
+                      spatial;
+                      reduce;
+                      extents;
+                      acc_dtype = Te.dtype out;
+                      a_stage;
+                      a_idx;
+                      b_stage;
+                      b_idx;
+                    }
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+type klass = M | N | K | Outer
+
+let classify (e : einsum) (v : Var.t) : klass option =
+  let in_idx idx = List.exists (Expr.uses_var v) idx in
+  let in_out = List.exists (Var.equal v) e.spatial in
+  let in_a = in_idx e.a_idx and in_b = in_idx e.b_idx in
+  match (in_out, in_a, in_b) with
+  | true, true, false -> Some M
+  | true, false, true -> Some N
+  | false, true, true -> Some K
+  | true, true, true -> Some Outer
+  | _ -> None
+
+let extent_of e v = List.assoc v e.extents
+
+let round_up x m = (x + m - 1) / m * m
+
+(* Recover individual iterator values from a fused index: for group
+   [v1..vr] with extents [e1..er], vi = (f / prod_{j>i} ej) mod ei. *)
+let unfuse_map group extents fused =
+  let open Expr in
+  let rec go acc vars exts =
+    match (vars, exts) with
+    | [], [] -> acc
+    | v :: vs, e :: es ->
+        let inner = List.fold_left ( * ) 1 es in
+        let value = mod_ (div fused (Int inner)) (Int e) in
+        go (Var.Map.add v value acc) vs es
+    | _ -> assert false
+  in
+  go Var.Map.empty group extents
+
+let product = List.fold_left ( * ) 1
+
+(** Generate the canonical tensorized program for [workload] against
+    [intrin], or [None] when the iterator classes cannot be matched. *)
+let generate (workload : Tir_workloads.Workloads.t) (intrin : TI.t) : t option =
+  match parse_einsum workload.out with
+  | None -> None
+  | Some e -> (
+      let iters = e.spatial @ e.reduce in
+      let classified = List.map (fun v -> (v, classify e v)) iters in
+      if List.exists (fun (_, c) -> c = None) classified then None
+      else
+        let group cls =
+          List.filter_map
+            (fun (v, c) -> if c = Some cls then Some v else None)
+            classified
+        in
+        let m_group = group M and n_group = group N and k_group = group K in
+        let outer_group = group Outer in
+        (* The intrinsic's data types must match the workload's: a candidate
+           with mismatched types can never tensorize, so reject it here
+           rather than wasting search proposals. *)
+        let dtype_ok =
+          match intrin.TI.desc_params with
+          | [ a; _; c ] ->
+              Dtype.equal a.Buffer.dtype (Te.dtype e.a_stage)
+              && Dtype.equal c.Buffer.dtype e.acc_dtype
+          | _ -> false
+        in
+        if m_group = [] || n_group = [] || k_group = [] || not dtype_ok then None
+        else
+          (* Intrinsic tile sizes from its buffer shapes: A is m*k, B is k*n. *)
+          let im, ik, in_ =
+            match intrin.TI.desc_params with
+            | [ a; b; _c ] -> (
+                match (a.Buffer.shape, b.Buffer.shape) with
+                | [ m; k ], [ _k; n ] -> (m, k, n)
+                | _ -> invalid_arg "candidate: intrinsic buffers are not 2-D")
+            | _ -> invalid_arg "candidate: intrinsic is not an MMA"
+          in
+          let ext vs = List.map (extent_of e) vs in
+          let real_m = product (ext m_group)
+          and real_n = product (ext n_group)
+          and real_k = product (ext k_group) in
+          let fm = round_up real_m im
+          and fn = round_up real_n in_
+          and fk = round_up real_k ik in
+          let outer_ext = ext outer_group in
+          let in_dtype = Te.dtype e.a_stage in
+          (* --- A_t / B_t layout-rewrite stages --- *)
+          let reindex_stage name src_stage src_idx row_group col_group row_real
+              col_real frow fcol =
+            let shape = outer_ext @ [ frow; fcol ] in
+            Te.compute (name ^ "_t") ~dtype:in_dtype shape (fun idx ->
+                let n_outer = List.length outer_group in
+                let outer_idx = List.filteri (fun i _ -> i < n_outer) idx in
+                let frow_e = List.nth idx n_outer in
+                let fcol_e = List.nth idx (n_outer + 1) in
+                let sub =
+                  List.fold_left2
+                    (fun m v x -> Var.Map.add v x m)
+                    Var.Map.empty outer_group outer_idx
+                in
+                let sub =
+                  Var.Map.union
+                    (fun _ a _ -> Some a)
+                    sub
+                    (unfuse_map row_group (ext row_group) frow_e)
+                in
+                let sub =
+                  Var.Map.union
+                    (fun _ a _ -> Some a)
+                    sub
+                    (unfuse_map col_group (ext col_group) fcol_e)
+                in
+                let load =
+                  Expr.Load (Te.buffer src_stage, List.map (Expr.subst_map sub) src_idx)
+                in
+                let guard =
+                  Expr.and_
+                    (Expr.lt frow_e (Expr.Int row_real))
+                    (Expr.lt fcol_e (Expr.Int col_real))
+                in
+                if frow = row_real && fcol = col_real then load
+                else Expr.select guard load (Expr.Float (0.0, in_dtype)))
+          in
+          let a_t =
+            reindex_stage
+              (Te.buffer e.a_stage).Buffer.name
+              e.a_stage e.a_idx m_group k_group real_m real_k fm fk
+          in
+          let b_t =
+            reindex_stage
+              (Te.buffer e.b_stage).Buffer.name
+              e.b_stage e.b_idx k_group n_group real_k real_n fk fn
+          in
+          (* --- canonical compute stage --- *)
+          let n_outer = List.length outer_group in
+          let c_t =
+            Te.reduce "C_t" ~dtype:e.acc_dtype ~shape:(outer_ext @ [ fm; fn ])
+              ~rdom:[ fk ] (fun sp rd ->
+                let outer_idx = List.filteri (fun i _ -> i < n_outer) sp in
+                let vfm = List.nth sp n_outer and vfn = List.nth sp (n_outer + 1) in
+                let vfk = List.hd rd in
+                Expr.mul
+                  (Expr.cast e.acc_dtype
+                     (Te.get a_t (outer_idx @ [ vfm; vfk ])))
+                  (Expr.cast e.acc_dtype
+                     (Te.get b_t (outer_idx @ [ vfk; vfn ]))))
+          in
+          (* --- write-back stage over the original output layout --- *)
+          let fuse_of group vals =
+            let rec go acc = function
+              | [] -> acc
+              | v :: rest ->
+                  let eafter = product (List.map (extent_of e) rest) in
+                  go (Expr.add acc (Expr.mul (List.assoc v vals) (Expr.Int eafter))) rest
+            in
+            go (Expr.Int 0) group
+          in
+          let out_buf = Te.buffer workload.out in
+          let writeback =
+            Te.compute (out_buf.Buffer.name ^ "_wb") ~dtype:e.acc_dtype
+              out_buf.Buffer.shape (fun idx ->
+                (* idx corresponds positionally to the original spatial
+                   iterators of the einsum. *)
+                let vals = List.combine e.spatial idx in
+                let vals = List.map (fun (v, x) -> (v, x)) vals in
+                let outer_idx = List.map (fun v -> List.assoc v vals) outer_group in
+                Te.get c_t (outer_idx @ [ fuse_of m_group vals; fuse_of n_group vals ]))
+          in
+          (* Reuse the original output buffer for the write-back so the
+             function signature is unchanged. *)
+          let args_stages =
+            List.map
+              (fun (s : Te.t) -> if s == workload.out then writeback else s)
+              workload.args
+          in
+          let func =
+            Te.lower ~name:(workload.name ^ "_" ^ intrin.TI.name) ~args:args_stages
+              [ writeback ]
+          in
+          let pre_blocks =
+            List.filter_map
+              (fun (br : Stmt.block_realize) ->
+                let n = br.block.Stmt.name in
+                if
+                  List.mem n
+                    [
+                      (Te.buffer a_t).Buffer.name;
+                      (Te.buffer b_t).Buffer.name;
+                      "C_t";
+                      (Te.buffer writeback).Buffer.name;
+                    ]
+                then None
+                else Some n)
+              (Primfunc.blocks func)
+          in
+          Some
+            {
+              workload;
+              intrin;
+              func;
+              compute_block = "C_t";
+              copy_in_blocks =
+                [ (Te.buffer a_t).Buffer.name; (Te.buffer b_t).Buffer.name ];
+              writeback_block = (Te.buffer writeback).Buffer.name;
+              pre_blocks;
+              outer_dims = n_outer;
+              fm;
+              fn;
+              fk;
+              real_m;
+              real_n;
+              real_k;
+            })
+
+(** All candidates for a workload against a set of intrinsics. *)
+let candidates workload intrins = List.filter_map (generate workload) intrins

@@ -1,0 +1,34 @@
+(** Tensorization candidate generation (paper §4.2, Figure 9).
+
+    Matches a workload's einsum against a matrix-multiply intrinsic by
+    characteristic vectors, fuses the iterator classes (M, N, K, outer),
+    pads to intrinsic multiples, and rewrites the program through
+    ReIndex/layout stages into a canonical form whose compute block's
+    trailing iterators are exactly (fm, fn, fk). Workloads with an empty
+    class (e.g. depthwise convolution) yield no candidate. *)
+
+open Tir_ir
+module TI = Tir_intrin.Tensor_intrin
+
+type t = {
+  workload : Tir_workloads.Workloads.t;
+  intrin : TI.t;
+  func : Primfunc.t;  (** transformed canonical program *)
+  compute_block : string;
+  copy_in_blocks : string list;  (** the A_t and B_t layout/ReIndex stages *)
+  writeback_block : string;  (** recovers the original output layout *)
+  pre_blocks : string list;  (** original upstream stages (padding etc.) *)
+  outer_dims : int;  (** leading outer-only iterators (batch-like) *)
+  fm : int;
+  fn : int;
+  fk : int;  (** padded fused extents *)
+  real_m : int;
+  real_n : int;
+  real_k : int;  (** pre-padding fused extents *)
+}
+
+(** The canonical program for one workload/intrinsic pair, or [None] when
+    the characteristic-vector classes cannot be matched. *)
+val generate : Tir_workloads.Workloads.t -> TI.t -> t option
+
+val candidates : Tir_workloads.Workloads.t -> TI.t list -> t list

@@ -1,0 +1,41 @@
+(** Learned cost model wrapper (paper §4.4).
+
+    Maintains the measurement dataset for one tuning task and retrains the
+    boosted-tree ensemble after every measurement round. Scores are
+    normalized throughput ([best_latency / latency], higher is better) so
+    the model ranks candidates rather than regressing absolute time. *)
+
+type sample = { features : float array; latency_us : float }
+
+type t = {
+  target : Tir_sim.Target.t;
+  mutable samples : sample list;
+  mutable model : Gbdt.t option;
+}
+
+let create target = { target; samples = []; model = None }
+
+let n_samples t = List.length t.samples
+
+let best_latency t =
+  List.fold_left (fun acc s -> Float.min acc s.latency_us) Float.infinity t.samples
+
+let add t ~features ~latency_us =
+  t.samples <- { features; latency_us } :: t.samples
+
+let retrain t =
+  match t.samples with
+  | [] -> ()
+  | samples ->
+      let best = best_latency t in
+      let xs = Array.of_list (List.map (fun s -> s.features) samples) in
+      let ys = Array.of_list (List.map (fun s -> best /. s.latency_us) samples) in
+      t.model <- Some (Gbdt.fit xs ys)
+
+(** Predicted score (higher = faster). Before any training data exists,
+    falls back to a crude analytic prior: prefer tensorized, high-occupancy
+    programs. *)
+let score t (features : float array) =
+  match t.model with
+  | Some m -> Gbdt.predict m features
+  | None -> (0.5 *. features.(11)) +. (0.2 *. features.(17)) -. (0.05 *. features.(4))

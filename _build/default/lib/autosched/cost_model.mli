@@ -1,0 +1,22 @@
+(** Learned cost model (paper §4.4): per-task measurement dataset plus a
+    boosted-tree ensemble retrained after each measurement round. Scores
+    are normalized throughput (higher = faster), so the model ranks
+    candidates. *)
+
+type sample = { features : float array; latency_us : float }
+
+type t = {
+  target : Tir_sim.Target.t;
+  mutable samples : sample list;
+  mutable model : Gbdt.t option;
+}
+
+val create : Tir_sim.Target.t -> t
+val n_samples : t -> int
+val best_latency : t -> float
+val add : t -> features:float array -> latency_us:float -> unit
+val retrain : t -> unit
+
+(** Predicted score; before any data, a crude analytic prior (prefer
+    tensorized, high-occupancy programs). *)
+val score : t -> float array -> float

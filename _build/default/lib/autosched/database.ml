@@ -1,0 +1,134 @@
+(** Tuning-record database (paper §5.2).
+
+    "TensorIR can eliminate search time further by caching historical cost
+    models and search records. So no search is needed to build a model for
+    an operator already tuned." Records map (target, workload) to the best
+    sketch name and decision vector found; [Tune]-level lookups replay the
+    decisions on a fresh sketch instead of searching.
+
+    The on-disk format is line-oriented ("target|workload|sketch|decisions|
+    latency_us"), append-friendly and human-inspectable. *)
+
+type record = {
+  target_name : string;
+  workload_name : string;
+  sketch_name : string;
+  decisions : Space.decisions;
+  latency_us : float;
+}
+
+type t = { mutable records : record list }
+
+let create () = { records = [] }
+
+let key target_name workload_name = target_name ^ "|" ^ workload_name
+
+let find t ~target_name ~workload_name =
+  let k = key target_name workload_name in
+  List.fold_left
+    (fun best r ->
+      if String.equal (key r.target_name r.workload_name) k then
+        match best with
+        | Some b when b.latency_us <= r.latency_us -> best
+        | _ -> Some r
+      else best)
+    None t.records
+
+let add t r = t.records <- r :: t.records
+
+let size t = List.length t.records
+
+(* --- serialization --- *)
+
+let decisions_to_string (d : Space.decisions) =
+  String.concat ","
+    (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (List.sort compare d))
+
+let decisions_of_string s =
+  if String.equal s "" then []
+  else
+    List.map
+      (fun kv ->
+        match String.index_opt kv '=' with
+        | Some i ->
+            ( String.sub kv 0 i,
+              int_of_string (String.sub kv (i + 1) (String.length kv - i - 1)) )
+        | None -> failwith ("bad decision entry " ^ kv))
+      (String.split_on_char ',' s)
+
+let record_to_line r =
+  Printf.sprintf "%s|%s|%s|%s|%.6f" r.target_name r.workload_name r.sketch_name
+    (decisions_to_string r.decisions)
+    r.latency_us
+
+let record_of_line line =
+  match String.split_on_char '|' line with
+  | [ target_name; workload_name; sketch_name; decisions; latency ] ->
+      {
+        target_name;
+        workload_name;
+        sketch_name;
+        decisions = decisions_of_string decisions;
+        latency_us = float_of_string latency;
+      }
+  | _ -> failwith ("bad database line: " ^ line)
+
+let save t path =
+  let oc = open_out path in
+  List.iter (fun r -> output_string oc (record_to_line r ^ "\n")) (List.rev t.records);
+  close_out oc
+
+let load path =
+  if not (Sys.file_exists path) then create ()
+  else begin
+    let ic = open_in path in
+    let records = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then records := record_of_line line :: !records
+       done
+     with End_of_file -> ());
+    close_in ic;
+    { records = !records }
+  end
+
+(** Record the best result of a tuning run. *)
+let commit t (target : Tir_sim.Target.t) (w : Tir_workloads.Workloads.t)
+    (best : Evolutionary.measured) =
+  add t
+    {
+      target_name = target.Tir_sim.Target.name;
+      workload_name = w.Tir_workloads.Workloads.name;
+      sketch_name = best.Evolutionary.sketch_name;
+      decisions = best.Evolutionary.decisions;
+      latency_us = best.Evolutionary.latency_us;
+    }
+
+(** Replay a stored record against freshly generated sketches: applies the
+    recorded decisions to the matching sketch — no search, no measurement
+    beyond one. Returns [None] if the record no longer applies (e.g. the
+    sketch space changed). *)
+let replay (target : Tir_sim.Target.t) (sketches : Sketch.t list) (r : record) :
+    Evolutionary.measured option =
+  match
+    List.find_opt (fun s -> String.equal s.Sketch.name r.sketch_name) sketches
+  with
+  | None -> None
+  | Some sk -> (
+      match sk.Sketch.apply r.decisions with
+      | exception Tir_sched.State.Schedule_error _ -> None
+      | f -> (
+          match Tir_sched.Validate.check_func f with
+          | _ :: _ -> None
+          | [] -> (
+              match Tir_sim.Machine.measure_us target f with
+              | exception Tir_sim.Machine.Unsupported _ -> None
+              | latency_us ->
+                  Some
+                    {
+                      Evolutionary.sketch_name = r.sketch_name;
+                      decisions = r.decisions;
+                      func = f;
+                      latency_us;
+                    })))

@@ -1,0 +1,35 @@
+(** Tuning-record database (paper §5.2): caching search records so "no
+    search is needed to build a model for an operator already tuned".
+    Line-oriented on-disk format, append-friendly and human-inspectable. *)
+
+type record = {
+  target_name : string;
+  workload_name : string;
+  sketch_name : string;
+  decisions : Space.decisions;
+  latency_us : float;
+}
+
+type t
+
+val create : unit -> t
+
+(** Best record for a (target, workload), if any. *)
+val find : t -> target_name:string -> workload_name:string -> record option
+
+val add : t -> record -> unit
+val size : t -> int
+val save : t -> string -> unit
+
+(** Load from disk; a missing file yields an empty database. *)
+val load : string -> t
+
+(** Record the best result of a tuning run. *)
+val commit :
+  t -> Tir_sim.Target.t -> Tir_workloads.Workloads.t -> Evolutionary.measured -> unit
+
+(** Replay a record against freshly generated sketches: apply the stored
+    decisions, validate, and re-measure once. [None] if the record no
+    longer applies. *)
+val replay :
+  Tir_sim.Target.t -> Sketch.t list -> record -> Evolutionary.measured option

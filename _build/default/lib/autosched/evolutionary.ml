@@ -1,0 +1,186 @@
+(** Evolutionary search over tensorized program sketches (paper §4.4).
+
+    Each generation proposes decision vectors by mutating and crossing the
+    current elite set (plus fresh random samples for exploration), filters
+    them by schedule applicability and the §3.3 validator, ranks survivors
+    with the learned cost model, then measures the top batch on the machine
+    model. Measurements feed back into the cost model. *)
+
+open Tir_ir
+
+type measured = {
+  sketch_name : string;
+  decisions : Space.decisions;
+  func : Primfunc.t;
+  latency_us : float;
+}
+
+type stats = {
+  mutable trials : int;  (** programs measured on hardware *)
+  mutable proposed : int;  (** programs proposed by the search *)
+  mutable invalid : int;  (** rejected by the §3.3 validator *)
+  mutable inapplicable : int;  (** decision vectors the sketch rejects *)
+  mutable best_curve : (int * float) list;  (** (trial, best latency) *)
+  mutable profiling_us : float;  (** simulated time spent measuring *)
+}
+
+let new_stats () =
+  {
+    trials = 0;
+    proposed = 0;
+    invalid = 0;
+    inapplicable = 0;
+    best_curve = [];
+    profiling_us = 0.0;
+  }
+
+type result = { best : measured option; stats : stats }
+
+(* Cost charged per hardware measurement: each candidate runs a few times
+   plus compilation/transfer overhead. This drives the Table 1 comparison:
+   searches that propose slower programs pay more profiling time. *)
+let measurement_overhead_us = 60_000.0
+let measurement_runs = 50.0
+
+(* Real tuners cap the per-candidate measurement time (min-repeat logic). *)
+let measurement_cap_us = 150_000.0
+
+let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
+    ?(evolve = true) ~rng ~target ~trials (sketches : Sketch.t list) : result =
+  let stats = new_stats () in
+  let model = Cost_model.create target in
+  let seen = Hashtbl.create 256 in
+  let elites : measured list ref = ref [] in
+  let best = ref None in
+  let consider (m : measured) =
+    (match !best with
+    | Some b when b.latency_us <= m.latency_us -> ()
+    | _ ->
+        best := Some m;
+        stats.best_curve <- (stats.trials, m.latency_us) :: stats.best_curve);
+    elites :=
+      List.filteri
+        (fun i _ -> i < population)
+        (List.sort (fun a b -> Float.compare a.latency_us b.latency_us) (m :: !elites))
+  in
+  (* Propose a candidate program; returns features too. *)
+  let propose (sk : Sketch.t) (d : Space.decisions) =
+    let key = sk.Sketch.name ^ "|" ^ Space.key_of d in
+    if Hashtbl.mem seen key then None
+    else begin
+      Hashtbl.add seen key ();
+      stats.proposed <- stats.proposed + 1;
+      match sk.Sketch.apply d with
+      | exception Tir_sched.State.Schedule_error _ ->
+          stats.inapplicable <- stats.inapplicable + 1;
+          None
+      | f -> (
+          match Tir_sched.Validate.check_func f with
+          | _ :: _ ->
+              stats.invalid <- stats.invalid + 1;
+              None
+          | [] -> (
+              match Features.extract target f with
+              | features -> Some (sk, d, f, features)
+              | exception Tir_sim.Machine.Unsupported _ -> None))
+    end
+  in
+  let measure (sk : Sketch.t) d f =
+    match Tir_sim.Machine.measure_us target f with
+    | exception Tir_sim.Machine.Unsupported _ -> ()
+    | latency_us ->
+        stats.trials <- stats.trials + 1;
+        stats.profiling_us <-
+          stats.profiling_us
+          +. Float.min measurement_cap_us (latency_us *. measurement_runs)
+          +. measurement_overhead_us;
+        Cost_model.add model ~features:(Features.extract target f) ~latency_us;
+        consider { sketch_name = sk.Sketch.name; decisions = d; func = f; latency_us }
+  in
+  let random_proposals n =
+    List.filter_map
+      (fun _ ->
+        let sk = Rng.choose rng sketches in
+        propose sk (Space.random_decisions rng sk.Sketch.knobs))
+      (List.init n (fun i -> i))
+  in
+  (* Heuristic initial samples (Ansor-style): a few structured decision
+     vectors per sketch anchor the first generation so small trial budgets
+     do not depend purely on random luck. *)
+  let seeded_proposals () =
+    List.concat_map
+      (fun (sk : Sketch.t) ->
+        List.filter_map
+          (fun pickf ->
+            propose sk
+              (List.map
+                 (fun (k : Space.knob) -> (k.Space.name, pickf k.Space.count))
+                 sk.Sketch.knobs))
+          [
+            (fun _ -> 0);
+            (fun c -> c / 2);
+            (fun c -> max 0 (c - 1));
+            (fun c -> c / 3);
+            (fun c -> 2 * c / 3);
+          ])
+      sketches
+  in
+  let evolved_proposals n =
+    List.filter_map
+      (fun _ ->
+        match !elites with
+        | [] -> None
+        | es ->
+            let parent = Rng.choose rng es in
+            let sk =
+              List.find
+                (fun s -> String.equal s.Sketch.name parent.sketch_name)
+                sketches
+            in
+            let d =
+              if Rng.bool rng || List.length es < 2 then
+                Space.mutate rng sk.Sketch.knobs parent.decisions
+              else
+                let other = Rng.choose rng es in
+                if String.equal other.sketch_name parent.sketch_name then
+                  Space.crossover rng sk.Sketch.knobs parent.decisions other.decisions
+                else Space.mutate rng sk.Sketch.knobs parent.decisions
+            in
+            propose sk d)
+      (List.init n (fun i -> i))
+  in
+  let rec rounds () =
+    if stats.trials >= trials then ()
+    else begin
+      let fresh = if !elites = [] then population * 4 else population in
+      let seeds = if !elites = [] then seeded_proposals () else [] in
+      let pool =
+        if evolve then seeds @ random_proposals fresh @ evolved_proposals (population * 2)
+        else seeds @ random_proposals (population * 3)
+      in
+      match pool with
+      | [] -> () (* space exhausted *)
+      | _ ->
+          let scored =
+            List.map
+              (fun (sk, d, f, feats) ->
+                let s =
+                  if use_cost_model then Cost_model.score model feats
+                  else Rng.float rng 1.0
+                in
+                (s, sk, d, f))
+              pool
+          in
+          let ranked =
+            List.sort (fun (a, _, _, _) (b, _, _, _) -> Float.compare b a) scored
+          in
+          let batch = min measure_batch (trials - stats.trials) in
+          List.iteri
+            (fun i (_, sk, d, f) -> if i < batch then measure sk d f)
+            ranked;
+          Cost_model.retrain model;
+          rounds ()
+    end
+  in
+  rounds ();
+  { best = !best; stats }

@@ -1,0 +1,47 @@
+(** Evolutionary search over program sketches (paper §4.4): mutate and
+    cross the elite decision vectors, filter by applicability and the §3.3
+    validator, rank with the learned cost model, measure the top batch. *)
+
+open Tir_ir
+
+type measured = {
+  sketch_name : string;
+  decisions : Space.decisions;
+  func : Primfunc.t;
+  latency_us : float;
+}
+
+type stats = {
+  mutable trials : int;  (** programs measured *)
+  mutable proposed : int;  (** programs proposed *)
+  mutable invalid : int;  (** rejected by validation *)
+  mutable inapplicable : int;  (** rejected by the sketch *)
+  mutable best_curve : (int * float) list;  (** (trial, best latency) *)
+  mutable profiling_us : float;  (** simulated measurement time *)
+}
+
+val new_stats : unit -> stats
+
+type result = { best : measured option; stats : stats }
+
+(** Fixed per-measurement overhead (compilation, transfer). *)
+val measurement_overhead_us : float
+
+(** Measurement repeats per candidate, capped at [measurement_cap_us]. *)
+val measurement_runs : float
+
+val measurement_cap_us : float
+
+(** Run the search for [trials] measured candidates.
+    [use_cost_model:false] ranks randomly; [evolve:false] disables
+    mutation/crossover (pure random search) — both are ablations. *)
+val search :
+  ?population:int ->
+  ?measure_batch:int ->
+  ?use_cost_model:bool ->
+  ?evolve:bool ->
+  rng:Rng.t ->
+  target:Tir_sim.Target.t ->
+  trials:int ->
+  Sketch.t list ->
+  result

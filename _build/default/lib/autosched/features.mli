@@ -1,0 +1,10 @@
+(** Program feature extraction for the learned cost model (paper §4.4):
+    machine-tally work/traffic/parallelism plus structural properties
+    (tensorization, vectorization, thread shape), log-scaled. *)
+
+open Tir_ir
+
+(** Feature vector length. *)
+val dim : int
+
+val extract : Tir_sim.Target.t -> Primfunc.t -> float array

@@ -1,0 +1,13 @@
+(** Gradient-boosted regression trees, from scratch: the stand-in for the
+    paper's XGBoost cost model (§4.4). Squared-loss boosting over
+    depth-limited exact-greedy trees. *)
+
+type tree
+
+type t = { trees : tree list; eta : float; base : float }
+
+val predict : t -> float array -> float
+
+(** Fit [rounds] boosting rounds of depth-[depth] trees on (features,
+    target) pairs. *)
+val fit : ?rounds:int -> ?depth:int -> ?eta:float -> float array array -> float array -> t

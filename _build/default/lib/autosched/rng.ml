@@ -1,0 +1,17 @@
+(** Deterministic PRNG for the search: every random decision flows through a
+    seeded state so tuning runs are reproducible bit-for-bit. *)
+
+type t = Random.State.t
+
+let create seed = Random.State.make [| 0x7e50; seed |]
+
+let int = Random.State.int
+let float = Random.State.float
+let bool = Random.State.bool
+
+(** Uniform choice from a non-empty list. *)
+let choose t xs = List.nth xs (int t (List.length xs))
+
+(** Split off an independent stream (for per-task determinism regardless of
+    evaluation order). *)
+let split t = Random.State.make [| int t 0x3fffffff |]

@@ -1,0 +1,15 @@
+(** Deterministic PRNG: every random decision in the search flows through a
+    seeded state, so tuning runs are bit-reproducible. *)
+
+type t = Random.State.t
+
+val create : int -> t
+val int : t -> int -> int
+val float : t -> float -> float
+val bool : t -> bool
+
+(** Uniform choice from a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Split off an independent stream. *)
+val split : t -> t

@@ -1,0 +1,46 @@
+(** Tensorized program sketch generation (paper §4.3, Figure 8): a sketch
+    fixes program structure (tiling scheme, tensorized inner block, AutoCopy
+    data-movement blocks) and exposes knobs for the evolutionary search. *)
+
+open Tir_ir
+module W = Tir_workloads.Workloads
+module TI = Tir_intrin.Tensor_intrin
+
+type t = {
+  name : string;
+  knobs : Space.knob list;
+  apply : Space.decisions -> Primfunc.t;
+      (** raises [Tir_sched.State.Schedule_error] on an inapplicable
+          decision vector; the search counts that as pruned *)
+}
+
+(** Tensor-Core style sketch over a candidate: block/warp tiling, shared
+    staging with cooperative fetch, wmma fragment movement, tensorized
+    compute.
+    - [use_wmma_scopes:false] keeps operands in plain [local] scope (for
+      intrinsics without scope requirements);
+    - [stage_shared:false] skips the shared-memory staging (an ablation);
+    - [pipeline] adds the software-pipelining annotation (vendor kernels);
+    - [simple_copy] disables cooperative-fetch vectorization (AMOS-class
+      fixed data movement). *)
+val tensorized_gpu :
+  ?use_wmma_scopes:bool ->
+  ?stage_shared:bool ->
+  ?pipeline:bool ->
+  ?simple_copy:bool ->
+  Candidate.t ->
+  t
+
+(** Ansor-style multi-level tiling without tensorization (non-tensorizable
+    workloads; the TVM baseline). *)
+val scalar_gpu : ?allow_shared:bool -> W.t -> t
+
+(** ARM micro-kernel sketch: parallel tiling, BLIS-style panel packing into
+    registers, tensorized inner block. *)
+val tensorized_cpu : Candidate.t -> t
+
+(** Multi-level CPU tiling without the tensor intrinsic. *)
+val scalar_cpu : W.t -> t
+
+(** Default sketch set for a workload on a target given its intrinsics. *)
+val generate : Tir_sim.Target.t -> W.t -> TI.t list -> t list

@@ -1,0 +1,70 @@
+(** Search-space plumbing: knobs, decisions and tile-size enumeration.
+
+    A sketch (paper §4.3) fixes the program structure and leaves named
+    knobs; a decision vector assigns each knob one of its choices. The
+    evolutionary search mutates decision vectors. *)
+
+type knob = { name : string; count : int }
+(** [count] alternatives, addressed by index. *)
+
+type decisions = (string * int) list
+
+let decide (d : decisions) name = Option.value ~default:0 (List.assoc_opt name d)
+
+(** All ordered factorizations of [extent] into [parts] factors (product
+    exactly [extent]). Factors beyond [max_factor] are only allowed in the
+    first (outermost) position. *)
+let factor_splits ?(max_factor = 64) extent parts =
+  let divisors n = List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1)) in
+  (* Choose the inner [parts-1] factors (each capped); the outermost factor
+     absorbs the rest and may exceed the cap. *)
+  let rec inner extent parts =
+    if parts = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun d -> List.map (fun rest -> d :: rest) (inner (extent / d) (parts - 1)))
+        (List.filter (fun d -> d <= max_factor) (divisors extent))
+  in
+  let all =
+    List.map
+      (fun rest ->
+        let p = List.fold_left ( * ) 1 rest in
+        (extent / p) :: rest)
+      (inner extent (parts - 1))
+  in
+  match all with
+  | [] -> [ List.init parts (fun i -> if i = 0 then extent else 1) ]
+  | xs -> xs
+
+(** Random decision vector for a knob list. *)
+let random_decisions rng knobs =
+  List.map (fun k -> (k.name, if k.count = 0 then 0 else Rng.int rng k.count)) knobs
+
+(** Mutate one knob of [d] at random: half the time a uniform resample,
+    half the time a step to a neighbouring choice (the factorization
+    enumeration orders related tilings adjacently). *)
+let mutate rng knobs (d : decisions) =
+  match List.filter (fun k -> k.count > 1) knobs with
+  | [] -> d
+  | mutable_knobs ->
+      let k = Rng.choose rng mutable_knobs in
+      let nv =
+        if Rng.bool rng then Rng.int rng k.count
+        else
+          let cur = decide d k.name in
+          let step = if Rng.bool rng then 1 else -1 in
+          max 0 (min (k.count - 1) (cur + step))
+      in
+      (k.name, nv) :: List.remove_assoc k.name d
+
+(** One-point crossover: take each knob from either parent. *)
+let crossover rng knobs (a : decisions) (b : decisions) =
+  List.map
+    (fun k ->
+      let src = if Rng.bool rng then a else b in
+      (k.name, decide src k.name))
+    knobs
+
+let key_of (d : decisions) =
+  String.concat ";"
+    (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (List.sort compare d))

@@ -1,0 +1,27 @@
+(** Search-space plumbing: knobs, decision vectors, and tile-size
+    enumeration (paper §4.3: sketches fix structure, decisions fill the
+    remaining choices). *)
+
+type knob = { name : string; count : int }
+(** A named choice among [count] alternatives, addressed by index. *)
+
+type decisions = (string * int) list
+
+(** The chosen index for a knob (0 when absent). *)
+val decide : decisions -> string -> int
+
+(** All ordered factorizations of [extent] into [parts] factors whose
+    product is exactly [extent]; factors beyond [max_factor] only in the
+    outermost position. Never empty. *)
+val factor_splits : ?max_factor:int -> int -> int -> int list list
+
+val random_decisions : Rng.t -> knob list -> decisions
+
+(** Re-sample one knob at random (evolutionary mutation). *)
+val mutate : Rng.t -> knob list -> decisions -> decisions
+
+(** Uniform per-knob crossover of two parents. *)
+val crossover : Rng.t -> knob list -> decisions -> decisions -> decisions
+
+(** Canonical (order-insensitive) key for deduplication. *)
+val key_of : decisions -> string

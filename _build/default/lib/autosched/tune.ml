@@ -1,0 +1,85 @@
+(** Tuning driver: the end-to-end auto-scheduler of section 4.
+
+    [tune] takes a workload and a target, generates tensorization
+    candidates against the target's intrinsics (§4.2), builds program
+    sketches (§4.3), and runs the evolutionary search (§4.4). The result
+    carries the best program, its simulated latency, and search statistics
+    (used by the Table 1 tuning-time comparison). *)
+
+module W = Tir_workloads.Workloads
+module TI = Tir_intrin.Tensor_intrin
+
+type result = {
+  workload : W.t;
+  target : Tir_sim.Target.t;
+  best : Evolutionary.measured option;
+  stats : Evolutionary.stats;
+}
+
+let latency_us r =
+  match r.best with Some b -> b.Evolutionary.latency_us | None -> Float.infinity
+
+let gflops r =
+  match r.best with
+  | Some b -> r.workload.W.flops /. b.Evolutionary.latency_us /. 1000.0
+  | None -> 0.0
+
+(** Intrinsics available on a target (compute MMAs only; data movement
+    intrinsics are applied by the sketches directly). *)
+let target_intrinsics (target : Tir_sim.Target.t) =
+  List.filter_map
+    (fun name ->
+      match TI.lookup name with
+      | intrin when not intrin.TI.is_copy -> Some intrin
+      | _ -> None
+      | exception TI.Not_registered _ -> None)
+    target.Tir_sim.Target.supported_intrinsics
+
+(** Tune a workload. [sketches] overrides the default sketch generation
+    (used by the baseline schedulers). When [database] holds a record for
+    this (target, workload), the stored schedule is replayed instead of
+    searching — the paper's §5.2 "no search is needed for an operator
+    already tuned"; fresh results are committed back. *)
+let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
+    (target : Tir_sim.Target.t) (w : W.t) : result =
+  let rng = Rng.create seed in
+  let sketches =
+    match sketches with
+    | Some s -> s
+    | None -> Sketch.generate target w (target_intrinsics target)
+  in
+  let cached =
+    match database with
+    | None -> None
+    | Some db -> (
+        match
+          Database.find db ~target_name:target.Tir_sim.Target.name
+            ~workload_name:w.W.name
+        with
+        | None -> None
+        | Some r -> Database.replay target sketches r)
+  in
+  match cached with
+  | Some best ->
+      (* One verification measurement, no search. *)
+      let stats = Evolutionary.new_stats () in
+      stats.Evolutionary.trials <- 1;
+      stats.Evolutionary.profiling_us <-
+        best.Evolutionary.latency_us +. Evolutionary.measurement_overhead_us;
+      { workload = w; target; best = Some best; stats }
+  | None ->
+      let { Evolutionary.best; stats } =
+        Evolutionary.search ?use_cost_model ?evolve ~rng ~target ~trials sketches
+      in
+      (match (database, best) with
+      | Some db, Some b -> Database.commit db target w b
+      | _ -> ());
+      { workload = w; target; best; stats }
+
+(** Simulated end-to-end tuning time in minutes: profiling cost plus a
+    fixed per-proposal search overhead (candidate generation, cost-model
+    queries). Mirrors the paper's observation that most tuning time is
+    hardware profiling. *)
+let tuning_minutes r =
+  let search_overhead_us = 2_000.0 *. float_of_int r.stats.Evolutionary.proposed in
+  (r.stats.Evolutionary.profiling_us +. search_overhead_us) /. 60.0e6

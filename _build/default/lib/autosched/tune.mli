@@ -1,0 +1,37 @@
+(** Tuning driver: the end-to-end auto-scheduler of section 4 — candidate
+    generation, sketch generation, evolutionary search, plus the §5.2
+    tuning-record database integration. *)
+
+module W = Tir_workloads.Workloads
+module TI = Tir_intrin.Tensor_intrin
+
+type result = {
+  workload : W.t;
+  target : Tir_sim.Target.t;
+  best : Evolutionary.measured option;
+  stats : Evolutionary.stats;
+}
+
+val latency_us : result -> float
+val gflops : result -> float
+
+(** Compute intrinsics available on a target. *)
+val target_intrinsics : Tir_sim.Target.t -> TI.t list
+
+(** Tune a workload. [sketches] overrides sketch generation (baselines);
+    [database] replays a stored schedule when available and commits fresh
+    results. *)
+val tune :
+  ?seed:int ->
+  ?trials:int ->
+  ?use_cost_model:bool ->
+  ?evolve:bool ->
+  ?sketches:Sketch.t list ->
+  ?database:Database.t ->
+  Tir_sim.Target.t ->
+  W.t ->
+  result
+
+(** Simulated end-to-end tuning time in minutes (profiling plus search
+    overhead) — the Table 1 quantity. *)
+val tuning_minutes : result -> float

@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: List Tir_autosched Tir_sim Tir_workloads

@@ -1,0 +1,114 @@
+(** Comparison systems for the paper's evaluation (§5).
+
+    Each baseline reuses the same IR, validator and machine model — only the
+    *capability envelope* differs, reproducing why the paper's comparisons
+    come out the way they do:
+
+    - {b TVM (Ansor)}: loop-nest search without tensorization — full
+      multi-level tiling, shared staging, but the scalar/SIMT pipes only.
+    - {b AMOS}: automatic intrinsic mapping, but data movement is not a
+      search dimension: fragments are filled straight from global memory
+      (no cooperative shared staging), and fewer schedule knobs.
+    - {b Framework (PyTorch-class)}: fixed pre-compiled kernels — one
+      reasonable untuned configuration per operator, no search, no fusion.
+    - {b Vendor (CUTLASS / TensorRT / ArmComputeLib-class)}: a catalogue of
+      hand-written tensorized kernels with software pipelining (which our
+      auto-scheduler does not emit) — expert quality, but only a fixed set
+      of tile configurations and a fixed op-coverage list. *)
+
+module W = Tir_workloads.Workloads
+module Tune = Tir_autosched.Tune
+module Sketch = Tir_autosched.Sketch
+module Candidate = Tir_autosched.Candidate
+module Target = Tir_sim.Target
+
+(* ---------------- TVM / Ansor-class ---------------- *)
+
+let tvm ?(trials = 64) (target : Target.t) (w : W.t) : Tune.result =
+  let sketches =
+    match target.Target.kind with
+    | Target.Gpu -> [ Sketch.scalar_gpu w ]
+    | Target.Cpu -> [ Sketch.scalar_cpu w ]
+  in
+  Tune.tune ~trials ~sketches target w
+
+(* ---------------- AMOS-class ---------------- *)
+
+let amos ?(trials = 64) (target : Target.t) (w : W.t) : Tune.result =
+  let intrins = Tune.target_intrinsics target in
+  let cands = Candidate.candidates w intrins in
+  let sketches =
+    match target.Target.kind with
+    | Target.Gpu ->
+        (* AMOS maps the intrinsic (including the wmma data paths) but data
+           movement is not a search dimension: fixed, unvectorized
+           cooperative fetch. *)
+        List.map (fun c -> Sketch.tensorized_gpu ~simple_copy:true c) cands
+        @ [ Sketch.scalar_gpu ~allow_shared:false w ]
+    | Target.Cpu -> List.map Sketch.tensorized_cpu cands @ [ Sketch.scalar_cpu w ]
+  in
+  Tune.tune ~trials ~sketches target w
+
+(* ---------------- Framework (PyTorch-class) ---------------- *)
+
+(* One fixed, sensible configuration — the "precompiled kernel" a framework
+   dispatches to. We take the first few canonical decision vectors and keep
+   the first that applies and validates; no performance search. *)
+let framework (target : Target.t) (w : W.t) : Tune.result =
+  let sketches =
+    match target.Target.kind with
+    | Target.Gpu -> [ Sketch.scalar_gpu w ]
+    | Target.Cpu -> [ Sketch.scalar_cpu w ]
+  in
+  Tune.tune ~trials:24 ~seed:7 ~sketches target w
+
+(* ---------------- Vendor libraries ---------------- *)
+
+
+(* CUTLASS covers the dense conv/GEMM family but (per the paper's Figure 11
+   note) not depthwise, grouped or transposed convolution. *)
+let cutlass_supports (w : W.t) =
+  match w.W.tag with
+  | "DEP" | "GRP" | "T2D" -> false
+  | _ -> true
+
+let tensorrt_supports (_ : W.t) = true
+let acl_supports (w : W.t) = match w.W.tag with "C2D" | "GMM" -> true | _ -> false
+
+(* Vendor libraries ship two kinds of kernels: heavily pipelined,
+   hand-scheduled implementations of the core dense operators (GEMM and the
+   standard convolutions), and *generic* fallback kernels for everything
+   else (dilated, transposed, 1-D, depthwise) that run the same intrinsic
+   but without the hand-crafted staging. This is why the paper's Figure 11
+   shows TensorIR beating the libraries on exactly those workloads. *)
+let core_op (w : W.t) = match w.W.tag with "GMM" | "C2D" | "C3D" | "GRP" -> true | _ -> false
+
+let vendor ?(trials = 48) (target : Target.t) (w : W.t) : Tune.result =
+  let intrins = Tune.target_intrinsics target in
+  let cands = Candidate.candidates w intrins in
+  let sketches =
+    match target.Target.kind with
+    | Target.Gpu ->
+        if core_op w then
+          List.map (fun c -> Sketch.tensorized_gpu ~pipeline:true c) cands
+          @ [ Sketch.scalar_gpu w ]
+        else
+          (* generic fallback kernel: tensorized, but with the generic
+             (unpipelined, unvectorized) data movement of a one-size-fits-all
+             library kernel *)
+          List.map (fun c -> Sketch.tensorized_gpu ~simple_copy:true c) cands
+          @ [ Sketch.scalar_gpu w ]
+    | Target.Cpu -> List.map Sketch.tensorized_cpu cands @ [ Sketch.scalar_cpu w ]
+  in
+  Tune.tune ~trials ~seed:1234 ~sketches target w
+
+type vendor_result = Supported of Tune.result | Not_supported
+
+let cutlass ?trials target (w : W.t) =
+  if cutlass_supports w then Supported (vendor ?trials target w) else Not_supported
+
+let tensorrt ?trials target (w : W.t) =
+  if tensorrt_supports w then Supported (vendor ?trials target w) else Not_supported
+
+let arm_compute_lib ?trials target (w : W.t) =
+  if acl_supports w then Supported (vendor ?trials target w) else Not_supported

@@ -1,0 +1,38 @@
+(** Comparison systems for the evaluation (§5): same IR, validator and
+    machine model as TensorIR — only the capability envelope differs. *)
+
+module W = Tir_workloads.Workloads
+module Tune = Tir_autosched.Tune
+module Target = Tir_sim.Target
+
+(** TVM/Ansor-class: loop-nest search without tensorization. *)
+val tvm : ?trials:int -> Target.t -> W.t -> Tune.result
+
+(** AMOS-class: automatic intrinsic mapping, but data movement is not a
+    search dimension. *)
+val amos : ?trials:int -> Target.t -> W.t -> Tune.result
+
+(** PyTorch-class: fixed precompiled kernels (short offline-style search,
+    fixed seed), no fusion. *)
+val framework : Target.t -> W.t -> Tune.result
+
+(** Workload coverage of each library (Fig. 11's n/a entries). *)
+val cutlass_supports : W.t -> bool
+
+val tensorrt_supports : W.t -> bool
+val acl_supports : W.t -> bool
+
+(** Whether a vendor library ships a hand-pipelined kernel for this
+    operator (GEMM and standard convolutions) as opposed to a generic
+    fallback. *)
+val core_op : W.t -> bool
+
+(** Vendor-library stand-in: pipelined hand-class kernels on core ops,
+    generic (unvectorized-copy) kernels elsewhere. *)
+val vendor : ?trials:int -> Target.t -> W.t -> Tune.result
+
+type vendor_result = Supported of Tune.result | Not_supported
+
+val cutlass : ?trials:int -> Target.t -> W.t -> vendor_result
+val tensorrt : ?trials:int -> Target.t -> W.t -> vendor_result
+val arm_compute_lib : ?trials:int -> Target.t -> W.t -> vendor_result

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Buffer Dtype Expr Fmt List Primfunc Printer Printf Stdlib Stmt String Tir_ir Tir_sim Var

@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Dtype Expr Primfunc Tir_ir Tir_sim

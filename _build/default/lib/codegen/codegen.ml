@@ -1,0 +1,302 @@
+(** Backend code emission: render a scheduled PrimFunc as CUDA-like (GPU
+    targets) or C-like (CPU targets) kernel source.
+
+    This is the paper's "build" step in presentation form: the simulator is
+    the performance oracle and the interpreter the correctness oracle, so
+    the emitted source is not compiled here — it shows, reviewably, exactly
+    what a lowered kernel looks like: grid/block launch shape, shared-memory
+    allocations, thread-index substitution for bound loops, wmma fragment
+    calls, realize predicates as guards, and init statements as
+    first-iteration conditionals. Emission rejects programs that would not
+    lower (e.g. thread bindings with inconsistent extents), making it a
+    last-line structural check after validation.
+
+    Buffers keep their logical footprint: the storage-compaction pass that
+    shrinks a shared/fragment allocation to the per-block tile actually
+    touched is deliberately out of scope (it changes no scheduling
+    decision), so shared declarations show logical, not physical, sizes. *)
+
+open Tir_ir
+
+exception Codegen_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Codegen_error s)) fmt
+
+let dtype_c = function
+  | Dtype.F16 -> "half"
+  | Dtype.F32 -> "float"
+  | Dtype.I8 -> "int8_t"
+  | Dtype.I32 -> "int32_t"
+  | Dtype.Bool -> "bool"
+  | Dtype.Int -> "int"
+
+(* Flatten an index list against a buffer's static strides. *)
+let flat_index (b : Buffer.t) idx =
+  let strides =
+    let rec go = function
+      | [] -> []
+      | [ _ ] -> [ 1 ]
+      | _ :: rest ->
+          let tail = go rest in
+          (List.hd tail * List.hd rest) :: tail
+    in
+    go b.shape
+  in
+  List.fold_left2
+    (fun acc i s -> Expr.add acc (Expr.mul i (Expr.Int s)))
+    (Expr.Int 0) idx strides
+
+let rec expr_c buf (e : Expr.t) =
+  let p fmt = Printf.ksprintf (fun s -> Stdlib.Buffer.add_string buf s) fmt in
+  let sub e = expr_c buf e in
+  match e with
+  | Expr.Int i -> p "%d" i
+  | Expr.Float (f, Dtype.F16) -> p "__float2half(%gf)" f
+  | Expr.Float (f, _) -> p "%gf" f
+  | Expr.Bool b -> p "%b" b
+  | Expr.Var v -> p "%s" v.Var.name
+  | Expr.Bin (op, a, b') -> (
+      match op with
+      | Expr.Min | Expr.Max ->
+          p "%s(" (if op = Expr.Min then "min" else "max");
+          sub a;
+          p ", ";
+          sub b';
+          p ")"
+      | _ ->
+          let sym =
+            match op with
+            | Expr.Add -> "+"
+            | Expr.Sub -> "-"
+            | Expr.Mul -> "*"
+            | Expr.Div -> "/"
+            | Expr.Mod -> "%"
+            | Expr.Min | Expr.Max -> assert false
+          in
+          p "(";
+          sub a;
+          p " %s " sym;
+          sub b';
+          p ")")
+  | Expr.Cmp (op, a, b') ->
+      p "(";
+      sub a;
+      p " %s " (Expr.cmpop_symbol op);
+      sub b';
+      p ")"
+  | Expr.And (a, b') ->
+      p "(";
+      sub a;
+      p " && ";
+      sub b';
+      p ")"
+  | Expr.Or (a, b') ->
+      p "(";
+      sub a;
+      p " || ";
+      sub b';
+      p ")"
+  | Expr.Not a ->
+      p "!(";
+      sub a;
+      p ")"
+  | Expr.Select (c, a, b') ->
+      p "(";
+      sub c;
+      p " ? ";
+      sub a;
+      p " : ";
+      sub b';
+      p ")"
+  | Expr.Cast (dt, a) ->
+      p "(%s)(" (dtype_c dt);
+      sub a;
+      p ")"
+  | Expr.Load (b', idx) ->
+      p "%s[" b'.Buffer.name;
+      sub (flat_index b' idx);
+      p "]"
+  | Expr.Call (name, _, args) ->
+      let cname =
+        match name with
+        | "exp" -> "expf"
+        | "sqrt" -> "sqrtf"
+        | "log" -> "logf"
+        | "tanh" -> "tanhf"
+        | "erf" -> "erff"
+        | n -> String.map (function '.' -> '_' | c -> c) n
+      in
+      p "%s(" cname;
+      List.iteri
+        (fun i a ->
+          if i > 0 then p ", ";
+          sub a)
+        args;
+      p ")"
+  | Expr.Ptr (b', idx) ->
+      p "&%s[" b'.Buffer.name;
+      sub (flat_index b' idx);
+      p "]"
+
+let expr_to_c e =
+  let buf = Stdlib.Buffer.create 64 in
+  expr_c buf e;
+  Stdlib.Buffer.contents buf
+
+type launch = { mutable grid : (string * int) list; mutable block : (string * int) list }
+
+(* Emit one nest as a kernel body. Thread-bound loops vanish into
+   blockIdx/threadIdx index definitions; their extents populate the launch
+   configuration. *)
+let emit_nest ~target buf launch (nest : Stmt.t) =
+  let p ind fmt =
+    Printf.ksprintf
+      (fun s -> Stdlib.Buffer.add_string buf (String.make (2 * ind) ' ' ^ s ^ "\n"))
+      fmt
+  in
+  let note_axis kind axis extent =
+    let table = match kind with `Grid -> launch.grid | `Block -> launch.block in
+    (match List.assoc_opt axis table with
+    | Some e when e <> extent ->
+        err "thread axis %s bound with extents %d and %d" axis e extent
+    | _ -> ());
+    match kind with
+    | `Grid -> launch.grid <- (axis, extent) :: List.remove_assoc axis launch.grid
+    | `Block -> launch.block <- (axis, extent) :: List.remove_assoc axis launch.block
+  in
+  let rec go ind (s : Stmt.t) =
+    match s with
+    | Stmt.For r -> (
+        match r.kind with
+        | Stmt.Thread_binding axis ->
+            let kind =
+              if String.length axis >= 8 && String.sub axis 0 8 = "blockIdx" then `Grid
+              else `Block
+            in
+            note_axis kind axis r.extent;
+            p ind "int %s = %s;  // bound" r.loop_var.Var.name axis;
+            go ind r.body
+        | _ ->
+            let pragma =
+              match r.kind with
+              | Stmt.Vectorized -> "#pragma vectorize\n" ^ String.make (2 * ind) ' '
+              | Stmt.Unrolled -> "#pragma unroll\n" ^ String.make (2 * ind) ' '
+              | Stmt.Parallel -> "#pragma omp parallel for\n" ^ String.make (2 * ind) ' '
+              | _ -> ""
+            in
+            p ind "%sfor (int %s = 0; %s < %d; ++%s) {" pragma r.loop_var.Var.name
+              r.loop_var.Var.name r.extent r.loop_var.Var.name;
+            List.iter (fun (k, v) -> p (ind + 1) "// annotate %s = %s" k v) r.annotations;
+            go (ind + 1) r.body;
+            p ind "}")
+    | Stmt.Seq ss -> List.iter (go ind) ss
+    | Stmt.If (c, th, el) ->
+        p ind "if (%s) {" (expr_to_c c);
+        go (ind + 1) th;
+        (match el with
+        | Some e ->
+            p ind "} else {";
+            go (ind + 1) e
+        | None -> ());
+        p ind "}"
+    | Stmt.Store (b, idx, v) ->
+        p ind "%s[%s] = %s;" b.Buffer.name (expr_to_c (flat_index b idx)) (expr_to_c v)
+    | Stmt.Eval e -> p ind "%s;" (expr_to_c e)
+    | Stmt.Block br ->
+        let b = br.Stmt.block in
+        p ind "// block %S%s" b.Stmt.name
+          (match List.assoc_opt "tensorized" b.Stmt.annotations with
+          | Some i -> Printf.sprintf " (tensorized: %s)" i
+          | None -> "");
+        (* Iterator bindings become local definitions. *)
+        List.iter2
+          (fun (iv : Stmt.iter_var) value ->
+            p ind "int %s = %s;" iv.var.Var.name (expr_to_c value))
+          b.Stmt.iter_vars br.Stmt.iter_values;
+        let emit_body ind =
+          (match b.Stmt.init with
+          | Some init ->
+              let first =
+                List.filter_map
+                  (fun (iv : Stmt.iter_var) ->
+                    if iv.itype = Stmt.Reduce then
+                      Some (Printf.sprintf "%s == 0" iv.var.Var.name)
+                    else None)
+                  b.Stmt.iter_vars
+              in
+              let cond = if first = [] then "true" else String.concat " && " first in
+              p ind "if (%s) {  // reduction init" cond;
+              go (ind + 1) init;
+              p ind "}"
+          | None -> ());
+          go ind b.Stmt.body
+        in
+        (match br.Stmt.predicate with
+        | Expr.Bool true -> emit_body ind
+        | pred ->
+            p ind "if (%s) {" (expr_to_c pred);
+            emit_body (ind + 1);
+            p ind "}");
+        ignore target
+  in
+  go 1 nest
+
+let scope_decl (b : Buffer.t) =
+  match b.Buffer.scope with
+  | "shared" -> Printf.sprintf "__shared__ %s %s[%d];" (dtype_c b.dtype) b.name (Buffer.numel b)
+  | "local" -> Printf.sprintf "%s %s[%d];  // registers" (dtype_c b.dtype) b.name (Buffer.numel b)
+  | s when String.length s >= 4 && String.sub s 0 4 = "wmma" ->
+      Printf.sprintf "wmma_fragment<%s> %s;  // %s" (dtype_c b.dtype) b.name s
+  | _ -> Printf.sprintf "%s* %s = workspace_%s;  // global scratch" (dtype_c b.dtype) b.name b.name
+
+(** Emit the whole function. GPU targets produce one [__global__] kernel per
+    root-level nest with its launch configuration; CPU targets produce one
+    C function. *)
+let emit ?(target = Tir_sim.Target.gpu_tensorcore) (f : Primfunc.t) : string =
+  let f = Printer.uniquify f in
+  let out = Stdlib.Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (fun s -> Stdlib.Buffer.add_string out (s ^ "\n")) fmt in
+  let gpu = target.Tir_sim.Target.kind = Tir_sim.Target.Gpu in
+  p "// generated by tensorir (target: %s)" target.Tir_sim.Target.name;
+  let root = Primfunc.root_block f in
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (b : Buffer.t) -> Printf.sprintf "%s* %s" (dtype_c b.dtype) b.name)
+         f.Primfunc.params)
+  in
+  let nests = match root.Stmt.body with Stmt.Seq ss -> ss | s -> [ s ] in
+  (* Global intermediates become workspace parameters. *)
+  let globals, locals =
+    List.partition (fun (b : Buffer.t) -> String.equal b.Buffer.scope "global") root.Stmt.alloc
+  in
+  List.iter
+    (fun (b : Buffer.t) ->
+      p "// workspace: %s %s[%d]" (dtype_c b.dtype) b.name (Buffer.numel b))
+    globals;
+  List.iteri
+    (fun i nest ->
+      let launch = { grid = []; block = [] } in
+      let body = Stdlib.Buffer.create 1024 in
+      (* Emit into a scratch buffer first so the launch shape is known for
+         the kernel signature. *)
+      emit_nest ~target body launch nest;
+      let name = Printf.sprintf "%s_kernel%d" f.Primfunc.name i in
+      let name = String.map (function '.' | '-' -> '_' | c -> c) name in
+      if gpu then begin
+        let dim table =
+          List.fold_left (fun acc (_, e) -> acc * e) 1 table
+        in
+        p "";
+        p "// launch: grid=%d, block=%d" (dim launch.grid) (dim launch.block);
+        p "__global__ void %s(%s) {" name params
+      end
+      else begin
+        p "";
+        p "void %s(%s) {" name params
+      end;
+      List.iter (fun b -> p "  %s" (scope_decl b)) locals;
+      Stdlib.Buffer.add_buffer out body;
+      p "}")
+    nests;
+  Stdlib.Buffer.contents out

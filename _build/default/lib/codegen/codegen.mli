@@ -1,0 +1,20 @@
+(** Backend code emission: render a scheduled PrimFunc as CUDA-like (GPU)
+    or C-like (CPU) kernel source — the presentation form of the "build"
+    step. Rejects programs that would not lower (e.g. inconsistent
+    thread-binding extents). Buffers keep their logical footprint (no
+    storage-compaction pass). *)
+
+open Tir_ir
+
+exception Codegen_error of string
+
+(** C type of a scalar dtype. *)
+val dtype_c : Dtype.t -> string
+
+(** Expression in C syntax with flattened (row-major) buffer indexing. *)
+val expr_to_c : Expr.t -> string
+
+(** Whole-function emission: one [__global__] kernel per root-level nest
+    with its launch configuration on GPU targets, one C function per nest
+    on CPU targets. *)
+val emit : ?target:Tir_sim.Target.t -> Primfunc.t -> string

@@ -1,0 +1,68 @@
+(** TensorIR: automatic tensorized program optimization — the facade.
+
+    One [open Tensorir]-free entry point re-exporting every subsystem under
+    a short alias. The paper's primary contribution is the [Ir] abstraction
+    (blocks as first-class tensorized computations), the [Sched] primitives
+    with [Validate]-checked transformations, and the [Autosched] pipeline;
+    the remaining modules are the substrates the evaluation needs
+    (interpreter, machine model, workloads, models, baselines, codegen).
+
+    {[
+      module S = Tensorir.Schedule
+
+      let w = Tensorir.Workloads.gmm ()
+      let r = Tensorir.Tune.tune ~trials:64 Tensorir.Target.gpu_tensorcore w
+    ]} *)
+
+(* The IR *)
+module Dtype = Tir_ir.Dtype
+module Var = Tir_ir.Var
+module Buffer = Tir_ir.Buffer
+module Expr = Tir_ir.Expr
+module Stmt = Tir_ir.Stmt
+module Primfunc = Tir_ir.Primfunc
+module Te = Tir_ir.Te
+module Printer = Tir_ir.Printer
+module Parser = Tir_ir.Parser
+module Bound = Tir_ir.Bound
+
+(* Arithmetic *)
+module Simplify = Tir_arith.Simplify
+module Iter_map = Tir_arith.Iter_map
+module Region = Tir_arith.Region
+
+(* Scheduling *)
+module Schedule = Tir_sched.Schedule
+module Validate = Tir_sched.Validate
+module Zipper = Tir_sched.Zipper
+
+(* Intrinsics *)
+module Tensor_intrin = Tir_intrin.Tensor_intrin
+module Intrin_library = Tir_intrin.Library
+
+(* Execution and measurement *)
+module Interp = Tir_exec.Interp
+module Target = Tir_sim.Target
+module Machine = Tir_sim.Machine
+
+(* Auto-scheduling *)
+module Candidate = Tir_autosched.Candidate
+module Sketch = Tir_autosched.Sketch
+module Space = Tir_autosched.Space
+module Evolutionary = Tir_autosched.Evolutionary
+module Cost_model = Tir_autosched.Cost_model
+module Gbdt = Tir_autosched.Gbdt
+module Features = Tir_autosched.Features
+module Tune = Tir_autosched.Tune
+module Database = Tir_autosched.Database
+
+(* Evaluation substrates *)
+module Workloads = Tir_workloads.Workloads
+module Op = Tir_graph.Op
+module Models = Tir_graph.Models
+module Compile = Tir_graph.Compile
+module Baselines = Tir_baselines.Baselines
+module Codegen = Tir_codegen.Codegen
+
+(** Register the shipped tensor intrinsics (idempotent). *)
+let init () = Tir_intrin.Library.register_all ()

@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Buffer Dtype Expr Float Fmt Hashtbl List Option Primfunc Random Stmt String Tir_ir Var

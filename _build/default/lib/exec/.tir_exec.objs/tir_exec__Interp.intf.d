@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Buffer Expr Hashtbl Primfunc Stmt Tir_ir

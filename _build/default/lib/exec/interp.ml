@@ -1,0 +1,244 @@
+(** Reference interpreter for TensorIR programs.
+
+    Executes a PrimFunc over dense row-major arrays; the correctness oracle
+    for every schedule primitive ("transformed program computes the same
+    function") and the functional-semantics backstop for tensorized
+    programs, whose low-level intrinsic calls ([tir.mma_sync],
+    [tir.load_matrix_sync], ...) are interpreted natively.
+
+    Thread-bound loops execute sequentially; this preserves semantics for
+    all race-free programs, which is exactly what threading validation
+    enforces. Reduction init statements run on the block instance whose
+    reduction iterators are all zero. *)
+
+open Tir_ir
+
+exception Runtime_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type value = VInt of int | VFloat of float | VPtr of Buffer.t * int
+
+type env = {
+  vars : (int, int) Hashtbl.t;  (** loop/iterator variable values *)
+  bufs : (int, float array) Hashtbl.t;  (** storage, by buffer id *)
+}
+
+let create_env () = { vars = Hashtbl.create 64; bufs = Hashtbl.create 16 }
+
+let strides shape =
+  let n = List.length shape in
+  let arr = Array.of_list shape in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * arr.(i + 1)
+  done;
+  s
+
+let flat_index (b : Buffer.t) idx =
+  let s = strides b.shape in
+  let rec go i acc = function
+    | [] -> acc
+    | x :: rest -> go (i + 1) (acc + (x * s.(i))) rest
+  in
+  let flat = go 0 0 idx in
+  if flat < 0 || flat >= Buffer.numel b then
+    err "index out of bounds on %s: flat %d of %d" b.Buffer.name flat (Buffer.numel b);
+  flat
+
+let storage env (b : Buffer.t) =
+  match Hashtbl.find_opt env.bufs b.Buffer.id with
+  | Some a -> a
+  | None ->
+      let a = Array.make (Buffer.numel b) 0.0 in
+      Hashtbl.add env.bufs b.Buffer.id a;
+      a
+
+let to_float = function
+  | VFloat f -> f
+  | VInt i -> float_of_int i
+  | VPtr _ -> err "pointer used as scalar"
+
+let to_int = function
+  | VInt i -> i
+  | VFloat f -> int_of_float f
+  | VPtr _ -> err "pointer used as integer"
+
+let var_value env v =
+  match Hashtbl.find_opt env.vars v.Var.id with
+  | Some i -> i
+  | None -> err "unbound variable %s" v.Var.name
+
+let apply_binop op a b =
+  match (a, b) with
+  | VInt x, VInt y -> VInt (Expr.eval_int_binop op x y)
+  | _ -> VFloat (Expr.eval_float_binop op (to_float a) (to_float b))
+
+let apply_cmp op a b =
+  match (a, b) with
+  | VInt x, VInt y -> Expr.eval_cmp_int op x y
+  | _ -> (
+      let x = to_float a and y = to_float b in
+      match op with
+      | Expr.Eq -> x = y
+      | Expr.Ne -> x <> y
+      | Expr.Lt -> x < y
+      | Expr.Le -> x <= y
+      | Expr.Gt -> x > y
+      | Expr.Ge -> x >= y)
+
+let scalar_call name args =
+  match (name, args) with
+  | "exp", [ x ] -> exp x
+  | "log", [ x ] -> log x
+  | "sqrt", [ x ] -> sqrt x
+  | "rsqrt", [ x ] -> 1.0 /. sqrt x
+  | "tanh", [ x ] -> tanh x
+  | "sigmoid", [ x ] -> 1.0 /. (1.0 +. exp (-.x))
+  | "erf", [ x ] ->
+      (* Abramowitz–Stegun 7.1.26 rational approximation (|err| < 1.5e-7). *)
+      let sign = if x < 0.0 then -1.0 else 1.0 in
+      let x = Float.abs x in
+      let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+      let poly =
+        ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+         -. 0.284496736)
+          *. t
+        +. 0.254829592)
+        *. t
+      in
+      sign *. (1.0 -. (poly *. exp (-.x *. x)))
+  | _ -> err "unknown scalar intrinsic %s/%d" name (List.length args)
+
+let rec eval env (e : Expr.t) : value =
+  match e with
+  | Expr.Int i -> VInt i
+  | Expr.Float (f, _) -> VFloat f
+  | Expr.Bool b -> VInt (if b then 1 else 0)
+  | Expr.Var v -> VInt (var_value env v)
+  | Expr.Bin (op, a, b) -> apply_binop op (eval env a) (eval env b)
+  | Expr.Cmp (op, a, b) -> VInt (if apply_cmp op (eval env a) (eval env b) then 1 else 0)
+  | Expr.And (a, b) -> VInt (if to_int (eval env a) <> 0 && to_int (eval env b) <> 0 then 1 else 0)
+  | Expr.Or (a, b) -> VInt (if to_int (eval env a) <> 0 || to_int (eval env b) <> 0 then 1 else 0)
+  | Expr.Not a -> VInt (if to_int (eval env a) = 0 then 1 else 0)
+  | Expr.Select (c, t, f) -> if to_int (eval env c) <> 0 then eval env t else eval env f
+  | Expr.Cast (dt, a) ->
+      let v = eval env a in
+      if Dtype.is_int dt then VInt (to_int v)
+      else VFloat (to_float v)
+  | Expr.Load (b, idx) ->
+      let a = storage env b in
+      let v = a.(flat_index b (List.map (fun i -> to_int (eval env i)) idx)) in
+      if Dtype.is_int b.Buffer.dtype then VInt (int_of_float v) else VFloat v
+  | Expr.Call (name, _, args) ->
+      VFloat (scalar_call name (List.map (fun a -> to_float (eval env a)) args))
+  | Expr.Ptr (b, idx) ->
+      VPtr (b, flat_index b (List.map (fun i -> to_int (eval env i)) idx))
+
+let eval_bool env e = to_int (eval env e) <> 0
+
+(* Native semantics of the low-level tensor intrinsic calls. *)
+let exec_intrinsic env name (args : Expr.t list) =
+  let values = List.map (eval env) args in
+  match (name, values) with
+  | ("tir.mma_sync" | "tir.sdot"), [ VInt m; VInt n; VInt k; VPtr (c, co); VPtr (a, ao); VPtr (b, bo) ] ->
+      let sc = storage env c and sa = storage env a and sb = storage env b in
+      let sta = strides a.Buffer.shape and stb = strides b.Buffer.shape in
+      let stc = strides c.Buffer.shape in
+      let la = sta.(Array.length sta - 2) and lb = stb.(Array.length stb - 2) in
+      let lc = stc.(Array.length stc - 2) in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref sc.(co + (i * lc) + j) in
+          for kk = 0 to k - 1 do
+            acc := !acc +. (sa.(ao + (i * la) + kk) *. sb.(bo + (kk * lb) + j))
+          done;
+          sc.(co + (i * lc) + j) <- !acc
+        done
+      done
+  | ( ("tir.load_matrix_sync" | "tir.store_matrix_sync" | "tir.async_copy"),
+      [ VInt m; VInt n; VPtr (d, doff); VPtr (s, soff) ] ) ->
+      let sd = storage env d and ss = storage env s in
+      let std = strides d.Buffer.shape and sts = strides s.Buffer.shape in
+      let ld = std.(Array.length std - 2) and ls = sts.(Array.length sts - 2) in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          sd.(doff + (i * ld) + j) <- ss.(soff + (i * ls) + j)
+        done
+      done
+  | _ -> err "unknown tensor intrinsic %s/%d" name (List.length args)
+
+let store_value (b : Buffer.t) v =
+  if Dtype.is_int b.Buffer.dtype then float_of_int (to_int v) else to_float v
+
+let rec exec env (s : Stmt.t) =
+  match s with
+  | Stmt.For r ->
+      for i = 0 to r.extent - 1 do
+        Hashtbl.replace env.vars r.loop_var.Var.id i;
+        exec env r.body
+      done;
+      Hashtbl.remove env.vars r.loop_var.Var.id
+  | Stmt.Seq ss -> List.iter (exec env) ss
+  | Stmt.If (c, t, e) -> if eval_bool env c then exec env t else Option.iter (exec env) e
+  | Stmt.Store (b, idx, v) ->
+      let a = storage env b in
+      let flat = flat_index b (List.map (fun i -> to_int (eval env i)) idx) in
+      a.(flat) <- store_value b (eval env v)
+  | Stmt.Eval (Expr.Call (name, _, args)) when String.length name > 4 && String.sub name 0 4 = "tir." ->
+      exec_intrinsic env name args
+  | Stmt.Eval e -> ignore (eval env e)
+  | Stmt.Block br ->
+      let b = br.Stmt.block in
+      (* Bind iterator values. *)
+      let values = List.map (fun v -> to_int (eval env v)) br.Stmt.iter_values in
+      List.iter2
+        (fun (iv : Stmt.iter_var) v -> Hashtbl.replace env.vars iv.var.Var.id v)
+        b.iter_vars values;
+      if eval_bool env br.Stmt.predicate then begin
+        (* Init runs on the first reduction instance: all reduce iterators
+           evaluate to zero. *)
+        let first_reduction =
+          List.for_all2
+            (fun (iv : Stmt.iter_var) v -> iv.itype <> Stmt.Reduce || v = 0)
+            b.iter_vars values
+        in
+        (match b.init with
+        | Some init when first_reduction -> exec env init
+        | _ -> ());
+        exec env b.body
+      end;
+      List.iter
+        (fun (iv : Stmt.iter_var) -> Hashtbl.remove env.vars iv.var.Var.id)
+        b.iter_vars
+
+(** Run [f] with the given parameter arrays (by position). Returns the
+    environment so outputs (and intermediates) can be inspected. *)
+let run (f : Primfunc.t) (params : float array list) =
+  let env = create_env () in
+  List.iter2
+    (fun (b : Buffer.t) arr ->
+      if Array.length arr <> Buffer.numel b then
+        err "parameter %s: expected %d elements, got %d" b.Buffer.name (Buffer.numel b)
+          (Array.length arr);
+      Hashtbl.replace env.bufs b.Buffer.id arr)
+    f.Primfunc.params params;
+  exec env f.Primfunc.body;
+  env
+
+(** Convenience: run with freshly zeroed parameters except the provided
+    bindings. *)
+let output env (b : Buffer.t) = storage env b
+
+(** Deterministic pseudo-random input for tests/benches. *)
+let random_input ?(seed = 0) (b : Buffer.t) =
+  let st = Random.State.make [| seed; b.Buffer.id |] in
+  Array.init (Buffer.numel b) (fun _ ->
+      if Dtype.is_int b.Buffer.dtype then float_of_int (Random.State.int st 7 - 3)
+      else Random.State.float st 2.0 -. 1.0)
+
+let allclose ?(atol = 1e-4) ?(rtol = 1e-4) a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Float.abs (x -. y) <= atol +. (rtol *. Float.abs y))
+       a b

@@ -1,0 +1,43 @@
+(** Reference interpreter for TensorIR programs: the correctness oracle.
+
+    Thread-bound loops run sequentially (sound for all race-free programs,
+    which threading validation enforces); reduction init statements run on
+    the instance whose reduction iterators are all zero; low-level tensor
+    intrinsics ([tir.mma_sync], [tir.load_matrix_sync], ...) execute
+    natively. *)
+
+open Tir_ir
+
+exception Runtime_error of string
+
+type value = VInt of int | VFloat of float | VPtr of Buffer.t * int
+
+type env = {
+  vars : (int, int) Hashtbl.t;  (** variable values, by id *)
+  bufs : (int, float array) Hashtbl.t;  (** storage, by buffer id *)
+}
+
+val create_env : unit -> env
+
+(** Row-major strides of a shape. *)
+val strides : int list -> int array
+
+(** Flat offset of an index; raises on out-of-bounds. *)
+val flat_index : Buffer.t -> int list -> int
+
+(** Storage array of a buffer, allocated on first use. *)
+val storage : env -> Buffer.t -> float array
+
+val eval : env -> Expr.t -> value
+val exec : env -> Stmt.t -> unit
+
+(** Run a function with the given parameter arrays (by position); the
+    returned environment exposes outputs and intermediates. *)
+val run : Primfunc.t -> float array list -> env
+
+val output : env -> Buffer.t -> float array
+
+(** Deterministic pseudo-random input for tests and benchmarks. *)
+val random_input : ?seed:int -> Buffer.t -> float array
+
+val allclose : ?atol:float -> ?rtol:float -> float array -> float array -> bool

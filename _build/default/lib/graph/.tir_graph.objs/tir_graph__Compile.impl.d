@@ -1,0 +1,1 @@
+lib/graph/compile.ml: Float Hashtbl List Models Op Printf String Tir_autosched Tir_baselines Tir_ir Tir_sim Tir_workloads

@@ -1,0 +1,1 @@
+lib/graph/compile.mli: Models Tir_autosched Tir_sim Tir_workloads

@@ -1,0 +1,1 @@
+lib/graph/models.ml: Op String

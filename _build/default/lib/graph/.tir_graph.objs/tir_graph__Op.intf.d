@@ -1,0 +1,1 @@
+lib/graph/op.mli: Tir_ir Tir_workloads

@@ -1,0 +1,162 @@
+(** End-to-end model compilation: task extraction, per-task tuning, latency
+    composition (§5.2).
+
+    A [scheduler] bundles an operator tuner with a fusion policy. Distinct
+    heavy operators become tuning tasks (cached across models within a
+    process); memory-bound operators cost their traffic at global bandwidth
+    plus — for non-fusing per-op frameworks — a kernel launch each. *)
+
+module W = Tir_workloads.Workloads
+module Tune = Tir_autosched.Tune
+module Target = Tir_sim.Target
+
+type scheduler = {
+  sname : string;
+  tune_op : Target.t -> W.t -> Tune.result option;
+  fuses_lightweight : bool;
+  supports_model : string -> bool;
+}
+
+type op_report = {
+  op_name : string;
+  count : int;
+  unit_latency_us : float;
+  tuning_minutes : float;
+}
+
+type model_report = {
+  model : string;
+  scheduler : string;
+  latency_us : float;  (** one inference *)
+  heavy_us : float;
+  light_us : float;
+  total_tuning_minutes : float;
+  ops : op_report list;
+  supported : bool;
+}
+
+(* Per-process tuning cache: (scheduler, target, workload-name) -> result. *)
+let cache : (string, Tune.result option) Hashtbl.t = Hashtbl.create 64
+
+let cached_tune (s : scheduler) target (w : W.t) =
+  let key = Printf.sprintf "%s|%s|%s" s.sname target.Target.name w.W.name in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r = s.tune_op target w in
+      Hashtbl.add cache key r;
+      r
+
+let light_latency_us (target : Target.t) ~fused (op : Op.t) =
+  let eb = 2 in
+  let bytes = Op.light_bytes eb op in
+  let cycles = bytes /. target.Target.global_bw in
+  let us = cycles /. (target.Target.clock_ghz *. 1000.0) in
+  if fused then us else us +. target.Target.kernel_launch_us
+
+let dtypes_for (target : Target.t) =
+  match target.Target.kind with
+  | Target.Gpu -> (Tir_ir.Dtype.F16, Tir_ir.Dtype.F32)
+  | Target.Cpu -> (Tir_ir.Dtype.I8, Tir_ir.Dtype.I32)
+
+(** Compile one model with one scheduler; returns per-op and total numbers. *)
+let compile (s : scheduler) (target : Target.t) (m : Models.t) : model_report =
+  if not (s.supports_model m.Models.name) then
+    {
+      model = m.Models.name;
+      scheduler = s.sname;
+      latency_us = Float.infinity;
+      heavy_us = Float.infinity;
+      light_us = 0.0;
+      total_tuning_minutes = 0.0;
+      ops = [];
+      supported = false;
+    }
+  else begin
+    let in_dtype, acc_dtype = dtypes_for target in
+    let heavy = ref 0.0 and light = ref 0.0 and tuning = ref 0.0 in
+    let ops = ref [] in
+    List.iter
+      (fun { Models.op; count } ->
+        if Op.is_light op then
+          light :=
+            !light +. (float_of_int count *. light_latency_us target ~fused:s.fuses_lightweight op)
+        else
+          match Op.workload ~in_dtype ~acc_dtype op with
+          | None -> ()
+          | Some w -> (
+              match cached_tune s target w with
+              | None -> ()
+              | Some r ->
+                  let unit = Tune.latency_us r in
+                  let minutes = Tune.tuning_minutes r in
+                  heavy := !heavy +. (float_of_int count *. unit);
+                  tuning := !tuning +. minutes;
+                  ops :=
+                    { op_name = Op.name op; count; unit_latency_us = unit; tuning_minutes = minutes }
+                    :: !ops))
+      m.Models.layers;
+    {
+      model = m.Models.name;
+      scheduler = s.sname;
+      latency_us = !heavy +. !light;
+      heavy_us = !heavy;
+      light_us = !light;
+      total_tuning_minutes = !tuning;
+      ops = List.rev !ops;
+      supported = true;
+    }
+  end
+
+(** Images (or sequences) per second. *)
+let throughput (r : model_report) =
+  if r.supported then 1.0e6 /. r.latency_us else 0.0
+
+(* ---------------- standard scheduler lineup ---------------- *)
+
+module B = Tir_baselines.Baselines
+
+let tensorir ?(trials = 32) () =
+  {
+    sname = "TensorIR";
+    tune_op = (fun target w -> Some (Tune.tune ~trials target w));
+    fuses_lightweight = true;
+    supports_model = (fun _ -> true);
+  }
+
+let tvm ?(trials = 32) () =
+  {
+    sname = "TVM";
+    tune_op = (fun target w -> Some (B.tvm ~trials target w));
+    fuses_lightweight = true;
+    supports_model = (fun _ -> true);
+  }
+
+let amos ?(trials = 32) () =
+  {
+    sname = "AMOS";
+    tune_op = (fun target w -> Some (B.amos ~trials target w));
+    fuses_lightweight = false;
+    supports_model = (fun _ -> true);
+  }
+
+let pytorch () =
+  {
+    sname = "PyTorch";
+    tune_op = (fun target w -> Some (B.framework target w));
+    fuses_lightweight = false;
+    supports_model = (fun _ -> true);
+  }
+
+let tensorrt ?(trials = 32) () =
+  {
+    sname = "TensorRT";
+    tune_op =
+      (fun target w ->
+        match B.tensorrt ~trials target w with
+        | B.Supported r -> Some r
+        | B.Not_supported -> None);
+    fuses_lightweight = true;
+    (* The paper notes TensorRT does not (yet) support ViT. *)
+    supports_model = (fun name -> not (String.equal name "ViT-B/16"));
+  }

@@ -1,0 +1,49 @@
+(** End-to-end model compilation (§5.2): task extraction, per-task tuning
+    (cached per process), latency composition, and the scheduler lineup
+    used by Figures 12/14 and Table 1. *)
+
+module W = Tir_workloads.Workloads
+module Tune = Tir_autosched.Tune
+module Target = Tir_sim.Target
+
+type scheduler = {
+  sname : string;
+  tune_op : Target.t -> W.t -> Tune.result option;
+      (** [None] = the system does not support this operator *)
+  fuses_lightweight : bool;
+      (** fusing compilers absorb activations into the producing kernel;
+          per-op frameworks pay a launch each *)
+  supports_model : string -> bool;
+}
+
+type op_report = {
+  op_name : string;
+  count : int;
+  unit_latency_us : float;
+  tuning_minutes : float;
+}
+
+type model_report = {
+  model : string;
+  scheduler : string;
+  latency_us : float;  (** one inference *)
+  heavy_us : float;
+  light_us : float;
+  total_tuning_minutes : float;
+  ops : op_report list;
+  supported : bool;
+}
+
+val compile : scheduler -> Target.t -> Models.t -> model_report
+
+(** Inferences per second. *)
+val throughput : model_report -> float
+
+val tensorir : ?trials:int -> unit -> scheduler
+val tvm : ?trials:int -> unit -> scheduler
+val amos : ?trials:int -> unit -> scheduler
+val pytorch : unit -> scheduler
+
+(** TensorRT-class: vendor kernels, fuses epilogues, does not support
+    ViT (as the paper notes). *)
+val tensorrt : ?trials:int -> unit -> scheduler

@@ -1,0 +1,157 @@
+(** The four evaluated networks (§5.2): ResNet-50, MobileNet-V2, BERT-large
+    and ViT-B/16, as layer-config lists at batch size 1.
+
+    To keep tuning tractable each model lists its *distinct* heavy operators
+    with repeat counts (exactly what task extraction in the paper's
+    framework produces) plus the accompanying memory-bound operators. *)
+
+type layer = { op : Op.t; count : int }
+
+type t = { name : string; layers : layer list }
+
+let l ?(count = 1) op = { op; count }
+
+(* --- ResNet-50 (224x224) --- *)
+let resnet50 =
+  let conv = Op.conv2d in
+  {
+    name = "ResNet-50";
+    layers =
+      [
+        l (conv ~h:224 ~w:224 ~ci:3 ~co:64 ~k:7 ~stride:2 ());
+        l (Op.Pool { numel_in = 112 * 112 * 64; numel_out = 56 * 56 * 64 });
+        (* stage 1: 56x56, 64 -> 256 bottlenecks *)
+        l ~count:3 (conv ~h:56 ~w:56 ~ci:64 ~co:64 ~k:1 ());
+        l ~count:3 (conv ~h:56 ~w:56 ~ci:64 ~co:64 ~k:3 ());
+        l ~count:4 (conv ~h:56 ~w:56 ~ci:64 ~co:256 ~k:1 ());
+        l ~count:2 (conv ~h:56 ~w:56 ~ci:256 ~co:64 ~k:1 ());
+        (* stage 2: 28x28 *)
+        l ~count:4 (conv ~h:28 ~w:28 ~ci:128 ~co:128 ~k:3 ());
+        l ~count:5 (conv ~h:28 ~w:28 ~ci:128 ~co:512 ~k:1 ());
+        l ~count:4 (conv ~h:28 ~w:28 ~ci:512 ~co:128 ~k:1 ());
+        (* stage 3: 14x14 *)
+        l ~count:6 (conv ~h:14 ~w:14 ~ci:256 ~co:256 ~k:3 ());
+        l ~count:7 (conv ~h:14 ~w:14 ~ci:256 ~co:1024 ~k:1 ());
+        l ~count:6 (conv ~h:14 ~w:14 ~ci:1024 ~co:256 ~k:1 ());
+        (* stage 4: 7x7 *)
+        l ~count:3 (conv ~h:7 ~w:7 ~ci:512 ~co:512 ~k:3 ());
+        l ~count:4 (conv ~h:7 ~w:7 ~ci:512 ~co:2048 ~k:1 ());
+        l ~count:3 (conv ~h:7 ~w:7 ~ci:2048 ~co:512 ~k:1 ());
+        (* heads and glue *)
+        l (Op.dense ~m:1 ~n:1000 ~k:2048 ());
+        l ~count:49 (Op.Elementwise { name = "relu"; numel = 56 * 56 * 256; inputs = 1 });
+        l ~count:16 (Op.Elementwise { name = "add"; numel = 28 * 28 * 512; inputs = 2 });
+      ];
+  }
+
+(* --- MobileNet-V2 (224x224): inverted residual blocks --- *)
+let mobilenet_v2 =
+  let conv = Op.conv2d in
+  let inverted ~h ~cin ~cexp ~cout ~stride ~count =
+    [
+      l ~count (conv ~h ~w:h ~ci:cin ~co:cexp ~k:1 ());
+      l ~count (conv ~h ~w:h ~ci:cexp ~co:cexp ~k:3 ~stride ~depthwise:true ());
+      l ~count (conv ~h:(h / stride) ~w:(h / stride) ~ci:cexp ~co:cout ~k:1 ());
+    ]
+  in
+  {
+    name = "MobileNet-V2";
+    layers =
+      [ l (conv ~h:224 ~w:224 ~ci:3 ~co:32 ~k:3 ~stride:2 ()) ]
+      @ inverted ~h:112 ~cin:32 ~cexp:32 ~cout:16 ~stride:1 ~count:1
+      @ inverted ~h:112 ~cin:16 ~cexp:96 ~cout:24 ~stride:2 ~count:2
+      @ inverted ~h:56 ~cin:24 ~cexp:144 ~cout:32 ~stride:2 ~count:3
+      @ inverted ~h:28 ~cin:32 ~cexp:192 ~cout:64 ~stride:2 ~count:4
+      @ inverted ~h:14 ~cin:64 ~cexp:384 ~cout:96 ~stride:1 ~count:3
+      @ inverted ~h:14 ~cin:96 ~cexp:576 ~cout:160 ~stride:2 ~count:3
+      @ inverted ~h:7 ~cin:160 ~cexp:960 ~cout:320 ~stride:1 ~count:1
+      @ [
+          l (conv ~h:7 ~w:7 ~ci:320 ~co:1280 ~k:1 ());
+          l (Op.dense ~m:1 ~n:1000 ~k:1280 ());
+          l ~count:35 (Op.Elementwise { name = "relu6"; numel = 14 * 14 * 384; inputs = 1 });
+          l ~count:10 (Op.Elementwise { name = "add"; numel = 14 * 14 * 96; inputs = 2 });
+        ];
+  }
+
+(* --- BERT-large (sequence length 128, hidden 1024, 24 layers, 16 heads) --- *)
+let bert_large =
+  let seq = 128 and hidden = 1024 and heads = 16 and layers = 24 in
+  let dh = hidden / heads in
+  {
+    name = "BERT-large";
+    layers =
+      [
+        (* QKV projections (3 per layer) *)
+        l ~count:(3 * layers) (Op.dense ~m:seq ~n:hidden ~k:hidden ());
+        (* attention scores and context: batched per head *)
+        l ~count:layers (Op.dense ~b:heads ~m:seq ~n:seq ~k:dh ());
+        l ~count:layers (Op.dense ~b:heads ~m:seq ~n:dh ~k:seq ());
+        (* output projection *)
+        l ~count:layers (Op.dense ~m:seq ~n:hidden ~k:hidden ());
+        (* feed-forward *)
+        l ~count:layers (Op.dense ~m:seq ~n:(4 * hidden) ~k:hidden ());
+        l ~count:layers (Op.dense ~m:seq ~n:hidden ~k:(4 * hidden) ());
+        (* glue *)
+        l ~count:layers (Op.Softmax { rows = heads * seq; cols = seq });
+        l ~count:(2 * layers) (Op.Layernorm { rows = seq; cols = hidden });
+        l ~count:layers (Op.Elementwise { name = "gelu"; numel = seq * 4 * hidden; inputs = 1 });
+        l ~count:(2 * layers) (Op.Elementwise { name = "add"; numel = seq * hidden; inputs = 2 });
+      ];
+  }
+
+(* --- ViT-B/16 (224x224: 196 tokens + cls ~ padded to 256, hidden 768) --- *)
+let vit =
+  let seq = 256 and hidden = 768 and heads = 12 and layers = 12 in
+  let dh = hidden / heads in
+  {
+    name = "ViT-B/16";
+    layers =
+      [
+        (* patch embedding as a dense over flattened 16x16x3 patches *)
+        l (Op.dense ~m:196 ~n:hidden ~k:(16 * 16 * 3) ());
+        l ~count:(3 * layers) (Op.dense ~m:seq ~n:hidden ~k:hidden ());
+        l ~count:layers (Op.dense ~b:heads ~m:seq ~n:seq ~k:dh ());
+        l ~count:layers (Op.dense ~b:heads ~m:seq ~n:dh ~k:seq ());
+        l ~count:layers (Op.dense ~m:seq ~n:hidden ~k:hidden ());
+        l ~count:layers (Op.dense ~m:seq ~n:(4 * hidden) ~k:hidden ());
+        l ~count:layers (Op.dense ~m:seq ~n:hidden ~k:(4 * hidden) ());
+        l ~count:layers (Op.Softmax { rows = heads * seq; cols = seq });
+        l ~count:(2 * layers) (Op.Layernorm { rows = seq; cols = hidden });
+        l ~count:layers (Op.Elementwise { name = "gelu"; numel = seq * 4 * hidden; inputs = 1 });
+        l ~count:(2 * layers) (Op.Elementwise { name = "add"; numel = seq * hidden; inputs = 2 });
+      ];
+  }
+
+let gpu_models = [ resnet50; mobilenet_v2; bert_large; vit ]
+
+(* ARM end-to-end evaluation (§5.3) uses quantized ResNet-50, MobileNet-V2
+   and BERT (base: 12 layers, hidden 768). *)
+let bert_base =
+  let seq = 128 and hidden = 768 and heads = 12 and layers = 12 in
+  let dh = hidden / heads in
+  {
+    name = "BERT-base";
+    layers =
+      [
+        l ~count:(3 * layers) (Op.dense ~m:seq ~n:hidden ~k:hidden ());
+        l ~count:layers (Op.dense ~b:heads ~m:seq ~n:seq ~k:dh ());
+        l ~count:layers (Op.dense ~b:heads ~m:seq ~n:dh ~k:seq ());
+        l ~count:layers (Op.dense ~m:seq ~n:hidden ~k:hidden ());
+        l ~count:layers (Op.dense ~m:seq ~n:(4 * hidden) ~k:hidden ());
+        l ~count:layers (Op.dense ~m:seq ~n:hidden ~k:(4 * hidden) ());
+        l ~count:layers (Op.Softmax { rows = heads * seq; cols = seq });
+        l ~count:(2 * layers) (Op.Layernorm { rows = seq; cols = hidden });
+        l ~count:layers (Op.Elementwise { name = "gelu"; numel = seq * 4 * hidden; inputs = 1 });
+      ];
+  }
+
+let arm_models = [ resnet50; mobilenet_v2; bert_base ]
+
+let by_name name =
+  match String.lowercase_ascii name with
+  | "resnet50" | "resnet-50" -> resnet50
+  | "mobilenetv2" | "mobilenet-v2" -> mobilenet_v2
+  | "bert" | "bert-large" -> bert_large
+  | "bert-base" -> bert_base
+  | "vit" | "vit-b16" -> vit
+  | s -> invalid_arg ("unknown model " ^ s)

@@ -1,0 +1,23 @@
+(** The evaluated networks (§5.2) as layer-config lists at batch size 1:
+    each model lists its distinct heavy operators with repeat counts plus
+    the accompanying memory-bound operators. *)
+
+type layer = { op : Op.t; count : int }
+
+type t = { name : string; layers : layer list }
+
+val resnet50 : t
+val mobilenet_v2 : t
+val bert_large : t
+val vit : t
+
+(** BERT-base for the quantized ARM evaluation (§5.3). *)
+val bert_base : t
+
+(** The four GPU models of Figure 12. *)
+val gpu_models : t list
+
+(** The three ARM models of Figure 14. *)
+val arm_models : t list
+
+val by_name : string -> t

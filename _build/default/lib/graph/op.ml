@@ -1,0 +1,68 @@
+(** Graph-level operators.
+
+    Compute-heavy operators map onto the workload suite (each becomes a
+    tuning task); lightweight operators (activations, normalization,
+    softmax, pooling) are memory-bound and costed analytically — with or
+    without fusion into the producing kernel, which is how the end-to-end
+    comparison distinguishes fusing compilers from per-op frameworks. *)
+
+type t =
+  | Conv2d of {
+      h : int;
+      w : int;
+      ci : int;
+      co : int;
+      k : int;
+      stride : int;
+      groups : int;
+      depthwise : bool;
+    }
+  | Dense of { b : int; m : int; n : int; k : int }
+  | Elementwise of { name : string; numel : int; inputs : int }
+  | Softmax of { rows : int; cols : int }
+  | Layernorm of { rows : int; cols : int }
+  | Pool of { numel_in : int; numel_out : int }
+
+let conv2d ?(stride = 1) ?(groups = 1) ?(depthwise = false) ~h ~w ~ci ~co ~k () =
+  Conv2d { h; w; ci; co; k; stride; groups; depthwise }
+
+let dense ?(b = 1) ~m ~n ~k () = Dense { b; m; n; k }
+
+(** The tuning-task workload for a compute op, or [None] for memory-bound
+    ops. [in_dtype]/[acc_dtype] select fp16 (GPU) or int8 (ARM) flavours. *)
+let workload ~in_dtype ~acc_dtype (op : t) : Tir_workloads.Workloads.t option =
+  let module W = Tir_workloads.Workloads in
+  match op with
+  | Conv2d { h; w; ci; co; k; stride; groups; depthwise } ->
+      let pad = k / 2 in
+      if depthwise then Some (W.dep ~in_dtype ~acc_dtype ~h ~w ~c:ci ~k ~stride ~pad ())
+      else if groups > 1 then
+        Some (W.grp ~in_dtype ~acc_dtype ~h ~w ~groups ~ci ~co ~k ~stride ~pad ())
+      else Some (W.c2d ~in_dtype ~acc_dtype ~h ~w ~ci ~co ~kh:k ~kw:k ~stride ~pad ())
+  | Dense { b; m; n; k } -> Some (W.gmm ~in_dtype ~acc_dtype ~b ~m ~n ~k ())
+  | Elementwise _ | Softmax _ | Layernorm _ | Pool _ -> None
+
+(** Bytes moved by a memory-bound op (element size [eb]). *)
+let light_bytes eb (op : t) =
+  let f n = float_of_int (n * eb) in
+  match op with
+  | Elementwise { numel; inputs; _ } -> f (numel * (inputs + 1))
+  | Softmax { rows; cols } -> 3.0 *. f (rows * cols)
+  | Layernorm { rows; cols } -> 3.0 *. f (rows * cols)
+  | Pool { numel_in; numel_out } -> f numel_in +. f numel_out
+  | Conv2d _ | Dense _ -> 0.0
+
+let is_light = function
+  | Elementwise _ | Softmax _ | Layernorm _ | Pool _ -> true
+  | Conv2d _ | Dense _ -> false
+
+let name = function
+  | Conv2d { h; ci; co; k; stride; groups; depthwise; _ } ->
+      if depthwise then Printf.sprintf "dwconv_h%d_c%d_k%d_s%d" h ci k stride
+      else if groups > 1 then Printf.sprintf "grpconv_h%d_g%d_ci%d_co%d" h groups ci co
+      else Printf.sprintf "conv_h%d_ci%d_co%d_k%d_s%d" h ci co k stride
+  | Dense { b; m; n; k } -> Printf.sprintf "dense_b%d_m%d_n%d_k%d" b m n k
+  | Elementwise { name; numel; _ } -> Printf.sprintf "%s_%d" name numel
+  | Softmax { rows; cols } -> Printf.sprintf "softmax_%dx%d" rows cols
+  | Layernorm { rows; cols } -> Printf.sprintf "layernorm_%dx%d" rows cols
+  | Pool { numel_out; _ } -> Printf.sprintf "pool_%d" numel_out

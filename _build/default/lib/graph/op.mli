@@ -1,0 +1,39 @@
+(** Graph-level operators: compute-heavy ops map onto tuning-task workloads;
+    lightweight ops (activations, normalization, softmax, pooling) are
+    memory-bound and costed analytically — fused or per-kernel depending on
+    the scheduler's fusion policy. *)
+
+type t =
+  | Conv2d of {
+      h : int;
+      w : int;
+      ci : int;
+      co : int;
+      k : int;
+      stride : int;
+      groups : int;
+      depthwise : bool;
+    }
+  | Dense of { b : int; m : int; n : int; k : int }
+  | Elementwise of { name : string; numel : int; inputs : int }
+  | Softmax of { rows : int; cols : int }
+  | Layernorm of { rows : int; cols : int }
+  | Pool of { numel_in : int; numel_out : int }
+
+val conv2d :
+  ?stride:int -> ?groups:int -> ?depthwise:bool ->
+  h:int -> w:int -> ci:int -> co:int -> k:int -> unit -> t
+
+val dense : ?b:int -> m:int -> n:int -> k:int -> unit -> t
+
+(** The tuning-task workload of a compute op, or [None] for memory-bound
+    ops. *)
+val workload :
+  in_dtype:Tir_ir.Dtype.t -> acc_dtype:Tir_ir.Dtype.t -> t ->
+  Tir_workloads.Workloads.t option
+
+(** Bytes moved by a memory-bound op at element size [eb]. *)
+val light_bytes : int -> t -> float
+
+val is_light : t -> bool
+val name : t -> string

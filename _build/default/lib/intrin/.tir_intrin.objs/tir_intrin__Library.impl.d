@@ -1,0 +1,1 @@
+lib/intrin/library.ml: Dtype List Tensor_intrin Tir_ir

@@ -1,0 +1,1 @@
+lib/intrin/library.mli: Tensor_intrin

@@ -1,0 +1,1 @@
+lib/intrin/tensor_intrin.ml: Buffer Dtype Expr Hashtbl List Stmt Tir_ir Var

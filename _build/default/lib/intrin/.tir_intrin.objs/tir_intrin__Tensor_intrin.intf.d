@@ -1,0 +1,1 @@
+lib/intrin/tensor_intrin.mli: Buffer Dtype Stmt Tir_ir

@@ -1,0 +1,67 @@
+(** The shipped intrinsic library.
+
+    Mirrors the paper's three evaluated intrinsic families: the synthetic
+    4x4x4 dot-product unit of Figure 8, the Tensor-Core 16x16x16 WMMA path
+    (with its mandatory load/store data-movement intrinsics, §4.1), and the
+    ARM [sdot]-based 8-bit integer micro-kernel of §5.3. *)
+
+open Tir_ir
+
+(* --- Synthetic accelerator of Figure 8: 4x4x4 fp32 MMA, any scope. --- *)
+
+let dot_4x4x4 =
+  Tensor_intrin.make_mma ~name:"accel.dot_4x4x4" ~m:4 ~n:4 ~k:4 ~in_dtype:Dtype.F32
+    ~acc_dtype:Dtype.F32 ~scopes:[ "*"; "*"; "*" ] ~exec_scope:Tensor_intrin.Thread
+    ~call_name:"tir.mma_sync" ()
+
+(* --- Tensor Core (NVIDIA wmma): fp16 inputs, fp32 accumulate, warp
+   scope, operands must live in wmma register fragments. --- *)
+
+let wmma_16x16x16 =
+  Tensor_intrin.make_mma ~name:"wmma.mma_16x16x16" ~m:16 ~n:16 ~k:16
+    ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32
+    ~scopes:[ "wmma.matrix_a"; "wmma.matrix_b"; "wmma.accumulator" ]
+    ~exec_scope:Tensor_intrin.Warp ~call_name:"tir.mma_sync" ()
+
+let wmma_load_a =
+  Tensor_intrin.make_copy ~name:"wmma.load_a" ~m:16 ~n:16 ~dtype:Dtype.F16
+    ~src_scope:"shared" ~dst_scope:"wmma.matrix_a" ~exec_scope:Tensor_intrin.Warp
+    ~call_name:"tir.load_matrix_sync" ()
+
+let wmma_load_b =
+  Tensor_intrin.make_copy ~name:"wmma.load_b" ~m:16 ~n:16 ~dtype:Dtype.F16
+    ~src_scope:"shared" ~dst_scope:"wmma.matrix_b" ~exec_scope:Tensor_intrin.Warp
+    ~call_name:"tir.load_matrix_sync" ()
+
+let wmma_store =
+  Tensor_intrin.make_copy ~name:"wmma.store" ~m:16 ~n:16 ~dtype:Dtype.F32
+    ~src_scope:"wmma.accumulator" ~dst_scope:"shared" ~exec_scope:Tensor_intrin.Warp
+    ~call_name:"tir.store_matrix_sync" ()
+
+(* --- ARM sdot micro-kernel (a64_gemm-style): int8 inputs, int32
+   accumulate, operands packed into registers ("local" scope models the
+   interleaved-layout requirement of §4.1). --- *)
+
+let arm_sdot_8x12x4 =
+  Tensor_intrin.make_mma ~name:"arm.sdot_8x12x4" ~m:8 ~n:12 ~k:4 ~in_dtype:Dtype.I8
+    ~acc_dtype:Dtype.I32 ~scopes:[ "local"; "local"; "local" ]
+    ~exec_scope:Tensor_intrin.Thread ~call_name:"tir.sdot" ()
+
+let arm_sdot_4x4x4 =
+  Tensor_intrin.make_mma ~name:"arm.sdot_4x4x4" ~m:4 ~n:4 ~k:4 ~in_dtype:Dtype.I8
+    ~acc_dtype:Dtype.I32 ~scopes:[ "local"; "local"; "local" ]
+    ~exec_scope:Tensor_intrin.Thread ~call_name:"tir.sdot" ()
+
+let register_all () =
+  List.iter Tensor_intrin.register
+    [
+      dot_4x4x4;
+      wmma_16x16x16;
+      wmma_load_a;
+      wmma_load_b;
+      wmma_store;
+      arm_sdot_8x12x4;
+      arm_sdot_4x4x4;
+    ]
+
+let () = register_all ()

@@ -1,0 +1,15 @@
+(** The shipped intrinsic library: the paper's three evaluated families —
+    the synthetic 4x4x4 unit of Figure 8, the Tensor-Core wmma path with
+    its load/store data-movement intrinsics (§4.1), and the ARM [sdot]
+    int8 micro-kernels (§5.3). *)
+
+val dot_4x4x4 : Tensor_intrin.t
+val wmma_16x16x16 : Tensor_intrin.t
+val wmma_load_a : Tensor_intrin.t
+val wmma_load_b : Tensor_intrin.t
+val wmma_store : Tensor_intrin.t
+val arm_sdot_8x12x4 : Tensor_intrin.t
+val arm_sdot_4x4x4 : Tensor_intrin.t
+
+(** Register every shipped intrinsic (idempotent; call once at startup). *)
+val register_all : unit -> unit

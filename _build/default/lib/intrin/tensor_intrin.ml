@@ -1,0 +1,154 @@
+(** Tensor intrinsics (paper §4.1).
+
+    A [TensorIntrin] pairs two views of one hardware primitive: a [desc]
+    program giving its *semantics* as a plain loop nest over scalar blocks,
+    and an [impl] body giving its opaque *implementation* as a low-level
+    call. Both views reference positional buffer parameters; tensorize
+    matches a program fragment against [desc], then splices [impl] with the
+    parameters rebound to the actual buffers (plus region offsets). *)
+
+open Tir_ir
+
+type exec_scope =
+  | Thread  (** a single thread/lane executes the intrinsic *)
+  | Warp  (** must run under a 32-wide [threadIdx.x] (Tensor Core) *)
+
+type t = {
+  name : string;
+  desc : Stmt.t;  (** loops + a single scalar block: the semantics *)
+  desc_params : Buffer.t list;  (** buffers of [desc]: inputs then output *)
+  impl : Stmt.t;  (** opaque implementation body over [impl_params] *)
+  impl_params : Buffer.t list;  (** positionally correspond to [desc_params] *)
+  required_scopes : string list;
+      (** required storage scope per param; ["*"] accepts any scope *)
+  exec_scope : exec_scope;
+  flops : int;  (** useful arithmetic per invocation (simulator accounting) *)
+  is_copy : bool;  (** data-movement intrinsic (load/store), not compute *)
+}
+
+exception Not_registered of string
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let register t = Hashtbl.replace registry t.name t
+
+let lookup name =
+  match Hashtbl.find_opt registry name with
+  | Some t -> t
+  | None -> raise (Not_registered name)
+
+let all () = Hashtbl.fold (fun _ t acc -> t :: acc) registry []
+
+(** Build an [m*n*k] matrix-multiply-accumulate intrinsic:
+    [C\[i,j\] += cast(A\[i,k\]) * cast(B\[k,j\])] implemented by one call to
+    [call_name]. *)
+let make_mma ~name ~m ~n ~k ~in_dtype ~acc_dtype ~scopes ~exec_scope ~call_name () =
+  let a = Buffer.create "A_intrin" [ m; k ] in_dtype in
+  let b = Buffer.create "B_intrin" [ k; n ] in_dtype in
+  let c = Buffer.create "C_intrin" [ m; n ] acc_dtype in
+  let vi = Var.fresh "vii" and vj = Var.fresh "vjj" and vk = Var.fresh "vkk" in
+  let li = Var.fresh "ii" and lj = Var.fresh "jj" and lk = Var.fresh "kk" in
+  let open Expr in
+  let value =
+    add
+      (Load (c, [ Var vi; Var vj ]))
+      (mul
+         (cast acc_dtype (Load (a, [ Var vi; Var vk ])))
+         (cast acc_dtype (Load (b, [ Var vk; Var vj ]))))
+  in
+  let block =
+    Stmt.make_block ~name:(name ^ "_desc")
+      ~iter_vars:
+        [
+          Stmt.iter_var vi m;
+          Stmt.iter_var vj n;
+          Stmt.iter_var ~itype:Stmt.Reduce vk k;
+        ]
+      ~reads:
+        [
+          { Stmt.buffer = a; region = [ (Var vi, 1); (Var vk, 1) ] };
+          { Stmt.buffer = b; region = [ (Var vk, 1); (Var vj, 1) ] };
+        ]
+      ~writes:[ { Stmt.buffer = c; region = [ (Var vi, 1); (Var vj, 1) ] } ]
+      (Stmt.Store (c, [ Var vi; Var vj ], value))
+  in
+  let desc =
+    Stmt.for_ li m
+      (Stmt.for_ lj n
+         (Stmt.for_ lk k (Stmt.block_realize [ Var li; Var lj; Var lk ] block)))
+  in
+  let ai = Buffer.create "A_impl" [ m; k ] in_dtype in
+  let bi = Buffer.create "B_impl" [ k; n ] in_dtype in
+  let ci = Buffer.create "C_impl" [ m; n ] acc_dtype in
+  let impl =
+    Stmt.Eval
+      (Call
+         ( call_name,
+           Dtype.Int,
+           [
+             Int m;
+             Int n;
+             Int k;
+             Ptr (ci, [ Int 0; Int 0 ]);
+             Ptr (ai, [ Int 0; Int 0 ]);
+             Ptr (bi, [ Int 0; Int 0 ]);
+           ] ))
+  in
+  {
+    name;
+    desc;
+    desc_params = [ a; b; c ];
+    impl;
+    impl_params = [ ai; bi; ci ];
+    required_scopes = scopes;
+    exec_scope;
+    flops = 2 * m * n * k;
+    is_copy = false;
+  }
+
+(** Build a 2-D copy intrinsic [dst\[i,j\] = src\[i,j\]] over an [m*n] tile,
+    implemented by one call to [call_name] (e.g. wmma load/store, async
+    copy). *)
+let make_copy ~name ~m ~n ~dtype ~src_scope ~dst_scope ~exec_scope ~call_name () =
+  let src = Buffer.create ~scope:src_scope "src_intrin" [ m; n ] dtype in
+  let dst = Buffer.create ~scope:dst_scope "dst_intrin" [ m; n ] dtype in
+  let vi = Var.fresh "vii" and vj = Var.fresh "vjj" in
+  let li = Var.fresh "ii" and lj = Var.fresh "jj" in
+  let open Expr in
+  (* [open Expr] shadows the [dtype] parameter with [Expr.dtype]; rebind. *)
+  let dtype = dst.Buffer.dtype in
+  let block =
+    Stmt.make_block ~name:(name ^ "_desc")
+      ~iter_vars:[ Stmt.iter_var vi m; Stmt.iter_var vj n ]
+      ~reads:[ { Stmt.buffer = src; region = [ (Var vi, 1); (Var vj, 1) ] } ]
+      ~writes:[ { Stmt.buffer = dst; region = [ (Var vi, 1); (Var vj, 1) ] } ]
+      (Stmt.Store (dst, [ Var vi; Var vj ], Load (src, [ Var vi; Var vj ])))
+  in
+  let desc =
+    Stmt.for_ li m (Stmt.for_ lj n (Stmt.block_realize [ Var li; Var lj ] block))
+  in
+  let srci = Buffer.create ~scope:src_scope "src_impl" [ m; n ] dtype in
+  let dsti = Buffer.create ~scope:dst_scope "dst_impl" [ m; n ] dtype in
+  let impl =
+    Stmt.Eval
+      (Call
+         ( call_name,
+           Dtype.Int,
+           [ Int m; Int n; Ptr (dsti, [ Int 0; Int 0 ]); Ptr (srci, [ Int 0; Int 0 ]) ]
+         ))
+  in
+  {
+    name;
+    desc;
+    desc_params = [ src; dst ];
+    impl;
+    impl_params = [ srci; dsti ];
+    required_scopes = [ src_scope; dst_scope ];
+    exec_scope;
+    flops = 0;
+    is_copy = true;
+  }
+
+(** The output buffer parameter of the intrinsic ([desc_params] order puts
+    inputs first, output last for MMA; copies use src, dst). *)
+let output_param t = List.nth t.desc_params (List.length t.desc_params - 1)

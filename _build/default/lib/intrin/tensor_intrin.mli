@@ -1,0 +1,59 @@
+(** Tensor intrinsics (paper §4.1): paired semantics ([desc]) and opaque
+    implementation ([impl]) views of one hardware primitive, plus the
+    global registry. *)
+
+open Tir_ir
+
+type exec_scope =
+  | Thread  (** a single thread/lane executes the intrinsic *)
+  | Warp  (** must not run under a per-lane binding (Tensor Core) *)
+
+type t = {
+  name : string;
+  desc : Stmt.t;  (** loops + a single scalar block: the semantics *)
+  desc_params : Buffer.t list;  (** buffers of [desc]: inputs then output *)
+  impl : Stmt.t;  (** opaque implementation body over [impl_params] *)
+  impl_params : Buffer.t list;  (** positionally correspond to [desc_params] *)
+  required_scopes : string list;  (** storage scope per param; ["*"] = any *)
+  exec_scope : exec_scope;
+  flops : int;  (** useful arithmetic per invocation *)
+  is_copy : bool;  (** data-movement intrinsic (load/store) *)
+}
+
+exception Not_registered of string
+
+val register : t -> unit
+val lookup : string -> t
+val all : unit -> t list
+
+(** An [m*n*k] matrix-multiply-accumulate intrinsic
+    [C += cast(A) * cast(B)] implemented by one [call_name] call. *)
+val make_mma :
+  name:string ->
+  m:int ->
+  n:int ->
+  k:int ->
+  in_dtype:Dtype.t ->
+  acc_dtype:Dtype.t ->
+  scopes:string list ->
+  exec_scope:exec_scope ->
+  call_name:string ->
+  unit ->
+  t
+
+(** A 2-D tile copy intrinsic [dst = src] (wmma loads/stores, async
+    copies). *)
+val make_copy :
+  name:string ->
+  m:int ->
+  n:int ->
+  dtype:Dtype.t ->
+  src_scope:string ->
+  dst_scope:string ->
+  exec_scope:exec_scope ->
+  call_name:string ->
+  unit ->
+  t
+
+(** The output parameter (last of [desc_params]). *)
+val output_param : t -> Buffer.t

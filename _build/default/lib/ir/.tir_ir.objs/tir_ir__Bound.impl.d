@@ -1,0 +1,1 @@
+lib/ir/bound.ml: Expr List Option Var

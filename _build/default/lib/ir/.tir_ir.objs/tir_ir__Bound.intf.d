@@ -1,0 +1,1 @@
+lib/ir/bound.mli: Expr Var

@@ -1,0 +1,1 @@
+lib/ir/buffer.ml: Dtype Fmt Int List Map Set String

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Buffer Dtype Float Fmt List String Var

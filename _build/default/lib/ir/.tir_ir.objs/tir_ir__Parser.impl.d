@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Buffer Dtype Expr Fmt Hashtbl List Primfunc Printf Stmt String Var

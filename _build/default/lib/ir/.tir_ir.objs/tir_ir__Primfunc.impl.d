@@ -1,0 +1,1 @@
+lib/ir/primfunc.ml: Buffer List Printf Stmt String

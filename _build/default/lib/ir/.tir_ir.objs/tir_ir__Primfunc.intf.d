@@ -1,0 +1,1 @@
+lib/ir/primfunc.mli: Buffer Stmt

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Buffer Dtype Expr Fmt Format Hashtbl List Option Primfunc Printf Stdlib Stmt String Var

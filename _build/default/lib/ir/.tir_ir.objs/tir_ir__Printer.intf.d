@@ -1,0 +1,1 @@
+lib/ir/printer.mli: Format Primfunc Stmt Var

@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Buffer Expr List Option String Var

@@ -1,0 +1,1 @@
+lib/ir/te.ml: Array Buffer Dtype Expr Hashtbl List Primfunc Printf Stmt String Var

@@ -1,0 +1,1 @@
+lib/ir/te.mli: Buffer Dtype Expr Primfunc Stmt Var

@@ -1,0 +1,1 @@
+lib/ir/var.ml: Dtype Fmt Int Map Set

@@ -1,0 +1,65 @@
+(** Constant interval analysis over index expressions.
+
+    [of_expr lookup e] returns the inclusive integer range of [e] given
+    ranges of its variables, or [None] when the expression escapes the
+    affine-ish fragment we can bound. This powers block read/write region
+    inference, compute-at region shrinking, and loop-nest validation. *)
+
+type interval = { lo : int; hi : int }
+
+let point i = { lo = i; hi = i }
+let of_extent e = { lo = 0; hi = e - 1 }
+
+let union a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let add a b = { lo = a.lo + b.lo; hi = a.hi + b.hi }
+let sub a b = { lo = a.lo - b.hi; hi = a.hi - b.lo }
+let neg a = { lo = -a.hi; hi = -a.lo }
+
+let mul a b =
+  let products = [ a.lo * b.lo; a.lo * b.hi; a.hi * b.lo; a.hi * b.hi ] in
+  { lo = List.fold_left min max_int products; hi = List.fold_left max min_int products }
+
+let fdiv a b =
+  (* Only divide by positive constants: that is the shape schedule
+     transformations produce (split / tiling). *)
+  if b.lo = b.hi && b.lo > 0 then
+    Some { lo = Expr.floordiv a.lo b.lo; hi = Expr.floordiv a.hi b.lo }
+  else None
+
+let fmod a b =
+  if b.lo = b.hi && b.lo > 0 then
+    let m = b.lo in
+    if a.lo >= 0 && a.hi - a.lo < m && Expr.floormod a.lo m <= Expr.floormod a.hi m then
+      (* The range fits in a single modulo period: the mapping is exact. *)
+      Some { lo = Expr.floormod a.lo m; hi = Expr.floormod a.hi m }
+    else Some { lo = 0; hi = m - 1 }
+  else None
+
+let rec of_expr lookup (e : Expr.t) : interval option =
+  let ( let* ) = Option.bind in
+  match e with
+  | Expr.Int i -> Some (point i)
+  | Expr.Var v -> lookup v
+  | Expr.Cast (_, a) -> of_expr lookup a
+  | Expr.Bin (op, a, b) -> (
+      let* ia = of_expr lookup a in
+      let* ib = of_expr lookup b in
+      match op with
+      | Expr.Add -> Some (add ia ib)
+      | Expr.Sub -> Some (sub ia ib)
+      | Expr.Mul -> Some (mul ia ib)
+      | Expr.Div -> fdiv ia ib
+      | Expr.Mod -> fmod ia ib
+      | Expr.Min -> Some { lo = min ia.lo ib.lo; hi = min ia.hi ib.hi }
+      | Expr.Max -> Some { lo = max ia.lo ib.lo; hi = max ia.hi ib.hi })
+  | Expr.Select (_, a, b) ->
+      let* ia = of_expr lookup a in
+      let* ib = of_expr lookup b in
+      Some (union ia ib)
+  | Expr.Float _ | Expr.Bool _ | Expr.Cmp _ | Expr.And _ | Expr.Or _
+  | Expr.Not _ | Expr.Load _ | Expr.Call _ | Expr.Ptr _ ->
+      None
+
+(** Bound with variable ranges from a map; unmapped variables are unbounded. *)
+let of_expr_map ranges e = of_expr (fun v -> Var.Map.find_opt v ranges) e

@@ -1,0 +1,30 @@
+(** Constant interval analysis over index expressions.
+
+    Powers block read/write region inference, compute-at region shrinking,
+    and loop-nest validation. *)
+
+type interval = { lo : int; hi : int }  (** inclusive *)
+
+val point : int -> interval
+
+(** [of_extent e] is the range [\[0, e-1\]] of a loop of extent [e]. *)
+val of_extent : int -> interval
+
+val union : interval -> interval -> interval
+val add : interval -> interval -> interval
+val sub : interval -> interval -> interval
+val neg : interval -> interval
+val mul : interval -> interval -> interval
+
+(** Floor division / modulo by a positive-constant interval; [None]
+    otherwise. Modulo is exact when the dividend range fits one period. *)
+val fdiv : interval -> interval -> interval option
+
+val fmod : interval -> interval -> interval option
+
+(** Range of [e] given ranges for its variables, or [None] when the
+    expression leaves the supported fragment. Sound: the result always
+    contains every value [e] can evaluate to under the given ranges. *)
+val of_expr : (Var.t -> interval option) -> Expr.t -> interval option
+
+val of_expr_map : interval Var.Map.t -> Expr.t -> interval option

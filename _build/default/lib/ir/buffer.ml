@@ -1,0 +1,47 @@
+(** Multi-dimensional buffers.
+
+    Shapes are static integers: every workload in the paper's evaluation has
+    fixed shapes, and static extents keep the scheduling arithmetic (split,
+    region cover, padding) exact. [scope] is the storage scope string used
+    for memory-hierarchy placement and threading validation, e.g. ["global"],
+    ["shared"], ["local"], ["wmma.matrix_a"], ["wmma.accumulator"]. *)
+
+type t = {
+  id : int;
+  name : string;
+  dtype : Dtype.t;
+  shape : int list;
+  scope : string;
+}
+
+let counter = ref 0
+
+let create ?(scope = "global") name shape dtype =
+  incr counter;
+  { id = !counter; name; dtype; shape; scope }
+
+(** Same identity, different storage scope (used by [set_scope]). *)
+let with_scope b scope = { b with scope }
+
+let ndim b = List.length b.shape
+let numel b = List.fold_left ( * ) 1 b.shape
+let size_bytes b = numel b * Dtype.bytes b.dtype
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let pp ppf b = Fmt.string ppf b.name
+
+let pp_decl ppf b =
+  Fmt.pf ppf "%s: Buffer[(%a), \"%s\"%s]" b.name
+    Fmt.(list ~sep:(any ", ") int)
+    b.shape (Dtype.to_string b.dtype)
+    (if String.equal b.scope "global" then "" else ", scope=\"" ^ b.scope ^ "\"")
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,33 @@
+(** Multi-dimensional buffers with static shapes.
+
+    [scope] is the storage-scope string used for memory-hierarchy placement
+    and threading validation: ["global"], ["shared"], ["local"],
+    ["wmma.matrix_a"], ["wmma.matrix_b"], ["wmma.accumulator"]. Identity is
+    by [id]; [with_scope] preserves it so schedule primitives can retarget
+    a buffer's scope without invalidating references. *)
+
+type t = {
+  id : int;
+  name : string;
+  dtype : Dtype.t;
+  shape : int list;
+  scope : string;
+}
+
+val create : ?scope:string -> string -> int list -> Dtype.t -> t
+
+(** Same identity, different storage scope. *)
+val with_scope : t -> string -> t
+
+val ndim : t -> int
+val numel : t -> int
+val size_bytes : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Parameter-declaration form: [A: Buffer[(64, 64), "float32"]]. *)
+val pp_decl : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,33 @@
+(** Scalar data types carried by expressions and buffers.
+
+    [Int] is the index type used for loop variables and buffer indices; the
+    remaining constructors model the machine types the paper's workloads use
+    (fp16 tensor-core inputs, int8 [sdot] inputs, fp32 accumulators). *)
+
+type t = F16 | F32 | I8 | I32 | Bool | Int
+
+let to_string = function
+  | F16 -> "float16"
+  | F32 -> "float32"
+  | I8 -> "int8"
+  | I32 -> "int32"
+  | Bool -> "bool"
+  | Int -> "int"
+
+let of_string = function
+  | "float16" -> F16
+  | "float32" -> F32
+  | "int8" -> I8
+  | "int32" -> I32
+  | "bool" -> Bool
+  | "int" -> Int
+  | s -> invalid_arg ("Dtype.of_string: " ^ s)
+
+(** Size in bytes of one element; used by the memory-cost model. *)
+let bytes = function F16 -> 2 | F32 -> 4 | I8 -> 1 | I32 -> 4 | Bool -> 1 | Int -> 8
+
+let is_float = function F16 | F32 -> true | I8 | I32 | Bool | Int -> false
+let is_int = function I8 | I32 | Int -> true | F16 | F32 | Bool -> false
+
+let equal (a : t) (b : t) = a = b
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,22 @@
+(** Scalar data types carried by expressions and buffers. *)
+
+type t =
+  | F16  (** IEEE half: Tensor-Core input type *)
+  | F32  (** IEEE single: default accumulator *)
+  | I8  (** quantized input type ([sdot]) *)
+  | I32  (** integer accumulator *)
+  | Bool
+  | Int  (** index type of loop variables and buffer indices *)
+
+val to_string : t -> string
+
+(** Inverse of [to_string]; raises [Invalid_argument] on unknown names. *)
+val of_string : string -> t
+
+(** Size of one element in bytes (memory-cost accounting). *)
+val bytes : t -> int
+
+val is_float : t -> bool
+val is_int : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

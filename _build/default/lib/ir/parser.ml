@@ -1,0 +1,750 @@
+(** Parser for the TensorIR script dialect.
+
+    The paper's framework lets developers "directly construct, dump,
+    inspect, modify, and transform" programs in a Python-AST dialect
+    (§3.4). [parse_func] consumes the exact dialect [Printer.func_to_script]
+    emits — one logical statement per physical line, indentation-scoped —
+    closing the dump/modify/re-import loop. Round-tripping is tested for
+    every workload and for scheduled (tiled, thread-bound, tensorized)
+    programs. *)
+
+exception Parse_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer (per line)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | STRING of string
+  | SYM of string  (** punctuation and operators *)
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_' || c = '.'
+
+let lex (s : string) : token list =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let c = s.[i] in
+      if c = ' ' then go (i + 1) acc
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && (is_digit s.[!j] || s.[!j] = '.' || s.[!j] = 'e' ||
+                         (s.[!j] = '-' && !j > i && (s.[!j - 1] = 'e'))) do
+          incr j
+        done;
+        let lit = String.sub s i (!j - i) in
+        let tok =
+          match int_of_string_opt lit with
+          | Some v -> INT v
+          | None -> FLOAT (float_of_string lit)
+        in
+        go !j (tok :: acc)
+      end
+      else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do
+          incr j
+        done;
+        go !j (IDENT (String.sub s i (!j - i)) :: acc)
+      end
+      else if c = '"' then begin
+        let j = ref (i + 1) in
+        while !j < n && s.[!j] <> '"' do
+          incr j
+        done;
+        if !j >= n then err "unterminated string in %S" s;
+        go (!j + 1) (STRING (String.sub s (i + 1) (!j - i - 1)) :: acc)
+      end
+      else
+        (* multi-char operators first *)
+        let two = if i + 1 < n then String.sub s i 2 else "" in
+        if List.mem two [ "//"; "<="; ">="; "=="; "!=" ] then
+          go (i + 2) (SYM two :: acc)
+        else
+          match c with
+          | '(' | ')' | '[' | ']' | ',' | ':' | '+' | '-' | '*' | '%' | '<' | '>'
+          | '=' | '&' | '@' ->
+              go (i + 1) (SYM (String.make 1 c) :: acc)
+          | _ -> err "unexpected character %C in %S" c s
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Token stream                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+let advance st = match st.toks with [] -> err "unexpected end of line" | _ :: r -> st.toks <- r
+
+let expect_sym st sym =
+  match st.toks with
+  | SYM s :: rest when String.equal s sym -> st.toks <- rest
+  | t :: _ ->
+      err "expected %S, found %s" sym
+        (match t with
+        | SYM s -> s
+        | IDENT s -> s
+        | INT i -> string_of_int i
+        | FLOAT f -> string_of_float f
+        | STRING s -> Printf.sprintf "%S" s)
+  | [] -> err "expected %S at end of line" sym
+
+let accept_sym st sym =
+  match st.toks with
+  | SYM s :: rest when String.equal s sym ->
+      st.toks <- rest;
+      true
+  | _ -> false
+
+let expect_ident st =
+  match st.toks with
+  | IDENT s :: rest ->
+      st.toks <- rest;
+      s
+  | _ -> err "expected identifier"
+
+let expect_int st =
+  match st.toks with
+  | INT i :: rest ->
+      st.toks <- rest;
+      i
+  | _ -> err "expected integer"
+
+let expect_string st =
+  match st.toks with
+  | STRING s :: rest ->
+      st.toks <- rest;
+      s
+  | _ -> err "expected string literal"
+
+(* ------------------------------------------------------------------ *)
+(* Name environment                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  buffers : (string, Buffer.t) Hashtbl.t;
+  vars : (string, Var.t) Hashtbl.t;
+}
+
+let new_env () = { buffers = Hashtbl.create 16; vars = Hashtbl.create 64 }
+
+let declare_var env name =
+  let v = Var.fresh name in
+  Hashtbl.replace env.vars name v;
+  v
+
+let lookup_var env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some v -> v
+  | None -> err "unbound variable %s" name
+
+let is_dtype_name = function
+  | "float16" | "float32" | "int8" | "int32" | "bool" | "int" -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expression parser                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr env st : Expr.t = parse_or env st
+
+and parse_or env st =
+  let rec loop lhs =
+    match peek st with
+    | Some (IDENT "or") ->
+        advance st;
+        loop (Expr.Or (lhs, parse_and env st))
+    | _ -> lhs
+  in
+  loop (parse_and env st)
+
+and parse_and env st =
+  let rec loop lhs =
+    match peek st with
+    | Some (IDENT "and") ->
+        advance st;
+        loop (Expr.And (lhs, parse_not env st))
+    | _ -> lhs
+  in
+  loop (parse_not env st)
+
+and parse_not env st =
+  match peek st with
+  | Some (IDENT "not") ->
+      advance st;
+      Expr.Not (parse_not env st)
+  | _ -> parse_cmp env st
+
+and parse_cmp env st =
+  let lhs = parse_add env st in
+  let op =
+    match peek st with
+    | Some (SYM "<") -> Some Expr.Lt
+    | Some (SYM "<=") -> Some Expr.Le
+    | Some (SYM ">") -> Some Expr.Gt
+    | Some (SYM ">=") -> Some Expr.Ge
+    | Some (SYM "==") -> Some Expr.Eq
+    | Some (SYM "!=") -> Some Expr.Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Expr.Cmp (op, lhs, parse_add env st)
+
+and parse_add env st =
+  let rec loop lhs =
+    match peek st with
+    | Some (SYM "+") ->
+        advance st;
+        loop (Expr.Bin (Expr.Add, lhs, parse_mul env st))
+    | Some (SYM "-") ->
+        advance st;
+        loop (Expr.Bin (Expr.Sub, lhs, parse_mul env st))
+    | _ -> lhs
+  in
+  loop (parse_mul env st)
+
+and parse_mul env st =
+  let rec loop lhs =
+    match peek st with
+    | Some (SYM "*") ->
+        advance st;
+        loop (Expr.Bin (Expr.Mul, lhs, parse_unary env st))
+    | Some (SYM "//") ->
+        advance st;
+        loop (Expr.Bin (Expr.Div, lhs, parse_unary env st))
+    | Some (SYM "%") ->
+        advance st;
+        loop (Expr.Bin (Expr.Mod, lhs, parse_unary env st))
+    | _ -> lhs
+  in
+  loop (parse_unary env st)
+
+and parse_unary env st =
+  match peek st with
+  | Some (SYM "-") ->
+      advance st;
+      Expr.Bin (Expr.Sub, Expr.Int 0, parse_unary env st)
+  | Some (SYM "&") ->
+      advance st;
+      let name = expect_ident st in
+      let buf =
+        match Hashtbl.find_opt env.buffers name with
+        | Some b -> b
+        | None -> err "pointer to unknown buffer %s" name
+      in
+      expect_sym st "[";
+      let idx = parse_expr_list env st "]" in
+      Expr.Ptr (buf, idx)
+  | _ -> parse_primary env st
+
+and parse_expr_list env st closer =
+  if accept_sym st closer then []
+  else
+    let rec loop acc =
+      let e = parse_expr env st in
+      if accept_sym st "," then loop (e :: acc)
+      else begin
+        expect_sym st closer;
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+
+and parse_primary env st =
+  match peek st with
+  | Some (INT i) ->
+      advance st;
+      Expr.Int i
+  | Some (FLOAT f) ->
+      advance st;
+      Expr.Float (f, Dtype.F32)
+  | Some (SYM "(") ->
+      advance st;
+      let e = parse_expr env st in
+      expect_sym st ")";
+      e
+  | Some (IDENT "true") ->
+      advance st;
+      Expr.Bool true
+  | Some (IDENT "false") ->
+      advance st;
+      Expr.Bool false
+  | Some (IDENT name) -> (
+      advance st;
+      match peek st with
+      | Some (SYM "(") when String.equal name "select" ->
+          advance st;
+          let args = parse_expr_list env st ")" in
+          (match args with
+          | [ c; a; b ] -> Expr.Select (c, a, b)
+          | _ -> err "select expects 3 arguments")
+      | Some (SYM "(") when name = "min" || name = "max" ->
+          advance st;
+          let args = parse_expr_list env st ")" in
+          (match args with
+          | [ a; b ] ->
+              Expr.Bin ((if name = "min" then Expr.Min else Expr.Max), a, b)
+          | _ -> err "%s expects 2 arguments" name)
+      | Some (SYM "(") when is_dtype_name name ->
+          advance st;
+          let dt = Dtype.of_string name in
+          let args = parse_expr_list env st ")" in
+          (match args with
+          | [ Expr.Int i ] when Dtype.is_float dt -> Expr.Float (float_of_int i, dt)
+          | [ Expr.Float (f, _) ] -> Expr.Float (f, dt)
+          | [ e ] -> Expr.Cast (dt, e)
+          | _ -> err "cast expects 1 argument")
+      | Some (SYM "(") ->
+          advance st;
+          let args = parse_expr_list env st ")" in
+          (* Opaque call; dtype follows interpreter conventions. *)
+          let dt =
+            if String.length name > 4 && String.sub name 0 4 = "tir." then Dtype.Int
+            else Dtype.F32
+          in
+          Expr.Call (name, dt, args)
+      | Some (SYM "[") ->
+          advance st;
+          let buf =
+            match Hashtbl.find_opt env.buffers name with
+            | Some b -> b
+            | None -> err "load from unknown buffer %s" name
+          in
+          let idx = parse_expr_list env st "]" in
+          Expr.Load (buf, idx)
+      | _ -> Expr.Var (lookup_var env name))
+  | _ -> err "unexpected token in expression"
+
+(* ------------------------------------------------------------------ *)
+(* Line splitter                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type line = { indent : int; text : string }
+
+let split_lines (src : string) : line list =
+  String.split_on_char '\n' src
+  |> List.filter_map (fun raw ->
+         let len = String.length raw in
+         let rec leading i = if i < len && raw.[i] = ' ' then leading (i + 1) else i in
+         let ind = leading 0 in
+         let text = String.trim raw in
+         if String.equal text "" then None else Some { indent = ind; text })
+
+(* A cursor over lines. *)
+type cursor = { mutable lines : line list }
+
+let peek_line cur = match cur.lines with [] -> None | l :: _ -> Some l
+let pop_line cur =
+  match cur.lines with
+  | [] -> err "unexpected end of input"
+  | l :: rest ->
+      cur.lines <- rest;
+      l
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* ------------------------------------------------------------------ *)
+(* Statement parser                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Parse a region element list "A[i, j:j+4, 0:64]" into a buffer_region. *)
+let parse_region env st : Stmt.buffer_region =
+  let name = expect_ident st in
+  let buf =
+    match Hashtbl.find_opt env.buffers name with
+    | Some b -> b
+    | None -> err "region over unknown buffer %s" name
+  in
+  expect_sym st "[";
+  let rec dims acc =
+    let mn = parse_expr env st in
+    let dim =
+      if accept_sym st ":" then begin
+        let hi = parse_expr env st in
+        (* Printed as min : min + extent. *)
+        let ext =
+          match (mn, hi) with
+          | Expr.Int a, Expr.Int b -> b - a
+          | _, Expr.Bin (Expr.Add, m', Expr.Int e) when Expr.equal m' mn -> e
+          | _ -> err "cannot recover region extent from %a:%a" Expr.pp mn Expr.pp hi
+        in
+        (mn, ext)
+      end
+      else (mn, 1)
+    in
+    if accept_sym st "," then dims (dim :: acc)
+    else begin
+      expect_sym st "]";
+      List.rev (dim :: acc)
+    end
+  in
+  { Stmt.buffer = buf; region = dims [] }
+
+let parse_regions env st =
+  (* T.reads(A[...], B[...]) — after "T.reads(" *)
+  let rec loop acc =
+    let r = parse_region env st in
+    if accept_sym st "," then loop (r :: acc)
+    else begin
+      expect_sym st ")";
+      List.rev (r :: acc)
+    end
+  in
+  if accept_sym st ")" then [] else loop []
+
+let parse_shape st =
+  expect_sym st "(";
+  let rec loop acc =
+    let i = expect_int st in
+    if accept_sym st "," then loop (i :: acc)
+    else begin
+      expect_sym st ")";
+      List.rev (i :: acc)
+    end
+  in
+  loop []
+
+(* Parse statements at indentation >= [indent], consuming until dedent. *)
+let rec parse_block env cur ~indent : Stmt.t =
+  let stmts = ref [] in
+  let rec loop () =
+    match peek_line cur with
+    | Some l when l.indent >= indent ->
+        stmts := parse_stmt env cur :: !stmts;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  Stmt.seq (List.rev !stmts)
+
+and parse_stmt env cur : Stmt.t =
+  let l = pop_line cur in
+  let st = { toks = lex l.text } in
+  match st.toks with
+  | IDENT "for" :: _ -> parse_for env cur l st
+  | IDENT "with" :: _ -> parse_with env cur l st
+  | IDENT "if" :: _ ->
+      advance st;
+      let cond = parse_expr env st in
+      expect_sym st ":";
+      let then_ = parse_block env cur ~indent:(l.indent + 1) in
+      let else_ =
+        match peek_line cur with
+        | Some l2 when l2.indent = l.indent && String.equal l2.text "else:" ->
+            let _ = pop_line cur in
+            Some (parse_block env cur ~indent:(l.indent + 1))
+        | _ -> None
+      in
+      Stmt.If (cond, then_, else_)
+  | IDENT name :: SYM "[" :: _ when Hashtbl.mem env.buffers name ->
+      (* Buffer store. *)
+      advance st;
+      advance st;
+      let buf = Hashtbl.find env.buffers name in
+      let idx = parse_expr_list env st "]" in
+      expect_sym st "=";
+      let value = parse_expr env st in
+      Stmt.Store (buf, idx, value)
+  | _ ->
+      (* Bare expression: evaluate for effect (tensor intrinsic calls). *)
+      let e = parse_expr env st in
+      Stmt.Eval e
+
+and parse_for env cur l st : Stmt.t =
+  advance st;
+  (* loop variable names up to "in" *)
+  let rec names acc =
+    let n = expect_ident st in
+    if accept_sym st "," then names (n :: acc) else List.rev (n :: acc)
+  in
+  let vars = names [] in
+  (match st.toks with
+  | IDENT "in" :: rest -> st.toks <- rest
+  | _ -> err "expected 'in'");
+  let kind_ident = expect_ident st in
+  expect_sym st "(";
+  match kind_ident with
+  | "T.grid" ->
+      let rec extents acc =
+        let e = expect_int st in
+        if accept_sym st "," then extents (e :: acc)
+        else begin
+          expect_sym st ")";
+          List.rev (e :: acc)
+        end
+      in
+      let exts = extents [] in
+      expect_sym st ":";
+      let lvs = List.map (declare_var env) vars in
+      let body = parse_block env cur ~indent:(l.indent + 1) in
+      List.fold_right2 (fun v e acc -> Stmt.for_ v e acc) lvs exts body
+  | _ ->
+      let extent = expect_int st in
+      let kind =
+        match kind_ident with
+        | "T.serial" ->
+            expect_sym st ")";
+            Stmt.Serial
+        | "T.parallel" ->
+            expect_sym st ")";
+            Stmt.Parallel
+        | "T.vectorized" ->
+            expect_sym st ")";
+            Stmt.Vectorized
+        | "T.unroll" ->
+            expect_sym st ")";
+            Stmt.Unrolled
+        | "T.thread_binding" ->
+            expect_sym st ",";
+            let _ = expect_ident st (* thread *) in
+            expect_sym st "=";
+            let axis = expect_string st in
+            expect_sym st ")";
+            Stmt.Thread_binding axis
+        | k -> err "unknown loop kind %s" k
+      in
+      expect_sym st ":";
+      let lv =
+        match vars with [ v ] -> declare_var env v | _ -> err "multi-var non-grid loop"
+      in
+      (* Optional annotation lines. *)
+      let annotations = ref [] in
+      let rec annots () =
+        match peek_line cur with
+        | Some l2 when l2.indent > l.indent && starts_with "T.annotate(" l2.text ->
+            let _ = pop_line cur in
+            let st2 = { toks = lex l2.text } in
+            let _ = expect_ident st2 in
+            expect_sym st2 "(";
+            let key = expect_string st2 in
+            expect_sym st2 ",";
+            (* value printed bare *)
+            let value =
+              match st2.toks with
+              | INT i :: _ -> string_of_int i
+              | IDENT s :: _ -> s
+              | STRING s :: _ -> s
+              | _ -> err "bad annotation value"
+            in
+            annotations := (key, value) :: !annotations;
+            annots ()
+        | _ -> ()
+      in
+      annots ();
+      let body = parse_block env cur ~indent:(l.indent + 1) in
+      Stmt.For { loop_var = lv; extent; kind; body; annotations = List.rev !annotations }
+
+and parse_with env cur l st : Stmt.t =
+  advance st;
+  let what = expect_ident st in
+  if not (String.equal what "T.block") then err "unexpected 'with %s'" what;
+  expect_sym st "(";
+  let name = expect_string st in
+  expect_sym st ")";
+  expect_sym st ":";
+  let body_indent = l.indent + 1 in
+  (* Block items. *)
+  let iter_vars = ref [] in
+  let iter_values = ref [] in
+  let predicate = ref (Expr.Bool true) in
+  let reads = ref [] and writes = ref [] in
+  let annotations = ref [] in
+  let alloc = ref [] in
+  let init = ref None in
+  let body_stmts = ref [] in
+  let rec items () =
+    match peek_line cur with
+    | Some l2 when l2.indent >= body_indent -> (
+        let t = l2.text in
+        if starts_with "T.reads(" t then begin
+          let _ = pop_line cur in
+          let st2 = { toks = lex t } in
+          let _ = expect_ident st2 in
+          expect_sym st2 "(";
+          reads := parse_regions env st2;
+          items ()
+        end
+        else if starts_with "T.writes(" t then begin
+          let _ = pop_line cur in
+          let st2 = { toks = lex t } in
+          let _ = expect_ident st2 in
+          expect_sym st2 "(";
+          writes := parse_regions env st2;
+          items ()
+        end
+        else if starts_with "T.where(" t then begin
+          let _ = pop_line cur in
+          let st2 = { toks = lex t } in
+          let _ = expect_ident st2 in
+          expect_sym st2 "(";
+          predicate := parse_expr env st2;
+          expect_sym st2 ")";
+          items ()
+        end
+        else if starts_with "T.block_attr(" t then begin
+          let _ = pop_line cur in
+          let st2 = { toks = lex t } in
+          let _ = expect_ident st2 in
+          expect_sym st2 "(";
+          let k = expect_string st2 in
+          expect_sym st2 ":";
+          let v = expect_string st2 in
+          expect_sym st2 ")";
+          annotations := (k, v) :: !annotations;
+          items ()
+        end
+        else if starts_with "with T.init():" t then begin
+          let l3 = pop_line cur in
+          init := Some (parse_block env cur ~indent:(l3.indent + 1));
+          items ()
+        end
+        else begin
+          (* axis binding, alloc_buffer, or start of the body *)
+          let st2 = { toks = lex t } in
+          match st2.toks with
+          | IDENT _ :: SYM "=" :: IDENT axis :: SYM "(" :: _
+            when starts_with "T.axis." axis ->
+              let _ = pop_line cur in
+              let st2 = { toks = lex t } in
+              let vname = expect_ident st2 in
+              expect_sym st2 "=";
+              let axis = expect_ident st2 in
+              let itype =
+                match axis with
+                | "T.axis.spatial" -> Stmt.Spatial
+                | "T.axis.reduce" -> Stmt.Reduce
+                | "T.axis.opaque" -> Stmt.Opaque
+                | a -> err "unknown axis kind %s" a
+              in
+              expect_sym st2 "(";
+              let extent = expect_int st2 in
+              expect_sym st2 ",";
+              let value = parse_expr env st2 in
+              expect_sym st2 ")";
+              let var = declare_var env vname in
+              iter_vars := { Stmt.var; extent; itype } :: !iter_vars;
+              iter_values := value :: !iter_values;
+              items ()
+          | IDENT _ :: SYM "=" :: IDENT "T.alloc_buffer" :: SYM "(" :: _ ->
+              let _ = pop_line cur in
+              let st2 = { toks = lex t } in
+              let bname = expect_ident st2 in
+              expect_sym st2 "=";
+              let _ = expect_ident st2 in
+              expect_sym st2 "(";
+              let shape = parse_shape st2 in
+              expect_sym st2 ",";
+              let dtype = Dtype.of_string (expect_string st2) in
+              let scope =
+                if accept_sym st2 "," then begin
+                  let _ = expect_ident st2 (* scope *) in
+                  expect_sym st2 "=";
+                  expect_string st2
+                end
+                else "global"
+              in
+              ignore bname;
+              let buf = Buffer.create ~scope bname shape dtype in
+              Hashtbl.replace env.buffers bname buf;
+              alloc := buf :: !alloc;
+              items ()
+          | _ ->
+              body_stmts := parse_stmt env cur :: !body_stmts;
+              items ()
+        end)
+    | _ -> ()
+  in
+  items ();
+  let block =
+    {
+      Stmt.name;
+      iter_vars = List.rev !iter_vars;
+      reads = !reads;
+      writes = !writes;
+      init = !init;
+      alloc = List.rev !alloc;
+      annotations = List.rev !annotations;
+      body = Stmt.seq (List.rev !body_stmts);
+    }
+  in
+  Stmt.Block
+    { Stmt.iter_values = List.rev !iter_values; predicate = !predicate; block }
+
+(* ------------------------------------------------------------------ *)
+(* Function parser                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let parse_param env (s : string) : Buffer.t =
+  (* NAME: Buffer[(shape), "dtype"(, scope="...")] *)
+  let st = { toks = lex s } in
+  let name = expect_ident st in
+  expect_sym st ":";
+  let b = expect_ident st in
+  if not (String.equal b "Buffer") then err "expected Buffer in parameter";
+  expect_sym st "[";
+  let shape = parse_shape st in
+  expect_sym st ",";
+  let dtype = Dtype.of_string (expect_string st) in
+  let scope =
+    if accept_sym st "," then begin
+      let _ = expect_ident st in
+      expect_sym st "=";
+      expect_string st
+    end
+    else "global"
+  in
+  expect_sym st "]";
+  let buf = Buffer.create ~scope name shape dtype in
+  Hashtbl.replace env.buffers name buf;
+  buf
+
+(* Split the parameter list on top-level commas. *)
+let split_params (s : string) : string list =
+  let depth = ref 0 and start = ref 0 and out = ref [] in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '(' | '[' -> incr depth
+      | ')' | ']' -> decr depth
+      | ',' when !depth = 0 ->
+          out := String.sub s !start (i - !start) :: !out;
+          start := i + 1
+      | _ -> ())
+    s;
+  let tail = String.sub s !start (String.length s - !start) in
+  List.rev_map String.trim (if String.trim tail = "" then !out else tail :: !out)
+
+(** Parse a function from the script dialect. *)
+let parse_func (src : string) : Primfunc.t =
+  let env = new_env () in
+  let cur = { lines = split_lines src } in
+  (* header *)
+  let l1 = pop_line cur in
+  if not (String.equal l1.text "@T.prim_func") then err "expected @T.prim_func";
+  let l2 = pop_line cur in
+  if not (starts_with "def " l2.text) then err "expected def";
+  let paren = String.index l2.text '(' in
+  let name = String.sub l2.text 4 (paren - 4) in
+  let close = String.rindex l2.text ')' in
+  let params_str = String.sub l2.text (paren + 1) (close - paren - 1) in
+  let params =
+    if String.trim params_str = "" then []
+    else List.map (parse_param env) (split_params params_str)
+  in
+  let body = parse_block env cur ~indent:(l2.indent + 1) in
+  { Primfunc.name; params; body; attrs = [] }

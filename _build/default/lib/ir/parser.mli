@@ -1,0 +1,10 @@
+(** Parser for the TensorIR script dialect (§3.4's dump / modify /
+    re-import loop). Consumes the output of [Printer.func_to_script];
+    round-tripping is a tested fixed point. *)
+
+exception Parse_error of string
+
+(** Parse a complete function. Buffers and variables are created fresh;
+    names bind lexically (parameters and [T.alloc_buffer] declare buffers,
+    loops and [T.axis.*] declare variables). *)
+val parse_func : string -> Primfunc.t

@@ -1,0 +1,56 @@
+(** A primitive function: the unit of scheduling, measurement and execution.
+
+    The body is always a *root block* realize (a block with no iterators)
+    whose [alloc] list carries the intermediate buffers, mirroring TVM's
+    TensorIR convention. *)
+
+type t = {
+  name : string;
+  params : Buffer.t list;  (** in-order inputs then outputs *)
+  body : Stmt.t;
+  attrs : (string * string) list;
+}
+
+let root_block_name = "root"
+
+(** Wrap a statement into a root block computing over [alloc] scratch
+    buffers. *)
+let make ?(attrs = []) ~name ~params ?(alloc = []) body =
+  let root =
+    Stmt.make_block ~name:root_block_name ~iter_vars:[] ~reads:[] ~writes:[]
+      ~alloc body
+  in
+  { name; params; body = Stmt.block_realize [] root; attrs }
+
+let root_block t =
+  match t.body with
+  | Stmt.Block br -> br.Stmt.block
+  | _ -> invalid_arg "Primfunc.root_block: body is not a block"
+
+(** Replace the root block's body, preserving allocations. *)
+let with_root_body t body =
+  let root = root_block t in
+  { t with body = Stmt.block_realize [] { root with Stmt.body } }
+
+let with_alloc t alloc =
+  let root = root_block t in
+  { t with body = Stmt.block_realize [] { root with Stmt.alloc } }
+
+let alloc_buffers t = (root_block t).Stmt.alloc
+
+(** All blocks except the root, in pre-order. *)
+let blocks t =
+  List.filter
+    (fun (br : Stmt.block_realize) ->
+      not (String.equal br.block.name root_block_name))
+    (Stmt.collect_blocks t.body)
+
+let find_block t name = Stmt.find_block t.body name
+
+let find_block_exn t name =
+  match find_block t name with
+  | Some br -> br
+  | None -> invalid_arg (Printf.sprintf "block %S not found in %s" name t.name)
+
+(** Buffers accessible in the function: params plus root allocations. *)
+let all_buffers t = t.params @ alloc_buffers t

@@ -1,0 +1,38 @@
+(** A primitive function: the unit of scheduling, measurement and
+    execution. The body is always a root block realize whose [alloc] list
+    carries intermediate buffers. *)
+
+type t = {
+  name : string;
+  params : Buffer.t list;  (** in-order inputs then outputs *)
+  body : Stmt.t;
+  attrs : (string * string) list;
+}
+
+val root_block_name : string
+
+(** Wrap a statement into a root block allocating [alloc]. *)
+val make :
+  ?attrs:(string * string) list ->
+  name:string ->
+  params:Buffer.t list ->
+  ?alloc:Buffer.t list ->
+  Stmt.t ->
+  t
+
+val root_block : t -> Stmt.block
+
+(** Replace the root block's body, preserving allocations. *)
+val with_root_body : t -> Stmt.t -> t
+
+val with_alloc : t -> Buffer.t list -> t
+val alloc_buffers : t -> Buffer.t list
+
+(** All blocks except the root, pre-order. *)
+val blocks : t -> Stmt.block_realize list
+
+val find_block : t -> string -> Stmt.block_realize option
+val find_block_exn : t -> string -> Stmt.block_realize
+
+(** Parameters plus root allocations. *)
+val all_buffers : t -> Buffer.t list

@@ -1,0 +1,178 @@
+(** TVMScript-style printing of TensorIR programs.
+
+    The output mirrors the Python-AST dialect of the paper's Figure 4:
+    [for i, j in T.grid(...)] loop nests, [with T.block(...)] blocks with
+    iterator bindings, read/write region declarations, and reduction init
+    statements. Printing is the primary debugging tool — the paper makes a
+    point that one can dump the program between any two transformations. *)
+
+open Stmt
+
+(** Loop variables derived from a block iterator drop its "v" prefix —
+    unless that would not leave a valid identifier. *)
+let loop_display_name (v : Var.t) =
+  let n = v.Var.name in
+  if String.length n > 1 && n.[0] = 'v' && not (n.[1] >= '0' && n.[1] <= '9') then
+    String.sub n 1 (String.length n - 1)
+  else n
+
+let pp_region ppf (r : buffer_region) =
+  let pp_dim ppf (mn, ext) =
+    if ext = 1 then Expr.pp ppf mn
+    else Fmt.pf ppf "%a:%a" Expr.pp mn Expr.pp (Expr.add mn (Expr.Int ext))
+  in
+  Fmt.pf ppf "%a[%a]" Buffer.pp r.buffer Fmt.(list ~sep:(any ", ") pp_dim) r.region
+
+(* Collapse a chain of serial, unannotated loops into one T.grid line. *)
+let rec grid_chain acc s =
+  match s with
+  | For ({ kind = Serial; annotations = []; _ } as r) ->
+      grid_chain ((r.loop_var, r.extent) :: acc) r.body
+  | _ -> (List.rev acc, s)
+
+let rec pp_stmt ppf s =
+  match s with
+  | For ({ kind = Serial; annotations = []; _ } as r) ->
+      let vars, body = grid_chain [ (r.loop_var, r.extent) ] r.body in
+      Fmt.pf ppf "@[<v 4>for %a in T.grid(%a):@,%a@]"
+        Fmt.(list ~sep:(any ", ") Var.pp)
+        (List.map fst vars)
+        Fmt.(list ~sep:(any ", ") int)
+        (List.map snd vars) pp_stmt body
+  | For r ->
+      let kind_str =
+        match r.kind with
+        | Serial -> Fmt.str "T.serial(%d)" r.extent
+        | Parallel -> Fmt.str "T.parallel(%d)" r.extent
+        | Vectorized -> Fmt.str "T.vectorized(%d)" r.extent
+        | Unrolled -> Fmt.str "T.unroll(%d)" r.extent
+        | Thread_binding th -> Fmt.str "T.thread_binding(%d, thread=\"%s\")" r.extent th
+      in
+      let pp_ann ppf (k, v) = Fmt.pf ppf "@,T.annotate(\"%s\", %s)" k v in
+      Fmt.pf ppf "@[<v 4>for %a in %s:%a@,%a@]" Var.pp r.loop_var kind_str
+        Fmt.(list ~sep:nop pp_ann)
+        r.annotations pp_stmt r.body
+  | Block br -> pp_block_realize ppf br
+  | Store (buf, idx, v) ->
+      Fmt.pf ppf "@[<h>%a[%a] = %a@]" Buffer.pp buf
+        Fmt.(list ~sep:(any ", ") Expr.pp)
+        idx Expr.pp v
+  | Seq ss -> Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_stmt) ss
+  | If (c, t, None) -> Fmt.pf ppf "@[<v 4>if %a:@,%a@]" Expr.pp c pp_stmt t
+  | If (c, t, Some e) ->
+      Fmt.pf ppf "@[<v>@[<v 4>if %a:@,%a@]@,@[<v 4>else:@,%a@]@]" Expr.pp c
+        pp_stmt t pp_stmt e
+  | Eval e -> Expr.pp ppf e
+
+and pp_block_realize ppf br =
+  let b = br.block in
+  let pp_binding ppf (iv, value) =
+    Fmt.pf ppf "%a = T.axis.%s(%d, %a)" Var.pp iv.var
+      (iter_type_to_string iv.itype)
+      iv.extent Expr.pp value
+  in
+  let bindings = List.combine b.iter_vars br.iter_values in
+  let pp_pred ppf p =
+    match p with Expr.Bool true -> () | p -> Fmt.pf ppf "@,T.where(%a)" Expr.pp p
+  in
+  let pp_rw ppf () =
+    if b.reads <> [] then
+      Fmt.pf ppf "@,T.reads(%a)" Fmt.(list ~sep:(any ", ") pp_region) b.reads;
+    if b.writes <> [] then
+      Fmt.pf ppf "@,T.writes(%a)" Fmt.(list ~sep:(any ", ") pp_region) b.writes
+  in
+  let pp_alloc ppf buf =
+    Fmt.pf ppf "@,%s = T.alloc_buffer((%a), \"%s\", scope=\"%s\")" buf.Buffer.name
+      Fmt.(list ~sep:(any ", ") int)
+      buf.Buffer.shape
+      (Dtype.to_string buf.Buffer.dtype)
+      buf.Buffer.scope
+  in
+  let pp_annotations ppf () =
+    List.iter (fun (k, v) -> Fmt.pf ppf "@,T.block_attr(\"%s\": \"%s\")" k v) b.annotations
+  in
+  let pp_init ppf () =
+    match b.init with
+    | None -> ()
+    | Some init -> Fmt.pf ppf "@,@[<v 4>with T.init():@,%a@]" pp_stmt init
+  in
+  Fmt.pf ppf "@[<v 4>with T.block(\"%s\"):%a%a%a%a%a%a@,%a@]" b.name
+    Fmt.(list ~sep:nop (fun ppf bd -> Fmt.pf ppf "@,%a" pp_binding bd))
+    bindings pp_pred br.predicate pp_rw () pp_annotations ()
+    Fmt.(list ~sep:nop pp_alloc)
+    b.alloc pp_init () pp_stmt b.body
+
+(* Distinct variables may share a display name (schedule primitives derive
+   names mechanically). Rename binders so the printed program is
+   unambiguous — a requirement for the script parser round-trip. *)
+let uniquify (f : Primfunc.t) : Primfunc.t =
+  let used = Hashtbl.create 64 in
+  let rename (v : Var.t) =
+    let fresh_name =
+      if not (Hashtbl.mem used v.Var.name) then v.Var.name
+      else
+        let rec try_i i =
+          let candidate = Printf.sprintf "%s_%d" v.Var.name i in
+          if Hashtbl.mem used candidate then try_i (i + 1) else candidate
+        in
+        try_i 1
+    in
+    Hashtbl.replace used fresh_name ();
+    Var.rename v fresh_name
+  in
+  let rec go env (s : Stmt.t) : Stmt.t =
+    match s with
+    | Stmt.For r ->
+        let v' = rename r.loop_var in
+        let env = Var.Map.add r.loop_var (Expr.Var v') env in
+        let body = go env (Stmt.subst_map (Var.Map.singleton r.loop_var (Expr.Var v')) r.body) in
+        Stmt.For { r with loop_var = v'; body }
+    | Stmt.Block br ->
+        let b = br.Stmt.block in
+        let renames =
+          List.map (fun (iv : Stmt.iter_var) -> (iv, rename iv.var)) b.iter_vars
+        in
+        let m =
+          List.fold_left
+            (fun m ((iv : Stmt.iter_var), v') -> Var.Map.add iv.var (Expr.Var v') m)
+            Var.Map.empty renames
+        in
+        let sub st = Stmt.subst_map m st in
+        let sub_region (r : Stmt.buffer_region) =
+          { r with Stmt.region = List.map (fun (mn, ext) -> (Expr.subst_map m mn, ext)) r.region }
+        in
+        let b' =
+          {
+            b with
+            iter_vars =
+              List.map (fun ((iv : Stmt.iter_var), v') -> { iv with Stmt.var = v' }) renames;
+            reads = List.map sub_region b.reads;
+            writes = List.map sub_region b.writes;
+            init = Option.map (fun i -> go env (sub i)) b.init;
+            body = go env (sub b.body);
+          }
+        in
+        Stmt.Block { br with block = b' }
+    | _ -> Stmt.map_children (go env) s
+  in
+  List.iter (fun (b : Buffer.t) -> Hashtbl.replace used b.name ()) (Primfunc.all_buffers f);
+  { f with Primfunc.body = go Var.Map.empty f.Primfunc.body }
+
+let pp_func ppf (f : Primfunc.t) =
+  let f = uniquify f in
+  Fmt.pf ppf "@[<v>@@T.prim_func@,@[<v 4>def %s(%a):@,%a@]@]@." f.name
+    Fmt.(list ~sep:(any ", ") Buffer.pp_decl)
+    f.params pp_stmt f.body
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let stmt_to_string s = Fmt.str "%a" pp_stmt s
+
+(** Print with an unbounded margin: every logical statement occupies exactly
+    one physical line, the form [Parser.parse_func] consumes. *)
+let func_to_script f =
+  let buf = Stdlib.Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_margin ppf 1_000_000;
+  pp_func ppf f;
+  Format.pp_print_flush ppf ();
+  Stdlib.Buffer.contents buf

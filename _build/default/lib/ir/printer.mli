@@ -1,0 +1,22 @@
+(** TVMScript-style printing of TensorIR programs (the paper's Figure 4
+    dialect). Binder names are made unique before printing so output is
+    unambiguous and re-parseable by [Parser]. *)
+
+(** Loop display name derived from a block iterator (drops the "v"
+    prefix). *)
+val loop_display_name : Var.t -> string
+
+val pp_region : Format.formatter -> Stmt.buffer_region -> unit
+val pp_stmt : Format.formatter -> Stmt.t -> unit
+val pp_block_realize : Format.formatter -> Stmt.block_realize -> unit
+
+(** Rename binders so no two distinct variables share a display name. *)
+val uniquify : Primfunc.t -> Primfunc.t
+
+val pp_func : Format.formatter -> Primfunc.t -> unit
+val func_to_string : Primfunc.t -> string
+val stmt_to_string : Stmt.t -> string
+
+(** Print with an unbounded margin — one logical statement per physical
+    line, the exact form [Parser.parse_func] consumes. *)
+val func_to_script : Primfunc.t -> string

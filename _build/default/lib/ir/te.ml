@@ -1,0 +1,219 @@
+(** Tensor-expression front end.
+
+    The paper's framework generates TensorIR from high-level operator
+    definitions (§3.4); [Te] plays that role here. A stage is either a
+    placeholder (input), a spatial compute, or a reduction. [lower] emits a
+    PrimFunc with one block per compute stage, complete signatures (iterator
+    domains and read/write regions) and reduction init statements — i.e.
+    programs in the canonical form the auto-scheduler consumes. *)
+
+type combiner = Sum | Max_combiner | Min_combiner
+
+type stage_kind =
+  | Placeholder
+  | Compute of { spatial : Var.t list; value : Expr.t }
+  | Reduce of {
+      spatial : Var.t list;
+      reduce : Var.t list;
+      rdom : int list;
+      combiner : combiner;
+      value : Expr.t;
+    }
+
+type t = { buffer : Buffer.t; kind : stage_kind; deps : t list }
+
+let buffer t = t.buffer
+let shape t = t.buffer.Buffer.shape
+let dtype t = t.buffer.Buffer.dtype
+
+(* Registry lets compute bodies reference other stages through plain buffer
+   loads while [lower] can still walk the stage graph. *)
+let registry : (int, t) Hashtbl.t = Hashtbl.create 64
+
+let register t =
+  Hashtbl.replace registry t.buffer.Buffer.id t;
+  t
+
+let stage_of_buffer b = Hashtbl.find_opt registry b.Buffer.id
+
+let placeholder name shape dtype =
+  register { buffer = Buffer.create name shape dtype; kind = Placeholder; deps = [] }
+
+(** [get t indices] is the element read [t[indices]]. *)
+let get t indices = Expr.Load (t.buffer, indices)
+
+let deps_of_expr value =
+  Buffer.Set.fold
+    (fun b acc -> match stage_of_buffer b with Some s -> s :: acc | None -> acc)
+    (Expr.loaded_buffers value) []
+
+let axis_names = [| "i"; "j"; "k"; "l"; "m"; "n" |]
+let raxis_names = [| "r0"; "r1"; "r2"; "r3" |]
+
+let make_axes names prefix shape =
+  List.mapi
+    (fun i extent ->
+      let name =
+        if i < Array.length names then names.(i) else Printf.sprintf "%s%d" prefix i
+      in
+      (Var.fresh ("v" ^ name), extent))
+    shape
+
+(* Loop variables take the block iterator's name without the "v" prefix. *)
+let loop_name_of (v : Var.t) =
+  let n = v.name in
+  if String.length n > 1 && n.[0] = 'v' then String.sub n 1 (String.length n - 1)
+  else n
+
+let compute name ?(dtype = Dtype.F32) shape f =
+  let axes = make_axes axis_names "i" shape in
+  let spatial = List.map fst axes in
+  let value = f (List.map (fun v -> Expr.Var v) spatial) in
+  let buffer = Buffer.create name shape dtype in
+  register { buffer; kind = Compute { spatial; value }; deps = deps_of_expr value }
+
+let reduce name ?(dtype = Dtype.F32) ?(combiner = Sum) ~shape ~rdom f =
+  let axes = make_axes axis_names "i" shape in
+  let raxes = make_axes raxis_names "r" rdom in
+  let spatial = List.map fst axes and reduce = List.map fst raxes in
+  let value =
+    f (List.map (fun v -> Expr.Var v) spatial) (List.map (fun v -> Expr.Var v) reduce)
+  in
+  let buffer = Buffer.create name shape dtype in
+  register
+    {
+      buffer;
+      kind = Reduce { spatial; reduce; rdom; combiner; value };
+      deps = deps_of_expr value;
+    }
+
+let combiner_init combiner dtype =
+  match (combiner, dtype) with
+  | Sum, dt when Dtype.is_float dt -> Expr.Float (0.0, dt)
+  | Sum, _ -> Expr.Int 0
+  | Max_combiner, dt when Dtype.is_float dt -> Expr.Float (-3.4e38, dt)
+  | Max_combiner, _ -> Expr.Int min_int
+  | Min_combiner, dt when Dtype.is_float dt -> Expr.Float (3.4e38, dt)
+  | Min_combiner, _ -> Expr.Int max_int
+
+let combiner_apply combiner acc v =
+  match combiner with
+  | Sum -> Expr.add acc v
+  | Max_combiner -> Expr.max_ acc v
+  | Min_combiner -> Expr.min_ acc v
+
+(* Read regions for a scalar-bodied block: one (index, 1) region per load
+   site, unioned per buffer. Identical index lists merge directly; differing
+   sites widen to the full buffer (sound, and rare in our workloads). *)
+let infer_reads ?(exclude = []) value =
+  let sites : (Buffer.t * Expr.t list) list ref = ref [] in
+  Expr.iter
+    (function Expr.Load (b, idx) -> sites := (b, idx) :: !sites | _ -> ())
+    value;
+  let seen = ref [] in
+  let regions = ref [] in
+  List.iter
+    (fun ((b : Buffer.t), idx) ->
+      if not (List.exists (fun (b' : Buffer.t) -> Buffer.equal b b') exclude) then
+        match List.assoc_opt b.id !seen with
+        | None ->
+            seen := (b.id, idx) :: !seen;
+            regions :=
+              { Stmt.buffer = b; region = List.map (fun i -> (i, 1)) idx } :: !regions
+        | Some idx0 ->
+            if not (List.for_all2 Expr.equal idx idx0) then
+              regions :=
+                List.map
+                  (fun (r : Stmt.buffer_region) ->
+                    if Buffer.equal r.buffer b then
+                      {
+                        Stmt.buffer = b;
+                        region = List.map (fun ext -> (Expr.Int 0, ext)) b.shape;
+                      }
+                    else r)
+                  !regions)
+    (List.rev !sites);
+  List.rev !regions
+
+(** Loop nest + block for one stage, or [None] for placeholders. *)
+let block_of_stage t =
+  match t.kind with
+  | Placeholder -> None
+  | Compute { spatial; value } ->
+      let iter_vars = List.map2 (fun v e -> Stmt.iter_var v e) spatial (shape t) in
+      let store_idx = List.map (fun v -> Expr.Var v) spatial in
+      let writes =
+        [ { Stmt.buffer = t.buffer; region = List.map (fun i -> (i, 1)) store_idx } ]
+      in
+      let body = Stmt.Store (t.buffer, store_idx, value) in
+      let block =
+        Stmt.make_block ~name:t.buffer.Buffer.name ~iter_vars
+          ~reads:(infer_reads value) ~writes body
+      in
+      Some (List.map2 (fun v e -> (v, e)) spatial (shape t), block)
+  | Reduce { spatial; reduce; rdom; combiner; value } ->
+      let iter_vars =
+        List.map2 (fun v e -> Stmt.iter_var v e) spatial (shape t)
+        @ List.map2 (fun v e -> Stmt.iter_var ~itype:Stmt.Reduce v e) reduce rdom
+      in
+      let store_idx = List.map (fun v -> Expr.Var v) spatial in
+      let acc = Expr.Load (t.buffer, store_idx) in
+      let body = Stmt.Store (t.buffer, store_idx, combiner_apply combiner acc value) in
+      let init = Stmt.Store (t.buffer, store_idx, combiner_init combiner (dtype t)) in
+      let writes =
+        [ { Stmt.buffer = t.buffer; region = List.map (fun i -> (i, 1)) store_idx } ]
+      in
+      let reads = infer_reads ~exclude:[ t.buffer ] value in
+      let block =
+        Stmt.make_block ~init:(Some init) ~name:t.buffer.Buffer.name ~iter_vars
+          ~reads ~writes body
+      in
+      let loops =
+        List.map2 (fun v e -> (v, e)) spatial (shape t)
+        @ List.map2 (fun v e -> (v, e)) reduce rdom
+      in
+      Some (loops, block)
+
+(** Topological order of stages reachable from [outputs] (deps first). *)
+let toposort outputs =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit t =
+    if not (Hashtbl.mem visited t.buffer.Buffer.id) then begin
+      Hashtbl.add visited t.buffer.Buffer.id ();
+      List.iter visit t.deps;
+      order := t :: !order
+    end
+  in
+  List.iter visit outputs;
+  List.rev !order
+
+(** Lower a stage DAG to a PrimFunc. [args] lists the function parameters in
+    order (placeholders and output stages); every other reachable stage
+    becomes a root-allocated intermediate. *)
+let lower ~name ~args outputs =
+  let stages = toposort outputs in
+  let arg_ids = List.map (fun t -> t.buffer.Buffer.id) args in
+  let is_param t = List.mem t.buffer.Buffer.id arg_ids in
+  let alloc =
+    List.filter_map
+      (fun t -> if is_param t || t.kind = Placeholder then None else Some t.buffer)
+      stages
+  in
+  let nest_of_stage t =
+    match block_of_stage t with
+    | None -> None
+    | Some (loops, block) ->
+        (* Block iterator variables are binders distinct from loop variables:
+           create fresh loop vars and bind iter values to them. *)
+        let fresh_loops =
+          List.map (fun (v, e) -> (Var.fresh (loop_name_of v), e)) loops
+        in
+        let iter_values = List.map (fun ((v : Var.t), _) -> Expr.Var v) fresh_loops in
+        let realize = Stmt.block_realize iter_values block in
+        Some
+          (List.fold_right (fun (v, e) acc -> Stmt.for_ v e acc) fresh_loops realize)
+  in
+  let body_stmts = List.filter_map nest_of_stage stages in
+  Primfunc.make ~name ~params:(List.map (fun t -> t.buffer) args) ~alloc
+    (Stmt.seq body_stmts)

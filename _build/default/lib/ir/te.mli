@@ -1,0 +1,62 @@
+(** Tensor-expression front end (the paper's §3.4 operator-definition
+    layer): placeholders, spatial computes and reductions, lowered to
+    PrimFuncs whose blocks carry complete signatures. *)
+
+type combiner = Sum | Max_combiner | Min_combiner
+
+type stage_kind =
+  | Placeholder
+  | Compute of { spatial : Var.t list; value : Expr.t }
+  | Reduce of {
+      spatial : Var.t list;
+      reduce : Var.t list;
+      rdom : int list;
+      combiner : combiner;
+      value : Expr.t;
+    }
+
+type t = { buffer : Buffer.t; kind : stage_kind; deps : t list }
+
+val buffer : t -> Buffer.t
+val shape : t -> int list
+val dtype : t -> Dtype.t
+
+(** Stage that produced a buffer, if any (global registry). *)
+val stage_of_buffer : Buffer.t -> t option
+
+val placeholder : string -> int list -> Dtype.t -> t
+
+(** [get t indices] is the element read [t\[indices\]] as an expression. *)
+val get : t -> Expr.t list -> Expr.t
+
+(** [compute name shape f] defines an output where element [idx] is
+    [f idx]. *)
+val compute : string -> ?dtype:Dtype.t -> int list -> (Expr.t list -> Expr.t) -> t
+
+(** [reduce name ~shape ~rdom f] defines
+    [out\[sp\] = combine over rd of f sp rd]. *)
+val reduce :
+  string ->
+  ?dtype:Dtype.t ->
+  ?combiner:combiner ->
+  shape:int list ->
+  rdom:int list ->
+  (Expr.t list -> Expr.t list -> Expr.t) ->
+  t
+
+val combiner_init : combiner -> Dtype.t -> Expr.t
+val combiner_apply : combiner -> Expr.t -> Expr.t -> Expr.t
+
+(** Per-load read regions of a scalar block body (used by lowering and by
+    inlining to re-derive signatures). *)
+val infer_reads : ?exclude:Buffer.t list -> Expr.t -> Stmt.buffer_region list
+
+(** Loop nest and block for one stage, or [None] for placeholders. *)
+val block_of_stage : t -> ((Var.t * int) list * Stmt.block) option
+
+(** Dependency-first ordering of stages reachable from the outputs. *)
+val toposort : t list -> t list
+
+(** Lower a stage DAG to a PrimFunc. [args] lists the function parameters
+    in order; other reachable stages become root-allocated intermediates. *)
+val lower : name:string -> args:t list -> t list -> Primfunc.t

@@ -1,0 +1,30 @@
+(** Variables with globally unique identities.
+
+    Equality is by [id], never by name: schedule primitives freely create
+    loop variables that share a display name ([i0], [i1], ...) and the
+    zipper machinery locates loops by variable identity. *)
+
+type t = { id : int; name : string; dtype : Dtype.t }
+
+let counter = ref 0
+
+let fresh ?(dtype = Dtype.Int) name =
+  incr counter;
+  { id = !counter; name; dtype }
+
+(** [rename v name] keeps the identity but changes the display name. *)
+let rename v name = { v with name }
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash a = a.id
+let pp ppf v = Fmt.string ppf v.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,21 @@
+(** Variables with globally unique identities.
+
+    Equality is by identity ([id]), never by display name: schedule
+    primitives freely create variables sharing a name, and the zipper
+    machinery addresses loops by variable identity. *)
+
+type t = { id : int; name : string; dtype : Dtype.t }
+
+(** A fresh variable with a new identity. *)
+val fresh : ?dtype:Dtype.t -> string -> t
+
+(** Same identity, different display name. *)
+val rename : t -> string -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

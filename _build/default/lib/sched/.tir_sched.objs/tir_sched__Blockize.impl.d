@@ -1,0 +1,1 @@
+lib/sched/blockize.ml: Bound Expr List State Stmt Tir_arith Tir_ir Var

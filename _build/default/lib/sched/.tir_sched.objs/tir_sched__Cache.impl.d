@@ -1,0 +1,1 @@
+lib/sched/cache.ml: Buffer Expr List Option Primfunc Printf State Stmt String Tir_ir Var

@@ -1,0 +1,1 @@
+lib/sched/compute_location.ml: Bound Buffer Expr List Printer State Stmt Tir_arith Tir_ir Var Zipper

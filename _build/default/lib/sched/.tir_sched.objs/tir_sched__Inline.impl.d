@@ -1,0 +1,1 @@
+lib/sched/inline.ml: Buffer Expr List Option Primfunc State Stmt String Te Tir_ir Var

@@ -1,0 +1,1 @@
+lib/sched/loop_transform.ml: Bound Expr List Queue State Stmt Tir_arith Tir_ir Var Zipper

@@ -1,0 +1,1 @@
+lib/sched/reduction.ml: Buffer Cache Expr List Printer State Stmt Te Tir_ir Var Zipper

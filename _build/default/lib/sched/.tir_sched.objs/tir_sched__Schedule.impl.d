@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Blockize Cache Compute_location Inline List Loop_transform Printf Reduction State String Tensorize Tir_ir Validate

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Buffer Format Primfunc Stmt Tir_ir Validate Var Zipper

@@ -1,0 +1,1 @@
+lib/sched/state.ml: Buffer Expr Fmt List Option Primfunc Printer Printf Stmt Tir_arith Tir_ir Var Zipper

@@ -1,0 +1,1 @@
+lib/sched/tensorize.ml: Blockize Buffer Dtype Expr Float List Option State Stmt String Tir_arith Tir_intrin Tir_ir Var

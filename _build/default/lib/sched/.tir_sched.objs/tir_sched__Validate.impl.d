@@ -1,0 +1,1 @@
+lib/sched/validate.ml: Bound Buffer Expr Fmt Hashtbl List Option Primfunc State Stmt String Tir_arith Tir_intrin Tir_ir Var

@@ -1,0 +1,1 @@
+lib/sched/zipper.ml: Bound Expr List Option Stmt String Tir_ir Var

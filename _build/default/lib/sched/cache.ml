@@ -1,0 +1,126 @@
+(** Caching primitives: cache_read, cache_write, set_scope.
+
+    These introduce the data-movement sub-blocks of the paper's memory
+    hierarchy story: a cache block copies a buffer into a new storage scope
+    (shared memory, registers, wmma fragments) and the target block is
+    redirected to the cached copy. Freshly created cache blocks copy the
+    whole buffer at root scope; compute_at then shrinks them to the needed
+    region, which is how AutoCopy stages get positioned. *)
+
+open Tir_ir
+open State
+
+let sanitize_scope scope =
+  String.map (function '.' -> '_' | c -> c) scope
+
+(* Build a copy block [dst[idx] = src[idx]] over the full shape. *)
+let copy_block t ~name ~src ~dst =
+  let shape = src.Buffer.shape in
+  let ivs =
+    List.mapi (fun i ext -> Stmt.iter_var (Var.fresh (Printf.sprintf "v%d" i)) ext) shape
+  in
+  let idx = List.map (fun (iv : Stmt.iter_var) -> Expr.Var iv.var) ivs in
+  let block =
+    Stmt.make_block ~name
+      ~iter_vars:ivs
+      ~reads:[ { Stmt.buffer = src; region = List.map (fun i -> (i, 1)) idx } ]
+      ~writes:[ { Stmt.buffer = dst; region = List.map (fun i -> (i, 1)) idx } ]
+      (Stmt.Store (dst, idx, Expr.Load (src, idx)))
+  in
+  let loops = List.mapi (fun i ext -> (Var.fresh (Printf.sprintf "c%d" i), ext)) shape in
+  let values = List.map (fun (v, _) -> Expr.Var v) loops in
+  ignore t;
+  List.fold_right
+    (fun (v, ext) acc -> Stmt.for_ v ext acc)
+    loops
+    (Stmt.block_realize values block)
+
+(* The root block body as an explicit statement list, plus the index of the
+   top-level element containing block [name]. *)
+let root_elements t name =
+  let root = Primfunc.root_block (func t) in
+  let elements = match root.Stmt.body with Stmt.Seq ss -> ss | s -> [ s ] in
+  let idx =
+    let found = ref None in
+    List.iteri
+      (fun i s ->
+        if !found = None && Stmt.find_block s name <> None then found := Some i)
+      elements;
+    match !found with
+    | Some i -> i
+    | None -> err "block %S not found at root scope" name
+  in
+  (elements, idx)
+
+let set_root_elements t elements =
+  t.func <-
+    Primfunc.with_root_body t.func (Stmt.seq elements)
+
+(* Rewrite buffer accesses inside the named block only. *)
+let redirect_in_block t block_name ~from ~to_ =
+  let path, br = block_path t block_name in
+  let b = br.Stmt.block in
+  let swap_region (r : Stmt.buffer_region) =
+    if Buffer.equal r.buffer from then { r with buffer = to_ } else r
+  in
+  let rewrite = Stmt.replace_buffer ~from ~to_ in
+  let b' =
+    {
+      b with
+      body = rewrite b.body;
+      init = Option.map rewrite b.init;
+      reads = List.map swap_region b.reads;
+      writes = List.map swap_region b.writes;
+    }
+  in
+  replace t path (Stmt.Block { br with block = b' })
+
+(** [cache_read t block buffer scope] creates a cache of [buffer] in
+    [scope], redirects [block]'s reads to it, and places the copy block at
+    root scope just before the nest containing [block]. Returns the copy
+    block's name. *)
+let cache_read t block_name buffer scope =
+  let cache =
+    Buffer.create ~scope
+      (fresh_name t (buffer.Buffer.name ^ "_" ^ sanitize_scope scope))
+      buffer.Buffer.shape buffer.Buffer.dtype
+  in
+  let cname = cache.Buffer.name in
+  let nest = copy_block t ~name:cname ~src:buffer ~dst:cache in
+  let elements, idx = root_elements t block_name in
+  let before, after = (List.filteri (fun i _ -> i < idx) elements, List.filteri (fun i _ -> i >= idx) elements) in
+  set_root_elements t (before @ (nest :: after));
+  redirect_in_block t block_name ~from:buffer ~to_:cache;
+  add_alloc t cache;
+  cname
+
+(** [cache_write t block buffer scope] makes [block] write into a cache in
+    [scope] and adds a copy-back block after the nest containing [block].
+    Returns the copy-back block's name. *)
+let cache_write t block_name buffer scope =
+  let cache =
+    Buffer.create ~scope
+      (fresh_name t (buffer.Buffer.name ^ "_" ^ sanitize_scope scope))
+      buffer.Buffer.shape buffer.Buffer.dtype
+  in
+  let cname = cache.Buffer.name in
+  redirect_in_block t block_name ~from:buffer ~to_:cache;
+  let nest = copy_block t ~name:cname ~src:cache ~dst:buffer in
+  let elements, idx = root_elements t block_name in
+  let before, after =
+    (List.filteri (fun i _ -> i <= idx) elements, List.filteri (fun i _ -> i > idx) elements)
+  in
+  set_root_elements t (before @ (nest :: after));
+  add_alloc t cache;
+  cname
+
+(** Change the storage scope of an intermediate buffer everywhere. *)
+let set_scope t buffer scope =
+  let to_ = Buffer.with_scope buffer scope in
+  set_body t (Stmt.replace_buffer ~from:buffer ~to_ (body t));
+  t.func <-
+    Primfunc.with_alloc t.func
+      (List.map
+         (fun b -> if Buffer.equal b buffer then to_ else b)
+         (alloc_buffers t));
+  to_

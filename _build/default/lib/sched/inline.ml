@@ -1,0 +1,138 @@
+(** Inlining primitives: compute_inline and reverse_compute_inline.
+
+    Inlining is the cross-block optimization the paper notes block isolation
+    must not prevent (§3.2): a producer's definition is substituted into its
+    consumers (or an elementwise consumer into its producer), with block
+    read regions re-inferred from the rewritten bodies. *)
+
+open Tir_ir
+open State
+
+(* A block eligible as inlining pivot: scalar store with trivial indices. *)
+let store_of_block (b : Stmt.block) =
+  match b.body with
+  | Stmt.Store (buf, idx, value) -> (buf, idx, value)
+  | _ -> err "block %S body is not a single store" b.name
+
+let trivial_index_vars name idx =
+  List.map
+    (function
+      | Expr.Var v -> v
+      | e -> err "block %S store index %a is not a plain iterator" name Expr.pp e)
+    idx
+
+(* Recompute the read regions of a scalar-store block from its body. *)
+let reinfer_reads (b : Stmt.block) =
+  match b.body with
+  | Stmt.Store (buf, _, value) ->
+      let exclude = if Option.is_some b.init then [ buf ] else [] in
+      { b with reads = Te.infer_reads ~exclude value }
+  | _ -> b
+
+(** [compute_inline t name] removes block [name] (an injective elementwise
+    definition [B\[vi...\] = expr]) and substitutes its definition into every
+    consumer. *)
+let compute_inline t name =
+  let _, br = block_path t name in
+  let b = br.Stmt.block in
+  if b.init <> None then err "compute_inline: %S is a reduction block" name;
+  List.iter
+    (fun (iv : Stmt.iter_var) ->
+      if iv.itype <> Stmt.Spatial then err "compute_inline: %S has non-spatial iterators" name)
+    b.iter_vars;
+  let buf, idx, value = store_of_block b in
+  (* Function outputs have external consumers: their producer cannot be
+     inlined away. *)
+  if List.exists (Buffer.equal buf) (func t).Primfunc.params then
+    err "compute_inline: %S writes function output %a" name Buffer.pp buf;
+  let ivars = trivial_index_vars name idx in
+  let _ = remove_block t name in
+  (* Rewrite loads of [buf] everywhere: B[args] -> value[ivars := args]. *)
+  let rec rewrite_expr (e : Expr.t) =
+    let e = Expr.map_children rewrite_expr e in
+    match e with
+    | Expr.Load (b', args) when Buffer.equal b' buf ->
+        let m =
+          List.fold_left2 (fun m v a -> Var.Map.add v a m) Var.Map.empty ivars args
+        in
+        Expr.subst_map m value
+    | _ -> e
+  in
+  let rec rewrite_stmt (s : Stmt.t) =
+    match s with
+    | Stmt.Block br' ->
+        let b' = reinfer_reads { br'.Stmt.block with body = rewrite_stmt br'.Stmt.block.body } in
+        Stmt.Block { br' with block = b' }
+    | _ -> Stmt.map_exprs rewrite_expr (Stmt.map_children rewrite_stmt s)
+  in
+  set_body t (rewrite_stmt (body t));
+  remove_alloc t buf
+
+(** [reverse_compute_inline t name] removes the elementwise consumer block
+    [name] by fusing it into its (sole, non-reduction) producer — e.g. an
+    epilogue [D\[vi,vj\] = relu(C\[vi,vj\])] folds back into the block that
+    produces [C]. *)
+let reverse_compute_inline t name =
+  let _, brc = block_path t name in
+  let c = brc.Stmt.block in
+  if c.init <> None then err "reverse_compute_inline: %S is a reduction" name;
+  let out_buf, out_idx, c_value = store_of_block c in
+  (* The consumed buffer: the single buffer read with trivial indices. *)
+  let p_buf, p_args =
+    match c.reads with
+    | [ r ] -> (
+        let sites = ref [] in
+        Expr.iter
+          (function
+            | Expr.Load (b', args) when Buffer.equal b' r.buffer ->
+                sites := args :: !sites
+            | _ -> ())
+          c_value;
+        match !sites with
+        | [ args ] -> (r.buffer, trivial_index_vars name args)
+        | _ -> err "reverse_compute_inline: %S reads its input more than once" name)
+    | _ -> err "reverse_compute_inline: %S must read exactly one buffer" name
+  in
+  (* Find the producer block. *)
+  let producer =
+    match
+      List.filter
+        (fun (br : Stmt.block_realize) ->
+          List.exists
+            (fun (w : Stmt.buffer_region) -> Buffer.equal w.buffer p_buf)
+            br.block.writes
+          && not (String.equal br.block.name name))
+        (blocks t)
+    with
+    | [ br ] -> br.Stmt.block
+    | _ -> err "reverse_compute_inline: %S needs a unique producer" name
+  in
+  if producer.init <> None then
+    err "reverse_compute_inline: producer %S is a reduction block" producer.name;
+  let _, p_idx, p_value = store_of_block producer in
+  let _ = remove_block t name in
+  (* Map consumer iterators to the producer's store indices dimension-wise:
+     C reads p_buf[p_args], producer stores p_buf[p_idx]. *)
+  let m = List.fold_left2 (fun m v e -> Var.Map.add v e m) Var.Map.empty p_args p_idx in
+  let rec fold_value (e : Expr.t) =
+    let e = Expr.map_children fold_value e in
+    match e with
+    | Expr.Load (b', _) when Buffer.equal b' p_buf -> p_value
+    | _ -> e
+  in
+  let new_value = Expr.subst_map m (fold_value c_value) in
+  let new_idx = List.map (Expr.subst_map m) out_idx in
+  let new_writes =
+    [ { Stmt.buffer = out_buf; region = List.map (fun i -> (i, 1)) new_idx } ]
+  in
+  let path, brp = block_path t producer.name in
+  let p' =
+    reinfer_reads
+      {
+        brp.Stmt.block with
+        body = Stmt.Store (out_buf, new_idx, new_value);
+        writes = new_writes;
+      }
+  in
+  replace t path (Stmt.Block { brp with block = p' });
+  remove_alloc t p_buf

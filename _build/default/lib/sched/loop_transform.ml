@@ -1,0 +1,194 @@
+(** Loop transformations: split, fuse, reorder, thread binding, annotation.
+
+    These mutate the loop nest outside blocks and never look inside block
+    bodies — the point of the block abstraction (paper Figure 6). Iterator
+    bindings in contained block realizes are rewritten through substitution
+    and re-simplified. *)
+
+open Tir_ir
+open State
+
+(* Push a guard into every block realize inside [s]: guards from
+   non-divisible splits become realize predicates, which both validation and
+   the interpreter understand. *)
+let rec guard_blocks pred (s : Stmt.t) : Stmt.t =
+  match s with
+  | Stmt.Block br -> Stmt.Block { br with predicate = Expr.and_ br.predicate pred }
+  | _ -> Stmt.map_children (guard_blocks pred) s
+
+(* Simplify iterator bindings (and predicates) of realizes inside [s] with
+   ranges of the new loop variables available. *)
+let resimplify_bindings ranges (s : Stmt.t) : Stmt.t =
+  let ctx = { Tir_arith.Simplify.ranges } in
+  let rec go extra s =
+    match s with
+    | Stmt.For r ->
+        Stmt.For
+          { r with body = go (Var.Map.add r.loop_var (Bound.of_extent r.extent) extra) r.body }
+    | Stmt.Block br ->
+        let ctx = { Tir_arith.Simplify.ranges = Var.Map.union (fun _ a _ -> Some a) extra ctx.ranges } in
+        Stmt.Block
+          {
+            br with
+            iter_values = List.map (Tir_arith.Simplify.simplify ctx) br.iter_values;
+            predicate = Tir_arith.Simplify.simplify ctx br.predicate;
+          }
+    | _ -> Stmt.map_children (go extra) s
+  in
+  go Var.Map.empty s
+
+(** [split t v ~factors] splits loop [v] into nested loops with the given
+    extents, outermost first. At most one factor may be [0], meaning "infer
+    from the extent". If the product exceeds the extent, a predicate is
+    pushed into the contained blocks. Returns the new loop variables,
+    outermost first. *)
+let split t v ~factors =
+  let path, r = loop_path t v in
+  if List.length factors < 2 then err "split needs at least two factors";
+  let holes = List.length (List.filter (fun f -> f = 0) factors) in
+  if holes > 1 then err "split: at most one factor may be inferred";
+  let known = List.fold_left (fun acc f -> if f = 0 then acc else acc * f) 1 factors in
+  let factors =
+    if holes = 1 then
+      List.map (fun f -> if f = 0 then (r.extent + known - 1) / known else f) factors
+    else factors
+  in
+  let product = List.fold_left ( * ) 1 factors in
+  if product < r.extent then err "split factors %d < extent %d" product r.extent;
+  let new_vars = List.map (fun _ -> Var.fresh (v.Var.name ^ "_")) factors in
+  (* v = ((v0 * f1 + v1) * f2 + v2) ... *)
+  let value =
+    List.fold_left2
+      (fun acc nv f -> Expr.add (Expr.mul acc (Expr.Int f)) (Expr.Var nv))
+      (Expr.Int 0) new_vars factors
+  in
+  let body = Stmt.subst_map (Var.Map.singleton v value) r.body in
+  let body =
+    if product > r.extent then guard_blocks (Expr.lt value (Expr.Int r.extent)) body
+    else body
+  in
+  let nest =
+    List.fold_right2
+      (fun nv f acc -> Stmt.for_ ~kind:r.kind ~annotations:r.annotations nv f acc)
+      new_vars factors body
+  in
+  let ranges =
+    List.fold_left2
+      (fun m nv f -> Var.Map.add nv (Bound.of_extent f) m)
+      (Zipper.ranges_of_path path) new_vars factors
+  in
+  replace t path (resimplify_bindings ranges nest);
+  new_vars
+
+(** [fuse t v1 v2] fuses two perfectly nested loops ([v2] directly inside
+    [v1]) into one; returns the fused loop variable. *)
+let fuse t v1 v2 =
+  let path, r1 = loop_path t v1 in
+  let r2 =
+    match r1.body with
+    | Stmt.For r2 when Var.equal r2.Stmt.loop_var v2 -> r2
+    | _ -> err "fuse: %a is not directly nested in %a" Var.pp v2 Var.pp v1
+  in
+  let fused = Var.fresh (v1.Var.name ^ "_" ^ v2.Var.name ^ "_f") in
+  let open Expr in
+  let sub =
+    Var.Map.of_seq
+      (List.to_seq
+         [
+           (v1, div (Var fused) (Int r2.extent));
+           (v2, mod_ (Var fused) (Int r2.extent));
+         ])
+  in
+  let body = Stmt.subst_map sub r2.body in
+  let extent = r1.extent * r2.extent in
+  let ranges = Var.Map.add fused (Bound.of_extent extent) (Zipper.ranges_of_path path) in
+  replace t path
+    (resimplify_bindings ranges
+       (Stmt.for_ ~kind:r1.kind ~annotations:r1.annotations fused extent body));
+  fused
+
+(** Fuse a list of (perfectly nested, outermost-first) loops. *)
+let fuse_many t vars =
+  match vars with
+  | [] -> err "fuse_many: empty"
+  | v :: rest -> List.fold_left (fun acc v' -> fuse t acc v') v rest
+
+(** [reorder t vars] permutes loops in a single perfectly nested chain so
+    the listed variables appear in the given order (unlisted chain loops
+    keep their positions). *)
+let reorder t vars =
+  if vars = [] then ()
+  else begin
+    (* Find the outermost listed loop, then walk the chain inward. *)
+    let outermost =
+      let first_in stmt =
+        match
+          Zipper.find
+            (function
+              | Stmt.For r -> List.exists (Var.equal r.Stmt.loop_var) vars
+              | _ -> false)
+            stmt
+        with
+        | Some (path, Stmt.For r) -> (path, r)
+        | _ -> err "reorder: no listed loop found"
+      in
+      first_in (body t)
+    in
+    let path, r0 = outermost in
+    (* Collect the maximal single-chain nest from here inward. *)
+    let rec chain acc (s : Stmt.t) =
+      match s with
+      | Stmt.For r -> chain ((r.loop_var, r.extent, r.kind, r.annotations) :: acc) r.body
+      | _ -> (List.rev acc, s)
+    in
+    let loops, innermost_body = chain [] (Stmt.For r0) in
+    let in_chain v = List.exists (fun (lv, _, _, _) -> Var.equal lv v) loops in
+    List.iter
+      (fun v -> if not (in_chain v) then err "reorder: %a is not in the loop chain" Var.pp v)
+      vars;
+    (* Positions of listed loops, replaced in the requested order. *)
+    let listed = List.filter (fun (lv, _, _, _) -> List.exists (Var.equal lv) vars) loops in
+    let reordered = Queue.create () in
+    List.iter
+      (fun v ->
+        let entry = List.find (fun (lv, _, _, _) -> Var.equal lv v) listed in
+        Queue.add entry reordered)
+      vars;
+    let new_loops =
+      List.map
+        (fun ((lv, _, _, _) as entry) ->
+          if List.exists (Var.equal lv) vars then Queue.pop reordered else entry)
+        loops
+    in
+    let nest =
+      List.fold_right
+        (fun (lv, ext, kind, annotations) acc -> Stmt.for_ ~kind ~annotations lv ext acc)
+        new_loops innermost_body
+    in
+    replace t path nest
+  end
+
+let set_kind t v kind =
+  let path, r = loop_path t v in
+  replace t path (Stmt.For { r with kind })
+
+(** Bind a loop to a GPU thread axis (e.g. "blockIdx.x", "threadIdx.y"). *)
+let bind t v thread = set_kind t v (Stmt.Thread_binding thread)
+
+let parallel t v = set_kind t v Stmt.Parallel
+let vectorize t v = set_kind t v Stmt.Vectorized
+let unroll t v = set_kind t v Stmt.Unrolled
+
+(** Attach a key/value annotation to a loop (e.g. software pipelining or
+    unroll-depth hints consumed by the simulator). *)
+let annotate t v key value =
+  let path, r = loop_path t v in
+  replace t path (Stmt.For { r with annotations = (key, value) :: r.annotations })
+
+(** Attach an annotation to a block. *)
+let annotate_block t name key value =
+  let path, br = block_path t name in
+  let block = br.Stmt.block in
+  replace t path
+    (Stmt.Block
+       { br with block = { block with annotations = (key, value) :: block.annotations } })

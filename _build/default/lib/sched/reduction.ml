@@ -1,0 +1,337 @@
+(** Reduction-form transformations (paper §3.1, "Reduction Block and
+    Initialization").
+
+    [decompose_reduction] converts the init-statement representation into
+    the two-block representation: the initialization is hoisted into its own
+    block placed just before a chosen reduction-related loop, with the
+    spatial loop structure below that point cloned. The inverse direction is
+    not needed by the auto-scheduler but validation treats both forms
+    uniformly. *)
+
+open Tir_ir
+open State
+
+(** [decompose_reduction t block loop] splits the init statement of
+    [block] out as a new block placed immediately before [loop]. Returns
+    the init block's name. *)
+let decompose_reduction t block_name loop_var =
+  let path, br = block_path t block_name in
+  let b = br.Stmt.block in
+  let init =
+    match b.init with
+    | Some init -> init
+    | None -> err "decompose_reduction: block %S has no init" block_name
+  in
+  (* Split the path at the target loop. *)
+  let rec split inside = function
+    | [] -> err "decompose_reduction: loop %a does not enclose %S" Var.pp loop_var block_name
+    | Zipper.F_for r :: rest when Var.equal r.loop_var loop_var ->
+        (List.rev inside, (r.loop_var, r.extent, r.kind, r.annotations), rest)
+    | f :: rest -> split (f :: inside) rest
+  in
+  let inside_frames, (l_var, l_extent, l_kind, l_annotations), outside = split [] path in
+  (* Loops at-or-inside the target loop. *)
+  (* Outermost-first: the target loop, then the loops inside it. The
+     [inside_frames] list is innermost-first, hence the reversal. *)
+  let inner_loop_vars =
+    l_var
+    :: List.rev
+         (List.filter_map
+            (function Zipper.F_for r -> Some r.loop_var | _ -> None)
+            inside_frames)
+  in
+  (* Spatial iterators and their bindings. *)
+  let spatial =
+    List.filter_map
+      (fun ((iv : Stmt.iter_var), value) ->
+        if iv.itype = Stmt.Spatial then Some (iv, value) else None)
+      (List.combine b.iter_vars br.iter_values)
+  in
+  (* Clone inner loops referenced by spatial bindings, preserving order
+     (outermost first). *)
+  let loop_extent_of v =
+    if Var.equal v l_var then l_extent
+    else
+      match
+        List.find_map
+          (function
+            | Zipper.F_for r when Var.equal r.loop_var v ->
+                Some r.extent
+            | _ -> None)
+          inside_frames
+      with
+      | Some e -> e
+      | None -> err "decompose_reduction: internal: loop %a not found" Var.pp v
+  in
+  let referenced =
+    List.filter
+      (fun v ->
+        List.exists (fun (_, value) -> Expr.uses_var v value) spatial)
+      inner_loop_vars
+  in
+  let clones =
+    List.map (fun v -> (v, Var.fresh (v.Var.name ^ "_init"), loop_extent_of v)) referenced
+  in
+  let clone_map =
+    List.fold_left
+      (fun m (v, v', _) -> Var.Map.add v (Expr.Var v') m)
+      Var.Map.empty clones
+  in
+  (* The init block: fresh spatial iterators, cloned-loop bindings. *)
+  let fresh_ivs =
+    List.map (fun ((iv : Stmt.iter_var), _) -> Stmt.iter_var (Var.fresh iv.var.Var.name) iv.extent) spatial
+  in
+  let iv_map =
+    List.fold_left2
+      (fun m ((iv : Stmt.iter_var), _) (niv : Stmt.iter_var) ->
+        Var.Map.add iv.var (Expr.Var niv.var) m)
+      Var.Map.empty spatial fresh_ivs
+  in
+  let init_name = fresh_name t (b.name ^ "_init") in
+  let init_block =
+    Stmt.make_block ~name:init_name ~iter_vars:fresh_ivs ~reads:[]
+      ~writes:
+        (List.map
+           (fun (w : Stmt.buffer_region) ->
+             { w with region = List.map (fun (mn, ext) -> (Expr.subst_map iv_map mn, ext)) w.region })
+           b.writes)
+      (Stmt.subst_map iv_map init)
+  in
+  let init_values = List.map (fun (_, value) -> Expr.subst_map clone_map value) spatial in
+  let init_realize =
+    Stmt.block_realize ~predicate:(Expr.subst_map clone_map br.predicate) init_values
+      init_block
+  in
+  let init_nest =
+    List.fold_right
+      (fun (_, v', ext) acc -> Stmt.for_ v' ext acc)
+      clones init_realize
+  in
+  (* Original block loses its init. *)
+  let stripped = Stmt.Block { br with block = { b with init = None } } in
+  let at_l_body = Zipper.rebuild inside_frames stripped in
+  let new_subtree =
+    Stmt.seq
+      [
+        init_nest;
+        Stmt.For
+          {
+            loop_var = l_var;
+            extent = l_extent;
+            kind = l_kind;
+            annotations = l_annotations;
+            body = at_l_body;
+          };
+      ]
+  in
+  replace t outside new_subtree;
+  init_name
+
+(** [merge_reduction t init_block update_block] is the inverse of
+    [decompose_reduction]: the separate initialization block is folded back
+    into the update block as its init statement (paper §3.1's
+    "back and forth transformations between the two representations").
+
+    The init block must write the same buffer as the update block with a
+    trivial store. *)
+let merge_reduction t init_name update_name =
+  let _, bri = block_path t init_name in
+  let bi = bri.Stmt.block in
+  if bi.init <> None then err "merge_reduction: %S already has an init" init_name;
+  let init_body =
+    match bi.body with
+    | Stmt.Store (buf, idx, value) -> (buf, idx, value)
+    | _ -> err "merge_reduction: %S body is not a single store" init_name
+  in
+  let _, bru = block_path t update_name in
+  let bu = bru.Stmt.block in
+  if bu.init <> None then err "merge_reduction: %S already has an init" update_name;
+  let ibuf, iidx, ivalue = init_body in
+  (match bu.writes with
+  | [ w ] when Buffer.equal w.Stmt.buffer ibuf -> ()
+  | _ -> err "merge_reduction: blocks write different buffers");
+  (* Map the init block's iterators onto the update block's spatial
+     iterators through the written index positions. *)
+  let update_store_idx =
+    match bu.body with
+    | Stmt.Store (_, idx, _) -> idx
+    | _ -> err "merge_reduction: %S body is not a single store" update_name
+  in
+  let mapping =
+    List.fold_left2
+      (fun m ie ue ->
+        match ie with
+        | Expr.Var v -> Var.Map.add v ue m
+        | _ -> err "merge_reduction: init store index %a not a plain iterator" Expr.pp ie)
+      Var.Map.empty iidx update_store_idx
+  in
+  let init_stmt = Stmt.Store (ibuf, update_store_idx, Expr.subst_map mapping ivalue) in
+  (* Remove the init block, then attach the init statement. *)
+  let _ = remove_block t init_name in
+  let path, bru = block_path t update_name in
+  replace t path
+    (Stmt.Block { bru with block = { bru.Stmt.block with init = Some init_stmt } })
+
+(** [rfactor t block loop] factors the reduction over [loop] out of [block]:
+    a new intermediate buffer gains a leading dimension indexed by [loop]'s
+    iterations, the original block computes partial reductions into it (with
+    [loop]'s iterator turned spatial), and a new block reduces the partials.
+
+    This is the standard route to parallelizing a reduction loop without
+    atomic semantics (§3.3 forbids binding a reduction iterator to a
+    parallel loop directly). Returns the name of the final reduction
+    block. *)
+let rfactor t block_name loop_var =
+  let path, br = block_path t block_name in
+  let b = br.Stmt.block in
+  if b.init = None then err "rfactor: block %S is not a reduction" block_name;
+  let loop_extents = Zipper.loops_of_path path in
+  let extent_of_loop v =
+    match List.find_opt (fun (lv, _, _) -> Var.equal lv v) loop_extents with
+    | Some (_, e, _) -> e
+    | None -> err "rfactor: %a is not an enclosing loop" Var.pp v
+  in
+  let f_extent = extent_of_loop loop_var in
+  (* Exactly one reduction iterator's binding may involve the factored
+     loop; that iterator is replaced by fresh iterators over the loops its
+     binding mentions (the factored one spatial, the rest reduce). *)
+  let factored_iv, factored_binding =
+    match
+      List.filter
+        (fun ((iv : Stmt.iter_var), value) ->
+          iv.itype = Stmt.Reduce && Expr.uses_var loop_var value)
+        (List.combine b.iter_vars br.Stmt.iter_values)
+    with
+    | [ (iv, value) ] -> (iv, value)
+    | [] -> err "rfactor: loop %a does not bind a reduction iterator" Var.pp loop_var
+    | _ -> err "rfactor: loop %a drives several reduction iterators" Var.pp loop_var
+  in
+  let out_buf, out_idx, update_value =
+    match b.body with
+    | Stmt.Store (buf, idx, value) -> (buf, idx, value)
+    | _ -> err "rfactor: block %S body is not a single store" block_name
+  in
+  let init_value =
+    match b.init with
+    | Some (Stmt.Store (_, _, v)) -> v
+    | _ -> err "rfactor: unsupported init shape"
+  in
+  (* Fresh block iterators mirroring the loops in the factored binding. *)
+  let vf = Stmt.iter_var (Var.fresh "vrf_o") f_extent in
+  let other_loops =
+    List.filter
+      (fun v -> not (Var.equal v loop_var))
+      (Var.Set.elements (Expr.free_vars factored_binding))
+  in
+  let other_ivs =
+    List.map
+      (fun lv ->
+        (lv, Stmt.iter_var ~itype:Stmt.Reduce (Var.fresh ("v" ^ lv.Var.name)) (extent_of_loop lv)))
+      other_loops
+  in
+  (* The removed iterator's occurrences rewrite to its binding with loop
+     variables replaced by the corresponding fresh iterators. *)
+  let loop_to_iter =
+    Var.Map.add loop_var
+      (Expr.Var vf.Stmt.var)
+      (List.fold_left
+         (fun m (lv, iv) -> Var.Map.add lv (Expr.Var iv.Stmt.var) m)
+         Var.Map.empty other_ivs)
+  in
+  let replacement = Expr.subst_map loop_to_iter factored_binding in
+  let body_subst = Var.Map.singleton factored_iv.Stmt.var replacement in
+  (* Partial buffer: leading factored dimension. *)
+  let rf_buf =
+    Buffer.create
+      (fresh_name t (out_buf.Buffer.name ^ "_rf"))
+      (f_extent :: out_buf.Buffer.shape)
+      out_buf.Buffer.dtype
+  in
+  let rf_idx = Expr.Var vf.Stmt.var :: out_idx in
+  let swap_store (e : Expr.t) =
+    (* replace accumulator loads C[out_idx] -> C_rf[rf_idx] *)
+    let rec go (e : Expr.t) =
+      let e = Expr.map_children go e in
+      match e with
+      | Expr.Load (buf, idx)
+        when Buffer.equal buf out_buf && List.for_all2 Expr.equal idx out_idx ->
+          Expr.Load (rf_buf, rf_idx)
+      | _ -> e
+    in
+    go e
+  in
+  let kept =
+    List.filter
+      (fun ((iv : Stmt.iter_var), _) -> not (Var.equal iv.var factored_iv.Stmt.var))
+      (List.combine b.iter_vars br.Stmt.iter_values)
+  in
+  let rf_iter_vars = (vf :: List.map fst kept) @ List.map snd other_ivs in
+  let rf_values =
+    (Expr.Var loop_var :: List.map snd kept)
+    @ List.map (fun (lv, _) -> Expr.Var lv) other_ivs
+  in
+  let new_value = Expr.subst_map body_subst (swap_store update_value) in
+  let rf_block =
+    {
+      b with
+      Stmt.name = fresh_name t (b.name ^ "_rf");
+      iter_vars = rf_iter_vars;
+      init = Some (Stmt.Store (rf_buf, rf_idx, init_value));
+      body = Stmt.Store (rf_buf, rf_idx, new_value);
+      reads = Te.infer_reads ~exclude:[ rf_buf ] new_value;
+      writes = [ { Stmt.buffer = rf_buf; region = List.map (fun i -> (i, 1)) rf_idx } ];
+    }
+  in
+  let br = { br with Stmt.iter_values = rf_values } in
+  (* Final reduction block: sum the partials over the factored dimension,
+     in a fresh nest placed after the partial computation's nest. *)
+  let spatial_ivs =
+    List.filter (fun (iv : Stmt.iter_var) -> iv.itype = Stmt.Spatial) b.iter_vars
+  in
+  let final_spatial =
+    List.map (fun (iv : Stmt.iter_var) -> Stmt.iter_var (Var.fresh iv.var.Var.name) iv.extent) spatial_ivs
+  in
+  let final_reduce = Stmt.iter_var ~itype:Stmt.Reduce (Var.fresh "vrf") f_extent in
+  (* Map the original spatial iterators (as they appear in out_idx) to the
+     final block's iterators. *)
+  let sp_map =
+    List.fold_left2
+      (fun m (iv : Stmt.iter_var) (niv : Stmt.iter_var) ->
+        Var.Map.add iv.var (Expr.Var niv.var) m)
+      Var.Map.empty spatial_ivs final_spatial
+  in
+  let final_out_idx = List.map (Expr.subst_map sp_map) out_idx in
+  let final_rf_idx = Expr.Var final_reduce.Stmt.var :: final_out_idx in
+  let final_name = fresh_name t (b.name ^ "_rf_sum") in
+  let final_block =
+    Stmt.make_block ~name:final_name
+      ~init:(Some (Stmt.Store (out_buf, final_out_idx, init_value)))
+      ~iter_vars:(final_spatial @ [ final_reduce ])
+      ~reads:[ { Stmt.buffer = rf_buf; region = List.map (fun i -> (i, 1)) final_rf_idx } ]
+      ~writes:[ { Stmt.buffer = out_buf; region = List.map (fun i -> (i, 1)) final_out_idx } ]
+      (Stmt.Store
+         ( out_buf,
+           final_out_idx,
+           Expr.add (Expr.Load (out_buf, final_out_idx)) (Expr.Load (rf_buf, final_rf_idx))
+         ))
+  in
+  let final_loops =
+    List.map
+      (fun (iv : Stmt.iter_var) -> (Var.fresh (Printer.loop_display_name iv.var), iv.Stmt.extent))
+      (final_spatial @ [ final_reduce ])
+  in
+  let final_nest =
+    List.fold_right
+      (fun (v, e) acc -> Stmt.for_ v e acc)
+      final_loops
+      (Stmt.block_realize (List.map (fun (v, _) -> Expr.Var v) final_loops) final_block)
+  in
+  (* Replace the original realize with the partial block; append the final
+     reduction nest after the enclosing top-level statement. *)
+  replace t path (Stmt.Block { br with block = rf_block });
+  add_alloc t rf_buf;
+  let elements, idx = Cache.root_elements t rf_block.Stmt.name in
+  let before = List.filteri (fun i _ -> i <= idx) elements in
+  let after = List.filteri (fun i _ -> i > idx) elements in
+  Cache.set_root_elements t (before @ (final_nest :: after));
+  final_name

@@ -1,0 +1,124 @@
+(** Schedule facade: the full primitive set over one state type.
+
+    Mirrors the paper's §3.2 catalogue. Each primitive is a standalone
+    TensorIR-to-TensorIR transformation; the schedule can be printed between
+    any two steps ([pp]) and validated at any point ([validate]). *)
+
+include State
+
+let vname (v : Tir_ir.Var.t) = Printf.sprintf "%s#%d" v.Tir_ir.Var.name v.Tir_ir.Var.id
+
+(* Loop transformations. Each primitive is logged to the schedule trace so
+   a tuning result carries its own reproducible script. *)
+let split t v ~factors =
+  let r = Loop_transform.split t v ~factors in
+  log t "split(%s, factors=[%s]) -> [%s]" (vname v)
+    (String.concat "; " (List.map string_of_int factors))
+    (String.concat "; " (List.map vname r));
+  r
+
+let fuse t a b =
+  let r = Loop_transform.fuse t a b in
+  log t "fuse(%s, %s) -> %s" (vname a) (vname b) (vname r);
+  r
+
+let fuse_many t vs =
+  let r = Loop_transform.fuse_many t vs in
+  log t "fuse_many([%s]) -> %s" (String.concat "; " (List.map vname vs)) (vname r);
+  r
+
+let reorder t vs =
+  Loop_transform.reorder t vs;
+  log t "reorder([%s])" (String.concat "; " (List.map vname vs))
+
+let bind t v axis =
+  Loop_transform.bind t v axis;
+  log t "bind(%s, %S)" (vname v) axis
+
+let parallel t v =
+  Loop_transform.parallel t v;
+  log t "parallel(%s)" (vname v)
+
+let vectorize t v =
+  Loop_transform.vectorize t v;
+  log t "vectorize(%s)" (vname v)
+
+let unroll t v =
+  Loop_transform.unroll t v;
+  log t "unroll(%s)" (vname v)
+
+let annotate t v k value =
+  Loop_transform.annotate t v k value;
+  log t "annotate(%s, %S, %S)" (vname v) k value
+
+let annotate_block t name k value =
+  Loop_transform.annotate_block t name k value;
+  log t "annotate_block(%S, %S, %S)" name k value
+
+(* Compute location *)
+let compute_at t name v =
+  Compute_location.compute_at t name v;
+  log t "compute_at(%S, %s)" name (vname v)
+
+let reverse_compute_at t name v =
+  Compute_location.reverse_compute_at t name v;
+  log t "reverse_compute_at(%S, %s)" name (vname v)
+
+let compute_inline t name =
+  Inline.compute_inline t name;
+  log t "compute_inline(%S)" name
+
+let reverse_compute_inline t name =
+  Inline.reverse_compute_inline t name;
+  log t "reverse_compute_inline(%S)" name
+
+(* Block hierarchy *)
+let cache_read t name buf scope =
+  let r = Cache.cache_read t name buf scope in
+  log t "cache_read(%S, %s, %S) -> %S" name buf.Tir_ir.Buffer.name scope r;
+  r
+
+let cache_write t name buf scope =
+  let r = Cache.cache_write t name buf scope in
+  log t "cache_write(%S, %s, %S) -> %S" name buf.Tir_ir.Buffer.name scope r;
+  r
+
+let set_scope t buf scope =
+  let r = Cache.set_scope t buf scope in
+  log t "set_scope(%s, %S)" buf.Tir_ir.Buffer.name scope;
+  r
+
+let blockize t v =
+  let r = Blockize.blockize t v in
+  log t "blockize(%s) -> %S" (vname v) r;
+  r
+
+let tensorize t v intrin =
+  let r = Tensorize.tensorize t v intrin in
+  log t "tensorize(%s, %S) -> %S" (vname v) intrin r;
+  r
+
+let tensorize_block t name intrin =
+  Tensorize.tensorize_block t name intrin;
+  log t "tensorize_block(%S, %S)" name intrin
+
+let decompose_reduction t name v =
+  let r = Reduction.decompose_reduction t name v in
+  log t "decompose_reduction(%S, %s) -> %S" name (vname v) r;
+  r
+
+let merge_reduction t init update =
+  Reduction.merge_reduction t init update;
+  log t "merge_reduction(%S, %S)" init update
+
+let rfactor t name v =
+  let r = Reduction.rfactor t name v in
+  log t "rfactor(%S, %s) -> %S" name (vname v) r;
+  r
+
+(* Validation *)
+let validate t = Validate.check_func (func t)
+let validate_exn t = Validate.check_exn (func t)
+let is_valid t = Validate.is_valid (func t)
+
+let pp = pp_schedule

@@ -1,0 +1,238 @@
+(** Tensorization: replace a blockized computation with a hardware intrinsic
+    (paper §4.1-4.2, Figure 8).
+
+    The candidate block's body (a loop nest over one scalar block) is
+    structurally matched against the intrinsic's [desc] program, building a
+    correspondence between loop variables, block iterators and buffers. On
+    success the body is replaced by the intrinsic's [impl], with the
+    implementation's buffer parameters rebound to the actual buffers at the
+    offsets given by the candidate block's own region signature — the block
+    signature is exactly the isolation interface the paper describes. *)
+
+open Tir_ir
+open State
+module TI = Tir_intrin.Tensor_intrin
+
+type correspondence = {
+  mutable vars : (Var.t * Var.t) list;  (** desc var -> actual var *)
+  mutable buffers : (Buffer.t * Buffer.t) list;  (** desc buffer -> actual *)
+}
+
+let corr_var c vd va =
+  match List.find_opt (fun (d, _) -> Var.equal d vd) c.vars with
+  | Some (_, va') -> Var.equal va va'
+  | None ->
+      c.vars <- (vd, va) :: c.vars;
+      true
+
+let corr_buffer c bd ba =
+  match List.find_opt (fun (d, _) -> Buffer.equal d bd) c.buffers with
+  | Some (_, ba') -> Buffer.equal ba ba'
+  | None ->
+      if not (Dtype.equal bd.Buffer.dtype ba.Buffer.dtype) then false
+      else begin
+        c.buffers <- (bd, ba) :: c.buffers;
+        true
+      end
+
+(* Structural comparison of expressions: desc vs actual, under the evolving
+   correspondence for both variables and buffers. *)
+(* Indices align from the innermost dimension: an actual buffer may carry
+   extra leading ("outer-only", e.g. batch) dimensions the 2-D intrinsic
+   buffer lacks — those are invariant inside the intrinsic tile and are
+   carried by the block's region offsets instead. *)
+let split_extra ~desc_len actual =
+  let extra = List.length actual - desc_len in
+  if extra < 0 then None
+  else Some (List.filteri (fun i _ -> i >= extra) actual)
+
+let rec match_expr c (d : Expr.t) (a : Expr.t) =
+  match (d, a) with
+  | Expr.Load (bd, id), Expr.Load (ba, ia) | Expr.Ptr (bd, id), Expr.Ptr (ba, ia) -> (
+      match split_extra ~desc_len:(List.length id) ia with
+      | Some tail -> corr_buffer c bd ba && List.for_all2 (match_expr c) id tail
+      | None -> false)
+  | Expr.Var vd, Expr.Var va -> corr_var c vd va
+  | Expr.Int x, Expr.Int y -> x = y
+  | Expr.Float (x, dx), Expr.Float (y, dy) -> Float.equal x y && Dtype.equal dx dy
+  | Expr.Bool x, Expr.Bool y -> x = y
+  | Expr.Bin (o1, d1, d2), Expr.Bin (o2, a1, a2) ->
+      o1 = o2 && match_expr c d1 a1 && match_expr c d2 a2
+  | Expr.Cmp (o1, d1, d2), Expr.Cmp (o2, a1, a2) ->
+      o1 = o2 && match_expr c d1 a1 && match_expr c d2 a2
+  | Expr.And (d1, d2), Expr.And (a1, a2) | Expr.Or (d1, d2), Expr.Or (a1, a2) ->
+      match_expr c d1 a1 && match_expr c d2 a2
+  | Expr.Not d1, Expr.Not a1 -> match_expr c d1 a1
+  | Expr.Select (d1, d2, d3), Expr.Select (a1, a2, a3) ->
+      match_expr c d1 a1 && match_expr c d2 a2 && match_expr c d3 a3
+  | Expr.Cast (dt1, d1), Expr.Cast (dt2, a1) ->
+      Dtype.equal dt1 dt2 && match_expr c d1 a1
+  | Expr.Call (n1, dt1, ds), Expr.Call (n2, dt2, as_) ->
+      String.equal n1 n2 && Dtype.equal dt1 dt2
+      && List.length ds = List.length as_
+      && List.for_all2 (match_expr c) ds as_
+  | _ -> false
+
+let match_store c (d : Stmt.t) (a : Stmt.t) =
+  match (d, a) with
+  | Stmt.Store (bd, id, vd), Stmt.Store (ba, ia, va) -> (
+      match split_extra ~desc_len:(List.length id) ia with
+      | Some tail ->
+          corr_buffer c bd ba
+          && List.for_all2 (match_expr c) id tail
+          && match_expr c vd va
+      | None -> false)
+  | _ -> false
+
+(* Match the intrinsic's description subtree (loops over one scalar block)
+   against the candidate block's body. The candidate's inner bindings have
+   the shape [outer*k + inner] produced by blockize; only the inner part is
+   compared against the desc bindings. *)
+let match_desc (desc : Stmt.t) (actual : Stmt.t) (outer_iters : Stmt.iter_var list) =
+  let c = { vars = []; buffers = [] } in
+  let is_outer v = List.exists (fun (iv : Stmt.iter_var) -> Var.equal iv.var v) outer_iters in
+  let strip_outer e =
+    Tir_arith.Simplify.simplify Tir_arith.Simplify.empty_ctx
+      (Expr.subst (fun v -> if is_outer v then Some (Expr.Int 0) else None) e)
+  in
+  let rec go (d : Stmt.t) (a : Stmt.t) =
+    match (d, a) with
+    | Stmt.For rd, Stmt.For ra ->
+        rd.extent = ra.extent && corr_var c rd.loop_var ra.loop_var && go rd.body ra.body
+    | Stmt.Block brd, Stmt.Block bra ->
+        let bd = brd.Stmt.block and ba = bra.Stmt.block in
+        (* Leading outer-only iterators of the candidate (batch-like dims)
+           are invariant inside the intrinsic tile: their stripped binding
+           is a constant. Skip them and match the trailing iterators. *)
+        let extra = List.length ba.iter_vars - List.length bd.iter_vars in
+        extra >= 0
+        && (let rec leading i values =
+              if i >= extra then true
+              else
+                match values with
+                | v :: rest -> (
+                    match strip_outer v with
+                    | Expr.Int _ -> leading (i + 1) rest
+                    | _ -> false)
+                | [] -> false
+            in
+            leading 0 bra.Stmt.iter_values)
+        && (let trailing l = List.filteri (fun i _ -> i >= extra) l in
+            List.for_all2
+              (fun (ivd : Stmt.iter_var) (iva : Stmt.iter_var) ->
+                ivd.itype = iva.itype && corr_var c ivd.var iva.var)
+              bd.iter_vars
+              (trailing ba.iter_vars)
+            && List.for_all2
+                 (fun vd va -> match_expr c vd (strip_outer va))
+                 brd.Stmt.iter_values
+                 (trailing bra.Stmt.iter_values))
+        && Option.is_some bd.init = Option.is_some ba.init
+        && (match (bd.init, ba.init) with
+           | Some i1, Some i2 -> match_store c i1 i2
+           | None, None -> true
+           | _ -> false)
+        && match_store c bd.body ba.body
+    | Stmt.Seq [ d1 ], _ -> go d1 a
+    | _, Stmt.Seq [ a1 ] -> go d a1
+    | _ -> false
+  in
+  if go desc actual then Some c else None
+
+(* Rewrite the impl body: impl parameter buffers become the actual buffers,
+   indices offset by the block's region bases. The actual buffer may have
+   more dimensions than the impl parameter; extra leading dimensions take
+   the base offsets verbatim. *)
+let add_offsets base idx =
+  let extra = List.length base - List.length idx in
+  List.mapi
+    (fun i b -> if i < extra then b else Expr.add b (List.nth idx (i - extra)))
+    base
+
+let splice_impl (intrin : TI.t) (mapping : (Buffer.t * (Buffer.t * Expr.t list)) list)
+    =
+  let find_param b =
+    List.find_map
+      (fun (p, actual) -> if Buffer.equal p b then Some actual else None)
+      mapping
+  in
+  let rec rewrite_expr (e : Expr.t) =
+    let e = Expr.map_children rewrite_expr e in
+    match e with
+    | Expr.Load (b, idx) -> (
+        match find_param b with
+        | Some (actual, base) -> Expr.Load (actual, add_offsets base idx)
+        | None -> e)
+    | Expr.Ptr (b, idx) -> (
+        match find_param b with
+        | Some (actual, base) -> Expr.Ptr (actual, add_offsets base idx)
+        | None -> e)
+    | _ -> e
+  in
+  let rec rewrite_stmt (s : Stmt.t) =
+    let s = Stmt.map_exprs rewrite_expr (Stmt.map_children rewrite_stmt s) in
+    match s with
+    | Stmt.Store (b, idx, v) -> (
+        match find_param b with
+        | Some (actual, base) -> Stmt.Store (actual, add_offsets base idx, v)
+        | None -> s)
+    | _ -> s
+  in
+  rewrite_stmt intrin.TI.impl
+
+(** Tensorize a blockized block by name. *)
+let tensorize_block t block_name intrin_name =
+  let intrin = TI.lookup intrin_name in
+  let path, br = block_path t block_name in
+  let b = br.Stmt.block in
+  match match_desc intrin.TI.desc b.body b.iter_vars with
+  | None ->
+      err "tensorize: block %S does not match intrinsic %S" block_name intrin_name
+  | Some corr ->
+      (* Region base offsets come from the candidate block's signature. *)
+      let region_of actual =
+        match
+          List.find_opt
+            (fun (r : Stmt.buffer_region) -> Buffer.equal r.buffer actual)
+            (b.writes @ b.reads)
+        with
+        | Some r -> List.map fst r.Stmt.region
+        | None -> err "tensorize: no region for buffer %a in %S" Buffer.pp actual block_name
+      in
+      let mapping =
+        List.map2
+          (fun desc_param impl_param ->
+            match
+              List.find_opt (fun (d, _) -> Buffer.equal d desc_param) corr.buffers
+            with
+            | Some (_, actual) ->
+                (* Enforce the intrinsic's storage-scope constraints. *)
+                (impl_param, (actual, region_of actual))
+            | None ->
+                err "tensorize: intrinsic buffer %a unmatched" Buffer.pp desc_param)
+          intrin.TI.desc_params intrin.TI.impl_params
+      in
+      List.iteri
+        (fun i scope ->
+          if not (String.equal scope "*") then
+            let _, (actual, _) = List.nth mapping i in
+            if not (String.equal actual.Buffer.scope scope) then
+              err "tensorize: buffer %a must be in scope %S (is %S)" Buffer.pp actual
+                scope actual.Buffer.scope)
+        intrin.TI.required_scopes;
+      let body = splice_impl intrin mapping in
+      let b' =
+        {
+          b with
+          body;
+          annotations = ("tensorized", intrin_name) :: b.annotations;
+        }
+      in
+      replace t path (Stmt.Block { br with block = b' })
+
+(** Blockize the subtree at [loop] and tensorize the result. Returns the
+    new (tensorized) block's name. *)
+let tensorize t loop_var intrin_name =
+  let name = Blockize.blockize t loop_var in
+  tensorize_block t name intrin_name;
+  name

@@ -1,0 +1,26 @@
+(** Program validation (paper §3.3): loop-nest validation (bijective
+    quasi-affine iterator bindings, domain checks, no parallelized
+    reductions), producer/consumer coverage and ordering, and threading
+    validation (axis consistency, launch limits, warp execution scope,
+    cooperative-fetch grouping for shared memory).
+
+    Used three ways, as in the paper: on manually written or imported
+    programs, after schedule primitives, and as the false-positive filter
+    inside the evolutionary search. *)
+
+open Tir_ir
+
+type issue = { block : string; message : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val max_threads_per_block : int
+val warp_size : int
+
+(** All issues found; empty means valid. *)
+val check_func : Primfunc.t -> issue list
+
+val is_valid : Primfunc.t -> bool
+
+(** Raises [State.Schedule_error] listing the issues when invalid. *)
+val check_exn : Primfunc.t -> unit

@@ -1,0 +1,120 @@
+(** Path-based navigation and rewriting of statement trees.
+
+    Schedule primitives are pure IR-to-IR transformations (paper §3.2); the
+    zipper locates a loop or block, exposes its enclosing context as a list
+    of frames (innermost first), and rebuilds the tree around a replacement
+    subtree. *)
+
+open Tir_ir
+
+type frame =
+  | F_for of {
+      loop_var : Var.t;
+      extent : int;
+      kind : Stmt.for_kind;
+      annotations : (string * string) list;
+    }
+  | F_seq of Stmt.t list * Stmt.t list  (** reversed prefix, suffix *)
+  | F_if_then of Expr.t * Stmt.t option
+  | F_if_else of Expr.t * Stmt.t
+  | F_block_body of Stmt.block_realize  (** body position of this realize *)
+  | F_block_init of Stmt.block_realize  (** init position of this realize *)
+
+type path = frame list (* innermost frame first *)
+
+let rebuild_frame frame child =
+  match frame with
+  | F_for { loop_var; extent; kind; annotations } ->
+      Stmt.For { loop_var; extent; kind; body = child; annotations }
+  | F_seq (rev_before, after) -> Stmt.seq (List.rev_append rev_before (child :: after))
+  | F_if_then (c, e) -> Stmt.If (c, child, e)
+  | F_if_else (c, t) -> Stmt.If (c, t, Some child)
+  | F_block_body br ->
+      Stmt.Block { br with block = { br.block with body = child } }
+  | F_block_init br ->
+      Stmt.Block { br with block = { br.block with init = Some child } }
+
+(** Rebuild the full tree from a path and the subtree at its focus. *)
+let rebuild (path : path) subtree = List.fold_left (fun s f -> rebuild_frame f s) subtree path
+
+(** Find the first (pre-order) subtree satisfying [pred]. Returns the path
+    (innermost frame first) and the subtree. *)
+let find pred stmt =
+  let exception Found of path * Stmt.t in
+  let rec go path s =
+    if pred s then raise (Found (path, s));
+    match s with
+    | Stmt.For r ->
+        go
+          (F_for
+             {
+               loop_var = r.loop_var;
+               extent = r.extent;
+               kind = r.kind;
+               annotations = r.annotations;
+             }
+          :: path)
+          r.body
+    | Stmt.Block br ->
+        (match br.block.init with
+        | Some init -> go (F_block_init br :: path) init
+        | None -> ());
+        go (F_block_body br :: path) br.block.body
+    | Stmt.Seq ss ->
+        let rec walk rev_before = function
+          | [] -> ()
+          | x :: after ->
+              go (F_seq (rev_before, after) :: path) x;
+              walk (x :: rev_before) after
+        in
+        walk [] ss
+    | Stmt.If (c, t, e) ->
+        go (F_if_then (c, e) :: path) t;
+        Option.iter (fun e' -> go (F_if_else (c, t) :: path) e') e
+    | Stmt.Store _ | Stmt.Eval _ -> ()
+  in
+  try
+    go [] stmt;
+    None
+  with Found (p, s) -> Some (p, s)
+
+let find_loop stmt v =
+  find
+    (function Stmt.For r -> Var.equal r.loop_var v | _ -> false)
+    stmt
+
+let find_block_realize stmt name =
+  find
+    (function Stmt.Block br -> String.equal br.block.name name | _ -> false)
+    stmt
+
+(** Loop frames along the path, ordered outermost first. *)
+let loops_of_path (path : path) =
+  List.fold_left
+    (fun acc f -> match f with F_for r -> (r.loop_var, r.extent, r.kind) :: acc | _ -> acc)
+    [] path
+
+(** Variable ranges in scope at the focus: enclosing loop variables and
+    enclosing block iterator variables. *)
+let ranges_of_path (path : path) =
+  List.fold_left
+    (fun acc f ->
+      match f with
+      | F_for r -> Var.Map.add r.loop_var (Bound.of_extent r.extent) acc
+      | F_block_body br | F_block_init br ->
+          List.fold_left
+            (fun acc (iv : Stmt.iter_var) ->
+              Var.Map.add iv.var (Bound.of_extent iv.extent) acc)
+            acc br.block.iter_vars
+      | _ -> acc)
+    Var.Map.empty path
+
+(** The innermost enclosing block realize on the path, with the frames
+    *inside* it (i.e. between the block body and the focus). *)
+let enclosing_block (path : path) =
+  let rec go inside = function
+    | [] -> None
+    | (F_block_body br | F_block_init br) :: rest -> Some (br, List.rev inside, rest)
+    | f :: rest -> go (f :: inside) rest
+  in
+  go [] path

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Bound Buffer Dtype Expr Float List Option Primfunc Stmt String Target Tir_arith Tir_ir Var

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Primfunc Stmt Target Tir_ir

@@ -1,0 +1,83 @@
+(** Hardware target descriptions.
+
+    Stand-ins for the paper's two evaluation platforms (§5): an NVIDIA
+    RTX-3080-class GPU with Tensor Cores and an AWS Graviton2-class ARM CPU
+    with the [sdot] instruction. The parameters are calibrated to the public
+    datasheets' *ratios* (tensor : vector : scalar throughput, compute :
+    bandwidth), which is what determines the comparative shapes the paper
+    reports; absolute numbers are not the reproduction target. *)
+
+type kind = Gpu | Cpu
+
+type t = {
+  name : string;
+  kind : kind;
+  num_cores : int;  (** SMs (GPU) or cores (CPU) *)
+  clock_ghz : float;
+  scalar_rate : float;  (** scalar ALU ops / cycle / core *)
+  vector_width : int;  (** SIMD lanes usable by [vectorize] *)
+  special_rate : float;  (** transcendental ops / cycle / core *)
+  tensor_rate : float;  (** tensor-intrinsic FLOPs / cycle / core *)
+  global_bw : float;  (** global-memory bytes / cycle, device-wide *)
+  shared_bw : float;  (** shared/L1 bytes / cycle / core *)
+  local_bw : float;  (** register-file bytes / cycle / core *)
+  full_occupancy_threads : int;  (** threads per core for full throughput *)
+  max_threads_per_block : int;
+  warp_size : int;
+  kernel_launch_us : float;  (** per root-level nest overhead *)
+  supported_intrinsics : string list;
+      (** tensor intrinsics this target executes; others are rejected *)
+}
+
+(* RTX 3080-class: 68 SMs @ 1.44 GHz. fp16 tensor-core throughput is ~8x the
+   fp16 SIMT throughput, which in turn is 2x fp32 — these ratios drive
+   Figures 10-12. Global bandwidth 760 GB/s ~= 528 B/cycle. *)
+let gpu_tensorcore =
+  {
+    name = "gpu-tensorcore";
+    kind = Gpu;
+    num_cores = 68;
+    clock_ghz = 1.44;
+    scalar_rate = 256.0;
+    vector_width = 4;
+    special_rate = 16.0;
+    tensor_rate = 2048.0;
+    global_bw = 528.0;
+    shared_bw = 128.0;
+    local_bw = 1024.0;
+    full_occupancy_threads = 256;
+    max_threads_per_block = 1024;
+    warp_size = 32;
+    kernel_launch_us = 3.0;
+    supported_intrinsics =
+      [ "wmma.mma_16x16x16"; "wmma.load_a"; "wmma.load_b"; "wmma.store"; "accel.dot_4x4x4" ];
+  }
+
+(* Graviton2-class: 64 N1 cores @ 2.5 GHz; NEON 16 int8 lanes, sdot gives a
+   4x MAC throughput over scalar int8 multiply-accumulate chains. *)
+let arm_sdot =
+  {
+    name = "arm-sdot";
+    kind = Cpu;
+    num_cores = 16;
+    clock_ghz = 2.5;
+    scalar_rate = 4.0;
+    vector_width = 16;
+    special_rate = 1.0;
+    tensor_rate = 256.0;
+    global_bw = 64.0;
+    shared_bw = 64.0;
+    local_bw = 256.0;
+    full_occupancy_threads = 1;
+    max_threads_per_block = 1;
+    warp_size = 1;
+    kernel_launch_us = 0.2;
+    supported_intrinsics = [ "arm.sdot_8x12x4"; "arm.sdot_4x4x4" ];
+  }
+
+let supports t intrin = List.mem intrin t.supported_intrinsics
+
+let by_name = function
+  | "gpu-tensorcore" | "gpu" -> gpu_tensorcore
+  | "arm-sdot" | "arm" | "cpu" -> arm_sdot
+  | s -> invalid_arg ("unknown target " ^ s)

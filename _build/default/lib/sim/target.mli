@@ -1,0 +1,32 @@
+(** Hardware target descriptions: the simulated stand-ins for the paper's
+    two evaluation platforms (RTX-3080-class GPU with Tensor Cores;
+    Graviton2-class ARM CPU with [sdot]). Parameters are calibrated to
+    datasheet *ratios*, which determine the comparative shapes reported. *)
+
+type kind = Gpu | Cpu
+
+type t = {
+  name : string;
+  kind : kind;
+  num_cores : int;  (** SMs (GPU) or cores (CPU) *)
+  clock_ghz : float;
+  scalar_rate : float;  (** scalar ALU ops / cycle / core *)
+  vector_width : int;  (** SIMD lanes usable by [vectorize] *)
+  special_rate : float;  (** transcendental ops / cycle / core *)
+  tensor_rate : float;  (** tensor-intrinsic FLOPs / cycle / core *)
+  global_bw : float;  (** global-memory bytes / cycle, device-wide *)
+  shared_bw : float;  (** shared/L1 bytes / cycle / core *)
+  local_bw : float;  (** register-file bytes / cycle / core *)
+  full_occupancy_threads : int;  (** threads per core for full throughput *)
+  max_threads_per_block : int;
+  warp_size : int;
+  kernel_launch_us : float;  (** per root-level nest overhead *)
+  supported_intrinsics : string list;
+}
+
+val gpu_tensorcore : t
+val arm_sdot : t
+val supports : t -> string -> bool
+
+(** Lookup by name: "gpu"/"gpu-tensorcore" or "arm"/"cpu"/"arm-sdot". *)
+val by_name : string -> t

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Dtype Expr Primfunc Printf String Te Tir_ir

@@ -1,0 +1,359 @@
+(** The paper's single-operator workload suite (§5.1): 1-D/2-D/3-D
+    convolution, depthwise, dilated, grouped and transposed convolution, and
+    GEMM — all in NHWC layout as tensor-expression definitions.
+
+    Boundary handling is materialised as explicit padding stages (as TVM
+    does) so that every reduction block body stays purely affine — the form
+    the tensorization candidate generator matches. The padding stages are
+    inlined or scheduled like any other block. *)
+
+open Tir_ir
+
+type t = {
+  tag : string;  (** paper's workload code: C1D, C2D, ... *)
+  name : string;
+  func : Primfunc.t;
+  args : Te.t list;  (** function parameters as Te stages *)
+  out : Te.t;  (** the einsum output stage *)
+  flops : float;  (** useful arithmetic (for GFLOPS reporting) *)
+  tensorizable : bool;  (** whether an MMA-style intrinsic can apply *)
+}
+
+let cast_mul acc_dtype a b = Expr.mul (Expr.cast acc_dtype a) (Expr.cast acc_dtype b)
+
+(* 2-D zero padding (and optional input dilation for transposed conv) of an
+   NHWC tensor. *)
+let pad_nhwc ?(dilate = 1) name x ~pad =
+  let n, h, w, c =
+    match Te.shape x with [ n; h; w; c ] -> (n, h, w, c) | _ -> assert false
+  in
+  let oh = (h * dilate) + (2 * pad) and ow = (w * dilate) + (2 * pad) in
+  Te.compute name ~dtype:(Te.dtype x) [ n; oh; ow; c ] (fun idx ->
+      match idx with
+      | [ vn; vh; vw; vc ] ->
+          let open Expr in
+          let open Expr.Infix in
+          let hh = vh -: Int pad and ww = vw -: Int pad in
+          let in_bounds =
+            and_
+              (and_ (le (Int 0) hh) (lt hh (Int (h * dilate))))
+              (and_ (le (Int 0) ww) (lt ww (Int (w * dilate))))
+          in
+          let in_bounds =
+            if dilate = 1 then in_bounds
+            else
+              and_ in_bounds
+                (and_
+                   (eq (hh %: Int dilate) (Int 0))
+                   (eq (ww %: Int dilate) (Int 0)))
+          in
+          let load =
+            Te.get x [ vn; hh /: Int dilate; ww /: Int dilate; vc ]
+          in
+          select in_bounds load (Expr.Float (0.0, Te.dtype x))
+      | _ -> assert false)
+
+(* --- GMM ------------------------------------------------------------- *)
+
+let gmm ?(in_dtype = Dtype.F16) ?(acc_dtype = Dtype.F32) ?(b = 1) ?(m = 1024)
+    ?(n = 1024) ?(k = 1024) () =
+  let a = Te.placeholder "A" [ b; m; k ] in_dtype in
+  let w = Te.placeholder "B" [ b; k; n ] in_dtype in
+  let c =
+    Te.reduce "C" ~dtype:acc_dtype ~shape:[ b; m; n ] ~rdom:[ k ] (fun sp rd ->
+        match (sp, rd) with
+        | [ vb; vi; vj ], [ vk ] ->
+            cast_mul acc_dtype (Te.get a [ vb; vi; vk ]) (Te.get w [ vb; vk; vj ])
+        | _ -> assert false)
+  in
+  {
+    tag = "GMM";
+    name = Printf.sprintf "gmm_b%d_m%d_n%d_k%d" b m n k;
+    func = Te.lower ~name:"gmm" ~args:[ a; w; c ] [ c ];
+    args = [ a; w; c ];
+    out = c;
+    flops = 2.0 *. float_of_int (b * m * n * k);
+    tensorizable = true;
+  }
+
+(* --- Conv1D ----------------------------------------------------------- *)
+
+let c1d ?(in_dtype = Dtype.F16) ?(acc_dtype = Dtype.F32) ?(n = 1) ?(l = 256)
+    ?(ci = 64) ?(co = 128) ?(kw = 3) ?(stride = 1) ?(pad = 1) () =
+  let a = Te.placeholder "A" [ n; l; ci ] in_dtype in
+  let w = Te.placeholder "W" [ kw; ci; co ] in_dtype in
+  let lp = l + (2 * pad) in
+  let apad =
+    Te.compute "A_pad" ~dtype:in_dtype [ n; lp; ci ] (fun idx ->
+        match idx with
+        | [ vn; vl; vc ] ->
+            let open Expr in
+            let open Expr.Infix in
+            let ll = vl -: Int pad in
+            select
+              (and_ (le (Int 0) ll) (lt ll (Int l)))
+              (Te.get a [ vn; ll; vc ])
+              (Float (0.0, in_dtype))
+        | _ -> assert false)
+  in
+  let ol = ((l + (2 * pad) - kw) / stride) + 1 in
+  let c =
+    Te.reduce "C" ~dtype:acc_dtype ~shape:[ n; ol; co ] ~rdom:[ kw; ci ]
+      (fun sp rd ->
+        match (sp, rd) with
+        | [ vn; vl; vo ], [ vkw; vci ] ->
+            let open Expr in
+            let open Expr.Infix in
+            cast_mul acc_dtype
+              (Te.get apad [ vn; (vl *: Int stride) +: vkw; vci ])
+              (Te.get w [ vkw; vci; vo ])
+        | _ -> assert false)
+  in
+  {
+    tag = "C1D";
+    name = Printf.sprintf "c1d_l%d_ci%d_co%d" l ci co;
+    func = Te.lower ~name:"c1d" ~args:[ a; w; c ] [ c ];
+    args = [ a; w; c ];
+    out = c;
+    flops = 2.0 *. float_of_int (n * ol * co * kw * ci);
+    tensorizable = true;
+  }
+
+(* --- Conv2D family ---------------------------------------------------- *)
+
+let conv2d_core ~tag ~fname ?(in_dtype = Dtype.F16) ?(acc_dtype = Dtype.F32)
+    ~n ~h ~w ~ci ~co ~kh ~kw ~stride ~pad ~dilation () =
+  let a = Te.placeholder "A" [ n; h; w; ci ] in_dtype in
+  let wt = Te.placeholder "W" [ kh; kw; ci; co ] in_dtype in
+  let apad = pad_nhwc "A_pad" a ~pad in
+  let oh = ((h + (2 * pad) - (dilation * (kh - 1)) - 1) / stride) + 1 in
+  let ow = ((w + (2 * pad) - (dilation * (kw - 1)) - 1) / stride) + 1 in
+  let c =
+    Te.reduce "C" ~dtype:acc_dtype ~shape:[ n; oh; ow; co ] ~rdom:[ kh; kw; ci ]
+      (fun sp rd ->
+        match (sp, rd) with
+        | [ vn; vh; vw; vo ], [ vrh; vrw; vrc ] ->
+            let open Expr in
+            let open Expr.Infix in
+            cast_mul acc_dtype
+              (Te.get apad
+                 [
+                   vn;
+                   (vh *: Int stride) +: (vrh *: Int dilation);
+                   (vw *: Int stride) +: (vrw *: Int dilation);
+                   vrc;
+                 ])
+              (Te.get wt [ vrh; vrw; vrc; vo ])
+        | _ -> assert false)
+  in
+  {
+    tag;
+    name = fname;
+    func = Te.lower ~name:fname ~args:[ a; wt; c ] [ c ];
+    args = [ a; wt; c ];
+    out = c;
+    flops = 2.0 *. float_of_int (n * oh * ow * co * kh * kw * ci);
+    tensorizable = true;
+  }
+
+let c2d ?in_dtype ?acc_dtype ?(n = 1) ?(h = 56) ?(w = 56) ?(ci = 64) ?(co = 64)
+    ?(kh = 3) ?(kw = 3) ?(stride = 1) ?(pad = 1) () =
+  conv2d_core ~tag:"C2D"
+    ~fname:(Printf.sprintf "c2d_h%d_ci%d_co%d_k%d_s%d" h ci co kh stride)
+    ?in_dtype ?acc_dtype ~n ~h ~w ~ci ~co ~kh ~kw ~stride ~pad ~dilation:1 ()
+
+let dil ?in_dtype ?acc_dtype ?(n = 1) ?(h = 56) ?(w = 56) ?(ci = 64) ?(co = 64)
+    ?(kh = 3) ?(kw = 3) ?(dilation = 2) () =
+  conv2d_core ~tag:"DIL"
+    ~fname:(Printf.sprintf "dil_h%d_ci%d_co%d_d%d" h ci co dilation)
+    ?in_dtype ?acc_dtype ~n ~h ~w ~ci ~co ~kh ~kw ~stride:1 ~pad:dilation
+    ~dilation ()
+
+(* --- Conv3D ----------------------------------------------------------- *)
+
+let c3d ?(in_dtype = Dtype.F16) ?(acc_dtype = Dtype.F32) ?(n = 1) ?(d = 16)
+    ?(h = 28) ?(w = 28) ?(ci = 32) ?(co = 64) ?(k = 3) ?(stride = 1) ?(pad = 1) () =
+  let a = Te.placeholder "A" [ n; d; h; w; ci ] in_dtype in
+  let wt = Te.placeholder "W" [ k; k; k; ci; co ] in_dtype in
+  let dp = d + (2 * pad) and hp = h + (2 * pad) and wp = w + (2 * pad) in
+  let apad =
+    Te.compute "A_pad" ~dtype:in_dtype [ n; dp; hp; wp; ci ] (fun idx ->
+        match idx with
+        | [ vn; vd; vh; vw; vc ] ->
+            let open Expr in
+            let open Expr.Infix in
+            let dd = vd -: Int pad and hh = vh -: Int pad and ww = vw -: Int pad in
+            let inb lo x hi = and_ (le lo x) (lt x hi) in
+            select
+              (and_
+                 (and_ (inb (Int 0) dd (Int d)) (inb (Int 0) hh (Int h)))
+                 (inb (Int 0) ww (Int w)))
+              (Te.get a [ vn; dd; hh; ww; vc ])
+              (Float (0.0, in_dtype))
+        | _ -> assert false)
+  in
+  let od = ((d + (2 * pad) - k) / stride) + 1 in
+  let oh = ((h + (2 * pad) - k) / stride) + 1 in
+  let ow = ((w + (2 * pad) - k) / stride) + 1 in
+  let c =
+    Te.reduce "C" ~dtype:acc_dtype ~shape:[ n; od; oh; ow; co ]
+      ~rdom:[ k; k; k; ci ] (fun sp rd ->
+        match (sp, rd) with
+        | [ vn; vd; vh; vw; vo ], [ vrd; vrh; vrw; vrc ] ->
+            let open Expr in
+            let open Expr.Infix in
+            cast_mul acc_dtype
+              (Te.get apad
+                 [
+                   vn;
+                   (vd *: Int stride) +: vrd;
+                   (vh *: Int stride) +: vrh;
+                   (vw *: Int stride) +: vrw;
+                   vrc;
+                 ])
+              (Te.get wt [ vrd; vrh; vrw; vrc; vo ])
+        | _ -> assert false)
+  in
+  {
+    tag = "C3D";
+    name = Printf.sprintf "c3d_d%d_h%d_ci%d_co%d" d h ci co;
+    func = Te.lower ~name:"c3d" ~args:[ a; wt; c ] [ c ];
+    args = [ a; wt; c ];
+    out = c;
+    flops = 2.0 *. float_of_int (n * od * oh * ow * co * k * k * k * ci);
+    tensorizable = true;
+  }
+
+(* --- Depthwise conv: no iterator lives only in (W, C), so MMA intrinsics
+   cannot map onto it — the auto-scheduler must fall back to vector code,
+   matching the paper's Figure 10 where Tensor Cores do not help DEP. --- *)
+
+let dep ?(in_dtype = Dtype.F16) ?(acc_dtype = Dtype.F32) ?(n = 1) ?(h = 112)
+    ?(w = 112) ?(c = 32) ?(k = 3) ?(stride = 1) ?(pad = 1) () =
+  let a = Te.placeholder "A" [ n; h; w; c ] in_dtype in
+  let wt = Te.placeholder "W" [ k; k; c ] in_dtype in
+  let apad = pad_nhwc "A_pad" a ~pad in
+  let oh = ((h + (2 * pad) - k) / stride) + 1 in
+  let ow = ((w + (2 * pad) - k) / stride) + 1 in
+  let out =
+    Te.reduce "C" ~dtype:acc_dtype ~shape:[ n; oh; ow; c ] ~rdom:[ k; k ]
+      (fun sp rd ->
+        match (sp, rd) with
+        | [ vn; vh; vw; vc ], [ vrh; vrw ] ->
+            let open Expr in
+            let open Expr.Infix in
+            cast_mul acc_dtype
+              (Te.get apad [ vn; (vh *: Int stride) +: vrh; (vw *: Int stride) +: vrw; vc ])
+              (Te.get wt [ vrh; vrw; vc ])
+        | _ -> assert false)
+  in
+  {
+    tag = "DEP";
+    name = Printf.sprintf "dep_h%d_c%d" h c;
+    func = Te.lower ~name:"dep" ~args:[ a; wt; out ] [ out ];
+    args = [ a; wt; out ];
+    out;
+    flops = 2.0 *. float_of_int (n * oh * ow * c * k * k);
+    tensorizable = false;
+  }
+
+(* --- Grouped conv ------------------------------------------------------ *)
+
+let grp ?(in_dtype = Dtype.F16) ?(acc_dtype = Dtype.F32) ?(n = 1) ?(h = 56)
+    ?(w = 56) ?(groups = 4) ?(ci = 128) ?(co = 128) ?(k = 3) ?(stride = 1)
+    ?(pad = 1) () =
+  let cig = ci / groups and cog = co / groups in
+  let a = Te.placeholder "A" [ n; h; w; groups; cig ] in_dtype in
+  let wt = Te.placeholder "W" [ k; k; groups; cig; cog ] in_dtype in
+  let hp = h + (2 * pad) and wp = w + (2 * pad) in
+  let apad =
+    Te.compute "A_pad" ~dtype:in_dtype [ n; hp; wp; groups; cig ] (fun idx ->
+        match idx with
+        | [ vn; vh; vw; vg; vc ] ->
+            let open Expr in
+            let open Expr.Infix in
+            let hh = vh -: Int pad and ww = vw -: Int pad in
+            let inb lo x hi = and_ (le lo x) (lt x hi) in
+            select
+              (and_ (inb (Int 0) hh (Int h)) (inb (Int 0) ww (Int w)))
+              (Te.get a [ vn; hh; ww; vg; vc ])
+              (Float (0.0, in_dtype))
+        | _ -> assert false)
+  in
+  let oh = ((h + (2 * pad) - k) / stride) + 1 in
+  let ow = ((w + (2 * pad) - k) / stride) + 1 in
+  let c =
+    Te.reduce "C" ~dtype:acc_dtype ~shape:[ n; oh; ow; groups; cog ]
+      ~rdom:[ k; k; cig ] (fun sp rd ->
+        match (sp, rd) with
+        | [ vn; vh; vw; vg; vo ], [ vrh; vrw; vrc ] ->
+            let open Expr in
+            let open Expr.Infix in
+            cast_mul acc_dtype
+              (Te.get apad
+                 [ vn; (vh *: Int stride) +: vrh; (vw *: Int stride) +: vrw; vg; vrc ])
+              (Te.get wt [ vrh; vrw; vg; vrc; vo ])
+        | _ -> assert false)
+  in
+  {
+    tag = "GRP";
+    name = Printf.sprintf "grp_h%d_g%d_ci%d_co%d" h groups ci co;
+    func = Te.lower ~name:"grp" ~args:[ a; wt; c ] [ c ];
+    args = [ a; wt; c ];
+    out = c;
+    flops = 2.0 *. float_of_int (n * oh * ow * co * k * k * cig);
+    tensorizable = true;
+  }
+
+(* --- Transposed conv: input dilation + padding, then a dense conv. --- *)
+
+let t2d ?(in_dtype = Dtype.F16) ?(acc_dtype = Dtype.F32) ?(n = 1) ?(h = 28)
+    ?(w = 28) ?(ci = 64) ?(co = 32) ?(k = 4) ?(stride = 2) ?(pad = 1) () =
+  let a = Te.placeholder "A" [ n; h; w; ci ] in_dtype in
+  let wt = Te.placeholder "W" [ k; k; ci; co ] in_dtype in
+  let apad = pad_nhwc "A_dilated" a ~dilate:stride ~pad:(k - 1 - pad) in
+  let oh = ((h - 1) * stride) - (2 * pad) + k in
+  let ow = ((w - 1) * stride) - (2 * pad) + k in
+  let c =
+    Te.reduce "C" ~dtype:acc_dtype ~shape:[ n; oh; ow; co ] ~rdom:[ k; k; ci ]
+      (fun sp rd ->
+        match (sp, rd) with
+        | [ vn; vh; vw; vo ], [ vrh; vrw; vrc ] ->
+            let open Expr.Infix in
+            cast_mul acc_dtype
+              (Te.get apad [ vn; vh +: vrh; vw +: vrw; vrc ])
+              (Te.get wt [ vrh; vrw; vrc; vo ])
+        | _ -> assert false)
+  in
+  {
+    tag = "T2D";
+    name = Printf.sprintf "t2d_h%d_ci%d_co%d_s%d" h ci co stride;
+    func = Te.lower ~name:"t2d" ~args:[ a; wt; c ] [ c ];
+    args = [ a; wt; c ];
+    out = c;
+    flops = 2.0 *. float_of_int (n * oh * ow * co * k * k * ci);
+    tensorizable = true;
+  }
+
+(** The GPU fp16 suite of §5.1, in the paper's order. *)
+let gpu_suite () =
+  [ c1d (); c2d (); c3d (); dep (); dil (); gmm (); grp (); t2d () ]
+
+(** The ARM int8 suite of §5.3 (C2D and GMM). *)
+let arm_suite () =
+  [
+    c2d ~in_dtype:Dtype.I8 ~acc_dtype:Dtype.I32 ();
+    gmm ~in_dtype:Dtype.I8 ~acc_dtype:Dtype.I32 ~m:512 ~n:512 ~k:512 ();
+  ]
+
+let by_tag tag =
+  match String.uppercase_ascii tag with
+  | "C1D" -> c1d ()
+  | "C2D" -> c2d ()
+  | "C3D" -> c3d ()
+  | "DEP" -> dep ()
+  | "DIL" -> dil ()
+  | "GMM" -> gmm ()
+  | "GRP" -> grp ()
+  | "T2D" -> t2d ()
+  | s -> invalid_arg ("unknown workload " ^ s)

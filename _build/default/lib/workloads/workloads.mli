@@ -1,0 +1,57 @@
+(** The paper's single-operator workload suite (§5.1) as tensor-expression
+    definitions in NHWC layout. Boundary handling is materialized as
+    explicit padding stages so reduction block bodies stay purely affine —
+    the form the tensorization candidate generator matches. *)
+
+open Tir_ir
+
+type t = {
+  tag : string;  (** paper's workload code: C1D, C2D, ... *)
+  name : string;  (** shape-qualified unique name *)
+  func : Primfunc.t;
+  args : Te.t list;  (** function parameters as Te stages *)
+  out : Te.t;  (** the einsum output stage *)
+  flops : float;  (** useful arithmetic (GFLOPS reporting) *)
+  tensorizable : bool;  (** whether an MMA-style intrinsic can apply *)
+}
+
+val gmm :
+  ?in_dtype:Dtype.t -> ?acc_dtype:Dtype.t -> ?b:int -> ?m:int -> ?n:int -> ?k:int ->
+  unit -> t
+
+val c1d :
+  ?in_dtype:Dtype.t -> ?acc_dtype:Dtype.t -> ?n:int -> ?l:int -> ?ci:int -> ?co:int ->
+  ?kw:int -> ?stride:int -> ?pad:int -> unit -> t
+
+val c2d :
+  ?in_dtype:Dtype.t -> ?acc_dtype:Dtype.t -> ?n:int -> ?h:int -> ?w:int -> ?ci:int ->
+  ?co:int -> ?kh:int -> ?kw:int -> ?stride:int -> ?pad:int -> unit -> t
+
+val dil :
+  ?in_dtype:Dtype.t -> ?acc_dtype:Dtype.t -> ?n:int -> ?h:int -> ?w:int -> ?ci:int ->
+  ?co:int -> ?kh:int -> ?kw:int -> ?dilation:int -> unit -> t
+
+val c3d :
+  ?in_dtype:Dtype.t -> ?acc_dtype:Dtype.t -> ?n:int -> ?d:int -> ?h:int -> ?w:int ->
+  ?ci:int -> ?co:int -> ?k:int -> ?stride:int -> ?pad:int -> unit -> t
+
+val dep :
+  ?in_dtype:Dtype.t -> ?acc_dtype:Dtype.t -> ?n:int -> ?h:int -> ?w:int -> ?c:int ->
+  ?k:int -> ?stride:int -> ?pad:int -> unit -> t
+
+val grp :
+  ?in_dtype:Dtype.t -> ?acc_dtype:Dtype.t -> ?n:int -> ?h:int -> ?w:int -> ?groups:int ->
+  ?ci:int -> ?co:int -> ?k:int -> ?stride:int -> ?pad:int -> unit -> t
+
+val t2d :
+  ?in_dtype:Dtype.t -> ?acc_dtype:Dtype.t -> ?n:int -> ?h:int -> ?w:int -> ?ci:int ->
+  ?co:int -> ?k:int -> ?stride:int -> ?pad:int -> unit -> t
+
+(** The GPU fp16 suite of §5.1 in the paper's order. *)
+val gpu_suite : unit -> t list
+
+(** The ARM int8 suite of §5.3 (C2D and GMM). *)
+val arm_suite : unit -> t list
+
+(** Default-shape workload by tag; raises [Invalid_argument] otherwise. *)
+val by_tag : string -> t

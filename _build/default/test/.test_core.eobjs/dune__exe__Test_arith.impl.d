@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Array Bound Buffer Dtype Expr Hashtbl List Printexc QCheck2 Stmt String Tir_arith Tir_exec Tir_ir Var

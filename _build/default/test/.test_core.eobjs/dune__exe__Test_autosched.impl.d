@@ -1,0 +1,1 @@
+test/test_autosched.ml: Alcotest Array Dtype Float List Option Printf QCheck2 QCheck_alcotest Random String Tir_autosched Tir_baselines Tir_intrin Tir_ir Tir_sched Tir_sim Tir_workloads Util

@@ -1,0 +1,1 @@
+test/test_candidate.ml: Alcotest Dtype Option Tir_autosched Tir_intrin Tir_ir Tir_sched Tir_workloads Util

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Dtype List Primfunc String Te Tir_codegen Tir_ir Tir_sched Tir_sim Util

@@ -1,0 +1,1 @@
+test/test_database.ml: Alcotest Dtype Filename Sys Tir_autosched Tir_ir Tir_sim Tir_workloads

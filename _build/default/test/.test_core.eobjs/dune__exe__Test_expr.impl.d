@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Array Buffer Dtype Expr Hashtbl Printf QCheck2 QCheck_alcotest Tir_exec Tir_ir Var

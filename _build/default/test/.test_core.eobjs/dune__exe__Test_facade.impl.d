@@ -1,0 +1,1 @@
+test/test_facade.ml: Alcotest Float List String Tensorir

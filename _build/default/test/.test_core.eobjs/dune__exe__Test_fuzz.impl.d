@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest List Primfunc Printf Stmt Tir_autosched Tir_ir Tir_sched Util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Dtype Float List Tir_graph Tir_ir Tir_sim Tir_workloads

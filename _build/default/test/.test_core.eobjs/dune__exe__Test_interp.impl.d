@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Buffer Dtype Expr List Primfunc Printf Stmt Tir_exec Tir_ir Util Var

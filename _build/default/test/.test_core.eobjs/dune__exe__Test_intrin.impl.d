@@ -1,0 +1,1 @@
+test/test_intrin.ml: Alcotest Array Buffer List Primfunc Tir_exec Tir_intrin Tir_ir

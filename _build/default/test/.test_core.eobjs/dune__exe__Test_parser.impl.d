@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Dtype Fmt List Parser Primfunc Printer Stdlib String Tir_exec Tir_ir Tir_sched Tir_workloads Util

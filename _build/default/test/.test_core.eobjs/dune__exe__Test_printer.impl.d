@@ -1,0 +1,1 @@
+test/test_printer.ml: Alcotest Buffer Dtype Expr Fmt List Primfunc Printer Stmt String Tir_ir Tir_sched Util Var

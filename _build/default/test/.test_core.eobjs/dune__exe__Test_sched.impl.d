@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest List Option Primfunc Stmt String Tir_ir Tir_sched Util

@@ -1,0 +1,1 @@
+test/test_sched_errors.ml: Alcotest List Tir_intrin Tir_ir Tir_sched Util Var

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dtype Printf Te Tir_ir Tir_sched Tir_sim Util

@@ -1,0 +1,1 @@
+test/test_te.ml: Alcotest Array Buffer Dtype Expr Float List Option Primfunc Printf Stmt Te Tir_exec Tir_ir Util Var

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Buffer Dtype Expr List Option Primfunc Stmt Te Tir_autosched Tir_intrin Tir_ir Tir_sched Tir_workloads Util Var

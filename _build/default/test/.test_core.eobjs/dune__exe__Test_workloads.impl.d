@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Dtype List Primfunc Tir_exec Tir_ir Tir_workloads Util

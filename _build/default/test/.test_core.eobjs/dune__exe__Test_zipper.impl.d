@@ -1,0 +1,1 @@
+test/test_zipper.ml: Alcotest Expr List Option Primfunc Printer Stmt Tir_ir Tir_sched Util Var

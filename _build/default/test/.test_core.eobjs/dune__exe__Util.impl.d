@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Buffer Dtype Expr Fmt List Primfunc Printer Te Tir_exec Tir_intrin Tir_ir Tir_sched

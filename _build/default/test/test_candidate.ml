@@ -1,0 +1,180 @@
+(** Tensorization candidate generation tests (paper §4.2 / Figure 9):
+    the canonical rewritten program must compute the same function, pass
+    validation, and expose a compute block that blockizes and tensorizes
+    against the intrinsic. Depthwise conv must yield no candidate. *)
+
+open Tir_ir
+module W = Tir_workloads.Workloads
+module C = Tir_autosched.Candidate
+module S = Tir_sched.Schedule
+module TI = Tir_intrin.Tensor_intrin
+
+let dot4 () = TI.lookup "accel.dot_4x4x4"
+let wmma () = TI.lookup "wmma.mma_16x16x16"
+
+let small_gmm () = W.gmm ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~m:32 ~n:32 ~k:32 ()
+
+let small_c2d () =
+  W.c2d ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32 ~h:8 ~w:8 ~ci:16 ~co:16 ()
+
+let test_gmm_candidate () =
+  let w = small_gmm () in
+  match C.generate w (dot4 ()) with
+  | None -> Alcotest.fail "expected a candidate for GMM"
+  | Some cand ->
+      Alcotest.(check int) "fm" 32 cand.C.fm;
+      Alcotest.(check int) "fk" 32 cand.C.fk;
+      Alcotest.(check int) "outer dims (batch)" 1 cand.C.outer_dims;
+      Util.check_valid "gmm candidate" cand.C.func;
+      Util.check_same_semantics "gmm candidate" w.W.func cand.C.func
+
+let test_c2d_candidate () =
+  let w = small_c2d () in
+  match C.generate w (wmma ()) with
+  | None -> Alcotest.fail "expected a candidate for C2D"
+  | Some cand ->
+      (* m fuses (n, oh, ow) = 64; k fuses (kh, kw, ci) = 144; n = co = 16 *)
+      Alcotest.(check int) "fm" 64 cand.C.fm;
+      Alcotest.(check int) "fk" 144 cand.C.fk;
+      Alcotest.(check int) "fn" 16 cand.C.fn;
+      Util.check_valid "c2d candidate" cand.C.func;
+      Util.check_same_semantics "c2d candidate" w.W.func cand.C.func
+
+let test_c2d_padding () =
+  (* co = 20 is not a multiple of 16: fn must pad to 32 and semantics must
+     still hold. *)
+  let w = W.c2d ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32 ~h:4 ~w:4 ~ci:16 ~co:20 () in
+  match C.generate w (wmma ()) with
+  | None -> Alcotest.fail "expected a candidate"
+  | Some cand ->
+      Alcotest.(check int) "fn padded" 32 cand.C.fn;
+      Util.check_same_semantics "padded candidate" w.W.func cand.C.func
+
+let test_dep_no_candidate () =
+  let w = W.dep ~h:8 ~w:8 ~c:16 () in
+  Alcotest.(check bool) "no candidate for DEP" true (C.generate w (wmma ()) = None)
+
+let test_t2d_candidate () =
+  let w = W.t2d ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~h:4 ~w:4 ~ci:8 ~co:8 () in
+  match C.generate w (dot4 ()) with
+  | None -> Alcotest.fail "expected a candidate for T2D"
+  | Some cand -> Util.check_same_semantics "t2d candidate" w.W.func cand.C.func
+
+let test_candidate_tensorizes () =
+  (* End-to-end Figure 8 flow: tile the canonical block by the intrinsic
+     shape, blockize, tensorize; semantics preserved. *)
+  let w = small_gmm () in
+  let cand = Option.get (C.generate w (dot4 ())) in
+  let t = S.create cand.C.func in
+  (match S.get_loops t cand.C.compute_block with
+  | [ _b; fm; fn; fk ] ->
+      let _mo, mi =
+        match S.split t fm ~factors:[ 0; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let _no, ni =
+        match S.split t fn ~factors:[ 0; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let ko, ki =
+        match S.split t fk ~factors:[ 0; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.reorder t [ _mo; _no; ko; mi; ni; ki ];
+      ignore (S.decompose_reduction t cand.C.compute_block ko);
+      ignore (S.tensorize t mi "accel.dot_4x4x4")
+  | _ -> Alcotest.fail "unexpected loop structure");
+  Util.check_valid "tensorized candidate" (S.func t);
+  Util.check_same_semantics "tensorized candidate" w.W.func (S.func t)
+
+let suite =
+  [
+    ("gmm candidate", `Quick, test_gmm_candidate);
+    ("c2d candidate (conv as implicit GEMM)", `Quick, test_c2d_candidate);
+    ("c2d candidate with padding", `Quick, test_c2d_padding);
+    ("dep has no candidate", `Quick, test_dep_no_candidate);
+    ("t2d candidate", `Quick, test_t2d_candidate);
+    ("candidate blockizes and tensorizes", `Quick, test_candidate_tensorizes);
+  ]
+
+let test_c1d_candidate () =
+  let w = W.c1d ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~l:16 ~ci:4 ~co:8 () in
+  match C.generate w (dot4 ()) with
+  | None -> Alcotest.fail "expected a candidate for C1D"
+  | Some cand -> Util.check_same_semantics "c1d candidate" w.W.func cand.C.func
+
+let test_c3d_candidate () =
+  let w =
+    W.c3d ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~d:3 ~h:3 ~w:3 ~ci:2 ~co:4 ()
+  in
+  match C.generate w (dot4 ()) with
+  | None -> Alcotest.fail "expected a candidate for C3D"
+  | Some cand -> Util.check_same_semantics "c3d candidate" w.W.func cand.C.func
+
+let test_grp_candidate () =
+  (* Groups behave like a batch dimension: outer-only iterator. *)
+  let w =
+    W.grp ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~h:4 ~w:4 ~groups:2 ~ci:4 ~co:4 ()
+  in
+  match C.generate w (dot4 ()) with
+  | None -> Alcotest.fail "expected a candidate for GRP"
+  | Some cand ->
+      Alcotest.(check int) "group is outer-only" 1 cand.C.outer_dims;
+      Util.check_same_semantics "grp candidate" w.W.func cand.C.func
+
+let test_nonsquare_intrinsic () =
+  (* The machinery is generic in (m, n, k): register an Ampere-style
+     non-square MMA and tensorize against it. *)
+  let intrin =
+    TI.make_mma ~name:"test.mma_8x4x2" ~m:8 ~n:4 ~k:2 ~in_dtype:Dtype.F32
+      ~acc_dtype:Dtype.F32 ~scopes:[ "*"; "*"; "*" ] ~exec_scope:TI.Thread
+      ~call_name:"tir.mma_sync" ()
+  in
+  TI.register intrin;
+  let w = W.gmm ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~m:16 ~n:16 ~k:16 () in
+  let cand = Option.get (C.generate w intrin) in
+  let t = S.create cand.C.func in
+  (match S.get_loops t cand.C.compute_block with
+  | [ _b; fm; fn; fk ] ->
+      let mo, mi =
+        match S.split t fm ~factors:[ 0; 8 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let no, ni =
+        match S.split t fn ~factors:[ 0; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let ko, ki =
+        match S.split t fk ~factors:[ 0; 2 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.reorder t [ mo; no; ko; mi; ni; ki ];
+      ignore (S.decompose_reduction t cand.C.compute_block ko);
+      ignore (S.tensorize t mi "test.mma_8x4x2")
+  | _ -> Alcotest.fail "unexpected loops");
+  Util.check_valid "non-square tensorized" (S.func t);
+  Util.check_same_semantics "non-square tensorized" w.W.func (S.func t)
+
+let test_padding_preserves_dot4 () =
+  (* fn = 20 pads to 20 -> 20 % 4 = 0 already; use co = 6 to force pad. *)
+  let w = W.c2d ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~h:4 ~w:4 ~ci:4 ~co:6 () in
+  match C.generate w (dot4 ()) with
+  | None -> Alcotest.fail "expected candidate"
+  | Some cand ->
+      Alcotest.(check int) "fn padded to multiple of 4" 8 cand.C.fn;
+      Util.check_same_semantics "padded dot4 candidate" w.W.func cand.C.func
+
+let suite =
+  suite
+  @ [
+      ("c1d candidate", `Quick, test_c1d_candidate);
+      ("c3d candidate", `Quick, test_c3d_candidate);
+      ("grp candidate (groups outer)", `Quick, test_grp_candidate);
+      ("non-square intrinsic end-to-end", `Quick, test_nonsquare_intrinsic);
+      ("padding with dot4", `Quick, test_padding_preserves_dot4);
+    ]
+
+let test_dtype_mismatch_rejected () =
+  (* fp16 workload against the fp32 dot4 intrinsic: no candidate. *)
+  let w = W.gmm ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32 ~m:32 ~n:32 ~k:32 () in
+  Alcotest.(check bool) "f16 vs f32 intrinsic rejected" true
+    (C.generate w (dot4 ()) = None);
+  (* ...but matches the f16 wmma intrinsic. *)
+  Alcotest.(check bool) "f16 vs wmma accepted" true (C.generate w (wmma ()) <> None)
+
+let suite =
+  suite @ [ ("dtype mismatch rejected", `Quick, test_dtype_mismatch_rejected) ]

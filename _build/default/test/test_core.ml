@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "tensorir"
+    [
+      ("expr", Test_expr.suite);
+      ("arith", Test_arith.suite);
+      ("interp", Test_interp.suite);
+      ("parser", Test_parser.suite);
+      ("codegen", Test_codegen.suite);
+      ("sim", Test_sim.suite);
+      ("workloads", Test_workloads.suite);
+      ("te", Test_te.suite);
+      ("printer", Test_printer.suite);
+      ("graph", Test_graph.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("zipper", Test_zipper.suite);
+      ("sched", Test_sched.suite);
+      ("sched-errors", Test_sched_errors.suite);
+      ("candidate", Test_candidate.suite);
+      ("validate", Test_validate.suite);
+      ("intrin", Test_intrin.suite);
+      ("autosched", Test_autosched.suite);
+      ("database", Test_database.suite);
+      ("facade", Test_facade.suite);
+    ]

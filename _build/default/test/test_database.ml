@@ -1,0 +1,88 @@
+(** Tuning-record database (§5.2): commit/lookup, disk round-trip, and
+    search elimination on a second tuning run. *)
+
+open Tir_ir
+module DB = Tir_autosched.Database
+module Tune = Tir_autosched.Tune
+module W = Tir_workloads.Workloads
+
+let gpu = Tir_sim.Target.gpu_tensorcore
+
+let small_gmm () =
+  W.gmm ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32 ~m:128 ~n:128 ~k:128 ()
+
+let test_commit_and_find () =
+  let db = DB.create () in
+  let w = small_gmm () in
+  let r = Tune.tune ~trials:8 ~database:db gpu w in
+  Alcotest.(check int) "one record" 1 (DB.size db);
+  (match
+     DB.find db ~target_name:gpu.Tir_sim.Target.name ~workload_name:w.W.name
+   with
+  | Some rec_ ->
+      Alcotest.(check (float 1e-9)) "latency stored" (Tune.latency_us r)
+        rec_.DB.latency_us
+  | None -> Alcotest.fail "record not found")
+
+let test_replay_eliminates_search () =
+  let db = DB.create () in
+  let w = small_gmm () in
+  let first = Tune.tune ~trials:12 ~database:db gpu w in
+  let second = Tune.tune ~trials:12 ~database:db gpu w in
+  Alcotest.(check int) "second run needs one trial" 1 second.Tune.stats.trials;
+  Alcotest.(check (float 1e-9)) "same latency" (Tune.latency_us first)
+    (Tune.latency_us second);
+  Alcotest.(check bool) "replay is much cheaper" true
+    (second.Tune.stats.profiling_us < first.Tune.stats.profiling_us /. 2.0)
+
+let test_find_keeps_best () =
+  let db = DB.create () in
+  let mk lat =
+    {
+      DB.target_name = "t";
+      workload_name = "w";
+      sketch_name = "s";
+      decisions = [ ("a", 1) ];
+      latency_us = lat;
+    }
+  in
+  DB.add db (mk 10.0);
+  DB.add db (mk 5.0);
+  DB.add db (mk 7.0);
+  match DB.find db ~target_name:"t" ~workload_name:"w" with
+  | Some r -> Alcotest.(check (float 0.0)) "best kept" 5.0 r.DB.latency_us
+  | None -> Alcotest.fail "missing"
+
+let test_disk_roundtrip () =
+  let db = DB.create () in
+  DB.add db
+    {
+      DB.target_name = "gpu-tensorcore";
+      workload_name = "gmm_test";
+      sketch_name = "tensorized-gpu:wmma.mma_16x16x16";
+      decisions = [ ("m", 3); ("n", 1); ("k", 0) ];
+      latency_us = 42.5;
+    };
+  let path = Filename.temp_file "tirdb" ".txt" in
+  DB.save db path;
+  let db' = DB.load path in
+  Sys.remove path;
+  Alcotest.(check int) "one record back" 1 (DB.size db');
+  match DB.find db' ~target_name:"gpu-tensorcore" ~workload_name:"gmm_test" with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "latency" 42.5 r.DB.latency_us;
+      Alcotest.(check int) "decision m" 3 (Tir_autosched.Space.decide r.DB.decisions "m")
+  | None -> Alcotest.fail "missing after reload"
+
+let test_load_missing_file () =
+  let db = DB.load "/nonexistent/path/db.txt" in
+  Alcotest.(check int) "empty" 0 (DB.size db)
+
+let suite =
+  [
+    ("commit and find", `Quick, test_commit_and_find);
+    ("replay eliminates search", `Quick, test_replay_eliminates_search);
+    ("find keeps best", `Quick, test_find_keeps_best);
+    ("disk roundtrip", `Quick, test_disk_roundtrip);
+    ("missing file loads empty", `Quick, test_load_missing_file);
+  ]

@@ -1,0 +1,21 @@
+(** The Tensorir facade: one-stop entry point works end to end. *)
+
+let test_facade_pipeline () =
+  Tensorir.init ();
+  let w =
+    Tensorir.Workloads.gmm ~in_dtype:Tensorir.Dtype.F16
+      ~acc_dtype:Tensorir.Dtype.F32 ~m:64 ~n:64 ~k:64 ()
+  in
+  let r = Tensorir.Tune.tune ~trials:8 Tensorir.Target.gpu_tensorcore w in
+  Alcotest.(check bool) "tuned" true (Float.is_finite (Tensorir.Tune.latency_us r));
+  match r.Tensorir.Tune.best with
+  | Some b ->
+      let src = Tensorir.Codegen.emit b.Tensorir.Evolutionary.func in
+      Alcotest.(check bool) "emits source" true (String.length src > 100);
+      let script = Tensorir.Printer.func_to_script b.Tensorir.Evolutionary.func in
+      let reparsed = Tensorir.Parser.parse_func script in
+      Alcotest.(check bool) "reparses" true
+        (List.length reparsed.Tensorir.Primfunc.params = 3)
+  | None -> Alcotest.fail "no best"
+
+let suite = [ ("facade end-to-end", `Quick, test_facade_pipeline) ]

@@ -1,0 +1,142 @@
+(** Schedule-composition fuzzing: random sequences of schedule primitives
+    applied to random small workloads must either raise [Schedule_error]
+    (rejected cleanly) or yield a program that still validates and computes
+    the same function. This is the repository's strongest invariant — the
+    paper's claim that primitives are semantics-preserving transformations
+    with correctness validation. *)
+
+open Tir_ir
+module S = Tir_sched.Schedule
+module Rng = Tir_autosched.Rng
+
+let divisors n = List.filter (fun d -> n mod d = 0 && d > 1 && d < n) (List.init n (fun i -> i + 1))
+
+(* One random primitive application; [true] if it changed something. *)
+let random_primitive rng t =
+  let blocks =
+    List.filter
+      (fun (br : Stmt.block_realize) ->
+        (* only scalar schedulable blocks *)
+        not (List.mem_assoc "tensorized" br.block.Stmt.annotations))
+      (S.blocks t)
+  in
+  if blocks = [] then false
+  else begin
+    let br = Rng.choose rng blocks in
+    let name = br.Stmt.block.Stmt.name in
+    let loops = S.get_loops t name in
+    if loops = [] then false
+    else
+      match Rng.int rng 8 with
+      | 0 -> (
+          (* split a random loop by a random divisor *)
+          let v = Rng.choose rng loops in
+          match divisors (S.loop_extent t v) with
+          | [] -> false
+          | ds ->
+              ignore (S.split t v ~factors:[ 0; Rng.choose rng ds ]);
+              true)
+      | 1 ->
+          (* fuse two adjacent loops of this block when directly nested *)
+          let rec adjacent = function
+            | a :: (b :: _ as rest) -> (a, b) :: adjacent rest
+            | _ -> []
+          in
+          (match adjacent loops with
+          | [] -> false
+          | pairs -> (
+              let a, b = Rng.choose rng pairs in
+              match S.fuse t a b with
+              | exception S.Schedule_error _ -> false
+              | _ -> true))
+      | 2 ->
+          (* reorder: shuffle the loops of this block *)
+          let shuffled =
+            List.map snd
+              (List.sort compare (List.map (fun v -> (Rng.int rng 1000, v)) loops))
+          in
+          (match S.reorder t shuffled with
+          | exception S.Schedule_error _ -> false
+          | () -> true)
+      | 3 ->
+          let v = Rng.choose rng loops in
+          if S.loop_extent t v <= 16 then begin
+            S.unroll t v;
+            true
+          end
+          else false
+      | 4 -> (
+          (* parallel/vectorize an outermost/innermost loop (may produce an
+             invalid program if it carries a reduction: the validator must
+             catch it, and we skip the semantics check then) *)
+          match loops with
+          | v :: _ ->
+              S.parallel t v;
+              true
+          | [] -> false)
+      | 5 -> (
+          match br.Stmt.block.Stmt.init with
+          | Some _ -> (
+              (* decompose at a random loop of the block *)
+              let v = Rng.choose rng loops in
+              match S.decompose_reduction t name v with
+              | exception S.Schedule_error _ -> false
+              | _ -> true)
+          | None -> false)
+      | 6 -> (
+          match S.compute_inline t name with
+          | exception S.Schedule_error _ -> false
+          | () -> true)
+      | _ -> (
+          (* cache_read a random input into shared *)
+          match br.Stmt.block.Stmt.reads with
+          | [] -> false
+          | reads -> (
+              let r = Rng.choose rng reads in
+              match S.cache_read t name r.Stmt.buffer "shared" with
+              | exception S.Schedule_error _ -> false
+              | _ -> true))
+  end
+
+let fuzz_one rng (original : Primfunc.t) =
+  let t = S.create original in
+  let applied = ref 0 in
+  for _ = 1 to 6 do
+    try if random_primitive rng t then incr applied
+    with S.Schedule_error _ -> ()
+  done;
+  (* The result must either be flagged invalid or compute the same
+     function. *)
+  if S.is_valid t then begin
+    Util.check_same_semantics "fuzzed schedule" original (S.func t);
+    `Checked
+  end
+  else `Rejected
+
+let make_workload rng =
+  match Rng.int rng 3 with
+  | 0 ->
+      Util.matmul
+        ~m:(Rng.choose rng [ 4; 6; 8 ])
+        ~n:(Rng.choose rng [ 4; 8 ])
+        ~k:(Rng.choose rng [ 4; 12 ])
+        ()
+  | 1 -> Util.matmul_relu ~m:8 ~n:8 ~k:8 ()
+  | _ -> Util.elementwise_chain ~n:(Rng.choose rng [ 6; 8; 12 ]) ()
+
+let test_fuzz_schedules () =
+  let rng = Rng.create 2024 in
+  let checked = ref 0 and rejected = ref 0 in
+  for _ = 1 to 60 do
+    match fuzz_one rng (make_workload rng) with
+    | `Checked -> incr checked
+    | `Rejected -> incr rejected
+  done;
+  (* The vast majority of random compositions stay valid; some (parallel
+     reductions) must be rejected by validation. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "many valid compositions (%d ok, %d rejected)" !checked !rejected)
+    true
+    (!checked >= 30)
+
+let suite = [ ("random primitive compositions", `Slow, test_fuzz_schedules) ]

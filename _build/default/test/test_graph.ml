@@ -1,0 +1,103 @@
+(** Graph layer: operator-to-workload mapping, model definitions,
+    end-to-end compilation and the scheduler lineup. *)
+
+open Tir_ir
+module Op = Tir_graph.Op
+module M = Tir_graph.Models
+module C = Tir_graph.Compile
+
+let gpu = Tir_sim.Target.gpu_tensorcore
+
+let test_op_workload_mapping () =
+  let conv = Op.conv2d ~h:14 ~w:14 ~ci:64 ~co:64 ~k:3 () in
+  (match Op.workload ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32 conv with
+  | Some w -> Alcotest.(check string) "conv -> C2D" "C2D" w.Tir_workloads.Workloads.tag
+  | None -> Alcotest.fail "conv must map");
+  let dw = Op.conv2d ~h:14 ~w:14 ~ci:64 ~co:64 ~k:3 ~depthwise:true () in
+  (match Op.workload ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32 dw with
+  | Some w -> Alcotest.(check string) "depthwise -> DEP" "DEP" w.Tir_workloads.Workloads.tag
+  | None -> Alcotest.fail "dw must map");
+  let d = Op.dense ~b:2 ~m:8 ~n:8 ~k:8 () in
+  (match Op.workload ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32 d with
+  | Some w -> Alcotest.(check string) "dense -> GMM" "GMM" w.Tir_workloads.Workloads.tag
+  | None -> Alcotest.fail "dense must map");
+  Alcotest.(check bool) "softmax is light" true
+    (Op.is_light (Op.Softmax { rows = 8; cols = 8 }))
+
+let test_light_bytes () =
+  let add = Op.Elementwise { name = "add"; numel = 100; inputs = 2 } in
+  Alcotest.(check (float 0.0)) "add traffic" (float_of_int (100 * 3 * 2))
+    (Op.light_bytes 2 add)
+
+let test_models_nonempty () =
+  List.iter
+    (fun (m : M.t) ->
+      Alcotest.(check bool) (m.M.name ^ " has layers") true (List.length m.M.layers > 3);
+      let heavy =
+        List.filter (fun { M.op; _ } -> not (Op.is_light op)) m.M.layers
+      in
+      Alcotest.(check bool) (m.M.name ^ " has heavy ops") true (List.length heavy > 2))
+    (M.gpu_models @ [ M.bert_base ])
+
+let test_model_lookup () =
+  List.iter
+    (fun n -> ignore (M.by_name n))
+    [ "resnet50"; "mobilenetv2"; "bert"; "vit"; "bert-base" ];
+  match M.by_name "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown model must raise"
+
+(* A tiny synthetic model keeps compile tests fast. *)
+let tiny_model =
+  {
+    M.name = "tiny";
+    layers =
+      [
+        { M.op = Op.dense ~m:64 ~n:64 ~k:64 (); count = 2 };
+        { M.op = Op.Elementwise { name = "relu"; numel = 64 * 64; inputs = 1 }; count = 2 };
+      ];
+  }
+
+let test_compile_composition () =
+  let s = C.tensorir ~trials:8 () in
+  let r = C.compile s gpu tiny_model in
+  Alcotest.(check bool) "supported" true r.C.supported;
+  Alcotest.(check int) "one heavy op report" 1 (List.length r.C.ops);
+  let op = List.hd r.C.ops in
+  Alcotest.(check int) "count threaded through" 2 op.C.count;
+  Alcotest.(check (float 1e-6)) "heavy latency = count * unit"
+    (2.0 *. op.C.unit_latency_us) r.C.heavy_us;
+  Alcotest.(check bool) "light accounted" true (r.C.light_us > 0.0);
+  Alcotest.(check bool) "throughput finite" true (Float.is_finite (C.throughput r))
+
+let test_fusion_policy () =
+  (* Non-fusing schedulers pay a kernel launch per lightweight op. *)
+  let fused = C.compile (C.tensorir ~trials:8 ()) gpu tiny_model in
+  let unfused = C.compile (C.pytorch ()) gpu tiny_model in
+  Alcotest.(check bool) "framework pays launches" true
+    (unfused.C.light_us > fused.C.light_us)
+
+let test_tensorrt_model_coverage () =
+  let s = C.tensorrt ~trials:8 () in
+  let r = C.compile s gpu M.vit in
+  Alcotest.(check bool) "ViT unsupported by TensorRT" false r.C.supported
+
+let test_compile_cache () =
+  (* Same scheduler + same model compiled twice: results identical (cached
+     tuning), fast. *)
+  let s = C.tensorir ~trials:8 () in
+  let a = C.compile s gpu tiny_model in
+  let b = C.compile s gpu tiny_model in
+  Alcotest.(check (float 0.0)) "deterministic via cache" a.C.latency_us b.C.latency_us
+
+let suite =
+  [
+    ("op to workload mapping", `Quick, test_op_workload_mapping);
+    ("lightweight op traffic", `Quick, test_light_bytes);
+    ("model definitions populated", `Quick, test_models_nonempty);
+    ("model lookup", `Quick, test_model_lookup);
+    ("latency composition", `Quick, test_compile_composition);
+    ("fusion policy differentiates", `Quick, test_fusion_policy);
+    ("TensorRT lacks ViT", `Quick, test_tensorrt_model_coverage);
+    ("compile cache", `Quick, test_compile_cache);
+  ]

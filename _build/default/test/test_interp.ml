@@ -1,0 +1,172 @@
+(** Reference interpreter: scalar semantics, reduction init, realize
+    predicates, and native tensor-intrinsic execution. *)
+
+open Tir_ir
+module I = Tir_exec.Interp
+
+let run_matmul m n k =
+  let f = Util.matmul ~m ~n ~k () in
+  let a = I.random_input (List.nth f.Primfunc.params 0) in
+  let b = I.random_input (List.nth f.Primfunc.params 1) in
+  let env = I.run f [ Array.copy a; Array.copy b; Array.make (m * n) 0.0 ] in
+  let c = I.output env (List.nth f.Primfunc.params 2) in
+  (a, b, c)
+
+let test_matmul_reference () =
+  let m, n, k = (7, 5, 9) in
+  let a, b, c = run_matmul m n k in
+  (* Direct OCaml computation. *)
+  let expect = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for kk = 0 to k - 1 do
+        acc := !acc +. (a.((i * k) + kk) *. b.((kk * n) + j))
+      done;
+      expect.((i * n) + j) <- !acc
+    done
+  done;
+  Alcotest.(check bool) "matmul matches direct computation" true (I.allclose c expect)
+
+let test_predicate_skips () =
+  (* A block with predicate (vi < 3) only writes the first 3 elements. *)
+  let buf = Buffer.create "O" [ 8 ] Dtype.F32 in
+  let iv = Stmt.iter_var (Var.fresh "vi") 8 in
+  let lv = Var.fresh "i" in
+  let block =
+    Stmt.make_block ~name:"guarded" ~iter_vars:[ iv ] ~reads:[]
+      ~writes:[ { Stmt.buffer = buf; region = [ (Expr.Var iv.Stmt.var, 1) ] } ]
+      (Stmt.Store (buf, [ Expr.Var iv.Stmt.var ], Expr.float 1.0))
+  in
+  let body =
+    Stmt.for_ lv 8
+      (Stmt.block_realize
+         ~predicate:(Expr.lt (Expr.Var lv) (Expr.Int 3))
+         [ Expr.Var lv ] block)
+  in
+  let f = Primfunc.make ~name:"guarded" ~params:[ buf ] body in
+  let env = I.run f [ Array.make 8 0.0 ] in
+  let out = I.output env buf in
+  Alcotest.(check (float 0.0)) "written" 1.0 out.(2);
+  Alcotest.(check (float 0.0)) "guarded off" 0.0 out.(3)
+
+let test_init_on_first_reduction () =
+  (* Accumulator with init: sum of 1s over k = extent, not extent + junk. *)
+  let out = Buffer.create "O" [ 2 ] Dtype.F32 in
+  let vi = Stmt.iter_var (Var.fresh "vi") 2 in
+  let vk = Stmt.iter_var ~itype:Stmt.Reduce (Var.fresh "vk") 5 in
+  let li = Var.fresh "i" and lk = Var.fresh "k" in
+  let idx = [ Expr.Var vi.Stmt.var ] in
+  let block =
+    Stmt.make_block ~name:"sum"
+      ~init:(Some (Stmt.Store (out, idx, Expr.float 0.0)))
+      ~iter_vars:[ vi; vk ] ~reads:[]
+      ~writes:[ { Stmt.buffer = out; region = [ (List.hd idx, 1) ] } ]
+      (Stmt.Store (out, idx, Expr.add (Expr.Load (out, idx)) (Expr.float 1.0)))
+  in
+  let body =
+    Stmt.for_ li 2
+      (Stmt.for_ lk 5 (Stmt.block_realize [ Expr.Var li; Expr.Var lk ] block))
+  in
+  let f = Primfunc.make ~name:"sum" ~params:[ out ] body in
+  (* Pre-poison the output: init must clear it. *)
+  let env = I.run f [ Array.make 2 99.0 ] in
+  let o = I.output env out in
+  Alcotest.(check (float 1e-6)) "sum = 5" 5.0 o.(0)
+
+let test_mma_intrinsic () =
+  (* tir.mma_sync on a 4x4x4 tile at offset equals manual accumulation. *)
+  let a = Buffer.create "A" [ 8; 8 ] Dtype.F32 in
+  let b = Buffer.create "B" [ 8; 8 ] Dtype.F32 in
+  let c = Buffer.create "C" [ 8; 8 ] Dtype.F32 in
+  let call =
+    Stmt.Eval
+      (Expr.Call
+         ( "tir.mma_sync",
+           Dtype.Int,
+           [
+             Expr.Int 4;
+             Expr.Int 4;
+             Expr.Int 4;
+             Expr.Ptr (c, [ Expr.Int 4; Expr.Int 4 ]);
+             Expr.Ptr (a, [ Expr.Int 0; Expr.Int 4 ]);
+             Expr.Ptr (b, [ Expr.Int 4; Expr.Int 0 ]);
+           ] ))
+  in
+  let f = Primfunc.make ~name:"mma" ~params:[ a; b; c ] call in
+  let av = I.random_input (List.nth f.Primfunc.params 0) in
+  let bv = I.random_input (List.nth f.Primfunc.params 1) in
+  let env = I.run f [ Array.copy av; Array.copy bv; Array.make 64 0.0 ] in
+  let cv = I.output env c in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      let acc = ref 0.0 in
+      for k = 0 to 3 do
+        acc := !acc +. (av.((i * 8) + 4 + k) *. bv.(((4 + k) * 8) + j))
+      done;
+      Alcotest.(check (float 1e-5))
+        (Printf.sprintf "c[%d,%d]" i j)
+        !acc
+        cv.(((4 + i) * 8) + 4 + j)
+    done
+  done
+
+let test_copy_intrinsic () =
+  let src = Buffer.create "S" [ 4; 8 ] Dtype.F16 in
+  let dst = Buffer.create "D" [ 4; 8 ] Dtype.F16 in
+  let call =
+    Stmt.Eval
+      (Expr.Call
+         ( "tir.load_matrix_sync",
+           Dtype.Int,
+           [
+             Expr.Int 4;
+             Expr.Int 4;
+             Expr.Ptr (dst, [ Expr.Int 0; Expr.Int 4 ]);
+             Expr.Ptr (src, [ Expr.Int 0; Expr.Int 0 ]);
+           ] ))
+  in
+  let f = Primfunc.make ~name:"cp" ~params:[ src; dst ] call in
+  let sv = I.random_input src in
+  let env = I.run f [ Array.copy sv; Array.make 32 0.0 ] in
+  let dv = I.output env dst in
+  Alcotest.(check (float 0.0)) "copied corner" sv.(0) dv.(4);
+  Alcotest.(check (float 0.0)) "untouched" 0.0 dv.(0)
+
+let test_scalar_calls () =
+  let env = I.create_env () in
+  let v e = match I.eval env e with I.VFloat f -> f | I.VInt i -> float_of_int i | _ -> nan in
+  Alcotest.(check (float 1e-6)) "exp" (exp 1.5) (v (Expr.Call ("exp", Dtype.F32, [ Expr.float 1.5 ])));
+  Alcotest.(check (float 1e-6)) "sqrt" 3.0 (v (Expr.Call ("sqrt", Dtype.F32, [ Expr.float 9.0 ])));
+  Alcotest.(check (float 1e-2)) "erf(1)" 0.8427 (v (Expr.Call ("erf", Dtype.F32, [ Expr.float 1.0 ])))
+
+let test_out_of_bounds () =
+  let buf = Buffer.create "O" [ 4 ] Dtype.F32 in
+  let f =
+    Primfunc.make ~name:"oob" ~params:[ buf ]
+      (Stmt.Store (buf, [ Expr.Int 9 ], Expr.float 1.0))
+  in
+  Alcotest.check_raises "raises"
+    (I.Runtime_error "index out of bounds on O: flat 9 of 4")
+    (fun () -> ignore (I.run f [ Array.make 4 0.0 ]))
+
+let test_int_buffer_trunc () =
+  let buf = Buffer.create "O" [ 1 ] Dtype.I32 in
+  let f =
+    Primfunc.make ~name:"trunc" ~params:[ buf ]
+      (Stmt.Store (buf, [ Expr.Int 0 ], Expr.float 2.7))
+  in
+  let env = I.run f [ Array.make 1 0.0 ] in
+  Alcotest.(check (float 0.0)) "int store truncates" 2.0 (I.output env buf).(0)
+
+let suite =
+  [
+    ("matmul vs direct computation", `Quick, test_matmul_reference);
+    ("realize predicate", `Quick, test_predicate_skips);
+    ("init on first reduction instance", `Quick, test_init_on_first_reduction);
+    ("mma intrinsic semantics", `Quick, test_mma_intrinsic);
+    ("copy intrinsic semantics", `Quick, test_copy_intrinsic);
+    ("scalar math calls", `Quick, test_scalar_calls);
+    ("out-of-bounds detection", `Quick, test_out_of_bounds);
+    ("integer store truncation", `Quick, test_int_buffer_trunc);
+  ]

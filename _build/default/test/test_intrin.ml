@@ -1,0 +1,70 @@
+(** Tensor intrinsics (§4.1): the registry, and the central contract that
+    each intrinsic's opaque [impl] computes exactly what its [desc] block
+    declares — checked by interpreting both on random data. *)
+
+open Tir_ir
+module TI = Tir_intrin.Tensor_intrin
+module I = Tir_exec.Interp
+
+let test_registry () =
+  List.iter
+    (fun name -> ignore (TI.lookup name))
+    [
+      "accel.dot_4x4x4";
+      "wmma.mma_16x16x16";
+      "wmma.load_a";
+      "wmma.load_b";
+      "wmma.store";
+      "arm.sdot_8x12x4";
+    ];
+  Alcotest.check_raises "unknown raises" (TI.Not_registered "nope") (fun () ->
+      ignore (TI.lookup "nope"))
+
+(* Run a statement over the given param buffers and return the output. *)
+let run_with params body out_param arrays =
+  let f = Primfunc.make ~name:"wrap" ~params body in
+  let env = I.run f arrays in
+  I.output env (List.nth f.Primfunc.params out_param)
+
+let test_desc_impl_agree (name : string) () =
+  let intrin = TI.lookup name in
+  let inputs =
+    List.map (fun (b : Buffer.t) -> I.random_input b) intrin.TI.desc_params
+  in
+  let out_pos = List.length intrin.TI.desc_params - 1 in
+  (* Interpret the semantics block. *)
+  let desc_out =
+    run_with intrin.TI.desc_params intrin.TI.desc out_pos (List.map Array.copy inputs)
+  in
+  (* Interpret the implementation with the same values bound to the impl
+     parameter buffers. *)
+  let impl_out =
+    run_with intrin.TI.impl_params intrin.TI.impl out_pos (List.map Array.copy inputs)
+  in
+  if not (I.allclose desc_out impl_out) then
+    Alcotest.failf "%s: impl disagrees with desc" name
+
+let test_mma_shape_fields () =
+  let i = TI.lookup "wmma.mma_16x16x16" in
+  Alcotest.(check int) "flops" (2 * 16 * 16 * 16) i.TI.flops;
+  Alcotest.(check bool) "not copy" false i.TI.is_copy;
+  Alcotest.(check bool) "warp scope" true (i.TI.exec_scope = TI.Warp);
+  let c = TI.output_param i in
+  Alcotest.(check (list int)) "output shape" [ 16; 16 ] c.Buffer.shape
+
+let test_copy_fields () =
+  let i = TI.lookup "wmma.load_a" in
+  Alcotest.(check bool) "is copy" true i.TI.is_copy;
+  Alcotest.(check (list string)) "scopes" [ "shared"; "wmma.matrix_a" ] i.TI.required_scopes
+
+let suite =
+  [
+    ("registry lookups", `Quick, test_registry);
+    ("dot4: impl = desc", `Quick, test_desc_impl_agree "accel.dot_4x4x4");
+    ("wmma mma: impl = desc", `Quick, test_desc_impl_agree "wmma.mma_16x16x16");
+    ("wmma load_a: impl = desc", `Quick, test_desc_impl_agree "wmma.load_a");
+    ("wmma store: impl = desc", `Quick, test_desc_impl_agree "wmma.store");
+    ("arm sdot: impl = desc", `Quick, test_desc_impl_agree "arm.sdot_8x12x4");
+    ("mma metadata", `Quick, test_mma_shape_fields);
+    ("copy metadata", `Quick, test_copy_fields);
+  ]

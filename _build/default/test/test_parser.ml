@@ -1,0 +1,140 @@
+(** Script dialect round-trip: print -> parse -> print must be a fixed
+    point, and the re-imported program must compute the same function and
+    still validate (paper §3.4: dump, inspect, modify, re-import). *)
+
+open Tir_ir
+module S = Tir_sched.Schedule
+module W = Tir_workloads.Workloads
+
+let roundtrip msg (f : Primfunc.t) =
+  let s1 = Printer.func_to_script f in
+  let f' =
+    try Parser.parse_func s1
+    with Parser.Parse_error m ->
+      Fmt.epr "%s@." s1;
+      Alcotest.failf "%s: parse error: %s" msg m
+  in
+  let s2 = Printer.func_to_script f' in
+  if not (String.equal s1 s2) then begin
+    Fmt.epr "=== first ===@.%s@.=== second ===@.%s@." s1 s2;
+    Alcotest.failf "%s: print->parse->print is not stable" msg
+  end;
+  (* The reparsed program must behave identically. *)
+  Util.check_same_semantics msg f f';
+  f'
+
+let test_roundtrip_simple () =
+  ignore (roundtrip "matmul" (Util.matmul ~m:8 ~n:8 ~k:8 ()))
+
+let test_roundtrip_elementwise () =
+  ignore (roundtrip "chain" (Util.elementwise_chain ~n:8 ()))
+
+let test_roundtrip_workloads () =
+  List.iter
+    (fun tag ->
+      let w =
+        match tag with
+        | "GMM" -> W.gmm ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~m:8 ~n:8 ~k:8 ()
+        | "C2D" -> W.c2d ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~h:4 ~w:4 ~ci:2 ~co:2 ()
+        | "DEP" -> W.dep ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~h:4 ~w:4 ~c:2 ()
+        | "T2D" -> W.t2d ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~h:4 ~w:4 ~ci:2 ~co:2 ()
+        | _ -> assert false
+      in
+      ignore (roundtrip tag w.W.func))
+    [ "GMM"; "C2D"; "DEP"; "T2D" ]
+
+let test_roundtrip_scheduled () =
+  (* Tiled + thread-bound + predicated program. *)
+  let t = S.create (Util.matmul ~m:24 ~n:24 ~k:24 ()) in
+  (match S.get_loops t "C" with
+  | [ i; j; k ] ->
+      (* non-divisible split introduces a predicate *)
+      let io, ii =
+        match S.split t i ~factors:[ 5; 5 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.bind t io "blockIdx.x";
+      S.vectorize t ii;
+      S.parallel t j;
+      let _ = S.split t k ~factors:[ 0; 4 ] in
+      ()
+  | _ -> assert false);
+  ignore (roundtrip "scheduled" (S.func t))
+
+let test_roundtrip_tensorized () =
+  (* Full tensorized program: opaque intrinsic calls, annotations,
+     reduction init block, cache blocks. *)
+  let t = S.create (Util.matmul ~m:16 ~n:16 ~k:16 ()) in
+  (match S.get_loops t "C" with
+  | [ i; j; k ] ->
+      let io, ii =
+        match S.split t i ~factors:[ 4; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let jo, ji =
+        match S.split t j ~factors:[ 4; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let ko, ki =
+        match S.split t k ~factors:[ 4; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.reorder t [ io; jo; ko; ii; ji; ki ];
+      ignore (S.decompose_reduction t "C" ko);
+      ignore (S.tensorize t ii "accel.dot_4x4x4")
+  | _ -> assert false);
+  let f' = roundtrip "tensorized" (S.func t) in
+  Util.check_valid "reparsed tensorized program validates" f'
+
+let test_roundtrip_cached_scoped () =
+  let t = S.create (Util.matmul ~m:16 ~n:16 ~k:16 ()) in
+  let a = List.nth (S.func t).Primfunc.params 0 in
+  let _ = S.cache_read t "C" a "shared" in
+  (match S.get_loops t "C" with
+  | i :: _ -> S.annotate t i "software_pipeline" "2"
+  | _ -> assert false);
+  ignore (roundtrip "cached+annotated" (S.func t))
+
+let test_parse_error_reporting () =
+  (match Parser.parse_func "not a program" with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "must reject garbage");
+  match Parser.parse_func "@T.prim_func\ndef f():\n    B[0] = 1" with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "must reject store to undeclared buffer"
+
+let replace_all ~sub ~by s =
+  let b = Stdlib.Buffer.create (String.length s) in
+  let n = String.length s and m = String.length sub in
+  let i = ref 0 in
+  while !i < n do
+    if !i + m <= n && String.equal (String.sub s !i m) sub then begin
+      Stdlib.Buffer.add_string b by;
+      i := !i + m
+    end
+    else begin
+      Stdlib.Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Stdlib.Buffer.contents b
+
+let test_modify_reimport () =
+  let f = Util.elementwise_chain ~n:4 () in
+  let script = Printer.func_to_script f in
+  let edited = replace_all ~sub:"exp(" ~by:"tanh(" script in
+  let f' = Parser.parse_func edited in
+  Util.check_valid "edited program validates" f';
+  (* Semantics now differ from the original — it computes tanh. *)
+  let input = Tir_exec.Interp.random_input (List.nth f'.Primfunc.params 0) in
+  let env = Tir_exec.Interp.run f' [ Array.copy input; Array.make 16 0.0 ] in
+  let out = Tir_exec.Interp.output env (List.nth f'.Primfunc.params 1) in
+  Alcotest.(check (float 1e-5)) "computes tanh(x+1)" (tanh (input.(0) +. 1.0)) out.(0)
+
+let suite =
+  [
+    ("roundtrip: matmul", `Quick, test_roundtrip_simple);
+    ("roundtrip: elementwise chain", `Quick, test_roundtrip_elementwise);
+    ("roundtrip: workloads", `Quick, test_roundtrip_workloads);
+    ("roundtrip: scheduled program", `Quick, test_roundtrip_scheduled);
+    ("roundtrip: tensorized program", `Quick, test_roundtrip_tensorized);
+    ("roundtrip: cache + annotations", `Quick, test_roundtrip_cached_scoped);
+    ("parse errors reported", `Quick, test_parse_error_reporting);
+    ("dump, edit, re-import", `Quick, test_modify_reimport);
+  ]

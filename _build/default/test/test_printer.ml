@@ -1,0 +1,91 @@
+(** Printer: script-dialect structure, grid collapsing, binder
+    disambiguation, and signature display. *)
+
+open Tir_ir
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_grid_collapse () =
+  let s = Printer.func_to_script (Util.matmul ~m:8 ~n:8 ~k:8 ()) in
+  Alcotest.(check bool) "grid collapsed" true (contains s "in T.grid(8, 8, 8):")
+
+let test_signature_shown () =
+  let s = Printer.func_to_script (Util.matmul ~m:8 ~n:8 ~k:8 ()) in
+  Alcotest.(check bool) "reads shown" true (contains s "T.reads(");
+  Alcotest.(check bool) "writes shown" true (contains s "T.writes(");
+  Alcotest.(check bool) "init shown" true (contains s "with T.init():");
+  Alcotest.(check bool) "reduce axis shown" true (contains s "T.axis.reduce(8");
+  Alcotest.(check bool) "alloc shown" false (contains s "T.alloc_buffer")
+
+let test_loop_kinds_printed () =
+  let module S = Tir_sched.Schedule in
+  let t = S.create (Util.matmul ~m:8 ~n:8 ~k:8 ()) in
+  (match S.get_loops t "C" with
+  | [ i; j; _ ] ->
+      S.bind t i "blockIdx.x";
+      S.vectorize t j
+  | _ -> assert false);
+  let s = Printer.func_to_script (S.func t) in
+  Alcotest.(check bool) "thread binding printed" true
+    (contains s "T.thread_binding(8, thread=\"blockIdx.x\")");
+  Alcotest.(check bool) "vectorized printed" true (contains s "T.vectorized(8)")
+
+let test_uniquify_no_collisions () =
+  (* A schedule that generates several same-named loop variables. *)
+  let module S = Tir_sched.Schedule in
+  let t = S.create (Util.matmul ~m:16 ~n:16 ~k:16 ()) in
+  (match S.get_loops t "C" with
+  | [ i; _; _ ] ->
+      let io, _ =
+        match S.split t i ~factors:[ 4; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      ignore (S.split t io ~factors:[ 2; 2 ])
+  | _ -> assert false);
+  let f = Printer.uniquify (S.func t) in
+  (* Collect all binder names; they must be pairwise distinct. *)
+  let names = ref [] in
+  Stmt.iter
+    (function
+      | Stmt.For r -> names := r.loop_var.Var.name :: !names
+      | Stmt.Block br ->
+          List.iter
+            (fun (iv : Stmt.iter_var) -> names := iv.var.Var.name :: !names)
+            br.block.Stmt.iter_vars
+      | _ -> ())
+    f.Primfunc.body;
+  let sorted = List.sort compare !names in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if String.equal a b then Some a else dup rest
+    | _ -> None
+  in
+  match dup sorted with
+  | Some n -> Alcotest.failf "duplicate binder name after uniquify: %s" n
+  | None -> ()
+
+let test_scope_in_decl () =
+  let b = Buffer.create ~scope:"shared" "S" [ 4 ] Dtype.F16 in
+  Alcotest.(check string) "decl with scope"
+    "S: Buffer[(4), \"float16\", scope=\"shared\"]"
+    (Fmt.str "%a" Buffer.pp_decl b)
+
+let test_expr_precedence () =
+  let x = Var.fresh "x" in
+  let e = Expr.Bin (Expr.Mul, Expr.Bin (Expr.Add, Expr.Var x, Expr.Int 1), Expr.Int 2) in
+  Alcotest.(check string) "parens preserved" "(x + 1) * 2" (Expr.to_string e);
+  let e2 = Expr.Bin (Expr.Add, Expr.Var x, Expr.Bin (Expr.Mul, Expr.Int 1, Expr.Int 1)) in
+  ignore e2;
+  let e3 = Expr.Bin (Expr.Sub, Expr.Var x, Expr.Bin (Expr.Sub, Expr.Var x, Expr.Int 1)) in
+  Alcotest.(check string) "right sub parenthesized" "x - (x - 1)" (Expr.to_string e3)
+
+let suite =
+  [
+    ("grid collapsing", `Quick, test_grid_collapse);
+    ("signatures displayed", `Quick, test_signature_shown);
+    ("loop kinds displayed", `Quick, test_loop_kinds_printed);
+    ("uniquify removes collisions", `Quick, test_uniquify_no_collisions);
+    ("buffer declaration with scope", `Quick, test_scope_in_decl);
+    ("expression precedence", `Quick, test_expr_precedence);
+  ]

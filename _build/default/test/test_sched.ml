@@ -1,0 +1,334 @@
+(** Schedule primitive tests: every transformation preserves program
+    semantics (checked by the interpreter) and validity (checked by the
+    validator). *)
+
+open Tir_ir
+module S = Tir_sched.Schedule
+
+let with_matmul f =
+  let original = Util.matmul () in
+  let t = S.create original in
+  f t;
+  (original, S.func t)
+
+let check name t_original t_result =
+  Util.check_valid name t_result;
+  Util.check_same_semantics name t_original t_result
+
+let test_split () =
+  let original, result =
+    with_matmul (fun t ->
+        match S.get_loops t "C" with
+        | [ i; _j; _k ] -> ignore (S.split t i ~factors:[ 4; 8 ])
+        | _ -> assert false)
+  in
+  check "split" original result
+
+let test_split_infer () =
+  let original, result =
+    with_matmul (fun t ->
+        match S.get_loops t "C" with
+        | [ i; _; _ ] ->
+            let vs = S.split t i ~factors:[ 0; 8 ] in
+            Alcotest.(check int) "inferred outer" 4 (S.loop_extent t (List.nth vs 0))
+        | _ -> assert false)
+  in
+  check "split-infer" original result
+
+let test_split_nondivisible () =
+  let original, result =
+    with_matmul (fun t ->
+        match S.get_loops t "C" with
+        | [ i; _; _ ] -> ignore (S.split t i ~factors:[ 5; 7 ])
+        | _ -> assert false)
+  in
+  check "split-nondivisible" original result
+
+let test_fuse () =
+  let original, result =
+    with_matmul (fun t ->
+        match S.get_loops t "C" with
+        | [ i; j; _ ] -> ignore (S.fuse t i j)
+        | _ -> assert false)
+  in
+  check "fuse" original result
+
+let test_reorder () =
+  let original, result =
+    with_matmul (fun t ->
+        match S.get_loops t "C" with
+        | [ i; j; k ] -> S.reorder t [ k; j; i ]
+        | _ -> assert false)
+  in
+  check "reorder" original result
+
+let test_tile () =
+  let original, result =
+    with_matmul (fun t ->
+        match S.get_loops t "C" with
+        | [ i; j; k ] ->
+            let io, ii =
+              match S.split t i ~factors:[ 0; 8 ] with
+              | [ a; b ] -> (a, b)
+              | _ -> assert false
+            in
+            let jo, ji =
+              match S.split t j ~factors:[ 0; 8 ] with
+              | [ a; b ] -> (a, b)
+              | _ -> assert false
+            in
+            S.reorder t [ io; jo; ii; ji; k ]
+        | _ -> assert false)
+  in
+  check "tile" original result
+
+let test_parallel_vectorize () =
+  let original, result =
+    with_matmul (fun t ->
+        match S.get_loops t "C" with
+        | [ i; j; _ ] ->
+            S.parallel t i;
+            S.vectorize t j
+        | _ -> assert false)
+  in
+  check "parallel+vectorize" original result
+
+let test_bind_threads () =
+  let original, result =
+    with_matmul (fun t ->
+        match S.get_loops t "C" with
+        | [ i; j; _ ] ->
+            S.bind t i "blockIdx.x";
+            S.bind t j "threadIdx.x"
+        | _ -> assert false)
+  in
+  check "bind" original result
+
+let test_reduce_parallel_invalid () =
+  let t = S.create (Util.matmul ()) in
+  (match S.get_loops t "C" with
+  | [ _; _; k ] -> S.parallel t k
+  | _ -> assert false);
+  Alcotest.(check bool)
+    "reduction loop bound parallel is rejected" false (S.is_valid t)
+
+let test_compute_at () =
+  let original = Util.matmul_relu () in
+  let t = S.create original in
+  (match S.get_loops t "D" with
+  | i :: _ ->
+      let io, _ii =
+        match S.split t i ~factors:[ 8; 8 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.compute_at t "C" io
+  | _ -> assert false);
+  check "compute_at" original (S.func t)
+
+let test_reverse_compute_at () =
+  let original = Util.matmul_relu () in
+  let t = S.create original in
+  (match S.get_loops t "C" with
+  | i :: _ ->
+      let io, _ =
+        match S.split t i ~factors:[ 8; 8 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.reverse_compute_at t "D" io
+  | _ -> assert false);
+  check "reverse_compute_at" original (S.func t)
+
+let test_compute_inline () =
+  let original = Util.elementwise_chain () in
+  let t = S.create original in
+  S.compute_inline t "B";
+  Alcotest.(check int) "one block left" 1 (List.length (S.blocks t));
+  check "compute_inline" original (S.func t)
+
+let test_reverse_compute_inline () =
+  let original = Util.elementwise_chain () in
+  let t = S.create original in
+  S.reverse_compute_inline t "C";
+  Alcotest.(check int) "one block left" 1 (List.length (S.blocks t));
+  check "reverse_compute_inline" original (S.func t)
+
+let test_cache_read_write () =
+  let original = Util.matmul () in
+  let t = S.create original in
+  let a = List.nth (S.func t).Primfunc.params 0 in
+  let c = List.nth (S.func t).Primfunc.params 2 in
+  let _ = S.cache_read t "C" a "shared" in
+  let _ = S.cache_write t "C" c "local" in
+  check "cache_read+cache_write" original (S.func t)
+
+let test_cache_read_compute_at () =
+  let original = Util.matmul () in
+  let t = S.create original in
+  let a = List.nth (S.func t).Primfunc.params 0 in
+  let cname = S.cache_read t "C" a "shared" in
+  (match S.get_loops t "C" with
+  | i :: _ ->
+      let io, _ =
+        match S.split t i ~factors:[ 4; 8 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.compute_at t cname io
+  | _ -> assert false);
+  check "cache_read+compute_at" original (S.func t)
+
+let test_decompose_reduction () =
+  let original = Util.matmul () in
+  let t = S.create original in
+  (match S.get_loops t "C" with
+  | [ _; _; k ] -> ignore (S.decompose_reduction t "C" k)
+  | _ -> assert false);
+  check "decompose_reduction" original (S.func t)
+
+let test_decompose_after_tiling () =
+  let original = Util.matmul () in
+  let t = S.create original in
+  (match S.get_loops t "C" with
+  | [ i; j; k ] ->
+      let _io, ii =
+        match S.split t i ~factors:[ 4; 8 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let ko, _ki =
+        match S.split t k ~factors:[ 8; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.reorder t [ ko; ii; j ];
+      ignore (S.decompose_reduction t "C" ko)
+  | _ -> assert false);
+  check "decompose_reduction after tiling" original (S.func t)
+
+let test_blockize () =
+  let original = Util.matmul () in
+  let t = S.create original in
+  (match S.get_loops t "C" with
+  | [ i; j; k ] ->
+      let io, ii =
+        match S.split t i ~factors:[ 8; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let jo, ji =
+        match S.split t j ~factors:[ 8; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let ko, ki =
+        match S.split t k ~factors:[ 8; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.reorder t [ io; jo; ko; ii; ji; ki ];
+      let name = S.blockize t ii in
+      let b = S.get_block t name in
+      Alcotest.(check int) "outer block has 3 iterators" 3 (List.length b.Stmt.iter_vars)
+  | _ -> assert false);
+  check "blockize" original (S.func t)
+
+let test_tensorize_dot4 () =
+  let original = Util.matmul () in
+  let t = S.create original in
+  (match S.get_loops t "C" with
+  | [ i; j; k ] ->
+      let io, ii =
+        match S.split t i ~factors:[ 8; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let jo, ji =
+        match S.split t j ~factors:[ 8; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let ko, ki =
+        match S.split t k ~factors:[ 8; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.reorder t [ io; jo; ko; ii; ji; ki ];
+      (* The intrinsic accumulates: initialization must be decomposed out
+         first, as in the paper's Figure 8 sketch. *)
+      ignore (S.decompose_reduction t "C" ko);
+      let name = S.tensorize t ii "accel.dot_4x4x4" in
+      let b = S.get_block t name in
+      Alcotest.(check bool)
+        "tensorized annotation present" true
+        (List.mem_assoc "tensorized" b.Stmt.annotations)
+  | _ -> assert false);
+  check "tensorize dot4" original (S.func t)
+
+let suite =
+  [
+    ("split", `Quick, test_split);
+    ("split infer factor", `Quick, test_split_infer);
+    ("split non-divisible adds predicate", `Quick, test_split_nondivisible);
+    ("fuse", `Quick, test_fuse);
+    ("reorder", `Quick, test_reorder);
+    ("tile 2d", `Quick, test_tile);
+    ("parallel + vectorize", `Quick, test_parallel_vectorize);
+    ("thread binding", `Quick, test_bind_threads);
+    ("parallel reduction rejected", `Quick, test_reduce_parallel_invalid);
+    ("compute_at", `Quick, test_compute_at);
+    ("reverse_compute_at", `Quick, test_reverse_compute_at);
+    ("compute_inline", `Quick, test_compute_inline);
+    ("reverse_compute_inline", `Quick, test_reverse_compute_inline);
+    ("cache_read + cache_write", `Quick, test_cache_read_write);
+    ("cache_read + compute_at", `Quick, test_cache_read_compute_at);
+    ("decompose_reduction", `Quick, test_decompose_reduction);
+    ("decompose_reduction tiled", `Quick, test_decompose_after_tiling);
+    ("blockize", `Quick, test_blockize);
+    ("tensorize dot4", `Quick, test_tensorize_dot4);
+  ]
+
+let test_merge_reduction_roundtrip () =
+  (* decompose then merge must restore a semantically identical program
+     with the init back inside the block. *)
+  let original = Util.matmul () in
+  let t = S.create original in
+  (match S.get_loops t "C" with
+  | [ _; _; k ] ->
+      let init = S.decompose_reduction t "C" k in
+      S.merge_reduction t init "C"
+  | _ -> assert false);
+  Alcotest.(check bool) "init restored" true
+    (Option.is_some (S.get_block t "C").Stmt.init);
+  check "merge_reduction" original (S.func t)
+
+let test_rfactor () =
+  let original = Util.matmul () in
+  let t = S.create original in
+  (match S.get_loops t "C" with
+  | [ _; _; k ] ->
+      let ko, _ki =
+        match S.split t k ~factors:[ 4; 8 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let final = S.rfactor t "C" ko in
+      Alcotest.(check bool) "final reduction block exists" true
+        (Option.is_some (Primfunc.find_block (S.func t) final))
+  | _ -> assert false);
+  check "rfactor" original (S.func t)
+
+let test_rfactor_enables_parallel_reduction () =
+  (* Binding the factored loop to threads is legal after rfactor — the
+     §3.3 workaround for parallel reductions. *)
+  let original = Util.matmul () in
+  let t = S.create original in
+  (match S.get_loops t "C" with
+  | [ _; _; k ] ->
+      let ko, _ =
+        match S.split t k ~factors:[ 4; 8 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let _final = S.rfactor t "C" ko in
+      S.parallel t ko
+  | _ -> assert false);
+  check "rfactor + parallel" original (S.func t)
+
+let test_trace_recorded () =
+  let t = S.create (Util.matmul ()) in
+  (match S.get_loops t "C" with
+  | [ i; j; _ ] ->
+      let _ = S.split t i ~factors:[ 4; 8 ] in
+      S.vectorize t j
+  | _ -> assert false);
+  let trace = S.trace t in
+  Alcotest.(check int) "two primitives recorded" 2 (List.length trace);
+  Alcotest.(check bool) "split logged first" true
+    (String.length (List.hd trace) > 5 && String.sub (List.hd trace) 0 5 = "split");
+  Alcotest.(check bool) "vectorize logged" true
+    (String.length (List.nth trace 1) > 9 && String.sub (List.nth trace 1) 0 9 = "vectorize")
+
+let suite =
+  suite
+  @ [
+      ("schedule trace recorded", `Quick, test_trace_recorded);
+      ("merge_reduction roundtrip", `Quick, test_merge_reduction_roundtrip);
+      ("rfactor", `Quick, test_rfactor);
+      ("rfactor enables parallel reduction", `Quick, test_rfactor_enables_parallel_reduction);
+    ]

@@ -1,0 +1,164 @@
+(** Schedule primitive error paths: misuse must raise [Schedule_error] with
+    the program left untouched — primitives are transactional. *)
+
+open Tir_ir
+module S = Tir_sched.Schedule
+
+let expect_error msg f =
+  match f () with
+  | exception S.Schedule_error _ -> ()
+  | _ -> Alcotest.fail (msg ^ ": expected Schedule_error")
+
+let fresh () = S.create (Util.matmul ~m:16 ~n:16 ~k:16 ())
+
+let test_unknown_block () =
+  let t = fresh () in
+  expect_error "get_loops of unknown block" (fun () -> S.get_loops t "nope")
+
+let test_unknown_loop () =
+  let t = fresh () in
+  expect_error "split of foreign var" (fun () ->
+      S.split t (Var.fresh "ghost") ~factors:[ 2; 8 ])
+
+let test_split_bad_factors () =
+  let t = fresh () in
+  let i = List.hd (S.get_loops t "C") in
+  expect_error "too few factors" (fun () -> S.split t i ~factors:[ 16 ]);
+  expect_error "two inferred factors" (fun () -> S.split t i ~factors:[ 0; 0; 4 ]);
+  expect_error "product below extent" (fun () -> S.split t i ~factors:[ 2; 2 ])
+
+let test_fuse_not_nested () =
+  let t = fresh () in
+  (match S.get_loops t "C" with
+  | [ i; _; k ] -> expect_error "fuse non-adjacent" (fun () -> S.fuse t i k)
+  | _ -> assert false)
+
+let test_reorder_foreign_loop () =
+  let t = fresh () in
+  let i = List.hd (S.get_loops t "C") in
+  expect_error "reorder with foreign var" (fun () ->
+      S.reorder t [ i; Var.fresh "ghost" ])
+
+let test_compute_inline_reduction () =
+  let t = fresh () in
+  expect_error "inline a reduction block" (fun () -> S.compute_inline t "C")
+
+let test_compute_inline_output () =
+  (* The fuzzer's find, pinned: inlining a block that writes a function
+     output would delete observable behaviour. *)
+  let t = S.create (Util.elementwise_chain ~n:8 ()) in
+  expect_error "inline the output block" (fun () -> S.compute_inline t "C")
+
+let test_decompose_without_init () =
+  let t = S.create (Util.elementwise_chain ~n:8 ()) in
+  let l = List.hd (S.get_loops t "B") in
+  expect_error "decompose a non-reduction" (fun () ->
+      ignore (S.decompose_reduction t "B" l))
+
+let test_decompose_foreign_loop () =
+  let t = fresh () in
+  let d = List.hd (S.get_loops t "C") in
+  let t2 = S.create (Util.matmul ~m:8 ~n:8 ~k:8 ()) in
+  expect_error "decompose at a loop of another function" (fun () ->
+      ignore (S.decompose_reduction t2 "C" d))
+
+let test_blockize_nonchain () =
+  let original = Util.matmul_relu ~m:16 ~n:16 ~k:16 () in
+  let t = S.create original in
+  (* compute_at D under C's outer loop puts two blocks in one subtree:
+     blockize over it must be rejected. *)
+  (match S.get_loops t "C" with
+  | i :: _ ->
+      S.reverse_compute_at t "D" i;
+      expect_error "blockize over two blocks" (fun () -> ignore (S.blockize t i))
+  | _ -> assert false)
+
+let test_tensorize_shape_mismatch () =
+  let t = fresh () in
+  (match S.get_loops t "C" with
+  | [ i; j; k ] ->
+      let io, ii =
+        match S.split t i ~factors:[ 2; 8 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let jo, ji =
+        match S.split t j ~factors:[ 2; 8 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let ko, ki =
+        match S.split t k ~factors:[ 2; 8 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.reorder t [ io; jo; ko; ii; ji; ki ];
+      ignore (S.decompose_reduction t "C" ko);
+      (* 8x8x8 tile does not match the 4x4x4 intrinsic *)
+      expect_error "tile shape mismatch" (fun () ->
+          ignore (S.tensorize t ii "accel.dot_4x4x4"))
+  | _ -> assert false)
+
+let test_tensorize_without_decompose () =
+  let t = fresh () in
+  (match S.get_loops t "C" with
+  | [ i; j; k ] ->
+      let io, ii =
+        match S.split t i ~factors:[ 4; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let jo, ji =
+        match S.split t j ~factors:[ 4; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let ko, ki =
+        match S.split t k ~factors:[ 4; 4 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.reorder t [ io; jo; ko; ii; ji; ki ];
+      (* The intrinsic accumulates but the block still carries its init:
+         the desc (no init) must not match. *)
+      expect_error "tensorize with retained init" (fun () ->
+          ignore (S.tensorize t ii "accel.dot_4x4x4"))
+  | _ -> assert false)
+
+let test_merge_wrong_buffers () =
+  let t = S.create (Util.matmul_relu ~m:8 ~n:8 ~k:8 ()) in
+  (match S.get_loops t "C" with
+  | [ _; _; k ] ->
+      let _init = S.decompose_reduction t "C" k in
+      (* merging D (different buffer) into C must fail *)
+      expect_error "merge with wrong init block" (fun () ->
+          S.merge_reduction t "D" "C")
+  | _ -> assert false)
+
+let test_rfactor_non_reduction () =
+  let t = S.create (Util.elementwise_chain ~n:8 ()) in
+  let l = List.hd (S.get_loops t "B") in
+  expect_error "rfactor a non-reduction" (fun () -> ignore (S.rfactor t "B" l))
+
+let test_rfactor_spatial_loop () =
+  let t = fresh () in
+  let i = List.hd (S.get_loops t "C") in
+  expect_error "rfactor a spatial loop" (fun () -> ignore (S.rfactor t "C" i))
+
+let test_unknown_intrinsic () =
+  let t = fresh () in
+  (match S.get_loops t "C" with
+  | i :: _ -> (
+      match S.tensorize t i "accel.nope" with
+      | exception Tir_intrin.Tensor_intrin.Not_registered _ -> ()
+      | exception S.Schedule_error _ -> ()
+      | _ -> Alcotest.fail "unknown intrinsic must raise")
+  | _ -> assert false)
+
+let suite =
+  [
+    ("unknown block", `Quick, test_unknown_block);
+    ("unknown loop", `Quick, test_unknown_loop);
+    ("split: bad factors", `Quick, test_split_bad_factors);
+    ("fuse: not directly nested", `Quick, test_fuse_not_nested);
+    ("reorder: foreign loop", `Quick, test_reorder_foreign_loop);
+    ("compute_inline: reduction", `Quick, test_compute_inline_reduction);
+    ("compute_inline: function output", `Quick, test_compute_inline_output);
+    ("decompose: no init", `Quick, test_decompose_without_init);
+    ("decompose: foreign loop", `Quick, test_decompose_foreign_loop);
+    ("blockize: subtree with two blocks", `Quick, test_blockize_nonchain);
+    ("tensorize: tile mismatch", `Quick, test_tensorize_shape_mismatch);
+    ("tensorize: retained init", `Quick, test_tensorize_without_decompose);
+    ("merge_reduction: wrong blocks", `Quick, test_merge_wrong_buffers);
+    ("rfactor: non-reduction", `Quick, test_rfactor_non_reduction);
+    ("rfactor: spatial loop", `Quick, test_rfactor_spatial_loop);
+    ("tensorize: unknown intrinsic", `Quick, test_unknown_intrinsic);
+  ]

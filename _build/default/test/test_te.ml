@@ -1,0 +1,96 @@
+(** Tensor-expression front end: lowering structure (block signatures,
+    iterator kinds, allocations), read-region inference, combiners. *)
+
+open Tir_ir
+
+let test_lower_structure () =
+  let f = Util.matmul_relu ~m:16 ~n:16 ~k:16 () in
+  let blocks = Primfunc.blocks f in
+  Alcotest.(check int) "two blocks" 2 (List.length blocks);
+  let c = Primfunc.find_block_exn f "C" in
+  Alcotest.(check int) "C has 3 iterators" 3 (List.length c.Stmt.block.Stmt.iter_vars);
+  let kinds = List.map (fun (iv : Stmt.iter_var) -> iv.itype) c.Stmt.block.Stmt.iter_vars in
+  Alcotest.(check bool) "S S R" true (kinds = [ Stmt.Spatial; Stmt.Spatial; Stmt.Reduce ]);
+  Alcotest.(check bool) "C has init" true (Option.is_some c.Stmt.block.Stmt.init);
+  Alcotest.(check int) "C reads A and B" 2 (List.length c.Stmt.block.Stmt.reads);
+  Alcotest.(check int) "one intermediate allocated" 1
+    (List.length (Primfunc.alloc_buffers f))
+
+let test_reduce_self_read_excluded () =
+  let f = Util.matmul ~m:8 ~n:8 ~k:8 () in
+  let c = Primfunc.find_block_exn f "C" in
+  let out_buf =
+    match c.Stmt.block.Stmt.writes with [ w ] -> w.Stmt.buffer | _ -> assert false
+  in
+  Alcotest.(check bool) "accumulator self-read not in reads" false
+    (List.exists
+       (fun (r : Stmt.buffer_region) -> Buffer.equal r.buffer out_buf)
+       c.Stmt.block.Stmt.reads)
+
+let test_infer_reads_merges_identical () =
+  let a = Te.placeholder "Ar" [ 8 ] Dtype.F32 in
+  let i = Var.fresh "i" in
+  let e =
+    Expr.add (Te.get a [ Expr.Var i ]) (Expr.mul (Te.get a [ Expr.Var i ]) (Expr.float 2.0))
+  in
+  let reads = Te.infer_reads e in
+  Alcotest.(check int) "one region for repeated identical loads" 1 (List.length reads)
+
+let test_infer_reads_widens_different () =
+  let a = Te.placeholder "Aw" [ 8 ] Dtype.F32 in
+  let i = Var.fresh "i" in
+  let e =
+    Expr.add
+      (Te.get a [ Expr.Var i ])
+      (Te.get a [ Expr.add (Expr.Var i) (Expr.Int 1) ])
+  in
+  match Te.infer_reads e with
+  | [ { Stmt.region = [ (Expr.Int 0, 8) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected widened full-buffer region"
+
+let test_max_combiner () =
+  let a = Te.placeholder "Am" [ 4; 8 ] Dtype.F32 in
+  let m =
+    Te.reduce "rowmax" ~combiner:Te.Max_combiner ~shape:[ 4 ] ~rdom:[ 8 ]
+      (fun sp rd ->
+        match (sp, rd) with [ i ], [ j ] -> Te.get a [ i; j ] | _ -> assert false)
+  in
+  let f = Te.lower ~name:"rowmax" ~args:[ a; m ] [ m ] in
+  Util.check_valid "rowmax" f;
+  let input = Tir_exec.Interp.random_input (Te.buffer a) in
+  let env = Tir_exec.Interp.run f [ Array.copy input; Array.make 4 0.0 ] in
+  let out = Tir_exec.Interp.output env (Te.buffer m) in
+  for i = 0 to 3 do
+    let expect = ref neg_infinity in
+    for j = 0 to 7 do
+      expect := Float.max !expect input.((i * 8) + j)
+    done;
+    Alcotest.(check (float 1e-6)) (Printf.sprintf "row %d" i) !expect out.(i)
+  done
+
+let test_toposort_order () =
+  let a = Te.placeholder "At" [ 4 ] Dtype.F32 in
+  let b = Te.compute "Bt" [ 4 ] (fun i -> Te.get a i) in
+  let c = Te.compute "Ct" [ 4 ] (fun i -> Te.get b i) in
+  let order = List.map (fun s -> (Te.buffer s).Buffer.name) (Te.toposort [ c ]) in
+  Alcotest.(check (list string)) "deps first" [ "At"; "Bt"; "Ct" ] order
+
+let test_shared_input_two_consumers () =
+  (* Diamond: two consumers of one stage; lowering allocates it once. *)
+  let a = Te.placeholder "Ad" [ 4 ] Dtype.F32 in
+  let b = Te.compute "Bd" [ 4 ] (fun i -> Expr.add (Te.get a i) (Expr.float 1.0)) in
+  let c = Te.compute "Cd" [ 4 ] (fun i -> Expr.mul (Te.get b i) (Te.get b i)) in
+  let f = Te.lower ~name:"diamond" ~args:[ a; c ] [ c ] in
+  Alcotest.(check int) "one intermediate" 1 (List.length (Primfunc.alloc_buffers f));
+  Util.check_valid "diamond" f
+
+let suite =
+  [
+    ("lowered structure", `Quick, test_lower_structure);
+    ("reduction self-read excluded", `Quick, test_reduce_self_read_excluded);
+    ("identical loads merge", `Quick, test_infer_reads_merges_identical);
+    ("distinct loads widen", `Quick, test_infer_reads_widens_different);
+    ("max combiner", `Quick, test_max_combiner);
+    ("topological ordering", `Quick, test_toposort_order);
+    ("two consumers of one stage", `Quick, test_shared_input_two_consumers);
+  ]

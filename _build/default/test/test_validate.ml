@@ -1,0 +1,185 @@
+(** Validation (§3.3): each class of illegal program must be caught, and the
+    legal counterparts must pass. *)
+
+open Tir_ir
+module S = Tir_sched.Schedule
+module V = Tir_sched.Validate
+
+(* Build a single-block elementwise function with custom iterator bindings. *)
+let custom_bindings ~extents ~iters ~bindings =
+  let out = Buffer.create "O" (List.map (fun (_, e) -> e) iters) Dtype.F32 in
+  let ivs = List.map (fun (v, e) -> Stmt.iter_var v e) iters in
+  let idx = List.map (fun (v, _) -> Expr.Var v) iters in
+  let block =
+    Stmt.make_block ~name:"blk" ~iter_vars:ivs ~reads:[]
+      ~writes:[ { Stmt.buffer = out; region = List.map (fun i -> (i, 1)) idx } ]
+      (Stmt.Store (out, idx, Expr.float 1.0))
+  in
+  let loops = List.map (fun e -> (Var.fresh "l", e)) extents in
+  let bindings = bindings (List.map (fun (v, _) -> Expr.Var v) loops) in
+  let nest =
+    List.fold_right
+      (fun (v, e) acc -> Stmt.for_ v e acc)
+      loops
+      (Stmt.block_realize bindings block)
+  in
+  Primfunc.make ~name:"custom" ~params:[ out ] nest
+
+let test_dependent_bindings_rejected () =
+  (* v1 = i, v2 = i*2: the paper's illegal example. *)
+  let v1 = Var.fresh "v1" and v2 = Var.fresh "v2" in
+  let f =
+    custom_bindings ~extents:[ 8 ]
+      ~iters:[ (v1, 8); (v2, 16) ]
+      ~bindings:(function [ i ] -> [ i; Expr.mul i (Expr.Int 2) ] | _ -> assert false)
+  in
+  Alcotest.(check bool) "rejected" false (V.is_valid f)
+
+let test_divmod_bindings_accepted () =
+  (* v1 = i/4, v2 = i%4: the paper's legal example. *)
+  let v1 = Var.fresh "v1" and v2 = Var.fresh "v2" in
+  let f =
+    custom_bindings ~extents:[ 32 ]
+      ~iters:[ (v1, 8); (v2, 4) ]
+      ~bindings:(function
+        | [ i ] -> [ Expr.div i (Expr.Int 4); Expr.mod_ i (Expr.Int 4) ]
+        | _ -> assert false)
+  in
+  Util.check_valid "divmod bindings" f
+
+let test_domain_mismatch_rejected () =
+  (* Binding covers only half the declared domain. *)
+  let v1 = Var.fresh "v1" in
+  let f =
+    custom_bindings ~extents:[ 4 ]
+      ~iters:[ (v1, 8) ]
+      ~bindings:(function [ i ] -> [ i ] | _ -> assert false)
+  in
+  Alcotest.(check bool) "under-covering binding rejected" false (V.is_valid f)
+
+let test_overflow_needs_predicate () =
+  (* Binding spans 8 but domain is 6: must be rejected without a predicate
+     (the split primitive adds one automatically). *)
+  let v1 = Var.fresh "v1" in
+  let f =
+    custom_bindings ~extents:[ 8 ]
+      ~iters:[ (v1, 6) ]
+      ~bindings:(function [ i ] -> [ i ] | _ -> assert false)
+  in
+  Alcotest.(check bool) "overflow without predicate rejected" false (V.is_valid f)
+
+let test_uncovered_reads_rejected () =
+  (* Producer writes half of an intermediate the consumer fully reads. *)
+  let mk () =
+    let a = Te.placeholder "A" [ 16 ] Dtype.F32 in
+    let b = Te.compute "B" [ 16 ] (fun i -> Te.get a i) in
+    let c = Te.compute "C" [ 16 ] (fun i -> Te.get b i) in
+    (Te.lower ~name:"chain" ~args:[ a; c ] [ c ], Te.buffer b)
+  in
+  let f, _ = mk () in
+  Util.check_valid "full chain is valid" f;
+  (* Shrink the producer's loop to 8: reads of B[8..15] are uncovered. *)
+  let t = S.create f in
+  let path, r = S.loop_path t (List.hd (S.get_loops t "B")) in
+  S.replace t path (Stmt.For { r with extent = 8 });
+  (* fix the domain mismatch by shrinking the block iterator domain too *)
+  let path, br = S.block_path t "B" in
+  let b = br.Stmt.block in
+  let iv = List.hd b.Stmt.iter_vars in
+  S.replace t path
+    (Stmt.Block { br with block = { b with iter_vars = [ { iv with Stmt.extent = 8 } ] } });
+  Alcotest.(check bool) "uncovered reads rejected" false (S.is_valid t)
+
+let thread_bound_matmul binds =
+  let t = S.create (Util.matmul ~m:32 ~n:32 ~k:32 ()) in
+  (match S.get_loops t "C" with
+  | [ i; j; k ] -> binds t i j k
+  | _ -> assert false);
+  S.func t
+
+let test_thread_limit () =
+  (* 32*32 = 1024 threads is legal; adding threadIdx.z 32 exceeds 1024. *)
+  let legal =
+    thread_bound_matmul (fun t i j _ ->
+        S.bind t i "threadIdx.x";
+        S.bind t j "threadIdx.y")
+  in
+  Util.check_valid "1024 threads ok" legal;
+  let t = S.create (Util.matmul ~m:32 ~n:64 ~k:32 ()) in
+  (match S.get_loops t "C" with
+  | [ i; j; _ ] ->
+      S.bind t i "threadIdx.x";
+      S.bind t j "threadIdx.y"
+  | _ -> assert false);
+  Alcotest.(check bool) "2048 threads rejected" false (S.is_valid t)
+
+let test_double_binding_rejected () =
+  let f =
+    thread_bound_matmul (fun t i j _ ->
+        S.bind t i "threadIdx.x";
+        S.bind t j "threadIdx.x")
+  in
+  Alcotest.(check bool) "same axis bound twice on a path rejected" false (V.is_valid f)
+
+let test_warp_scope_violation () =
+  (* A wmma-tensorized block under threadIdx.x must be rejected. *)
+  let w =
+    Tir_workloads.Workloads.gmm ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32 ~m:64 ~n:64
+      ~k:64 ()
+  in
+  let cand =
+    Option.get
+      (Tir_autosched.Candidate.generate w
+         (Tir_intrin.Tensor_intrin.lookup "wmma.mma_16x16x16"))
+  in
+  let t = S.create cand.Tir_autosched.Candidate.func in
+  List.iter (fun b -> S.compute_inline t b) cand.Tir_autosched.Candidate.pre_blocks;
+  (match S.get_loops t "C_t" with
+  | [ _b; fm; fn; fk ] ->
+      let mo, mi =
+        match S.split t fm ~factors:[ 0; 16 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let no, ni =
+        match S.split t fn ~factors:[ 0; 16 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let ko, ki =
+        match S.split t fk ~factors:[ 0; 16 ] with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      S.reorder t [ mo; no; ko; mi; ni; ki ];
+      ignore (S.decompose_reduction t "C_t" ko);
+      (* Tensorize without the required scopes: must fail the scope check. *)
+      (match S.tensorize t mi "wmma.mma_16x16x16" with
+      | exception Tir_sched.State.Schedule_error _ -> ()
+      | _ -> Alcotest.fail "tensorize must enforce wmma scopes")
+  | _ -> assert false)
+
+let test_shared_crossing_blocks () =
+  (* A shared buffer produced in one blockIdx nest and consumed in another
+     must be flagged. *)
+  let a = Te.placeholder "A" [ 64 ] Dtype.F32 in
+  let b = Te.compute "B" [ 64 ] (fun i -> Te.get a i) in
+  let c = Te.compute "C" [ 64 ] (fun i -> Te.get b i) in
+  let f = Te.lower ~name:"cross" ~args:[ a; c ] [ c ] in
+  let t = S.create f in
+  let shared = S.set_scope t (Te.buffer b) "shared" in
+  ignore shared;
+  (match S.get_loops t "B" with
+  | [ i ] -> S.bind t i "blockIdx.x"
+  | _ -> assert false);
+  (match S.get_loops t "C" with
+  | [ i ] -> S.bind t i "blockIdx.x"
+  | _ -> assert false);
+  Alcotest.(check bool) "shared crossing thread blocks rejected" false (S.is_valid t)
+
+let suite =
+  [
+    ("dependent bindings rejected", `Quick, test_dependent_bindings_rejected);
+    ("div/mod bindings accepted", `Quick, test_divmod_bindings_accepted);
+      ("domain mismatch rejected", `Quick, test_domain_mismatch_rejected);
+      ("overflow needs predicate", `Quick, test_overflow_needs_predicate);
+      ("uncovered reads rejected", `Quick, test_uncovered_reads_rejected);
+      ("thread limit enforced", `Quick, test_thread_limit);
+      ("double thread binding rejected", `Quick, test_double_binding_rejected);
+      ("wmma scope enforcement", `Quick, test_warp_scope_violation);
+    ("shared memory crossing blocks", `Quick, test_shared_crossing_blocks);
+  ]

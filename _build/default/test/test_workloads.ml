@@ -1,0 +1,297 @@
+(** Workload definitions: every operator in the suite is interpreted on
+    small shapes and compared against an independent direct OCaml
+    implementation (including padding, dilation, groups, strides and
+    transposed-conv input dilation). All workloads must also validate. *)
+
+open Tir_ir
+module W = Tir_workloads.Workloads
+module I = Tir_exec.Interp
+
+let at arr strides idx =
+  arr.(List.fold_left2 (fun acc i s -> acc + (i * s)) 0 idx strides)
+
+let strides_of shape =
+  let rec go = function
+    | [] -> []
+    | [ _ ] -> [ 1 ]
+    | _ :: rest as l ->
+        let tail = go rest in
+        (List.hd tail * List.hd (List.tl l)) :: tail
+  in
+  match go shape with
+  | s -> s
+
+(* strides_of is fiddly; compute directly instead. *)
+let strides_of shape =
+  let n = List.length shape in
+  let arr = Array.of_list shape in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * arr.(i + 1)
+  done;
+  Array.to_list s
+
+let run_workload (w : W.t) =
+  let params = w.W.func.Primfunc.params in
+  let inputs = List.map (fun b -> I.random_input b) params in
+  let env = I.run w.W.func (List.map Array.copy inputs) in
+  let out_buf = List.nth params (List.length params - 1) in
+  (inputs, I.output env out_buf)
+
+let check (w : W.t) expect_fn =
+  Util.check_valid (w.W.name ^ " validates") w.W.func;
+  let inputs, out = run_workload w in
+  let expect = expect_fn inputs in
+  if not (I.allclose out expect) then Alcotest.failf "%s: wrong result" w.W.name
+
+let test_c1d () =
+  let l = 10 and ci = 3 and co = 4 and kw = 3 and pad = 1 in
+  let w = W.c1d ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~l ~ci ~co ~kw ~pad () in
+  check w (fun inputs ->
+      let a = List.nth inputs 0 and wt = List.nth inputs 1 in
+      let ol = l in
+      let out = Array.make (ol * co) 0.0 in
+      for x = 0 to ol - 1 do
+        for o = 0 to co - 1 do
+          let acc = ref 0.0 in
+          for k = 0 to kw - 1 do
+            for c = 0 to ci - 1 do
+              let xx = x + k - pad in
+              if xx >= 0 && xx < l then
+                acc := !acc +. (a.((xx * ci) + c) *. wt.((((k * ci) + c) * co) + o))
+            done
+          done;
+          out.((x * co) + o) <- !acc
+        done
+      done;
+      out)
+
+let conv2d_reference ~h ~w:wid ~ci ~co ~kh ~kw ~stride ~pad ~dilation a wt =
+  let oh = ((h + (2 * pad) - (dilation * (kh - 1)) - 1) / stride) + 1 in
+  let ow = ((wid + (2 * pad) - (dilation * (kw - 1)) - 1) / stride) + 1 in
+  let out = Array.make (oh * ow * co) 0.0 in
+  for y = 0 to oh - 1 do
+    for x = 0 to ow - 1 do
+      for o = 0 to co - 1 do
+        let acc = ref 0.0 in
+        for ry = 0 to kh - 1 do
+          for rx = 0 to kw - 1 do
+            for c = 0 to ci - 1 do
+              let yy = (y * stride) + (ry * dilation) - pad in
+              let xx = (x * stride) + (rx * dilation) - pad in
+              if yy >= 0 && yy < h && xx >= 0 && xx < wid then
+                acc :=
+                  !acc
+                  +. a.((((yy * wid) + xx) * ci) + c)
+                     *. wt.((((((ry * kw) + rx) * ci) + c) * co) + o)
+            done
+          done
+        done;
+        out.((((y * ow) + x) * co) + o) <- !acc
+      done
+    done
+  done;
+  out
+
+let test_c2d () =
+  let h = 6 and ci = 3 and co = 4 in
+  let w = W.c2d ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~h ~w:h ~ci ~co () in
+  check w (fun inputs ->
+      conv2d_reference ~h ~w:h ~ci ~co ~kh:3 ~kw:3 ~stride:1 ~pad:1 ~dilation:1
+        (List.nth inputs 0) (List.nth inputs 1))
+
+let test_c2d_strided () =
+  let h = 8 and ci = 3 and co = 2 in
+  let w =
+    W.c2d ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~h ~w:h ~ci ~co ~stride:2 ()
+  in
+  check w (fun inputs ->
+      conv2d_reference ~h ~w:h ~ci ~co ~kh:3 ~kw:3 ~stride:2 ~pad:1 ~dilation:1
+        (List.nth inputs 0) (List.nth inputs 1))
+
+let test_dil () =
+  let h = 8 and ci = 2 and co = 3 in
+  let w = W.dil ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~h ~w:h ~ci ~co () in
+  check w (fun inputs ->
+      conv2d_reference ~h ~w:h ~ci ~co ~kh:3 ~kw:3 ~stride:1 ~pad:2 ~dilation:2
+        (List.nth inputs 0) (List.nth inputs 1))
+
+let test_dep () =
+  let h = 6 and c = 3 and k = 3 and pad = 1 in
+  let w = W.dep ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~h ~w:h ~c ~k ~pad () in
+  check w (fun inputs ->
+      let a = List.nth inputs 0 and wt = List.nth inputs 1 in
+      let out = Array.make (h * h * c) 0.0 in
+      for y = 0 to h - 1 do
+        for x = 0 to h - 1 do
+          for cc = 0 to c - 1 do
+            let acc = ref 0.0 in
+            for ry = 0 to k - 1 do
+              for rx = 0 to k - 1 do
+                let yy = y + ry - pad and xx = x + rx - pad in
+                if yy >= 0 && yy < h && xx >= 0 && xx < h then
+                  acc :=
+                    !acc
+                    +. a.((((yy * h) + xx) * c) + cc)
+                       *. wt.((((ry * k) + rx) * c) + cc)
+              done
+            done;
+            out.((((y * h) + x) * c) + cc) <- !acc
+          done
+        done
+      done;
+      out)
+
+let test_grp () =
+  let h = 6 and groups = 2 and ci = 4 and co = 4 and k = 3 and pad = 1 in
+  let cig = ci / groups and cog = co / groups in
+  let w =
+    W.grp ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~h ~w:h ~groups ~ci ~co ~k ~pad ()
+  in
+  check w (fun inputs ->
+      let a = List.nth inputs 0 and wt = List.nth inputs 1 in
+      (* a: [1; h; h; groups; cig], wt: [k; k; groups; cig; cog] *)
+      let out = Array.make (h * h * groups * cog) 0.0 in
+      for y = 0 to h - 1 do
+        for x = 0 to h - 1 do
+          for g = 0 to groups - 1 do
+            for o = 0 to cog - 1 do
+              let acc = ref 0.0 in
+              for ry = 0 to k - 1 do
+                for rx = 0 to k - 1 do
+                  for c = 0 to cig - 1 do
+                    let yy = y + ry - pad and xx = x + rx - pad in
+                    if yy >= 0 && yy < h && xx >= 0 && xx < h then
+                      acc :=
+                        !acc
+                        +. a.((((((yy * h) + xx) * groups) + g) * cig) + c)
+                           *. wt.((((((((ry * k) + rx) * groups) + g) * cig) + c) * cog) + o)
+                  done
+                done
+              done;
+              out.((((((y * h) + x) * groups) + g) * cog) + o) <- !acc
+            done
+          done
+        done
+      done;
+      out)
+
+let test_t2d () =
+  let h = 4 and ci = 2 and co = 2 and k = 4 and stride = 2 and pad = 1 in
+  let w =
+    W.t2d ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~h ~w:h ~ci ~co ~k ~stride ~pad ()
+  in
+  check w (fun inputs ->
+      let a = List.nth inputs 0 and wt = List.nth inputs 1 in
+      let oh = ((h - 1) * stride) - (2 * pad) + k in
+      let out = Array.make (oh * oh * co) 0.0 in
+      (* Direct transposed convolution: scatter each input contribution. The
+         workload computes it as conv over the zero-dilated padded input
+         with weights indexed [ry; rx; ci; co]; reproduce via gather. *)
+      for y = 0 to oh - 1 do
+        for x = 0 to oh - 1 do
+          for o = 0 to co - 1 do
+            let acc = ref 0.0 in
+            for ry = 0 to k - 1 do
+              for rx = 0 to k - 1 do
+                for c = 0 to ci - 1 do
+                  (* dilated input position *)
+                  let yy = y + ry - (k - 1 - pad) and xx = x + rx - (k - 1 - pad) in
+                  if
+                    yy >= 0 && xx >= 0
+                    && yy mod stride = 0
+                    && xx mod stride = 0
+                    && yy / stride < h
+                    && xx / stride < h
+                  then
+                    acc :=
+                      !acc
+                      +. a.(((((yy / stride * h) + (xx / stride)) * ci) + c))
+                         *. wt.((((((ry * k) + rx) * ci) + c) * co) + o)
+                done
+              done
+            done;
+            out.((((y * oh) + x) * co) + o) <- !acc
+          done
+        done
+      done;
+      out)
+
+let test_c3d () =
+  let d = 4 and h = 4 and ci = 2 and co = 2 and k = 3 and pad = 1 in
+  let w =
+    W.c3d ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~d ~h ~w:h ~ci ~co ~k ~pad ()
+  in
+  check w (fun inputs ->
+      let a = List.nth inputs 0 and wt = List.nth inputs 1 in
+      let out = Array.make (d * h * h * co) 0.0 in
+      for z = 0 to d - 1 do
+        for y = 0 to h - 1 do
+          for x = 0 to h - 1 do
+            for o = 0 to co - 1 do
+              let acc = ref 0.0 in
+              for rz = 0 to k - 1 do
+                for ry = 0 to k - 1 do
+                  for rx = 0 to k - 1 do
+                    for c = 0 to ci - 1 do
+                      let zz = z + rz - pad and yy = y + ry - pad and xx = x + rx - pad in
+                      if zz >= 0 && zz < d && yy >= 0 && yy < h && xx >= 0 && xx < h then
+                        acc :=
+                          !acc
+                          +. a.((((((zz * h) + yy) * h) + xx) * ci) + c)
+                             *. wt.((((((((rz * k) + ry) * k) + rx) * ci) + c) * co) + o)
+                    done
+                  done
+                done
+              done;
+              out.((((((z * h) + y) * h) + x) * co) + o) <- !acc
+            done
+          done
+        done
+      done;
+      out)
+
+let test_gmm_batched () =
+  let b = 2 and m = 4 and n = 5 and k = 6 in
+  let w = W.gmm ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~b ~m ~n ~k () in
+  check w (fun inputs ->
+      let a = List.nth inputs 0 and bm = List.nth inputs 1 in
+      let out = Array.make (b * m * n) 0.0 in
+      for bb = 0 to b - 1 do
+        for i = 0 to m - 1 do
+          for j = 0 to n - 1 do
+            let acc = ref 0.0 in
+            for kk = 0 to k - 1 do
+              acc :=
+                !acc +. (a.((((bb * m) + i) * k) + kk) *. bm.((((bb * k) + kk) * n) + j))
+            done;
+            out.((((bb * m) + i) * n) + j) <- !acc
+          done
+        done
+      done;
+      out)
+
+let test_all_gpu_suite_valid () =
+  List.iter (fun (w : W.t) -> Util.check_valid w.W.name w.W.func) (W.gpu_suite ())
+
+let test_by_tag () =
+  List.iter
+    (fun tag ->
+      let w = W.by_tag tag in
+      Alcotest.(check string) "tag roundtrip" tag w.W.tag)
+    [ "C1D"; "C2D"; "C3D"; "DEP"; "DIL"; "GMM"; "GRP"; "T2D" ]
+
+let suite =
+  [
+    ("C1D vs reference", `Quick, test_c1d);
+    ("C2D vs reference", `Quick, test_c2d);
+    ("C2D strided vs reference", `Quick, test_c2d_strided);
+    ("DIL vs reference", `Quick, test_dil);
+    ("DEP vs reference", `Quick, test_dep);
+    ("GRP vs reference", `Quick, test_grp);
+    ("T2D vs reference", `Quick, test_t2d);
+    ("C3D vs reference", `Quick, test_c3d);
+    ("batched GMM vs reference", `Quick, test_gmm_batched);
+    ("full GPU suite validates", `Quick, test_all_gpu_suite_valid);
+    ("by_tag roundtrip", `Quick, test_by_tag);
+  ]

@@ -1,0 +1,71 @@
+(** Zipper: find/rebuild round-trips and context extraction — the substrate
+    every schedule primitive rewrites through. *)
+
+open Tir_ir
+module Z = Tir_sched.Zipper
+
+let program () = (Util.matmul_relu ~m:8 ~n:8 ~k:8 ()).Primfunc.body
+
+let test_find_rebuild_identity () =
+  let body = program () in
+  (* For every block in the tree: locating it and rebuilding with the same
+     subtree reproduces the tree (semantically: same printed form). *)
+  List.iter
+    (fun (br : Stmt.block_realize) ->
+      match Z.find_block_realize body br.block.Stmt.name with
+      | Some (path, sub) ->
+          let rebuilt = Z.rebuild path sub in
+          Alcotest.(check string)
+            ("rebuild at " ^ br.block.Stmt.name)
+            (Printer.stmt_to_string body) (Printer.stmt_to_string rebuilt)
+      | None -> Alcotest.fail "block not found")
+    (Stmt.collect_blocks body)
+
+let test_find_loop_context () =
+  let body = program () in
+  (* The reduction loop of C sits under two spatial loops. *)
+  let c = Option.get (Stmt.find_block body "C") in
+  let k_binding =
+    List.nth c.Stmt.iter_values (List.length c.Stmt.iter_values - 1)
+  in
+  let kv = match k_binding with Expr.Var v -> v | _ -> Alcotest.fail "binding" in
+  match Z.find_loop body kv with
+  | Some (path, Stmt.For r) ->
+      Alcotest.(check bool) "found the right loop" true (Var.equal r.loop_var kv);
+      let loops = Z.loops_of_path path in
+      Alcotest.(check int) "two enclosing loops" 2 (List.length loops);
+      let ranges = Z.ranges_of_path path in
+      Alcotest.(check int) "ranges for enclosing loops" 2 (Var.Map.cardinal ranges)
+  | _ -> Alcotest.fail "loop not found"
+
+let test_enclosing_block () =
+  let body = program () in
+  let c = Option.get (Stmt.find_block body "C") in
+  (* Focus inside C's body: the enclosing block must be C. *)
+  let store_pred = function Stmt.Store _ -> true | _ -> false in
+  (match Z.find store_pred body with
+  | Some (path, _) -> (
+      match Z.enclosing_block path with
+      | Some (br, _inside, _outside) ->
+          (* First store found in pre-order is C's init (inside block C). *)
+          Alcotest.(check string) "enclosing block" "C" br.Stmt.block.Stmt.name
+      | None -> Alcotest.fail "no enclosing block")
+  | None -> Alcotest.fail "no store found")
+
+let test_ranges_include_iter_vars () =
+  let body = program () in
+  let store_pred = function Stmt.Store _ -> true | _ -> false in
+  match Z.find store_pred body with
+  | Some (path, _) ->
+      let ranges = Z.ranges_of_path path in
+      (* Loops (3 for C) plus C's three iterator variables. *)
+      Alcotest.(check bool) "iter vars in scope" true (Var.Map.cardinal ranges >= 6)
+  | None -> Alcotest.fail "no store"
+
+let suite =
+  [
+    ("find/rebuild identity", `Quick, test_find_rebuild_identity);
+    ("loop context extraction", `Quick, test_find_loop_context);
+    ("enclosing block", `Quick, test_enclosing_block);
+    ("ranges include iterators", `Quick, test_ranges_include_iter_vars);
+  ]

@@ -1,0 +1,70 @@
+(** Shared test helpers: canonical workloads and semantics-preservation
+    checks. *)
+
+open Tir_ir
+
+let () = Tir_intrin.Library.register_all ()
+
+let matmul_relu ?(m = 64) ?(n = 64) ?(k = 64) () =
+  let a = Te.placeholder "A" [ m; k ] Dtype.F32 in
+  let b = Te.placeholder "B" [ k; n ] Dtype.F32 in
+  let c =
+    Te.reduce "C" ~shape:[ m; n ] ~rdom:[ k ] (fun sp rd ->
+        match (sp, rd) with
+        | [ i; j ], [ r ] -> Expr.mul (Te.get a [ i; r ]) (Te.get b [ r; j ])
+        | _ -> assert false)
+  in
+  let d =
+    Te.compute "D" [ m; n ] (fun idx -> Expr.max_ (Te.get c idx) (Expr.float 0.0))
+  in
+  Te.lower ~name:"matmul_relu" ~args:[ a; b; d ] [ d ]
+
+let matmul ?(m = 32) ?(n = 32) ?(k = 32) () =
+  let a = Te.placeholder "A" [ m; k ] Dtype.F32 in
+  let b = Te.placeholder "B" [ k; n ] Dtype.F32 in
+  let c =
+    Te.reduce "C" ~shape:[ m; n ] ~rdom:[ k ] (fun sp rd ->
+        match (sp, rd) with
+        | [ i; j ], [ r ] -> Expr.mul (Te.get a [ i; r ]) (Te.get b [ r; j ])
+        | _ -> assert false)
+  in
+  Te.lower ~name:"matmul" ~args:[ a; b; c ] [ c ]
+
+let elementwise_chain ?(n = 32) () =
+  let a = Te.placeholder "A" [ n; n ] Dtype.F32 in
+  let b =
+    Te.compute "B" [ n; n ] (fun idx -> Expr.add (Te.get a idx) (Expr.float 1.0))
+  in
+  let c = Te.compute "C" [ n; n ] (fun idx -> Expr.Call ("exp", Dtype.F32, [ Te.get b idx ])) in
+  Te.lower ~name:"fuse_add_exp" ~args:[ a; c ] [ c ]
+
+(** Run both functions on identical random inputs and compare outputs. *)
+let same_semantics ?(seed = 42) (reference : Primfunc.t) (candidate : Primfunc.t) =
+  let inputs =
+    List.map (fun b -> Tir_exec.Interp.random_input ~seed b) reference.Primfunc.params
+  in
+  let env_ref = Tir_exec.Interp.run reference (List.map Array.copy inputs) in
+  let env_can = Tir_exec.Interp.run candidate (List.map Array.copy inputs) in
+  List.for_all2
+    (fun (br : Buffer.t) (bc : Buffer.t) ->
+      Tir_exec.Interp.allclose
+        (Tir_exec.Interp.output env_ref br)
+        (Tir_exec.Interp.output env_can bc))
+    reference.Primfunc.params candidate.Primfunc.params
+
+let check_same_semantics ?seed msg reference candidate =
+  if not (same_semantics ?seed reference candidate) then begin
+    Fmt.epr "=== reference ===@.%s@.=== candidate ===@.%s@."
+      (Printer.func_to_string reference)
+      (Printer.func_to_string candidate);
+    Alcotest.failf "%s: semantics changed" msg
+  end
+
+let check_valid msg (f : Primfunc.t) =
+  match Tir_sched.Validate.check_func f with
+  | [] -> ()
+  | issues ->
+      Fmt.epr "%s@." (Printer.func_to_string f);
+      Alcotest.failf "%s: %a" msg
+        (Fmt.list ~sep:Fmt.comma Tir_sched.Validate.pp_issue)
+        issues
