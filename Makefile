@@ -1,0 +1,22 @@
+.PHONY: all build test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Full benchmark sweep (figures 8-14, table 1, ablation, microbench).
+# TIR_JOBS controls the evaluation pool size (default: all cores).
+bench: build
+	dune exec bench/main.exe
+
+# Fast smoke run: truncated workload set and trial budgets, plus --check,
+# which exits non-zero if any reported latency is non-finite or <= 0.
+bench-smoke: build
+	BENCH_FAST=1 dune exec bench/main.exe -- --check
+
+clean:
+	dune clean

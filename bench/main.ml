@@ -4,6 +4,12 @@
 
      dune exec bench/main.exe                 full run
      BENCH_FAST=1 dune exec bench/main.exe    reduced trial counts (smoke)
+     TIR_JOBS=n ...                           size of the measurement pool
+     ... -- --check                           exit 1 on non-finite results
+
+   Every section also records its numbers into BENCH_results.json
+   (per-section latency/GFLOPs rows, per-section wall-clock, cache
+   hit-rate) so the perf trajectory is machine-trackable across PRs.
 
    Sections:
      [fig8]     auto-tensorization mechanism walk-through
@@ -26,8 +32,86 @@ module Target = Tir_sim.Target
 let () = Tir_intrin.Library.register_all ()
 
 let fast = Sys.getenv_opt "BENCH_FAST" <> None
+let check = Array.exists (String.equal "--check") Sys.argv
+let jobs = Tir_parallel.Pool.default_jobs ()
 
 let trials n = if fast then max 8 (n / 4) else n
+
+(* ------------------------------------------------------------------ *)
+(* machine-readable results (BENCH_results.json)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* (section, name, value, unit) rows; units: us, gflops, min, ns *)
+let results : (string * string * float * string) list ref = ref []
+let record section name value unit_ = results := (section, name, value, unit_) :: !results
+
+let record_op section prefix (w : W.t) (r : Tune.result) =
+  record section (prefix ^ ":" ^ w.W.name) (Tune.latency_us r) "us";
+  record section (prefix ^ ":" ^ w.W.name) (Tune.gflops r) "gflops"
+
+let section_walls : (string * float) list ref = ref []
+
+let json_escape s =
+  let b = Stdlib.Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Stdlib.Buffer.add_string b "\\\""
+      | '\\' -> Stdlib.Buffer.add_string b "\\\\"
+      | '\n' -> Stdlib.Buffer.add_string b "\\n"
+      | c -> Stdlib.Buffer.add_char b c)
+    s;
+  Stdlib.Buffer.contents b
+
+(* JSON has no NaN/Infinity literals; emit them as null so the file always
+   parses (the --check gate reports them separately). *)
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.6f" v else "null"
+
+let emit_json ~total_wall_s path =
+  let cache = Tir_autosched.Cost_model.cache_stats () in
+  let hit_rate =
+    let h = float_of_int cache.Tir_autosched.Cost_model.hits in
+    let m = float_of_int cache.Tir_autosched.Cost_model.misses in
+    if h +. m = 0.0 then 0.0 else h /. (h +. m)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": 1,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
+  Printf.fprintf oc "  \"total_wall_s\": %s,\n" (json_float total_wall_s);
+  Printf.fprintf oc "  \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d, \"hit_rate\": %s},\n"
+    cache.Tir_autosched.Cost_model.hits cache.Tir_autosched.Cost_model.misses
+    cache.Tir_autosched.Cost_model.entries (json_float hit_rate);
+  Printf.fprintf oc "  \"sections\": [";
+  List.iteri
+    (fun i (name, wall) ->
+      Printf.fprintf oc "%s\n    {\"name\": \"%s\", \"wall_s\": %s}"
+        (if i = 0 then "" else ",")
+        (json_escape name) (json_float wall))
+    (List.rev !section_walls);
+  Printf.fprintf oc "\n  ],\n  \"results\": [";
+  List.iteri
+    (fun i (section, name, value, unit_) ->
+      Printf.fprintf oc "%s\n    {\"section\": \"%s\", \"name\": \"%s\", \"value\": %s, \"unit\": \"%s\"}"
+        (if i = 0 then "" else ",")
+        (json_escape section) (json_escape name) (json_float value) (json_escape unit_))
+    (List.rev !results);
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
+(* --check gate: every recorded latency must be finite and positive, every
+   other metric finite (the bench-smoke target fails otherwise). *)
+let check_results () =
+  let bad =
+    List.filter
+      (fun (_, _, v, unit_) ->
+        (not (Float.is_finite v)) || (String.equal unit_ "us" && v <= 0.0))
+      !results
+  in
+  List.iter
+    (fun (section, name, v, unit_) ->
+      Fmt.epr "BAD RESULT: [%s] %s = %g %s@." section name v unit_)
+    bad;
+  bad = []
 
 let gpu = Target.gpu_tensorcore
 let arm = Target.arm_sdot
@@ -98,6 +182,7 @@ let fig8 () =
           ~sketches:[ Tir_autosched.Sketch.tensorized_gpu ~use_wmma_scopes:false cand ]
           gpu w
       in
+      record_op "fig8" "TensorIR" w r;
       Fmt.pr "tuned latency: %.2f us (%.0f GFLOPS), %d trials, %d invalid filtered@."
         (Tune.latency_us r) (Tune.gflops r) r.Tune.stats.trials r.Tune.stats.invalid;
       (match r.Tune.best with
@@ -116,6 +201,9 @@ let fig10 () =
   let speedups_tvm = ref [] and speedups_amos = ref [] in
   List.iter
     (fun (w : W.t) ->
+      record_op "fig10" "TensorIR" w (tensorir_op gpu w);
+      record_op "fig10" "TVM" w (tvm_op gpu w);
+      record_op "fig10" "AMOS" w (amos_op gpu w);
       let tir = Tune.latency_us (tensorir_op gpu w) in
       let tvm = Tune.latency_us (tvm_op gpu w) in
       let amos = Tune.latency_us (amos_op gpu w) in
@@ -134,6 +222,7 @@ let fig11 () =
     "vs CUTLASS" "vs TRT";
   List.iter
     (fun (w : W.t) ->
+      record_op "fig11" "vendor" w (vendor_op gpu w);
       let tir = Tune.latency_us (tensorir_op gpu w) in
       let vendor = Tune.latency_us (vendor_op gpu w) in
       let cutlass = if B.cutlass_supports w then Some vendor else None in
@@ -176,6 +265,11 @@ let fig12 () =
     (fun (m : M.t) ->
       let reports = List.map (fun s -> C.compile s gpu m) schedulers in
       fig12_reports := (m, reports) :: !fig12_reports;
+      List.iter
+        (fun (r : C.model_report) ->
+          if r.C.supported then
+            record "fig12" (r.C.scheduler ^ ":" ^ m.M.name) r.C.latency_us "us")
+        reports;
       let tir =
         (List.find
            (fun (r : C.model_report) -> String.equal r.C.scheduler "TensorIR")
@@ -202,6 +296,8 @@ let tab1 () =
       in
       let tvm = (find "TVM").C.total_tuning_minutes in
       let tir = (find "TensorIR").C.total_tuning_minutes in
+      record "tab1" ("TVM:" ^ m.M.name) tvm "min";
+      record "tab1" ("TensorIR:" ^ m.M.name) tir "min";
       Fmt.pr "%-14s %12.2f %12.2f %7.2fx@." m.M.name tvm tir (tvm /. tir))
     (List.rev !fig12_reports)
 
@@ -214,11 +310,15 @@ let fig13 () =
   Fmt.pr "%-4s %12s %12s %12s %10s %12s@." "op" "TVM" "ACL" "TensorIR" "vs TVM" "vs ACL";
   List.iter
     (fun (w : W.t) ->
+      record_op "fig13" "TensorIR" w (tensorir_op arm w);
+      record_op "fig13" "TVM" w (tvm_op arm w);
       let tir = Tune.latency_us (tensorir_op arm w) in
       let tvm = Tune.latency_us (tvm_op arm w) in
       let acl =
         match B.arm_compute_lib ~trials:(trials 48) arm w with
-        | B.Supported r -> Some (Tune.latency_us r)
+        | B.Supported r ->
+            record_op "fig13" "ACL" w r;
+            Some (Tune.latency_us r)
         | B.Not_supported -> None
       in
       let acl_str = match acl with Some v -> Fmt.str "%12.1f" v | None -> "         n/a" in
@@ -241,6 +341,11 @@ let fig14 () =
   List.iter
     (fun (m : M.t) ->
       let reports = List.map (fun s -> C.compile s arm m) schedulers in
+      List.iter
+        (fun (r : C.model_report) ->
+          if r.C.supported then
+            record "fig14" (r.C.scheduler ^ ":" ^ m.M.name) r.C.latency_us "us")
+        reports;
       let tir =
         (List.find
            (fun (r : C.model_report) -> String.equal r.C.scheduler "TensorIR")
@@ -286,6 +391,10 @@ let ablation () =
         Tune.latency_us
           (Tune.tune ~trials:(trials 64) ~use_cost_model:false ~evolve:false gpu w)
       in
+      record "ablation" ("full:" ^ w.W.name) full "us";
+      record "ablation" ("no-autocopy:" ^ w.W.name) no_autocopy "us";
+      record "ablation" ("no-costmodel:" ^ w.W.name) no_cost_model "us";
+      record "ablation" ("no-evolution:" ^ w.W.name) no_evolve "us";
       Fmt.pr "%-4s %12.1f %14.1f %14.1f %14.1f@." w.W.tag full no_autocopy no_cost_model
         no_evolve)
     [ W.gmm (); W.c2d () ]
@@ -341,20 +450,51 @@ let micro () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Fmt.pr "%-44s %14.0f ns/run@." name est
+          | Some [ est ] ->
+              record "micro" name est "ns";
+              Fmt.pr "%-44s %14.0f ns/run@." name est
           | _ -> Fmt.pr "%-44s %14s@." name "-")
         ols)
     tests
 
+let cache_summary () =
+  section "cache" "measurement memoization (duplicate proposals never re-simulate)";
+  let c = Tir_autosched.Cost_model.cache_stats () in
+  let probes = c.Tir_autosched.Cost_model.hits + c.Tir_autosched.Cost_model.misses in
+  let rate =
+    if probes = 0 then 0.0
+    else 100.0 *. float_of_int c.Tir_autosched.Cost_model.hits /. float_of_int probes
+  in
+  Fmt.pr "cache probes: %d, hits: %d (%.1f%%), entries: %d@." probes
+    c.Tir_autosched.Cost_model.hits rate c.Tir_autosched.Cost_model.entries;
+  record "cache" "hit_rate_pct" rate "pct";
+  record "cache" "hits" (float_of_int c.Tir_autosched.Cost_model.hits) "count"
+
 let () =
   let t0 = Unix.gettimeofday () in
-  fig8 ();
-  fig10 ();
-  fig11 ();
-  fig12 ();
-  tab1 ();
-  fig13 ();
-  fig14 ();
-  ablation ();
-  micro ();
-  Fmt.pr "@.total bench wall time: %.1f s@." (Unix.gettimeofday () -. t0)
+  Fmt.pr "bench: jobs=%d%s%s@." jobs
+    (if fast then " (BENCH_FAST)" else "")
+    (if check then " (--check)" else "");
+  let timed name f =
+    let s0 = Unix.gettimeofday () in
+    f ();
+    section_walls := (name, Unix.gettimeofday () -. s0) :: !section_walls
+  in
+  timed "fig8" fig8;
+  timed "fig10" fig10;
+  timed "fig11" fig11;
+  timed "fig12" fig12;
+  timed "tab1" tab1;
+  timed "fig13" fig13;
+  timed "fig14" fig14;
+  timed "ablation" ablation;
+  timed "micro" micro;
+  cache_summary ();
+  let total = Unix.gettimeofday () -. t0 in
+  emit_json ~total_wall_s:total "BENCH_results.json";
+  Fmt.pr "@.results written to BENCH_results.json@.";
+  Fmt.pr "total bench wall time: %.1f s@." total;
+  if check && not (check_results ()) then begin
+    Fmt.epr "bench --check: non-finite or non-positive results detected@.";
+    exit 1
+  end

@@ -1,41 +1,143 @@
-(** Learned cost model wrapper (paper §4.4).
+(** Learned cost model wrapper (paper §4.4) plus the process-wide
+    measurement memo.
 
-    Maintains the measurement dataset for one tuning task and retrains the
+    The per-task model maintains the measurement dataset in growable
+    arrays — [retrain] hands the trainer a view of the cached feature rows
+    instead of rebuilding arrays from a list every round — and retrains the
     boosted-tree ensemble after every measurement round. Scores are
     normalized throughput ([best_latency / latency], higher is better) so
-    the model ranks candidates rather than regressing absolute time. *)
+    the model ranks candidates rather than regressing absolute time.
+
+    The memo tables cache the two expensive stages of candidate evaluation
+    (schedule application + §3.3 validation + feature extraction, and the
+    machine-model measurement) keyed by
+    [target fingerprint | sketch name | canonical decision key]. The
+    simulator is a pure function of (target, program), and a (sketch,
+    decisions) pair determines the program, so entries never go stale; the
+    tables are shared by every search in the process and are safe to probe
+    from pool domains concurrently. Duplicate proposals — mutation and
+    crossover collide often across generations, and ablation runs re-tune
+    the same workloads — never re-enter the simulator. *)
+
+module Memo = Tir_parallel.Memo
 
 type sample = { features : float array; latency_us : float }
 
 type t = {
   target : Tir_sim.Target.t;
-  mutable samples : sample list;
+  mutable feats : float array array;  (** row store, capacity >= [n] *)
+  mutable lats : float array;
+  mutable n : int;
+  mutable best : float;  (** running best latency over the samples *)
   mutable model : Gbdt.t option;
 }
 
-let create target = { target; samples = []; model = None }
+let initial_capacity = 64
 
-let n_samples t = List.length t.samples
+let create target =
+  {
+    target;
+    feats = Array.make initial_capacity [||];
+    lats = Array.make initial_capacity 0.0;
+    n = 0;
+    best = Float.infinity;
+    model = None;
+  }
 
-let best_latency t =
-  List.fold_left (fun acc s -> Float.min acc s.latency_us) Float.infinity t.samples
+let n_samples t = t.n
+
+let best_latency t = t.best
 
 let add t ~features ~latency_us =
-  t.samples <- { features; latency_us } :: t.samples
+  if t.n = Array.length t.lats then begin
+    let grow a fill = Array.append a (Array.make (Array.length a) fill) in
+    t.feats <- grow t.feats [||];
+    t.lats <- grow t.lats 0.0
+  end;
+  t.feats.(t.n) <- features;
+  t.lats.(t.n) <- latency_us;
+  t.n <- t.n + 1;
+  if latency_us < t.best then t.best <- latency_us
 
 let retrain t =
-  match t.samples with
-  | [] -> ()
-  | samples ->
-      let best = best_latency t in
-      let xs = Array.of_list (List.map (fun s -> s.features) samples) in
-      let ys = Array.of_list (List.map (fun s -> best /. s.latency_us) samples) in
-      t.model <- Some (Gbdt.fit xs ys)
+  if t.n > 0 then begin
+    (* [Array.sub] shares the feature rows — no per-sample copying. *)
+    let xs = Array.sub t.feats 0 t.n in
+    let ys = Array.init t.n (fun i -> t.best /. t.lats.(i)) in
+    t.model <- Some (Gbdt.fit xs ys)
+  end
 
-(** Predicted score (higher = faster). Before any training data exists,
-    falls back to a crude analytic prior: prefer tensorized, high-occupancy
-    programs. *)
+(* Analytic prior before any training data exists: prefer tensorized,
+   high-occupancy programs. *)
+let prior (features : float array) =
+  (0.5 *. features.(11)) +. (0.2 *. features.(17)) -. (0.05 *. features.(4))
+
+(** Predicted score (higher = faster). *)
 let score t (features : float array) =
+  match t.model with Some m -> Gbdt.predict m features | None -> prior features
+
+(** Score a whole population: one pass over the ensemble (see
+    [Gbdt.predict_batch]) instead of a tree-list walk per candidate.
+    Identical values to mapping [score]. *)
+let score_batch t (features : float array array) =
   match t.model with
-  | Some m -> Gbdt.predict m features
-  | None -> (0.5 *. features.(11)) +. (0.2 *. features.(17)) -. (0.05 *. features.(4))
+  | Some m -> Gbdt.predict_batch m features
+  | None -> Array.map prior features
+
+(* --- measurement/feature memoization ------------------------------------ *)
+
+(** Outcome of the candidate evaluation pipeline (§4.3 apply, §3.3
+    validate, feature extraction). Immutable, safe to share across
+    domains. *)
+type evaluation =
+  | Inapplicable  (** the sketch rejected the decision vector *)
+  | Invalid  (** the §3.3 validator found issues *)
+  | Unsupported  (** the machine model cannot run the program *)
+  | Evaluated of { func : Tir_ir.Primfunc.t; features : float array }
+
+let eval_cache : evaluation Memo.t = Memo.create ()
+let measure_cache : float option Memo.t = Memo.create ()
+
+(** [cache_prefix target] — compute once per search, prepend to candidate
+    keys ([sketch name ^ "|" ^ Space.key_of decisions]). The full decision
+    key (not just a hash) is part of the cache key, so distinct candidates
+    can never alias. *)
+let cache_prefix target = Tir_sim.Target.fingerprint target ^ "|"
+
+let evaluate ~target (sk : Sketch.t) (d : Space.decisions) : evaluation =
+  match sk.Sketch.apply d with
+  | exception Tir_sched.State.Schedule_error _ -> Inapplicable
+  | f -> (
+      match Tir_sched.Validate.check_func f with
+      | _ :: _ -> Invalid
+      | [] -> (
+          match Features.extract target f with
+          | features -> Evaluated { func = f; features }
+          | exception Tir_sim.Machine.Unsupported _ -> Unsupported))
+
+(** Memoized evaluation; returns [(cache_hit, outcome)]. *)
+let evaluate_cached ~key ~target sk d =
+  Memo.find_or_add eval_cache key (fun () -> evaluate ~target sk d)
+
+(** Memoized measurement ([None] = machine model refused); returns
+    [(cache_hit, latency)]. *)
+let measure_cached ~key ~target f =
+  Memo.find_or_add measure_cache key (fun () ->
+      match Tir_sim.Machine.measure_us target f with
+      | latency_us -> Some latency_us
+      | exception Tir_sim.Machine.Unsupported _ -> None)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let cache_stats () =
+  {
+    hits = Memo.hits eval_cache + Memo.hits measure_cache;
+    misses = Memo.misses eval_cache + Memo.misses measure_cache;
+    entries = Memo.length eval_cache + Memo.length measure_cache;
+  }
+
+(** Drop every cached evaluation and measurement (tests; fresh-process
+    comparisons). *)
+let clear_caches () =
+  Memo.clear eval_cache;
+  Memo.clear measure_cache

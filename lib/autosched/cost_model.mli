@@ -1,22 +1,63 @@
 (** Learned cost model (paper §4.4): per-task measurement dataset plus a
     boosted-tree ensemble retrained after each measurement round. Scores
     are normalized throughput (higher = faster), so the model ranks
-    candidates. *)
+    candidates. Also hosts the process-wide measurement/feature memo used
+    by the parallel search. *)
 
 type sample = { features : float array; latency_us : float }
 
-type t = {
-  target : Tir_sim.Target.t;
-  mutable samples : sample list;
-  mutable model : Gbdt.t option;
-}
+type t
 
 val create : Tir_sim.Target.t -> t
 val n_samples : t -> int
 val best_latency : t -> float
 val add : t -> features:float array -> latency_us:float -> unit
+
+(** Refit the ensemble on the accumulated samples. Feature rows are reused
+    from the growable sample store (no per-round list-to-array rebuild). *)
 val retrain : t -> unit
 
 (** Predicted score; before any data, a crude analytic prior (prefer
     tensorized, high-occupancy programs). *)
 val score : t -> float array -> float
+
+(** Score a population in one ensemble pass; same values as mapping
+    [score]. *)
+val score_batch : t -> float array array -> float array
+
+(** {1 Measurement memoization}
+
+    Process-wide caches over the pure evaluation pipeline, keyed by
+    [Target.fingerprint ^ "|" ^ sketch name ^ "|" ^ Space.key_of]. Safe to
+    probe concurrently from pool domains; entries never go stale (the
+    simulator is a pure function of target and program). *)
+
+type evaluation =
+  | Inapplicable  (** the sketch rejected the decision vector *)
+  | Invalid  (** the §3.3 validator found issues *)
+  | Unsupported  (** the machine model cannot run the program *)
+  | Evaluated of { func : Tir_ir.Primfunc.t; features : float array }
+
+(** Key prefix for a target (compute once per search). *)
+val cache_prefix : Tir_sim.Target.t -> string
+
+(** Run apply/validate/extract without touching the cache. *)
+val evaluate : target:Tir_sim.Target.t -> Sketch.t -> Space.decisions -> evaluation
+
+(** Memoized [evaluate]; returns [(cache_hit, outcome)]. *)
+val evaluate_cached :
+  key:string -> target:Tir_sim.Target.t -> Sketch.t -> Space.decisions ->
+  bool * evaluation
+
+(** Memoized machine-model measurement ([None] = unsupported); returns
+    [(cache_hit, latency_us)]. *)
+val measure_cached :
+  key:string -> target:Tir_sim.Target.t -> Tir_ir.Primfunc.t -> bool * float option
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+(** Combined counters over both caches (bench reporting). *)
+val cache_stats : unit -> cache_stats
+
+(** Drop every cached entry and reset the counters. *)
+val clear_caches : unit -> unit

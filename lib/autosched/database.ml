@@ -108,7 +108,10 @@ let commit t (target : Tir_sim.Target.t) (w : Tir_workloads.Workloads.t)
 (** Replay a stored record against freshly generated sketches: applies the
     recorded decisions to the matching sketch — no search, no measurement
     beyond one. Returns [None] if the record no longer applies (e.g. the
-    sketch space changed). *)
+    sketch space changed). Both the re-application and the verification
+    measurement go through the process-wide memo in [Cost_model], so
+    replaying a schedule tuned earlier in the same process re-simulates
+    nothing. *)
 let replay (target : Tir_sim.Target.t) (sketches : Sketch.t list) (r : record) :
     Evolutionary.measured option =
   match
@@ -116,19 +119,19 @@ let replay (target : Tir_sim.Target.t) (sketches : Sketch.t list) (r : record) :
   with
   | None -> None
   | Some sk -> (
-      match sk.Sketch.apply r.decisions with
-      | exception Tir_sched.State.Schedule_error _ -> None
-      | f -> (
-          match Tir_sched.Validate.check_func f with
-          | _ :: _ -> None
-          | [] -> (
-              match Tir_sim.Machine.measure_us target f with
-              | exception Tir_sim.Machine.Unsupported _ -> None
-              | latency_us ->
-                  Some
-                    {
-                      Evolutionary.sketch_name = r.sketch_name;
-                      decisions = r.decisions;
-                      func = f;
-                      latency_us;
-                    })))
+      let key =
+        Cost_model.cache_prefix target ^ sk.Sketch.space_id ^ "|" ^ Space.key_of r.decisions
+      in
+      match snd (Cost_model.evaluate_cached ~key ~target sk r.decisions) with
+      | Cost_model.Inapplicable | Cost_model.Invalid | Cost_model.Unsupported -> None
+      | Cost_model.Evaluated { func; _ } -> (
+          match snd (Cost_model.measure_cached ~key ~target func) with
+          | None -> None
+          | Some latency_us ->
+              Some
+                {
+                  Evolutionary.sketch_name = r.sketch_name;
+                  decisions = r.decisions;
+                  func;
+                  latency_us;
+                }))

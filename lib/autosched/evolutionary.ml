@@ -4,9 +4,29 @@
     current elite set (plus fresh random samples for exploration), filters
     them by schedule applicability and the §3.3 validator, ranks survivors
     with the learned cost model, then measures the top batch on the machine
-    model. Measurements feed back into the cost model. *)
+    model. Measurements feed back into the cost model.
+
+    The candidate pipeline — decision application via [Sketch], §3.3
+    validation, [Features.extract], and the machine-model measurement — is
+    the tuner's hot path, and every stage is a pure function of
+    (target, sketch, decisions). Both proposal generation and evaluation
+    therefore fan out across a [Tir_parallel.Pool]:
+
+    - generation draws one split RNG per proposal slot (seeds drawn
+      sequentially from the search RNG), so each slot's random choices
+      depend only on its index — never on the execution interleaving;
+    - evaluation and measurement go through the process-wide memo in
+      [Cost_model], so duplicate proposals (mutation/crossover collisions,
+      ablation re-runs) never re-enter the simulator;
+    - every reduce walks results in slot order and mutates [stats], the
+      cost model, and the elite set sequentially.
+
+    Together these make the search bit-identical at any job count:
+    [TIR_JOBS=1] and [TIR_JOBS=n] return the same best program, the same
+    latencies, and the same trial statistics for a fixed seed. *)
 
 open Tir_ir
+module Pool = Tir_parallel.Pool
 
 type measured = {
   sketch_name : string;
@@ -22,6 +42,8 @@ type stats = {
   mutable inapplicable : int;  (** decision vectors the sketch rejects *)
   mutable best_curve : (int * float) list;  (** (trial, best latency) *)
   mutable profiling_us : float;  (** simulated time spent measuring *)
+  mutable cache_hits : int;  (** evaluation/measurement memo hits *)
+  mutable cache_lookups : int;  (** evaluation/measurement memo probes *)
 }
 
 let new_stats () =
@@ -32,7 +54,14 @@ let new_stats () =
     inapplicable = 0;
     best_curve = [];
     profiling_us = 0.0;
+    cache_hits = 0;
+    cache_lookups = 0;
   }
+
+(** Memo hit-rate over this search's probes (0 when nothing was probed). *)
+let cache_hit_rate stats =
+  if stats.cache_lookups = 0 then 0.0
+  else float_of_int stats.cache_hits /. float_of_int stats.cache_lookups
 
 type result = { best : measured option; stats : stats }
 
@@ -46,9 +75,11 @@ let measurement_runs = 50.0
 let measurement_cap_us = 150_000.0
 
 let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
-    ?(evolve = true) ~rng ~target ~trials (sketches : Sketch.t list) : result =
+    ?(evolve = true) ?pool ~rng ~target ~trials (sketches : Sketch.t list) : result =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
   let stats = new_stats () in
   let model = Cost_model.create target in
+  let key_prefix = Cost_model.cache_prefix target in
   let seen = Hashtbl.create 256 in
   let elites : measured list ref = ref [] in
   let best = ref None in
@@ -63,59 +94,54 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
         (fun i _ -> i < population)
         (List.sort (fun a b -> Float.compare a.latency_us b.latency_us) (m :: !elites))
   in
-  (* Propose a candidate program; returns features too. *)
-  let propose (sk : Sketch.t) (d : Space.decisions) =
-    let key = sk.Sketch.name ^ "|" ^ Space.key_of d in
-    if Hashtbl.mem seen key then None
-    else begin
-      Hashtbl.add seen key ();
-      stats.proposed <- stats.proposed + 1;
-      match sk.Sketch.apply d with
-      | exception Tir_sched.State.Schedule_error _ ->
-          stats.inapplicable <- stats.inapplicable + 1;
-          None
-      | f -> (
-          match Tir_sched.Validate.check_func f with
-          | _ :: _ ->
-              stats.invalid <- stats.invalid + 1;
-              None
-          | [] -> (
-              match Features.extract target f with
-              | features -> Some (sk, d, f, features)
-              | exception Tir_sim.Machine.Unsupported _ -> None))
-    end
+  (* --- proposal generation (slot-parallel, split RNG per slot) --- *)
+  let random_specs n =
+    let rngs = Rng.split_n rng n in
+    Array.to_list
+      (Pool.parallel_map pool
+         (fun r ->
+           let sk = Rng.choose r sketches in
+           (sk, Space.random_decisions r sk.Sketch.knobs))
+         rngs)
   in
-  let measure (sk : Sketch.t) d f =
-    match Tir_sim.Machine.measure_us target f with
-    | exception Tir_sim.Machine.Unsupported _ -> ()
-    | latency_us ->
-        stats.trials <- stats.trials + 1;
-        stats.profiling_us <-
-          stats.profiling_us
-          +. Float.min measurement_cap_us (latency_us *. measurement_runs)
-          +. measurement_overhead_us;
-        Cost_model.add model ~features:(Features.extract target f) ~latency_us;
-        consider { sketch_name = sk.Sketch.name; decisions = d; func = f; latency_us }
-  in
-  let random_proposals n =
-    List.filter_map
-      (fun _ ->
-        let sk = Rng.choose rng sketches in
-        propose sk (Space.random_decisions rng sk.Sketch.knobs))
-      (List.init n (fun i -> i))
+  let evolved_specs n =
+    match !elites with
+    | [] -> []
+    | es ->
+        let rngs = Rng.split_n rng n in
+        Array.to_list
+          (Pool.parallel_map pool
+             (fun r ->
+               let parent = Rng.choose r es in
+               let sk =
+                 List.find
+                   (fun s -> String.equal s.Sketch.name parent.sketch_name)
+                   sketches
+               in
+               let d =
+                 if Rng.bool r || List.length es < 2 then
+                   Space.mutate r sk.Sketch.knobs parent.decisions
+                 else
+                   let other = Rng.choose r es in
+                   if String.equal other.sketch_name parent.sketch_name then
+                     Space.crossover r sk.Sketch.knobs parent.decisions other.decisions
+                   else Space.mutate r sk.Sketch.knobs parent.decisions
+               in
+               (sk, d))
+             rngs)
   in
   (* Heuristic initial samples (Ansor-style): a few structured decision
      vectors per sketch anchor the first generation so small trial budgets
      do not depend purely on random luck. *)
-  let seeded_proposals () =
+  let seeded_specs () =
     List.concat_map
       (fun (sk : Sketch.t) ->
-        List.filter_map
+        List.map
           (fun pickf ->
-            propose sk
-              (List.map
-                 (fun (k : Space.knob) -> (k.Space.name, pickf k.Space.count))
-                 sk.Sketch.knobs))
+            ( sk,
+              List.map
+                (fun (k : Space.knob) -> (k.Space.name, pickf k.Space.count))
+                sk.Sketch.knobs ))
           [
             (fun _ -> 0);
             (fun c -> c / 2);
@@ -125,59 +151,95 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
           ])
       sketches
   in
-  let evolved_proposals n =
-    List.filter_map
-      (fun _ ->
-        match !elites with
-        | [] -> None
-        | es ->
-            let parent = Rng.choose rng es in
-            let sk =
-              List.find
-                (fun s -> String.equal s.Sketch.name parent.sketch_name)
-                sketches
-            in
-            let d =
-              if Rng.bool rng || List.length es < 2 then
-                Space.mutate rng sk.Sketch.knobs parent.decisions
-              else
-                let other = Rng.choose rng es in
-                if String.equal other.sketch_name parent.sketch_name then
-                  Space.crossover rng sk.Sketch.knobs parent.decisions other.decisions
-                else Space.mutate rng sk.Sketch.knobs parent.decisions
-            in
-            propose sk d)
-      (List.init n (fun i -> i))
+  (* Dedup in slot order, evaluate the fresh candidates across the pool
+     (memoized apply/validate/extract), account in slot order. *)
+  let propose_all specs =
+    let fresh =
+      List.filter_map
+        (fun ((sk : Sketch.t), d) ->
+          let key = sk.Sketch.space_id ^ "|" ^ Space.key_of d in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            stats.proposed <- stats.proposed + 1;
+            Some (sk, d, key)
+          end)
+        specs
+    in
+    let evals =
+      Pool.parallel_map_list pool
+        (fun ((sk : Sketch.t), d, key) ->
+          Cost_model.evaluate_cached ~key:(key_prefix ^ key) ~target sk d)
+        fresh
+    in
+    List.concat
+      (List.map2
+         (fun (sk, d, key) (hit, ev) ->
+           stats.cache_lookups <- stats.cache_lookups + 1;
+           if hit then stats.cache_hits <- stats.cache_hits + 1;
+           match ev with
+           | Cost_model.Inapplicable ->
+               stats.inapplicable <- stats.inapplicable + 1;
+               []
+           | Cost_model.Invalid ->
+               stats.invalid <- stats.invalid + 1;
+               []
+           | Cost_model.Unsupported -> []
+           | Cost_model.Evaluated { func; features } -> [ (sk, d, key, func, features) ])
+         fresh evals)
+  in
+  (* Measure a ranked batch across the pool (memoized), then feed the cost
+     model and the elite set in rank order. *)
+  let measure_top cands =
+    let results =
+      Pool.parallel_map_list pool
+        (fun (_, _, key, func, _) ->
+          Cost_model.measure_cached ~key:(key_prefix ^ key) ~target func)
+        cands
+    in
+    List.iter2
+      (fun ((sk : Sketch.t), d, _, func, features) (hit, latency) ->
+        stats.cache_lookups <- stats.cache_lookups + 1;
+        if hit then stats.cache_hits <- stats.cache_hits + 1;
+        match latency with
+        | None -> ()
+        | Some latency_us ->
+            stats.trials <- stats.trials + 1;
+            stats.profiling_us <-
+              stats.profiling_us
+              +. Float.min measurement_cap_us (latency_us *. measurement_runs)
+              +. measurement_overhead_us;
+            Cost_model.add model ~features ~latency_us;
+            consider { sketch_name = sk.Sketch.name; decisions = d; func; latency_us })
+      cands results
   in
   let rec rounds () =
     if stats.trials >= trials then ()
     else begin
       let fresh = if !elites = [] then population * 4 else population in
-      let seeds = if !elites = [] then seeded_proposals () else [] in
-      let pool =
-        if evolve then seeds @ random_proposals fresh @ evolved_proposals (population * 2)
-        else seeds @ random_proposals (population * 3)
+      let seeds = if !elites = [] then seeded_specs () else [] in
+      let specs =
+        if evolve then seeds @ random_specs fresh @ evolved_specs (population * 2)
+        else seeds @ random_specs (population * 3)
       in
-      match pool with
+      match propose_all specs with
       | [] -> () (* space exhausted *)
-      | _ ->
-          let scored =
-            List.map
-              (fun (sk, d, f, feats) ->
-                let s =
-                  if use_cost_model then Cost_model.score model feats
-                  else Rng.float rng 1.0
-                in
-                (s, sk, d, f))
-              pool
+      | cands ->
+          let scores =
+            if use_cost_model then
+              Array.to_list
+                (Cost_model.score_batch model
+                   (Array.of_list (List.map (fun (_, _, _, _, f) -> f) cands)))
+            else List.map (fun _ -> Rng.float rng 1.0) cands
           in
           let ranked =
-            List.sort (fun (a, _, _, _) (b, _, _, _) -> Float.compare b a) scored
+            (* stable sort: ties keep generation order *)
+            List.sort
+              (fun ((a : float), _) (b, _) -> Float.compare b a)
+              (List.combine scores cands)
           in
           let batch = min measure_batch (trials - stats.trials) in
-          List.iteri
-            (fun i (_, sk, d, f) -> if i < batch then measure sk d f)
-            ranked;
+          measure_top (List.filteri (fun i _ -> i < batch) ranked |> List.map snd);
           Cost_model.retrain model;
           rounds ()
     end

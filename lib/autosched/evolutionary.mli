@@ -18,9 +18,14 @@ type stats = {
   mutable inapplicable : int;  (** rejected by the sketch *)
   mutable best_curve : (int * float) list;  (** (trial, best latency) *)
   mutable profiling_us : float;  (** simulated measurement time *)
+  mutable cache_hits : int;  (** evaluation/measurement memo hits *)
+  mutable cache_lookups : int;  (** evaluation/measurement memo probes *)
 }
 
 val new_stats : unit -> stats
+
+(** [cache_hits / cache_lookups] (0 when nothing was probed). *)
+val cache_hit_rate : stats -> float
 
 type result = { best : measured option; stats : stats }
 
@@ -34,12 +39,16 @@ val measurement_cap_us : float
 
 (** Run the search for [trials] measured candidates.
     [use_cost_model:false] ranks randomly; [evolve:false] disables
-    mutation/crossover (pure random search) — both are ablations. *)
+    mutation/crossover (pure random search) — both are ablations.
+    [pool] is the domain pool the candidate pipeline fans out across
+    (default: the process-wide [TIR_JOBS]-sized pool); results are
+    bit-identical at any job count for a fixed [rng] seed. *)
 val search :
   ?population:int ->
   ?measure_batch:int ->
   ?use_cost_model:bool ->
   ?evolve:bool ->
+  ?pool:Tir_parallel.Pool.t ->
   rng:Rng.t ->
   target:Tir_sim.Target.t ->
   trials:int ->

@@ -8,6 +8,10 @@ type t = { trees : tree list; eta : float; base : float }
 
 val predict : t -> float array -> float
 
+(** Predict a whole population in one pass over the ensemble; identical
+    values to mapping [predict] over the rows. *)
+val predict_batch : t -> float array array -> float array
+
 (** Fit [rounds] boosting rounds of depth-[depth] trees on (features,
     target) pairs. *)
 val fit : ?rounds:int -> ?depth:int -> ?eta:float -> float array array -> float array -> t

@@ -15,3 +15,9 @@ let choose t xs = List.nth xs (int t (List.length xs))
 (** Split off an independent stream (for per-task determinism regardless of
     evaluation order). *)
 let split t = Random.State.make [| int t 0x3fffffff |]
+
+(** [split_n t n] splits [n] independent streams, drawing the seeds from
+    [t] sequentially. Handing one stream to each parallel task makes the
+    task's random decisions a function of its *slot*, not of the execution
+    interleaving — the basis of the search's job-count invariance. *)
+let split_n t n = Array.init n (fun _ -> split t)

@@ -13,3 +13,7 @@ val choose : t -> 'a list -> 'a
 
 (** Split off an independent stream. *)
 val split : t -> t
+
+(** [split_n t n] draws [n] independent streams sequentially from [t]
+    (one per parallel task slot). *)
+val split_n : t -> int -> t array

@@ -25,3 +25,6 @@ val crossover : Rng.t -> knob list -> decisions -> decisions -> decisions
 
 (** Canonical (order-insensitive) key for deduplication. *)
 val key_of : decisions -> string
+
+(** Stable order-insensitive hash of a decision vector (cache keying). *)
+val hash_of : decisions -> int

@@ -39,9 +39,13 @@ let target_intrinsics (target : Tir_sim.Target.t) =
     (used by the baseline schedulers). When [database] holds a record for
     this (target, workload), the stored schedule is replayed instead of
     searching — the paper's §5.2 "no search is needed for an operator
-    already tuned"; fresh results are committed back. *)
+    already tuned"; fresh results are committed back.
+
+    [jobs] sizes a private domain pool for this call (tests pin it to
+    compare job counts); by default the search shares the process-wide
+    [TIR_JOBS]-sized pool. Results are bit-identical at any job count. *)
 let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
-    (target : Tir_sim.Target.t) (w : W.t) : result =
+    ?jobs (target : Tir_sim.Target.t) (w : W.t) : result =
   let rng = Rng.create seed in
   let sketches =
     match sketches with
@@ -68,9 +72,11 @@ let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
         best.Evolutionary.latency_us +. Evolutionary.measurement_overhead_us;
       { workload = w; target; best = Some best; stats }
   | None ->
+      let pool = Option.map (fun j -> Tir_parallel.Pool.create ~jobs:j ()) jobs in
       let { Evolutionary.best; stats } =
-        Evolutionary.search ?use_cost_model ?evolve ~rng ~target ~trials sketches
+        Evolutionary.search ?use_cost_model ?evolve ?pool ~rng ~target ~trials sketches
       in
+      Option.iter Tir_parallel.Pool.shutdown pool;
       (match (database, best) with
       | Some db, Some b -> Database.commit db target w b
       | _ -> ());

@@ -20,7 +20,9 @@ val target_intrinsics : Tir_sim.Target.t -> TI.t list
 
 (** Tune a workload. [sketches] overrides sketch generation (baselines);
     [database] replays a stored schedule when available and commits fresh
-    results. *)
+    results; [jobs] sizes a private domain pool for this call (default:
+    the shared [TIR_JOBS]-sized pool). Results are bit-identical at any
+    job count for a fixed seed. *)
 val tune :
   ?seed:int ->
   ?trials:int ->
@@ -28,6 +30,7 @@ val tune :
   ?evolve:bool ->
   ?sketches:Sketch.t list ->
   ?database:Database.t ->
+  ?jobs:int ->
   Tir_sim.Target.t ->
   W.t ->
   result

@@ -14,11 +14,12 @@ type t = {
   scope : string;
 }
 
-let counter = ref 0
+(* Atomic: buffers are created inside the auto-scheduler's parallel
+   candidate-evaluation regions (sketch apply runs on pool domains). *)
+let counter = Atomic.make 0
 
 let create ?(scope = "global") name shape dtype =
-  incr counter;
-  { id = !counter; name; dtype; shape; scope }
+  { id = Atomic.fetch_and_add counter 1 + 1; name; dtype; shape; scope }
 
 (** Same identity, different storage scope (used by [set_scope]). *)
 let with_scope b scope = { b with scope }

@@ -6,11 +6,12 @@
 
 type t = { id : int; name : string; dtype : Dtype.t }
 
-let counter = ref 0
+(* Atomic: loop variables are created inside the auto-scheduler's parallel
+   candidate-evaluation regions (sketch apply runs on pool domains). *)
+let counter = Atomic.make 0
 
 let fresh ?(dtype = Dtype.Int) name =
-  incr counter;
-  { id = !counter; name; dtype }
+  { id = Atomic.fetch_and_add counter 1 + 1; name; dtype }
 
 (** [rename v name] keeps the identity but changes the display name. *)
 let rename v name = { v with name }

@@ -1,0 +1,91 @@
+(** Thread-safe memo table: sharded hash tables with per-shard locks.
+
+    Built for the auto-scheduler's measurement cache: many domains look up
+    (and occasionally insert) concurrently, keys are strings, values are
+    immutable evaluation results. Sharding by key hash keeps lock
+    contention negligible at pool sizes (64 shards vs <= 64 domains).
+
+    [find_or_add] holds the shard lock *while computing* the missing value,
+    so a value is computed exactly once per key — concurrent callers of the
+    same key block until the first finishes and then read its result. The
+    compute function must therefore not recursively enter the same table.
+
+    Hit/miss counters are atomics, safe to read at any time (the bench
+    reports them as the cache hit-rate). *)
+
+type 'v shard = {
+  lock : Mutex.t;
+  table : (string, 'v) Hashtbl.t;
+}
+
+type 'v t = {
+  shards : 'v shard array;
+  mask : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let default_shards = 64
+
+(* Round up to a power of two so shard selection is a mask. *)
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(shards = default_shards) () =
+  let n = pow2 (max 1 shards) 1 in
+  {
+    shards = Array.init n (fun _ -> { lock = Mutex.create (); table = Hashtbl.create 64 });
+    mask = n - 1;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let shard_of t key = t.shards.(Hashtbl.hash key land t.mask)
+
+let locked shard f =
+  Mutex.lock shard.lock;
+  match f () with
+  | v ->
+      Mutex.unlock shard.lock;
+      v
+  | exception e ->
+      Mutex.unlock shard.lock;
+      raise e
+
+(** [find_or_add t key compute] returns [(hit, value)]: the cached value
+    when present ([hit = true]), otherwise [compute ()] — computed exactly
+    once per key — cached and returned with [hit = false]. *)
+let find_or_add t key compute =
+  let shard = shard_of t key in
+  locked shard (fun () ->
+      match Hashtbl.find_opt shard.table key with
+      | Some v ->
+          Atomic.incr t.hits;
+          (true, v)
+      | None ->
+          Atomic.incr t.misses;
+          let v = compute () in
+          Hashtbl.add shard.table key v;
+          (false, v))
+
+let find_opt t key =
+  let shard = shard_of t key in
+  locked shard (fun () -> Hashtbl.find_opt shard.table key)
+
+let add t key v =
+  let shard = shard_of t key in
+  locked shard (fun () -> Hashtbl.replace shard.table key v)
+
+let length t =
+  Array.fold_left (fun acc s -> acc + locked s (fun () -> Hashtbl.length s.table)) 0 t.shards
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+
+let hit_rate t =
+  let h = float_of_int (hits t) and m = float_of_int (misses t) in
+  if h +. m = 0.0 then 0.0 else h /. (h +. m)
+
+let clear t =
+  Array.iter (fun s -> locked s (fun () -> Hashtbl.reset s.table)) t.shards;
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0

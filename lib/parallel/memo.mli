@@ -1,0 +1,26 @@
+(** Thread-safe memo table (sharded hash tables, per-shard locks) with
+    hit/miss counters. String keys; values computed exactly once per key. *)
+
+type 'v t
+
+(** [create ?shards ()] — shard count is rounded up to a power of two
+    (default 64). *)
+val create : ?shards:int -> unit -> 'v t
+
+(** [find_or_add t key compute] returns [(hit, value)]. On a miss,
+    [compute ()] runs under the shard lock — exactly once per key, even
+    under concurrent callers — and must not re-enter the same table. *)
+val find_or_add : 'v t -> string -> (unit -> 'v) -> bool * 'v
+
+val find_opt : 'v t -> string -> 'v option
+val add : 'v t -> string -> 'v -> unit
+val length : 'v t -> int
+
+val hits : 'v t -> int
+val misses : 'v t -> int
+
+(** hits / (hits + misses), 0 when empty. *)
+val hit_rate : 'v t -> float
+
+(** Drop all entries and reset the counters. *)
+val clear : 'v t -> unit

@@ -1,0 +1,208 @@
+(** Fixed-size Domain pool with chunked parallel iteration.
+
+    OCaml 5 multicore primitives only (Domain/Atomic/Mutex/Condition) — no
+    external dependencies. A pool owns [jobs - 1] worker domains that sleep
+    on a condition variable between parallel regions; the caller's domain
+    participates in every region, so [jobs = 1] degenerates to a plain
+    sequential loop with no domain traffic at all.
+
+    Work inside a region is distributed dynamically: workers repeatedly
+    claim chunks of indices from a shared atomic cursor, so uneven
+    per-element cost (e.g. sketches whose validation fails early vs. full
+    simulator runs) load-balances without any up-front partitioning.
+    Results land in a pre-allocated slot per index, which makes every
+    combinator *deterministic in its output order* regardless of the
+    execution interleaving — the property the auto-scheduler relies on for
+    bit-identical tuning results at any [TIR_JOBS]. *)
+
+type region = {
+  run : int -> unit;  (** claim-and-execute loop, shared by all workers *)
+  seq : int;  (** region sequence number (wake-up edge detection) *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  wake : Condition.t;  (** caller -> workers: a new region is available *)
+  done_ : Condition.t;  (** workers -> caller: a worker finished a region *)
+  mutable region : region option;
+  mutable next_seq : int;  (** monotonic region counter (never reused) *)
+  mutable finished : int;  (** workers done with the current region *)
+  mutable shutdown : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let max_jobs = 64
+
+(* Clamp to a sane range: at least 1, at most [max_jobs] (the pool is for
+   coarse candidate-level parallelism; hundreds of domains only add GC
+   pressure). *)
+let clamp_jobs n = max 1 (min max_jobs n)
+
+let default_jobs () =
+  match Sys.getenv_opt "TIR_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> clamp_jobs n
+      | None -> clamp_jobs (Domain.recommended_domain_count ()))
+  | None -> clamp_jobs (Domain.recommended_domain_count ())
+
+let jobs t = t.jobs
+
+let worker t =
+  let last_seq = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      if t.shutdown then None
+      else
+        match t.region with
+        | Some r when r.seq <> !last_seq ->
+            last_seq := r.seq;
+            Some r
+        | _ ->
+            Condition.wait t.wake t.mutex;
+            wait ()
+    in
+    let r = wait () in
+    Mutex.unlock t.mutex;
+    match r with
+    | None -> ()
+    | Some r ->
+        (* [run] never raises: exceptions are captured per index. *)
+        r.run r.seq;
+        Mutex.lock t.mutex;
+        t.finished <- t.finished + 1;
+        Condition.broadcast t.done_;
+        Mutex.unlock t.mutex;
+        loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some n -> clamp_jobs n | None -> default_jobs () in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      done_ = Condition.create ();
+      region = None;
+      next_seq = 1;
+      finished = 0;
+      shutdown = false;
+      domains = [];
+    }
+  in
+  if jobs > 1 then
+    t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  if t.domains <> [] then begin
+    Mutex.lock t.mutex;
+    t.shutdown <- true;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+(* The process-wide pool, sized by TIR_JOBS. Created on first use; worker
+   domains live for the rest of the process (they are idle between tuning
+   rounds and cost nothing but their stacks). *)
+let global_pool : t option Atomic.t = Atomic.make None
+
+let global () =
+  match Atomic.get global_pool with
+  | Some p -> p
+  | None ->
+      let p = create () in
+      if Atomic.compare_and_set global_pool None (Some p) then p
+      else begin
+        (* Lost the race (two domains initializing concurrently): discard. *)
+        shutdown p;
+        Option.get (Atomic.get global_pool)
+      end
+
+let default_chunk n jobs =
+  (* Small chunks load-balance; cap the chunk count at ~8 per worker. *)
+  max 1 (n / (jobs * 8))
+
+(** [parallel_iteri t ?chunk n f] runs [f i] for [0 <= i < n] across the
+    pool. Any exception from [f] is re-raised in the caller; when several
+    indices fail, the one with the smallest index wins. *)
+let parallel_iteri t ?chunk n (f : int -> unit) =
+  if n <= 0 then ()
+  else if t.jobs = 1 || n = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let chunk = match chunk with Some c -> max 1 c | None -> default_chunk n t.jobs in
+    let cursor = Atomic.make 0 in
+    let failure : (int * exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let record_failure i e bt =
+      let rec retry () =
+        let cur = Atomic.get failure in
+        let better = match cur with None -> true | Some (j, _, _) -> i < j in
+        if better && not (Atomic.compare_and_set failure cur (Some (i, e, bt))) then
+          retry ()
+      in
+      retry ()
+    in
+    let run _seq =
+      let rec claim () =
+        let lo = Atomic.fetch_and_add cursor chunk in
+        if lo < n then begin
+          let hi = min n (lo + chunk) in
+          for i = lo to hi - 1 do
+            match f i with
+            | () -> ()
+            | exception e -> record_failure i e (Printexc.get_raw_backtrace ())
+          done;
+          claim ()
+        end
+      in
+      claim ()
+    in
+    (* Publish the region, wake the workers, participate, then wait. *)
+    Mutex.lock t.mutex;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    t.region <- Some { run; seq };
+    t.finished <- 0;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    run seq;
+    Mutex.lock t.mutex;
+    while t.finished < t.jobs - 1 do
+      Condition.wait t.done_ t.mutex
+    done;
+    t.region <- None;
+    Mutex.unlock t.mutex;
+    match Atomic.get failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+(** Order-preserving parallel map over an array. *)
+let parallel_map t ?chunk (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_iteri t ?chunk n (fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map Option.get out
+  end
+
+(** Order-preserving parallel map over a list. *)
+let parallel_map_list t ?chunk (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  Array.to_list (parallel_map t ?chunk f (Array.of_list xs))
+
+(** Order-preserving parallel filter_map over a list: [f] runs in parallel,
+    [None] results are dropped, survivors keep their input order. *)
+let parallel_filter_map t ?chunk (f : 'a -> 'b option) (xs : 'a list) : 'b list =
+  List.filter_map Fun.id (parallel_map_list t ?chunk f xs)

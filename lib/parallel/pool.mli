@@ -1,0 +1,46 @@
+(** Fixed-size Domain pool with chunked, order-preserving parallel
+    combinators.
+
+    Dependency-free (OCaml 5 stdlib only). Output order is always the
+    input order, and exception propagation is deterministic (the
+    lowest-index failure is the one re-raised), so callers get bit-identical
+    behaviour at any job count. *)
+
+type t
+
+(** [create ?jobs ()] spawns [jobs - 1] worker domains (the caller's domain
+    participates in every region). [jobs] defaults to [TIR_JOBS] from the
+    environment, falling back to [Domain.recommended_domain_count ()];
+    values are clamped to [1, 64]. [jobs = 1] runs everything sequentially
+    in the caller with no domains spawned. *)
+val create : ?jobs:int -> unit -> t
+
+(** Worker count (including the caller's domain). *)
+val jobs : t -> int
+
+(** Resolved default job count ([TIR_JOBS] or the hardware's). *)
+val default_jobs : unit -> int
+
+(** The process-wide shared pool, created on first use and sized by
+    [TIR_JOBS]. *)
+val global : unit -> t
+
+(** Join the worker domains. The pool must not be used afterwards. The
+    global pool never needs this. *)
+val shutdown : t -> unit
+
+(** [parallel_iteri t n f] runs [f i] for [0 <= i < n] across the pool in
+    dynamically claimed chunks ([chunk] overrides the chunk size). If any
+    [f i] raises, the exception of the smallest failing index is re-raised
+    in the caller after the region drains. *)
+val parallel_iteri : t -> ?chunk:int -> int -> (int -> unit) -> unit
+
+(** Order-preserving parallel map over an array. *)
+val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Order-preserving parallel map over a list. *)
+val parallel_map_list : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Order-preserving parallel filter_map: [None] results are dropped,
+    survivors keep their input order. *)
+val parallel_filter_map : t -> ?chunk:int -> ('a -> 'b option) -> 'a list -> 'b list

@@ -77,6 +77,19 @@ let arm_sdot =
 
 let supports t intrin = List.mem intrin t.supported_intrinsics
 
+(** Stable identity string covering every parameter that affects the
+    machine model's answer — the cache key component for measurement
+    memoization. Two targets with equal fingerprints simulate identically,
+    even user-constructed ones sharing a [name]. *)
+let fingerprint t =
+  Printf.sprintf "%s/%s/c%d@%.3f/s%.1f/v%d/sp%.1f/t%.1f/g%.1f/sh%.1f/l%.1f/o%d/b%d/w%d/k%.2f/%s"
+    t.name
+    (match t.kind with Gpu -> "gpu" | Cpu -> "cpu")
+    t.num_cores t.clock_ghz t.scalar_rate t.vector_width t.special_rate
+    t.tensor_rate t.global_bw t.shared_bw t.local_bw t.full_occupancy_threads
+    t.max_threads_per_block t.warp_size t.kernel_launch_us
+    (String.concat "," t.supported_intrinsics)
+
 let by_name = function
   | "gpu-tensorcore" | "gpu" -> gpu_tensorcore
   | "arm-sdot" | "arm" | "cpu" -> arm_sdot

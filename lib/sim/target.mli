@@ -28,5 +28,9 @@ val gpu_tensorcore : t
 val arm_sdot : t
 val supports : t -> string -> bool
 
+(** Stable identity string covering every parameter the machine model reads
+    (cache key component for measurement memoization). *)
+val fingerprint : t -> string
+
 (** Lookup by name: "gpu"/"gpu-tensorcore" or "arm"/"cpu"/"arm-sdot". *)
 val by_name : string -> t

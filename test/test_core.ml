@@ -21,4 +21,5 @@ let () =
       ("autosched", Test_autosched.suite);
       ("database", Test_database.suite);
       ("facade", Test_facade.suite);
+      ("parallel", Test_parallel.suite);
     ]
