@@ -9,10 +9,11 @@ module TI = Tir_intrin.Tensor_intrin
 type t = {
   name : string;
   space_id : string;
-      (** cache identity: [name] qualified by the workload's shape-unique
-          name, parameter dtypes and sketch-variant flags. Measurement
-          memo keys are [space_id | decisions], so this is injective over
-          (workload, sketch variant) where [name] is not. *)
+      (** cache identity: [name] qualified by the workload's display name,
+          a digest of its printed lowered func (covering shapes, dtypes and
+          stride/pad index arithmetic) and sketch-variant flags.
+          Measurement memo keys are [space_id | decisions], so this is
+          injective over (workload, sketch variant) where [name] is not. *)
   knobs : Space.knob list;
   apply : Space.decisions -> Primfunc.t;
       (** raises [Tir_sched.State.Schedule_error] on an inapplicable

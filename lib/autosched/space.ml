@@ -68,8 +68,3 @@ let crossover rng knobs (a : decisions) (b : decisions) =
 let key_of (d : decisions) =
   String.concat ";"
     (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (List.sort compare d))
-
-(** Stable canonical hash of a decision vector (order-insensitive), used
-    with the sketch name and target fingerprint to key measurement
-    caches. *)
-let hash_of (d : decisions) = Hashtbl.hash (key_of d)

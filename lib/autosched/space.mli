@@ -23,8 +23,5 @@ val mutate : Rng.t -> knob list -> decisions -> decisions
 (** Uniform per-knob crossover of two parents. *)
 val crossover : Rng.t -> knob list -> decisions -> decisions -> decisions
 
-(** Canonical (order-insensitive) key for deduplication. *)
+(** Canonical (order-insensitive) key for deduplication and cache keying. *)
 val key_of : decisions -> string
-
-(** Stable order-insensitive hash of a decision vector (cache keying). *)
-val hash_of : decisions -> int

@@ -74,9 +74,14 @@ let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
   | None ->
       let pool = Option.map (fun j -> Tir_parallel.Pool.create ~jobs:j ()) jobs in
       let { Evolutionary.best; stats } =
-        Evolutionary.search ?use_cost_model ?evolve ?pool ~rng ~target ~trials sketches
+        (* Join the private pool's domains even when the search raises,
+           or the process hangs on exit waiting for them. *)
+        Fun.protect
+          ~finally:(fun () -> Option.iter Tir_parallel.Pool.shutdown pool)
+          (fun () ->
+            Evolutionary.search ?use_cost_model ?evolve ?pool ~rng ~target
+              ~trials sketches)
       in
-      Option.iter Tir_parallel.Pool.shutdown pool;
       (match (database, best) with
       | Some db, Some b -> Database.commit db target w b
       | _ -> ());

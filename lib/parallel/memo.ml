@@ -5,17 +5,23 @@
     immutable evaluation results. Sharding by key hash keeps lock
     contention negligible at pool sizes (64 shards vs <= 64 domains).
 
-    [find_or_add] holds the shard lock *while computing* the missing value,
-    so a value is computed exactly once per key — concurrent callers of the
-    same key block until the first finishes and then read its result. The
-    compute function must therefore not recursively enter the same table.
+    [find_or_add] guarantees a value is computed (successfully) exactly
+    once per key without serializing unrelated keys that share a shard: a
+    miss installs a [Pending] marker under the shard lock, then runs
+    [compute] with the lock released. Concurrent callers of the *same* key
+    wait on the shard condition until the marker resolves; callers of
+    *other* keys in the shard proceed immediately. If [compute] raises,
+    the marker is removed and one of the waiters takes over.
 
     Hit/miss counters are atomics, safe to read at any time (the bench
     reports them as the cache hit-rate). *)
 
+type 'v entry = Ready of 'v | Pending
+
 type 'v shard = {
   lock : Mutex.t;
-  table : (string, 'v) Hashtbl.t;
+  resolved : Condition.t;  (** signalled when a [Pending] entry resolves *)
+  table : (string, 'v entry) Hashtbl.t;
 }
 
 type 'v t = {
@@ -33,7 +39,13 @@ let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
 let create ?(shards = default_shards) () =
   let n = pow2 (max 1 shards) 1 in
   {
-    shards = Array.init n (fun _ -> { lock = Mutex.create (); table = Hashtbl.create 64 });
+    shards =
+      Array.init n (fun _ ->
+          {
+            lock = Mutex.create ();
+            resolved = Condition.create ();
+            table = Hashtbl.create 64;
+          });
     mask = n - 1;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
@@ -52,31 +64,63 @@ let locked shard f =
       raise e
 
 (** [find_or_add t key compute] returns [(hit, value)]: the cached value
-    when present ([hit = true]), otherwise [compute ()] — computed exactly
-    once per key — cached and returned with [hit = false]. *)
+    when present ([hit = true]), otherwise [compute ()] — run outside the
+    shard lock, successfully at most once per key — cached and returned
+    with [hit = false]. Concurrent callers of the same key block until the
+    computing one finishes, then read its result as a hit. *)
 let find_or_add t key compute =
   let shard = shard_of t key in
-  locked shard (fun () ->
-      match Hashtbl.find_opt shard.table key with
-      | Some v ->
-          Atomic.incr t.hits;
-          (true, v)
-      | None ->
-          Atomic.incr t.misses;
-          let v = compute () in
-          Hashtbl.add shard.table key v;
-          (false, v))
+  Mutex.lock shard.lock;
+  let rec acquire () =
+    match Hashtbl.find_opt shard.table key with
+    | Some (Ready v) ->
+        Mutex.unlock shard.lock;
+        Atomic.incr t.hits;
+        (true, v)
+    | Some Pending ->
+        Condition.wait shard.resolved shard.lock;
+        acquire ()
+    | None -> (
+        Hashtbl.replace shard.table key Pending;
+        Mutex.unlock shard.lock;
+        Atomic.incr t.misses;
+        match compute () with
+        | v ->
+            locked shard (fun () ->
+                Hashtbl.replace shard.table key (Ready v);
+                Condition.broadcast shard.resolved);
+            (false, v)
+        | exception e ->
+            (* Release the marker so a waiter can retry the computation. *)
+            locked shard (fun () ->
+                Hashtbl.remove shard.table key;
+                Condition.broadcast shard.resolved);
+            raise e)
+  in
+  acquire ()
 
 let find_opt t key =
   let shard = shard_of t key in
-  locked shard (fun () -> Hashtbl.find_opt shard.table key)
+  locked shard (fun () ->
+      match Hashtbl.find_opt shard.table key with
+      | Some (Ready v) -> Some v
+      | Some Pending | None -> None)
 
 let add t key v =
   let shard = shard_of t key in
-  locked shard (fun () -> Hashtbl.replace shard.table key v)
+  locked shard (fun () ->
+      Hashtbl.replace shard.table key (Ready v);
+      Condition.broadcast shard.resolved)
 
 let length t =
-  Array.fold_left (fun acc s -> acc + locked s (fun () -> Hashtbl.length s.table)) 0 t.shards
+  Array.fold_left
+    (fun acc s ->
+      acc
+      + locked s (fun () ->
+            Hashtbl.fold
+              (fun _ e n -> match e with Ready _ -> n + 1 | Pending -> n)
+              s.table 0))
+    0 t.shards
 
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
@@ -86,6 +130,11 @@ let hit_rate t =
   if h +. m = 0.0 then 0.0 else h /. (h +. m)
 
 let clear t =
-  Array.iter (fun s -> locked s (fun () -> Hashtbl.reset s.table)) t.shards;
+  Array.iter
+    (fun s ->
+      locked s (fun () ->
+          Hashtbl.reset s.table;
+          Condition.broadcast s.resolved))
+    t.shards;
   Atomic.set t.hits 0;
   Atomic.set t.misses 0

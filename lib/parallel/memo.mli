@@ -7,9 +7,14 @@ type 'v t
     (default 64). *)
 val create : ?shards:int -> unit -> 'v t
 
-(** [find_or_add t key compute] returns [(hit, value)]. On a miss,
-    [compute ()] runs under the shard lock — exactly once per key, even
-    under concurrent callers — and must not re-enter the same table. *)
+(** [find_or_add t key compute] returns [(hit, value)]. On a miss, an
+    in-flight marker is installed and [compute ()] runs with the shard
+    lock released, so expensive computations for different keys never
+    serialize. A value is computed (successfully) at most once per key:
+    concurrent callers of the same key block until the first finishes and
+    read its result as a hit; if [compute] raises, the marker is removed
+    and a waiter retries. [compute] must not call back into the table with
+    the same key (it would wait on its own marker forever). *)
 val find_or_add : 'v t -> string -> (unit -> 'v) -> bool * 'v
 
 val find_opt : 'v t -> string -> 'v option

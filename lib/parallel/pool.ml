@@ -22,6 +22,11 @@ type region = {
 
 type t = {
   jobs : int;
+  submit : Mutex.t;
+      (** serializes regions: held by the orchestrating domain for the whole
+          region, so concurrent [parallel_iteri] callers (e.g. two searches
+          sharing the global pool) queue up instead of clobbering
+          [region]/[finished] *)
   mutex : Mutex.t;
   wake : Condition.t;  (** caller -> workers: a new region is available *)
   done_ : Condition.t;  (** workers -> caller: a worker finished a region *)
@@ -84,6 +89,7 @@ let create ?jobs () =
   let t =
     {
       jobs;
+      submit = Mutex.create ();
       mutex = Mutex.create ();
       wake = Condition.create ();
       done_ = Condition.create ();
@@ -129,12 +135,19 @@ let default_chunk n jobs =
   (* Small chunks load-balance; cap the chunk count at ~8 per worker. *)
   max 1 (n / (jobs * 8))
 
+(* Set while the current domain is executing inside a region, so a nested
+   [parallel_iteri] on any pool runs sequentially instead of deadlocking on
+   [submit] (or, from a worker, stalling the region it is part of). *)
+let in_region : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
 (** [parallel_iteri t ?chunk n f] runs [f i] for [0 <= i < n] across the
     pool. Any exception from [f] is re-raised in the caller; when several
-    indices fail, the one with the smallest index wins. *)
+    indices fail, the one with the smallest index wins. Regions are
+    serialized: concurrent callers queue, and a nested call from inside a
+    running region degrades to a sequential loop. *)
 let parallel_iteri t ?chunk n (f : int -> unit) =
   if n <= 0 then ()
-  else if t.jobs = 1 || n = 1 then
+  else if t.jobs = 1 || n = 1 || Domain.DLS.get in_region then
     for i = 0 to n - 1 do
       f i
     done
@@ -154,6 +167,7 @@ let parallel_iteri t ?chunk n (f : int -> unit) =
       retry ()
     in
     let run _seq =
+      Domain.DLS.set in_region true;
       let rec claim () =
         let lo = Atomic.fetch_and_add cursor chunk in
         if lo < n then begin
@@ -166,8 +180,11 @@ let parallel_iteri t ?chunk n (f : int -> unit) =
           claim ()
         end
       in
-      claim ()
+      claim ();
+      Domain.DLS.set in_region false
     in
+    (* One region at a time: hold [submit] from publish to drain. *)
+    Mutex.lock t.submit;
     (* Publish the region, wake the workers, participate, then wait. *)
     Mutex.lock t.mutex;
     let seq = t.next_seq in
@@ -183,6 +200,7 @@ let parallel_iteri t ?chunk n (f : int -> unit) =
     done;
     t.region <- None;
     Mutex.unlock t.mutex;
+    Mutex.unlock t.submit;
     match Atomic.get failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()

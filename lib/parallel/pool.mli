@@ -32,7 +32,13 @@ val shutdown : t -> unit
 (** [parallel_iteri t n f] runs [f i] for [0 <= i < n] across the pool in
     dynamically claimed chunks ([chunk] overrides the chunk size). If any
     [f i] raises, the exception of the smallest failing index is re-raised
-    in the caller after the region drains. *)
+    in the caller after the region drains.
+
+    Safe under concurrency: the pool runs one region at a time, so
+    concurrent callers (e.g. two searches sharing [global ()]) queue up
+    rather than corrupting each other's region, and a nested call from
+    inside [f] degrades to a plain sequential loop instead of
+    deadlocking. *)
 val parallel_iteri : t -> ?chunk:int -> int -> (int -> unit) -> unit
 
 (** Order-preserving parallel map over an array. *)

@@ -43,6 +43,23 @@ let test_decisions_key_stable () =
     "order-insensitive" (Sp.key_of [ ("a", 1); ("b", 2) ])
     (Sp.key_of [ ("b", 2); ("a", 1) ])
 
+(* --- Sketch cache identity --- *)
+
+let test_space_id_shape_injective () =
+  (* Regression: c1d's display name drops kw/stride/pad, so these two
+     differently-shaped workloads share a name. A space_id collision would
+     make the measurement memo return one workload's latency for the
+     other. *)
+  let w1 = W.c1d () and w2 = W.c1d ~kw:5 ~pad:2 () in
+  Alcotest.(check string) "display names collide" w1.W.name w2.W.name;
+  let s1 = Sk.scalar_gpu w1 and s2 = Sk.scalar_gpu w2 in
+  Alcotest.(check bool) "space ids distinct" false
+    (String.equal s1.Sk.space_id s2.Sk.space_id);
+  (* Same workload twice must still agree (the digest is stable across
+     lowering runs despite fresh variable ids). *)
+  let s1' = Sk.scalar_gpu (W.c1d ()) in
+  Alcotest.(check string) "space id stable" s1.Sk.space_id s1'.Sk.space_id
+
 (* --- GBDT --- *)
 
 let test_gbdt_fits () =
@@ -188,6 +205,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_factor_splits;
     ("mutate changes one knob", `Quick, test_mutate_changes_one);
     ("decision key stable", `Quick, test_decisions_key_stable);
+    ("space_id distinguishes same-name workloads", `Quick, test_space_id_shape_injective);
     ("gbdt fits linear target", `Quick, test_gbdt_fits);
     ("gbdt ranks monotonically", `Quick, test_gbdt_ranks);
     ("cost model prefers fast programs", `Quick, test_cost_model_prefers_fast);

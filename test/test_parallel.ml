@@ -65,6 +65,42 @@ let test_exception_propagation () =
       let ok = Pool.parallel_map pool (fun i -> i) (Array.init 32 Fun.id) in
       Alcotest.(check int) "pool usable after failure" 31 ok.(31))
 
+let test_nested_region_sequential () =
+  (* A parallel_map from inside a running region must not deadlock on the
+     region state; it degrades to a sequential loop in that domain. *)
+  with_pool 4 (fun pool ->
+      let out =
+        Pool.parallel_map pool
+          (fun i ->
+            let inner = Pool.parallel_map pool (fun j -> (i * 10) + j) (Array.init 5 Fun.id) in
+            Array.fold_left ( + ) 0 inner)
+          (Array.init 16 Fun.id)
+      in
+      Alcotest.(check (array int))
+        "nested maps compute correctly"
+        (Array.init 16 (fun i -> (i * 50) + 10))
+        out)
+
+let test_concurrent_orchestrators () =
+  (* Two domains driving regions on the same pool at once: regions are
+     serialized by the submit mutex, so neither loses work. *)
+  with_pool 4 (fun pool ->
+      let run () =
+        Array.init 10 (fun round ->
+            Pool.parallel_map pool (fun i -> i + round) (Array.init 64 Fun.id))
+      in
+      let other = Domain.spawn run in
+      let mine = run () in
+      let theirs = Domain.join other in
+      Array.iteri
+        (fun round out ->
+          Alcotest.(check int) "my region complete" (63 + round) out.(63))
+        mine;
+      Array.iteri
+        (fun round out ->
+          Alcotest.(check int) "their region complete" (63 + round) out.(63))
+        theirs)
+
 let test_jobs_one_sequential () =
   with_pool 1 (fun pool ->
       let trace = ref [] in
@@ -125,6 +161,17 @@ let test_memo_concurrent () =
       Alcotest.(check int) "all probes accounted" probes (Memo.hits m + Memo.misses m);
       Alcotest.(check int) "one entry per key" keys (Memo.length m))
 
+let test_memo_failed_compute_retries () =
+  (* A raising compute must release the in-flight marker so a later caller
+     can compute the value; the failure is not cached. *)
+  let m : int Memo.t = Memo.create () in
+  (try ignore (Memo.find_or_add m "k" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  let hit, v = Memo.find_or_add m "k" (fun () -> 7) in
+  Alcotest.(check bool) "retry is a miss" false hit;
+  Alcotest.(check int) "retry computes" 7 v;
+  Alcotest.(check (pair bool int)) "then cached" (true, 7) (Memo.find_or_add m "k" (fun () -> 8))
+
 (* --- end-to-end determinism --- *)
 
 let test_tune_determinism () =
@@ -178,9 +225,15 @@ let suite =
     Alcotest.test_case "pool: list map and filter_map" `Quick test_map_list_and_filter;
     Alcotest.test_case "pool: many regions reuse workers" `Quick test_many_regions;
     Alcotest.test_case "pool: exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "pool: nested regions run sequentially" `Quick
+      test_nested_region_sequential;
+    Alcotest.test_case "pool: concurrent orchestrators serialize" `Quick
+      test_concurrent_orchestrators;
     Alcotest.test_case "pool: jobs=1 is sequential" `Quick test_jobs_one_sequential;
     Alcotest.test_case "memo: hit/miss accounting" `Quick test_memo_hit_miss;
     Alcotest.test_case "memo: exactly-once under 4 domains" `Quick test_memo_concurrent;
+    Alcotest.test_case "memo: failed compute releases the key" `Quick
+      test_memo_failed_compute_retries;
     Alcotest.test_case "tune: jobs=1 = jobs=4 (determinism)" `Slow test_tune_determinism;
     Alcotest.test_case "pool: default_jobs" `Quick test_default_jobs_env;
   ]
