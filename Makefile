@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke clean
+.PHONY: all build test bench bench-smoke check clean
 
 all: build
 
@@ -17,6 +17,11 @@ bench: build
 # which exits non-zero if any reported latency is non-finite or <= 0.
 bench-smoke: build
 	BENCH_FAST=1 dune exec bench/main.exe -- --check
+
+# The full pre-merge gate: build, unit + property tests, bench smoke run.
+check: build
+	dune runtest
+	$(MAKE) bench-smoke
 
 clean:
 	dune clean

@@ -76,11 +76,17 @@ let emit_json ~total_wall_s path =
     if h +. m = 0.0 then 0.0 else h /. (h +. m)
   in
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": 1,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
+  Printf.fprintf oc "{\n  \"schema\": 2,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
   Printf.fprintf oc "  \"total_wall_s\": %s,\n" (json_float total_wall_s);
   Printf.fprintf oc "  \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d, \"hit_rate\": %s},\n"
     cache.Tir_autosched.Cost_model.hits cache.Tir_autosched.Cost_model.misses
     cache.Tir_autosched.Cost_model.entries (json_float hit_rate);
+  let db_found, db_ok = Tir_autosched.Database.replay_counters () in
+  Printf.fprintf oc
+    "  \"db_replay\": {\"records_found\": %d, \"trace_replayed\": %d, \"hit_rate\": %s},\n"
+    db_found db_ok
+    (json_float
+       (if db_found = 0 then 0.0 else float_of_int db_ok /. float_of_int db_found));
   Printf.fprintf oc "  \"sections\": [";
   List.iteri
     (fun i (name, wall) ->
@@ -418,7 +424,7 @@ let micro () =
       (fun (k : Tir_autosched.Space.knob) -> (k.Tir_autosched.Space.name, 1))
       sk.Tir_autosched.Sketch.knobs
   in
-  let scheduled = sk.Tir_autosched.Sketch.apply d in
+  let scheduled = Tir_sched.Schedule.func (sk.Tir_autosched.Sketch.apply d) in
   let tests =
     [
       Test.make ~name:"sketch-apply" (Staged.stage (fun () ->
@@ -457,6 +463,38 @@ let micro () =
         ols)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* db: trace replay hit rate                                            *)
+(* ------------------------------------------------------------------ *)
+
+let db_bench () =
+  section "db"
+    "tuning-record database: re-tuning replays serialized traces instead of searching";
+  let module DB = Tir_autosched.Database in
+  let workloads =
+    [
+      W.gmm ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 ~m:128 ~n:128 ~k:128 ();
+      W.gmm ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 ~m:256 ~n:128 ~k:64 ();
+    ]
+  in
+  let db = DB.create () in
+  List.iter (fun w -> ignore (Tune.tune ~trials:(trials 24) ~database:db gpu w)) workloads;
+  (* Push the records through the on-disk format, so the replays below run
+     from parsed traces, exactly as a warm-start across processes would. *)
+  let path = Filename.temp_file "tirdb_bench" ".txt" in
+  DB.save db path;
+  let db' = DB.load path in
+  Sys.remove path;
+  DB.reset_replay_counters ();
+  List.iter (fun w -> ignore (Tune.tune ~trials:(trials 24) ~database:db' gpu w)) workloads;
+  let found, ok = DB.replay_counters () in
+  Fmt.pr "records found: %d, replayed from trace alone: %d@." found ok;
+  record "db" "records_found" (float_of_int found) "count";
+  record "db" "trace_replayed" (float_of_int ok) "count";
+  record "db" "trace_replay_hit_rate_pct"
+    (if found = 0 then 0.0 else 100.0 *. float_of_int ok /. float_of_int found)
+    "pct"
+
 let cache_summary () =
   section "cache" "measurement memoization (duplicate proposals never re-simulate)";
   let c = Tir_autosched.Cost_model.cache_stats () in
@@ -489,6 +527,7 @@ let () =
   timed "fig14" fig14;
   timed "ablation" ablation;
   timed "micro" micro;
+  timed "db" db_bench;
   cache_summary ();
   let total = Unix.gettimeofday () -. t0 in
   emit_json ~total_wall_s:total "BENCH_results.json";

@@ -93,7 +93,13 @@ type evaluation =
   | Inapplicable  (** the sketch rejected the decision vector *)
   | Invalid  (** the §3.3 validator found issues *)
   | Unsupported  (** the machine model cannot run the program *)
-  | Evaluated of { func : Tir_ir.Primfunc.t; features : float array }
+  | Evaluated of {
+      func : Tir_ir.Primfunc.t;
+      features : float array;
+      trace : Tir_sched.Trace.t;
+          (** the schedule's instruction trace — carried to [measured]
+              results and into database records for sketch-free replay *)
+    }
 
 let eval_cache : evaluation Memo.t = Memo.create ()
 let measure_cache : float option Memo.t = Memo.create ()
@@ -104,15 +110,21 @@ let measure_cache : float option Memo.t = Memo.create ()
     can never alias. *)
 let cache_prefix target = Tir_sim.Target.fingerprint target ^ "|"
 
+(* [Space.Unknown_knob] deliberately propagates: the search only builds
+   decision vectors from the sketch's own knob list, so an unknown knob is
+   a programming error, not an invalid sample. *)
 let evaluate ~target (sk : Sketch.t) (d : Space.decisions) : evaluation =
   match sk.Sketch.apply d with
   | exception Tir_sched.State.Schedule_error _ -> Inapplicable
-  | f -> (
+  | sch -> (
+      let f = Tir_sched.Schedule.func sch in
       match Tir_sched.Validate.check_func f with
       | _ :: _ -> Invalid
       | [] -> (
           match Features.extract target f with
-          | features -> Evaluated { func = f; features }
+          | features ->
+              Evaluated
+                { func = f; features; trace = Tir_sched.Schedule.instructions sch }
           | exception Tir_sim.Machine.Unsupported _ -> Unsupported))
 
 (** Memoized evaluation; returns [(cache_hit, outcome)]. *)

@@ -36,7 +36,13 @@ type evaluation =
   | Inapplicable  (** the sketch rejected the decision vector *)
   | Invalid  (** the §3.3 validator found issues *)
   | Unsupported  (** the machine model cannot run the program *)
-  | Evaluated of { func : Tir_ir.Primfunc.t; features : float array }
+  | Evaluated of {
+      func : Tir_ir.Primfunc.t;
+      features : float array;
+      trace : Tir_sched.Trace.t;
+          (** the schedule's instruction trace — carried to [measured]
+              results and into database records for sketch-free replay *)
+    }
 
 (** Key prefix for a target (compute once per search). *)
 val cache_prefix : Tir_sim.Target.t -> string

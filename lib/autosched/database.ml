@@ -3,31 +3,51 @@
     "TensorIR can eliminate search time further by caching historical cost
     models and search records. So no search is needed to build a model for
     an operator already tuned." Records map (target, workload) to the best
-    sketch name and decision vector found; [Tune]-level lookups replay the
-    decisions on a fresh sketch instead of searching.
+    schedule found, carrying the full instruction trace of that schedule:
+    [replay] re-applies the trace to a freshly built start function — no
+    sketch regeneration, so records survive search-space refactors — and
+    falls back to re-applying the recorded decisions through the sketch for
+    traceless (v1) records.
 
-    The on-disk format is line-oriented ("target|workload|sketch|decisions|
-    latency_us"), append-friendly and human-inspectable. *)
+    On-disk format v2 is line-oriented, append-friendly and
+    human-inspectable:
+    {v
+    # tensorir database v2
+    target|workload|sketch|base|decisions|latency_us|trace
+    v}
+    Every field is percent-escaped, so names containing the [|] field
+    separator (or the [,]/[=] used inside the decisions field, or newlines)
+    cannot inject fields. The serialized trace has its newlines escaped to
+    keep one record per line. Headerless files are read as the v1 format
+    ([target|workload|sketch|decisions|latency_us], no escaping) for
+    backward compatibility. *)
+
+module W = Tir_workloads.Workloads
+module TI = Tir_intrin.Tensor_intrin
 
 type record = {
   target_name : string;
   workload_name : string;
   sketch_name : string;
+  base : string;  (** [Sketch.base]: intrinsic name of the tensorization
+                      candidate the schedule starts from, or [""] *)
   decisions : Space.decisions;
   latency_us : float;
+  trace : Tir_sched.Trace.t option;
+      (** [None] only for records loaded from v1 files *)
 }
 
 type t = { mutable records : record list }
 
 let create () = { records = [] }
 
-let key target_name workload_name = target_name ^ "|" ^ workload_name
-
 let find t ~target_name ~workload_name =
-  let k = key target_name workload_name in
+  (* Compare the name pair, not a joined string: a '|' inside a name must
+     not let ("a|b", "c") alias ("a", "b|c"). *)
   List.fold_left
     (fun best r ->
-      if String.equal (key r.target_name r.workload_name) k then
+      if String.equal r.target_name target_name && String.equal r.workload_name workload_name
+      then
         match best with
         | Some b when b.latency_us <= r.latency_us -> best
         | _ -> Some r
@@ -40,41 +60,104 @@ let size t = List.length t.records
 
 (* --- serialization --- *)
 
+let version_header = "# tensorir database v2"
+
+(* Percent-escape every character with structural meaning in the line
+   format: '%' (the escape itself), '|' (field separator), '\n'/'\r' (record
+   separator), ',' and '=' (decision-list separators). *)
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' | '|' | '\n' | '\r' | ',' | '=' ->
+          Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | _ -> failwith "bad escape in database field"
+  in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '%' then begin
+       if !i + 2 >= n then failwith "truncated escape in database field";
+       Buffer.add_char b (Char.chr ((hex s.[!i + 1] * 16) + hex s.[!i + 2]));
+       i := !i + 3
+     end
+     else begin
+       Buffer.add_char b s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents b
+
 let decisions_to_string (d : Space.decisions) =
   String.concat ","
-    (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (List.sort compare d))
+    (List.map (fun (k, v) -> Printf.sprintf "%s=%d" (escape k) v) (List.sort compare d))
 
-let decisions_of_string s =
+let decisions_of_string ~unescape_keys s =
   if String.equal s "" then []
   else
     List.map
       (fun kv ->
         match String.index_opt kv '=' with
         | Some i ->
-            ( String.sub kv 0 i,
+            let k = String.sub kv 0 i in
+            ( (if unescape_keys then unescape k else k),
               int_of_string (String.sub kv (i + 1) (String.length kv - i - 1)) )
         | None -> failwith ("bad decision entry " ^ kv))
       (String.split_on_char ',' s)
 
 let record_to_line r =
-  Printf.sprintf "%s|%s|%s|%s|%.6f" r.target_name r.workload_name r.sketch_name
+  Printf.sprintf "%s|%s|%s|%s|%s|%.6f|%s" (escape r.target_name)
+    (escape r.workload_name) (escape r.sketch_name) (escape r.base)
     (decisions_to_string r.decisions)
     r.latency_us
+    (match r.trace with Some tr -> escape (Tir_sched.Trace.to_string tr) | None -> "")
 
-let record_of_line line =
+let record_of_line_v2 line =
+  match String.split_on_char '|' line with
+  | [ target_name; workload_name; sketch_name; base; decisions; latency; trace ] ->
+      {
+        target_name = unescape target_name;
+        workload_name = unescape workload_name;
+        sketch_name = unescape sketch_name;
+        base = unescape base;
+        decisions = decisions_of_string ~unescape_keys:true decisions;
+        latency_us = float_of_string latency;
+        trace =
+          (if String.equal trace "" then None
+           else Some (Tir_sched.Trace.of_string (unescape trace)));
+      }
+  | _ -> failwith ("bad database line: " ^ line)
+
+(* v1: [target|workload|sketch|decisions|latency_us], unescaped. *)
+let record_of_line_v1 line =
   match String.split_on_char '|' line with
   | [ target_name; workload_name; sketch_name; decisions; latency ] ->
       {
         target_name;
         workload_name;
         sketch_name;
-        decisions = decisions_of_string decisions;
+        base = "";
+        decisions = decisions_of_string ~unescape_keys:false decisions;
         latency_us = float_of_string latency;
+        trace = None;
       }
   | _ -> failwith ("bad database line: " ^ line)
 
 let save t path =
   let oc = open_out path in
+  output_string oc (version_header ^ "\n");
   List.iter (fun r -> output_string oc (record_to_line r ^ "\n")) (List.rev t.records);
   close_out oc
 
@@ -83,10 +166,16 @@ let load path =
   else begin
     let ic = open_in path in
     let records = ref [] in
+    let v2 = ref false in
     (try
        while true do
          let line = input_line ic in
-         if String.trim line <> "" then records := record_of_line line :: !records
+         let trimmed = String.trim line in
+         if String.equal trimmed version_header then v2 := true
+         else if trimmed <> "" && trimmed.[0] <> '#' then
+           records :=
+             (if !v2 then record_of_line_v2 line else record_of_line_v1 line)
+             :: !records
        done
      with End_of_file -> ());
     close_in ic;
@@ -94,44 +183,120 @@ let load path =
   end
 
 (** Record the best result of a tuning run. *)
-let commit t (target : Tir_sim.Target.t) (w : Tir_workloads.Workloads.t)
-    (best : Evolutionary.measured) =
+let commit t (target : Tir_sim.Target.t) (w : W.t) (best : Evolutionary.measured) =
   add t
     {
       target_name = target.Tir_sim.Target.name;
-      workload_name = w.Tir_workloads.Workloads.name;
+      workload_name = w.W.name;
       sketch_name = best.Evolutionary.sketch_name;
+      base = best.Evolutionary.base;
       decisions = best.Evolutionary.decisions;
       latency_us = best.Evolutionary.latency_us;
+      trace = Some best.Evolutionary.trace;
     }
 
-(** Replay a stored record against freshly generated sketches: applies the
-    recorded decisions to the matching sketch — no search, no measurement
-    beyond one. Returns [None] if the record no longer applies (e.g. the
-    sketch space changed). Both the re-application and the verification
-    measurement go through the process-wide memo in [Cost_model], so
-    replaying a schedule tuned earlier in the same process re-simulates
-    nothing. *)
-let replay (target : Tir_sim.Target.t) (sketches : Sketch.t list) (r : record) :
+(* --- replay --- *)
+
+(* Trace-replay hit-rate counters for the bench JSON: how many records a
+   replay was attempted for, and how many replayed from their trace alone
+   (the fallback sketch path does not count as a trace replay). *)
+let replay_found = ref 0
+let replay_ok = ref 0
+let replay_counters () = (!replay_found, !replay_ok)
+
+let reset_replay_counters () =
+  replay_found := 0;
+  replay_ok := 0
+
+(* The function the record's trace was applied to: the workload's func for
+   scalar sketches, or the tensorization candidate's canonical program for
+   [base = <intrinsic>]. *)
+let base_func (w : W.t) (base : string) =
+  if String.equal base "" then Some w.W.func
+  else
+    match TI.lookup base with
+    | intrin -> Option.map (fun c -> c.Candidate.func) (Candidate.generate w intrin)
+    | exception TI.Not_registered _ -> None
+
+(* Replay from the serialized trace alone: rebuild the start function from
+   (workload, base), re-apply every instruction, re-validate, measure once
+   (memoized on the digest of the replayed program). *)
+let replay_from_trace (target : Tir_sim.Target.t) (w : W.t) (r : record) :
     Evolutionary.measured option =
+  match r.trace with
+  | None -> None
+  | Some tr -> (
+      match base_func w r.base with
+      | None -> None
+      | Some f -> (
+          match Tir_sched.Schedule.replay tr f with
+          | exception Tir_sched.State.Schedule_error _ -> None
+          | sch -> (
+              let func = Tir_sched.Schedule.func sch in
+              match Tir_sched.Validate.check_func func with
+              | _ :: _ -> None
+              | [] -> (
+                  let key =
+                    Cost_model.cache_prefix target ^ "trace#"
+                    ^ Sketch.workload_digest func
+                  in
+                  match snd (Cost_model.measure_cached ~key ~target func) with
+                  | None -> None
+                  | Some latency_us ->
+                      Some
+                        {
+                          Evolutionary.sketch_name = r.sketch_name;
+                          base = r.base;
+                          decisions = Tir_sched.Trace.decisions tr;
+                          trace = tr;
+                          func;
+                          latency_us;
+                        }))))
+
+(* Legacy path for traceless (v1) records: re-apply the stored decisions
+   through the matching freshly generated sketch. [Space.Unknown_knob]
+   means the sketch's knob set changed since the record was written — the
+   record is stale, not an error. *)
+let replay_from_sketch (target : Tir_sim.Target.t) (sketches : Sketch.t list)
+    (r : record) : Evolutionary.measured option =
   match
     List.find_opt (fun s -> String.equal s.Sketch.name r.sketch_name) sketches
   with
   | None -> None
   | Some sk -> (
       let key =
-        Cost_model.cache_prefix target ^ sk.Sketch.space_id ^ "|" ^ Space.key_of r.decisions
+        Cost_model.cache_prefix target ^ sk.Sketch.space_id ^ "|"
+        ^ Space.key_of r.decisions
       in
       match snd (Cost_model.evaluate_cached ~key ~target sk r.decisions) with
+      | exception Space.Unknown_knob _ -> None
       | Cost_model.Inapplicable | Cost_model.Invalid | Cost_model.Unsupported -> None
-      | Cost_model.Evaluated { func; _ } -> (
+      | Cost_model.Evaluated { func; trace; _ } -> (
           match snd (Cost_model.measure_cached ~key ~target func) with
           | None -> None
           | Some latency_us ->
               Some
                 {
                   Evolutionary.sketch_name = r.sketch_name;
-                  decisions = r.decisions;
+                  base = sk.Sketch.base;
+                  decisions = Tir_sched.Trace.decisions trace;
+                  trace;
                   func;
                   latency_us;
                 }))
+
+(** Replay a stored record: trace-first (no sketch regeneration — the
+    record is portable across search-space versions), falling back to
+    re-applying the recorded decisions through [sketches] for v1 records.
+    Returns [None] if neither path yields a valid, measurable schedule.
+    Re-application and the verification measurement go through the
+    process-wide memo in [Cost_model], so replaying a schedule tuned
+    earlier in the same process re-simulates nothing. *)
+let replay (target : Tir_sim.Target.t) ~(workload : W.t) ~(sketches : Sketch.t list)
+    (r : record) : Evolutionary.measured option =
+  incr replay_found;
+  match replay_from_trace target workload r with
+  | Some m ->
+      incr replay_ok;
+      Some m
+  | None -> replay_from_sketch target sketches r

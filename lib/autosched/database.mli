@@ -1,13 +1,24 @@
 (** Tuning-record database (paper §5.2): caching search records so "no
     search is needed to build a model for an operator already tuned".
-    Line-oriented on-disk format, append-friendly and human-inspectable. *)
+
+    Records carry the full instruction trace of the winning schedule, so
+    [replay] works from the trace alone — no sketch regeneration — and
+    records stay portable across search-space versions. On-disk format v2
+    is line-oriented with percent-escaped fields (names containing the
+    field separator cannot inject fields); headerless v1 files
+    ([target|workload|sketch|decisions|latency_us]) still load, yielding
+    traceless records that replay through the sketch path. *)
 
 type record = {
   target_name : string;
   workload_name : string;
   sketch_name : string;
+  base : string;  (** [Sketch.base]: intrinsic name of the tensorization
+                      candidate the schedule starts from, or [""] *)
   decisions : Space.decisions;
   latency_us : float;
+  trace : Tir_sched.Trace.t option;
+      (** [None] only for records loaded from v1 files *)
 }
 
 type t
@@ -19,17 +30,32 @@ val find : t -> target_name:string -> workload_name:string -> record option
 
 val add : t -> record -> unit
 val size : t -> int
+
+(** Write the v2 format (with version header). *)
 val save : t -> string -> unit
 
-(** Load from disk; a missing file yields an empty database. *)
+(** Load from disk; a missing file yields an empty database. Reads v2
+    (version header present) and v1 (headerless) files. *)
 val load : string -> t
 
-(** Record the best result of a tuning run. *)
+(** Record the best result of a tuning run, trace included. *)
 val commit :
   t -> Tir_sim.Target.t -> Tir_workloads.Workloads.t -> Evolutionary.measured -> unit
 
-(** Replay a record against freshly generated sketches: apply the stored
-    decisions, validate, and re-measure once. [None] if the record no
-    longer applies. *)
+(** Replay a stored record: trace-first (rebuild the start function from
+    the workload and the record's [base], re-apply every instruction,
+    re-validate, measure once), falling back to re-applying the recorded
+    decisions through [sketches] for traceless v1 records. [None] if
+    neither path yields a valid, measurable schedule. *)
 val replay :
-  Tir_sim.Target.t -> Sketch.t list -> record -> Evolutionary.measured option
+  Tir_sim.Target.t ->
+  workload:Tir_workloads.Workloads.t ->
+  sketches:Sketch.t list ->
+  record ->
+  Evolutionary.measured option
+
+(** [(found, replayed)]: replays attempted, and replays that succeeded
+    from the serialized trace alone (bench hit-rate reporting). *)
+val replay_counters : unit -> int * int
+
+val reset_replay_counters : unit -> unit

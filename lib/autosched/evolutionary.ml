@@ -30,7 +30,13 @@ module Pool = Tir_parallel.Pool
 
 type measured = {
   sketch_name : string;
+  base : string;  (** [Sketch.base] — start-function recipe for replay *)
   decisions : Space.decisions;
+      (** extracted from [trace] ([Trace.decisions]) — kept as a field for
+          cache keys and reporting *)
+  trace : Tir_sched.Trace.t;
+      (** full instruction trace of the winning schedule; serialized into
+          database records so they replay without sketch regeneration *)
   func : Primfunc.t;
   latency_us : float;
 }
@@ -118,14 +124,19 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
                    (fun s -> String.equal s.Sketch.name parent.sketch_name)
                    sketches
                in
+               (* Decisions are mutated inside the parent's trace: the
+                  trace's [Decide] records are the authoritative knob
+                  assignment of the measured schedule. *)
+               let pd = Tir_sched.Trace.decisions parent.trace in
                let d =
                  if Rng.bool r || List.length es < 2 then
-                   Space.mutate r sk.Sketch.knobs parent.decisions
+                   Space.mutate r sk.Sketch.knobs pd
                  else
                    let other = Rng.choose r es in
                    if String.equal other.sketch_name parent.sketch_name then
-                     Space.crossover r sk.Sketch.knobs parent.decisions other.decisions
-                   else Space.mutate r sk.Sketch.knobs parent.decisions
+                     Space.crossover r sk.Sketch.knobs pd
+                       (Tir_sched.Trace.decisions other.trace)
+                   else Space.mutate r sk.Sketch.knobs pd
                in
                (sk, d))
              rngs)
@@ -185,7 +196,8 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
                stats.invalid <- stats.invalid + 1;
                []
            | Cost_model.Unsupported -> []
-           | Cost_model.Evaluated { func; features } -> [ (sk, d, key, func, features) ])
+           | Cost_model.Evaluated { func; features; trace } ->
+               [ (sk, d, key, func, features, trace) ])
          fresh evals)
   in
   (* Measure a ranked batch across the pool (memoized), then feed the cost
@@ -193,12 +205,12 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
   let measure_top cands =
     let results =
       Pool.parallel_map_list pool
-        (fun (_, _, key, func, _) ->
+        (fun (_, _, key, func, _, _) ->
           Cost_model.measure_cached ~key:(key_prefix ^ key) ~target func)
         cands
     in
     List.iter2
-      (fun ((sk : Sketch.t), d, _, func, features) (hit, latency) ->
+      (fun ((sk : Sketch.t), _, _, func, features, trace) (hit, latency) ->
         stats.cache_lookups <- stats.cache_lookups + 1;
         if hit then stats.cache_hits <- stats.cache_hits + 1;
         match latency with
@@ -210,7 +222,15 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
               +. Float.min measurement_cap_us (latency_us *. measurement_runs)
               +. measurement_overhead_us;
             Cost_model.add model ~features ~latency_us;
-            consider { sketch_name = sk.Sketch.name; decisions = d; func; latency_us })
+            consider
+              {
+                sketch_name = sk.Sketch.name;
+                base = sk.Sketch.base;
+                decisions = Tir_sched.Trace.decisions trace;
+                trace;
+                func;
+                latency_us;
+              })
       cands results
   in
   let rec rounds () =
@@ -229,7 +249,7 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
             if use_cost_model then
               Array.to_list
                 (Cost_model.score_batch model
-                   (Array.of_list (List.map (fun (_, _, _, _, f) -> f) cands)))
+                   (Array.of_list (List.map (fun (_, _, _, _, f, _) -> f) cands)))
             else List.map (fun _ -> Rng.float rng 1.0) cands
           in
           let ranked =

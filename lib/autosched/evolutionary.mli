@@ -6,7 +6,13 @@ open Tir_ir
 
 type measured = {
   sketch_name : string;
+  base : string;  (** [Sketch.base] — start-function recipe for replay *)
   decisions : Space.decisions;
+      (** extracted from [trace] ([Trace.decisions]) — kept as a field for
+          cache keys and reporting *)
+  trace : Tir_sched.Trace.t;
+      (** full instruction trace of the winning schedule; serialized into
+          database records so they replay without sketch regeneration *)
   func : Primfunc.t;
   latency_us : float;
 }

@@ -2,7 +2,6 @@
     fixes program structure (tiling scheme, tensorized inner block, AutoCopy
     data-movement blocks) and exposes knobs for the evolutionary search. *)
 
-open Tir_ir
 module W = Tir_workloads.Workloads
 module TI = Tir_intrin.Tensor_intrin
 
@@ -14,11 +13,25 @@ type t = {
           stride/pad index arithmetic) and sketch-variant flags.
           Measurement memo keys are [space_id | decisions], so this is
           injective over (workload, sketch variant) where [name] is not. *)
+  base : string;
+      (** how to rebuild the function the sketch schedules from the bare
+          workload: the tensorization candidate's intrinsic name, or [""]
+          when the sketch starts from [w.func] directly. Stored in database
+          records so a trace can be replayed without regenerating the
+          sketch. *)
   knobs : Space.knob list;
-  apply : Space.decisions -> Primfunc.t;
-      (** raises [Tir_sched.State.Schedule_error] on an inapplicable
-          decision vector; the search counts that as pruned *)
+  apply : Space.decisions -> Tir_sched.Schedule.t;
+      (** returns the schedule; its trace is the replayable script of
+          everything applied, [Decide] records included. Raises
+          [Tir_sched.State.Schedule_error] on an inapplicable decision
+          vector (the search counts that as pruned) and
+          [Space.Unknown_knob] on a vector missing one of [knobs]. *)
 }
+
+(** Workload identity independent of naming conventions: a digest of the
+    printed lowered func (used in [space_id] and by database trace
+    replay to check the stored base function still matches). *)
+val workload_digest : Tir_ir.Primfunc.t -> string
 
 (** Tensor-Core style sketch over a candidate: block/warp tiling, shared
     staging with cooperative fetch, wmma fragment movement, tensorized

@@ -11,6 +11,18 @@ type decisions = (string * int) list
 
 let decide (d : decisions) name = Option.value ~default:0 (List.assoc_opt name d)
 
+exception Unknown_knob of string
+
+(** Strict [decide]: raises {!Unknown_knob} instead of silently defaulting
+    to choice 0 when the vector has no entry for [name]. Sketch application
+    uses this so a typo between a sketch's knob list and its apply function
+    — or a stale decision vector from an old search-space version — is loud
+    rather than a quietly wrong schedule. *)
+let decide_exn (d : decisions) name =
+  match List.assoc_opt name d with
+  | Some v -> v
+  | None -> raise (Unknown_knob name)
+
 (** All ordered factorizations of [extent] into [parts] factors (product
     exactly [extent]). Factors beyond [max_factor] are only allowed in the
     first (outermost) position. *)

@@ -10,6 +10,14 @@ type decisions = (string * int) list
 (** The chosen index for a knob (0 when absent). *)
 val decide : decisions -> string -> int
 
+exception Unknown_knob of string
+
+(** Strict [decide]: raises {!Unknown_knob} when the vector has no entry
+    for the knob. Sketch application uses this so typos and stale decision
+    vectors (old search-space versions) fail loudly instead of silently
+    scheduling with choice 0. *)
+val decide_exn : decisions -> string -> int
+
 (** All ordered factorizations of [extent] into [parts] factors whose
     product is exactly [extent]; factors beyond [max_factor] only in the
     outermost position. Never empty. *)

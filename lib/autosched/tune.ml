@@ -61,7 +61,7 @@ let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
             ~workload_name:w.W.name
         with
         | None -> None
-        | Some r -> Database.replay target sketches r)
+        | Some r -> Database.replay target ~workload:w ~sketches r)
   in
   match cached with
   | Some best ->

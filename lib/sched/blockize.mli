@@ -1,0 +1,7 @@
+(** Isolate the subtree under a loop as a new block (paper Figure 7). *)
+
+open Tir_ir
+
+(** Returns the new block's name. Also the first step of
+    [Tensorize.tensorize]. *)
+val blockize : State.t -> Var.t -> string

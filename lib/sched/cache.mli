@@ -1,0 +1,30 @@
+(** Caching primitives: cache_read, cache_write, set_scope.
+
+    These introduce the data-movement sub-blocks of the paper's memory
+    hierarchy story: a cache block copies a buffer into a new storage scope
+    (shared memory, registers, wmma fragments) and the target block is
+    redirected to the cached copy. *)
+
+open Tir_ir
+
+(** The root block body as an explicit statement list, plus the index of
+    the top-level element containing the named block. Also used by
+    [Reduction.rfactor] to splice its final-reduction nest at root scope. *)
+val root_elements : State.t -> string -> Stmt.t list * int
+
+val set_root_elements : State.t -> Stmt.t list -> unit
+
+(** [cache_read t block buffer scope] creates a cache of [buffer] in
+    [scope], redirects [block]'s reads to it, and places the copy block at
+    root scope just before the nest containing [block]. Returns the copy
+    block's name. *)
+val cache_read : State.t -> string -> Buffer.t -> string -> string
+
+(** [cache_write t block buffer scope] makes [block] write into a cache in
+    [scope] and adds a copy-back block after the nest containing [block].
+    Returns the copy-back block's name. *)
+val cache_write : State.t -> string -> Buffer.t -> string -> string
+
+(** Change the storage scope of an intermediate buffer everywhere; returns
+    the re-scoped buffer. *)
+val set_scope : State.t -> Buffer.t -> string -> Buffer.t

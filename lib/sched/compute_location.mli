@@ -1,0 +1,12 @@
+(** Compute-location primitives: move a block under a target loop, shrunk
+    to the region its counterpart actually consumes or produces there. *)
+
+open Tir_ir
+
+(** Move a producer block to compute, just-in-time, the region consumed
+    inside the target loop's subtree. *)
+val compute_at : State.t -> string -> Var.t -> unit
+
+(** Move a consumer block to consume, immediately, the region produced
+    inside the target loop's subtree. *)
+val reverse_compute_at : State.t -> string -> Var.t -> unit

@@ -1,0 +1,8 @@
+(** Inlining primitives. *)
+
+(** Remove an injective elementwise producer by substituting its
+    definition into all consumers. *)
+val compute_inline : State.t -> string -> unit
+
+(** Fold an elementwise consumer back into its (non-reduction) producer. *)
+val reverse_compute_inline : State.t -> string -> unit

@@ -1,0 +1,31 @@
+(** Loop transformations: split, fuse, reorder, kind changes, annotations.
+
+    Pure IR→IR rewrites over {!State.t}; all raise [State.Schedule_error]
+    on misuse and leave the program untouched. Recording on the schedule
+    trace is the facade's job ([Schedule]) — these entry points do not
+    touch the trace. *)
+
+open Tir_ir
+
+(** Split a loop into nested loops with the given extents (outermost
+    first); at most one factor may be [0] = inferred. Non-divisible splits
+    push a predicate into the contained blocks. Returns the new loop
+    variables, outermost first. *)
+val split : State.t -> Var.t -> factors:int list -> Var.t list
+
+(** Fuse two perfectly nested loops; returns the fused variable. *)
+val fuse : State.t -> Var.t -> Var.t -> Var.t
+
+val fuse_many : State.t -> Var.t list -> Var.t
+
+(** Permute loops of one perfectly nested chain into the given order. *)
+val reorder : State.t -> Var.t list -> unit
+
+(** Bind a loop to a GPU thread axis (e.g. "blockIdx.x", "threadIdx.y"). *)
+val bind : State.t -> Var.t -> string -> unit
+
+val parallel : State.t -> Var.t -> unit
+val vectorize : State.t -> Var.t -> unit
+val unroll : State.t -> Var.t -> unit
+val annotate : State.t -> Var.t -> string -> string -> unit
+val annotate_block : State.t -> string -> string -> string -> unit

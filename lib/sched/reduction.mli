@@ -1,0 +1,14 @@
+(** Reduction primitives: decompose/merge init statements and rfactor. *)
+
+open Tir_ir
+
+(** Hoist a reduction's init statement into its own block before the given
+    loop; returns the init block's name (paper §3.1). *)
+val decompose_reduction : State.t -> string -> Var.t -> string
+
+(** Inverse of [decompose_reduction]. *)
+val merge_reduction : State.t -> string -> string -> unit
+
+(** Factor a reduction loop into a spatial dimension of a partial-result
+    buffer plus a final reduction block; returns the final block's name. *)
+val rfactor : State.t -> string -> Var.t -> string

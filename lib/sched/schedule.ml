@@ -2,119 +2,138 @@
 
     Mirrors the paper's §3.2 catalogue. Each primitive is a standalone
     TensorIR-to-TensorIR transformation; the schedule can be printed between
-    any two steps ([pp]) and validated at any point ([validate]). *)
+    any two steps ([pp]) and validated at any point ([validate]).
+
+    Every successful application appends one typed {!Trace.instr} to the
+    schedule's trace — nothing is recorded when a primitive raises
+    [Schedule_error] — so [instructions] is always a replayable script:
+    [replay (instructions t) f] rebuilds an equivalent schedule on a fresh
+    copy of the original function. *)
 
 include State
 
-let vname (v : Tir_ir.Var.t) = Printf.sprintf "%s#%d" v.Tir_ir.Var.name v.Tir_ir.Var.id
-
-(* Loop transformations. Each primitive is logged to the schedule trace so
-   a tuning result carries its own reproducible script. *)
+(* Loop transformations. Each primitive records a structured instruction on
+   the schedule trace so a tuning result carries its own reproducible,
+   serializable script. *)
 let split t v ~factors =
   let r = Loop_transform.split t v ~factors in
-  log t "split(%s, factors=[%s]) -> [%s]" (vname v)
-    (String.concat "; " (List.map string_of_int factors))
-    (String.concat "; " (List.map vname r));
+  Trace.record_split (builder t) ~loop:v ~factors ~outs:r;
   r
 
 let fuse t a b =
   let r = Loop_transform.fuse t a b in
-  log t "fuse(%s, %s) -> %s" (vname a) (vname b) (vname r);
+  Trace.record_fuse (builder t) ~a ~b ~out:r;
   r
 
 let fuse_many t vs =
   let r = Loop_transform.fuse_many t vs in
-  log t "fuse_many([%s]) -> %s" (String.concat "; " (List.map vname vs)) (vname r);
+  Trace.record_fuse_many (builder t) ~loops:vs ~out:r;
   r
 
 let reorder t vs =
   Loop_transform.reorder t vs;
-  log t "reorder([%s])" (String.concat "; " (List.map vname vs))
+  Trace.record_reorder (builder t) ~loops:vs
 
 let bind t v axis =
   Loop_transform.bind t v axis;
-  log t "bind(%s, %S)" (vname v) axis
+  Trace.record_bind (builder t) ~loop:v ~thread:axis
 
 let parallel t v =
   Loop_transform.parallel t v;
-  log t "parallel(%s)" (vname v)
+  Trace.record_parallel (builder t) ~loop:v
 
 let vectorize t v =
   Loop_transform.vectorize t v;
-  log t "vectorize(%s)" (vname v)
+  Trace.record_vectorize (builder t) ~loop:v
 
 let unroll t v =
   Loop_transform.unroll t v;
-  log t "unroll(%s)" (vname v)
+  Trace.record_unroll (builder t) ~loop:v
 
 let annotate t v k value =
   Loop_transform.annotate t v k value;
-  log t "annotate(%s, %S, %S)" (vname v) k value
+  Trace.record_annotate (builder t) ~loop:v ~key:k ~value
 
 let annotate_block t name k value =
   Loop_transform.annotate_block t name k value;
-  log t "annotate_block(%S, %S, %S)" name k value
+  Trace.record_annotate_block (builder t) ~block:name ~key:k ~value
+
+(* Lookup. [get_loops] defines the loop RVs later instructions consume, so
+   it is itself traced (the internal [State.get_loops] is not). *)
+let get_loops t name =
+  let ls = State.get_loops t name in
+  Trace.record_get_loops (builder t) ~block:name ~outs:ls;
+  ls
 
 (* Compute location *)
 let compute_at t name v =
   Compute_location.compute_at t name v;
-  log t "compute_at(%S, %s)" name (vname v)
+  Trace.record_compute_at (builder t) ~block:name ~loop:v
 
 let reverse_compute_at t name v =
   Compute_location.reverse_compute_at t name v;
-  log t "reverse_compute_at(%S, %s)" name (vname v)
+  Trace.record_reverse_compute_at (builder t) ~block:name ~loop:v
 
 let compute_inline t name =
   Inline.compute_inline t name;
-  log t "compute_inline(%S)" name
+  Trace.record_compute_inline (builder t) ~block:name
 
 let reverse_compute_inline t name =
   Inline.reverse_compute_inline t name;
-  log t "reverse_compute_inline(%S)" name
+  Trace.record_reverse_compute_inline (builder t) ~block:name
 
 (* Block hierarchy *)
 let cache_read t name buf scope =
   let r = Cache.cache_read t name buf scope in
-  log t "cache_read(%S, %s, %S) -> %S" name buf.Tir_ir.Buffer.name scope r;
+  Trace.record_cache_read (builder t) ~block:name ~buffer:buf.Tir_ir.Buffer.name
+    ~scope ~out:r;
   r
 
 let cache_write t name buf scope =
   let r = Cache.cache_write t name buf scope in
-  log t "cache_write(%S, %s, %S) -> %S" name buf.Tir_ir.Buffer.name scope r;
+  Trace.record_cache_write (builder t) ~block:name ~buffer:buf.Tir_ir.Buffer.name
+    ~scope ~out:r;
   r
 
 let set_scope t buf scope =
   let r = Cache.set_scope t buf scope in
-  log t "set_scope(%s, %S)" buf.Tir_ir.Buffer.name scope;
+  Trace.record_set_scope (builder t) ~buffer:buf.Tir_ir.Buffer.name ~scope;
   r
 
 let blockize t v =
   let r = Blockize.blockize t v in
-  log t "blockize(%s) -> %S" (vname v) r;
+  Trace.record_blockize (builder t) ~loop:v ~out:r;
   r
 
 let tensorize t v intrin =
   let r = Tensorize.tensorize t v intrin in
-  log t "tensorize(%s, %S) -> %S" (vname v) intrin r;
+  Trace.record_tensorize (builder t) ~loop:v ~intrin ~out:r;
   r
 
 let tensorize_block t name intrin =
   Tensorize.tensorize_block t name intrin;
-  log t "tensorize_block(%S, %S)" name intrin
+  Trace.record_tensorize_block (builder t) ~block:name ~intrin
 
 let decompose_reduction t name v =
   let r = Reduction.decompose_reduction t name v in
-  log t "decompose_reduction(%S, %s) -> %S" name (vname v) r;
+  Trace.record_decompose_reduction (builder t) ~block:name ~loop:v ~out:r;
   r
 
 let merge_reduction t init update =
   Reduction.merge_reduction t init update;
-  log t "merge_reduction(%S, %S)" init update
+  Trace.record_merge_reduction (builder t) ~init ~update
 
 let rfactor t name v =
   let r = Reduction.rfactor t name v in
-  log t "rfactor(%S, %s) -> %S" name (vname v) r;
+  Trace.record_rfactor (builder t) ~block:name ~loop:v ~out:r;
   r
+
+(* Decisions *)
+
+(** Record a tuning-knob decision on the trace. Sketches call this for the
+    full knob vector before scheduling, so a serialized trace carries the
+    complete decision assignment it was generated from. *)
+let record_decision t knob choice = Trace.record_decide (builder t) ~knob ~choice
 
 (* Validation *)
 let validate t = Validate.check_func (func t)
@@ -122,3 +141,88 @@ let validate_exn t = Validate.check_exn (func t)
 let is_valid t = Validate.is_valid (func t)
 
 let pp = pp_schedule
+
+(* Replay *)
+
+(** Re-apply a trace to a fresh function, re-binding loop and block RVs as
+    each instruction defines them. Raises [Schedule_error] on an unbound RV,
+    an arity mismatch, or any primitive failure — the trace is re-validated
+    by construction since it goes through the same primitives. The rebuilt
+    schedule records the same trace: [instructions (replay tr f) = tr]. *)
+let replay (tr : Trace.t) (f : Tir_ir.Primfunc.t) : t =
+  let t = create f in
+  let loops : (Trace.loop_rv, Tir_ir.Var.t) Hashtbl.t = Hashtbl.create 64 in
+  let blocks : (Trace.block_rv, string) Hashtbl.t = Hashtbl.create 16 in
+  let loop rv =
+    match Hashtbl.find_opt loops rv with
+    | Some v -> v
+    | None -> err "replay: unbound loop RV l%d" rv
+  in
+  let bind_loop rv v = Hashtbl.replace loops rv v in
+  let bind_loops ctx rvs vs =
+    if List.length rvs <> List.length vs then
+      err "replay: %s binds %d loops, instruction expects %d" ctx (List.length vs)
+        (List.length rvs);
+    List.iter2 bind_loop rvs vs
+  in
+  let block = function
+    | Trace.Bname n -> n
+    | Trace.Brv rv -> (
+        match Hashtbl.find_opt blocks rv with
+        | Some n -> n
+        | None -> err "replay: unbound block RV b%d" rv)
+  in
+  let bind_block rv n = Hashtbl.replace blocks rv n in
+  let buffer name =
+    match
+      List.find_opt
+        (fun b -> String.equal b.Tir_ir.Buffer.name name)
+        (Tir_ir.Primfunc.all_buffers (func t))
+    with
+    | Some b -> b
+    | None -> err "replay: buffer %S not found" name
+  in
+  List.iter
+    (fun (i : Trace.instr) ->
+      match i with
+      | Trace.Get_loops { block = b; outs } ->
+          bind_loops "get_loops" outs (get_loops t (block b))
+      | Trace.Split { loop = l; factors; outs } ->
+          bind_loops "split" outs (split t (loop l) ~factors)
+      | Trace.Fuse { a; b; out } -> bind_loop out (fuse t (loop a) (loop b))
+      | Trace.Fuse_many { loops = ls; out } ->
+          bind_loop out (fuse_many t (List.map loop ls))
+      | Trace.Reorder { loops = ls } -> reorder t (List.map loop ls)
+      | Trace.Bind { loop = l; thread } -> bind t (loop l) thread
+      | Trace.Parallel { loop = l } -> parallel t (loop l)
+      | Trace.Vectorize { loop = l } -> vectorize t (loop l)
+      | Trace.Unroll { loop = l } -> unroll t (loop l)
+      | Trace.Annotate { loop = l; key; value } -> annotate t (loop l) key value
+      | Trace.Annotate_block { block = b; key; value } ->
+          annotate_block t (block b) key value
+      | Trace.Compute_at { block = b; loop = l } -> compute_at t (block b) (loop l)
+      | Trace.Reverse_compute_at { block = b; loop = l } ->
+          reverse_compute_at t (block b) (loop l)
+      | Trace.Compute_inline { block = b } -> compute_inline t (block b)
+      | Trace.Reverse_compute_inline { block = b } ->
+          reverse_compute_inline t (block b)
+      | Trace.Cache_read { block = b; buffer = bufname; scope; out } ->
+          bind_block out (cache_read t (block b) (buffer bufname) scope)
+      | Trace.Cache_write { block = b; buffer = bufname; scope; out } ->
+          bind_block out (cache_write t (block b) (buffer bufname) scope)
+      | Trace.Set_scope { buffer = bufname; scope } ->
+          ignore (set_scope t (buffer bufname) scope)
+      | Trace.Blockize { loop = l; out } -> bind_block out (blockize t (loop l))
+      | Trace.Tensorize { loop = l; intrin; out } ->
+          bind_block out (tensorize t (loop l) intrin)
+      | Trace.Tensorize_block { block = b; intrin } ->
+          tensorize_block t (block b) intrin
+      | Trace.Decompose_reduction { block = b; loop = l; out } ->
+          bind_block out (decompose_reduction t (block b) (loop l))
+      | Trace.Merge_reduction { init; update } ->
+          merge_reduction t (block init) (block update)
+      | Trace.Rfactor { block = b; loop = l; out } ->
+          bind_block out (rfactor t (block b) (loop l))
+      | Trace.Decide { knob; choice } -> record_decision t knob choice)
+    tr;
+  t

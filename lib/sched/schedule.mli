@@ -20,11 +20,25 @@ val create : Primfunc.t -> t
 val func : t -> Primfunc.t
 val copy : t -> t
 
-(** Applied primitives, oldest first (a reproducible schedule script). *)
+(** Applied primitives as a typed trace, oldest first. Serializable via
+    {!Trace.to_string} and replayable via {!replay}. *)
+val instructions : t -> Trace.t
+
+(** [instructions] rendered as script lines, oldest first. *)
 val trace : t -> string list
 
 val pp_trace : Format.formatter -> t -> unit
 val pp : Format.formatter -> t -> unit
+
+(** Append a tuning-knob decision ([Trace.Decide]) to the trace, so a
+    serialized trace carries the decision vector it was generated from. *)
+val record_decision : t -> string -> int -> unit
+
+(** Re-apply a trace to a fresh function, re-binding loop/block RVs as each
+    instruction defines them and re-validating each primitive. Raises
+    [Schedule_error] on an unbound RV, an arity mismatch, or any primitive
+    failure. [instructions (replay tr f) = tr]. *)
+val replay : Trace.t -> Primfunc.t -> t
 
 (** {2 Lookup} *)
 

@@ -3,7 +3,12 @@
     A schedule wraps a PrimFunc; every primitive is a pure transformation
     applied by replacing [func]. Loops are referenced by their loop
     variables (globally unique), blocks by their (unique) names — both act
-    as the "random variables" of TVM's schedule API. *)
+    as the "random variables" of TVM's schedule API.
+
+    The state carries a {!Trace.builder}: the facade ([Schedule]) appends
+    one typed instruction per applied primitive, so the application history
+    is first-class data — serializable, replayable, mutable — rather than a
+    write-only string log. *)
 
 open Tir_ir
 
@@ -14,26 +19,26 @@ let err fmt = Fmt.kstr (fun s -> raise (Schedule_error s)) fmt
 type t = {
   mutable func : Primfunc.t;
   mutable name_counter : int;
-  mutable trace : string list;  (** applied primitives, newest first *)
+  tr : Trace.builder;  (** applied primitives, typed *)
 }
 
-let create func = { func; name_counter = 0; trace = [] }
+let create func = { func; name_counter = 0; tr = Trace.builder () }
 
 let func t = t.func
 
-let copy t = { func = t.func; name_counter = t.name_counter; trace = t.trace }
+let copy t = { func = t.func; name_counter = t.name_counter; tr = Trace.clone t.tr }
 
-(** Record one applied primitive (the schedule "script" of this state). *)
-let log t fmt = Fmt.kstr (fun s -> t.trace <- s :: t.trace) fmt
+let builder t = t.tr
 
-(** Applied primitives, oldest first. *)
-let trace t = List.rev t.trace
+(** Applied primitives as a typed trace, oldest first. *)
+let instructions t = Trace.instrs t.tr
+
+(** Applied primitives rendered as script lines, oldest first. *)
+let trace t = List.map Trace.instr_to_string (instructions t)
 
 let pp_trace ppf t =
-  Fmt.pf ppf "@[<v># schedule trace (%d primitives)@,%a@]"
-    (List.length t.trace)
-    Fmt.(list ~sep:cut string)
-    (trace t)
+  Fmt.pf ppf "@[<v># schedule trace (%d primitives)@,%a@]" (Trace.length t.tr)
+    Trace.pp (instructions t)
 
 (** A fresh block/buffer name unique within this schedule. *)
 let fresh_name t base =

@@ -1,0 +1,12 @@
+(** Tensorize: replace a block's computation with a registered tensor
+    intrinsic after structurally matching its description (paper §4.1). *)
+
+open Tir_ir
+
+(** Match the named block against the intrinsic's description and splice in
+    its implementation. *)
+val tensorize_block : State.t -> string -> string -> unit
+
+(** Blockize the subtree under the loop, then tensorize the new block;
+    returns the tensorized block's name. *)
+val tensorize : State.t -> Var.t -> string -> string

@@ -1,0 +1,138 @@
+(** First-class schedule traces (paper §3.2, §4.4).
+
+    A trace is the typed application history of a schedule: one instruction
+    per primitive, with symbolic random variables as operands. Loop RVs
+    ([l<n>]) and derived-block RVs ([b<n>]) are defined by the instruction
+    that produced them; original blocks and buffers are named literals.
+    Because operands are symbolic, a trace is independent of the concrete
+    per-process loop-variable identities of the program it was recorded
+    against — it can be serialized, stored in the tuning database, mutated
+    by the evolutionary search, and replayed on a fresh function
+    ([Schedule.replay]).
+
+    The text form is line-oriented and human-inspectable:
+    {v
+    l0, l1, l2 = get_loops(%"C")
+    l3, l4 = split(l0, [4, 8])
+    b0 = cache_read(%"C", @"A", "shared")
+    decide("tile_x", 3)
+    v}
+    Blank lines and [#] comments are ignored on parse; [to_string] and
+    [of_string] round-trip. *)
+
+(** {2 Instructions} *)
+
+type loop_rv = int
+type block_rv = int
+
+(** Original blocks are addressed by their (stable) name; blocks created by
+    an earlier instruction by that instruction's output RV. *)
+type block_ref = Bname of string | Brv of block_rv
+
+type instr =
+  | Get_loops of { block : block_ref; outs : loop_rv list }
+  | Split of { loop : loop_rv; factors : int list; outs : loop_rv list }
+  | Fuse of { a : loop_rv; b : loop_rv; out : loop_rv }
+  | Fuse_many of { loops : loop_rv list; out : loop_rv }
+  | Reorder of { loops : loop_rv list }
+  | Bind of { loop : loop_rv; thread : string }
+  | Parallel of { loop : loop_rv }
+  | Vectorize of { loop : loop_rv }
+  | Unroll of { loop : loop_rv }
+  | Annotate of { loop : loop_rv; key : string; value : string }
+  | Annotate_block of { block : block_ref; key : string; value : string }
+  | Compute_at of { block : block_ref; loop : loop_rv }
+  | Reverse_compute_at of { block : block_ref; loop : loop_rv }
+  | Compute_inline of { block : block_ref }
+  | Reverse_compute_inline of { block : block_ref }
+  | Cache_read of { block : block_ref; buffer : string; scope : string; out : block_rv }
+  | Cache_write of { block : block_ref; buffer : string; scope : string; out : block_rv }
+  | Set_scope of { buffer : string; scope : string }
+  | Blockize of { loop : loop_rv; out : block_rv }
+  | Tensorize of { loop : loop_rv; intrin : string; out : block_rv }
+  | Tensorize_block of { block : block_ref; intrin : string }
+  | Decompose_reduction of { block : block_ref; loop : loop_rv; out : block_rv }
+  | Merge_reduction of { init : block_ref; update : block_ref }
+  | Rfactor of { block : block_ref; loop : loop_rv; out : block_rv }
+  | Decide of { knob : string; choice : int }
+      (** Not a transformation: records the value chosen for a tuning knob,
+          making the trace self-contained for database replay. *)
+
+type t = instr list
+(** Oldest first. *)
+
+val equal : t -> t -> bool
+
+(** {2 Serialization} *)
+
+exception Parse_error of string
+
+val instr_to_string : instr -> string
+val pp_instr : Format.formatter -> instr -> unit
+val pp : Format.formatter -> t -> unit
+
+(** One instruction per line. *)
+val to_string : t -> string
+
+(** Inverse of [to_string]; skips blank lines and [#] comments. Raises
+    {!Parse_error} on malformed input. *)
+val of_string : string -> t
+
+(** Parse one line; [None] for a blank line or [#] comment. *)
+val instr_of_string : string -> instr option
+
+(** The knob decisions recorded in the trace, oldest first; a knob decided
+    more than once keeps its first value. *)
+val decisions : t -> (string * int) list
+
+(** {2 Recording}
+
+    A [builder] is the mutable recording state carried by a schedule. The
+    [record_*] functions intern concrete loop variables and block names
+    into RVs: outputs always define fresh RVs; a loop input that no traced
+    instruction produced is assigned a fresh, never-defined RV (recording
+    never fails — replay reports the unbound RV if the trace is genuinely
+    incomplete); a block input is a [Brv] if a traced instruction created
+    the block and a [Bname] literal otherwise. *)
+
+type builder
+
+val builder : unit -> builder
+
+(** Independent copy (shares nothing mutable) — used by [Schedule.copy]. *)
+val clone : builder -> builder
+
+(** Recorded instructions, oldest first. *)
+val instrs : builder -> t
+
+val length : builder -> int
+
+val record_get_loops : builder -> block:string -> outs:Tir_ir.Var.t list -> unit
+val record_split :
+  builder -> loop:Tir_ir.Var.t -> factors:int list -> outs:Tir_ir.Var.t list -> unit
+val record_fuse : builder -> a:Tir_ir.Var.t -> b:Tir_ir.Var.t -> out:Tir_ir.Var.t -> unit
+val record_fuse_many : builder -> loops:Tir_ir.Var.t list -> out:Tir_ir.Var.t -> unit
+val record_reorder : builder -> loops:Tir_ir.Var.t list -> unit
+val record_bind : builder -> loop:Tir_ir.Var.t -> thread:string -> unit
+val record_parallel : builder -> loop:Tir_ir.Var.t -> unit
+val record_vectorize : builder -> loop:Tir_ir.Var.t -> unit
+val record_unroll : builder -> loop:Tir_ir.Var.t -> unit
+val record_annotate : builder -> loop:Tir_ir.Var.t -> key:string -> value:string -> unit
+val record_annotate_block : builder -> block:string -> key:string -> value:string -> unit
+val record_compute_at : builder -> block:string -> loop:Tir_ir.Var.t -> unit
+val record_reverse_compute_at : builder -> block:string -> loop:Tir_ir.Var.t -> unit
+val record_compute_inline : builder -> block:string -> unit
+val record_reverse_compute_inline : builder -> block:string -> unit
+val record_cache_read :
+  builder -> block:string -> buffer:string -> scope:string -> out:string -> unit
+val record_cache_write :
+  builder -> block:string -> buffer:string -> scope:string -> out:string -> unit
+val record_set_scope : builder -> buffer:string -> scope:string -> unit
+val record_blockize : builder -> loop:Tir_ir.Var.t -> out:string -> unit
+val record_tensorize : builder -> loop:Tir_ir.Var.t -> intrin:string -> out:string -> unit
+val record_tensorize_block : builder -> block:string -> intrin:string -> unit
+val record_decompose_reduction :
+  builder -> block:string -> loop:Tir_ir.Var.t -> out:string -> unit
+val record_merge_reduction : builder -> init:string -> update:string -> unit
+val record_rfactor : builder -> block:string -> loop:Tir_ir.Var.t -> out:string -> unit
+val record_decide : builder -> knob:string -> choice:int -> unit

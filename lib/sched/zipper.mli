@@ -1,0 +1,46 @@
+(** Path-based navigation and rewriting of statement trees.
+
+    Schedule primitives are pure IR-to-IR transformations (paper §3.2); the
+    zipper locates a loop or block, exposes its enclosing context as a list
+    of frames (innermost first), and rebuilds the tree around a replacement
+    subtree. Frames are public: primitives pattern-match on them to walk or
+    edit the context. *)
+
+open Tir_ir
+
+type frame =
+  | F_for of {
+      loop_var : Var.t;
+      extent : int;
+      kind : Stmt.for_kind;
+      annotations : (string * string) list;
+    }
+  | F_seq of Stmt.t list * Stmt.t list  (** reversed prefix, suffix *)
+  | F_if_then of Expr.t * Stmt.t option
+  | F_if_else of Expr.t * Stmt.t
+  | F_block_body of Stmt.block_realize  (** body position of this realize *)
+  | F_block_init of Stmt.block_realize  (** init position of this realize *)
+
+type path = frame list
+(** Innermost frame first. *)
+
+(** Rebuild the full tree from a path and the subtree at its focus. *)
+val rebuild : path -> Stmt.t -> Stmt.t
+
+(** Find the first (pre-order) subtree satisfying the predicate. Returns
+    the path (innermost frame first) and the subtree. *)
+val find : (Stmt.t -> bool) -> Stmt.t -> (path * Stmt.t) option
+
+val find_loop : Stmt.t -> Var.t -> (path * Stmt.t) option
+val find_block_realize : Stmt.t -> string -> (path * Stmt.t) option
+
+(** Loop frames along the path, ordered outermost first. *)
+val loops_of_path : path -> (Var.t * int * Stmt.for_kind) list
+
+(** Variable ranges in scope at the focus: enclosing loop variables and
+    enclosing block iterator variables. *)
+val ranges_of_path : path -> Bound.interval Var.Map.t
+
+(** The innermost enclosing block realize on the path, with the frames
+    inside it (between the block body and the focus) and those outside. *)
+val enclosing_block : path -> (Stmt.block_realize * path * path) option

@@ -193,8 +193,9 @@ let test_sketch_random_semantics () =
     let d = Sp.random_decisions rng sk.Sk.knobs in
     match sk.Sk.apply d with
     | exception Tir_sched.State.Schedule_error _ -> ()
-    | f ->
+    | sch ->
         incr checked;
+        let f = Tir_sched.Schedule.func sch in
         Util.check_valid "sampled cpu schedule" f;
         Util.check_same_semantics "sampled cpu schedule" w.W.func f
   done;
@@ -263,7 +264,7 @@ let test_tensorized_feature_flag () =
       let d = Sp.random_decisions rng sk.Sk.knobs in
       match sk.Sk.apply d with
       | exception Tir_sched.State.Schedule_error _ -> first_valid (n - 1)
-      | f -> f
+      | sch -> Tir_sched.Schedule.func sch
   in
   let f = first_valid 50 in
   let feats = Tir_autosched.Features.extract gpu f in

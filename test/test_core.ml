@@ -14,6 +14,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("zipper", Test_zipper.suite);
       ("sched", Test_sched.suite);
+      ("trace", Test_trace.suite);
       ("sched-errors", Test_sched_errors.suite);
       ("candidate", Test_candidate.suite);
       ("validate", Test_validate.suite);

@@ -205,7 +205,14 @@ let test_tune_determinism () =
       Alcotest.(check string)
         "identical winning decisions"
         (Tir_autosched.Space.key_of b1.Tir_autosched.Evolutionary.decisions)
-        (Tir_autosched.Space.key_of b4.Tir_autosched.Evolutionary.decisions)
+        (Tir_autosched.Space.key_of b4.Tir_autosched.Evolutionary.decisions);
+      (* The full instruction trace — not just its decision summary — must
+         be bit-identical across job counts, or database records would
+         depend on the machine that produced them. *)
+      Alcotest.(check string)
+        "identical winning trace"
+        (Tir_sched.Trace.to_string b1.Tir_autosched.Evolutionary.trace)
+        (Tir_sched.Trace.to_string b4.Tir_autosched.Evolutionary.trace)
   | _ -> Alcotest.fail "tuning found no schedule");
   (* A re-run with a warm cache must still report the same numbers. *)
   let r4' = Tune.tune ~seed:7 ~trials:24 ~jobs:4 target w in
