@@ -14,9 +14,11 @@ bench: build
 	dune exec bench/main.exe
 
 # Fast smoke run: truncated workload set and trial budgets, plus --check,
-# which exits non-zero if any reported latency is non-finite or <= 0.
+# which exits non-zero if any reported latency is non-finite or <= 0; the
+# emitted BENCH_results.json is then validated against schema 3.
 bench-smoke: build
 	BENCH_FAST=1 dune exec bench/main.exe -- --check
+	dune exec tools/validate_bench.exe BENCH_results.json
 
 # The full pre-merge gate: build, unit + property tests, bench smoke run.
 check: build

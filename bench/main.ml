@@ -8,8 +8,11 @@
      ... -- --check                           exit 1 on non-finite results
 
    Every section also records its numbers into BENCH_results.json
-   (per-section latency/GFLOPs rows, per-section wall-clock, cache
-   hit-rate) so the perf trajectory is machine-trackable across PRs.
+   (schema 3: per-section latency/GFLOPs rows, per-section wall-clock, and
+   a dump of the process-wide metrics registry — memo hit rate, database
+   replay rate, simulator data-movement counters) so the perf trajectory is
+   machine-trackable across PRs. [tools/validate_bench.exe] checks the
+   emitted file against the schema in the bench-smoke gate.
 
    Sections:
      [fig8]     auto-tensorization mechanism walk-through
@@ -28,6 +31,8 @@ module B = Tir_baselines.Baselines
 module C = Tir_graph.Compile
 module M = Tir_graph.Models
 module Target = Tir_sim.Target
+module Clock = Tir_obs.Clock
+module Metrics = Tir_obs.Metrics
 
 let () = Tir_intrin.Library.register_all ()
 
@@ -68,26 +73,59 @@ let json_escape s =
 let json_float v =
   if Float.is_finite v then Printf.sprintf "%.6f" v else "null"
 
+(* Schema 3: all stat plumbing comes from the metrics registry — the bench
+   derives headline rates (memo hit rate, db replay rate, data movement)
+   from the same snapshot it dumps under "metrics", and keeps no private
+   counters of its own. *)
 let emit_json ~total_wall_s path =
-  let cache = Tir_autosched.Cost_model.cache_stats () in
-  let hit_rate =
-    let h = float_of_int cache.Tir_autosched.Cost_model.hits in
-    let m = float_of_int cache.Tir_autosched.Cost_model.misses in
-    if h +. m = 0.0 then 0.0 else h /. (h +. m)
+  let snap = Metrics.snapshot () in
+  let counter name = Option.value ~default:0 (Metrics.find_counter snap name) in
+  let rate num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den in
+  let memo_hits = counter "memo.eval.hits" + counter "memo.measure.hits" in
+  let memo_misses = counter "memo.eval.misses" + counter "memo.measure.misses" in
+  let memo_waits =
+    counter "memo.eval.pending_waits" + counter "memo.measure.pending_waits"
   in
+  let db_found = counter "db.found" in
+  let db_ok = counter "db.replayed" in
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": 2,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
+  Printf.fprintf oc "{\n  \"schema\": 3,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
   Printf.fprintf oc "  \"total_wall_s\": %s,\n" (json_float total_wall_s);
-  Printf.fprintf oc "  \"cache\": {\"hits\": %d, \"misses\": %d, \"entries\": %d, \"hit_rate\": %s},\n"
-    cache.Tir_autosched.Cost_model.hits cache.Tir_autosched.Cost_model.misses
-    cache.Tir_autosched.Cost_model.entries (json_float hit_rate);
-  let db_found, db_ok = Tir_autosched.Database.replay_counters () in
   Printf.fprintf oc
-    "  \"db_replay\": {\"records_found\": %d, \"trace_replayed\": %d, \"hit_rate\": %s},\n"
-    db_found db_ok
-    (json_float
-       (if db_found = 0 then 0.0 else float_of_int db_ok /. float_of_int db_found));
-  Printf.fprintf oc "  \"sections\": [";
+    "  \"memo\": {\"hits\": %d, \"misses\": %d, \"pending_waits\": %d, \"hit_rate\": %s},\n"
+    memo_hits memo_misses memo_waits
+    (json_float (rate memo_hits (memo_hits + memo_misses)));
+  Printf.fprintf oc
+    "  \"db_replay\": {\"records_found\": %d, \"trace_replayed\": %d, \"committed\": %d, \"hit_rate\": %s},\n"
+    db_found db_ok (counter "db.committed")
+    (json_float (rate db_ok db_found));
+  Printf.fprintf oc
+    "  \"data_movement_bytes\": {\"global\": %d, \"shared\": %d, \"local\": %d},\n"
+    (counter "sim.bytes.global") (counter "sim.bytes.shared")
+    (counter "sim.bytes.local");
+  Printf.fprintf oc "  \"metrics\": {\n    \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "%s\"%s\": %d" (if i = 0 then "" else ", ") (json_escape name) v)
+    snap.Metrics.counters;
+  Printf.fprintf oc "},\n    \"gauges\": {";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "%s\"%s\": %s" (if i = 0 then "" else ", ") (json_escape name)
+        (json_float v))
+    snap.Metrics.gauges;
+  Printf.fprintf oc "},\n    \"histograms\": {";
+  List.iteri
+    (fun i (name, (h : Metrics.hist_snapshot)) ->
+      Printf.fprintf oc "%s\"%s\": {\"total\": %d, \"counts\": ["
+        (if i = 0 then "" else ", ")
+        (json_escape name) h.Metrics.total;
+      Array.iteri
+        (fun j c -> Printf.fprintf oc "%s%d" (if j = 0 then "" else ", ") c)
+        h.Metrics.counts;
+      Printf.fprintf oc "]}")
+    snap.Metrics.histograms;
+  Printf.fprintf oc "}\n  },\n  \"sections\": [";
   List.iteri
     (fun i (name, wall) ->
       Printf.fprintf oc "%s\n    {\"name\": \"%s\", \"wall_s\": %s}"
@@ -485,9 +523,16 @@ let db_bench () =
   DB.save db path;
   let db' = DB.load path in
   Sys.remove path;
-  DB.reset_replay_counters ();
+  (* Replay rate of the warm runs alone: diff the registry's cumulative
+     [db.*] counters around them instead of keeping bench-local counters. *)
+  let before = Metrics.snapshot () in
   List.iter (fun w -> ignore (Tune.tune ~trials:(trials 24) ~database:db' gpu w)) workloads;
-  let found, ok = DB.replay_counters () in
+  let after = Metrics.snapshot () in
+  let delta name =
+    Option.value ~default:0 (Metrics.find_counter after name)
+    - Option.value ~default:0 (Metrics.find_counter before name)
+  in
+  let found = delta "db.found" and ok = delta "db.replayed" in
   Fmt.pr "records found: %d, replayed from trace alone: %d@." found ok;
   record "db" "records_found" (float_of_int found) "count";
   record "db" "trace_replayed" (float_of_int ok) "count";
@@ -497,26 +542,26 @@ let db_bench () =
 
 let cache_summary () =
   section "cache" "measurement memoization (duplicate proposals never re-simulate)";
-  let c = Tir_autosched.Cost_model.cache_stats () in
-  let probes = c.Tir_autosched.Cost_model.hits + c.Tir_autosched.Cost_model.misses in
-  let rate =
-    if probes = 0 then 0.0
-    else 100.0 *. float_of_int c.Tir_autosched.Cost_model.hits /. float_of_int probes
-  in
-  Fmt.pr "cache probes: %d, hits: %d (%.1f%%), entries: %d@." probes
-    c.Tir_autosched.Cost_model.hits rate c.Tir_autosched.Cost_model.entries;
+  let snap = Metrics.snapshot () in
+  let counter name = Option.value ~default:0 (Metrics.find_counter snap name) in
+  let hits = counter "memo.eval.hits" + counter "memo.measure.hits" in
+  let probes = hits + counter "memo.eval.misses" + counter "memo.measure.misses" in
+  let rate = if probes = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int probes in
+  Fmt.pr "cache probes: %d, hits: %d (%.1f%%)@." probes hits rate;
   record "cache" "hit_rate_pct" rate "pct";
-  record "cache" "hits" (float_of_int c.Tir_autosched.Cost_model.hits) "count"
+  record "cache" "hits" (float_of_int hits) "count"
 
 let () =
-  let t0 = Unix.gettimeofday () in
+  (* Monotone clock (never runs backwards under wall-clock adjustment), so
+     section walls and the total are always non-negative. *)
+  let t0 = Clock.now_s () in
   Fmt.pr "bench: jobs=%d%s%s@." jobs
     (if fast then " (BENCH_FAST)" else "")
     (if check then " (--check)" else "");
   let timed name f =
-    let s0 = Unix.gettimeofday () in
+    let s0 = Clock.now_s () in
     f ();
-    section_walls := (name, Unix.gettimeofday () -. s0) :: !section_walls
+    section_walls := (name, Clock.now_s () -. s0) :: !section_walls
   in
   timed "fig8" fig8;
   timed "fig10" fig10;
@@ -529,7 +574,7 @@ let () =
   timed "micro" micro;
   timed "db" db_bench;
   cache_summary ();
-  let total = Unix.gettimeofday () -. t0 in
+  let total = Clock.now_s () -. t0 in
   emit_json ~total_wall_s:total "BENCH_results.json";
   Fmt.pr "@.results written to BENCH_results.json@.";
   Fmt.pr "total bench wall time: %.1f s@." total;

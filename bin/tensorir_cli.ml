@@ -4,7 +4,9 @@
      tensorir candidates <workload>       show tensorization candidates
      tensorir tune <workload> [opts]      auto-schedule and report
      tensorir model <name> [opts]         end-to-end model compilation report
-     tensorir intrinsics                  list registered tensor intrinsics *)
+     tensorir intrinsics                  list registered tensor intrinsics
+     tensorir report <journal>            render a tuning journal (spans,
+                                          metrics, search summary) *)
 
 open Cmdliner
 module W = Tir_workloads.Workloads
@@ -81,13 +83,21 @@ let candidates_cmd =
 (* --- tune --- *)
 
 let tune_cmd =
-  let run tag target trials seed print_best db_path =
+  let run tag target trials seed print_best db_path journal_path =
     let t, w = workload_for target tag in
     let database = Option.map Tir_autosched.Database.load db_path in
-    let r = Tune.tune ~seed ~trials ?database t w in
+    let journal = Option.map Tir_obs.Journal.open_file journal_path in
+    let r =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Tir_obs.Journal.close journal)
+        (fun () -> Tune.tune ~seed ~trials ?database ?journal t w)
+    in
     Option.iter
       (fun db -> Tir_autosched.Database.save db (Option.get db_path))
       database;
+    Option.iter
+      (fun p -> Fmt.pr "journal written to %s (render with `tensorir report %s`)@." p p)
+      journal_path;
     Fmt.pr "workload: %s on %s@." w.W.name t.Tir_sim.Target.name;
     Fmt.pr "best latency: %.2f us (%.0f GFLOPS)@." (Tune.latency_us r) (Tune.gflops r);
     Fmt.pr "search: %d trials, %d proposed, %d invalid, %d inapplicable@."
@@ -110,9 +120,18 @@ let tune_cmd =
     let doc = "Tuning-record database file: replay stored schedules, save new ones." in
     Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
   in
+  let journal_arg =
+    let doc =
+      "Write the run's search journal (JSONL events: generations, \
+       predicted-vs-measured pairs, spans, metrics) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "tune" ~doc:"Auto-schedule a workload with the tensorization-aware tuner")
-    Term.(const run $ workload_arg $ target_arg $ trials_arg $ seed_arg $ print_best $ db_arg)
+    Term.(
+      const run $ workload_arg $ target_arg $ trials_arg $ seed_arg $ print_best
+      $ db_arg $ journal_arg)
 
 (* --- model --- *)
 
@@ -184,6 +203,110 @@ let parse_cmd =
     (Cmd.info "parse" ~doc:"Parse and validate a TensorIR script file")
     Term.(const run $ path)
 
+(* --- report --- *)
+
+let report_cmd =
+  let module J = Tir_obs.Journal in
+  let run path =
+    let events =
+      match J.load path with
+      | events -> events
+      | exception J.Parse_error m ->
+          Fmt.epr "journal parse error: %s@." m;
+          exit 1
+    in
+    (* runs *)
+    List.iter
+      (function
+        | J.Run_start { workload; target; seed; trials; jobs } ->
+            Fmt.pr "run: %s on %s  (seed %d, %d trials, %d jobs)@." workload
+              target seed trials jobs
+        | _ -> ())
+      events;
+    (* spans, flame-ordered as written, indented by nesting depth *)
+    let spans =
+      List.filter_map
+        (function
+          | J.Span { name; depth; start_us = _; dur_us } -> Some (name, depth, dur_us)
+          | _ -> None)
+        events
+    in
+    if spans <> [] then begin
+      Fmt.pr "@.spans:@.";
+      List.iter
+        (fun (name, depth, dur_us) ->
+          Fmt.pr "  %s%-*s %12.1f us@."
+            (String.make (2 * depth) ' ')
+            (28 - (2 * depth)) name dur_us)
+        spans
+    end;
+    (* per-generation curve *)
+    let gens =
+      List.filter_map
+        (function
+          | J.Generation { gen; measured; best_us; rank_corr; _ } ->
+              Some (gen, measured, best_us, rank_corr)
+          | _ -> None)
+        events
+    in
+    if gens <> [] then begin
+      Fmt.pr "@.%-5s %9s %14s %10s@." "gen" "measured" "best (us)" "rank-corr";
+      List.iter
+        (fun (gen, measured, best_us, rank_corr) ->
+          Fmt.pr "%-5d %9d %14.2f %10.2f@." gen measured best_us rank_corr)
+        gens
+    end;
+    (* metrics registry dump *)
+    let counters =
+      List.filter_map
+        (function J.Counter { name; value } -> Some (name, value) | _ -> None)
+        events
+    in
+    let gauges =
+      List.filter_map
+        (function J.Gauge { name; value } -> Some (name, value) | _ -> None)
+        events
+    in
+    if counters <> [] then begin
+      Fmt.pr "@.counters:@.";
+      List.iter (fun (name, v) -> Fmt.pr "  %-28s %12d@." name v) counters
+    end;
+    if gauges <> [] then begin
+      Fmt.pr "@.gauges:@.";
+      List.iter (fun (name, v) -> Fmt.pr "  %-28s %12.4f@." name v) gauges
+    end;
+    (* data movement per storage scope, from the registry dump *)
+    let scope_bytes scope =
+      match List.assoc_opt ("sim.bytes." ^ scope) counters with
+      | Some b -> b
+      | None -> 0
+    in
+    if counters <> [] then
+      Fmt.pr "@.data movement: global %d bytes, shared %d bytes, local %d bytes@."
+        (scope_bytes "global") (scope_bytes "shared") (scope_bytes "local");
+    (* journal totals *)
+    let s = J.summarize events in
+    Fmt.pr "@.summary: %d run(s), %d generation(s)@." s.J.runs s.J.generations;
+    Fmt.pr "  proposed %d (+%d deduped), invalid %d, inapplicable %d@."
+      s.J.proposed s.J.deduped s.J.invalid s.J.inapplicable;
+    Fmt.pr "  measured %d (memo hits %d), mutations %d, crossovers %d, accepted %d@."
+      s.J.measured s.J.memo_hits s.J.mutations s.J.crossovers s.J.accepted;
+    Fmt.pr "  best latency: %.2f us; best-so-far monotone: %b@." s.J.final_best_us
+      s.J.best_monotone;
+    Fmt.pr "  cost-model rank correlation (last generation): %.2f@."
+      s.J.last_rank_corr
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOURNAL" ~doc:"Journal file written by tune --journal.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a tuning journal: spans, metrics, and the search summary")
+    Term.(const run $ path)
+
 (* --- intrinsics --- *)
 
 let intrinsics_cmd =
@@ -207,4 +330,5 @@ let () =
       ~doc:"TensorIR: automatic tensorized program optimization (OCaml reproduction)"
   in
   exit (Cmd.eval (Cmd.group info
-       [ show_cmd; candidates_cmd; tune_cmd; model_cmd; parse_cmd; codegen_cmd; intrinsics_cmd ]))
+       [ show_cmd; candidates_cmd; tune_cmd; model_cmd; parse_cmd; codegen_cmd;
+         intrinsics_cmd; report_cmd ]))

@@ -101,8 +101,10 @@ type evaluation =
               results and into database records for sketch-free replay *)
     }
 
-let eval_cache : evaluation Memo.t = Memo.create ()
-let measure_cache : float option Memo.t = Memo.create ()
+(* Named tables feed the metrics registry: [memo.eval.*] and
+   [memo.measure.*] (hits / misses / pending waits). *)
+let eval_cache : evaluation Memo.t = Memo.create ~name:"eval" ()
+let measure_cache : float option Memo.t = Memo.create ~name:"measure" ()
 
 (** [cache_prefix target] — compute once per search, prepend to candidate
     keys ([sketch name ^ "|" ^ Space.key_of decisions]). The full decision

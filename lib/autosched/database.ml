@@ -39,6 +39,12 @@ type record = {
 
 type t = { mutable records : record list }
 
+(* Registry counters: replays attempted / replayed from trace alone /
+   fresh results committed. *)
+let m_found = Tir_obs.Metrics.counter "db.found"
+let m_replayed = Tir_obs.Metrics.counter "db.replayed"
+let m_committed = Tir_obs.Metrics.counter "db.committed"
+
 let create () = { records = [] }
 
 let find t ~target_name ~workload_name =
@@ -184,6 +190,7 @@ let load path =
 
 (** Record the best result of a tuning run. *)
 let commit t (target : Tir_sim.Target.t) (w : W.t) (best : Evolutionary.measured) =
+  Tir_obs.Metrics.incr m_committed;
   add t
     {
       target_name = target.Tir_sim.Target.name;
@@ -199,7 +206,11 @@ let commit t (target : Tir_sim.Target.t) (w : W.t) (best : Evolutionary.measured
 
 (* Trace-replay hit-rate counters for the bench JSON: how many records a
    replay was attempted for, and how many replayed from their trace alone
-   (the fallback sketch path does not count as a trace replay). *)
+   (the fallback sketch path does not count as a trace replay). The same
+   counts (plus commits) also flow into the metrics registry as
+   [db.found] / [db.replayed] / [db.committed]; [reset_replay_counters]
+   only clears the local pair ([Tir_obs.Metrics.reset] clears the registry
+   side). *)
 let replay_found = ref 0
 let replay_ok = ref 0
 let replay_counters () = (!replay_found, !replay_ok)
@@ -295,8 +306,10 @@ let replay_from_sketch (target : Tir_sim.Target.t) (sketches : Sketch.t list)
 let replay (target : Tir_sim.Target.t) ~(workload : W.t) ~(sketches : Sketch.t list)
     (r : record) : Evolutionary.measured option =
   incr replay_found;
+  Tir_obs.Metrics.incr m_found;
   match replay_from_trace target workload r with
   | Some m ->
       incr replay_ok;
+      Tir_obs.Metrics.incr m_replayed;
       Some m
   | None -> replay_from_sketch target sketches r

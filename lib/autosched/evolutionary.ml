@@ -23,10 +23,21 @@
 
     Together these make the search bit-identical at any job count:
     [TIR_JOBS=1] and [TIR_JOBS=n] return the same best program, the same
-    latencies, and the same trial statistics for a fixed seed. *)
+    latencies, and the same trial statistics for a fixed seed.
+
+    Observability: every generation updates the [search.*] counters in the
+    metrics registry and — when a [journal] sink is given — emits one
+    [Generation] event (candidates proposed / deduped / invalid /
+    inapplicable, memo hits, mutation-acceptance counters, best-so-far
+    latency, cost-model rank correlation) plus one [Pair] event per
+    measured candidate (predicted score vs measured latency). All of those
+    are computed in the sequential slot-order reduce, so they inherit the
+    bit-identical-at-any-job-count guarantee. *)
 
 open Tir_ir
 module Pool = Tir_parallel.Pool
+module Journal = Tir_obs.Journal
+module Metrics = Tir_obs.Metrics
 
 type measured = {
   sketch_name : string;
@@ -80,8 +91,53 @@ let measurement_runs = 50.0
 (* Real tuners cap the per-candidate measurement time (min-repeat logic). *)
 let measurement_cap_us = 150_000.0
 
+(* Where a proposal came from — drives the journal's mutation-acceptance
+   accounting. *)
+type origin = Seeded | Random | Mutation | Crossover
+
+(* Registry counters; process-wide totals across every search. *)
+let m_proposed = Metrics.counter "search.proposed"
+let m_deduped = Metrics.counter "search.deduped"
+let m_invalid = Metrics.counter "search.invalid"
+let m_inapplicable = Metrics.counter "search.inapplicable"
+let m_trials = Metrics.counter "search.trials"
+let m_generations = Metrics.counter "search.generations"
+let m_mutations = Metrics.counter "search.mutations"
+let m_crossovers = Metrics.counter "search.crossovers"
+let m_accepted = Metrics.counter "search.accepted"
+let m_rank_corr = Metrics.gauge "costmodel.rank_corr"
+
+(* Per-generation journal tallies, reset each round. *)
+type gen_tally = {
+  mutable g_proposed : int;
+  mutable g_deduped : int;
+  mutable g_invalid : int;
+  mutable g_inapplicable : int;
+  mutable g_memo_hits : int;
+  mutable g_measured : int;
+  mutable g_mutations : int;
+  mutable g_crossovers : int;
+  mutable g_accepted : int;
+  mutable g_pairs : (float * float) list;  (** (predicted score, latency) *)
+}
+
+let new_gen_tally () =
+  {
+    g_proposed = 0;
+    g_deduped = 0;
+    g_invalid = 0;
+    g_inapplicable = 0;
+    g_memo_hits = 0;
+    g_measured = 0;
+    g_mutations = 0;
+    g_crossovers = 0;
+    g_accepted = 0;
+    g_pairs = [];
+  }
+
 let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
-    ?(evolve = true) ?pool ~rng ~target ~trials (sketches : Sketch.t list) : result =
+    ?(evolve = true) ?pool ?journal ~rng ~target ~trials (sketches : Sketch.t list) :
+    result =
   let pool = match pool with Some p -> p | None -> Pool.global () in
   let stats = new_stats () in
   let model = Cost_model.create target in
@@ -89,6 +145,8 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
   let seen = Hashtbl.create 256 in
   let elites : measured list ref = ref [] in
   let best = ref None in
+  let gen = ref 0 in
+  let g = ref (new_gen_tally ()) in
   let consider (m : measured) =
     (match !best with
     | Some b when b.latency_us <= m.latency_us -> ()
@@ -107,7 +165,7 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
       (Pool.parallel_map pool
          (fun r ->
            let sk = Rng.choose r sketches in
-           (sk, Space.random_decisions r sk.Sketch.knobs))
+           (sk, Space.random_decisions r sk.Sketch.knobs, Random))
          rngs)
   in
   let evolved_specs n =
@@ -128,17 +186,16 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
                   trace's [Decide] records are the authoritative knob
                   assignment of the measured schedule. *)
                let pd = Tir_sched.Trace.decisions parent.trace in
-               let d =
-                 if Rng.bool r || List.length es < 2 then
-                   Space.mutate r sk.Sketch.knobs pd
-                 else
-                   let other = Rng.choose r es in
-                   if String.equal other.sketch_name parent.sketch_name then
+               if Rng.bool r || List.length es < 2 then
+                 (sk, Space.mutate r sk.Sketch.knobs pd, Mutation)
+               else
+                 let other = Rng.choose r es in
+                 if String.equal other.sketch_name parent.sketch_name then
+                   ( sk,
                      Space.crossover r sk.Sketch.knobs pd
-                       (Tir_sched.Trace.decisions other.trace)
-                   else Space.mutate r sk.Sketch.knobs pd
-               in
-               (sk, d))
+                       (Tir_sched.Trace.decisions other.trace),
+                     Crossover )
+                 else (sk, Space.mutate r sk.Sketch.knobs pd, Mutation))
              rngs)
   in
   (* Heuristic initial samples (Ansor-style): a few structured decision
@@ -152,7 +209,8 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
             ( sk,
               List.map
                 (fun (k : Space.knob) -> (k.Space.name, pickf k.Space.count))
-                sk.Sketch.knobs ))
+                sk.Sketch.knobs,
+              Seeded ))
           [
             (fun _ -> 0);
             (fun c -> c / 2);
@@ -167,52 +225,69 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
   let propose_all specs =
     let fresh =
       List.filter_map
-        (fun ((sk : Sketch.t), d) ->
+        (fun ((sk : Sketch.t), d, origin) ->
           let key = sk.Sketch.space_id ^ "|" ^ Space.key_of d in
-          if Hashtbl.mem seen key then None
+          if Hashtbl.mem seen key then begin
+            !g.g_deduped <- !g.g_deduped + 1;
+            None
+          end
           else begin
             Hashtbl.add seen key ();
             stats.proposed <- stats.proposed + 1;
-            Some (sk, d, key)
+            !g.g_proposed <- !g.g_proposed + 1;
+            (match origin with
+            | Mutation -> !g.g_mutations <- !g.g_mutations + 1
+            | Crossover -> !g.g_crossovers <- !g.g_crossovers + 1
+            | Seeded | Random -> ());
+            Some (sk, d, key, origin)
           end)
         specs
     in
     let evals =
       Pool.parallel_map_list pool
-        (fun ((sk : Sketch.t), d, key) ->
+        (fun ((sk : Sketch.t), d, key, _) ->
           Cost_model.evaluate_cached ~key:(key_prefix ^ key) ~target sk d)
         fresh
     in
     List.concat
       (List.map2
-         (fun (sk, d, key) (hit, ev) ->
+         (fun (sk, d, key, origin) (hit, ev) ->
            stats.cache_lookups <- stats.cache_lookups + 1;
-           if hit then stats.cache_hits <- stats.cache_hits + 1;
+           if hit then begin
+             stats.cache_hits <- stats.cache_hits + 1;
+             !g.g_memo_hits <- !g.g_memo_hits + 1
+           end;
            match ev with
            | Cost_model.Inapplicable ->
                stats.inapplicable <- stats.inapplicable + 1;
+               !g.g_inapplicable <- !g.g_inapplicable + 1;
                []
            | Cost_model.Invalid ->
                stats.invalid <- stats.invalid + 1;
+               !g.g_invalid <- !g.g_invalid + 1;
                []
            | Cost_model.Unsupported -> []
            | Cost_model.Evaluated { func; features; trace } ->
-               [ (sk, d, key, func, features, trace) ])
+               [ (sk, d, key, origin, func, features, trace) ])
          fresh evals)
   in
   (* Measure a ranked batch across the pool (memoized), then feed the cost
-     model and the elite set in rank order. *)
-  let measure_top cands =
+     model, the elite set, and the journal tallies in rank order. *)
+  let measure_top scored =
     let results =
       Pool.parallel_map_list pool
-        (fun (_, _, key, func, _, _) ->
+        (fun (_, (_, _, key, _, func, _, _)) ->
           Cost_model.measure_cached ~key:(key_prefix ^ key) ~target func)
-        cands
+        scored
     in
     List.iter2
-      (fun ((sk : Sketch.t), _, _, func, features, trace) (hit, latency) ->
+      (fun (score, ((sk : Sketch.t), _, _, origin, func, features, trace))
+           (hit, latency) ->
         stats.cache_lookups <- stats.cache_lookups + 1;
-        if hit then stats.cache_hits <- stats.cache_hits + 1;
+        if hit then begin
+          stats.cache_hits <- stats.cache_hits + 1;
+          !g.g_memo_hits <- !g.g_memo_hits + 1
+        end;
         match latency with
         | None -> ()
         | Some latency_us ->
@@ -221,8 +296,10 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
               stats.profiling_us
               +. Float.min measurement_cap_us (latency_us *. measurement_runs)
               +. measurement_overhead_us;
+            !g.g_measured <- !g.g_measured + 1;
+            !g.g_pairs <- (score, latency_us) :: !g.g_pairs;
             Cost_model.add model ~features ~latency_us;
-            consider
+            let m =
               {
                 sketch_name = sk.Sketch.name;
                 base = sk.Sketch.base;
@@ -230,8 +307,66 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
                 trace;
                 func;
                 latency_us;
-              })
-      cands results
+              }
+            in
+            consider m;
+            (* A mutant/crossover is "accepted" when it survives into the
+               elite set — the population actually evolved. *)
+            (match origin with
+            | Mutation | Crossover ->
+                if List.memq m !elites then !g.g_accepted <- !g.g_accepted + 1
+            | Seeded | Random -> ()))
+      scored results
+  in
+  (* Flush the per-generation tallies: registry counters, rank-correlation
+     gauge, journal events. Runs in the sequential reduce, so everything
+     here is deterministic at any job count. *)
+  let finish_generation () =
+    let t = !g in
+    let best_us =
+      match !best with Some b -> b.latency_us | None -> Float.nan
+    in
+    (* Predicted score is "higher = faster"; correlate against -latency so
+       a perfect model scores +1. *)
+    let rank_corr =
+      Tir_obs.Stat.spearman
+        (Array.of_list (List.rev_map (fun (s, l) -> (s, -.l)) t.g_pairs))
+    in
+    Metrics.add m_proposed t.g_proposed;
+    Metrics.add m_deduped t.g_deduped;
+    Metrics.add m_invalid t.g_invalid;
+    Metrics.add m_inapplicable t.g_inapplicable;
+    Metrics.add m_trials t.g_measured;
+    Metrics.add m_mutations t.g_mutations;
+    Metrics.add m_crossovers t.g_crossovers;
+    Metrics.add m_accepted t.g_accepted;
+    Metrics.incr m_generations;
+    Metrics.set m_rank_corr rank_corr;
+    (match journal with
+    | None -> ()
+    | Some sink ->
+        List.iter
+          (fun (predicted, measured_us) ->
+            Journal.emit sink (Journal.Pair { gen = !gen; predicted; measured_us }))
+          (List.rev t.g_pairs);
+        Journal.emit sink
+          (Journal.Generation
+             {
+               gen = !gen;
+               proposed = t.g_proposed;
+               deduped = t.g_deduped;
+               invalid = t.g_invalid;
+               inapplicable = t.g_inapplicable;
+               memo_hits = t.g_memo_hits;
+               measured = t.g_measured;
+               mutations = t.g_mutations;
+               crossovers = t.g_crossovers;
+               accepted = t.g_accepted;
+               best_us;
+               rank_corr;
+             }));
+    incr gen;
+    g := new_gen_tally ()
   in
   let rec rounds () =
     if stats.trials >= trials then ()
@@ -243,13 +378,13 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
         else seeds @ random_specs (population * 3)
       in
       match propose_all specs with
-      | [] -> () (* space exhausted *)
+      | [] -> finish_generation () (* space exhausted *)
       | cands ->
           let scores =
             if use_cost_model then
               Array.to_list
                 (Cost_model.score_batch model
-                   (Array.of_list (List.map (fun (_, _, _, _, f, _) -> f) cands)))
+                   (Array.of_list (List.map (fun (_, _, _, _, _, f, _) -> f) cands)))
             else List.map (fun _ -> Rng.float rng 1.0) cands
           in
           let ranked =
@@ -259,8 +394,9 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
               (List.combine scores cands)
           in
           let batch = min measure_batch (trials - stats.trials) in
-          measure_top (List.filteri (fun i _ -> i < batch) ranked |> List.map snd);
+          measure_top (List.filteri (fun i _ -> i < batch) ranked);
           Cost_model.retrain model;
+          finish_generation ();
           rounds ()
     end
   in

@@ -48,13 +48,22 @@ val measurement_cap_us : float
     mutation/crossover (pure random search) — both are ablations.
     [pool] is the domain pool the candidate pipeline fans out across
     (default: the process-wide [TIR_JOBS]-sized pool); results are
-    bit-identical at any job count for a fixed [rng] seed. *)
+    bit-identical at any job count for a fixed [rng] seed.
+
+    Every generation bumps the [search.*] counters and the
+    [costmodel.rank_corr] gauge in the metrics registry. When [journal]
+    is given, each generation additionally emits one
+    [Tir_obs.Journal.Generation] summary event plus one [Pair] event per
+    measured candidate (predicted score vs measured latency). Journal
+    counts are accumulated in the sequential slot-order reduce, so they
+    are bit-identical at any job count too. *)
 val search :
   ?population:int ->
   ?measure_batch:int ->
   ?use_cost_model:bool ->
   ?evolve:bool ->
   ?pool:Tir_parallel.Pool.t ->
+  ?journal:Tir_obs.Journal.sink ->
   rng:Rng.t ->
   target:Tir_sim.Target.t ->
   trials:int ->

@@ -4,10 +4,20 @@
     candidates against the target's intrinsics (§4.2), builds program
     sketches (§4.3), and runs the evolutionary search (§4.4). The result
     carries the best program, its simulated latency, and search statistics
-    (used by the Table 1 tuning-time comparison). *)
+    (used by the Table 1 tuning-time comparison).
+
+    Each phase runs under a [Tir_obs.Span] ([tune.sketch_gen],
+    [tune.db_replay], [tune.search]), and a [journal] sink receives the
+    run's event stream: [Run_start], the per-generation events from
+    [Evolutionary.search], the spans recorded during this call, a dump of
+    the metrics registry, and [Run_end]. *)
 
 module W = Tir_workloads.Workloads
 module TI = Tir_intrin.Tensor_intrin
+module Clock = Tir_obs.Clock
+module Journal = Tir_obs.Journal
+module Metrics = Tir_obs.Metrics
+module Span = Tir_obs.Span
 
 type result = {
   workload : W.t;
@@ -19,10 +29,16 @@ type result = {
 let latency_us r =
   match r.best with Some b -> b.Evolutionary.latency_us | None -> Float.infinity
 
+(* Explicit 0.0 when there is nothing to rate: no candidate found, or a
+   non-finite/non-positive latency (0/0 and x/0 must not leak NaN or
+   infinity into reports and JSON). *)
 let gflops r =
   match r.best with
-  | Some b -> r.workload.W.flops /. b.Evolutionary.latency_us /. 1000.0
-  | None -> 0.0
+  | Some b
+    when Float.is_finite b.Evolutionary.latency_us
+         && b.Evolutionary.latency_us > 0.0 ->
+      r.workload.W.flops /. b.Evolutionary.latency_us /. 1000.0
+  | _ -> 0.0
 
 (** Intrinsics available on a target (compute MMAs only; data movement
     intrinsics are applied by the sketches directly). *)
@@ -35,6 +51,35 @@ let target_intrinsics (target : Tir_sim.Target.t) =
       | exception TI.Not_registered _ -> None)
     target.Tir_sim.Target.supported_intrinsics
 
+(* Close out a journaled run: spans recorded since [span0], a registry
+   dump, and the [Run_end] summary. *)
+let journal_finish sink ~span0 ~t0 ~(stats : Evolutionary.stats) ~best_us =
+  List.iter
+    (fun (s : Span.span) ->
+      Journal.emit sink
+        (Journal.Span
+           {
+             name = s.Span.name;
+             depth = s.Span.depth;
+             start_us = s.Span.start_us;
+             dur_us = s.Span.dur_us;
+           }))
+    (Span.since span0);
+  let snap = Metrics.snapshot () in
+  List.iter
+    (fun (name, value) -> Journal.emit sink (Journal.Counter { name; value }))
+    snap.Metrics.counters;
+  List.iter
+    (fun (name, value) -> Journal.emit sink (Journal.Gauge { name; value }))
+    snap.Metrics.gauges;
+  Journal.emit sink
+    (Journal.Run_end
+       {
+         best_us;
+         trials = stats.Evolutionary.trials;
+         wall_us = Clock.now_us () -. t0;
+       })
+
 (** Tune a workload. [sketches] overrides the default sketch generation
     (used by the baseline schedulers). When [database] holds a record for
     this (target, workload), the stored schedule is replayed instead of
@@ -45,23 +90,44 @@ let target_intrinsics (target : Tir_sim.Target.t) =
     compare job counts); by default the search shares the process-wide
     [TIR_JOBS]-sized pool. Results are bit-identical at any job count. *)
 let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
-    ?jobs (target : Tir_sim.Target.t) (w : W.t) : result =
+    ?jobs ?journal (target : Tir_sim.Target.t) (w : W.t) : result =
+  let t0 = Clock.now_us () in
+  let span0 = Span.count () in
   let rng = Rng.create seed in
+  (match journal with
+  | None -> ()
+  | Some sink ->
+      let jobs =
+        match jobs with
+        | Some j -> j
+        | None -> Tir_parallel.Pool.jobs (Tir_parallel.Pool.global ())
+      in
+      Journal.emit sink
+        (Journal.Run_start
+           {
+             workload = w.W.name;
+             target = target.Tir_sim.Target.name;
+             seed;
+             trials;
+             jobs;
+           }));
   let sketches =
-    match sketches with
-    | Some s -> s
-    | None -> Sketch.generate target w (target_intrinsics target)
+    Span.with_span "tune.sketch_gen" (fun () ->
+        match sketches with
+        | Some s -> s
+        | None -> Sketch.generate target w (target_intrinsics target))
   in
   let cached =
     match database with
     | None -> None
-    | Some db -> (
-        match
-          Database.find db ~target_name:target.Tir_sim.Target.name
-            ~workload_name:w.W.name
-        with
-        | None -> None
-        | Some r -> Database.replay target ~workload:w ~sketches r)
+    | Some db ->
+        Span.with_span "tune.db_replay" (fun () ->
+            match
+              Database.find db ~target_name:target.Tir_sim.Target.name
+                ~workload_name:w.W.name
+            with
+            | None -> None
+            | Some r -> Database.replay target ~workload:w ~sketches r)
   in
   match cached with
   | Some best ->
@@ -70,6 +136,11 @@ let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
       stats.Evolutionary.trials <- 1;
       stats.Evolutionary.profiling_us <-
         best.Evolutionary.latency_us +. Evolutionary.measurement_overhead_us;
+      Option.iter
+        (fun sink ->
+          journal_finish sink ~span0 ~t0 ~stats
+            ~best_us:best.Evolutionary.latency_us)
+        journal;
       { workload = w; target; best = Some best; stats }
   | None ->
       let pool = Option.map (fun j -> Tir_parallel.Pool.create ~jobs:j ()) jobs in
@@ -79,12 +150,21 @@ let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
         Fun.protect
           ~finally:(fun () -> Option.iter Tir_parallel.Pool.shutdown pool)
           (fun () ->
-            Evolutionary.search ?use_cost_model ?evolve ?pool ~rng ~target
-              ~trials sketches)
+            Span.with_span "tune.search" (fun () ->
+                Evolutionary.search ?use_cost_model ?evolve ?pool ?journal ~rng
+                  ~target ~trials sketches))
       in
       (match (database, best) with
       | Some db, Some b -> Database.commit db target w b
       | _ -> ());
+      Option.iter
+        (fun sink ->
+          journal_finish sink ~span0 ~t0 ~stats
+            ~best_us:
+              (match best with
+              | Some b -> b.Evolutionary.latency_us
+              | None -> Float.nan))
+        journal;
       { workload = w; target; best; stats }
 
 (** Simulated end-to-end tuning time in minutes: profiling cost plus a

@@ -13,6 +13,9 @@ type result = {
 }
 
 val latency_us : result -> float
+
+(** GFLOP/s of the best program; exactly [0.0] when no candidate was found
+    or its latency is non-finite or non-positive (never NaN/infinity). *)
 val gflops : result -> float
 
 (** Compute intrinsics available on a target. *)
@@ -22,7 +25,14 @@ val target_intrinsics : Tir_sim.Target.t -> TI.t list
     [database] replays a stored schedule when available and commits fresh
     results; [jobs] sizes a private domain pool for this call (default:
     the shared [TIR_JOBS]-sized pool). Results are bit-identical at any
-    job count for a fixed seed. *)
+    job count for a fixed seed.
+
+    Phases run under [Tir_obs.Span]s ([tune.sketch_gen], [tune.db_replay],
+    [tune.search]). [journal] receives the run's event stream:
+    [Run_start], the per-generation search events, this call's spans, a
+    metrics-registry dump, and [Run_end]. Journal counter content is
+    bit-identical at any job count; only span durations and time-derived
+    gauges vary. *)
 val tune :
   ?seed:int ->
   ?trials:int ->
@@ -31,6 +41,7 @@ val tune :
   ?sketches:Sketch.t list ->
   ?database:Database.t ->
   ?jobs:int ->
+  ?journal:Tir_obs.Journal.sink ->
   Tir_sim.Target.t ->
   W.t ->
   result

@@ -1,0 +1,35 @@
+(** Monotone wall clock.
+
+    OCaml 5.1's [Unix] has no [clock_gettime], so true OS monotonic time is
+    out of reach without C stubs or an external package. Instead every
+    reading is clamped against the last value handed out (a process-wide
+    atomic high-water mark), which restores the property the callers
+    actually need: two readings taken in order can never produce a negative
+    interval, even if the system clock is stepped backwards between them
+    (NTP adjustment, manual reset). Forward steps still show up as
+    (harmlessly overestimated) durations — the same trade-off coarse
+    monotonic clocks make. *)
+
+(* Bits of the largest time ever returned. CAS keeps the high-water mark
+   consistent under concurrent readers from pool domains. *)
+let high_water : int64 Atomic.t = Atomic.make (Int64.bits_of_float 0.0)
+
+(** Seconds since the Unix epoch, guaranteed non-decreasing across the
+    whole process (all domains observe one shared high-water mark). *)
+let now_s () =
+  let t = Unix.gettimeofday () in
+  let rec clamp () =
+    let prev_bits = Atomic.get high_water in
+    let prev = Int64.float_of_bits prev_bits in
+    if t <= prev then prev
+    else if Atomic.compare_and_set high_water prev_bits (Int64.bits_of_float t)
+    then t
+    else clamp ()
+  in
+  clamp ()
+
+(** [now_s] in microseconds (the unit the rest of the tuner reports in). *)
+let now_us () = now_s () *. 1e6
+
+(** Elapsed seconds since [t0] (a [now_s] reading); never negative. *)
+let elapsed_s t0 = Float.max 0.0 (now_s () -. t0)

@@ -1,0 +1,12 @@
+(** Monotone wall clock: [gettimeofday] clamped against a process-wide
+    high-water mark, so intervals can never be negative under system clock
+    adjustment. Shared by all domains. *)
+
+(** Seconds since the Unix epoch, non-decreasing across the process. *)
+val now_s : unit -> float
+
+(** [now_s] in microseconds. *)
+val now_us : unit -> float
+
+(** Elapsed seconds since a [now_s] reading; never negative. *)
+val elapsed_s : float -> float

@@ -1,0 +1,425 @@
+(** Search journal: a line-oriented JSONL event stream for tuning runs.
+
+    One event per line, each a flat JSON object with an ["ev"]
+    discriminator. The evolutionary search emits one [Generation] event per
+    round (candidates proposed / deduped / invalid, memo hits,
+    mutation-acceptance counters, best-so-far latency, the cost model's
+    running rank-correlation) plus a [Pair] event per measured candidate
+    (predicted score vs measured latency). The tuning driver brackets a run
+    with [Run_start]/[Run_end] and appends the run's spans and a metrics
+    snapshot, so the CLI [report] subcommand can render a whole run from
+    the journal file alone.
+
+    String fields reuse the percent-escaping convention of the trace and
+    database v2 formats: every structural or non-printable character —
+    ['%'] itself, ['"'], ['\\'], newlines, and anything outside printable
+    ASCII — is written as [%XX]. Escaped strings therefore contain no JSON
+    escapes and no quotes, which makes every line trivially parseable (and
+    injection-proof: adversarial workload names cannot forge fields or
+    extra events), while the file stays valid JSONL for external tools.
+
+    Floats are emitted as [null] when non-finite (JSON has no NaN literal)
+    and read back as [nan]. *)
+
+type event =
+  | Run_start of {
+      workload : string;
+      target : string;
+      seed : int;
+      trials : int;
+      jobs : int;
+    }
+  | Generation of {
+      gen : int;
+      proposed : int;  (** fresh proposals this generation (post-dedup) *)
+      deduped : int;  (** proposals dropped as duplicates *)
+      invalid : int;  (** rejected by the §3.3 validator *)
+      inapplicable : int;  (** rejected by the sketch *)
+      memo_hits : int;  (** evaluation/measurement memo hits *)
+      measured : int;  (** candidates measured this generation *)
+      mutations : int;  (** proposals from mutation *)
+      crossovers : int;  (** proposals from crossover *)
+      accepted : int;  (** measured mutants/crossovers that entered the
+                           elite set *)
+      best_us : float;  (** best-so-far latency ([nan] before the first
+                            valid measurement) *)
+      rank_corr : float;
+          (** Spearman correlation between predicted score and [-latency]
+              over this generation's measured batch (1.0 = perfect
+              ranking, 0.0 = uninformative or degenerate) *)
+    }
+  | Pair of { gen : int; predicted : float; measured_us : float }
+  | Span of { name : string; depth : int; start_us : float; dur_us : float }
+  | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
+  | Run_end of { best_us : float; trials : int; wall_us : float }
+
+exception Parse_error of string
+
+let parse_err fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- percent escaping (same convention as Trace/Database v2) --- *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' | '"' | '\\' -> Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c))
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+          Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | _ -> parse_err "bad escape in journal string"
+  in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '%' then begin
+      if !i + 2 >= n then parse_err "truncated escape in journal string";
+      Buffer.add_char b (Char.chr ((hex s.[!i + 1] * 16) + hex s.[!i + 2]));
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* --- emission --- *)
+
+(* JSON has no NaN/Infinity literals; non-finite floats become null. *)
+let json_float v = if Float.is_finite v then Printf.sprintf "%.9g" v else "null"
+
+let to_line (e : event) =
+  let b = Buffer.create 128 in
+  let field_sep () = if Buffer.length b > 1 then Buffer.add_char b ',' in
+  let str k v =
+    field_sep ();
+    Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" k (escape v))
+  in
+  let int k v =
+    field_sep ();
+    Buffer.add_string b (Printf.sprintf "\"%s\":%d" k v)
+  in
+  let flt k v =
+    field_sep ();
+    Buffer.add_string b (Printf.sprintf "\"%s\":%s" k (json_float v))
+  in
+  Buffer.add_char b '{';
+  (match e with
+  | Run_start r ->
+      str "ev" "run_start";
+      str "workload" r.workload;
+      str "target" r.target;
+      int "seed" r.seed;
+      int "trials" r.trials;
+      int "jobs" r.jobs
+  | Generation g ->
+      str "ev" "generation";
+      int "gen" g.gen;
+      int "proposed" g.proposed;
+      int "deduped" g.deduped;
+      int "invalid" g.invalid;
+      int "inapplicable" g.inapplicable;
+      int "memo_hits" g.memo_hits;
+      int "measured" g.measured;
+      int "mutations" g.mutations;
+      int "crossovers" g.crossovers;
+      int "accepted" g.accepted;
+      flt "best_us" g.best_us;
+      flt "rank_corr" g.rank_corr
+  | Pair p ->
+      str "ev" "pair";
+      int "gen" p.gen;
+      flt "predicted" p.predicted;
+      flt "measured_us" p.measured_us
+  | Span s ->
+      str "ev" "span";
+      str "name" s.name;
+      int "depth" s.depth;
+      flt "start_us" s.start_us;
+      flt "dur_us" s.dur_us
+  | Counter c ->
+      str "ev" "counter";
+      str "name" c.name;
+      int "value" c.value
+  | Gauge g ->
+      str "ev" "gauge";
+      str "name" g.name;
+      flt "value" g.value
+  | Run_end r ->
+      str "ev" "run_end";
+      flt "best_us" r.best_us;
+      int "trials" r.trials;
+      flt "wall_us" r.wall_us);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* --- parsing --- *)
+
+(* Minimal parser for the flat objects [to_line] emits: string values hold
+   no quotes or backslashes (escaping guarantees it), other values are
+   numbers or null. Rejects anything else, so a journal that parses is one
+   we wrote. *)
+let fields_of_line line :
+    (string * [ `Str of string | `Num of float * string ]) list =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let expect c =
+    if !pos < n && line.[!pos] = c then incr pos
+    else parse_err "journal line: expected '%c' at %d in %S" c !pos line
+  in
+  let quoted () =
+    expect '"';
+    let start = !pos in
+    while !pos < n && line.[!pos] <> '"' do
+      incr pos
+    done;
+    if !pos >= n then parse_err "journal line: unterminated string in %S" line;
+    let s = String.sub line start (!pos - start) in
+    incr pos;
+    s
+  in
+  let value () =
+    match peek () with
+    | Some '"' -> `Str (unescape (quoted ()))
+    | Some ('-' | '0' .. '9') ->
+        let start = !pos in
+        while
+          !pos < n
+          && match line.[!pos] with
+             | '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true
+             | _ -> false
+        do
+          incr pos
+        done;
+        let s = String.sub line start (!pos - start) in
+        (* keep the raw token: integers above 2^53 must not round-trip
+           through a float *)
+        (match float_of_string_opt s with
+        | Some v -> `Num (v, s)
+        | None -> parse_err "journal line: bad number %S" s)
+    | Some 'n' ->
+        if !pos + 4 <= n && String.equal (String.sub line !pos 4) "null" then begin
+          pos := !pos + 4;
+          `Num (Float.nan, "null")
+        end
+        else parse_err "journal line: bad literal in %S" line
+    | _ -> parse_err "journal line: bad value at %d in %S" !pos line
+  in
+  expect '{';
+  let fields = ref [] in
+  let rec pairs () =
+    let k = quoted () in
+    expect ':';
+    let v = value () in
+    fields := (unescape k, v) :: !fields;
+    match peek () with
+    | Some ',' ->
+        incr pos;
+        pairs ()
+    | _ -> ()
+  in
+  if peek () <> Some '}' then pairs ();
+  expect '}';
+  if !pos <> n then parse_err "journal line: trailing garbage in %S" line;
+  List.rev !fields
+
+let of_line line : event =
+  let fields = fields_of_line line in
+  let str k =
+    match List.assoc_opt k fields with
+    | Some (`Str s) -> s
+    | _ -> parse_err "journal event missing string field %S in %S" k line
+  in
+  let flt k =
+    match List.assoc_opt k fields with
+    | Some (`Num (v, _)) -> v
+    | _ -> parse_err "journal event missing number field %S in %S" k line
+  in
+  let int k =
+    match List.assoc_opt k fields with
+    | Some (`Num (_, raw)) -> (
+        match int_of_string_opt raw with
+        | Some i -> i
+        | None -> parse_err "journal event field %S is not an integer in %S" k line)
+    | _ -> parse_err "journal event missing number field %S in %S" k line
+  in
+  match str "ev" with
+  | "run_start" ->
+      Run_start
+        {
+          workload = str "workload";
+          target = str "target";
+          seed = int "seed";
+          trials = int "trials";
+          jobs = int "jobs";
+        }
+  | "generation" ->
+      Generation
+        {
+          gen = int "gen";
+          proposed = int "proposed";
+          deduped = int "deduped";
+          invalid = int "invalid";
+          inapplicable = int "inapplicable";
+          memo_hits = int "memo_hits";
+          measured = int "measured";
+          mutations = int "mutations";
+          crossovers = int "crossovers";
+          accepted = int "accepted";
+          best_us = flt "best_us";
+          rank_corr = flt "rank_corr";
+        }
+  | "pair" ->
+      Pair { gen = int "gen"; predicted = flt "predicted"; measured_us = flt "measured_us" }
+  | "span" ->
+      Span
+        {
+          name = str "name";
+          depth = int "depth";
+          start_us = flt "start_us";
+          dur_us = flt "dur_us";
+        }
+  | "counter" -> Counter { name = str "name"; value = int "value" }
+  | "gauge" -> Gauge { name = str "name"; value = flt "value" }
+  | "run_end" ->
+      Run_end { best_us = flt "best_us"; trials = int "trials"; wall_us = flt "wall_us" }
+  | ev -> parse_err "unknown journal event %S" ev
+
+(* --- sinks --- *)
+
+type sink = { oc : out_channel; lock : Mutex.t; mutable closed : bool }
+
+(** Open (truncate) a journal file. *)
+let open_file path = { oc = open_out path; lock = Mutex.create (); closed = false }
+
+(** Append one event as a JSONL line (flushed, so a crash mid-run leaves a
+    parseable prefix). Thread-safe. *)
+let emit sink e =
+  Mutex.lock sink.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.lock)
+    (fun () ->
+      if not sink.closed then begin
+        output_string sink.oc (to_line e);
+        output_char sink.oc '\n';
+        flush sink.oc
+      end)
+
+let close sink =
+  Mutex.lock sink.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.lock)
+    (fun () ->
+      if not sink.closed then begin
+        sink.closed <- true;
+        close_out sink.oc
+      end)
+
+(** Parse a journal file (blank lines skipped). Raises [Parse_error]. *)
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let events = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" then events := of_line line :: !events
+         done
+       with End_of_file -> ());
+      List.rev !events)
+
+(* --- summary --- *)
+
+type summary = {
+  runs : int;
+  generations : int;
+  proposed : int;
+  deduped : int;
+  invalid : int;
+  inapplicable : int;
+  memo_hits : int;
+  measured : int;
+  mutations : int;
+  crossovers : int;
+  accepted : int;
+  pairs : int;
+  final_best_us : float;  (** [nan] when no run measured anything *)
+  best_monotone : bool;
+      (** per-run, per-generation best-so-far never increased *)
+  last_rank_corr : float;
+}
+
+let summarize (events : event list) =
+  let s =
+    ref
+      {
+        runs = 0;
+        generations = 0;
+        proposed = 0;
+        deduped = 0;
+        invalid = 0;
+        inapplicable = 0;
+        memo_hits = 0;
+        measured = 0;
+        mutations = 0;
+        crossovers = 0;
+        accepted = 0;
+        pairs = 0;
+        final_best_us = Float.nan;
+        best_monotone = true;
+        last_rank_corr = 0.0;
+      }
+  in
+  (* Best-so-far resets at each run boundary; within a run it must be
+     non-increasing across generations (nan = nothing measured yet). *)
+  let prev_best = ref Float.nan in
+  List.iter
+    (fun e ->
+      match e with
+      | Run_start _ ->
+          s := { !s with runs = !s.runs + 1 };
+          prev_best := Float.nan
+      | Generation g ->
+          let monotone =
+            Float.is_nan g.best_us
+            || Float.is_nan !prev_best
+            || g.best_us <= !prev_best
+          in
+          if not (Float.is_nan g.best_us) then prev_best := g.best_us;
+          s :=
+            {
+              !s with
+              generations = !s.generations + 1;
+              proposed = !s.proposed + g.proposed;
+              deduped = !s.deduped + g.deduped;
+              invalid = !s.invalid + g.invalid;
+              inapplicable = !s.inapplicable + g.inapplicable;
+              memo_hits = !s.memo_hits + g.memo_hits;
+              measured = !s.measured + g.measured;
+              mutations = !s.mutations + g.mutations;
+              crossovers = !s.crossovers + g.crossovers;
+              accepted = !s.accepted + g.accepted;
+              best_monotone = !s.best_monotone && monotone;
+              last_rank_corr = g.rank_corr;
+            }
+      | Pair _ -> s := { !s with pairs = !s.pairs + 1 }
+      | Run_end r -> s := { !s with final_best_us = r.best_us }
+      | Span _ | Counter _ | Gauge _ -> ())
+    events;
+  !s

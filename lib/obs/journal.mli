@@ -1,0 +1,88 @@
+(** Search journal: line-oriented JSONL event stream for tuning runs.
+
+    One flat JSON object per line with an ["ev"] discriminator. String
+    fields are percent-escaped (the trace/database v2 convention), so
+    adversarial names cannot inject fields or events and every line parses
+    with a trivial scanner while staying valid JSON. Non-finite floats are
+    written as [null] and read back as [nan].
+
+    Deterministic-search contract: [Generation], [Pair], [Counter],
+    [Run_start], and [Run_end] events are bit-identical across job counts
+    for a fixed seed; [Span] events (durations) and time-derived [Gauge]
+    events may differ. *)
+
+type event =
+  | Run_start of {
+      workload : string;
+      target : string;
+      seed : int;
+      trials : int;
+      jobs : int;
+    }
+  | Generation of {
+      gen : int;
+      proposed : int;  (** fresh proposals this generation (post-dedup) *)
+      deduped : int;  (** proposals dropped as duplicates *)
+      invalid : int;  (** rejected by the §3.3 validator *)
+      inapplicable : int;  (** rejected by the sketch *)
+      memo_hits : int;  (** evaluation/measurement memo hits *)
+      measured : int;  (** candidates measured this generation *)
+      mutations : int;  (** proposals from mutation *)
+      crossovers : int;  (** proposals from crossover *)
+      accepted : int;
+          (** measured mutants/crossovers that entered the elite set *)
+      best_us : float;  (** best-so-far latency ([nan] before the first
+                            valid measurement) *)
+      rank_corr : float;
+          (** Spearman correlation of predicted score vs [-latency] over
+              this generation's measured batch *)
+    }
+  | Pair of { gen : int; predicted : float; measured_us : float }
+  | Span of { name : string; depth : int; start_us : float; dur_us : float }
+  | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
+  | Run_end of { best_us : float; trials : int; wall_us : float }
+
+exception Parse_error of string
+
+(** One JSONL line (no trailing newline). *)
+val to_line : event -> string
+
+(** Inverse of [to_line]; raises [Parse_error] on anything we would not
+    have written. *)
+val of_line : string -> event
+
+type sink
+
+(** Open (truncate) a journal file. *)
+val open_file : string -> sink
+
+(** Append one event, flushed; thread-safe; no-op after [close]. *)
+val emit : sink -> event -> unit
+
+val close : sink -> unit
+
+(** Parse a journal file (blank lines skipped). Raises [Parse_error]. *)
+val load : string -> event list
+
+type summary = {
+  runs : int;
+  generations : int;
+  proposed : int;
+  deduped : int;
+  invalid : int;
+  inapplicable : int;
+  memo_hits : int;
+  measured : int;
+  mutations : int;
+  crossovers : int;
+  accepted : int;
+  pairs : int;
+  final_best_us : float;  (** [nan] when no run measured anything *)
+  best_monotone : bool;
+      (** per-run, per-generation best-so-far never increased *)
+  last_rank_corr : float;
+}
+
+(** Fold a journal into totals (used by the CLI report and tests). *)
+val summarize : event list -> summary

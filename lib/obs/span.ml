@@ -1,0 +1,70 @@
+(** Nested timing spans over the monotone clock.
+
+    [with_span name f] times [f] and records a span carrying its nesting
+    depth (per-domain, tracked in domain-local storage, so spans taken
+    inside pool workers nest correctly relative to that worker's own
+    stack). Completed spans land in a process-wide list; [spans] returns
+    them in flame order — by start time, parents before their children —
+    which is also the order a flame-graph renderer or the CLI report walks
+    them in. *)
+
+type span = {
+  name : string;
+  depth : int;  (** nesting depth at entry (0 = top-level) *)
+  start_us : float;  (** [Clock.now_us] at entry *)
+  dur_us : float;
+  seq : int;  (** global start-order sequence number *)
+}
+
+let lock = Mutex.create ()
+let recorded : span list ref = ref [] (* newest first *)
+let next_seq = ref 0
+
+let depth_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+(** Number of spans started so far (pass to [since] to scope a report to
+    one run). *)
+let count () = locked (fun () -> !next_seq)
+
+let with_span name f =
+  let depth = Domain.DLS.get depth_key in
+  Domain.DLS.set depth_key (depth + 1);
+  let seq =
+    locked (fun () ->
+        let s = !next_seq in
+        next_seq := s + 1;
+        s)
+  in
+  let start_us = Clock.now_us () in
+  let finish () =
+    let dur_us = Float.max 0.0 (Clock.now_us () -. start_us) in
+    Domain.DLS.set depth_key depth;
+    locked (fun () -> recorded := { name; depth; start_us; dur_us; seq } :: !recorded)
+  in
+  Fun.protect ~finally:finish f
+
+let flame_order a b =
+  match Float.compare a.start_us b.start_us with 0 -> compare a.seq b.seq | c -> c
+
+(** All completed spans in flame order (start time, parents first). *)
+let spans () = List.sort flame_order (locked (fun () -> !recorded))
+
+(** Spans whose sequence number is at least [n] (i.e. started after a
+    [count] reading), flame-ordered. *)
+let since n = List.filter (fun s -> s.seq >= n) (spans ())
+
+(** Forget every recorded span (tests; fresh-run comparisons). *)
+let reset () =
+  locked (fun () ->
+      recorded := [];
+      next_seq := 0)

@@ -1,0 +1,26 @@
+(** Nested timing spans over the monotone clock, recorded process-wide and
+    exported in flame order (start time, parents before children). Depth is
+    tracked per domain, so spans inside pool workers nest correctly. *)
+
+type span = {
+  name : string;
+  depth : int;  (** nesting depth at entry (0 = top-level) *)
+  start_us : float;  (** [Clock.now_us] at entry *)
+  dur_us : float;
+  seq : int;  (** global start-order sequence number *)
+}
+
+(** Time [f]; the span is recorded even if [f] raises. *)
+val with_span : string -> (unit -> 'a) -> 'a
+
+(** Number of spans started so far (pass to [since] to scope to a run). *)
+val count : unit -> int
+
+(** All completed spans, flame-ordered. *)
+val spans : unit -> span list
+
+(** Completed spans with [seq >= n], flame-ordered. *)
+val since : int -> span list
+
+(** Forget every recorded span. *)
+val reset : unit -> unit

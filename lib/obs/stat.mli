@@ -1,0 +1,12 @@
+(** Statistics helpers for the observability layer. *)
+
+(** Average 1-based ranks; ties share the mean of their positions. *)
+val ranks : float array -> float array
+
+(** Pearson correlation; 0.0 when either side has zero variance. *)
+val pearson : float array -> float array -> float
+
+(** Spearman rank correlation of [(x, y)] pairs, in [-1, 1]. Non-finite
+    pairs are dropped; degenerate inputs (< 2 points, zero variance)
+    return 0.0 so gauges stay finite. *)
+val spearman : (float * float) array -> float

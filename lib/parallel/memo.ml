@@ -24,11 +24,19 @@ type 'v shard = {
   table : (string, 'v entry) Hashtbl.t;
 }
 
+(* Registry handles for a named table: hits, misses, pending waits. *)
+type meters = {
+  m_hits : Tir_obs.Metrics.counter;
+  m_misses : Tir_obs.Metrics.counter;
+  m_pending : Tir_obs.Metrics.counter;
+}
+
 type 'v t = {
   shards : 'v shard array;
   mask : int;
   hits : int Atomic.t;
   misses : int Atomic.t;
+  meters : meters option;
 }
 
 let default_shards = 64
@@ -36,7 +44,7 @@ let default_shards = 64
 (* Round up to a power of two so shard selection is a mask. *)
 let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
 
-let create ?(shards = default_shards) () =
+let create ?name ?(shards = default_shards) () =
   let n = pow2 (max 1 shards) 1 in
   {
     shards =
@@ -49,7 +57,19 @@ let create ?(shards = default_shards) () =
     mask = n - 1;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
+    meters =
+      Option.map
+        (fun name ->
+          {
+            m_hits = Tir_obs.Metrics.counter (Printf.sprintf "memo.%s.hits" name);
+            m_misses = Tir_obs.Metrics.counter (Printf.sprintf "memo.%s.misses" name);
+            m_pending =
+              Tir_obs.Metrics.counter (Printf.sprintf "memo.%s.pending_waits" name);
+          })
+        name;
   }
+
+let meter t f = Option.iter (fun m -> Tir_obs.Metrics.incr (f m)) t.meters
 
 let shard_of t key = t.shards.(Hashtbl.hash key land t.mask)
 
@@ -76,14 +96,20 @@ let find_or_add t key compute =
     | Some (Ready v) ->
         Mutex.unlock shard.lock;
         Atomic.incr t.hits;
+        meter t (fun m -> m.m_hits);
         (true, v)
     | Some Pending ->
+        (* A pending-wait episode: another domain is computing this key.
+           Zero in deterministic searches (per-generation dedup keeps a key
+           from being submitted twice in one region). *)
+        meter t (fun m -> m.m_pending);
         Condition.wait shard.resolved shard.lock;
         acquire ()
     | None -> (
         Hashtbl.replace shard.table key Pending;
         Mutex.unlock shard.lock;
         Atomic.incr t.misses;
+        meter t (fun m -> m.m_misses);
         match compute () with
         | v ->
             locked shard (fun () ->

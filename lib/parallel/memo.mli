@@ -3,9 +3,12 @@
 
 type 'v t
 
-(** [create ?shards ()] — shard count is rounded up to a power of two
-    (default 64). *)
-val create : ?shards:int -> unit -> 'v t
+(** [create ?name ?shards ()] — shard count is rounded up to a power of
+    two (default 64). When [name] is given, the table also feeds the
+    process-wide metrics registry: [memo.<name>.hits], [memo.<name>.misses]
+    and [memo.<name>.pending_waits] (episodes where a caller blocked on
+    another domain's in-flight computation of the same key). *)
+val create : ?name:string -> ?shards:int -> unit -> 'v t
 
 (** [find_or_add t key compute] returns [(hit, value)]. On a miss, an
     in-flight marker is installed and [compute ()] runs with the shard

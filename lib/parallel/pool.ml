@@ -140,6 +140,18 @@ let default_chunk n jobs =
    [submit] (or, from a worker, stalling the region it is part of). *)
 let in_region : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* Observability. The counters and the region-size histogram fire on every
+   code path of [parallel_iteri] — including the jobs=1 and nested
+   sequential fallbacks — so their values depend only on the work
+   submitted, never on the job count (the determinism contract).
+   [pool.busy_frac] is a time-derived gauge (fraction of the last region's
+   worker-seconds spent executing tasks) and, like span durations, is
+   exempt from that contract. *)
+let m_regions = Tir_obs.Metrics.counter "pool.regions"
+let m_tasks = Tir_obs.Metrics.counter "pool.tasks"
+let m_region_size = Tir_obs.Metrics.histogram "pool.region_size"
+let m_busy_frac = Tir_obs.Metrics.gauge "pool.busy_frac"
+
 (** [parallel_iteri t ?chunk n f] runs [f i] for [0 <= i < n] across the
     pool. Any exception from [f] is re-raised in the caller; when several
     indices fail, the one with the smallest index wins. Regions are
@@ -147,13 +159,19 @@ let in_region : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
     running region degrades to a sequential loop. *)
 let parallel_iteri t ?chunk n (f : int -> unit) =
   if n <= 0 then ()
-  else if t.jobs = 1 || n = 1 || Domain.DLS.get in_region then
+  else begin
+  Tir_obs.Metrics.incr m_regions;
+  Tir_obs.Metrics.add m_tasks n;
+  Tir_obs.Metrics.observe m_region_size (float_of_int n);
+  if t.jobs = 1 || n = 1 || Domain.DLS.get in_region then
     for i = 0 to n - 1 do
       f i
     done
   else begin
     let chunk = match chunk with Some c -> max 1 c | None -> default_chunk n t.jobs in
     let cursor = Atomic.make 0 in
+    let busy_us = Atomic.make 0 in
+    let region_start = Tir_obs.Clock.now_us () in
     let failure : (int * exn * Printexc.raw_backtrace) option Atomic.t =
       Atomic.make None
     in
@@ -168,6 +186,7 @@ let parallel_iteri t ?chunk n (f : int -> unit) =
     in
     let run _seq =
       Domain.DLS.set in_region true;
+      let t0 = Tir_obs.Clock.now_us () in
       let rec claim () =
         let lo = Atomic.fetch_and_add cursor chunk in
         if lo < n then begin
@@ -181,6 +200,9 @@ let parallel_iteri t ?chunk n (f : int -> unit) =
         end
       in
       claim ();
+      ignore
+        (Atomic.fetch_and_add busy_us
+           (int_of_float (Float.max 0.0 (Tir_obs.Clock.now_us () -. t0))));
       Domain.DLS.set in_region false
     in
     (* One region at a time: hold [submit] from publish to drain. *)
@@ -201,9 +223,13 @@ let parallel_iteri t ?chunk n (f : int -> unit) =
     t.region <- None;
     Mutex.unlock t.mutex;
     Mutex.unlock t.submit;
-    match Atomic.get failure with
+    let wall_us = Float.max 1.0 (Tir_obs.Clock.now_us () -. region_start) in
+    Tir_obs.Metrics.set m_busy_frac
+      (float_of_int (Atomic.get busy_us) /. (wall_us *. float_of_int t.jobs));
+    (match Atomic.get failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
+    | None -> ())
+  end
   end
 
 (** Order-preserving parallel map over an array. *)

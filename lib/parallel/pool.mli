@@ -1,10 +1,17 @@
 (** Fixed-size Domain pool with chunked, order-preserving parallel
     combinators.
 
-    Dependency-free (OCaml 5 stdlib only). Output order is always the
+    OCaml 5 multicore primitives only, plus the in-tree [Tir_obs]
+    observability layer (itself stdlib + unix). Output order is always the
     input order, and exception propagation is deterministic (the
     lowest-index failure is the one re-raised), so callers get bit-identical
-    behaviour at any job count. *)
+    behaviour at any job count.
+
+    Every [parallel_iteri] — on any code path, including the jobs=1 and
+    nested sequential fallbacks — bumps the [pool.regions]/[pool.tasks]
+    counters and the [pool.region_size] histogram, so those metrics are
+    job-count independent; the [pool.busy_frac] gauge (worker utilization
+    of the last parallel region) is time-derived and is not. *)
 
 type t
 

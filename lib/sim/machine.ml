@@ -18,6 +18,7 @@ type tally = {
   mutable special_ops : float;
   mutable tensor_flops : float;
   mutable intrin_calls : float;
+  mutable blocks : int;  (** block nodes visited during the walk *)
   mutable bytes_global : float;
   mutable bytes_shared : float;
   mutable bytes_local : float;
@@ -36,6 +37,7 @@ let new_tally () =
     special_ops = 0.0;
     tensor_flops = 0.0;
     intrin_calls = 0.0;
+    blocks = 0;
     bytes_global = 0.0;
     bytes_shared = 0.0;
     bytes_local = 0.0;
@@ -258,6 +260,7 @@ let rec walk target (t : tally) ctx (s : Stmt.t) =
       count_intrinsic t ctx name args
   | Stmt.Eval e -> count_expr t ctx e
   | Stmt.Block br ->
+      t.blocks <- t.blocks + 1;
       let b = br.Stmt.block in
       (match List.assoc_opt "tensorized" b.annotations with
       | Some intrin when not (Target.supports target intrin) ->
@@ -345,13 +348,51 @@ let nest_latency_us target (t : tally) =
   in
   (cycles /. (target.Target.clock_ghz *. 1000.0)) +. target.Target.kernel_launch_us
 
+(* Simulated-program counters: what the machine model "executed" across
+   every measured program. Integer-valued (bytes rounded per measurement),
+   so the totals are order-independent and bit-identical at any job count
+   even though measurements run on pool domains — and they are only bumped
+   inside [measure_us], which the tuner reaches through the measurement
+   memo, so a deterministic search executes the same set of simulations
+   regardless of parallelism. [sim.bytes.*] per scope is the data the
+   paper's "data movement dominates" claim is made from. *)
+let m_measurements = Tir_obs.Metrics.counter "sim.measurements"
+let m_nests = Tir_obs.Metrics.counter "sim.nests"
+let m_blocks = Tir_obs.Metrics.counter "sim.blocks_visited"
+let m_tensor_ops = Tir_obs.Metrics.counter "sim.tensorized_ops"
+let m_tensor_flops = Tir_obs.Metrics.counter "sim.tensor_flops"
+let m_scalar_ops = Tir_obs.Metrics.counter "sim.scalar_ops"
+let m_bytes_global = Tir_obs.Metrics.counter "sim.bytes.global"
+let m_bytes_shared = Tir_obs.Metrics.counter "sim.bytes.shared"
+let m_bytes_local = Tir_obs.Metrics.counter "sim.bytes.local"
+
+let round_int v = int_of_float (Float.round v)
+
+let record_tally (t : tally) =
+  Tir_obs.Metrics.add m_blocks t.blocks;
+  Tir_obs.Metrics.add m_tensor_ops (round_int t.intrin_calls);
+  Tir_obs.Metrics.add m_tensor_flops (round_int t.tensor_flops);
+  Tir_obs.Metrics.add m_scalar_ops (round_int t.scalar_ops);
+  Tir_obs.Metrics.add m_bytes_global (round_int t.bytes_global);
+  Tir_obs.Metrics.add m_bytes_shared (round_int t.bytes_shared);
+  Tir_obs.Metrics.add m_bytes_local (round_int t.bytes_local)
+
 (** Measured latency of a whole function, in microseconds. Root-level nests
     execute sequentially (separate kernels on GPU). Raises [Unsupported] if
-    the program tensorizes with an intrinsic the target lacks. *)
+    the program tensorizes with an intrinsic the target lacks. Each call
+    also feeds the simulated-program counters ([sim.*]) in the metrics
+    registry. *)
 let measure_us target (f : Primfunc.t) =
   let root = Primfunc.root_block f in
   let nests = match root.Stmt.body with Stmt.Seq ss -> ss | s -> [ s ] in
-  List.fold_left (fun acc nest -> acc +. nest_latency_us target (tally_of_nest target nest)) 0.0 nests
+  Tir_obs.Metrics.incr m_measurements;
+  Tir_obs.Metrics.add m_nests (List.length nests);
+  List.fold_left
+    (fun acc nest ->
+      let t = tally_of_nest target nest in
+      record_tally t;
+      acc +. nest_latency_us target t)
+    0.0 nests
 
 (** Aggregate tally for the whole function (feature extraction): work and
     traffic sum across root-level nests; parallelism shape takes the
@@ -367,6 +408,7 @@ let tally_func target (f : Primfunc.t) =
       acc.special_ops <- acc.special_ops +. t.special_ops;
       acc.tensor_flops <- acc.tensor_flops +. t.tensor_flops;
       acc.intrin_calls <- acc.intrin_calls +. t.intrin_calls;
+      acc.blocks <- acc.blocks + t.blocks;
       acc.bytes_global <- acc.bytes_global +. t.bytes_global;
       acc.bytes_shared <- acc.bytes_shared +. t.bytes_shared;
       acc.bytes_local <- acc.bytes_local +. t.bytes_local;

@@ -19,6 +19,7 @@ type tally = {
   mutable special_ops : float;
   mutable tensor_flops : float;
   mutable intrin_calls : float;
+  mutable blocks : int;  (** block nodes visited during the walk *)
   mutable bytes_global : float;
   mutable bytes_shared : float;
   mutable bytes_local : float;
@@ -40,7 +41,11 @@ val tally_of_nest : Target.t -> Stmt.t -> tally
 val nest_latency_us : Target.t -> tally -> float
 
 (** Latency of a whole function in microseconds (root nests execute
-    sequentially, each paying the launch overhead). *)
+    sequentially, each paying the launch overhead). Each call feeds the
+    simulated-program counters in the metrics registry ([sim.measurements],
+    [sim.blocks_visited], [sim.tensorized_ops] vs [sim.scalar_ops],
+    [sim.bytes.{global,shared,local}], ...) — integer-valued, so totals are
+    bit-identical at any job count for a deterministic search. *)
 val measure_us : Target.t -> Primfunc.t -> float
 
 (** Whole-function tally for feature extraction: work sums across nests,

@@ -23,4 +23,5 @@ let () =
       ("database", Test_database.suite);
       ("facade", Test_facade.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,259 @@
+(* Validate BENCH_results.json against schema 3.
+
+     dune exec tools/validate_bench.exe [FILE]
+
+   Run by `make bench-smoke` after the benchmark. Checks that the file is
+   well-formed JSON, carries the schema-3 layout (memo / db_replay /
+   data_movement_bytes headline blocks plus the full metrics-registry
+   dump), and contains no non-finite numbers: the bench writes NaN and
+   infinity as `null`, which this validator rejects — a smoke run must not
+   produce them. Exit 0 on success, 1 with a diagnostic otherwise. *)
+
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+type v =
+  | Obj of (string * v) list
+  | Arr of v list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+(* --- minimal recursive-descent JSON parser (stdlib only) --- *)
+
+let parse (s : string) : v =
+  let n = String.length s in
+  let i = ref 0 in
+  let peek () = if !i < n then s.[!i] else fail "unexpected end of input" in
+  let next () =
+    let c = peek () in
+    incr i;
+    c
+  in
+  let skip_ws () =
+    while !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr i
+    done
+  in
+  let expect c =
+    if next () <> c then fail "expected '%c' at offset %d" c (!i - 1)
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+          (match next () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              (* the bench never emits \u escapes; decode as a code point
+                 truncated to a byte, enough for validation *)
+              let hex c =
+                match c with
+                | '0' .. '9' -> Char.code c - Char.code '0'
+                | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                | c -> fail "bad \\u escape character '%c'" c
+              in
+              let v =
+                (hex (next ()) * 4096) + (hex (next ()) * 256) + (hex (next ()) * 16)
+                + hex (next ())
+              in
+              Buffer.add_char b (Char.chr (v land 0xff))
+          | c -> fail "bad escape '\\%c'" c);
+          go ())
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+          Buffer.add_char b c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !i in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !i < n && num_char s.[!i] do
+      incr i
+    done;
+    let tok = String.sub s start (!i - start) in
+    match float_of_string_opt tok with
+    | Some f -> Num f
+    | None -> fail "bad number token %S" tok
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        incr i;
+        skip_ws ();
+        if peek () = '}' then (incr i; Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((k, v) :: acc)
+            | '}' -> Obj (List.rev ((k, v) :: acc))
+            | c -> fail "expected ',' or '}' but got '%c'" c
+          in
+          members []
+    | '[' ->
+        incr i;
+        skip_ws ();
+        if peek () = ']' then (incr i; Arr [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> elements (v :: acc)
+            | ']' -> Arr (List.rev (v :: acc))
+            | c -> fail "expected ',' or ']' but got '%c'" c
+          in
+          elements []
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | '-' | '0' .. '9' -> parse_number ()
+    | c -> fail "unexpected character '%c' at offset %d" c !i
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !i <> n then fail "trailing garbage after JSON value (offset %d)" !i;
+  v
+
+(* --- schema-3 checks --- *)
+
+let obj what = function Obj kvs -> kvs | _ -> fail "%s: expected an object" what
+
+let arr what = function Arr vs -> vs | _ -> fail "%s: expected an array" what
+
+let field what kvs k =
+  match List.assoc_opt k kvs with
+  | Some v -> v
+  | None -> fail "%s: missing key %S" what k
+
+let str what = function Str s -> s | _ -> fail "%s: expected a string" what
+
+let num what = function
+  | Num f ->
+      if Float.is_finite f then f else fail "%s: non-finite number" what
+  | Null -> fail "%s: null (the bench writes non-finite values as null)" what
+  | _ -> fail "%s: expected a number" what
+
+let int_ what v =
+  let f = num what v in
+  if Float.is_integer f then int_of_float f else fail "%s: expected an integer" what
+
+let nonneg_int what v =
+  let x = int_ what v in
+  if x < 0 then fail "%s: negative count %d" what x else x
+
+let ratio what v =
+  let f = num what v in
+  if f < 0.0 || f > 1.0 then fail "%s: ratio %g outside [0,1]" what f else f
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json" in
+  try
+    let ic = open_in_bin path in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let top = obj "top level" (parse src) in
+    let f = field "top level" top in
+    (match int_ "schema" (f "schema") with
+    | 3 -> ()
+    | v -> fail "schema: expected 3, got %d" v);
+    (match f "fast" with Bool _ -> () | _ -> fail "fast: expected a bool");
+    if int_ "jobs" (f "jobs") < 1 then fail "jobs: expected >= 1";
+    if num "total_wall_s" (f "total_wall_s") < 0.0 then
+      fail "total_wall_s: negative";
+    let memo = obj "memo" (f "memo") in
+    ignore (nonneg_int "memo.hits" (field "memo" memo "hits"));
+    ignore (nonneg_int "memo.misses" (field "memo" memo "misses"));
+    ignore (nonneg_int "memo.pending_waits" (field "memo" memo "pending_waits"));
+    ignore (ratio "memo.hit_rate" (field "memo" memo "hit_rate"));
+    let db = obj "db_replay" (f "db_replay") in
+    ignore (nonneg_int "db_replay.records_found" (field "db_replay" db "records_found"));
+    ignore (nonneg_int "db_replay.trace_replayed" (field "db_replay" db "trace_replayed"));
+    ignore (nonneg_int "db_replay.committed" (field "db_replay" db "committed"));
+    ignore (ratio "db_replay.hit_rate" (field "db_replay" db "hit_rate"));
+    let dm = obj "data_movement_bytes" (f "data_movement_bytes") in
+    List.iter
+      (fun scope ->
+        ignore
+          (nonneg_int ("data_movement_bytes." ^ scope)
+             (field "data_movement_bytes" dm scope)))
+      [ "global"; "shared"; "local" ];
+    let metrics = obj "metrics" (f "metrics") in
+    let counters = obj "metrics.counters" (field "metrics" metrics "counters") in
+    List.iter (fun (k, v) -> ignore (nonneg_int ("counter " ^ k) v)) counters;
+    let gauges = obj "metrics.gauges" (field "metrics" metrics "gauges") in
+    List.iter (fun (k, v) -> ignore (num ("gauge " ^ k) v)) gauges;
+    let histograms = obj "metrics.histograms" (field "metrics" metrics "histograms") in
+    List.iter
+      (fun (k, v) ->
+        let h = obj ("histogram " ^ k) v in
+        let total = nonneg_int (k ^ ".total") (field k h "total") in
+        let counts =
+          List.map
+            (fun c -> nonneg_int (k ^ ".counts[]") c)
+            (arr (k ^ ".counts") (field k h "counts"))
+        in
+        let sum = List.fold_left ( + ) 0 counts in
+        if sum <> total then
+          fail "histogram %s: counts sum to %d but total is %d" k sum total)
+      histograms;
+    let sections = arr "sections" (f "sections") in
+    List.iter
+      (fun s ->
+        let s = obj "sections[]" s in
+        ignore (str "sections[].name" (field "sections[]" s "name"));
+        if num "sections[].wall_s" (field "sections[]" s "wall_s") < 0.0 then
+          fail "sections[].wall_s: negative")
+      sections;
+    let results = arr "results" (f "results") in
+    List.iter
+      (fun r ->
+        let r = obj "results[]" r in
+        let name = str "results[].name" (field "results[]" r "name") in
+        ignore (str "results[].section" (field "results[]" r "section"));
+        let unit_ = str "results[].unit" (field "results[]" r "unit") in
+        let v = num ("result " ^ name) (field "results[]" r "value") in
+        if String.equal unit_ "us" && v <= 0.0 then
+          fail "result %s: non-positive latency %g us" name v)
+      results;
+    Printf.printf "%s: schema 3 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
+      path (List.length results) (List.length sections) (List.length counters)
+      (List.length gauges) (List.length histograms)
+  with
+  | Invalid msg ->
+      Printf.eprintf "%s: INVALID: %s\n" path msg;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
