@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke check clean
+.PHONY: all build test bench bench-smoke lint check clean
 
 all: build
 
@@ -20,9 +20,15 @@ bench-smoke: build
 	BENCH_FAST=1 dune exec bench/main.exe -- --check
 	dune exec tools/validate_bench.exe BENCH_results.json
 
-# The full pre-merge gate: build, unit + property tests, bench smoke run.
+# Semantic static analysis (data races, region soundness, bounds) over
+# every seed workload and the example scripts; non-zero exit on findings.
+lint: build
+	dune exec bin/tensorir_cli.exe -- lint --all examples/*.tir
+
+# The full pre-merge gate: build, unit + property tests, lint, bench smoke run.
 check: build
 	dune runtest
+	$(MAKE) lint
 	$(MAKE) bench-smoke
 
 clean:

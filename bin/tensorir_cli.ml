@@ -6,7 +6,9 @@
      tensorir model <name> [opts]         end-to-end model compilation report
      tensorir intrinsics                  list registered tensor intrinsics
      tensorir report <journal>            render a tuning journal (spans,
-                                          metrics, search summary) *)
+                                          metrics, search summary)
+     tensorir lint [targets] [--all]      semantic static analysis (races,
+                                          region soundness, bounds) *)
 
 open Cmdliner
 module W = Tir_workloads.Workloads
@@ -47,14 +49,25 @@ let workload_for target tag =
 (* --- show --- *)
 
 let show_cmd =
-  let run tag =
+  let run tag script =
     let w = W.by_tag tag in
-    Fmt.pr "%s" (Tir_ir.Printer.func_to_string w.W.func);
-    Fmt.pr "@.%.2f GFLOP, tensorizable: %b@." (w.W.flops /. 1e9) w.W.tensorizable
+    if script then print_string (Tir_ir.Printer.func_to_script w.W.func)
+    else begin
+      Fmt.pr "%s" (Tir_ir.Printer.func_to_string w.W.func);
+      Fmt.pr "@.%.2f GFLOP, tensorizable: %b@." (w.W.flops /. 1e9) w.W.tensorizable
+    end
+  in
+  let script =
+    Arg.(
+      value & flag
+      & info [ "script" ]
+          ~doc:
+            "Emit the parseable script dialect (the output round-trips \
+             through $(b,tensorir parse) and $(b,tensorir lint)).")
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Print the lowered TensorIR program of a workload")
-    Term.(const run $ workload_arg)
+    Term.(const run $ workload_arg $ script)
 
 (* --- candidates --- *)
 
@@ -100,9 +113,9 @@ let tune_cmd =
       journal_path;
     Fmt.pr "workload: %s on %s@." w.W.name t.Tir_sim.Target.name;
     Fmt.pr "best latency: %.2f us (%.0f GFLOPS)@." (Tune.latency_us r) (Tune.gflops r);
-    Fmt.pr "search: %d trials, %d proposed, %d invalid, %d inapplicable@."
+    Fmt.pr "search: %d trials, %d proposed, %d invalid, %d unsound, %d inapplicable@."
       r.Tune.stats.trials r.Tune.stats.proposed r.Tune.stats.invalid
-      r.Tune.stats.inapplicable;
+      r.Tune.stats.unsound r.Tune.stats.inapplicable;
     Fmt.pr "simulated tuning time: %.2f minutes@." (Tune.tuning_minutes r);
     match r.Tune.best with
     | Some b ->
@@ -202,6 +215,91 @@ let parse_cmd =
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse and validate a TensorIR script file")
     Term.(const run $ path)
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let module A = Tir_analysis.Analysis in
+  let module BC = Tir_analysis.Bounds_check in
+  let run targets all validate =
+    let read_file path =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      match Tir_ir.Parser.parse_func src with
+      | f -> (path, f)
+      | exception Tir_ir.Parser.Parse_error m ->
+          Fmt.epr "%s: parse error: %s@." path m;
+          exit 2
+    in
+    let of_workload (w : W.t) = (w.W.name, w.W.func) in
+    let named =
+      (if all then List.map of_workload (W.gpu_suite () @ W.arm_suite ()) else [])
+      @ List.map
+          (fun t ->
+            if Sys.file_exists t then read_file t
+            else
+              match W.by_tag t with
+              | w -> of_workload w
+              | exception _ ->
+                  Fmt.epr "%s: not a file and not a workload tag@." t;
+                  exit 2)
+          targets
+    in
+    if named = [] then begin
+      Fmt.epr "nothing to lint: give workload tags, .tir files, or --all@.";
+      exit 2
+    end;
+    let findings = ref 0 in
+    List.iter
+      (fun (name, f) ->
+        (* Validation issues (§3.3) are lint findings too when requested:
+           the analyzer assumes a validated program. *)
+        let issues = if validate then Tir_sched.Validate.check_func f else [] in
+        let ds = A.lint f in
+        let proven, unknown, oob = BC.tally (BC.collect f) in
+        findings := !findings + List.length issues + List.length ds;
+        let summary =
+          Fmt.str "bounds: %d proven, %d unknown, %d out-of-bounds" proven
+            unknown oob
+        in
+        if issues = [] && ds = [] then Fmt.pr "%s: OK (%s)@." name summary
+        else begin
+          Fmt.pr "%s: %d finding(s) (%s)@." name
+            (List.length issues + List.length ds)
+            summary;
+          List.iter
+            (fun i -> Fmt.pr "  validate: %a@." Tir_sched.Validate.pp_issue i)
+            issues;
+          List.iter
+            (fun d -> Fmt.pr "  %a@." Tir_analysis.Diagnostic.pp d)
+            ds
+        end)
+      named;
+    if !findings > 0 then exit 1
+  in
+  let targets =
+    let doc = "Workload tags (e.g. GMM C2D) and/or TensorIR script files." in
+    Arg.(value & pos_all string [] & info [] ~docv:"TARGET" ~doc)
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all"; "a" ] ~doc:"Lint every workload in the GPU and ARM suites.")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:"Also report \\$(b,§3.3) validation issues, not just analyzer findings.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the semantic static analyzer (data races, region soundness, \
+          bounds) over workloads or script files; non-zero exit on findings")
+    Term.(const run $ targets $ all $ validate)
 
 (* --- report --- *)
 
@@ -331,4 +429,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ show_cmd; candidates_cmd; tune_cmd; model_cmd; parse_cmd; codegen_cmd;
-         intrinsics_cmd; report_cmd ]))
+         intrinsics_cmd; report_cmd; lint_cmd ]))

@@ -1,0 +1,39 @@
+(** Facade over the three semantic analyses.
+
+    [check_func] runs the data-race detector, the region-soundness
+    checker, and the bounds prover, returning deduplicated diagnostics in
+    a stable order (errors first, then by block/buffer/message). Counters
+    go through the [Tir_obs] registry; they are pure per-call counts, so
+    totals stay bit-identical at any [TIR_JOBS]. *)
+
+open Tir_ir
+module Metrics = Tir_obs.Metrics
+
+let m_checked = Metrics.counter "analysis.checked"
+let m_flagged = Metrics.counter "analysis.flagged"
+let m_race = Metrics.counter "analysis.race"
+let m_region = Metrics.counter "analysis.region"
+let m_bounds = Metrics.counter "analysis.bounds"
+
+let count_kind ds kind =
+  List.length (List.filter (fun (d : Diagnostic.t) -> d.kind = kind) ds)
+
+let check_func (f : Primfunc.t) : Diagnostic.t list =
+  Metrics.incr m_checked;
+  let ds = Race.check f @ Region_check.check f @ Bounds_check.check f in
+  let ds = List.sort_uniq Diagnostic.compare ds in
+  Metrics.add m_race (count_kind ds Diagnostic.Race);
+  Metrics.add m_region (count_kind ds Diagnostic.Region_unsound);
+  Metrics.add m_bounds (count_kind ds Diagnostic.Out_of_bounds);
+  if ds <> [] then Metrics.incr m_flagged;
+  ds
+
+let errors f = List.filter Diagnostic.is_error (check_func f)
+
+(** No findings at all, warnings included. *)
+let is_clean f = check_func f = []
+
+(** [check_func] under an [analysis.lint] span — the entry point for the
+    CLI and other interactive callers; the hot search path calls
+    [errors] directly to keep the span list lean. *)
+let lint f = Tir_obs.Span.with_span "analysis.lint" (fun () -> check_func f)

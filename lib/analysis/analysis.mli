@@ -1,0 +1,17 @@
+(** Semantic static analysis over [Primfunc.t]: data-race detection,
+    region-soundness checking, and bounds proving. *)
+
+open Tir_ir
+
+(** All three analyses; deduplicated, stable order (errors first, then
+    block/buffer/message). Increments the [analysis.*] counters. *)
+val check_func : Primfunc.t -> Diagnostic.t list
+
+(** Error-severity findings only. *)
+val errors : Primfunc.t -> Diagnostic.t list
+
+(** No findings at all, warnings included. *)
+val is_clean : Primfunc.t -> bool
+
+(** [check_func] under an [analysis.lint] span. *)
+val lint : Primfunc.t -> Diagnostic.t list

@@ -1,0 +1,158 @@
+(** Interval-based bounds prover.
+
+    Classifies every buffer access ([Load] / [Store] / [Ptr]) as proven
+    in-bounds, proven out-of-bounds, or unknown, under the variable ranges
+    in scope (loop extents, block iterator domains) refined by the guards
+    dominating the access ([select] conditions, [if] branches, block
+    predicates). The refinement mirrors the interpreter's lazy [select]
+    evaluation: a load under a false guard never executes, so it is
+    classified under the guard's assumption. *)
+
+open Tir_ir
+module Simplify = Tir_arith.Simplify
+
+type verdict = In_bounds | Out_of_bounds | Unknown
+
+type access = {
+  block : string;  (** innermost enclosing block *)
+  buffer : Buffer.t;
+  loops : string list;  (** enclosing loop variables, outermost first *)
+  indices : Expr.t list;
+  store : bool;
+  verdict : verdict;
+  detail : string;  (** human-readable reason for non-[In_bounds] verdicts *)
+}
+
+let classify ranges (buffer : Buffer.t) indices =
+  if List.length indices <> List.length buffer.shape then
+    ( Out_of_bounds,
+      Fmt.str "%d indices for %d-dimensional buffer" (List.length indices)
+        (List.length buffer.shape) )
+  else
+    let ctx = { Simplify.ranges } in
+    let dim i idx extent =
+      let idx = Simplify.simplify ctx idx in
+      match Bound.of_expr_map ranges idx with
+      | Some { Bound.lo; hi } ->
+          if lo >= 0 && hi <= extent - 1 then (In_bounds, "")
+          else if lo > extent - 1 || hi < 0 then
+            ( Out_of_bounds,
+              Fmt.str "dim %d index %a spans [%d, %d] but extent is %d" i
+                Expr.pp idx lo hi extent )
+          else
+            ( Unknown,
+              Fmt.str "dim %d index %a spans [%d, %d] vs extent %d" i Expr.pp
+                idx lo hi extent )
+      | None -> (Unknown, Fmt.str "dim %d index %a not boundable" i Expr.pp idx)
+    in
+    let verdicts = List.mapi (fun i (idx, ext) -> dim i idx ext)
+        (List.combine indices buffer.shape)
+    in
+    match List.find_opt (fun (v, _) -> v = Out_of_bounds) verdicts with
+    | Some oob -> oob
+    | None -> (
+        match List.find_opt (fun (v, _) -> v = Unknown) verdicts with
+        | Some unk -> unk
+        | None -> (In_bounds, ""))
+
+(** Collect and classify every access in the function. *)
+let collect (f : Primfunc.t) : access list =
+  let out = ref [] in
+  let note ~block ~loops ~ranges ~store buffer indices =
+    let verdict, detail = classify ranges buffer indices in
+    out := { block; buffer; loops; indices; store; verdict; detail } :: !out
+  in
+  let rec visit_expr ~block ~loops ranges e =
+    match e with
+    | Expr.Load (b, idx) | Expr.Ptr (b, idx) ->
+        List.iter (visit_expr ~block ~loops ranges) idx;
+        note ~block ~loops ~ranges ~store:false b idx
+    | Expr.Select (c, t, f) ->
+        visit_expr ~block ~loops ranges c;
+        Option.iter
+          (fun r -> visit_expr ~block ~loops r t)
+          (Refine.refine ranges c);
+        Option.iter
+          (fun r -> visit_expr ~block ~loops r f)
+          (Refine.refine ranges (Refine.negate c))
+    | Expr.Bin (_, a, b) | Expr.Cmp (_, a, b) | Expr.And (a, b) | Expr.Or (a, b)
+      ->
+        visit_expr ~block ~loops ranges a;
+        visit_expr ~block ~loops ranges b
+    | Expr.Not a | Expr.Cast (_, a) -> visit_expr ~block ~loops ranges a
+    | Expr.Call (_, _, args) -> List.iter (visit_expr ~block ~loops ranges) args
+    | Expr.Int _ | Expr.Float _ | Expr.Bool _ | Expr.Var _ -> ()
+  in
+  let rec walk ~block ~loops ranges (s : Stmt.t) =
+    match s with
+    | Stmt.For r ->
+        let ranges =
+          Var.Map.add r.loop_var (Bound.of_extent r.extent) ranges
+        in
+        walk ~block ~loops:(r.loop_var.Var.name :: loops) ranges r.body
+    | Stmt.Seq ss -> List.iter (walk ~block ~loops ranges) ss
+    | Stmt.If (c, t, e) ->
+        visit_expr ~block ~loops ranges c;
+        Option.iter (fun r -> walk ~block ~loops r t) (Refine.refine ranges c);
+        Option.iter
+          (fun e ->
+            Option.iter
+              (fun r -> walk ~block ~loops r e)
+              (Refine.refine ranges (Refine.negate c)))
+          e
+    | Stmt.Store (b, idx, v) ->
+        List.iter (visit_expr ~block ~loops ranges) idx;
+        visit_expr ~block ~loops ranges v;
+        note ~block ~loops ~ranges ~store:true b idx
+    | Stmt.Eval e -> visit_expr ~block ~loops ranges e
+    | Stmt.Block br ->
+        List.iter (visit_expr ~block ~loops ranges) br.iter_values;
+        visit_expr ~block ~loops ranges br.predicate;
+        let inner =
+          List.fold_left
+            (fun acc (iv : Stmt.iter_var) ->
+              Var.Map.add iv.var (Bound.of_extent iv.extent) acc)
+            ranges br.block.iter_vars
+        in
+        (* A provably-false predicate means the block never executes. *)
+        (match Refine.refine inner br.predicate with
+        | None -> ()
+        | Some inner ->
+            let block = br.block.name in
+            Option.iter (walk ~block ~loops inner) br.block.init;
+            walk ~block ~loops inner br.block.body)
+  in
+  walk ~block:Primfunc.root_block_name ~loops:[] Var.Map.empty f.body;
+  List.rev !out
+
+(** (proven in-bounds, unknown, proven out-of-bounds) counts. *)
+let tally accesses =
+  List.fold_left
+    (fun (i, u, o) a ->
+      match a.verdict with
+      | In_bounds -> (i + 1, u, o)
+      | Unknown -> (i, u + 1, o)
+      | Out_of_bounds -> (i, u, o + 1))
+    (0, 0, 0) accesses
+
+(** Every access proven in-bounds: the interpreter cannot raise an
+    out-of-bounds error on this program. *)
+let certified f = List.for_all (fun a -> a.verdict = In_bounds) (collect f)
+
+(** Diagnostics for proven out-of-bounds accesses only; unknowns are
+    reported through [tally], not as findings. *)
+let check (f : Primfunc.t) : Diagnostic.t list =
+  List.filter_map
+    (fun a ->
+      match a.verdict with
+      | Out_of_bounds ->
+          Some
+            (Diagnostic.make ~kind:Diagnostic.Out_of_bounds ~block:a.block
+               ~buffer:a.buffer.Buffer.name ~loops:(List.rev a.loops)
+               (Fmt.str "%s %a[%a] proven out of bounds: %s"
+                  (if a.store then "store to" else "load of")
+                  Buffer.pp a.buffer
+                  Fmt.(list ~sep:(any ", ") Expr.pp)
+                  a.indices a.detail))
+      | _ -> None)
+    (collect f)

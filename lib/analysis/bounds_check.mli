@@ -1,0 +1,29 @@
+(** Interval-based bounds prover: classifies every buffer access as proven
+    in-bounds, proven out-of-bounds, or unknown. *)
+
+open Tir_ir
+
+type verdict = In_bounds | Out_of_bounds | Unknown
+
+type access = {
+  block : string;
+  buffer : Buffer.t;
+  loops : string list;  (** enclosing loop variables, outermost first *)
+  indices : Expr.t list;
+  store : bool;
+  verdict : verdict;
+  detail : string;
+}
+
+(** Collect and classify every access in the function. *)
+val collect : Primfunc.t -> access list
+
+(** (proven in-bounds, unknown, proven out-of-bounds) counts. *)
+val tally : access list -> int * int * int
+
+(** Every access proven in-bounds: the interpreter cannot raise an
+    out-of-bounds error on this program, for any input. *)
+val certified : Primfunc.t -> bool
+
+(** Diagnostics for proven out-of-bounds accesses. *)
+val check : Primfunc.t -> Diagnostic.t list

@@ -1,0 +1,56 @@
+(** Analyzer findings.
+
+    Every diagnostic names the block and buffer it concerns plus the chain
+    of enclosing loops (outermost first), so lint output can point at the
+    exact site without re-walking the program. *)
+
+type severity = Error | Warning
+
+type kind = Race | Region_unsound | Out_of_bounds
+
+type t = {
+  severity : severity;
+  kind : kind;
+  block : string;  (** enclosing (or offending) block name *)
+  buffer : string;  (** buffer the finding concerns *)
+  loops : string list;  (** enclosing loop variables, outermost first *)
+  message : string;
+}
+
+let make ?(severity = Error) ~kind ~block ~buffer ~loops message =
+  { severity; kind; block; buffer; loops; message }
+
+let is_error d = d.severity = Error
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let kind_to_string = function
+  | Race -> "race"
+  | Region_unsound -> "region"
+  | Out_of_bounds -> "bounds"
+
+(* Stable ordering for deterministic output: severity first (errors before
+   warnings), then block, buffer, message. *)
+let compare a b =
+  let sev = function Error -> 0 | Warning -> 1 in
+  let c = Int.compare (sev a.severity) (sev b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.block b.block in
+    if c <> 0 then c
+    else
+      let c = String.compare a.buffer b.buffer in
+      if c <> 0 then c
+      else
+        let c = String.compare a.message b.message in
+        if c <> 0 then c else compare a.loops b.loops
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s] block %S buffer %S%s: %s" (severity_to_string d.severity)
+    (kind_to_string d.kind) d.block d.buffer
+    (match d.loops with
+    | [] -> ""
+    | ls -> Fmt.str " (loops %s)" (String.concat " > " ls))
+    d.message
+
+let to_string d = Fmt.str "%a" pp d

@@ -1,0 +1,34 @@
+(** Analyzer findings: severity, kind, and the block/buffer/loop context
+    needed to render an actionable message. *)
+
+type severity = Error | Warning
+
+type kind = Race | Region_unsound | Out_of_bounds
+
+type t = {
+  severity : severity;
+  kind : kind;
+  block : string;
+  buffer : string;
+  loops : string list;  (** enclosing loop variables, outermost first *)
+  message : string;
+}
+
+val make :
+  ?severity:severity ->
+  kind:kind ->
+  block:string ->
+  buffer:string ->
+  loops:string list ->
+  string ->
+  t
+
+val is_error : t -> bool
+val severity_to_string : severity -> string
+val kind_to_string : kind -> string
+
+(** Total order: errors before warnings, then (block, buffer, message). *)
+val compare : t -> t -> int
+
+val pp : t Fmt.t
+val to_string : t -> string

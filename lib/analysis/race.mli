@@ -1,0 +1,6 @@
+(** Data-race detector: write-write and read-write conflicts between
+    iterations of parallel, vectorized, and thread-bound loops. *)
+
+open Tir_ir
+
+val check : Primfunc.t -> Diagnostic.t list

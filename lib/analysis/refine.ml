@@ -1,0 +1,85 @@
+(** Range refinement from affine guard conditions.
+
+    [refine ranges cond] narrows variable intervals using the conjuncts of
+    [cond] that are affine comparisons over a single variable
+    ([c*v + k ⋈ 0]); everything else refines nothing. Returns [None] when a
+    conjunct is unsatisfiable under [ranges] — the guarded branch is dead
+    and its accesses never execute. This is what lets the bounds prover
+    certify the [select]-guarded loads of padding stages and the split
+    predicates of partial tiles. *)
+
+open Tir_ir
+module Simplify = Tir_arith.Simplify
+
+let ceil_div a b = -Expr.floordiv (-a) b
+
+type halfline = Lower of int | Upper of int
+
+(* Bounds on v implied by [c*v <= k] / [c*v >= k] with c <> 0. *)
+let upper c k = if c > 0 then Upper (Expr.floordiv k c) else Lower (ceil_div k c)
+let lower c k = if c > 0 then Lower (ceil_div k c) else Upper (Expr.floordiv k c)
+
+(* Constraints on v from [c*v + k ⋈ 0], i.e. [c*v ⋈ -k]. *)
+let constraints op c k =
+  match op with
+  | Expr.Le -> [ upper c (-k) ]
+  | Expr.Lt -> [ upper c (-k - 1) ]
+  | Expr.Ge -> [ lower c (-k) ]
+  | Expr.Gt -> [ lower c (-k + 1) ]
+  | Expr.Eq -> [ upper c (-k); lower c (-k) ]
+  | Expr.Ne -> []
+
+let const_holds op k =
+  match op with
+  | Expr.Eq -> k = 0
+  | Expr.Ne -> k <> 0
+  | Expr.Lt -> k < 0
+  | Expr.Le -> k <= 0
+  | Expr.Gt -> k > 0
+  | Expr.Ge -> k >= 0
+
+let inv_op = function
+  | Expr.Eq -> Expr.Ne
+  | Expr.Ne -> Expr.Eq
+  | Expr.Lt -> Expr.Ge
+  | Expr.Le -> Expr.Gt
+  | Expr.Gt -> Expr.Le
+  | Expr.Ge -> Expr.Lt
+
+(** Logical negation pushed through the boolean skeleton. *)
+let rec negate = function
+  | Expr.Bool b -> Expr.Bool (not b)
+  | Expr.Not e -> e
+  | Expr.Cmp (op, a, b) -> Expr.Cmp (inv_op op, a, b)
+  | Expr.And (a, b) -> Expr.Or (negate a, negate b)
+  | Expr.Or (a, b) -> Expr.And (negate a, negate b)
+  | e -> Expr.Not e
+
+let apply_halfline (iv : Bound.interval) = function
+  | Lower l -> { iv with Bound.lo = max iv.Bound.lo l }
+  | Upper u -> { iv with Bound.hi = min iv.Bound.hi u }
+
+(** Narrow [ranges] under the assumption that [cond] holds. [None] means
+    [cond] is provably false (dead branch). Only single-variable affine
+    comparisons refine; anything else is kept as "no information". *)
+let rec refine ranges cond =
+  match cond with
+  | Expr.Bool true -> Some ranges
+  | Expr.Bool false -> None
+  | Expr.And (a, b) -> Option.bind (refine ranges a) (fun r -> refine r b)
+  | Expr.Not e -> refine ranges (negate e)
+  | Expr.Cmp (op, a, b) -> (
+      let l = Simplify.to_linear (Expr.sub a b) in
+      match l.Simplify.terms with
+      | [] -> if const_holds op l.Simplify.const then Some ranges else None
+      | [ (Expr.Var v, c) ] -> (
+          match Var.Map.find_opt v ranges with
+          | None -> Some ranges
+          | Some iv ->
+              let iv' =
+                List.fold_left apply_halfline iv (constraints op c l.Simplify.const)
+              in
+              if iv'.Bound.lo > iv'.Bound.hi then None
+              else Some (Var.Map.add v iv' ranges))
+      | _ -> Some ranges)
+  | _ -> Some ranges

@@ -1,0 +1,14 @@
+(** Range refinement from affine guard conditions (select / if / block
+    predicates). *)
+
+open Tir_ir
+
+(** Logical negation pushed through the boolean skeleton (for
+    else-branches). *)
+val negate : Expr.t -> Expr.t
+
+(** Narrow variable ranges under the assumption the condition holds;
+    [None] when the condition is provably false under the given ranges
+    (dead branch). *)
+val refine :
+  Bound.interval Var.Map.t -> Expr.t -> Bound.interval Var.Map.t option

@@ -1,0 +1,222 @@
+(** Region-soundness checker.
+
+    Recomputes each block's actually-accessed regions from its body (direct
+    loads/stores plus the declared regions of nested blocks substituted
+    through their bindings) and verifies the block's declared
+    [reads]/[writes] signatures over-approximate them. This catches
+    schedule primitives that rewrite a body but leave a stale signature.
+
+    Legal exceptions (not flagged):
+    - the root block, whose empty signature means "everything" by
+      convention;
+    - blocks annotated ["tensorized"], whose opaque intrinsic bodies are
+      validated by the tensorize primitive's own pattern match;
+    - a reduction block's read of its own accumulator (the [C += ...]
+      pattern): builders deliberately omit the accumulator from [reads], so
+      a read covered by a declared *write* region of the same block is
+      accepted. *)
+
+open Tir_ir
+module Simplify = Tir_arith.Simplify
+module Region = Tir_arith.Region
+
+type actual = {
+  a_store : bool;
+  a_buffer : Buffer.t;
+  a_region : (Expr.t * int) list;
+  a_ranges : Bound.interval Var.Map.t;  (** guard-refined ranges at the site *)
+}
+
+(* [declared] covers [actual] per dimension, symbolically:
+   d_min <= a_min  and  a_min + a_ext <= d_min + d_ext. Iterator variables
+   common to both sides cancel in the linear form, so the check is exact
+   per block instance. *)
+let covers_sym ~ranges (declared : Stmt.buffer_region) (a : actual) =
+  List.length declared.region = List.length a.a_region
+  && List.for_all2
+       (fun (dm, de) (am, ae) ->
+         let ctx = { Simplify.ranges } in
+         let lo_ok =
+           let diff = Simplify.simplify ctx (Expr.sub am dm) in
+           match Bound.of_expr_map ranges diff with
+           | Some { Bound.lo; _ } -> lo >= 0
+           | None -> false
+         in
+         lo_ok
+         &&
+         let diff =
+           Simplify.simplify ctx
+             (Expr.sub
+                (Expr.add am (Expr.Int ae))
+                (Expr.add dm (Expr.Int de)))
+         in
+         match Bound.of_expr_map ranges diff with
+         | Some { Bound.hi; _ } -> hi <= 0
+         | None -> false)
+       declared.region a.a_region
+
+(* Concrete fallback: the union hull of all declared regions covers the
+   actual access's hull (both clipped to the buffer). Used when symbolic
+   comparison is inconclusive, e.g. unioned multi-site read regions. *)
+let covers_hull ~declared (a : actual) =
+  match
+    Region.hull_of_region a.a_ranges
+      { Stmt.buffer = a.a_buffer; region = a.a_region }
+  with
+  | None -> true (* cannot bound the access: no provable violation *)
+  | Some ahull ->
+      let ahull = Region.clip a.a_buffer ahull in
+      let dhull =
+        List.fold_left
+          (fun acc d ->
+            let h = Region.clip a.a_buffer (Region.hull_or_full a.a_ranges d) in
+            match acc with None -> Some h | Some u -> Some (Region.union_hull u h))
+          None declared
+      in
+      (match dhull with None -> false | Some d -> Region.covers d ahull)
+
+let is_tensorized (b : Stmt.block) =
+  List.mem_assoc "tensorized" b.annotations
+
+let check (f : Primfunc.t) : Diagnostic.t list =
+  let diags = ref [] in
+  let flag ~block ~loops ~buffer msg =
+    diags :=
+      Diagnostic.make ~kind:Diagnostic.Region_unsound ~block
+        ~buffer:buffer.Buffer.name ~loops:(List.rev loops) msg
+      :: !diags
+  in
+  (* Gather the actual accesses of one block's body+init. Nested blocks
+     contribute their declared regions (substituted through their bindings)
+     and are not entered: each is checked as its own unit. *)
+  let gather ranges (b : Stmt.block) =
+    let acc = ref [] in
+    let note ~store ~ranges buffer region =
+      acc := { a_store = store; a_buffer = buffer; a_region = region; a_ranges = ranges } :: !acc
+    in
+    let points idx = List.map (fun i -> (i, 1)) idx in
+    let rec gexpr ranges e =
+      match e with
+      | Expr.Load (buf, idx) | Expr.Ptr (buf, idx) ->
+          List.iter (gexpr ranges) idx;
+          note ~store:false ~ranges buf (points idx)
+      | Expr.Select (c, t, f) ->
+          gexpr ranges c;
+          Option.iter (fun r -> gexpr r t) (Refine.refine ranges c);
+          Option.iter (fun r -> gexpr r f) (Refine.refine ranges (Refine.negate c))
+      | Expr.Bin (_, a, b) | Expr.Cmp (_, a, b) | Expr.And (a, b) | Expr.Or (a, b) ->
+          gexpr ranges a;
+          gexpr ranges b
+      | Expr.Not a | Expr.Cast (_, a) -> gexpr ranges a
+      | Expr.Call (_, _, args) -> List.iter (gexpr ranges) args
+      | Expr.Int _ | Expr.Float _ | Expr.Bool _ | Expr.Var _ -> ()
+    in
+    let rec gstmt ranges (s : Stmt.t) =
+      match s with
+      | Stmt.Store (buf, idx, v) ->
+          List.iter (gexpr ranges) idx;
+          gexpr ranges v;
+          note ~store:true ~ranges buf (points idx)
+      | Stmt.Eval e -> gexpr ranges e
+      | Stmt.If (c, t, e) ->
+          gexpr ranges c;
+          Option.iter (fun r -> gstmt r t) (Refine.refine ranges c);
+          Option.iter
+            (fun e ->
+              Option.iter (fun r -> gstmt r e)
+                (Refine.refine ranges (Refine.negate c)))
+            e
+      | Stmt.For r ->
+          gstmt (Var.Map.add r.loop_var (Bound.of_extent r.extent) ranges) r.body
+      | Stmt.Seq ss -> List.iter (gstmt ranges) ss
+      | Stmt.Block nbr ->
+          List.iter (gexpr ranges) nbr.iter_values;
+          gexpr ranges nbr.predicate;
+          let bind =
+            List.fold_left2
+              (fun m (iv : Stmt.iter_var) value -> Var.Map.add iv.var value m)
+              Var.Map.empty nbr.block.iter_vars nbr.iter_values
+          in
+          let contribute store (r : Stmt.buffer_region) =
+            let region =
+              List.map (fun (mn, ext) -> (Expr.subst_map bind mn, ext)) r.region
+            in
+            note ~store ~ranges r.buffer region
+          in
+          List.iter (contribute false) nbr.block.reads;
+          List.iter (contribute true) nbr.block.writes
+    in
+    gstmt ranges b.body;
+    Option.iter (gstmt ranges) b.init;
+    List.rev !acc
+  in
+  let check_block ~loops ranges (br : Stmt.block_realize) =
+    let b = br.block in
+    let ranges =
+      List.fold_left
+        (fun acc (iv : Stmt.iter_var) ->
+          Var.Map.add iv.var (Bound.of_extent iv.extent) acc)
+        ranges b.iter_vars
+    in
+    let covered declared (a : actual) =
+      declared <> []
+      && (List.exists (fun d -> covers_sym ~ranges:a.a_ranges d a) declared
+         || covers_hull ~declared a)
+    in
+    List.iter
+      (fun (a : actual) ->
+        let dir = if a.a_store then "write" else "read" in
+        let same_buffer (d : Stmt.buffer_region) = Buffer.equal d.buffer a.a_buffer in
+        let declared =
+          List.filter same_buffer (if a.a_store then b.writes else b.reads)
+        in
+        let ok =
+          covered declared a
+          || (* reduction-update exception: accumulator reads are covered by
+                the block's own declared write region *)
+          ((not a.a_store) && covered (List.filter same_buffer b.writes) a)
+        in
+        if not ok then
+          if declared = [] then
+            flag ~block:b.name ~loops ~buffer:a.a_buffer
+              (Fmt.str "%s of %a[%a] but buffer missing from the block's %s signature"
+                 dir Buffer.pp a.a_buffer
+                 Fmt.(list ~sep:(any ", ") Expr.pp)
+                 (List.map fst a.a_region) dir)
+          else
+            flag ~block:b.name ~loops ~buffer:a.a_buffer
+              (Fmt.str "declared %s region of %a does not cover access [%a]"
+                 dir Buffer.pp a.a_buffer
+                 Fmt.(list ~sep:(any ", ") Expr.pp)
+                 (List.map fst a.a_region)))
+      (gather ranges b)
+  in
+  let rec walk ~loops ranges (s : Stmt.t) =
+    match s with
+    | Stmt.For r ->
+        walk
+          ~loops:(r.loop_var.Var.name :: loops)
+          (Var.Map.add r.loop_var (Bound.of_extent r.extent) ranges)
+          r.body
+    | Stmt.Seq ss -> List.iter (walk ~loops ranges) ss
+    | Stmt.If (_, t, e) ->
+        walk ~loops ranges t;
+        Option.iter (walk ~loops ranges) e
+    | Stmt.Store _ | Stmt.Eval _ -> ()
+    | Stmt.Block br ->
+        let b = br.block in
+        if
+          (not (String.equal b.name Primfunc.root_block_name))
+          && not (is_tensorized b)
+        then check_block ~loops ranges br;
+        let inner =
+          List.fold_left
+            (fun acc (iv : Stmt.iter_var) ->
+              Var.Map.add iv.var (Bound.of_extent iv.extent) acc)
+            ranges b.iter_vars
+        in
+        Option.iter (walk ~loops inner) b.init;
+        walk ~loops inner b.body
+  in
+  walk ~loops:[] Var.Map.empty f.body;
+  List.rev !diags

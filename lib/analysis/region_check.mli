@@ -1,0 +1,7 @@
+(** Region-soundness checker: verifies every block's declared
+    [reads]/[writes] regions over-approximate the accesses its body
+    actually performs. *)
+
+open Tir_ir
+
+val check : Primfunc.t -> Diagnostic.t list

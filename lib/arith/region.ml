@@ -10,12 +10,16 @@ open Tir_ir
 type hull = (int * int) list (* inclusive lo/hi per dimension *)
 
 (** Hull of a region given variable ranges. Returns [None] when a min
-    expression cannot be bounded. *)
+    expression cannot be bounded or a dimension extent is non-positive
+    (degenerate and negative-stride regions are rejected rather than
+    silently producing inverted hulls). *)
 let hull_of_region ranges (r : Stmt.buffer_region) : hull option =
   let dim (mn, ext) =
-    match Bound.of_expr_map ranges mn with
-    | Some { Bound.lo; hi } -> Some (lo, hi + ext - 1)
-    | None -> None
+    if ext <= 0 then None
+    else
+      match Bound.of_expr_map ranges mn with
+      | Some { Bound.lo; hi } -> Some (lo, hi + ext - 1)
+      | None -> None
   in
   let rec go acc = function
     | [] -> Some (List.rev acc)
@@ -30,6 +34,18 @@ let hull_or_full ranges (r : Stmt.buffer_region) =
   match hull_of_region ranges r with Some h -> h | None -> full_hull r.buffer
 
 let union_hull a b = List.map2 (fun (l1, h1) (l2, h2) -> (min l1 l2, max h1 h2)) a b
+
+(** Intersection of two hulls of the same rank; [None] when empty in any
+    dimension. *)
+let intersect_hull a b =
+  let rec go acc = function
+    | [], [] -> Some (List.rev acc)
+    | (l1, h1) :: ra, (l2, h2) :: rb ->
+        let lo = max l1 l2 and hi = min h1 h2 in
+        if lo > hi then None else go ((lo, hi) :: acc) (ra, rb)
+    | _ -> invalid_arg "Region.intersect_hull: rank mismatch"
+  in
+  go [] (a, b)
 
 (** [covers producer consumer] iff every consumer dimension range lies within
     the producer's. *)

@@ -7,7 +7,7 @@ type hull = (int * int) list
 (** Inclusive [lo, hi] per dimension. *)
 
 (** Hull of a region given variable ranges; [None] when a min expression
-    cannot be bounded. *)
+    cannot be bounded or a dimension extent is non-positive. *)
 val hull_of_region : Bound.interval Var.Map.t -> Stmt.buffer_region -> hull option
 
 (** The whole buffer (conservative fallback). *)
@@ -15,6 +15,9 @@ val full_hull : Buffer.t -> hull
 
 val hull_or_full : Bound.interval Var.Map.t -> Stmt.buffer_region -> hull
 val union_hull : hull -> hull -> hull
+
+(** Intersection of two hulls of the same rank; [None] when empty. *)
+val intersect_hull : hull -> hull -> hull option
 
 (** [covers producer consumer]: every consumer range within the
     producer's. *)

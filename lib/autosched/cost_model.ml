@@ -92,6 +92,7 @@ let score_batch t (features : float array array) =
 type evaluation =
   | Inapplicable  (** the sketch rejected the decision vector *)
   | Invalid  (** the §3.3 validator found issues *)
+  | Unsound  (** the semantic analyzer proved a race / unsound region / OOB *)
   | Unsupported  (** the machine model cannot run the program *)
   | Evaluated of {
       func : Tir_ir.Primfunc.t;
@@ -122,6 +123,7 @@ let evaluate ~target (sk : Sketch.t) (d : Space.decisions) : evaluation =
       let f = Tir_sched.Schedule.func sch in
       match Tir_sched.Validate.check_func f with
       | _ :: _ -> Invalid
+      | [] when Tir_analysis.Analysis.errors f <> [] -> Unsound
       | [] -> (
           match Features.extract target f with
           | features ->

@@ -35,6 +35,7 @@ val score_batch : t -> float array array -> float array
 type evaluation =
   | Inapplicable  (** the sketch rejected the decision vector *)
   | Invalid  (** the §3.3 validator found issues *)
+  | Unsound  (** the semantic analyzer proved a race / unsound region / OOB *)
   | Unsupported  (** the machine model cannot run the program *)
   | Evaluated of {
       func : Tir_ir.Primfunc.t;

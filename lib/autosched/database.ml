@@ -281,7 +281,9 @@ let replay_from_sketch (target : Tir_sim.Target.t) (sketches : Sketch.t list)
       in
       match snd (Cost_model.evaluate_cached ~key ~target sk r.decisions) with
       | exception Space.Unknown_knob _ -> None
-      | Cost_model.Inapplicable | Cost_model.Invalid | Cost_model.Unsupported -> None
+      | Cost_model.Inapplicable | Cost_model.Invalid | Cost_model.Unsound
+      | Cost_model.Unsupported ->
+          None
       | Cost_model.Evaluated { func; trace; _ } -> (
           match snd (Cost_model.measure_cached ~key ~target func) with
           | None -> None

@@ -56,6 +56,7 @@ type stats = {
   mutable trials : int;  (** programs measured on hardware *)
   mutable proposed : int;  (** programs proposed by the search *)
   mutable invalid : int;  (** rejected by the §3.3 validator *)
+  mutable unsound : int;  (** rejected by the semantic analyzer *)
   mutable inapplicable : int;  (** decision vectors the sketch rejects *)
   mutable best_curve : (int * float) list;  (** (trial, best latency) *)
   mutable profiling_us : float;  (** simulated time spent measuring *)
@@ -68,6 +69,7 @@ let new_stats () =
     trials = 0;
     proposed = 0;
     invalid = 0;
+    unsound = 0;
     inapplicable = 0;
     best_curve = [];
     profiling_us = 0.0;
@@ -99,6 +101,7 @@ type origin = Seeded | Random | Mutation | Crossover
 let m_proposed = Metrics.counter "search.proposed"
 let m_deduped = Metrics.counter "search.deduped"
 let m_invalid = Metrics.counter "search.invalid"
+let m_unsound = Metrics.counter "search.unsound"
 let m_inapplicable = Metrics.counter "search.inapplicable"
 let m_trials = Metrics.counter "search.trials"
 let m_generations = Metrics.counter "search.generations"
@@ -112,6 +115,7 @@ type gen_tally = {
   mutable g_proposed : int;
   mutable g_deduped : int;
   mutable g_invalid : int;
+  mutable g_unsound : int;
   mutable g_inapplicable : int;
   mutable g_memo_hits : int;
   mutable g_measured : int;
@@ -126,6 +130,7 @@ let new_gen_tally () =
     g_proposed = 0;
     g_deduped = 0;
     g_invalid = 0;
+    g_unsound = 0;
     g_inapplicable = 0;
     g_memo_hits = 0;
     g_measured = 0;
@@ -266,6 +271,10 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
                stats.invalid <- stats.invalid + 1;
                !g.g_invalid <- !g.g_invalid + 1;
                []
+           | Cost_model.Unsound ->
+               stats.unsound <- stats.unsound + 1;
+               !g.g_unsound <- !g.g_unsound + 1;
+               []
            | Cost_model.Unsupported -> []
            | Cost_model.Evaluated { func; features; trace } ->
                [ (sk, d, key, origin, func, features, trace) ])
@@ -335,6 +344,7 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
     Metrics.add m_proposed t.g_proposed;
     Metrics.add m_deduped t.g_deduped;
     Metrics.add m_invalid t.g_invalid;
+    Metrics.add m_unsound t.g_unsound;
     Metrics.add m_inapplicable t.g_inapplicable;
     Metrics.add m_trials t.g_measured;
     Metrics.add m_mutations t.g_mutations;
@@ -355,7 +365,9 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
                gen = !gen;
                proposed = t.g_proposed;
                deduped = t.g_deduped;
-               invalid = t.g_invalid;
+               (* analyzer rejections fold into the journal's invalid
+                  count: the schema predates the semantic analyzer *)
+               invalid = t.g_invalid + t.g_unsound;
                inapplicable = t.g_inapplicable;
                memo_hits = t.g_memo_hits;
                measured = t.g_measured;

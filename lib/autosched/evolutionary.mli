@@ -21,6 +21,7 @@ type stats = {
   mutable trials : int;  (** programs measured *)
   mutable proposed : int;  (** programs proposed *)
   mutable invalid : int;  (** rejected by validation *)
+  mutable unsound : int;  (** rejected by the semantic analyzer *)
   mutable inapplicable : int;  (** rejected by the sketch *)
   mutable best_curve : (int * float) list;  (** (trial, best latency) *)
   mutable profiling_us : float;  (** simulated measurement time *)

@@ -36,6 +36,11 @@ module Schedule = Tir_sched.Schedule
 module Validate = Tir_sched.Validate
 module Zipper = Tir_sched.Zipper
 
+(* Semantic static analysis *)
+module Analysis = Tir_analysis.Analysis
+module Diagnostic = Tir_analysis.Diagnostic
+module Bounds_check = Tir_analysis.Bounds_check
+
 (* Intrinsics *)
 module Tensor_intrin = Tir_intrin.Tensor_intrin
 module Intrin_library = Tir_intrin.Library

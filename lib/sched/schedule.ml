@@ -12,51 +12,85 @@
 
 include State
 
+(* Deep-check mode: when enabled (env TIR_DEEPCHECK=1 or
+   [set_deep_check true]), every transforming primitive re-runs the
+   semantic analyzer (race / region-soundness / bounds) on the resulting
+   program and raises [Schedule_error] on any error-severity finding. The
+   offending primitive has already mutated the schedule when the error is
+   raised — deep check is a debugging net, not a transaction. *)
+let deep_check_flag =
+  ref
+    (match Sys.getenv_opt "TIR_DEEPCHECK" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let set_deep_check b = deep_check_flag := b
+let deep_check_enabled () = !deep_check_flag
+
+let deep t =
+  if !deep_check_flag then
+    match Tir_analysis.Analysis.errors (func t) with
+    | [] -> ()
+    | ds ->
+        err "deep check failed:@,%a"
+          (Fmt.list ~sep:Fmt.cut Tir_analysis.Diagnostic.pp)
+          ds
+
 (* Loop transformations. Each primitive records a structured instruction on
    the schedule trace so a tuning result carries its own reproducible,
    serializable script. *)
 let split t v ~factors =
   let r = Loop_transform.split t v ~factors in
   Trace.record_split (builder t) ~loop:v ~factors ~outs:r;
+  deep t;
   r
 
 let fuse t a b =
   let r = Loop_transform.fuse t a b in
   Trace.record_fuse (builder t) ~a ~b ~out:r;
+  deep t;
   r
 
 let fuse_many t vs =
   let r = Loop_transform.fuse_many t vs in
   Trace.record_fuse_many (builder t) ~loops:vs ~out:r;
+  deep t;
   r
 
 let reorder t vs =
   Loop_transform.reorder t vs;
-  Trace.record_reorder (builder t) ~loops:vs
+  Trace.record_reorder (builder t) ~loops:vs;
+  deep t
 
 let bind t v axis =
   Loop_transform.bind t v axis;
-  Trace.record_bind (builder t) ~loop:v ~thread:axis
+  Trace.record_bind (builder t) ~loop:v ~thread:axis;
+  deep t
 
 let parallel t v =
   Loop_transform.parallel t v;
-  Trace.record_parallel (builder t) ~loop:v
+  Trace.record_parallel (builder t) ~loop:v;
+  deep t
 
 let vectorize t v =
   Loop_transform.vectorize t v;
-  Trace.record_vectorize (builder t) ~loop:v
+  Trace.record_vectorize (builder t) ~loop:v;
+  deep t
 
 let unroll t v =
   Loop_transform.unroll t v;
-  Trace.record_unroll (builder t) ~loop:v
+  Trace.record_unroll (builder t) ~loop:v;
+  deep t
 
 let annotate t v k value =
   Loop_transform.annotate t v k value;
-  Trace.record_annotate (builder t) ~loop:v ~key:k ~value
+  Trace.record_annotate (builder t) ~loop:v ~key:k ~value;
+  deep t
 
 let annotate_block t name k value =
   Loop_transform.annotate_block t name k value;
-  Trace.record_annotate_block (builder t) ~block:name ~key:k ~value
+  Trace.record_annotate_block (builder t) ~block:name ~key:k ~value;
+  deep t
 
 (* Lookup. [get_loops] defines the loop RVs later instructions consume, so
    it is itself traced (the internal [State.get_loops] is not). *)
@@ -68,64 +102,77 @@ let get_loops t name =
 (* Compute location *)
 let compute_at t name v =
   Compute_location.compute_at t name v;
-  Trace.record_compute_at (builder t) ~block:name ~loop:v
+  Trace.record_compute_at (builder t) ~block:name ~loop:v;
+  deep t
 
 let reverse_compute_at t name v =
   Compute_location.reverse_compute_at t name v;
-  Trace.record_reverse_compute_at (builder t) ~block:name ~loop:v
+  Trace.record_reverse_compute_at (builder t) ~block:name ~loop:v;
+  deep t
 
 let compute_inline t name =
   Inline.compute_inline t name;
-  Trace.record_compute_inline (builder t) ~block:name
+  Trace.record_compute_inline (builder t) ~block:name;
+  deep t
 
 let reverse_compute_inline t name =
   Inline.reverse_compute_inline t name;
-  Trace.record_reverse_compute_inline (builder t) ~block:name
+  Trace.record_reverse_compute_inline (builder t) ~block:name;
+  deep t
 
 (* Block hierarchy *)
 let cache_read t name buf scope =
   let r = Cache.cache_read t name buf scope in
   Trace.record_cache_read (builder t) ~block:name ~buffer:buf.Tir_ir.Buffer.name
     ~scope ~out:r;
+  deep t;
   r
 
 let cache_write t name buf scope =
   let r = Cache.cache_write t name buf scope in
   Trace.record_cache_write (builder t) ~block:name ~buffer:buf.Tir_ir.Buffer.name
     ~scope ~out:r;
+  deep t;
   r
 
 let set_scope t buf scope =
   let r = Cache.set_scope t buf scope in
   Trace.record_set_scope (builder t) ~buffer:buf.Tir_ir.Buffer.name ~scope;
+  deep t;
   r
 
 let blockize t v =
   let r = Blockize.blockize t v in
   Trace.record_blockize (builder t) ~loop:v ~out:r;
+  deep t;
   r
 
 let tensorize t v intrin =
   let r = Tensorize.tensorize t v intrin in
   Trace.record_tensorize (builder t) ~loop:v ~intrin ~out:r;
+  deep t;
   r
 
 let tensorize_block t name intrin =
   Tensorize.tensorize_block t name intrin;
-  Trace.record_tensorize_block (builder t) ~block:name ~intrin
+  Trace.record_tensorize_block (builder t) ~block:name ~intrin;
+  deep t
 
 let decompose_reduction t name v =
   let r = Reduction.decompose_reduction t name v in
   Trace.record_decompose_reduction (builder t) ~block:name ~loop:v ~out:r;
+  deep t;
   r
 
 let merge_reduction t init update =
   Reduction.merge_reduction t init update;
-  Trace.record_merge_reduction (builder t) ~init ~update
+  Trace.record_merge_reduction (builder t) ~init ~update;
+  deep t
 
 let rfactor t name v =
   let r = Reduction.rfactor t name v in
   Trace.record_rfactor (builder t) ~block:name ~loop:v ~out:r;
+  deep t;
   r
 
 (* Decisions *)

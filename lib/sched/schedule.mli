@@ -135,6 +135,19 @@ val validate : t -> Validate.issue list
 val validate_exn : t -> unit
 val is_valid : t -> bool
 
+(** {2 Deep checking}
+
+    When enabled — via [set_deep_check true] or the [TIR_DEEPCHECK]
+    environment variable (any value other than empty or ["0"]) — every
+    transforming primitive re-runs the semantic analyzer (data-race,
+    region-soundness, bounds) on its result and raises [Schedule_error]
+    listing the diagnostics on any error-severity finding. A debugging
+    net for primitive development, not a transaction: the primitive has
+    already applied when the error is raised. *)
+
+val set_deep_check : bool -> unit
+val deep_check_enabled : unit -> bool
+
 (** {2 Low-level access}
 
     The zipper interface new primitives are written against — the paper's

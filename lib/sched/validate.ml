@@ -17,11 +17,23 @@ open Tir_ir
 module Iter_map = Tir_arith.Iter_map
 module Region = Tir_arith.Region
 
-type issue = { block : string; message : string }
+type issue = { block : string; context : string; message : string }
 
-let issue block fmt = Fmt.kstr (fun message -> { block; message }) fmt
+let issue ?(context = "") block fmt =
+  Fmt.kstr (fun message -> { block; context; message }) fmt
 
-let pp_issue ppf i = Fmt.pf ppf "[%s] %s" i.block i.message
+let pp_issue ppf i =
+  if String.equal i.context "" then Fmt.pf ppf "[%s] %s" i.block i.message
+  else Fmt.pf ppf "[%s] (loops %s) %s" i.block i.context i.message
+
+(* Stable output order (block, message, context), duplicates collapsed:
+   lint output and test expectations stay deterministic. *)
+let compare_issue a b =
+  let c = String.compare a.block b.block in
+  if c <> 0 then c
+  else
+    let c = String.compare a.message b.message in
+    if c <> 0 then c else String.compare a.context b.context
 
 (* Walking context. *)
 type ctx = {
@@ -47,24 +59,35 @@ let kind_of_loop ctx v =
     (fun (lv, _, kind) -> if Var.equal lv v then Some kind else None)
     ctx.loops
 
+(* Enclosing loop/axis chain, outermost first, for issue context. *)
+let loops_desc ctx =
+  String.concat " > "
+    (List.rev_map
+       (fun (v, _, kind) ->
+         match kind with
+         | Stmt.Thread_binding th -> Fmt.str "%a[%s]" Var.pp v th
+         | _ -> Fmt.str "%a" Var.pp v)
+       ctx.loops)
+
 (* Loop-nest validation for one block realize. *)
 let check_realize ctx (br : Stmt.block_realize) =
   let b = br.Stmt.block in
   let domain = List.rev_map (fun (v, e, _) -> (v, e)) ctx.loops in
   let issues = ref [] in
   let add i = issues := i :: !issues in
+  let context = loops_desc ctx in
   (match Iter_map.detect ~domain ~bindings:br.Stmt.iter_values with
-  | Error msg -> add (issue b.name "iterator binding is not bijective affine: %s" msg)
+  | Error msg -> add (issue ~context b.name "iterator binding is not bijective affine: %s" msg)
   | Ok { Iter_map.sums; extents } ->
       List.iter
         (fun ((iv : Stmt.iter_var), ext) ->
           if ext > iv.extent && Expr.equal br.Stmt.predicate (Expr.Bool true) then
             add
-              (issue b.name "binding of %a spans %d > domain %d without a predicate"
+              (issue ~context b.name "binding of %a spans %d > domain %d without a predicate"
                  Var.pp iv.var ext iv.extent)
           else if ext < iv.extent then
             add
-              (issue b.name "binding of %a spans %d < domain %d" Var.pp iv.var ext
+              (issue ~context b.name "binding of %a spans %d < domain %d" Var.pp iv.var ext
                  iv.extent))
         (List.combine b.iter_vars extents);
       (* Reduction iterators must not be bound to parallel loops. *)
@@ -76,11 +99,11 @@ let check_realize ctx (br : Stmt.block_realize) =
                 match kind_of_loop ctx sp.Iter_map.source with
                 | Some (Stmt.Parallel | Stmt.Vectorized) ->
                     add
-                      (issue b.name "reduction iterator %a bound to parallel loop %a"
+                      (issue ~context b.name "reduction iterator %a bound to parallel loop %a"
                          Var.pp iv.var Var.pp sp.Iter_map.source)
                 | Some (Stmt.Thread_binding th) ->
                     add
-                      (issue b.name
+                      (issue ~context b.name
                          "reduction iterator %a bound to thread axis %s (atomic \
                           reduction unsupported)"
                          Var.pp iv.var th)
@@ -93,13 +116,14 @@ let check_realize ctx (br : Stmt.block_realize) =
 let check_threads ctx (b : Stmt.block) =
   let issues = ref [] in
   let add i = issues := i :: !issues in
+  let context = loops_desc ctx in
   let tally = Hashtbl.create 8 in
   List.iter
     (fun (axis, ext, _) ->
       match Hashtbl.find_opt tally axis with
       | Some ext' when ext' <> ext ->
-          add (issue b.name "thread axis %s bound twice with extents %d and %d" axis ext' ext)
-      | Some _ -> add (issue b.name "thread axis %s bound twice on one path" axis)
+          add (issue ~context b.name "thread axis %s bound twice with extents %d and %d" axis ext' ext)
+      | Some _ -> add (issue ~context b.name "thread axis %s bound twice on one path" axis)
       | None -> Hashtbl.add tally axis ext)
     ctx.threads;
   let product =
@@ -110,7 +134,7 @@ let check_threads ctx (b : Stmt.block) =
       tally 1
   in
   if product > max_threads_per_block then
-    add (issue b.name "thread block size %d exceeds limit %d" product max_threads_per_block);
+    add (issue ~context b.name "thread block size %d exceeds limit %d" product max_threads_per_block);
   (* Execution scope of warp-level intrinsics. *)
   (match List.assoc_opt "tensorized" b.annotations with
   | Some intrin_name -> (
@@ -121,13 +145,13 @@ let check_threads ctx (b : Stmt.block) =
             if List.exists (fun (axis, _, _) -> String.equal axis "threadIdx.x") ctx.threads
             then
               add
-                (issue b.name
+                (issue ~context b.name
                    "warp-scope intrinsic %s must not execute under a threadIdx.x \
                     lane binding"
                    intrin_name)
           end
       | exception Tir_intrin.Tensor_intrin.Not_registered _ ->
-          add (issue b.name "unknown intrinsic %s" intrin_name))
+          add (issue ~context b.name "unknown intrinsic %s" intrin_name))
   | None -> ());
   !issues
 
@@ -263,7 +287,7 @@ let check_func (f : Primfunc.t) : issue list =
                       writes)
                   reads))
     allocs;
-  List.rev !issues
+  List.sort_uniq compare_issue !issues
 
 let is_valid f = check_func f = []
 

@@ -10,14 +10,19 @@
 
 open Tir_ir
 
-type issue = { block : string; message : string }
+type issue = {
+  block : string;
+  context : string;  (** enclosing loop/axis chain, outermost first; [""] when none *)
+  message : string;
+}
 
 val pp_issue : Format.formatter -> issue -> unit
 
 val max_threads_per_block : int
 val warp_size : int
 
-(** All issues found; empty means valid. *)
+(** All issues found; empty means valid. Deduplicated and sorted by
+    (block, message) so output is deterministic. *)
 val check_func : Primfunc.t -> issue list
 
 val is_valid : Primfunc.t -> bool

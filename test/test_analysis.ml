@@ -1,0 +1,282 @@
+(** Semantic static analysis: the analyzer must certify every seed
+    workload (and schedules derived from them) clean, and flag seeded
+    mutants — a parallelized racy reduction, an under-declared write
+    region, and a provable out-of-bounds store — naming the offending
+    block and buffer. *)
+
+open Tir_ir
+module S = Tir_sched.Schedule
+module A = Tir_analysis.Analysis
+module D = Tir_analysis.Diagnostic
+module BC = Tir_analysis.Bounds_check
+
+let pp_diags = Fmt.(list ~sep:(any "@.") D.pp)
+
+let check_clean msg f =
+  match A.check_func f with
+  | [] -> ()
+  | ds ->
+      Fmt.epr "%s@." (Printer.func_to_string f);
+      Alcotest.failf "%s: unexpected findings:@.%a" msg pp_diags ds
+
+let find_kind kind ds = List.filter (fun (d : D.t) -> d.kind = kind) ds
+
+(* The acceptance bar for each mutant: at least one error of the right
+   kind naming the expected block and buffer. *)
+let check_flagged msg ~kind ~block ~buffer ds =
+  match
+    List.find_opt
+      (fun (d : D.t) ->
+        D.is_error d && d.kind = kind
+        && String.equal d.block block
+        && String.equal d.buffer buffer)
+      (find_kind kind ds)
+  with
+  | Some _ -> ()
+  | None ->
+      Alcotest.failf "%s: expected %s error on block %S buffer %S, got:@.%a" msg
+        (D.kind_to_string kind) block buffer pp_diags ds
+
+(* --- seed workloads ------------------------------------------------- *)
+
+let test_seed_workloads_clean () =
+  List.iter
+    (fun (w : Tir_workloads.Workloads.t) -> check_clean w.name w.func)
+    (Tir_workloads.Workloads.gpu_suite () @ Tir_workloads.Workloads.arm_suite ())
+
+let test_seed_workloads_bounds_certified () =
+  List.iter
+    (fun (w : Tir_workloads.Workloads.t) ->
+      Alcotest.(check bool)
+        (w.name ^ " bounds-certified") true (BC.certified w.func))
+    (Tir_workloads.Workloads.gpu_suite () @ Tir_workloads.Workloads.arm_suite ())
+
+(* --- scheduled programs stay clean ---------------------------------- *)
+
+let test_scheduled_matmul_clean () =
+  let t = S.create (Util.matmul ~m:32 ~n:32 ~k:32 ()) in
+  (match S.get_loops t "C" with
+  | [ i; j; k ] ->
+      (match S.split t i ~factors:[ 4; 8 ] with
+      | [ io; ii ] -> ignore (S.fuse t io ii)
+      | _ -> assert false);
+      ignore (S.split t j ~factors:[ 8; 4 ]);
+      ignore k
+  | _ -> assert false);
+  Util.check_valid "scheduled matmul valid" (S.func t);
+  check_clean "scheduled matmul" (S.func t)
+
+let test_parallel_spatial_clean () =
+  (* Parallelizing a spatial loop is legal and must not be flagged. *)
+  let t = S.create (Util.matmul ~m:32 ~n:32 ~k:32 ()) in
+  (match S.get_loops t "C" with
+  | [ i; _; _ ] -> S.parallel t i
+  | _ -> assert false);
+  Util.check_valid "parallel spatial valid" (S.func t);
+  check_clean "parallel spatial matmul" (S.func t)
+
+let test_gpu_bound_matmul_clean () =
+  let t = S.create (Util.matmul ~m:32 ~n:32 ~k:32 ()) in
+  (match S.get_loops t "C" with
+  | [ i; j; _ ] ->
+      S.bind t i "blockIdx.x";
+      S.bind t j "threadIdx.x"
+  | _ -> assert false);
+  Util.check_valid "gpu matmul valid" (S.func t);
+  check_clean "gpu-bound matmul" (S.func t)
+
+let test_tuned_schedule_clean () =
+  (* The search filters unsound candidates, so the winning schedule must
+     carry no error-severity findings. (Div/mod thread bindings in
+     tensorized write-back blocks can leave "cannot prove disjoint"
+     warnings — a documented approximation, not an error.) *)
+  let gpu = Tir_sim.Target.by_name "gpu" in
+  let w =
+    Tir_workloads.Workloads.gmm ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32 ~m:128
+      ~n:128 ~k:128 ()
+  in
+  let r = Tir_autosched.Tune.tune ~trials:12 gpu w in
+  match r.Tir_autosched.Tune.best with
+  | Some b -> (
+      match A.errors b.Tir_autosched.Evolutionary.func with
+      | [] -> ()
+      | ds -> Alcotest.failf "tuned gmm: unexpected errors:@.%a" pp_diags ds)
+  | None -> Alcotest.fail "no result"
+
+(* --- mutant 1: parallelized racy reduction -------------------------- *)
+
+let test_racy_reduction_flagged () =
+  (* Flip the reduction loop to parallel by direct tree surgery (the
+     facade's validator would refuse): every iteration then read-modify-
+     writes the same C[i, j]. *)
+  let t = S.create (Util.matmul ~m:32 ~n:32 ~k:32 ()) in
+  (match S.get_loops t "C" with
+  | [ _; _; k ] ->
+      let path, r = S.loop_path t k in
+      S.replace t path (Stmt.For { r with kind = Stmt.Parallel })
+  | _ -> assert false);
+  let ds = A.check_func (S.func t) in
+  check_flagged "racy reduction" ~kind:D.Race ~block:"C" ~buffer:"C" ds
+
+let test_thread_bound_reduction_flagged () =
+  let t = S.create (Util.matmul ~m:32 ~n:32 ~k:32 ()) in
+  (match S.get_loops t "C" with
+  | [ _; _; k ] ->
+      let path, r = S.loop_path t k in
+      S.replace t path (Stmt.For { r with kind = Stmt.Thread_binding "threadIdx.x" })
+  | _ -> assert false);
+  let ds = A.check_func (S.func t) in
+  check_flagged "thread-bound reduction" ~kind:D.Race ~block:"C" ~buffer:"C" ds
+
+(* --- mutant 2: under-declared write region -------------------------- *)
+
+let test_underdeclared_write_flagged () =
+  (* Shrink the declared write region of C to the single element C[0, vj]
+     while the body stores C[vi, vj]. *)
+  let t = S.create (Util.matmul ~m:32 ~n:32 ~k:32 ()) in
+  let path, br = S.block_path t "C" in
+  let b = br.Stmt.block in
+  let writes =
+    List.map
+      (fun (r : Stmt.buffer_region) ->
+        match r.region with
+        | (_, e0) :: rest -> { r with Stmt.region = (Expr.Int 0, e0) :: rest }
+        | [] -> r)
+      b.Stmt.writes
+  in
+  S.replace t path (Stmt.Block { br with block = { b with Stmt.writes } });
+  let ds = A.check_func (S.func t) in
+  check_flagged "under-declared write" ~kind:D.Region_unsound ~block:"C"
+    ~buffer:"C" ds
+
+let test_undeclared_read_flagged () =
+  (* Drop the read of A from the signature entirely. *)
+  let t = S.create (Util.matmul ~m:32 ~n:32 ~k:32 ()) in
+  let path, br = S.block_path t "C" in
+  let b = br.Stmt.block in
+  let reads =
+    List.filter
+      (fun (r : Stmt.buffer_region) ->
+        not (String.equal r.buffer.Buffer.name "A"))
+      b.Stmt.reads
+  in
+  S.replace t path (Stmt.Block { br with block = { b with Stmt.reads } });
+  let ds = A.check_func (S.func t) in
+  check_flagged "undeclared read" ~kind:D.Region_unsound ~block:"C" ~buffer:"A" ds
+
+(* --- mutant 3: provable out-of-bounds store ------------------------- *)
+
+let oob_store_func () =
+  let out = Buffer.create "O" [ 8 ] Dtype.F32 in
+  let vi = Var.fresh "vi" in
+  let idx = [ Expr.add (Expr.Var vi) (Expr.Int 8) ] in
+  let block =
+    Stmt.make_block ~name:"oob" ~iter_vars:[ Stmt.iter_var vi 8 ] ~reads:[]
+      ~writes:[ { Stmt.buffer = out; region = List.map (fun i -> (i, 1)) idx } ]
+      (Stmt.Store (out, idx, Expr.float 1.0))
+  in
+  let l = Var.fresh "l" in
+  Primfunc.make ~name:"oob_store" ~params:[ out ]
+    (Stmt.for_ l 8 (Stmt.block_realize [ Expr.Var l ] block))
+
+let test_oob_store_flagged () =
+  let ds = A.check_func (oob_store_func ()) in
+  check_flagged "oob store" ~kind:D.Out_of_bounds ~block:"oob" ~buffer:"O" ds
+
+let test_oob_diagnostic_names_loop () =
+  let ds = A.check_func (oob_store_func ()) in
+  let d = List.hd (find_kind D.Out_of_bounds ds) in
+  Alcotest.(check bool) "loop context present" true (d.D.loops <> []);
+  let rendered = D.to_string d in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    ("mentions buffer: " ^ rendered)
+    true
+    (contains rendered "\"O\"")
+
+(* --- deep-check mode -------------------------------------------------- *)
+
+let test_deep_check_catches_racy_primitive () =
+  (* With deep check on, parallelizing the reduction loop through the
+     facade must raise; with it off (the default) the same call goes
+     through silently. *)
+  Alcotest.(check bool) "off by default" false (S.deep_check_enabled ());
+  let racy () =
+    let t = S.create (Util.matmul ~m:32 ~n:32 ~k:32 ()) in
+    match S.get_loops t "C" with
+    | [ i; _; k ] ->
+        S.parallel t i;
+        (* legal: spatial *)
+        S.parallel t k (* racy: reduction *)
+    | _ -> assert false
+  in
+  racy ();
+  S.set_deep_check true;
+  Fun.protect
+    ~finally:(fun () -> S.set_deep_check false)
+    (fun () ->
+      match racy () with
+      | exception Tir_sched.State.Schedule_error msg ->
+          Alcotest.(check bool)
+            ("names the race: " ^ msg)
+            true
+            (let nh = String.length msg in
+             let rec go i = i + 4 <= nh && (String.sub msg i 4 = "race" || go (i + 1)) in
+             go 0)
+      | () -> Alcotest.fail "deep check must reject the racy parallelization")
+
+(* --- bounds prover vs guards ---------------------------------------- *)
+
+let test_guarded_oob_not_flagged () =
+  (* A store guarded by [if vi < 4] into a buffer of extent 4 from a loop
+     of extent 8 is safe; the prover must honor the guard. *)
+  let out = Buffer.create "O" [ 4 ] Dtype.F32 in
+  let vi = Var.fresh "vi" in
+  let idx = [ Expr.Var vi ] in
+  let body =
+    Stmt.If
+      ( Expr.lt (Expr.Var vi) (Expr.Int 4),
+        Stmt.Store (out, idx, Expr.float 1.0),
+        None )
+  in
+  let block =
+    Stmt.make_block ~name:"guarded" ~iter_vars:[ Stmt.iter_var vi 8 ] ~reads:[]
+      ~writes:[ { Stmt.buffer = out; region = List.map (fun i -> (i, 1)) idx } ]
+      body
+  in
+  let l = Var.fresh "l" in
+  let f =
+    Primfunc.make ~name:"guarded_store" ~params:[ out ]
+      (Stmt.for_ l 8 (Stmt.block_realize [ Expr.Var l ] block))
+  in
+  Alcotest.(check int)
+    "no bounds findings" 0
+    (List.length (find_kind D.Out_of_bounds (A.check_func f)));
+  Alcotest.(check bool) "certified" true (BC.certified f)
+
+let suite =
+  [
+    Alcotest.test_case "seed workloads clean" `Quick test_seed_workloads_clean;
+    Alcotest.test_case "seed workloads bounds-certified" `Quick
+      test_seed_workloads_bounds_certified;
+    Alcotest.test_case "scheduled matmul clean" `Quick test_scheduled_matmul_clean;
+    Alcotest.test_case "parallel spatial clean" `Quick test_parallel_spatial_clean;
+    Alcotest.test_case "gpu-bound matmul clean" `Quick test_gpu_bound_matmul_clean;
+    Alcotest.test_case "tuned schedule clean" `Quick test_tuned_schedule_clean;
+    Alcotest.test_case "racy reduction flagged" `Quick test_racy_reduction_flagged;
+    Alcotest.test_case "thread-bound reduction flagged" `Quick
+      test_thread_bound_reduction_flagged;
+    Alcotest.test_case "under-declared write flagged" `Quick
+      test_underdeclared_write_flagged;
+    Alcotest.test_case "undeclared read flagged" `Quick test_undeclared_read_flagged;
+    Alcotest.test_case "oob store flagged" `Quick test_oob_store_flagged;
+    Alcotest.test_case "oob diagnostic has context" `Quick
+      test_oob_diagnostic_names_loop;
+    Alcotest.test_case "guarded store honored" `Quick test_guarded_oob_not_flagged;
+    Alcotest.test_case "deep check catches racy primitive" `Quick
+      test_deep_check_catches_racy_primitive;
+  ]

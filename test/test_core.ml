@@ -3,6 +3,7 @@ let () =
     [
       ("expr", Test_expr.suite);
       ("arith", Test_arith.suite);
+      ("region", Test_region.suite);
       ("interp", Test_interp.suite);
       ("parser", Test_parser.suite);
       ("codegen", Test_codegen.suite);
@@ -18,6 +19,7 @@ let () =
       ("sched-errors", Test_sched_errors.suite);
       ("candidate", Test_candidate.suite);
       ("validate", Test_validate.suite);
+      ("analysis", Test_analysis.suite);
       ("intrin", Test_intrin.suite);
       ("autosched", Test_autosched.suite);
       ("database", Test_database.suite);

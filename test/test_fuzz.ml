@@ -108,8 +108,27 @@ let fuzz_one rng (original : Primfunc.t) =
   (* The result must either be flagged invalid or compute the same
      function. *)
   if S.is_valid t then begin
-    Util.check_same_semantics "fuzzed schedule" original (S.func t);
-    `Checked
+    let f = S.func t in
+    (* A validated, semantics-preserving program is ground truth for the
+       analyzer: any error it reports here is a false positive. *)
+    (match Tir_analysis.Analysis.errors f with
+    | [] -> ()
+    | ds ->
+        Alcotest.failf "analyzer false positive on a valid fuzzed schedule:@.%s@.%a"
+          (Printer.func_to_string f)
+          Fmt.(list ~sep:(any "@.") Tir_analysis.Diagnostic.pp)
+          ds);
+    (* And the bounds prover must be sound: a certificate means the
+       interpreter cannot go out of bounds (check_same_semantics runs it on
+       random inputs — any Runtime_error would fail the test). *)
+    let certified = Tir_analysis.Bounds_check.certified f in
+    (match Util.check_same_semantics "fuzzed schedule" original f with
+    | () -> ()
+    | exception Tir_exec.Interp.Runtime_error m when certified ->
+        Alcotest.failf
+          "bounds prover certified a program the interpreter rejects (%s):@.%s" m
+          (Printer.func_to_string f));
+    if certified then `Certified else `Checked
   end
   else `Rejected
 
@@ -126,10 +145,13 @@ let make_workload rng =
 
 let test_fuzz_schedules () =
   let rng = Rng.create 2024 in
-  let checked = ref 0 and rejected = ref 0 in
+  let checked = ref 0 and rejected = ref 0 and certified = ref 0 in
   for _ = 1 to 60 do
     match fuzz_one rng (make_workload rng) with
     | `Checked -> incr checked
+    | `Certified ->
+        incr checked;
+        incr certified
     | `Rejected -> incr rejected
   done;
   (* The vast majority of random compositions stay valid; some (parallel
@@ -137,6 +159,14 @@ let test_fuzz_schedules () =
   Alcotest.(check bool)
     (Printf.sprintf "many valid compositions (%d ok, %d rejected)" !checked !rejected)
     true
-    (!checked >= 30)
+    (!checked >= 30);
+  (* The seed workloads are all provable, so most fuzzed schedules should
+     stay bounds-certified — the prover exercises real programs here, not
+     just the unknown path. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bounds prover certifies fuzzed schedules (%d of %d)" !certified
+       !checked)
+    true
+    (!certified >= 20)
 
 let suite = [ ("random primitive compositions", `Slow, test_fuzz_schedules) ]

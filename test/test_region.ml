@@ -1,0 +1,143 @@
+(** Edge cases of the [Tir_arith.Region] hull machinery the analyzer
+    relies on: empty and single-point regions, intersection/union at
+    extent boundaries, and rejection of degenerate (non-positive-extent)
+    "negative stride" regions. *)
+
+open Tir_ir
+module R = Tir_arith.Region
+
+let buf shape = Buffer.create "T" shape Dtype.F32
+
+let ranged v extent = Var.Map.singleton v (Bound.of_extent extent)
+
+let hull = Alcotest.(list (pair int int))
+
+let test_empty_region_hull () =
+  (* A zero-dimensional region (scalar buffer) has the trivial hull. *)
+  let b = buf [] in
+  Alcotest.(check (option hull))
+    "empty region" (Some [])
+    (R.hull_of_region Var.Map.empty { Stmt.buffer = b; region = [] })
+
+let test_single_point_region () =
+  let b = buf [ 16 ] in
+  Alcotest.(check (option hull))
+    "constant point" (Some [ (3, 3) ])
+    (R.hull_of_region Var.Map.empty { Stmt.buffer = b; region = [ (Expr.Int 3, 1) ] });
+  let v = Var.fresh "i" in
+  Alcotest.(check (option hull))
+    "variable point" (Some [ (0, 7) ])
+    (R.hull_of_region (ranged v 8) { Stmt.buffer = b; region = [ (Expr.Var v, 1) ] })
+
+let test_unbounded_var_rejected () =
+  let b = buf [ 16 ] in
+  let v = Var.fresh "i" in
+  Alcotest.(check (option hull))
+    "unbounded variable" None
+    (R.hull_of_region Var.Map.empty { Stmt.buffer = b; region = [ (Expr.Var v, 1) ] })
+
+let test_nonpositive_extent_rejected () =
+  (* Negative-stride / inverted regions surface as non-positive extents;
+     they must be rejected rather than producing an inverted hull. *)
+  let b = buf [ 16 ] in
+  Alcotest.(check (option hull))
+    "zero extent" None
+    (R.hull_of_region Var.Map.empty { Stmt.buffer = b; region = [ (Expr.Int 0, 0) ] });
+  Alcotest.(check (option hull))
+    "negative extent" None
+    (R.hull_of_region Var.Map.empty { Stmt.buffer = b; region = [ (Expr.Int 4, -2) ] })
+
+let test_reversed_index_hull () =
+  (* A reversed access pattern T[n-1-i] still yields the full forward
+     hull: the hull abstracts away iteration order. *)
+  let b = buf [ 8 ] in
+  let v = Var.fresh "i" in
+  let mn = Expr.sub (Expr.Int 7) (Expr.Var v) in
+  Alcotest.(check (option hull))
+    "reversed index" (Some [ (0, 7) ])
+    (R.hull_of_region (ranged v 8) { Stmt.buffer = b; region = [ (mn, 1) ] })
+
+let test_intersect_disjoint () =
+  Alcotest.(check (option hull)) "disjoint" None (R.intersect_hull [ (0, 3) ] [ (4, 7) ])
+
+let test_intersect_boundary_touch () =
+  (* Sharing exactly the extent boundary element. *)
+  Alcotest.(check (option hull))
+    "boundary touch" (Some [ (3, 3) ])
+    (R.intersect_hull [ (0, 3) ] [ (3, 7) ]);
+  Alcotest.(check (option hull))
+    "off by one" None
+    (R.intersect_hull [ (0, 3) ] [ (4, 7) ])
+
+let test_intersect_containment_multi () =
+  Alcotest.(check (option hull))
+    "containment" (Some [ (2, 5); (1, 1) ])
+    (R.intersect_hull [ (0, 5); (1, 1) ] [ (2, 9); (0, 4) ]);
+  (* Empty in the second dimension empties the whole intersection. *)
+  Alcotest.(check (option hull))
+    "empty in one dim" None
+    (R.intersect_hull [ (0, 5); (0, 1) ] [ (2, 9); (2, 4) ])
+
+let test_union_at_boundaries () =
+  Alcotest.(check hull) "adjacent" [ (0, 7) ] (R.union_hull [ (0, 3) ] [ (4, 7) ]);
+  Alcotest.(check hull) "nested" [ (0, 7) ] (R.union_hull [ (0, 7) ] [ (3, 4) ]);
+  Alcotest.(check hull)
+    "multi-dim" [ (0, 9); (0, 4) ]
+    (R.union_hull [ (0, 9); (0, 0) ] [ (9, 9); (4, 4) ])
+
+let test_clip_to_buffer () =
+  let b = buf [ 8 ] in
+  Alcotest.(check hull) "clip both ends" [ (0, 7) ] (R.clip b [ (-2, 9) ]);
+  Alcotest.(check hull) "inside untouched" [ (2, 5) ] (R.clip b [ (2, 5) ])
+
+let test_union_region_dominance () =
+  (* Shifted mins with a provable order merge exactly; incomparable mins
+     widen to the full dimension. *)
+  let b = buf [ 16 ] in
+  let v = Var.fresh "i" in
+  let ranges = ranged v 8 in
+  let r1 = { Stmt.buffer = b; region = [ (Expr.Var v, 2) ] } in
+  let r2 =
+    { Stmt.buffer = b; region = [ (Expr.add (Expr.Var v) (Expr.Int 1), 2) ] }
+  in
+  let u = R.union_region ranges r1 r2 in
+  (match u.Stmt.region with
+  | [ (mn, ext) ] ->
+      Alcotest.(check bool) "keeps base min" true (Expr.equal mn (Expr.Var v));
+      Alcotest.(check int) "extends extent" 3 ext
+  | _ -> Alcotest.fail "unexpected region shape");
+  Alcotest.(check (option hull))
+    "union hull" (Some [ (0, 9) ])
+    (R.hull_of_region ranges { Stmt.buffer = b; region = u.Stmt.region })
+
+let test_relax_region_exact () =
+  let b = buf [ 16; 16 ] in
+  let v = Var.fresh "i" and w = Var.fresh "j" in
+  let r =
+    {
+      Stmt.buffer = b;
+      region = [ (Expr.add (Expr.Var v) (Expr.Var w), 1); (Expr.Var w, 2) ];
+    }
+  in
+  let relaxed = ranged w 4 in
+  let r' = R.relax_region ~relaxed r in
+  Alcotest.(check (option hull))
+    "relaxed hull" (Some [ (0, 10); (0, 4) ])
+    (R.hull_of_region (ranged v 8) { Stmt.buffer = b; region = r'.Stmt.region })
+
+let suite =
+  [
+    Alcotest.test_case "empty region hull" `Quick test_empty_region_hull;
+    Alcotest.test_case "single-point regions" `Quick test_single_point_region;
+    Alcotest.test_case "unbounded var rejected" `Quick test_unbounded_var_rejected;
+    Alcotest.test_case "non-positive extent rejected" `Quick
+      test_nonpositive_extent_rejected;
+    Alcotest.test_case "reversed index hull" `Quick test_reversed_index_hull;
+    Alcotest.test_case "intersect disjoint" `Quick test_intersect_disjoint;
+    Alcotest.test_case "intersect boundary touch" `Quick test_intersect_boundary_touch;
+    Alcotest.test_case "intersect containment" `Quick test_intersect_containment_multi;
+    Alcotest.test_case "union at boundaries" `Quick test_union_at_boundaries;
+    Alcotest.test_case "clip to buffer" `Quick test_clip_to_buffer;
+    Alcotest.test_case "union_region dominance" `Quick test_union_region_dominance;
+    Alcotest.test_case "relax_region exact" `Quick test_relax_region_exact;
+  ]

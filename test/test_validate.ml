@@ -171,8 +171,64 @@ let test_shared_crossing_blocks () =
   | _ -> assert false);
   Alcotest.(check bool) "shared crossing thread blocks rejected" false (S.is_valid t)
 
+let test_issue_order_and_context () =
+  (* Two blocks with the same illegal binding shape: issues must come out
+     deduplicated, in block-name order, and carry the enclosing loop
+     chain. *)
+  let bad_block name =
+    let out = Buffer.create name [ 8 ] Dtype.F32 in
+    let v = Var.fresh "v" in
+    Stmt.make_block ~name ~iter_vars:[ Stmt.iter_var v 8 ] ~reads:[]
+      ~writes:[ { Stmt.buffer = out; region = [ (Expr.Var v, 1) ] } ]
+      (Stmt.Store (out, [ Expr.Var v ], Expr.float 1.0))
+  in
+  let l1 = Var.fresh "i" and l2 = Var.fresh "j" in
+  (* Bindings i*2: not bijective — one issue per block. "zz" precedes "aa"
+     in the tree but must sort after it. *)
+  let nest name v =
+    Stmt.for_ v 8
+      (Stmt.block_realize [ Expr.mul (Expr.Var v) (Expr.Int 2) ] (bad_block name))
+  in
+  let f =
+    Primfunc.make ~name:"multi" ~params:[] (Stmt.seq [ nest "zz" l1; nest "aa" l2 ])
+  in
+  let issues = V.check_func f in
+  let blocks = List.map (fun (i : V.issue) -> i.V.block) issues in
+  Alcotest.(check (list string)) "sorted by block" (List.sort compare blocks) blocks;
+  Alcotest.(check bool) "aa before zz" true (List.hd blocks = "aa");
+  (* Issues found under loops carry the loop chain, and pp shows it. *)
+  let with_ctx =
+    List.filter (fun (i : V.issue) -> not (String.equal i.V.context "")) issues
+  in
+  Alcotest.(check bool) "context recorded" true (with_ctx <> []);
+  let rendered = Fmt.str "%a" V.pp_issue (List.hd with_ctx) in
+  Alcotest.(check bool)
+    ("pp mentions loops: " ^ rendered)
+    true
+    (String.length rendered >= 6
+    &&
+    let rec find i =
+      i + 5 <= String.length rendered
+      && (String.sub rendered i 5 = "loops" || find (i + 1))
+    in
+    find 0)
+
+let test_issues_deduplicated () =
+  (* The same violation reported twice must collapse to one issue. *)
+  let v1 = Var.fresh "v1" in
+  let f =
+    custom_bindings ~extents:[ 8 ]
+      ~iters:[ (v1, 6) ]
+      ~bindings:(function [ i ] -> [ i ] | _ -> assert false)
+  in
+  let issues = V.check_func f in
+  let sorted = List.sort_uniq compare issues in
+  Alcotest.(check int) "no duplicates" (List.length sorted) (List.length issues)
+
 let suite =
   [
+    ("issue order and context", `Quick, test_issue_order_and_context);
+    ("issues deduplicated", `Quick, test_issues_deduplicated);
     ("dependent bindings rejected", `Quick, test_dependent_bindings_rejected);
     ("div/mod bindings accepted", `Quick, test_divmod_bindings_accepted);
       ("domain mismatch rejected", `Quick, test_domain_mismatch_rejected);
