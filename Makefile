@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke lint check clean
+.PHONY: all build test bench bench-smoke crash-smoke lint check clean
 
 all: build
 
@@ -20,16 +20,35 @@ bench-smoke: build
 	BENCH_FAST=1 dune exec bench/main.exe -- --check
 	dune exec tools/validate_bench.exe BENCH_results.json
 
+# Kill-and-resume smoke test of the session layer through the CLI: a tune
+# halted after one committed generation must exit 8, report as resumable,
+# finish under --resume, and then report as completed; a tune under
+# injected faults (TIR_FAULTS) must still complete.
+crash-smoke: build
+	rm -f /tmp/tir_crash_smoke.wal
+	dune exec bin/tensorir_cli.exe -- tune GMM --trials 16 \
+	  --session /tmp/tir_crash_smoke.wal --halt-after 1; test $$? -eq 8
+	dune exec bin/tensorir_cli.exe -- session status /tmp/tir_crash_smoke.wal \
+	  | grep -q resumable
+	dune exec bin/tensorir_cli.exe -- tune GMM \
+	  --session /tmp/tir_crash_smoke.wal --resume
+	dune exec bin/tensorir_cli.exe -- session status /tmp/tir_crash_smoke.wal \
+	  | grep -q completed
+	rm -f /tmp/tir_crash_smoke.wal
+	TIR_FAULTS=0.2:42 dune exec bin/tensorir_cli.exe -- tune GMM --trials 16
+
 # Semantic static analysis (data races, region soundness, bounds) over
 # every seed workload and the example scripts; non-zero exit on findings.
 lint: build
 	dune exec bin/tensorir_cli.exe -- lint --all examples/*.tir
 
-# The full pre-merge gate: build, unit + property tests, lint, bench smoke run.
+# The full pre-merge gate: build, unit + property tests, lint, bench smoke
+# run, kill-and-resume smoke run.
 check: build
 	dune runtest
 	$(MAKE) lint
 	$(MAKE) bench-smoke
+	$(MAKE) crash-smoke
 
 clean:
 	dune clean

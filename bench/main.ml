@@ -8,9 +8,10 @@
      ... -- --check                           exit 1 on non-finite results
 
    Every section also records its numbers into BENCH_results.json
-   (schema 3: per-section latency/GFLOPs rows, per-section wall-clock, and
-   a dump of the process-wide metrics registry — memo hit rate, database
-   replay rate, simulator data-movement counters) so the perf trajectory is
+   (schema 4: per-section latency/GFLOPs rows, per-section wall-clock, a
+   dump of the process-wide metrics registry — memo hit rate, database
+   replay rate, simulator data-movement counters — plus fault-injection /
+   retry and session headline counters) so the perf trajectory is
    machine-trackable across PRs. [tools/validate_bench.exe] checks the
    emitted file against the schema in the bench-smoke gate.
 
@@ -23,7 +24,8 @@
      [fig13]    ARM single-op vs TVM and ArmComputeLib (int8 sdot)
      [fig14]    ARM end-to-end vs PyTorch and TVM
      [ablation] design-choice ablations (AutoCopy, cost model, evolution)
-     [micro]    Bechamel micro-benchmarks of the infrastructure *)
+     [micro]    Bechamel micro-benchmarks of the infrastructure
+     [session]  crash-safe sessions: kill+resume, fault-injected search *)
 
 module W = Tir_workloads.Workloads
 module Tune = Tir_autosched.Tune
@@ -73,10 +75,10 @@ let json_escape s =
 let json_float v =
   if Float.is_finite v then Printf.sprintf "%.6f" v else "null"
 
-(* Schema 3: all stat plumbing comes from the metrics registry — the bench
-   derives headline rates (memo hit rate, db replay rate, data movement)
-   from the same snapshot it dumps under "metrics", and keeps no private
-   counters of its own. *)
+(* Schema 4: all stat plumbing comes from the metrics registry — the bench
+   derives headline rates (memo hit rate, db replay rate, data movement,
+   fault/retry totals, session progress) from the same snapshot it dumps
+   under "metrics", and keeps no private counters of its own. *)
 let emit_json ~total_wall_s path =
   let snap = Metrics.snapshot () in
   let counter name = Option.value ~default:0 (Metrics.find_counter snap name) in
@@ -88,8 +90,12 @@ let emit_json ~total_wall_s path =
   in
   let db_found = counter "db.found" in
   let db_ok = counter "db.replayed" in
+  let over_sites f = List.fold_left (fun acc s -> acc + f s) 0 [ "measure"; "pool"; "db" ] in
+  let injected = over_sites (fun s -> counter ("fault." ^ s ^ ".injected")) in
+  let retry_attempts = over_sites (fun s -> counter ("retry." ^ s ^ ".attempts")) in
+  let retry_exhausted = over_sites (fun s -> counter ("retry." ^ s ^ ".exhausted")) in
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": 3,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
+  Printf.fprintf oc "{\n  \"schema\": 4,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
   Printf.fprintf oc "  \"total_wall_s\": %s,\n" (json_float total_wall_s);
   Printf.fprintf oc
     "  \"memo\": {\"hits\": %d, \"misses\": %d, \"pending_waits\": %d, \"hit_rate\": %s},\n"
@@ -99,6 +105,19 @@ let emit_json ~total_wall_s path =
     "  \"db_replay\": {\"records_found\": %d, \"trace_replayed\": %d, \"committed\": %d, \"hit_rate\": %s},\n"
     db_found db_ok (counter "db.committed")
     (json_float (rate db_ok db_found));
+  Printf.fprintf oc
+    "  \"faults\": {\"injected\": %d, \"retry_attempts\": %d, \"retry_exhausted\": %d, \"backoff_us\": %d, \"unmeasurable\": %d},\n"
+    injected retry_attempts retry_exhausted
+    (counter "retry.backoff_us")
+    (counter "search.unmeasurable");
+  Printf.fprintf oc
+    "  \"session\": {\"generations\": %d, \"resumes\": %d, \"discarded\": %d, \"compactions\": %d, \"wal_appends\": %d, \"wal_torn\": %d},\n"
+    (counter "session.generations")
+    (counter "session.resumes")
+    (counter "session.discarded")
+    (counter "session.compactions")
+    (counter "wal.appends")
+    (counter "wal.torn_tail");
   Printf.fprintf oc
     "  \"data_movement_bytes\": {\"global\": %d, \"shared\": %d, \"local\": %d},\n"
     (counter "sim.bytes.global") (counter "sim.bytes.shared")
@@ -188,7 +207,7 @@ let cached name f =
 let tensorir_op target (w : W.t) =
   cached
     (Printf.sprintf "tensorir|%s|%s" target.Target.name w.W.name)
-    (fun () -> Tune.tune ~trials:(trials 128) target w)
+    (fun () -> Tune.run Tune.Config.(default |> with_trials (trials 128)) w target)
 
 let tvm_op target (w : W.t) =
   cached
@@ -222,9 +241,13 @@ let fig8 () =
         cand.Tir_autosched.Candidate.fm cand.Tir_autosched.Candidate.fn
         cand.Tir_autosched.Candidate.fk;
       let r =
-        Tune.tune ~trials:(trials 32)
-          ~sketches:[ Tir_autosched.Sketch.tensorized_gpu ~use_wmma_scopes:false cand ]
-          gpu w
+        Tune.run
+          Tune.Config.(
+            default
+            |> with_trials (trials 32)
+            |> with_sketches
+                 [ Tir_autosched.Sketch.tensorized_gpu ~use_wmma_scopes:false cand ])
+          w gpu
       in
       record_op "fig8" "TensorIR" w r;
       Fmt.pr "tuned latency: %.2f us (%.0f GFLOPS), %d trials, %d invalid filtered@."
@@ -426,14 +449,27 @@ let ablation () =
         @ [ Sk.scalar_gpu w ]
       in
       let no_autocopy =
-        Tune.latency_us (Tune.tune ~trials:(trials 64) ~sketches:no_autocopy_sketches gpu w)
+        Tune.latency_us
+          (Tune.run
+             Tune.Config.(
+               default |> with_trials (trials 64) |> with_sketches no_autocopy_sketches)
+             w gpu)
       in
       let no_cost_model =
-        Tune.latency_us (Tune.tune ~trials:(trials 64) ~use_cost_model:false gpu w)
+        Tune.latency_us
+          (Tune.run
+             Tune.Config.(default |> with_trials (trials 64) |> with_use_cost_model false)
+             w gpu)
       in
       let no_evolve =
         Tune.latency_us
-          (Tune.tune ~trials:(trials 64) ~use_cost_model:false ~evolve:false gpu w)
+          (Tune.run
+             Tune.Config.(
+               default
+               |> with_trials (trials 64)
+               |> with_use_cost_model false
+               |> with_evolve false)
+             w gpu)
       in
       record "ablation" ("full:" ^ w.W.name) full "us";
       record "ablation" ("no-autocopy:" ^ w.W.name) no_autocopy "us";
@@ -516,7 +552,13 @@ let db_bench () =
     ]
   in
   let db = DB.create () in
-  List.iter (fun w -> ignore (Tune.tune ~trials:(trials 24) ~database:db gpu w)) workloads;
+  let tune_with db w =
+    ignore
+      (Tune.run
+         Tune.Config.(default |> with_trials (trials 24) |> with_database db)
+         w gpu)
+  in
+  List.iter (tune_with db) workloads;
   (* Push the records through the on-disk format, so the replays below run
      from parsed traces, exactly as a warm-start across processes would. *)
   let path = Filename.temp_file "tirdb_bench" ".txt" in
@@ -526,7 +568,7 @@ let db_bench () =
   (* Replay rate of the warm runs alone: diff the registry's cumulative
      [db.*] counters around them instead of keeping bench-local counters. *)
   let before = Metrics.snapshot () in
-  List.iter (fun w -> ignore (Tune.tune ~trials:(trials 24) ~database:db' gpu w)) workloads;
+  List.iter (tune_with db') workloads;
   let after = Metrics.snapshot () in
   let delta name =
     Option.value ~default:0 (Metrics.find_counter after name)
@@ -551,6 +593,51 @@ let cache_summary () =
   record "cache" "hit_rate_pct" rate "pct";
   record "cache" "hits" (float_of_int hits) "count"
 
+(* ------------------------------------------------------------------ *)
+(* session: crash-safe sessions                                         *)
+(* ------------------------------------------------------------------ *)
+
+let session_bench () =
+  section "session"
+    "crash-safe sessions: kill+resume determinism, fault-injected search completes";
+  let module S = Tir_service.Session in
+  let module F = Tir_core.Fault in
+  let w = W.gmm () in
+  let cfg = Tune.Config.(default |> with_trials (trials 24) |> with_seed 42) in
+  let best_key (r : Tune.result) =
+    match r.Tune.best with
+    | Some b -> Tir_sched.Trace.to_string b.Tir_autosched.Evolutionary.trace
+    | None -> "<none>"
+  in
+  (* The measurement memo is process-global; clear it between runs so each
+     one exercises the full search, as a fresh process would. *)
+  Tir_autosched.Cost_model.clear_caches ();
+  let reference = Tune.run cfg w gpu in
+  let path = Filename.temp_file "tir_session" ".wal" in
+  Tir_autosched.Cost_model.clear_caches ();
+  let s = S.create ~force:true ~path cfg w gpu in
+  let halted = match S.run ~halt_after:1 s with _ -> false | exception S.Halted _ -> true in
+  Tir_autosched.Cost_model.clear_caches ();
+  let resumed = S.run (S.resume ~path ()) in
+  Sys.remove path;
+  let identical = String.equal (best_key reference) (best_key resumed) in
+  Fmt.pr "halted after gen 1: %b; resumed best identical to uninterrupted: %b@."
+    halted identical;
+  record "session" "resume_identical" (if identical then 1.0 else 0.0) "bool";
+  record_op "session" "resumed" w resumed;
+  (* Under injected faults (simulator, pool and database sites) the retry
+     layer must still deliver a measured best. *)
+  Tir_autosched.Cost_model.clear_caches ();
+  F.set ~rate:0.2 ~seed:42 ();
+  let faulted = Fun.protect ~finally:F.clear (fun () -> Tune.run cfg w gpu) in
+  Fmt.pr "under faults 0.2:42 — best %.2f us, %d trials, %d unmeasurable@."
+    (Tune.latency_us faulted) faulted.Tune.stats.trials
+    faulted.Tune.stats.unmeasurable;
+  record_op "session" "faulted" w faulted;
+  record "session" "faulted_unmeasurable"
+    (float_of_int faulted.Tune.stats.unmeasurable)
+    "count"
+
 let () =
   (* Monotone clock (never runs backwards under wall-clock adjustment), so
      section walls and the total are always non-negative. *)
@@ -573,6 +660,7 @@ let () =
   timed "ablation" ablation;
   timed "micro" micro;
   timed "db" db_bench;
+  timed "session" session_bench;
   cache_summary ();
   let total = Clock.now_s () -. t0 in
   emit_json ~total_wall_s:total "BENCH_results.json";

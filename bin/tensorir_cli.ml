@@ -8,14 +8,44 @@
      tensorir report <journal>            render a tuning journal (spans,
                                           metrics, search summary)
      tensorir lint [targets] [--all]      semantic static analysis (races,
-                                          region soundness, bounds) *)
+                                          region soundness, bounds)
+     tensorir session <status|compact>    inspect / compact a session log
+
+   Exit codes: 0 ok, 1 findings, 2 usage, then one per error kind
+   (Parse 3, Io 4, Corrupt 5, Timeout 6, Fault 7) and 8 when a session
+   run halted early (tune --halt-after). *)
 
 open Cmdliner
 module W = Tir_workloads.Workloads
 module Tune = Tir_autosched.Tune
 module TI = Tir_intrin.Tensor_intrin
+module Session = Tir_service.Session
+module Error = Tir_core.Error
 
 let () = Tir_intrin.Library.register_all ()
+
+let exit_halted = 8
+
+(* Unified error surface: every typed failure becomes a distinct exit
+   code, so scripts driving the CLI can tell a torn database from a
+   missing file from an injected-fault exhaustion. *)
+let with_errors f =
+  match f () with
+  | () -> ()
+  | exception Error.Error e ->
+      Fmt.epr "tensorir: %s@." (Error.to_string e);
+      exit (Error.exit_code e.Error.kind)
+  | exception Session.Halted { path; gen } ->
+      Fmt.pr "halted after generation %d; resume with: tensorir tune --session %s --resume@."
+        gen path;
+      exit exit_halted
+
+let load_database path =
+  match Tir_autosched.Database.load_result path with
+  | Ok db -> db
+  | Error e ->
+      Fmt.epr "tensorir: %s@." (Error.to_string e);
+      exit (Error.exit_code e.Error.kind)
 
 let workload_arg =
   let doc = "Workload tag: C1D C2D C3D DEP DIL GMM GRP T2D." in
@@ -96,15 +126,38 @@ let candidates_cmd =
 (* --- tune --- *)
 
 let tune_cmd =
-  let run tag target trials seed print_best db_path journal_path =
-    let t, w = workload_for target tag in
-    let database = Option.map Tir_autosched.Database.load db_path in
+  let run tag target trials seed print_best db_path journal_path session_path
+      resume halt_after jobs =
+    with_errors @@ fun () ->
+    let database = Option.map load_database db_path in
     let journal = Option.map Tir_obs.Journal.open_file journal_path in
     let r =
       Fun.protect
         ~finally:(fun () -> Option.iter Tir_obs.Journal.close journal)
-        (fun () -> Tune.tune ~seed ~trials ?database ?journal t w)
+        (fun () ->
+          match session_path with
+          | None ->
+              let t, w = workload_for target tag in
+              let cfg =
+                Tune.Config.
+                  { default with seed; trials; database; journal; jobs }
+              in
+              Tune.run cfg w t
+          | Some path when resume ->
+              (* Workload, target, seed and trial budget come from the
+                 session log; the positional args are ignored. *)
+              let s = Session.resume ?jobs ?journal ?database ~path () in
+              Session.run ?halt_after s
+          | Some path ->
+              let t, w = workload_for target tag in
+              let cfg =
+                Tune.Config.
+                  { default with seed; trials; database; journal; jobs }
+              in
+              let s = Session.create ~path cfg w t in
+              Session.run ?halt_after s)
     in
+    let t = r.Tune.target and w = r.Tune.workload in
     Option.iter
       (fun db -> Tir_autosched.Database.save db (Option.get db_path))
       database;
@@ -113,9 +166,9 @@ let tune_cmd =
       journal_path;
     Fmt.pr "workload: %s on %s@." w.W.name t.Tir_sim.Target.name;
     Fmt.pr "best latency: %.2f us (%.0f GFLOPS)@." (Tune.latency_us r) (Tune.gflops r);
-    Fmt.pr "search: %d trials, %d proposed, %d invalid, %d unsound, %d inapplicable@."
+    Fmt.pr "search: %d trials, %d proposed, %d invalid, %d unsound, %d inapplicable, %d unmeasurable@."
       r.Tune.stats.trials r.Tune.stats.proposed r.Tune.stats.invalid
-      r.Tune.stats.unsound r.Tune.stats.inapplicable;
+      r.Tune.stats.unsound r.Tune.stats.inapplicable r.Tune.stats.unmeasurable;
     Fmt.pr "simulated tuning time: %.2f minutes@." (Tune.tuning_minutes r);
     match r.Tune.best with
     | Some b ->
@@ -140,11 +193,80 @@ let tune_cmd =
     in
     Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
   in
+  let session_arg =
+    let doc =
+      "Crash-safe session log: every generation is checkpointed to $(docv); \
+       a killed run resumes bit-identically with $(b,--resume)."
+    in
+    Arg.(value & opt (some string) None & info [ "session" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume the session given by $(b,--session) from its last \
+             committed generation (workload/target/seed come from the log).")
+  in
+  let halt_after_arg =
+    let doc =
+      "Stop after $(docv) generations committed this run (exit code 8); \
+       used to exercise kill-and-resume. Also read from TIR_HALT_AFTER_GEN."
+    in
+    Arg.(value & opt (some int) None & info [ "halt-after" ] ~docv:"N" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Evaluation pool size for this run (default: TIR_JOBS or all cores)." in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "tune" ~doc:"Auto-schedule a workload with the tensorization-aware tuner")
     Term.(
       const run $ workload_arg $ target_arg $ trials_arg $ seed_arg $ print_best
-      $ db_arg $ journal_arg)
+      $ db_arg $ journal_arg $ session_arg $ resume_arg $ halt_after_arg
+      $ jobs_arg)
+
+(* --- session --- *)
+
+let session_cmd =
+  let run action path =
+    with_errors @@ fun () ->
+    match action with
+    | "status" ->
+        let s = Session.status ~path in
+        Fmt.pr "workload:    %s@." s.Session.workload;
+        Fmt.pr "target:      %s@." s.Session.target;
+        Fmt.pr "seed:        %d@." s.Session.seed;
+        Fmt.pr "trials:      %d / %d@." s.Session.trials_done s.Session.trials_target;
+        Fmt.pr "generations: %d committed@." s.Session.generations;
+        Fmt.pr "state:       %s@."
+          (if s.Session.completed then "completed" else "resumable");
+        (match s.Session.best_us with
+        | Some b -> Fmt.pr "best:        %.2f us@." b
+        | None -> Fmt.pr "best:        (none yet)@.")
+    | "compact" ->
+        Session.compact ~path;
+        Fmt.pr "compacted %s@." path
+    | other ->
+        Fmt.epr "unknown session action %S (expected status or compact)@." other;
+        exit 2
+  in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION" ~doc:"status | compact")
+  in
+  let path =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Session log written by tune --session.")
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:"Inspect or compact a crash-safe tuning session log")
+    Term.(const run $ action $ path)
 
 (* --- model --- *)
 
@@ -175,7 +297,7 @@ let model_cmd =
 let codegen_cmd =
   let run tag target trials =
     let t, w = workload_for target tag in
-    let r = Tune.tune ~trials t w in
+    let r = Tune.run Tune.Config.(default |> with_trials trials) w t in
     match r.Tune.best with
     | Some b ->
         print_string (Tir_codegen.Codegen.emit ~target:t b.Tir_autosched.Evolutionary.func)
@@ -307,11 +429,11 @@ let report_cmd =
   let module J = Tir_obs.Journal in
   let run path =
     let events =
-      match J.load path with
-      | events -> events
-      | exception J.Parse_error m ->
-          Fmt.epr "journal parse error: %s@." m;
-          exit 1
+      match J.load_result path with
+      | Ok events -> events
+      | Error e ->
+          Fmt.epr "tensorir: %s@." (Error.to_string e);
+          exit (Error.exit_code e.Error.kind)
     in
     (* runs *)
     List.iter
@@ -429,4 +551,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ show_cmd; candidates_cmd; tune_cmd; model_cmd; parse_cmd; codegen_cmd;
-         intrinsics_cmd; report_cmd; lint_cmd ]))
+         intrinsics_cmd; report_cmd; lint_cmd; session_cmd ]))

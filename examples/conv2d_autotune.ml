@@ -27,7 +27,8 @@ let () =
 
   (* Tune. *)
   let target = Tir_sim.Target.gpu_tensorcore in
-  let r = Tune.tune ~trials:64 target w in
+  let cfg = Tune.Config.(default |> with_trials 64) in
+  let r = Tune.run cfg w target in
   Fmt.pr
     "tuned: %.1f us (%.0f GFLOPS) — %d measured trials, %d proposals (%d invalid \
      filtered by validation)@."

@@ -102,10 +102,20 @@ type evaluation =
               results and into database records for sketch-free replay *)
     }
 
+(** Outcome of one (memoized) machine-model measurement. *)
+type measurement =
+  | Measured of float  (** latency in microseconds *)
+  | Unsupported_target  (** the machine model cannot run the program *)
+  | Unmeasurable
+      (** the candidate could not be measured: injected faults exhausted
+          the retry budget, or the simulated latency blew the
+          per-candidate measurement budget. Deterministic under a fixed
+          fault seed — and never fed to the cost model or database. *)
+
 (* Named tables feed the metrics registry: [memo.eval.*] and
    [memo.measure.*] (hits / misses / pending waits). *)
 let eval_cache : evaluation Memo.t = Memo.create ~name:"eval" ()
-let measure_cache : float option Memo.t = Memo.create ~name:"measure" ()
+let measure_cache : measurement Memo.t = Memo.create ~name:"measure" ()
 
 (** [cache_prefix target] — compute once per search, prepend to candidate
     keys ([sketch name ^ "|" ^ Space.key_of decisions]). The full decision
@@ -135,13 +145,44 @@ let evaluate ~target (sk : Sketch.t) (d : Space.decisions) : evaluation =
 let evaluate_cached ~key ~target sk d =
   Memo.find_or_add eval_cache key (fun () -> evaluate ~target sk d)
 
-(** Memoized measurement ([None] = machine model refused); returns
-    [(cache_hit, latency)]. *)
-let measure_cached ~key ~target f =
-  Memo.find_or_add measure_cache key (fun () ->
-      match Tir_sim.Machine.measure_us target f with
-      | latency_us -> Some latency_us
-      | exception Tir_sim.Machine.Unsupported _ -> None)
+let m_timeout = Tir_obs.Metrics.counter "measure.timeout"
+
+(* One measurement attempt under the retry policy's budget. *)
+let classify policy latency_us =
+  if latency_us > policy.Tir_parallel.Retry.timeout_us then begin
+    Tir_obs.Metrics.incr m_timeout;
+    Unmeasurable
+  end
+  else Measured latency_us
+
+(** Memoized measurement; returns [(cache_hit, outcome)].
+
+    Fault handling: when injection is configured for the [Measure] site,
+    each attempt passes a per-attempt fault key to the simulator and
+    injected failures are retried under [retry]. Retry exhaustion raises
+    out of the memo's compute function — the memo removes its pending
+    marker on a raise — so an exhausted candidate is reported
+    [Unmeasurable] {e without being cached}: it never poisons the memo
+    for a later run with different fault configuration. A candidate whose
+    simulated latency exceeds [retry.timeout_us] is deterministically
+    [Unmeasurable] (that outcome {e is} cached — the simulator is pure). *)
+let measure_cached ?(retry = Tir_parallel.Retry.default) ~key ~target f =
+  match
+    Memo.find_or_add measure_cache key (fun () ->
+        match
+          if Tir_core.Fault.enabled Tir_core.Fault.Measure then
+            Tir_parallel.Retry.with_retries ~policy:retry ~site:"measure" ~key
+              (fun ~attempt ->
+                Tir_sim.Machine.measure_us
+                  ~fault_key:(Printf.sprintf "%s@%d" key attempt)
+                  target f)
+          else Tir_sim.Machine.measure_us target f
+        with
+        | latency_us -> classify retry latency_us
+        | exception Tir_sim.Machine.Unsupported _ -> Unsupported_target)
+  with
+  | outcome -> outcome
+  | exception Tir_parallel.Retry.Exhausted _ -> (false, Unmeasurable)
 
 type cache_stats = { hits : int; misses : int; entries : int }
 

@@ -56,10 +56,25 @@ val evaluate_cached :
   key:string -> target:Tir_sim.Target.t -> Sketch.t -> Space.decisions ->
   bool * evaluation
 
-(** Memoized machine-model measurement ([None] = unsupported); returns
-    [(cache_hit, latency_us)]. *)
+(** Outcome of one (memoized) machine-model measurement. *)
+type measurement =
+  | Measured of float  (** latency in microseconds *)
+  | Unsupported_target  (** the machine model cannot run the program *)
+  | Unmeasurable
+      (** injected faults exhausted the retry budget, or the simulated
+          latency blew the per-candidate budget ([retry.timeout_us]).
+          Deterministic under a fixed fault seed; never fed to the cost
+          model or database, and retry exhaustion is never cached. *)
+
+(** Memoized machine-model measurement; returns [(cache_hit, outcome)].
+    [retry] governs fault-injection retries (site [Measure] of
+    [Tir_core.Fault]) and the per-candidate measurement budget. *)
 val measure_cached :
-  key:string -> target:Tir_sim.Target.t -> Tir_ir.Primfunc.t -> bool * float option
+  ?retry:Tir_parallel.Retry.policy ->
+  key:string ->
+  target:Tir_sim.Target.t ->
+  Tir_ir.Primfunc.t ->
+  bool * measurement
 
 type cache_stats = { hits : int; misses : int; entries : int }
 

@@ -161,32 +161,96 @@ let record_of_line_v1 line =
       }
   | _ -> failwith ("bad database line: " ^ line)
 
+(* One guarded write under the fault-injection harness (site [Db_write]):
+   injected failures are retried with deterministic backoff; exhaustion
+   surfaces as [Error.Error] with kind [Fault], never as a silent partial
+   write. No-op (beyond the write itself) when injection is off. *)
+let db_write_guard ~key =
+  if Tir_core.Fault.enabled Tir_core.Fault.Db_write then
+    try
+      Tir_parallel.Retry.with_retries ~site:"db" ~key (fun ~attempt ->
+          Tir_core.Fault.maybe_fail Tir_core.Fault.Db_write
+            ~key:(Printf.sprintf "%s@%d" key attempt))
+    with Tir_parallel.Retry.Exhausted { site; key; attempts } ->
+      Tir_core.Error.raise_error ~context:key Tir_core.Error.Fault
+        (Printf.sprintf "%s write failed after %d attempts" site attempts)
+
 let save t path =
-  let oc = open_out path in
-  output_string oc (version_header ^ "\n");
-  List.iter (fun r -> output_string oc (record_to_line r ^ "\n")) (List.rev t.records);
-  close_out oc
+  (* Write-then-rename: a crash (or an exhausted injected fault) mid-save
+     leaves the previous snapshot intact — readers never observe a
+     half-written database. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc (version_header ^ "\n");
+     List.iteri
+       (fun i r ->
+         db_write_guard ~key:(Printf.sprintf "dbsave:%d" i);
+         output_string oc (record_to_line r ^ "\n"))
+       (List.rev t.records);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let m_torn = Tir_obs.Metrics.counter "db.torn_dropped"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let load path =
   if not (Sys.file_exists path) then create ()
   else begin
-    let ic = open_in path in
+    let content = read_file path in
+    let len = String.length content in
+    (* A file that does not end in a newline was torn by a crash
+       mid-append: its final (partial) line is dropped if unparseable.
+       Newline-terminated garbage is still an error — that is corruption,
+       not a torn write. *)
+    let complete_tail = len = 0 || content.[len - 1] = '\n' in
+    let lines = String.split_on_char '\n' content in
     let records = ref [] in
     let v2 = ref false in
-    (try
-       while true do
-         let line = input_line ic in
-         let trimmed = String.trim line in
-         if String.equal trimmed version_header then v2 := true
-         else if trimmed <> "" && trimmed.[0] <> '#' then
-           records :=
-             (if !v2 then record_of_line_v2 line else record_of_line_v1 line)
-             :: !records
-       done
-     with End_of_file -> ());
-    close_in ic;
+    let parse line = if !v2 then record_of_line_v2 line else record_of_line_v1 line in
+    let rec go = function
+      | [] -> ()
+      | [ last ] when not complete_tail ->
+          let trimmed = String.trim last in
+          if trimmed <> "" && trimmed.[0] <> '#'
+             && not (String.equal trimmed version_header) then (
+            match parse last with
+            | r -> records := r :: !records
+            | exception _ -> Tir_obs.Metrics.incr m_torn)
+      | line :: rest ->
+          let trimmed = String.trim line in
+          if String.equal trimmed version_header then v2 := true
+          else if trimmed <> "" && trimmed.[0] <> '#' then
+            records := parse line :: !records;
+          go rest
+    in
+    go lines;
     { records = !records }
   end
+
+(** [load] through the unified error surface: [Io] when the filesystem
+    refuses, [Corrupt] when a (complete) line violates the format. *)
+let load_result path : (t, Tir_core.Error.t) result =
+  match load path with
+  | db -> Ok db
+  | exception Failure msg ->
+      Error (Tir_core.Error.make ~context:path Tir_core.Error.Corrupt msg)
+  | exception Tir_sched.Trace.Parse_error msg ->
+      Error
+        (Tir_core.Error.make ~context:path Tir_core.Error.Corrupt
+           ("bad trace field: " ^ msg))
+  | exception Sys_error msg ->
+      Error (Tir_core.Error.make ~context:path Tir_core.Error.Io msg)
+  | exception Tir_core.Error.Error e -> Error e
 
 (** Record the best result of a tuning run. *)
 let commit t (target : Tir_sim.Target.t) (w : W.t) (best : Evolutionary.measured) =
@@ -252,8 +316,8 @@ let replay_from_trace (target : Tir_sim.Target.t) (w : W.t) (r : record) :
                     ^ Sketch.workload_digest func
                   in
                   match snd (Cost_model.measure_cached ~key ~target func) with
-                  | None -> None
-                  | Some latency_us ->
+                  | Cost_model.Unsupported_target | Cost_model.Unmeasurable -> None
+                  | Cost_model.Measured latency_us ->
                       Some
                         {
                           Evolutionary.sketch_name = r.sketch_name;
@@ -286,8 +350,8 @@ let replay_from_sketch (target : Tir_sim.Target.t) (sketches : Sketch.t list)
           None
       | Cost_model.Evaluated { func; trace; _ } -> (
           match snd (Cost_model.measure_cached ~key ~target func) with
-          | None -> None
-          | Some latency_us ->
+          | Cost_model.Unsupported_target | Cost_model.Unmeasurable -> None
+          | Cost_model.Measured latency_us ->
               Some
                 {
                   Evolutionary.sketch_name = r.sketch_name;

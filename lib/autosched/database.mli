@@ -31,12 +31,47 @@ val find : t -> target_name:string -> workload_name:string -> record option
 val add : t -> record -> unit
 val size : t -> int
 
-(** Write the v2 format (with version header). *)
+(** Write the v2 format (with version header), atomically: the snapshot
+    is written to [path ^ ".tmp"] and renamed into place, so a crash
+    mid-save leaves the previous file intact. Under fault injection
+    (site [Db_write] of [Tir_core.Fault]) each line write retries
+    injected failures; exhaustion raises [Tir_core.Error.Error] with
+    kind [Fault]. *)
 val save : t -> string -> unit
 
 (** Load from disk; a missing file yields an empty database. Reads v2
-    (version header present) and v1 (headerless) files. *)
+    (version header present) and v1 (headerless) files. A torn trailing
+    line (crash mid-append: no final newline, unparseable) is dropped
+    and counted ([db.torn_dropped]); newline-terminated garbage still
+    raises — that is corruption, not a torn write. *)
 val load : string -> t
+
+(** [load] through the unified error surface: [Io] when the filesystem
+    refuses, [Corrupt] when a complete line violates the format. *)
+val load_result : string -> (t, Tir_core.Error.t) result
+
+(** {2 Line codec}
+
+    The v2 serialization discipline, shared with the session WAL: every
+    field percent-escapes ['%'], ['|'], newlines, [','] and ['=']. *)
+
+val escape : string -> string
+val unescape : string -> string
+
+(** One v2 record line (no trailing newline). *)
+val record_to_line : record -> string
+
+(** Parse one v2 record line; raises [Failure] (or
+    [Tir_sched.Trace.Parse_error] for a bad trace field) on malformed
+    input. *)
+val record_of_line_v2 : string -> record
+
+(** The function a record's trace was applied to: the workload's func for
+    scalar sketches, or the tensorization candidate's canonical program
+    for [base = <intrinsic name>]. [None] if the intrinsic is unknown or
+    yields no candidate — the session resume path and [replay] both
+    rebuild programs through this. *)
+val base_func : Tir_workloads.Workloads.t -> string -> Tir_ir.Primfunc.t option
 
 (** Record the best result of a tuning run, trace included. *)
 val commit :

@@ -58,6 +58,9 @@ type stats = {
   mutable invalid : int;  (** rejected by the §3.3 validator *)
   mutable unsound : int;  (** rejected by the semantic analyzer *)
   mutable inapplicable : int;  (** decision vectors the sketch rejects *)
+  mutable unmeasurable : int;
+      (** candidates dropped after measurement faults exhausted their
+          retries or the per-candidate budget expired *)
   mutable best_curve : (int * float) list;  (** (trial, best latency) *)
   mutable profiling_us : float;  (** simulated time spent measuring *)
   mutable cache_hits : int;  (** evaluation/measurement memo hits *)
@@ -71,6 +74,7 @@ let new_stats () =
     invalid = 0;
     unsound = 0;
     inapplicable = 0;
+    unmeasurable = 0;
     best_curve = [];
     profiling_us = 0.0;
     cache_hits = 0;
@@ -83,6 +87,33 @@ let cache_hit_rate stats =
   else float_of_int stats.cache_hits /. float_of_int stats.cache_lookups
 
 type result = { best : measured option; stats : stats }
+
+(** Write-ahead checkpoint hooks, called synchronously from the search's
+    sequential reduces (never from pool domains). The callee must consume
+    its arguments before returning — [stats] is the search's live mutable
+    record. A generation is only {e committed} by [on_generation]; a crash
+    mid-generation loses nothing, because the generation re-runs
+    bit-identically from its [(seed, gen)]-derived stream. *)
+type checkpoint = {
+  on_seen : gen:int -> string list -> unit;
+      (** fresh candidate keys deduplicated into the seen-set this
+          generation, in slot order *)
+  on_measured : gen:int -> measured -> unit;
+      (** one successfully measured candidate, in measurement order *)
+  on_generation : gen:int -> stats -> best_us:float -> unit;
+      (** generation completed; [stats] is the cumulative snapshot *)
+}
+
+(** State rebuilt from a checkpoint log, handed to [search ?resume] to
+    re-enter at generation [r_gen] with bit-identical behaviour. *)
+type resume = {
+  r_gen : int;  (** next generation to run *)
+  r_seen : string list;  (** every key deduplicated so far *)
+  r_measured : measured list;  (** in original measurement order *)
+  r_stats : stats;
+      (** cumulative counters at the last committed generation
+          ([best_curve] is ignored — it is rebuilt from [r_measured]) *)
+}
 
 (* Cost charged per hardware measurement: each candidate runs a few times
    plus compilation/transfer overhead. This drives the Table 1 comparison:
@@ -108,6 +139,7 @@ let m_generations = Metrics.counter "search.generations"
 let m_mutations = Metrics.counter "search.mutations"
 let m_crossovers = Metrics.counter "search.crossovers"
 let m_accepted = Metrics.counter "search.accepted"
+let m_unmeasurable = Metrics.counter "search.unmeasurable"
 let m_rank_corr = Metrics.gauge "costmodel.rank_corr"
 
 (* Per-generation journal tallies, reset each round. *)
@@ -119,6 +151,7 @@ type gen_tally = {
   mutable g_inapplicable : int;
   mutable g_memo_hits : int;
   mutable g_measured : int;
+  mutable g_unmeasurable : int;
   mutable g_mutations : int;
   mutable g_crossovers : int;
   mutable g_accepted : int;
@@ -134,6 +167,7 @@ let new_gen_tally () =
     g_inapplicable = 0;
     g_memo_hits = 0;
     g_measured = 0;
+    g_unmeasurable = 0;
     g_mutations = 0;
     g_crossovers = 0;
     g_accepted = 0;
@@ -141,8 +175,8 @@ let new_gen_tally () =
   }
 
 let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
-    ?(evolve = true) ?pool ?journal ~rng ~target ~trials (sketches : Sketch.t list) :
-    result =
+    ?(evolve = true) ?pool ?journal ?retry ?checkpoint ?resume ~seed ~target
+    ~trials (sketches : Sketch.t list) : result =
   let pool = match pool with Some p -> p | None -> Pool.global () in
   let stats = new_stats () in
   let model = Cost_model.create target in
@@ -164,7 +198,7 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
         (List.sort (fun a b -> Float.compare a.latency_us b.latency_us) (m :: !elites))
   in
   (* --- proposal generation (slot-parallel, split RNG per slot) --- *)
-  let random_specs n =
+  let random_specs rng n =
     let rngs = Rng.split_n rng n in
     Array.to_list
       (Pool.parallel_map pool
@@ -173,7 +207,7 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
            (sk, Space.random_decisions r sk.Sketch.knobs, Random))
          rngs)
   in
-  let evolved_specs n =
+  let evolved_specs rng n =
     match !elites with
     | [] -> []
     | es ->
@@ -248,6 +282,12 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
           end)
         specs
     in
+    (* WAL the fresh keys before any evaluation: resuming a later
+       generation must re-seed the dedup set exactly. *)
+    (match checkpoint with
+    | Some c when fresh <> [] ->
+        c.on_seen ~gen:!gen (List.map (fun (_, _, key, _) -> key) fresh)
+    | _ -> ());
     let evals =
       Pool.parallel_map_list pool
         (fun ((sk : Sketch.t), d, key, _) ->
@@ -286,20 +326,26 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
     let results =
       Pool.parallel_map_list pool
         (fun (_, (_, _, key, _, func, _, _)) ->
-          Cost_model.measure_cached ~key:(key_prefix ^ key) ~target func)
+          Cost_model.measure_cached ?retry ~key:(key_prefix ^ key) ~target func)
         scored
     in
     List.iter2
       (fun (score, ((sk : Sketch.t), _, _, origin, func, features, trace))
-           (hit, latency) ->
+           (hit, outcome) ->
         stats.cache_lookups <- stats.cache_lookups + 1;
         if hit then begin
           stats.cache_hits <- stats.cache_hits + 1;
           !g.g_memo_hits <- !g.g_memo_hits + 1
         end;
-        match latency with
-        | None -> ()
-        | Some latency_us ->
+        match outcome with
+        | Cost_model.Unsupported_target -> ()
+        | Cost_model.Unmeasurable ->
+            (* Graceful degradation: scored but never measured — the
+               candidate is skipped without feeding the cost model, the
+               elite set, or (via the checkpoint) the database. *)
+            stats.unmeasurable <- stats.unmeasurable + 1;
+            !g.g_unmeasurable <- !g.g_unmeasurable + 1
+        | Cost_model.Measured latency_us ->
             stats.trials <- stats.trials + 1;
             stats.profiling_us <-
               stats.profiling_us
@@ -319,6 +365,9 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
               }
             in
             consider m;
+            (match checkpoint with
+            | Some c -> c.on_measured ~gen:!gen m
+            | None -> ());
             (* A mutant/crossover is "accepted" when it survives into the
                elite set — the population actually evolved. *)
             (match origin with
@@ -350,6 +399,7 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
     Metrics.add m_mutations t.g_mutations;
     Metrics.add m_crossovers t.g_crossovers;
     Metrics.add m_accepted t.g_accepted;
+    Metrics.add m_unmeasurable t.g_unmeasurable;
     Metrics.incr m_generations;
     Metrics.set m_rank_corr rank_corr;
     (match journal with
@@ -377,17 +427,56 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
                best_us;
                rank_corr;
              }));
+    (* Commit marker: everything this generation wrote becomes durable
+       only here. Emitted after the metrics/journal flush, before the
+       counter advances. *)
+    (match checkpoint with
+    | Some c -> c.on_generation ~gen:!gen stats ~best_us
+    | None -> ());
     incr gen;
     g := new_gen_tally ()
   in
+  (* --- resume: rebuild the in-memory search state from a checkpoint
+     log. The dedup set and the measured list replay through the same
+     sequential code paths a live run uses, so the elite set, the best
+     curve, and the cost-model dataset come out bit-identical; the
+     aggregate counters are then restored from the committed snapshot. *)
+  (match resume with
+  | None -> ()
+  | Some r ->
+      gen := max 0 r.r_gen;
+      List.iter (fun k -> Hashtbl.replace seen k ()) r.r_seen;
+      List.iter
+        (fun (m : measured) ->
+          let features = Features.extract target m.func in
+          Cost_model.add model ~features ~latency_us:m.latency_us;
+          stats.trials <- stats.trials + 1;
+          consider m)
+        r.r_measured;
+      if r.r_measured <> [] then Cost_model.retrain model;
+      stats.trials <- r.r_stats.trials;
+      stats.proposed <- r.r_stats.proposed;
+      stats.invalid <- r.r_stats.invalid;
+      stats.unsound <- r.r_stats.unsound;
+      stats.inapplicable <- r.r_stats.inapplicable;
+      stats.unmeasurable <- r.r_stats.unmeasurable;
+      stats.profiling_us <- r.r_stats.profiling_us;
+      stats.cache_hits <- r.r_stats.cache_hits;
+      stats.cache_lookups <- r.r_stats.cache_lookups);
   let rec rounds () =
     if stats.trials >= trials then ()
     else begin
+      (* Each generation draws from its own (seed, gen)-derived stream:
+         generation [g]'s randomness depends only on the seed and [g],
+         never on how many draws earlier generations made — the property
+         that lets a resumed process re-enter mid-search. *)
+      let rng = Rng.for_generation ~seed ~gen:!gen in
       let fresh = if !elites = [] then population * 4 else population in
       let seeds = if !elites = [] then seeded_specs () else [] in
       let specs =
-        if evolve then seeds @ random_specs fresh @ evolved_specs (population * 2)
-        else seeds @ random_specs (population * 3)
+        if evolve then
+          seeds @ random_specs rng fresh @ evolved_specs rng (population * 2)
+        else seeds @ random_specs rng (population * 3)
       in
       match propose_all specs with
       | [] -> finish_generation () (* space exhausted *)

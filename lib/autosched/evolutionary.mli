@@ -23,6 +23,9 @@ type stats = {
   mutable invalid : int;  (** rejected by validation *)
   mutable unsound : int;  (** rejected by the semantic analyzer *)
   mutable inapplicable : int;  (** rejected by the sketch *)
+  mutable unmeasurable : int;
+      (** dropped after measurement faults exhausted their retries or the
+          per-candidate budget expired *)
   mutable best_curve : (int * float) list;  (** (trial, best latency) *)
   mutable profiling_us : float;  (** simulated measurement time *)
   mutable cache_hits : int;  (** evaluation/measurement memo hits *)
@@ -35,6 +38,28 @@ val new_stats : unit -> stats
 val cache_hit_rate : stats -> float
 
 type result = { best : measured option; stats : stats }
+
+(** Write-ahead checkpoint hooks, called synchronously from the search's
+    sequential reduces (never from pool domains): [on_seen] receives the
+    fresh dedup keys of each generation in slot order, [on_measured] each
+    measured candidate in measurement order, and [on_generation] — the
+    commit marker — the cumulative stats once a generation completes. *)
+type checkpoint = {
+  on_seen : gen:int -> string list -> unit;
+  on_measured : gen:int -> measured -> unit;
+  on_generation : gen:int -> stats -> best_us:float -> unit;
+}
+
+(** State rebuilt from a checkpoint log: re-enters the search at
+    generation [r_gen] with the dedup set, the measured history (original
+    order) and the committed counter snapshot ([r_stats.best_curve] is
+    ignored — the curve is rebuilt from [r_measured]). *)
+type resume = {
+  r_gen : int;
+  r_seen : string list;
+  r_measured : measured list;
+  r_stats : stats;
+}
 
 (** Fixed per-measurement overhead (compilation, transfer). *)
 val measurement_overhead_us : float
@@ -49,7 +74,16 @@ val measurement_cap_us : float
     mutation/crossover (pure random search) — both are ablations.
     [pool] is the domain pool the candidate pipeline fans out across
     (default: the process-wide [TIR_JOBS]-sized pool); results are
-    bit-identical at any job count for a fixed [rng] seed.
+    bit-identical at any job count for a fixed [seed].
+
+    Each generation draws from its own [(seed, gen)]-derived stream
+    ([Rng.for_generation]), so a process resumed from a checkpoint
+    ([resume]) re-enters any generation with bit-identical randomness.
+    [retry] governs measurement fault retries and the per-candidate
+    measurement budget ([Cost_model.measure_cached]); candidates whose
+    measurements exhaust it are counted [unmeasurable] and skipped —
+    they never reach the cost model, the elite set, or the checkpoint
+    log.
 
     Every generation bumps the [search.*] counters and the
     [costmodel.rank_corr] gauge in the metrics registry. When [journal]
@@ -65,7 +99,10 @@ val search :
   ?evolve:bool ->
   ?pool:Tir_parallel.Pool.t ->
   ?journal:Tir_obs.Journal.sink ->
-  rng:Rng.t ->
+  ?retry:Tir_parallel.Retry.policy ->
+  ?checkpoint:checkpoint ->
+  ?resume:resume ->
+  seed:int ->
   target:Tir_sim.Target.t ->
   trials:int ->
   Sketch.t list ->

@@ -5,6 +5,13 @@ type t = Random.State.t
 
 let create seed = Random.State.make [| 0x7e50; seed |]
 
+(** The search generation [gen]'s stream under [seed]. Deriving each
+    generation's randomness from [(seed, gen)] alone — instead of
+    threading one state across generations — is what lets a resumed
+    search re-enter at generation [g] with bit-identical randomness
+    without ever serializing PRNG state. *)
+let for_generation ~seed ~gen = Random.State.make [| 0x7e50; seed; 0x517c; gen |]
+
 let int = Random.State.int
 let float = Random.State.float
 let bool = Random.State.bool

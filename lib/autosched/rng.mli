@@ -4,6 +4,12 @@
 type t = Random.State.t
 
 val create : int -> t
+
+(** Independent stream for search generation [gen] under [seed] — a pure
+    function of [(seed, gen)], so a resumed search re-enters any
+    generation with bit-identical randomness and no serialized PRNG
+    state. *)
+val for_generation : seed:int -> gen:int -> t
 val int : t -> int -> int
 val float : t -> float -> float
 val bool : t -> bool

@@ -80,25 +80,72 @@ let journal_finish sink ~span0 ~t0 ~(stats : Evolutionary.stats) ~best_us =
          wall_us = Clock.now_us () -. t0;
        })
 
-(** Tune a workload. [sketches] overrides the default sketch generation
-    (used by the baseline schedulers). When [database] holds a record for
+(** Tuning configuration: one explicit record instead of a pile of
+    optional arguments, so call sites that share a setup pass one value
+    around and new knobs stop rippling through every signature. *)
+module Config = struct
+  type t = {
+    seed : int;
+    trials : int;
+    use_cost_model : bool;
+    evolve : bool;
+    sketches : Sketch.t list option;
+        (** overrides sketch generation (baseline schedulers) *)
+    database : Database.t option;
+        (** replay store: stored schedules short-circuit the search,
+            fresh results are committed back *)
+    jobs : int option;
+        (** size of a private domain pool for this call; [None] shares
+            the process-wide [TIR_JOBS]-sized pool *)
+    journal : Tir_obs.Journal.sink option;
+    retry : Tir_parallel.Retry.policy;
+        (** measurement fault retries + per-candidate budget *)
+  }
+
+  let default =
+    {
+      seed = 42;
+      trials = 64;
+      use_cost_model = true;
+      evolve = true;
+      sketches = None;
+      database = None;
+      jobs = None;
+      journal = None;
+      retry = Tir_parallel.Retry.default;
+    }
+
+  let with_seed seed t = { t with seed }
+  let with_trials trials t = { t with trials }
+  let with_use_cost_model use_cost_model t = { t with use_cost_model }
+  let with_evolve evolve t = { t with evolve }
+  let with_sketches s t = { t with sketches = Some s }
+  let with_database db t = { t with database = Some db }
+  let with_jobs jobs t = { t with jobs = Some jobs }
+  let with_journal j t = { t with journal = Some j }
+  let with_retry retry t = { t with retry }
+end
+
+(** Tune a workload under [cfg]. When [cfg.database] holds a record for
     this (target, workload), the stored schedule is replayed instead of
     searching — the paper's §5.2 "no search is needed for an operator
-    already tuned"; fresh results are committed back.
+    already tuned"; fresh results are committed back. Results are
+    bit-identical at any job count for a fixed seed.
 
-    [jobs] sizes a private domain pool for this call (tests pin it to
-    compare job counts); by default the search shares the process-wide
-    [TIR_JOBS]-sized pool. Results are bit-identical at any job count. *)
-let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
-    ?jobs ?journal (target : Tir_sim.Target.t) (w : W.t) : result =
+    [checkpoint]/[resume] wire the search's write-ahead hooks (see
+    [Evolutionary]); [Session] owns the on-disk log built on them. A
+    resumed call skips the database-replay short-circuit — it is
+    mid-search by definition. *)
+let run ?checkpoint ?resume (cfg : Config.t) (w : W.t)
+    (target : Tir_sim.Target.t) : result =
+  let { Config.seed; trials; use_cost_model; evolve; retry; _ } = cfg in
   let t0 = Clock.now_us () in
   let span0 = Span.count () in
-  let rng = Rng.create seed in
-  (match journal with
+  (match cfg.Config.journal with
   | None -> ()
   | Some sink ->
       let jobs =
-        match jobs with
+        match cfg.Config.jobs with
         | Some j -> j
         | None -> Tir_parallel.Pool.jobs (Tir_parallel.Pool.global ())
       in
@@ -113,14 +160,13 @@ let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
            }));
   let sketches =
     Span.with_span "tune.sketch_gen" (fun () ->
-        match sketches with
+        match cfg.Config.sketches with
         | Some s -> s
         | None -> Sketch.generate target w (target_intrinsics target))
   in
   let cached =
-    match database with
-    | None -> None
-    | Some db ->
+    match cfg.Config.database with
+    | Some db when resume = None ->
         Span.with_span "tune.db_replay" (fun () ->
             match
               Database.find db ~target_name:target.Tir_sim.Target.name
@@ -128,6 +174,7 @@ let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
             with
             | None -> None
             | Some r -> Database.replay target ~workload:w ~sketches r)
+    | _ -> None
   in
   match cached with
   | Some best ->
@@ -140,10 +187,12 @@ let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
         (fun sink ->
           journal_finish sink ~span0 ~t0 ~stats
             ~best_us:best.Evolutionary.latency_us)
-        journal;
+        cfg.Config.journal;
       { workload = w; target; best = Some best; stats }
   | None ->
-      let pool = Option.map (fun j -> Tir_parallel.Pool.create ~jobs:j ()) jobs in
+      let pool =
+        Option.map (fun j -> Tir_parallel.Pool.create ~jobs:j ()) cfg.Config.jobs
+      in
       let { Evolutionary.best; stats } =
         (* Join the private pool's domains even when the search raises,
            or the process hangs on exit waiting for them. *)
@@ -151,10 +200,11 @@ let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
           ~finally:(fun () -> Option.iter Tir_parallel.Pool.shutdown pool)
           (fun () ->
             Span.with_span "tune.search" (fun () ->
-                Evolutionary.search ?use_cost_model ?evolve ?pool ?journal ~rng
+                Evolutionary.search ~use_cost_model ~evolve ?pool
+                  ?journal:cfg.Config.journal ~retry ?checkpoint ?resume ~seed
                   ~target ~trials sketches))
       in
-      (match (database, best) with
+      (match (cfg.Config.database, best) with
       | Some db, Some b -> Database.commit db target w b
       | _ -> ());
       Option.iter
@@ -164,8 +214,26 @@ let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
               (match best with
               | Some b -> b.Evolutionary.latency_us
               | None -> Float.nan))
-        journal;
+        cfg.Config.journal;
       { workload = w; target; best; stats }
+
+(** Deprecated optional-argument shim over {!run}. *)
+let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
+    ?jobs ?journal (target : Tir_sim.Target.t) (w : W.t) : result =
+  let cfg =
+    {
+      Config.default with
+      Config.seed;
+      trials;
+      use_cost_model = Option.value use_cost_model ~default:true;
+      evolve = Option.value evolve ~default:true;
+      sketches;
+      database;
+      jobs;
+      journal;
+    }
+  in
+  run cfg w target
 
 (** Simulated end-to-end tuning time in minutes: profiling cost plus a
     fixed per-proposal search overhead (candidate generation, cost-model

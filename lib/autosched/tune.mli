@@ -21,18 +21,71 @@ val gflops : result -> float
 (** Compute intrinsics available on a target. *)
 val target_intrinsics : Tir_sim.Target.t -> TI.t list
 
-(** Tune a workload. [sketches] overrides sketch generation (baselines);
-    [database] replays a stored schedule when available and commits fresh
-    results; [jobs] sizes a private domain pool for this call (default:
-    the shared [TIR_JOBS]-sized pool). Results are bit-identical at any
+(** Tuning configuration: one explicit record instead of the optional
+    argument pile. Build with {!Config.default} and the [with_*]
+    setters:
+    {[
+      Tune.Config.default
+      |> Tune.Config.with_trials 128
+      |> Tune.Config.with_database db
+    ]} *)
+module Config : sig
+  type t = {
+    seed : int;
+    trials : int;
+    use_cost_model : bool;  (** [false] ranks candidates randomly *)
+    evolve : bool;  (** [false] disables mutation/crossover *)
+    sketches : Sketch.t list option;
+        (** overrides sketch generation (baseline schedulers) *)
+    database : Database.t option;
+        (** replay store: stored schedules short-circuit the search,
+            fresh results are committed back *)
+    jobs : int option;
+        (** size of a private domain pool for this call; [None] shares
+            the process-wide [TIR_JOBS]-sized pool *)
+    journal : Tir_obs.Journal.sink option;
+    retry : Tir_parallel.Retry.policy;
+        (** measurement fault retries + per-candidate budget *)
+  }
+
+  (** seed 42, 64 trials, cost model + evolution on, no sketches /
+      database / journal override, shared pool, [Retry.default]. *)
+  val default : t
+
+  val with_seed : int -> t -> t
+  val with_trials : int -> t -> t
+  val with_use_cost_model : bool -> t -> t
+  val with_evolve : bool -> t -> t
+  val with_sketches : Sketch.t list -> t -> t
+  val with_database : Database.t -> t -> t
+  val with_jobs : int -> t -> t
+  val with_journal : Tir_obs.Journal.sink -> t -> t
+  val with_retry : Tir_parallel.Retry.policy -> t -> t
+end
+
+(** Tune a workload under a {!Config.t}. Results are bit-identical at any
     job count for a fixed seed.
 
     Phases run under [Tir_obs.Span]s ([tune.sketch_gen], [tune.db_replay],
-    [tune.search]). [journal] receives the run's event stream:
+    [tune.search]). [Config.journal] receives the run's event stream:
     [Run_start], the per-generation search events, this call's spans, a
     metrics-registry dump, and [Run_end]. Journal counter content is
     bit-identical at any job count; only span durations and time-derived
-    gauges vary. *)
+    gauges vary.
+
+    [checkpoint]/[resume] wire the search's write-ahead hooks
+    ([Evolutionary.checkpoint]/[resume]); the crash-safe on-disk log
+    built on them lives in the [Tir_service.Session] layer. A resumed
+    call skips the database-replay short-circuit. *)
+val run :
+  ?checkpoint:Evolutionary.checkpoint ->
+  ?resume:Evolutionary.resume ->
+  Config.t ->
+  W.t ->
+  Tir_sim.Target.t ->
+  result
+
+(** Optional-argument shim over {!run}, kept for existing call sites. *)
 val tune :
   ?seed:int ->
   ?trials:int ->
@@ -45,6 +98,7 @@ val tune :
   Tir_sim.Target.t ->
   W.t ->
   result
+[@@deprecated "use Tune.run with a Tune.Config.t"]
 
 (** Simulated end-to-end tuning time in minutes (profiling plus search
     overhead) — the Table 1 quantity. *)

@@ -30,7 +30,7 @@ let tvm ?(trials = 64) (target : Target.t) (w : W.t) : Tune.result =
     | Target.Gpu -> [ Sketch.scalar_gpu w ]
     | Target.Cpu -> [ Sketch.scalar_cpu w ]
   in
-  Tune.tune ~trials ~sketches target w
+  Tune.run Tune.Config.(default |> with_trials trials |> with_sketches sketches) w target
 
 (* ---------------- AMOS-class ---------------- *)
 
@@ -47,7 +47,7 @@ let amos ?(trials = 64) (target : Target.t) (w : W.t) : Tune.result =
         @ [ Sketch.scalar_gpu ~allow_shared:false w ]
     | Target.Cpu -> List.map Sketch.tensorized_cpu cands @ [ Sketch.scalar_cpu w ]
   in
-  Tune.tune ~trials ~sketches target w
+  Tune.run Tune.Config.(default |> with_trials trials |> with_sketches sketches) w target
 
 (* ---------------- Framework (PyTorch-class) ---------------- *)
 
@@ -60,7 +60,7 @@ let framework (target : Target.t) (w : W.t) : Tune.result =
     | Target.Gpu -> [ Sketch.scalar_gpu w ]
     | Target.Cpu -> [ Sketch.scalar_cpu w ]
   in
-  Tune.tune ~trials:24 ~seed:7 ~sketches target w
+  Tune.run Tune.Config.(default |> with_trials 24 |> with_seed 7 |> with_sketches sketches) w target
 
 (* ---------------- Vendor libraries ---------------- *)
 
@@ -100,7 +100,9 @@ let vendor ?(trials = 48) (target : Target.t) (w : W.t) : Tune.result =
           @ [ Sketch.scalar_gpu w ]
     | Target.Cpu -> List.map Sketch.tensorized_cpu cands @ [ Sketch.scalar_cpu w ]
   in
-  Tune.tune ~trials ~seed:1234 ~sketches target w
+  Tune.run
+    Tune.Config.(default |> with_trials trials |> with_seed 1234 |> with_sketches sketches)
+    w target
 
 type vendor_result = Supported of Tune.result | Not_supported
 

@@ -11,7 +11,8 @@
       module S = Tensorir.Schedule
 
       let w = Tensorir.Workloads.gmm ()
-      let r = Tensorir.Tune.tune ~trials:64 Tensorir.Target.gpu_tensorcore w
+      let cfg = Tensorir.Tune.Config.(default |> with_trials 64)
+      let r = Tensorir.Tune.run cfg w Tensorir.Target.gpu_tensorcore
     ]} *)
 
 (* The IR *)
@@ -36,8 +37,14 @@ module Schedule = Tir_sched.Schedule
 module Validate = Tir_sched.Validate
 module Zipper = Tir_sched.Zipper
 
+(* Errors and fault injection *)
+module Error = Tir_core.Error
+module Fault = Tir_core.Fault
+module Retry = Tir_parallel.Retry
+
 (* Semantic static analysis *)
 module Analysis = Tir_analysis.Analysis
+module Lint = Tir_analysis.Analysis
 module Diagnostic = Tir_analysis.Diagnostic
 module Bounds_check = Tir_analysis.Bounds_check
 
@@ -60,6 +67,10 @@ module Gbdt = Tir_autosched.Gbdt
 module Features = Tir_autosched.Features
 module Tune = Tir_autosched.Tune
 module Database = Tir_autosched.Database
+
+(* Sessions: crash-safe resumable tuning *)
+module Session = Tir_service.Session
+module Wal = Tir_service.Wal
 
 (* Evaluation substrates *)
 module Workloads = Tir_workloads.Workloads

@@ -119,7 +119,9 @@ module B = Tir_baselines.Baselines
 let tensorir ?(trials = 32) () =
   {
     sname = "TensorIR";
-    tune_op = (fun target w -> Some (Tune.tune ~trials target w));
+    tune_op =
+      (fun target w ->
+        Some (Tune.run Tune.Config.(default |> with_trials trials) w target));
     fuses_lightweight = true;
     supports_model = (fun _ -> true);
   }

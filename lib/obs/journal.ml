@@ -423,3 +423,17 @@ let summarize (events : event list) =
       | Span _ | Counter _ | Gauge _ -> ())
     events;
   !s
+
+let parse_result line : (event, Tir_core.Error.t) result =
+  match of_line line with
+  | e -> Ok e
+  | exception Parse_error msg ->
+      Error (Tir_core.Error.make ~context:"journal" Tir_core.Error.Parse msg)
+
+let load_result path : (event list, Tir_core.Error.t) result =
+  match load path with
+  | evs -> Ok evs
+  | exception Parse_error msg ->
+      Error (Tir_core.Error.make ~context:path Tir_core.Error.Parse msg)
+  | exception Sys_error msg ->
+      Error (Tir_core.Error.make ~context:path Tir_core.Error.Io msg)

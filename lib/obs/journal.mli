@@ -65,6 +65,14 @@ val close : sink -> unit
 (** Parse a journal file (blank lines skipped). Raises [Parse_error]. *)
 val load : string -> event list
 
+(** [of_line] with the unified error surface: malformed lines return
+    [Error] with kind [Parse] instead of raising. *)
+val parse_result : string -> (event, Tir_core.Error.t) result
+
+(** [load] with the unified error surface: kind [Parse] for malformed
+    lines, [Io] for filesystem failures. *)
+val load_result : string -> (event list, Tir_core.Error.t) result
+
 type summary = {
   runs : int;
   generations : int;

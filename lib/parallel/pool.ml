@@ -35,6 +35,11 @@ type t = {
   mutable finished : int;  (** workers done with the current region *)
   mutable shutdown : bool;
   mutable domains : unit Domain.t list;
+  submitted : int Atomic.t;
+      (** logical region counter, bumped on every [parallel_iteri] call on
+          any code path (including the jobs=1 and nested sequential
+          fallbacks) — the basis of job-count-independent fault-injection
+          keys *)
 }
 
 let max_jobs = 64
@@ -98,6 +103,7 @@ let create ?jobs () =
       finished = 0;
       shutdown = false;
       domains = [];
+      submitted = Atomic.make 0;
     }
   in
   if jobs > 1 then
@@ -151,27 +157,69 @@ let m_regions = Tir_obs.Metrics.counter "pool.regions"
 let m_tasks = Tir_obs.Metrics.counter "pool.tasks"
 let m_region_size = Tir_obs.Metrics.histogram "pool.region_size"
 let m_busy_frac = Tir_obs.Metrics.gauge "pool.busy_frac"
+let m_deadline = Tir_obs.Metrics.counter "pool.deadline_expired"
 
-(** [parallel_iteri t ?chunk n f] runs [f i] for [0 <= i < n] across the
-    pool. Any exception from [f] is re-raised in the caller; when several
-    indices fail, the one with the smallest index wins. Regions are
-    serialized: concurrent callers queue, and a nested call from inside a
-    running region degrades to a sequential loop. *)
-let parallel_iteri t ?chunk n (f : int -> unit) =
+(** [parallel_iteri t ?chunk ?deadline_us n f] runs [f i] for [0 <= i < n]
+    across the pool. Any exception from [f] is re-raised in the caller;
+    when several indices fail, the one with the smallest index wins.
+    Regions are serialized: concurrent callers queue, and a nested call
+    from inside a running region degrades to a sequential loop. *)
+let parallel_iteri t ?chunk ?deadline_us n (f : int -> unit) =
   if n <= 0 then ()
   else begin
   Tir_obs.Metrics.incr m_regions;
   Tir_obs.Metrics.add m_tasks n;
   Tir_obs.Metrics.observe m_region_size (float_of_int n);
-  if t.jobs = 1 || n = 1 || Domain.DLS.get in_region then
-    for i = 0 to n - 1 do
+  (* The logical region id is bumped on every code path (jobs=1, nested,
+     parallel), so fault keys below depend only on the sequence of regions
+     submitted — never on the job count. *)
+  let region_id = Atomic.fetch_and_add t.submitted 1 in
+  let task =
+    if not (Tir_core.Fault.enabled Tir_core.Fault.Pool_task) then f
+    else fun i ->
+      (* Inject *before* running [f]: injected failures are absorbed by
+         bounded retries and the task then runs exactly once, so pool
+         faults perturb the metrics, never the results. *)
+      ignore
+        (Retry.absorb ~site:Tir_core.Fault.Pool_task
+           ~key:(Printf.sprintf "r%d:%d" region_id i) ());
       f i
-    done
+  in
+  let region_start = Tir_obs.Clock.now_us () in
+  let deadline =
+    match deadline_us with
+    | None -> Float.infinity
+    | Some d -> region_start +. Float.max 0.0 d
+  in
+  let expired = Atomic.make false in
+  let check_expired () =
+    Atomic.get expired
+    || Float.is_finite deadline
+       && Tir_obs.Clock.now_us () > deadline
+       && begin
+            Atomic.set expired true;
+            true
+          end
+  in
+  let raise_expired done_n =
+    Tir_obs.Metrics.incr m_deadline;
+    Tir_core.Error.raise_error ~context:"pool" Tir_core.Error.Timeout
+      (Printf.sprintf "region %d exceeded its deadline after %d/%d tasks"
+         region_id done_n n)
+  in
+  if t.jobs = 1 || n = 1 || Domain.DLS.get in_region then begin
+    let i = ref 0 in
+    while !i < n && not (check_expired ()) do
+      task !i;
+      incr i
+    done;
+    if !i < n then raise_expired !i
+  end
   else begin
     let chunk = match chunk with Some c -> max 1 c | None -> default_chunk n t.jobs in
     let cursor = Atomic.make 0 in
     let busy_us = Atomic.make 0 in
-    let region_start = Tir_obs.Clock.now_us () in
+    let completed = Atomic.make 0 in
     let failure : (int * exn * Printexc.raw_backtrace) option Atomic.t =
       Atomic.make None
     in
@@ -188,15 +236,17 @@ let parallel_iteri t ?chunk n (f : int -> unit) =
       Domain.DLS.set in_region true;
       let t0 = Tir_obs.Clock.now_us () in
       let rec claim () =
-        let lo = Atomic.fetch_and_add cursor chunk in
-        if lo < n then begin
-          let hi = min n (lo + chunk) in
-          for i = lo to hi - 1 do
-            match f i with
-            | () -> ()
-            | exception e -> record_failure i e (Printexc.get_raw_backtrace ())
-          done;
-          claim ()
+        if not (check_expired ()) then begin
+          let lo = Atomic.fetch_and_add cursor chunk in
+          if lo < n then begin
+            let hi = min n (lo + chunk) in
+            for i = lo to hi - 1 do
+              match task i with
+              | () -> ignore (Atomic.fetch_and_add completed 1)
+              | exception e -> record_failure i e (Printexc.get_raw_backtrace ())
+            done;
+            claim ()
+          end
         end
       in
       claim ();
@@ -228,25 +278,26 @@ let parallel_iteri t ?chunk n (f : int -> unit) =
       (float_of_int (Atomic.get busy_us) /. (wall_us *. float_of_int t.jobs));
     (match Atomic.get failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ())
+    | None -> if Atomic.get expired then raise_expired (Atomic.get completed))
   end
   end
 
 (** Order-preserving parallel map over an array. *)
-let parallel_map t ?chunk (f : 'a -> 'b) (xs : 'a array) : 'b array =
+let parallel_map t ?chunk ?deadline_us (f : 'a -> 'b) (xs : 'a array) : 'b array =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    parallel_iteri t ?chunk n (fun i -> out.(i) <- Some (f xs.(i)));
+    parallel_iteri t ?chunk ?deadline_us n (fun i -> out.(i) <- Some (f xs.(i)));
     Array.map Option.get out
   end
 
 (** Order-preserving parallel map over a list. *)
-let parallel_map_list t ?chunk (f : 'a -> 'b) (xs : 'a list) : 'b list =
-  Array.to_list (parallel_map t ?chunk f (Array.of_list xs))
+let parallel_map_list t ?chunk ?deadline_us (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  Array.to_list (parallel_map t ?chunk ?deadline_us f (Array.of_list xs))
 
 (** Order-preserving parallel filter_map over a list: [f] runs in parallel,
     [None] results are dropped, survivors keep their input order. *)
-let parallel_filter_map t ?chunk (f : 'a -> 'b option) (xs : 'a list) : 'b list =
-  List.filter_map Fun.id (parallel_map_list t ?chunk f xs)
+let parallel_filter_map t ?chunk ?deadline_us (f : 'a -> 'b option) (xs : 'a list) :
+    'b list =
+  List.filter_map Fun.id (parallel_map_list t ?chunk ?deadline_us f xs)

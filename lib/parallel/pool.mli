@@ -41,19 +41,37 @@ val shutdown : t -> unit
     [f i] raises, the exception of the smallest failing index is re-raised
     in the caller after the region drains.
 
+    [deadline_us] bounds the wall-clock duration of the region: once the
+    budget (measured from region start) expires, no further tasks are
+    started and the call raises [Tir_core.Error.Error] with kind
+    [Timeout] after the region drains (a failure from [f] takes
+    precedence). This is the escape hatch against a genuinely hung
+    region; per-candidate determinism is handled by the simulated
+    measurement budget in [Retry.policy] instead.
+
+    When fault injection is configured for the [Pool_task] site
+    ([Tir_core.Fault]), each task absorbs its injected failures through
+    bounded retries ({!Retry.absorb}) before running — keyed by a logical
+    region counter and the task index, so the failure schedule is
+    identical at any job count. Tasks still run exactly once.
+
     Safe under concurrency: the pool runs one region at a time, so
     concurrent callers (e.g. two searches sharing [global ()]) queue up
     rather than corrupting each other's region, and a nested call from
     inside [f] degrades to a plain sequential loop instead of
     deadlocking. *)
-val parallel_iteri : t -> ?chunk:int -> int -> (int -> unit) -> unit
+val parallel_iteri :
+  t -> ?chunk:int -> ?deadline_us:float -> int -> (int -> unit) -> unit
 
 (** Order-preserving parallel map over an array. *)
-val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_map :
+  t -> ?chunk:int -> ?deadline_us:float -> ('a -> 'b) -> 'a array -> 'b array
 
 (** Order-preserving parallel map over a list. *)
-val parallel_map_list : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_map_list :
+  t -> ?chunk:int -> ?deadline_us:float -> ('a -> 'b) -> 'a list -> 'b list
 
 (** Order-preserving parallel filter_map: [None] results are dropped,
     survivors keep their input order. *)
-val parallel_filter_map : t -> ?chunk:int -> ('a -> 'b option) -> 'a list -> 'b list
+val parallel_filter_map :
+  t -> ?chunk:int -> ?deadline_us:float -> ('a -> 'b option) -> 'a list -> 'b list

@@ -369,6 +369,12 @@ let instr_of_string (line : string) : instr option =
 let of_string (s : string) : t =
   List.filter_map instr_of_string (String.split_on_char '\n' s)
 
+let of_string_result (s : string) : (t, Tir_core.Error.t) result =
+  match of_string s with
+  | t -> Ok t
+  | exception Parse_error msg ->
+      Error (Tir_core.Error.make ~context:"trace" Tir_core.Error.Parse msg)
+
 (** The knob decisions recorded in the trace, oldest first; a knob decided
     more than once keeps its first value. *)
 let decisions (t : t) : (string * int) list =

@@ -78,6 +78,10 @@ val to_string : t -> string
     {!Parse_error} on malformed input. *)
 val of_string : string -> t
 
+(** [of_string] with the unified error surface: malformed input returns
+    [Error] with kind [Parse] instead of raising. *)
+val of_string_result : string -> (t, Tir_core.Error.t) result
+
 (** Parse one line; [None] for a blank line or [#] comment. *)
 val instr_of_string : string -> instr option
 

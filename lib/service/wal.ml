@@ -1,0 +1,96 @@
+(** Line-oriented write-ahead log file. See the interface for the
+    durability contract. *)
+
+module Error = Tir_core.Error
+module Fault = Tir_core.Fault
+module Metrics = Tir_obs.Metrics
+
+let m_appends = Metrics.counter "wal.appends"
+let m_rewrites = Metrics.counter "wal.rewrites"
+let m_torn = Metrics.counter "wal.torn_tail"
+
+type writer = { path : string; oc : out_channel; mutable next : int; mutable closed : bool }
+
+let open_append ~path ~start_index =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  { path; oc; next = start_index; closed = false }
+
+let index w = w.next
+
+(* Fault decision before the write: an append either fails completely
+   (after exhausting its retries) or lands as one flushed line — it never
+   tears the file itself. Torn tails come only from real crashes between
+   [output_string] and the kernel reaching disk. *)
+let append w line =
+  if w.closed then
+    Error.raise_error ~context:w.path Error.Io "append to closed WAL";
+  let key = Printf.sprintf "wal:%d" w.next in
+  (if Fault.enabled Fault.Db_write then
+     try
+       Tir_parallel.Retry.with_retries ~site:"db" ~key (fun ~attempt ->
+           Fault.maybe_fail Fault.Db_write
+             ~key:(Printf.sprintf "%s@%d" key attempt))
+     with Tir_parallel.Retry.Exhausted { attempts; _ } ->
+       Error.raise_error ~context:w.path Error.Fault
+         (Printf.sprintf "WAL append %s failed after %d attempts" key attempts));
+  output_string w.oc line;
+  output_char w.oc '\n';
+  flush w.oc;
+  w.next <- w.next + 1;
+  Metrics.incr m_appends
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    close_out w.oc
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read ~path =
+  if not (Sys.file_exists path) then ([], None)
+  else begin
+    let content = try read_file path with Sys_error msg ->
+      Error.raise_error ~context:path Error.Io msg
+    in
+    let len = String.length content in
+    if len = 0 then ([], None)
+    else begin
+      let complete = content.[len - 1] = '\n' in
+      let lines = String.split_on_char '\n' content in
+      (* split_on_char leaves a trailing "" for a terminated file, or the
+         torn fragment otherwise. *)
+      let rec split_tail acc = function
+        | [] -> (List.rev acc, None)
+        | [ last ] ->
+            if complete then ((* last = "" *) List.rev acc, None)
+            else begin
+              Metrics.incr m_torn;
+              (List.rev acc, Some last)
+            end
+        | l :: rest -> split_tail (l :: acc) rest
+      in
+      split_tail [] lines
+    end
+  end
+
+let rewrite ~path records =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     List.iter
+       (fun line ->
+         output_string oc line;
+         output_char oc '\n')
+       records;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  Metrics.incr m_rewrites

@@ -381,8 +381,18 @@ let record_tally (t : tally) =
     execute sequentially (separate kernels on GPU). Raises [Unsupported] if
     the program tensorizes with an intrinsic the target lacks. Each call
     also feeds the simulated-program counters ([sim.*]) in the metrics
-    registry. *)
-let measure_us target (f : Primfunc.t) =
+    registry.
+
+    [fault_key] opts the call into fault injection: when the harness is
+    configured ([Tir_core.Fault]) and the keyed decision for
+    ([Measure], [fault_key]) fires, the call raises
+    [Tir_core.Fault.Injected] {e before} touching any counter — a lost
+    measurement leaves no partial state behind. Retrying callers vary the
+    key per attempt. *)
+let measure_us ?fault_key target (f : Primfunc.t) =
+  (match fault_key with
+  | Some key -> Tir_core.Fault.maybe_fail Tir_core.Fault.Measure ~key
+  | None -> ());
   let root = Primfunc.root_block f in
   let nests = match root.Stmt.body with Stmt.Seq ss -> ss | s -> [ s ] in
   Tir_obs.Metrics.incr m_measurements;

@@ -45,8 +45,14 @@ val nest_latency_us : Target.t -> tally -> float
     simulated-program counters in the metrics registry ([sim.measurements],
     [sim.blocks_visited], [sim.tensorized_ops] vs [sim.scalar_ops],
     [sim.bytes.{global,shared,local}], ...) — integer-valued, so totals are
-    bit-identical at any job count for a deterministic search. *)
-val measure_us : Target.t -> Primfunc.t -> float
+    bit-identical at any job count for a deterministic search.
+
+    [fault_key] opts the call into the deterministic fault-injection
+    harness ([Tir_core.Fault], site [Measure]): when the keyed decision
+    for the given key fires, the call raises [Tir_core.Fault.Injected]
+    before touching any counter. Retrying callers vary the key per
+    attempt. *)
+val measure_us : ?fault_key:string -> Target.t -> Primfunc.t -> float
 
 (** Whole-function tally for feature extraction: work sums across nests,
     parallelism takes the maximum. *)

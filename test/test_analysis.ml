@@ -95,7 +95,7 @@ let test_tuned_schedule_clean () =
     Tir_workloads.Workloads.gmm ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32 ~m:128
       ~n:128 ~k:128 ()
   in
-  let r = Tir_autosched.Tune.tune ~trials:12 gpu w in
+  let r = Util.tune ~trials:12 gpu w in
   match r.Tir_autosched.Tune.best with
   | Some b -> (
       match A.errors b.Tir_autosched.Evolutionary.func with

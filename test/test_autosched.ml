@@ -118,7 +118,7 @@ let small_gmm () =
   W.gmm ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32 ~m:128 ~n:128 ~k:128 ()
 
 let test_tune_finds_tensorized () =
-  let r = Tune.tune ~trials:16 gpu (small_gmm ()) in
+  let r = Util.tune ~trials:16 gpu (small_gmm ()) in
   (match r.Tune.best with
   | Some b ->
       Alcotest.(check bool) "best uses a tensorized sketch" true
@@ -128,14 +128,14 @@ let test_tune_finds_tensorized () =
   Alcotest.(check bool) "latency finite" true (Float.is_finite (Tune.latency_us r))
 
 let test_tune_deterministic () =
-  let a = Tune.tune ~seed:5 ~trials:12 gpu (small_gmm ()) in
-  let b = Tune.tune ~seed:5 ~trials:12 gpu (small_gmm ()) in
+  let a = Util.tune ~seed:5 ~trials:12 gpu (small_gmm ()) in
+  let b = Util.tune ~seed:5 ~trials:12 gpu (small_gmm ()) in
   Alcotest.(check (float 0.0)) "same seed, same result" (Tune.latency_us a)
     (Tune.latency_us b)
 
 let test_tune_best_is_valid_and_correct () =
   let w = W.gmm ~in_dtype:Dtype.F32 ~acc_dtype:Dtype.F32 ~m:64 ~n:64 ~k:64 () in
-  let r = Tune.tune ~trials:12 gpu w in
+  let r = Util.tune ~trials:12 gpu w in
   match r.Tune.best with
   | None -> Alcotest.fail "no result"
   | Some b ->
@@ -145,7 +145,7 @@ let test_tune_best_is_valid_and_correct () =
 
 let test_search_improves_over_framework () =
   let w = small_gmm () in
-  let tuned = Tune.latency_us (Tune.tune ~trials:24 gpu w) in
+  let tuned = Tune.latency_us (Util.tune ~trials:24 gpu w) in
   let fixed = Tune.latency_us (Tir_baselines.Baselines.framework gpu w) in
   Alcotest.(check bool)
     (Printf.sprintf "tuned %.1f < fixed %.1f" tuned fixed)
@@ -153,7 +153,7 @@ let test_search_improves_over_framework () =
 
 let test_dep_falls_back_to_scalar () =
   let w = W.dep ~h:32 ~w:32 ~c:32 () in
-  let r = Tune.tune ~trials:12 gpu w in
+  let r = Util.tune ~trials:12 gpu w in
   match r.Tune.best with
   | Some b ->
       Alcotest.(check string) "scalar sketch used" "scalar-gpu"
@@ -162,7 +162,7 @@ let test_dep_falls_back_to_scalar () =
 
 let test_cpu_tune_uses_sdot () =
   let w = W.gmm ~in_dtype:Dtype.I8 ~acc_dtype:Dtype.I32 ~m:64 ~n:48 ~k:64 () in
-  let r = Tune.tune ~trials:12 arm w in
+  let r = Util.tune ~trials:12 arm w in
   match r.Tune.best with
   | Some b ->
       Alcotest.(check bool) "sdot sketch used" true
@@ -171,7 +171,7 @@ let test_cpu_tune_uses_sdot () =
   | None -> Alcotest.fail "no result"
 
 let test_stats_accounting () =
-  let r = Tune.tune ~trials:10 gpu (small_gmm ()) in
+  let r = Util.tune ~trials:10 gpu (small_gmm ()) in
   Alcotest.(check int) "exactly the requested trials" 10 r.Tune.stats.trials;
   Alcotest.(check bool) "proposals >= trials" true (r.Tune.stats.proposed >= 10);
   Alcotest.(check bool) "profiling time accrued" true
@@ -227,7 +227,7 @@ let test_amos_never_beats_full_by_much () =
      equal seeds TensorIR's best can only be at least as good, up to search
      noise. *)
   let w = small_gmm () in
-  let full = Tune.latency_us (Tune.tune ~trials:24 gpu w) in
+  let full = Tune.latency_us (Util.tune ~trials:24 gpu w) in
   let amos = Tune.latency_us (Tir_baselines.Baselines.amos ~trials:24 gpu w) in
   Alcotest.(check bool)
     (Printf.sprintf "tensorir %.1f <= 1.2 * amos %.1f" full amos)

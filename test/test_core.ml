@@ -26,4 +26,5 @@ let () =
       ("facade", Test_facade.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
+      ("session", Test_session.suite);
     ]

@@ -16,7 +16,7 @@ let small_gmm () =
 let test_commit_and_find () =
   let db = DB.create () in
   let w = small_gmm () in
-  let r = Tune.tune ~trials:8 ~database:db gpu w in
+  let r = Util.tune ~trials:8 ~database:db gpu w in
   Alcotest.(check int) "one record" 1 (DB.size db);
   (match
      DB.find db ~target_name:gpu.Tir_sim.Target.name ~workload_name:w.W.name
@@ -30,8 +30,8 @@ let test_commit_and_find () =
 let test_replay_eliminates_search () =
   let db = DB.create () in
   let w = small_gmm () in
-  let first = Tune.tune ~trials:12 ~database:db gpu w in
-  let second = Tune.tune ~trials:12 ~database:db gpu w in
+  let first = Util.tune ~trials:12 ~database:db gpu w in
+  let second = Util.tune ~trials:12 ~database:db gpu w in
   Alcotest.(check int) "second run needs one trial" 1 second.Tune.stats.trials;
   Alcotest.(check (float 1e-9)) "same latency" (Tune.latency_us first)
     (Tune.latency_us second);
@@ -152,12 +152,12 @@ let test_v1_format_load () =
   | None -> Alcotest.fail "v1 record missing"
 
 let test_trace_only_replay () =
-  (* The acceptance property: a record written by [Tune.tune] replays from
+  (* The acceptance property: a record written by [Tune.run] replays from
      its serialized trace alone — empty sketch list, so no sketch
      regeneration is possible — with the recorded latency. *)
   let db = DB.create () in
   let w = small_gmm () in
-  let r = Tune.tune ~trials:12 ~database:db gpu w in
+  let r = Util.tune ~trials:12 ~database:db gpu w in
   let path = Filename.temp_file "tirdb" ".txt" in
   DB.save db path;
   let db' = DB.load path in

@@ -6,7 +6,8 @@ let test_facade_pipeline () =
     Tensorir.Workloads.gmm ~in_dtype:Tensorir.Dtype.F16
       ~acc_dtype:Tensorir.Dtype.F32 ~m:64 ~n:64 ~k:64 ()
   in
-  let r = Tensorir.Tune.tune ~trials:8 Tensorir.Target.gpu_tensorcore w in
+  let cfg = Tensorir.Tune.Config.(default |> with_trials 8) in
+  let r = Tensorir.Tune.run cfg w Tensorir.Target.gpu_tensorcore in
   Alcotest.(check bool) "tuned" true (Float.is_finite (Tensorir.Tune.latency_us r));
   match r.Tensorir.Tune.best with
   | Some b ->

@@ -232,7 +232,7 @@ let test_journal_file_and_summary () =
 
 let test_gflops_edges () =
   let w = W.gmm ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 ~m:128 ~n:128 ~k:128 () in
-  let r = Tune.tune ~seed:11 ~trials:8 gpu w in
+  let r = Util.tune ~seed:11 ~trials:8 gpu w in
   let b = match r.Tune.best with Some b -> b | None -> Alcotest.fail "no best" in
   Alcotest.(check bool) "real result rates > 0" true (Tune.gflops r > 0.0);
   Alcotest.(check (float 0.0)) "no candidate -> 0.0" 0.0
@@ -307,7 +307,7 @@ let test_journal_determinism_across_jobs () =
     let r =
       Fun.protect
         ~finally:(fun () -> Journal.close sink)
-        (fun () -> Tune.tune ~seed:7 ~trials:24 ~jobs ~journal:sink gpu w)
+        (fun () -> Util.tune ~seed:7 ~trials:24 ~jobs ~journal:sink gpu w)
     in
     let counters = (Metrics.snapshot ()).Metrics.counters in
     (path, r, counters)
@@ -339,7 +339,7 @@ let test_rank_corr_gauge_set () =
   let w = W.gmm ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 ~m:128 ~n:128 ~k:128 () in
   Tir_autosched.Cost_model.clear_caches ();
   Metrics.reset ();
-  ignore (Tune.tune ~seed:3 ~trials:12 gpu w);
+  ignore (Util.tune ~seed:3 ~trials:12 gpu w);
   let snap = Metrics.snapshot () in
   (match Metrics.find_gauge snap "costmodel.rank_corr" with
   | None -> Alcotest.fail "rank-corr gauge missing"

@@ -186,7 +186,7 @@ let test_tune_determinism () =
   in
   let run jobs =
     Tir_autosched.Cost_model.clear_caches ();
-    Tune.tune ~seed:7 ~trials:24 ~jobs target w
+    Util.tune ~seed:7 ~trials:24 ~jobs target w
   in
   let r1 = run 1 in
   let r4 = run 4 in
@@ -215,7 +215,7 @@ let test_tune_determinism () =
         (Tir_sched.Trace.to_string b4.Tir_autosched.Evolutionary.trace)
   | _ -> Alcotest.fail "tuning found no schedule");
   (* A re-run with a warm cache must still report the same numbers. *)
-  let r4' = Tune.tune ~seed:7 ~trials:24 ~jobs:4 target w in
+  let r4' = Util.tune ~seed:7 ~trials:24 ~jobs:4 target w in
   Alcotest.(check (float 0.0))
     "warm-cache rerun identical" (Tune.latency_us r4) (Tune.latency_us r4');
   Alcotest.(check bool)

@@ -68,3 +68,21 @@ let check_valid msg (f : Primfunc.t) =
       Alcotest.failf "%s: %a" msg
         (Fmt.list ~sep:Fmt.comma Tir_sched.Validate.pp_issue)
         issues
+
+(* Optional-argument wrapper over the Config-based tuning API, so tests
+   read like their call sites did before the redesign (the deprecated
+   [Tune.tune] shim itself is covered once, in test_session). *)
+let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches
+    ?database ?jobs ?journal target w =
+  let open Tir_autosched.Tune.Config in
+  let opt f v cfg = match v with Some v -> f v cfg | None -> cfg in
+  let cfg =
+    default |> with_seed seed |> with_trials trials
+    |> opt with_use_cost_model use_cost_model
+    |> opt with_evolve evolve
+    |> opt with_sketches sketches
+    |> opt with_database database
+    |> opt with_jobs jobs
+    |> opt with_journal journal
+  in
+  Tir_autosched.Tune.run cfg w target

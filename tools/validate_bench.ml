@@ -1,13 +1,15 @@
-(* Validate BENCH_results.json against schema 3.
+(* Validate BENCH_results.json against schema 4.
 
      dune exec tools/validate_bench.exe [FILE]
 
    Run by `make bench-smoke` after the benchmark. Checks that the file is
-   well-formed JSON, carries the schema-3 layout (memo / db_replay /
-   data_movement_bytes headline blocks plus the full metrics-registry
-   dump), and contains no non-finite numbers: the bench writes NaN and
-   infinity as `null`, which this validator rejects — a smoke run must not
-   produce them. Exit 0 on success, 1 with a diagnostic otherwise. *)
+   well-formed JSON, carries the schema-4 layout (memo / db_replay /
+   faults / session / data_movement_bytes headline blocks plus the full
+   metrics-registry dump), that the [session] section's kill+resume run
+   converged to the uninterrupted result, and that the file contains no
+   non-finite numbers: the bench writes NaN and infinity as `null`, which
+   this validator rejects — a smoke run must not produce them. Exit 0 on
+   success, 1 with a diagnostic otherwise. *)
 
 exception Invalid of string
 
@@ -146,7 +148,7 @@ let parse (s : string) : v =
   if !i <> n then fail "trailing garbage after JSON value (offset %d)" !i;
   v
 
-(* --- schema-3 checks --- *)
+(* --- schema-4 checks --- *)
 
 let obj what = function Obj kvs -> kvs | _ -> fail "%s: expected an object" what
 
@@ -186,8 +188,8 @@ let () =
     let top = obj "top level" (parse src) in
     let f = field "top level" top in
     (match int_ "schema" (f "schema") with
-    | 3 -> ()
-    | v -> fail "schema: expected 3, got %d" v);
+    | 4 -> ()
+    | v -> fail "schema: expected 4, got %d" v);
     (match f "fast" with Bool _ -> () | _ -> fail "fast: expected a bool");
     if int_ "jobs" (f "jobs") < 1 then fail "jobs: expected >= 1";
     if num "total_wall_s" (f "total_wall_s") < 0.0 then
@@ -202,6 +204,28 @@ let () =
     ignore (nonneg_int "db_replay.trace_replayed" (field "db_replay" db "trace_replayed"));
     ignore (nonneg_int "db_replay.committed" (field "db_replay" db "committed"));
     ignore (ratio "db_replay.hit_rate" (field "db_replay" db "hit_rate"));
+    let faults = obj "faults" (f "faults") in
+    let injected = nonneg_int "faults.injected" (field "faults" faults "injected") in
+    let attempts =
+      nonneg_int "faults.retry_attempts" (field "faults" faults "retry_attempts")
+    in
+    let exhausted =
+      nonneg_int "faults.retry_exhausted" (field "faults" faults "retry_exhausted")
+    in
+    ignore (nonneg_int "faults.backoff_us" (field "faults" faults "backoff_us"));
+    ignore (nonneg_int "faults.unmeasurable" (field "faults" faults "unmeasurable"));
+    if exhausted > injected then
+      fail "faults: %d exhausted retries but only %d injected failures" exhausted
+        injected;
+    if injected > 0 && attempts = 0 then
+      fail "faults: injected failures without any retry attempts";
+    let session = obj "session" (f "session") in
+    List.iter
+      (fun k -> ignore (nonneg_int ("session." ^ k) (field "session" session k)))
+      [ "generations"; "resumes"; "discarded"; "compactions"; "wal_appends";
+        "wal_torn" ];
+    if nonneg_int "session.resumes" (field "session" session "resumes") < 1 then
+      fail "session: the bench must exercise at least one resume";
     let dm = obj "data_movement_bytes" (f "data_movement_bytes") in
     List.iter
       (fun scope ->
@@ -245,9 +269,13 @@ let () =
         let unit_ = str "results[].unit" (field "results[]" r "unit") in
         let v = num ("result " ^ name) (field "results[]" r "value") in
         if String.equal unit_ "us" && v <= 0.0 then
-          fail "result %s: non-positive latency %g us" name v)
+          fail "result %s: non-positive latency %g us" name v;
+        (* The session section's headline invariant: a killed-and-resumed
+           run converges to the uninterrupted result. *)
+        if String.equal name "resume_identical" && v <> 1.0 then
+          fail "session: kill+resume result diverged from uninterrupted run")
       results;
-    Printf.printf "%s: schema 3 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
+    Printf.printf "%s: schema 4 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
       path (List.length results) (List.length sections) (List.length counters)
       (List.length gauges) (List.length histograms)
   with
