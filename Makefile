@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke crash-smoke lint check clean
+.PHONY: all build test bench bench-smoke perf-smoke crash-smoke lint check clean
 
 all: build
 
@@ -15,10 +15,20 @@ bench: build
 
 # Fast smoke run: truncated workload set and trial budgets, plus --check,
 # which exits non-zero if any reported latency is non-finite or <= 0; the
-# emitted BENCH_results.json is then validated against schema 3.
+# emitted BENCH_results.json is then validated against schema 5, including
+# the hot-path perf gate against the committed pre-refactor baseline.
 bench-smoke: build
 	BENCH_FAST=1 dune exec bench/main.exe -- --check
-	dune exec tools/validate_bench.exe BENCH_results.json
+	dune exec tools/validate_bench.exe BENCH_results.json BENCH_baseline.json
+
+# Hot-path perf gate alone: rerun the legacy-vs-optimized pipeline
+# comparison (full proposal stream — BENCH_ONLY skips the figure sweeps,
+# not the stream) and enforce BENCH_baseline.json: bit-identical
+# classification tallies, live speedup >= floor_speedup, optimized
+# throughput >= floor_candidates_per_s.
+perf-smoke: build
+	BENCH_ONLY=hotpath dune exec bench/main.exe -- --check
+	dune exec tools/validate_bench.exe BENCH_results.json BENCH_baseline.json
 
 # Kill-and-resume smoke test of the session layer through the CLI: a tune
 # halted after one committed generation must exit 8, report as resumable,

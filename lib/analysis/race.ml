@@ -38,7 +38,33 @@ type acc = {
   r_region : (Expr.t * int) list;  (** mins in loop-variable space *)
   r_write : bool;
   r_guarded : bool;  (** under a block predicate or [if] branch *)
+  r_hull : Region.hull option Lazy.t;
+      (** full-footprint hull, all variables relaxed over their extents *)
+  r_linear : Simplify.linear list Lazy.t;
+      (** simplified linear form of each region min *)
 }
+
+(* Every loop variable ranges over [0, extent) no matter which enclosing
+   loop is being checked, so an access's hull and the simplified linear
+   forms of its region mins are loop-invariant: compute them lazily once
+   per access instead of once per enclosing parallel loop (and, before
+   that, once per access pair). *)
+let make_acc ~ranges ~id ~block ~buffer ~region ~write ~guarded =
+  {
+    r_id = id;
+    r_block = block;
+    r_buffer = buffer;
+    r_region = region;
+    r_write = write;
+    r_guarded = guarded;
+    r_hull = lazy (Region.hull_of_region ranges { Stmt.buffer; region });
+    r_linear =
+      lazy
+        (List.map
+           (fun (mn, _) ->
+             Simplify.to_linear (Simplify.simplify { Simplify.ranges } mn))
+           region);
+  }
 
 let is_parallel_kind = function
   | Stmt.Parallel | Stmt.Vectorized | Stmt.Thread_binding _ -> true
@@ -50,8 +76,7 @@ let checked_scope (b : Buffer.t) = String.equal b.scope "global"
    [v]: stride [c], residual interval [blo, bhi] over the other variables,
    extent [ext]. [None] when [v] hides inside a non-affine atom or the
    residual cannot be bounded. *)
-let dim_info ~ctx ~ranges_no_v v (mn, ext) =
-  let l = Simplify.to_linear (Simplify.simplify ctx mn) in
+let dim_info ~ranges_no_v v (l : Simplify.linear) ((_, ext) : Expr.t * int) =
   let is_v e = match e with Expr.Var u -> Var.equal u v | _ -> false in
   let v_in_atom =
     List.exists
@@ -94,19 +119,19 @@ type verdict = No_conflict | Possible | Proven
 (* Conflict verdict for one pair of accesses under loop var [v] of extent
    [e_loop]. [self] marks the write-write pair of a single site with
    itself. *)
-let analyze ~ctx ~ranges_all ~ranges_no_v ~v ~e_loop ~self (a : acc) (b : acc) =
+(* [ha]/[hb] and [da]/[db] are the per-access hull and per-dimension info,
+   computed lazily once per access per loop — the pair loop below is
+   quadratic, and recomputing the simplifier-heavy hull/stride analysis
+   per pair dominated the whole checker. *)
+let analyze ~e_loop ~self ((a : acc), ha, da) ((b : acc), hb, db) =
   if List.length a.r_region <> List.length b.r_region then Possible
   else
     (* Static pre-check: if the full hulls never intersect, the accesses
        are disjoint outright. *)
-    let hull r =
-      Region.hull_of_region ranges_all { Stmt.buffer = r.r_buffer; region = r.r_region }
-    in
-    match (hull a, hull b) with
+    match (Lazy.force ha, Lazy.force hb) with
     | Some ha, Some hb when Region.intersect_hull ha hb = None -> No_conflict
     | _ ->
-        let da = List.map (dim_info ~ctx ~ranges_no_v v) a.r_region in
-        let db = List.map (dim_info ~ctx ~ranges_no_v v) b.r_region in
+        let da = Lazy.force da and db = Lazy.force db in
         let dims = List.combine da db in
         let dmax = e_loop - 1 in
         let disjoint_dim = function
@@ -156,9 +181,17 @@ let check (f : Primfunc.t) : Diagnostic.t list =
   let check_loop ~outer ~inner ~loops (r : Stmt.for_) accs =
     let v = r.loop_var in
     let ranges_no_v = Var.Map.union (fun _ a _ -> Some a) outer inner in
-    let ranges_all = Var.Map.add v (Bound.of_extent r.extent) ranges_no_v in
-    let ctx = { Simplify.ranges = ranges_all } in
     let accs = List.filter (fun a -> checked_scope a.r_buffer) accs in
+    let infos =
+      List.map
+        (fun a ->
+          ( a,
+            a.r_hull,
+            lazy
+              (List.map2 (dim_info ~ranges_no_v v) (Lazy.force a.r_linear)
+                 a.r_region) ))
+        accs
+    in
     let loop_desc =
       Fmt.str "%s loop %s" (Stmt.for_kind_to_string r.kind) v.Var.name
     in
@@ -180,12 +213,13 @@ let check (f : Primfunc.t) : Diagnostic.t list =
              | _ -> " — cannot prove iterations disjoint"))
         :: !diags
     in
-    let pair (a : acc) (b : acc) =
+    let pair ((a : acc), _, _ as ia) ((b : acc), _, _ as ib) =
       if Buffer.equal a.r_buffer b.r_buffer && (a.r_write || b.r_write) then
         let self = a.r_id = b.r_id in
         (* orient so the first access is a write *)
-        let a, b = if a.r_write then (a, b) else (b, a) in
-        match analyze ~ctx ~ranges_all ~ranges_no_v ~v ~e_loop:r.extent ~self a b with
+        let ia, ib = if a.r_write then (ia, ib) else (ib, ia) in
+        let (a, _, _) = ia and (b, _, _) = ib in
+        match analyze ~e_loop:r.extent ~self ia ib with
         | No_conflict -> ()
         | verdict ->
             let kind_str = if a.r_write && b.r_write then "write-write" else "read-write" in
@@ -194,11 +228,11 @@ let check (f : Primfunc.t) : Diagnostic.t list =
     let rec pairs = function
       | [] -> ()
       | a :: rest ->
-          if a.r_write then pair a a;
+          if (let (x, _, _) = a in x.r_write) then pair a a;
           List.iter (pair a) rest;
           pairs rest
     in
-    pairs accs
+    pairs infos
   in
   (* Walk bottom-up: returns the subtree's accesses (in loop-variable
      space) and the ranges of the loop variables it contains. *)
@@ -220,7 +254,7 @@ let check (f : Primfunc.t) : Diagnostic.t list =
             (a @ accs, union_inner inner i))
           ([], Var.Map.empty) ss
     | Stmt.If (c, t, e) ->
-        let reads = expr_accesses ~subst ~guarded:true ~block c in
+        let reads = expr_accesses ~outer ~subst ~guarded:true ~block c in
         let at, it = walk ~outer ~subst ~guarded:true ~block ~loops t in
         let ae, ie =
           match e with
@@ -228,27 +262,22 @@ let check (f : Primfunc.t) : Diagnostic.t list =
           | Some e -> walk ~outer ~subst ~guarded:true ~block ~loops e
         in
         (reads @ at @ ae, union_inner it ie)
-    | Stmt.Eval e -> (expr_accesses ~subst ~guarded ~block e, Var.Map.empty)
+    | Stmt.Eval e -> (expr_accesses ~outer ~subst ~guarded ~block e, Var.Map.empty)
     | Stmt.Store (buf, idx, value) ->
         let reads =
-          List.concat_map (expr_accesses ~subst ~guarded ~block) (value :: idx)
+          List.concat_map (expr_accesses ~outer ~subst ~guarded ~block) (value :: idx)
         in
         let write =
-          {
-            r_id = fresh_id ();
-            r_block = block;
-            r_buffer = buf;
-            r_region = List.map (fun i -> (Expr.subst_map subst i, 1)) idx;
-            r_write = true;
-            r_guarded = guarded;
-          }
+          make_acc ~ranges:outer ~id:(fresh_id ()) ~block ~buffer:buf
+            ~region:(List.map (fun i -> (Expr.subst_map subst i, 1)) idx)
+            ~write:true ~guarded
         in
         (write :: reads, Var.Map.empty)
     | Stmt.Block br ->
         let b = br.block in
         let binding_reads =
           List.concat_map
-            (expr_accesses ~subst ~guarded ~block)
+            (expr_accesses ~outer ~subst ~guarded ~block)
             (br.predicate :: br.iter_values)
         in
         let subst' =
@@ -270,38 +299,26 @@ let check (f : Primfunc.t) : Diagnostic.t list =
         (* The block's summary for enclosing loops is its declared
            signature, substituted into loop-variable space. *)
         let declared write (r : Stmt.buffer_region) =
-          {
-            r_id = fresh_id ();
-            r_block = b.name;
-            r_buffer = r.buffer;
-            r_region =
-              List.map
-                (fun (mn, ext) ->
-                  (Expr.subst_map subst' mn, ext))
-                r.region;
-            r_write = write;
-            r_guarded = guarded';
-          }
+          make_acc ~ranges:outer ~id:(fresh_id ()) ~block:b.name
+            ~buffer:r.buffer
+            ~region:
+              (List.map (fun (mn, ext) -> (Expr.subst_map subst' mn, ext)) r.region)
+            ~write ~guarded:guarded'
         in
         ( (if String.equal b.name Primfunc.root_block_name then []
            else
              List.map (declared false) b.reads @ List.map (declared true) b.writes)
           @ binding_reads,
           union_inner inner_init inner_body )
-  and expr_accesses ~subst ~guarded ~block e =
+  and expr_accesses ~outer ~subst ~guarded ~block e =
     let out = ref [] in
     Expr.iter
       (function
         | Expr.Load (buf, idx) | Expr.Ptr (buf, idx) ->
             out :=
-              {
-                r_id = fresh_id ();
-                r_block = block;
-                r_buffer = buf;
-                r_region = List.map (fun i -> (Expr.subst_map subst i, 1)) idx;
-                r_write = false;
-                r_guarded = guarded;
-              }
+              make_acc ~ranges:outer ~id:(fresh_id ()) ~block ~buffer:buf
+                ~region:(List.map (fun i -> (Expr.subst_map subst i, 1)) idx)
+                ~write:false ~guarded
               :: !out
         | _ -> ())
       e;

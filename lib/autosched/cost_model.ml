@@ -96,6 +96,10 @@ type evaluation =
   | Unsupported  (** the machine model cannot run the program *)
   | Evaluated of {
       func : Tir_ir.Primfunc.t;
+      fp : Tir_ir.Fingerprint.t;
+          (** structural fingerprint of [func] — the program-identity
+              component of measurement memo keys, shared between search
+              and database replay *)
       features : float array;
       trace : Tir_sched.Trace.t;
           (** the schedule's instruction trace — carried to [measured]
@@ -123,10 +127,66 @@ let measure_cache : measurement Memo.t = Memo.create ~name:"measure" ()
     can never alias. *)
 let cache_prefix target = Tir_sim.Target.fingerprint target ^ "|"
 
+(* Post-apply outcome keyed by (target, program fingerprint): validation,
+   semantic analysis and feature extraction are pure functions of the
+   program structure, so distinct decision vectors that materialize
+   structurally identical programs (vectorization-width fallbacks collide
+   constantly) share one entry. The per-candidate trace is deliberately
+   NOT cached here — it differs between colliding vectors and must stay
+   the candidate's own. *)
+type post =
+  | P_invalid
+  | P_unsound
+  | P_unsupported
+  | P_ok of float array
+
+(* Deliberately unnamed (no registry meters): two decision vectors with the
+   same program fingerprint can race on this key inside one pool region, and
+   a registered table would count a nondeterministic [memo.post.pending_waits]
+   into the journal's counter dump, breaking the bit-identical-at-any-job-
+   count contract. Hit/miss atomics stay deterministic (exactly one miss per
+   key) and are reported via [cache_breakdown]. *)
+let post_cache : post Memo.t = Memo.create ()
+
+let classify_func ~target ~key f =
+  snd
+    (Memo.find_or_add post_cache key (fun () ->
+         match Tir_sched.Validate.check_func f with
+         | _ :: _ -> P_invalid
+         | [] when Tir_analysis.Analysis.errors f <> [] -> P_unsound
+         | [] -> (
+             match Features.extract target f with
+             | features -> P_ok features
+             | exception Tir_sim.Machine.Unsupported _ -> P_unsupported)))
+
 (* [Space.Unknown_knob] deliberately propagates: the search only builds
    decision vectors from the sketch's own knob list, so an unknown knob is
    a programming error, not an invalid sample. *)
 let evaluate ~target (sk : Sketch.t) (d : Space.decisions) : evaluation =
+  if sk.Sketch.rejects d then Inapplicable
+  else
+    match sk.Sketch.apply d with
+    | exception Tir_sched.State.Schedule_error _ -> Inapplicable
+    | sch -> (
+        let f = Tir_sched.Schedule.func sch in
+        let fp = Tir_ir.Fingerprint.func f in
+        let key =
+          Tir_sim.Target.fingerprint target ^ "#" ^ Tir_ir.Fingerprint.to_hex fp
+        in
+        match classify_func ~target ~key f with
+        | P_invalid -> Invalid
+        | P_unsound -> Unsound
+        | P_unsupported -> Unsupported
+        | P_ok features ->
+            Evaluated
+              { func = f; fp; features; trace = Tir_sched.Schedule.instructions sch })
+
+(** The pre-refactor pipeline, byte for byte: no knob pre-filter, no
+    fingerprint post-memo — every candidate runs the full
+    apply/validate/analyze/extract chain. Kept for the bench hot-path
+    comparison and the differential property test ([evaluate] must classify
+    identically). *)
+let evaluate_naive ~target (sk : Sketch.t) (d : Space.decisions) : evaluation =
   match sk.Sketch.apply d with
   | exception Tir_sched.State.Schedule_error _ -> Inapplicable
   | sch -> (
@@ -138,7 +198,12 @@ let evaluate ~target (sk : Sketch.t) (d : Space.decisions) : evaluation =
           match Features.extract target f with
           | features ->
               Evaluated
-                { func = f; features; trace = Tir_sched.Schedule.instructions sch }
+                {
+                  func = f;
+                  fp = Tir_ir.Fingerprint.func f;
+                  features;
+                  trace = Tir_sched.Schedule.instructions sch;
+                }
           | exception Tir_sim.Machine.Unsupported _ -> Unsupported))
 
 (** Memoized evaluation; returns [(cache_hit, outcome)]. *)
@@ -186,15 +251,28 @@ let measure_cached ?(retry = Tir_parallel.Retry.default) ~key ~target f =
 
 type cache_stats = { hits : int; misses : int; entries : int }
 
+let table_stats m =
+  { hits = Memo.hits m; misses = Memo.misses m; entries = Memo.length m }
+
+(** Per-table counters for the per-generation journal gauges. *)
+let cache_breakdown () =
+  [
+    ("eval", table_stats eval_cache);
+    ("measure", table_stats measure_cache);
+    ("post", table_stats post_cache);
+  ]
+
 let cache_stats () =
   {
-    hits = Memo.hits eval_cache + Memo.hits measure_cache;
-    misses = Memo.misses eval_cache + Memo.misses measure_cache;
-    entries = Memo.length eval_cache + Memo.length measure_cache;
+    hits = Memo.hits eval_cache + Memo.hits measure_cache + Memo.hits post_cache;
+    misses =
+      Memo.misses eval_cache + Memo.misses measure_cache + Memo.misses post_cache;
+    entries = Memo.length eval_cache + Memo.length measure_cache + Memo.length post_cache;
   }
 
 (** Drop every cached evaluation and measurement (tests; fresh-process
     comparisons). *)
 let clear_caches () =
   Memo.clear eval_cache;
-  Memo.clear measure_cache
+  Memo.clear measure_cache;
+  Memo.clear post_cache

@@ -39,6 +39,10 @@ type evaluation =
   | Unsupported  (** the machine model cannot run the program *)
   | Evaluated of {
       func : Tir_ir.Primfunc.t;
+      fp : Tir_ir.Fingerprint.t;
+          (** structural fingerprint of [func] — the program-identity
+              component of measurement memo keys, shared between search
+              and database replay *)
       features : float array;
       trace : Tir_sched.Trace.t;
           (** the schedule's instruction trace — carried to [measured]
@@ -48,8 +52,21 @@ type evaluation =
 (** Key prefix for a target (compute once per search). *)
 val cache_prefix : Tir_sim.Target.t -> string
 
-(** Run apply/validate/extract without touching the cache. *)
+(** The evaluation pipeline: knob pre-filter ([Sketch.rejects], rejecting
+    provably inapplicable vectors before any program is materialized),
+    cached sketch application, then validation + semantic analysis +
+    feature extraction memoized under the program's structural fingerprint
+    (distinct vectors that materialize identical programs share one
+    entry). Does not consult the per-decision-vector memo — that is
+    [evaluate_cached]. *)
 val evaluate : target:Tir_sim.Target.t -> Sketch.t -> Space.decisions -> evaluation
+
+(** The pre-refactor pipeline, byte for byte: no pre-filter, no
+    fingerprint post-memo. Classifies identically to [evaluate] (the
+    property tests enforce this); kept for the bench hot-path
+    comparison. *)
+val evaluate_naive :
+  target:Tir_sim.Target.t -> Sketch.t -> Space.decisions -> evaluation
 
 (** Memoized [evaluate]; returns [(cache_hit, outcome)]. *)
 val evaluate_cached :
@@ -80,6 +97,11 @@ type cache_stats = { hits : int; misses : int; entries : int }
 
 (** Combined counters over both caches (bench reporting). *)
 val cache_stats : unit -> cache_stats
+
+(** Per-table counters, hits/misses from the memo atomics (deterministic at
+    any job count): [("eval", _); ("measure", _); ("post", _)]. Feeds the
+    per-generation [memo.*.hit_rate] journal gauges. *)
+val cache_breakdown : unit -> (string * cache_stats) list
 
 (** Drop every cached entry and reset the counters. *)
 val clear_caches : unit -> unit

@@ -311,8 +311,12 @@ let replay_from_trace (target : Tir_sim.Target.t) (w : W.t) (r : record) :
               match Tir_sched.Validate.check_func func with
               | _ :: _ -> None
               | [] -> (
+                  (* [prog# ^ structural fingerprint] — the same key form
+                     the search's measurement memo uses, so a replayed
+                     record hits the entry a live search already paid
+                     for (and vice versa). *)
                   let key =
-                    Cost_model.cache_prefix target ^ "trace#"
+                    Cost_model.cache_prefix target ^ "prog#"
                     ^ Sketch.workload_digest func
                   in
                   match snd (Cost_model.measure_cached ~key ~target func) with
@@ -339,16 +343,26 @@ let replay_from_sketch (target : Tir_sim.Target.t) (sketches : Sketch.t list)
   with
   | None -> None
   | Some sk -> (
-      let key =
-        Cost_model.cache_prefix target ^ sk.Sketch.space_id ^ "|"
-        ^ Space.key_of r.decisions
-      in
-      match snd (Cost_model.evaluate_cached ~key ~target sk r.decisions) with
+      (* The evaluation key is the canonical (knob-projected) form the
+         search uses; [Space.canonical_key] reads the vector with
+         [decide_exn], so a missing knob — the search space changed since
+         the record was written — parks the record as stale below. *)
+      match
+        let key =
+          Cost_model.cache_prefix target ^ sk.Sketch.space_id ^ "|"
+          ^ Space.canonical_key sk.Sketch.knobs r.decisions
+        in
+        snd (Cost_model.evaluate_cached ~key ~target sk r.decisions)
+      with
       | exception Space.Unknown_knob _ -> None
       | Cost_model.Inapplicable | Cost_model.Invalid | Cost_model.Unsound
       | Cost_model.Unsupported ->
           None
-      | Cost_model.Evaluated { func; trace; _ } -> (
+      | Cost_model.Evaluated { func; fp; trace; _ } -> (
+          let key =
+            Cost_model.cache_prefix target ^ "prog#"
+            ^ Tir_ir.Fingerprint.to_hex fp
+          in
           match snd (Cost_model.measure_cached ~key ~target func) with
           | Cost_model.Unsupported_target | Cost_model.Unmeasurable -> None
           | Cost_model.Measured latency_us ->

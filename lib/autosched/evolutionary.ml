@@ -141,6 +141,7 @@ let m_crossovers = Metrics.counter "search.crossovers"
 let m_accepted = Metrics.counter "search.accepted"
 let m_unmeasurable = Metrics.counter "search.unmeasurable"
 let m_rank_corr = Metrics.gauge "costmodel.rank_corr"
+let m_memo_rate = Metrics.gauge "search.memo_hit_rate"
 
 (* Per-generation journal tallies, reset each round. *)
 type gen_tally = {
@@ -150,6 +151,7 @@ type gen_tally = {
   mutable g_unsound : int;
   mutable g_inapplicable : int;
   mutable g_memo_hits : int;
+  mutable g_lookups : int;  (** memo probes this generation (hit-rate base) *)
   mutable g_measured : int;
   mutable g_unmeasurable : int;
   mutable g_mutations : int;
@@ -166,6 +168,7 @@ let new_gen_tally () =
     g_unsound = 0;
     g_inapplicable = 0;
     g_memo_hits = 0;
+    g_lookups = 0;
     g_measured = 0;
     g_unmeasurable = 0;
     g_mutations = 0;
@@ -265,7 +268,13 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
     let fresh =
       List.filter_map
         (fun ((sk : Sketch.t), d, origin) ->
-          let key = sk.Sketch.space_id ^ "|" ^ Space.key_of d in
+          (* Canonical key: the vector projected onto the sketch's knob
+             list. Raw [Space.key_of] would let a stale entry (a knob this
+             sketch does not read) split the memo entry for a behaviourally
+             identical candidate. *)
+          let key =
+            sk.Sketch.space_id ^ "|" ^ Space.canonical_key sk.Sketch.knobs d
+          in
           if Hashtbl.mem seen key then begin
             !g.g_deduped <- !g.g_deduped + 1;
             None
@@ -298,6 +307,7 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
       (List.map2
          (fun (sk, d, key, origin) (hit, ev) ->
            stats.cache_lookups <- stats.cache_lookups + 1;
+           !g.g_lookups <- !g.g_lookups + 1;
            if hit then begin
              stats.cache_hits <- stats.cache_hits + 1;
              !g.g_memo_hits <- !g.g_memo_hits + 1
@@ -316,23 +326,61 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
                !g.g_unsound <- !g.g_unsound + 1;
                []
            | Cost_model.Unsupported -> []
-           | Cost_model.Evaluated { func; features; trace } ->
-               [ (sk, d, key, origin, func, features, trace) ])
+           | Cost_model.Evaluated { func; fp; features; trace } ->
+               [ (sk, d, key, origin, func, fp, features, trace) ])
          fresh evals)
   in
   (* Measure a ranked batch across the pool (memoized), then feed the cost
-     model, the elite set, and the journal tallies in rank order. *)
+     model, the elite set, and the journal tallies in rank order.
+
+     Measurement memo keys are program fingerprints (the simulator is a
+     pure function of (target, program)), so one batch can contain the
+     same key twice — distinct decision vectors that materialize
+     structurally identical programs. Each distinct key is probed exactly
+     once across the pool; a duplicate slot then reads the first slot's
+     outcome as a hit. That is what sequential probing would produce, and
+     it avoids same-key pending-wait races inside one region, which would
+     make the memo counters depend on the job count. *)
   let measure_top scored =
-    let results =
-      Pool.parallel_map_list pool
-        (fun (_, (_, _, key, _, func, _, _)) ->
-          Cost_model.measure_cached ?retry ~key:(key_prefix ^ key) ~target func)
+    let keyed =
+      List.map
+        (fun ((_, (_, _, _, _, _, fp, _, _)) as sc) ->
+          (key_prefix ^ "prog#" ^ Tir_ir.Fingerprint.to_hex fp, sc))
         scored
     in
-    List.iter2
-      (fun (score, ((sk : Sketch.t), _, _, origin, func, features, trace))
-           (hit, outcome) ->
+    let distinct_tbl = Hashtbl.create 16 in
+    let distinct =
+      List.filter_map
+        (fun (key, (_, (_, _, _, _, func, _, _, _))) ->
+          if Hashtbl.mem distinct_tbl key then None
+          else begin
+            Hashtbl.add distinct_tbl key ();
+            Some (key, func)
+          end)
+        keyed
+    in
+    let probes =
+      Pool.parallel_map_list pool
+        (fun (key, func) ->
+          Cost_model.measure_cached ?retry ~key ~target func)
+        distinct
+    in
+    let by_key = Hashtbl.create 16 in
+    List.iter2 (fun (key, _) r -> Hashtbl.replace by_key key r) distinct probes;
+    let seen_in_batch = Hashtbl.create 16 in
+    List.iter
+      (fun (key, (score, ((sk : Sketch.t), _, _, origin, func, _, features, trace)))
+           ->
+        let hit, outcome =
+          if Hashtbl.mem seen_in_batch key then
+            (true, snd (Hashtbl.find by_key key))
+          else begin
+            Hashtbl.add seen_in_batch key ();
+            Hashtbl.find by_key key
+          end
+        in
         stats.cache_lookups <- stats.cache_lookups + 1;
+        !g.g_lookups <- !g.g_lookups + 1;
         if hit then begin
           stats.cache_hits <- stats.cache_hits + 1;
           !g.g_memo_hits <- !g.g_memo_hits + 1
@@ -374,7 +422,7 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
             | Mutation | Crossover ->
                 if List.memq m !elites then !g.g_accepted <- !g.g_accepted + 1
             | Seeded | Random -> ()))
-      scored results
+      keyed
   in
   (* Flush the per-generation tallies: registry counters, rank-correlation
      gauge, journal events. Runs in the sequential reduce, so everything
@@ -402,6 +450,11 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
     Metrics.add m_unmeasurable t.g_unmeasurable;
     Metrics.incr m_generations;
     Metrics.set m_rank_corr rank_corr;
+    let gen_hit_rate =
+      if t.g_lookups = 0 then 0.0
+      else float_of_int t.g_memo_hits /. float_of_int t.g_lookups
+    in
+    Metrics.set m_memo_rate gen_hit_rate;
     (match journal with
     | None -> ()
     | Some sink ->
@@ -426,7 +479,23 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
                accepted = t.g_accepted;
                best_us;
                rank_corr;
-             }));
+             });
+        (* Per-generation memo hit rates: this generation's probes, then
+           each table's cumulative rate. Computed from the memo's atomic
+           hit/miss counters — deterministic at any job count (exactly one
+           miss per key), unlike the registry's pending-wait meters. *)
+        Journal.emit sink
+          (Journal.Gauge { name = "memo.gen.hit_rate"; value = gen_hit_rate });
+        List.iter
+          (fun (name, (s : Cost_model.cache_stats)) ->
+            let probes = s.Cost_model.hits + s.Cost_model.misses in
+            let rate =
+              if probes = 0 then 0.0
+              else float_of_int s.Cost_model.hits /. float_of_int probes
+            in
+            Journal.emit sink
+              (Journal.Gauge { name = "memo." ^ name ^ ".hit_rate"; value = rate }))
+          (Cost_model.cache_breakdown ()));
     (* Commit marker: everything this generation wrote becomes durable
        only here. Emitted after the metrics/journal flush, before the
        counter advances. *)
@@ -485,7 +554,8 @@ let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
             if use_cost_model then
               Array.to_list
                 (Cost_model.score_batch model
-                   (Array.of_list (List.map (fun (_, _, _, _, _, f, _) -> f) cands)))
+                   (Array.of_list
+                      (List.map (fun (_, _, _, _, _, _, f, _) -> f) cands)))
             else List.map (fun _ -> Rng.float rng 1.0) cands
           in
           let ranked =

@@ -39,6 +39,16 @@ type t = {
           records so a trace can be replayed without regenerating the
           sketch. *)
   knobs : Space.knob list;
+  rejects : Space.decisions -> bool;
+      (** cheap pre-filter: [true] when the decision vector is provably
+          inapplicable from the knob values alone — it mirrors {e exactly}
+          the explicit early guard checks [apply] performs before
+          transforming anything (warp count, thread range, degenerate
+          parallelism), so a rejected vector is precisely one [apply] would
+          have raised [Schedule_error] on. The evaluator short-circuits
+          these to [Inapplicable] without materializing a program. Silent
+          in-schedule fallbacks (e.g. vectorization-width demotion) are
+          deliberately {e not} mirrored: they produce valid programs. *)
   apply : Space.decisions -> Tir_sched.Schedule.t;
       (** returns the schedule (its trace is the replayable script of
           everything applied, [Decide] records included). Raises
@@ -47,11 +57,12 @@ type t = {
           [Space.Unknown_knob] on a vector missing one of [knobs]. *)
 }
 
-(* Workload identity independent of naming conventions: the printed lowered
-   func spells out every buffer shape, dtype and index expression, so two
-   workloads digest equal iff they lower to the same program. *)
-let workload_digest (f : Primfunc.t) =
-  Digest.to_hex (Digest.string (Printer.func_to_script f))
+(* Workload identity independent of naming conventions: the structural
+   fingerprint covers every buffer shape, dtype and index expression —
+   exactly what the printed lowered func spells out — so two workloads
+   fingerprint equal iff they lower to the same program. One tree walk;
+   replaces MD5-of-printed-script at a fraction of the cost. *)
+let workload_digest (f : Primfunc.t) = Fingerprint.to_hex (Fingerprint.func f)
 
 let make_space_id ?(variant = "") name (w : W.t) =
   name ^ "@" ^ w.W.name ^ "#" ^ workload_digest w.W.func
@@ -69,11 +80,19 @@ let knob name choices = { Space.name; count = List.length choices }
    silently taking choice 0. *)
 let pick (d : Space.decisions) name choices = List.nth choices (Space.decide_exn d name)
 
-(* Record the complete knob vector on the schedule trace before any
-   transformation, in knob-list order. The trace then carries the full
-   decision assignment ([Trace.decisions]), making a serialized trace
-   self-contained for database replay. Strict lookup, so a stale or
-   mistyped vector fails loudly here rather than scheduling wrongly. *)
+(* Record the complete knob vector on the schedule trace, in knob-list
+   order. The trace then carries the full decision assignment
+   ([Trace.decisions]), making a serialized trace self-contained for
+   database replay. Strict lookup, so a stale or mistyped vector fails
+   loudly here rather than scheduling wrongly.
+
+   Sketches call this {e last}, after all transformations: two vectors
+   differing in one knob then share every trace instruction up to the
+   first transform that consumes the differing knob, so the apply cache
+   replays the shared prefix in O(1). (Decide instructions placed first
+   would make every distinct vector diverge at instruction 0.) Replay of
+   old decide-first traces still works — [Trace.decisions] is
+   position-independent. *)
 let record_decisions t knobs (d : Space.decisions) =
   List.iter
     (fun (k : Space.knob) -> S.record_decision t k.Space.name (Space.decide_exn d k.Space.name))
@@ -180,9 +199,19 @@ let tensorized_gpu ?(use_wmma_scopes = true) ?(stage_shared = true)
       knob "unroll" [ 0; 1 ];
     ]
   in
+  (* Mirrors exactly the guard checks below: a rejected vector is one
+     [apply] would have raised on before transforming anything. *)
+  let rejects (d : Space.decisions) =
+    let m0, m1, _ =
+      match pick d "m" m_splits with [ a; b; c ] -> (a, b, c) | _ -> assert false
+    in
+    let n0, n1, _ =
+      match pick d "n" n_splits with [ a; b; c ] -> (a, b, c) | _ -> assert false
+    in
+    m1 * n1 > 16 || (m0 * n0 = 1 && cand.Candidate.outer_dims = 0)
+  in
   let apply (d : Space.decisions) =
-    let t = S.create cand.Candidate.func in
-    record_decisions t knobs d;
+    let t = S.create_cached cand.Candidate.func in
     (* ReIndex upstream stages (padding etc.) fold into the copy-in blocks. *)
     List.iter (fun b -> S.compute_inline t b) cand.Candidate.pre_blocks;
     let cb = cand.Candidate.compute_block in
@@ -332,6 +361,7 @@ let tensorized_gpu ?(use_wmma_scopes = true) ?(stage_shared = true)
         S.bind t tx "threadIdx.x"
       end
     end;
+    record_decisions t knobs d;
     t
   in
   let name = "tensorized-gpu:" ^ intrin.TI.name in
@@ -347,6 +377,7 @@ let tensorized_gpu ?(use_wmma_scopes = true) ?(stage_shared = true)
     space_id = make_space_id ~variant name cand.Candidate.workload;
     base = intrin.TI.name;
     knobs;
+    rejects;
     apply;
   }
 
@@ -389,9 +420,18 @@ let scalar_gpu ?(allow_shared = true) (w : W.t) : t =
       knob "unroll" [ 0; 1 ];
     ]
   in
+  let rejects d =
+    let f0, f1, _ =
+      match pick d "f" f_splits with [ a; b; c ] -> (a, b, c) | _ -> assert false
+    in
+    let c0, c1, _ =
+      match pick d "c" c_splits with [ a; b; c ] -> (a, b, c) | _ -> assert false
+    in
+    let threads = f1 * c1 in
+    threads > 1024 || threads < 32 || f0 * c0 = 1
+  in
   let apply d =
-    let t = S.create w.W.func in
-    record_decisions t knobs d;
+    let t = S.create_cached w.W.func in
     (* Inline padding stages into the consumer. *)
     List.iter
       (fun (br : Stmt.block_realize) ->
@@ -478,6 +518,7 @@ let scalar_gpu ?(allow_shared = true) (w : W.t) : t =
           end)
         inputs
     end;
+    record_decisions t knobs d;
     t
   in
   let variant = if allow_shared then "sh1" else "sh0" in
@@ -486,6 +527,7 @@ let scalar_gpu ?(allow_shared = true) (w : W.t) : t =
     space_id = make_space_id ~variant "scalar-gpu" w;
     base = "";
     knobs;
+    rejects;
     apply;
   }
 
@@ -508,8 +550,7 @@ let tensorized_cpu (cand : Candidate.t) : t =
   let k_splits = Space.factor_splits (cand.Candidate.fk / ik) 2 in
   let knobs = [ knob "m" m_splits; knob "n" n_splits; knob "k" k_splits; knob "vec" [ 1; 4; 16 ] ] in
   let apply d =
-    let t = S.create cand.Candidate.func in
-    record_decisions t knobs d;
+    let t = S.create_cached cand.Candidate.func in
     List.iter (fun b -> S.compute_inline t b) cand.Candidate.pre_blocks;
     let cb = cand.Candidate.compute_block in
     let m0, m1 = match pick d "m" m_splits with [ a; b ] -> (a, b) | _ -> assert false in
@@ -566,6 +607,7 @@ let tensorized_cpu (cand : Candidate.t) : t =
     ignore (S.tensorize t (l 2 ms) intrin.TI.name);
     (* Write-back epilogue vectorized. *)
     autocopy_cpu t cand.Candidate.writeback_block ~vec:16;
+    record_decisions t knobs d;
     t
   in
   let name = "tensorized-cpu:" ^ intrin.TI.name in
@@ -574,6 +616,8 @@ let tensorized_cpu (cand : Candidate.t) : t =
     space_id = make_space_id name cand.Candidate.workload;
     base = intrin.TI.name;
     knobs;
+    (* No knob-derived guard checks: every vector materializes. *)
+    rejects = (fun _ -> false);
     apply;
   }
 
@@ -601,9 +645,11 @@ let scalar_cpu (w : W.t) : t =
   in
   let r_splits = Space.factor_splits ~max_factor:256 reduce_total 2 in
   let knobs = [ knob "s" s_splits; knob "r" r_splits; knob "vec" [ 0; 1 ] ] in
+  let rejects d =
+    match pick d "s" s_splits with [ s0; _; _ ] -> s0 = 1 | _ -> assert false
+  in
   let apply d =
-    let t = S.create w.W.func in
-    record_decisions t knobs d;
+    let t = S.create_cached w.W.func in
     List.iter
       (fun (br : Stmt.block_realize) ->
         let n = br.block.Stmt.name in
@@ -671,9 +717,17 @@ let scalar_cpu (w : W.t) : t =
        autocopy_cpu t cwb ~vec:8;
        ignore (S.decompose_reduction t out_block (List.nth rs 0))
      end);
+    record_decisions t knobs d;
     t
   in
-  { name = "scalar-cpu"; space_id = make_space_id "scalar-cpu" w; base = ""; knobs; apply }
+  {
+    name = "scalar-cpu";
+    space_id = make_space_id "scalar-cpu" w;
+    base = "";
+    knobs;
+    rejects;
+    apply;
+  }
 
 (** Sketches for a workload on a target, given available intrinsics. *)
 let generate (target : Tir_sim.Target.t) (w : W.t) (intrins : TI.t list) : t list =

@@ -20,6 +20,13 @@ type t = {
           records so a trace can be replayed without regenerating the
           sketch. *)
   knobs : Space.knob list;
+  rejects : Space.decisions -> bool;
+      (** cheap pre-filter: [true] when the vector is provably inapplicable
+          from the knob values alone. Mirrors exactly the explicit early
+          guard checks in [apply] (warp count, thread range, degenerate
+          parallelism), so a rejected vector is precisely one [apply] would
+          have raised [Schedule_error] on — the evaluator short-circuits it
+          to [Inapplicable] without materializing a program. *)
   apply : Space.decisions -> Tir_sched.Schedule.t;
       (** returns the schedule; its trace is the replayable script of
           everything applied, [Decide] records included. Raises
@@ -28,9 +35,12 @@ type t = {
           [Space.Unknown_knob] on a vector missing one of [knobs]. *)
 }
 
-(** Workload identity independent of naming conventions: a digest of the
-    printed lowered func (used in [space_id] and by database trace
-    replay to check the stored base function still matches). *)
+(** Workload identity independent of naming conventions: the hex structural
+    fingerprint ({!Tir_ir.Fingerprint.func}) of the lowered func, covering
+    every buffer shape, dtype and index expression (used in [space_id] and
+    by database trace replay to check the stored base function still
+    matches). Fingerprints hash names, never per-process ids, so the digest
+    is stable across processes and [TIR_JOBS]. *)
 val workload_digest : Tir_ir.Primfunc.t -> string
 
 (** Tensor-Core style sketch over a candidate: block/warp tiling, shared

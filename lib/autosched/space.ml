@@ -80,3 +80,22 @@ let crossover rng knobs (a : decisions) (b : decisions) =
 let key_of (d : decisions) =
   String.concat ";"
     (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (List.sort compare d))
+
+(* Canonical key relative to a knob list: project onto [knobs] in knob
+   order. [key_of] keys the raw assoc list, so a vector carrying a stale
+   entry for a knob the space no longer reads gets a different key from
+   the behaviourally identical projected vector — splitting memo entries.
+   Projection makes the key a pure function of what [apply] can observe. *)
+let canonical_key (knobs : knob list) (d : decisions) =
+  (* Built with [Buffer] and [string_of_int]: this runs once per proposal
+     on the search hot path, where a [Printf.sprintf] per knob is
+     measurable. *)
+  let b = Buffer.create 64 in
+  List.iter
+    (fun k ->
+      if Buffer.length b > 0 then Buffer.add_char b ';';
+      Buffer.add_string b k.name;
+      Buffer.add_char b '=';
+      Buffer.add_string b (string_of_int (decide_exn d k.name)))
+    knobs;
+  Buffer.contents b

@@ -33,3 +33,10 @@ val crossover : Rng.t -> knob list -> decisions -> decisions -> decisions
 
 (** Canonical (order-insensitive) key for deduplication and cache keying. *)
 val key_of : decisions -> string
+
+(** Canonical key relative to a knob list: the vector projected onto
+    [knobs] in knob order via {!decide_exn}. Unlike {!key_of}, entries for
+    knobs the space does not read cannot split cache entries for
+    behaviourally identical candidates — use this for memo keys, [key_of]
+    for raw-vector identity. Raises {!Unknown_knob} on a missing knob. *)
+val canonical_key : knob list -> decisions -> string

@@ -1,0 +1,203 @@
+(** Cheap 64-bit structural fingerprints for IR values.
+
+    A fingerprint is a deterministic function of program {e structure}:
+    variables are hashed by display name and dtype, buffers by name, dtype,
+    shape and scope — never by their per-process [id]s, which depend on
+    allocation order and would differ between runs (and between [TIR_JOBS]
+    settings). Two structurally identical programs therefore fingerprint
+    identically in every process, which is what lets fingerprints replace
+    MD5-of-printed-program as memo and database keys: they are exactly as
+    injective as the printed script (which also shows names, not ids) at a
+    fraction of the cost — one tree walk, no string building, no MD5.
+
+    Tags are enumerated explicitly rather than via [Hashtbl.hash] so the
+    scheme is stable across compiler versions; a collision has the same
+    consequence as an MD5 collision had before (a wrong memo hit), with
+    2^-64 per-pair probability. *)
+
+type t = int64
+
+let equal : t -> t -> bool = Int64.equal
+let compare : t -> t -> int = Int64.compare
+let to_hex (h : t) = Printf.sprintf "%016Lx" h
+
+(* splitmix64 finalizer: full avalanche in a handful of ALU ops. *)
+let mix (h : t) : t =
+  let h = Int64.logxor h (Int64.shift_right_logical h 30) in
+  let h = Int64.mul h 0xbf58476d1ce4e5b9L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 27) in
+  let h = Int64.mul h 0x94d049bb133111ebL in
+  Int64.logxor h (Int64.shift_right_logical h 31)
+
+(** Order-dependent combination: [combine a b <> combine b a]. *)
+let combine (a : t) (b : t) : t = mix (Int64.add (Int64.mul a 0x9e3779b97f4a7c15L) b)
+
+let of_int (i : int) : t = mix (Int64.of_int i)
+
+(** FNV-1a over the bytes, finalized. *)
+let of_string (s : string) : t =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  mix !h
+
+let of_bool b : t = if b then 0x2bL else 0x2cL
+
+let fold_list f init xs = List.fold_left (fun h x -> combine h (f x)) init xs
+
+(* ------------------------------------------------------------------ *)
+(* Leaves                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let dtype_fp (dt : Dtype.t) : t =
+  match dt with
+  | Dtype.F16 -> 0x11L
+  | Dtype.F32 -> 0x12L
+  | Dtype.I8 -> 0x13L
+  | Dtype.I32 -> 0x14L
+  | Dtype.Bool -> 0x15L
+  | Dtype.Int -> 0x16L
+
+let var_fp (v : Var.t) : t = combine (of_string v.Var.name) (dtype_fp v.Var.dtype)
+
+let buffer_fp (b : Buffer.t) : t =
+  let h = combine (of_string b.Buffer.name) (dtype_fp b.Buffer.dtype) in
+  let h = fold_list of_int h b.Buffer.shape in
+  combine h (of_string b.Buffer.scope)
+
+let binop_fp (op : Expr.binop) : t =
+  match op with
+  | Expr.Add -> 0x21L
+  | Expr.Sub -> 0x22L
+  | Expr.Mul -> 0x23L
+  | Expr.Div -> 0x24L
+  | Expr.Mod -> 0x25L
+  | Expr.Min -> 0x26L
+  | Expr.Max -> 0x27L
+
+let cmpop_fp (op : Expr.cmpop) : t =
+  match op with
+  | Expr.Eq -> 0x31L
+  | Expr.Ne -> 0x32L
+  | Expr.Lt -> 0x33L
+  | Expr.Le -> 0x34L
+  | Expr.Gt -> 0x35L
+  | Expr.Ge -> 0x36L
+
+let pairs_fp (kvs : (string * string) list) : t =
+  fold_list (fun (k, v) -> combine (of_string k) (of_string v)) 0x41L kvs
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr (e : Expr.t) : t =
+  match e with
+  | Expr.Int i -> combine 0x51L (Int64.of_int i)
+  | Expr.Float (f, dt) -> combine 0x52L (combine (Int64.bits_of_float f) (dtype_fp dt))
+  | Expr.Bool b -> combine 0x53L (of_bool b)
+  | Expr.Var v -> combine 0x54L (var_fp v)
+  | Expr.Bin (op, a, b) -> combine (combine 0x55L (binop_fp op)) (combine (expr a) (expr b))
+  | Expr.Cmp (op, a, b) -> combine (combine 0x56L (cmpop_fp op)) (combine (expr a) (expr b))
+  | Expr.And (a, b) -> combine 0x57L (combine (expr a) (expr b))
+  | Expr.Or (a, b) -> combine 0x58L (combine (expr a) (expr b))
+  | Expr.Not a -> combine 0x59L (expr a)
+  | Expr.Select (c, a, b) -> combine 0x5aL (combine (expr c) (combine (expr a) (expr b)))
+  | Expr.Cast (dt, a) -> combine (combine 0x5bL (dtype_fp dt)) (expr a)
+  | Expr.Load (b, idx) -> fold_list expr (combine 0x5cL (buffer_fp b)) idx
+  | Expr.Call (name, dt, args) ->
+      fold_list expr (combine (combine 0x5dL (of_string name)) (dtype_fp dt)) args
+  | Expr.Ptr (b, idx) -> fold_list expr (combine 0x5eL (buffer_fp b)) idx
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let for_kind_fp (k : Stmt.for_kind) : t =
+  match k with
+  | Stmt.Serial -> 0x61L
+  | Stmt.Parallel -> 0x62L
+  | Stmt.Vectorized -> 0x63L
+  | Stmt.Unrolled -> 0x64L
+  | Stmt.Thread_binding axis -> combine 0x65L (of_string axis)
+
+let itype_fp (it : Stmt.iter_type) : t =
+  match it with Stmt.Spatial -> 0x71L | Stmt.Reduce -> 0x72L | Stmt.Opaque -> 0x73L
+
+let iter_var_fp (iv : Stmt.iter_var) : t =
+  combine (var_fp iv.Stmt.var) (combine (of_int iv.Stmt.extent) (itype_fp iv.Stmt.itype))
+
+let region_fp (r : Stmt.buffer_region) : t =
+  fold_list
+    (fun (lo, ext) -> combine (expr lo) (of_int ext))
+    (combine 0x81L (buffer_fp r.Stmt.buffer))
+    r.Stmt.region
+
+let rec stmt (s : Stmt.t) : t =
+  match s with
+  | Stmt.For r ->
+      let h = combine 0x91L (var_fp r.Stmt.loop_var) in
+      let h = combine h (of_int r.Stmt.extent) in
+      let h = combine h (for_kind_fp r.Stmt.kind) in
+      let h = combine h (pairs_fp r.Stmt.annotations) in
+      combine h (stmt r.Stmt.body)
+  | Stmt.Block br ->
+      let h = fold_list expr 0x92L br.Stmt.iter_values in
+      let h = combine h (expr br.Stmt.predicate) in
+      combine h (block_fp br.Stmt.block)
+  | Stmt.Store (b, idx, v) ->
+      combine (fold_list expr (combine 0x93L (buffer_fp b)) idx) (expr v)
+  | Stmt.Seq ss -> fold_list stmt 0x94L ss
+  | Stmt.If (c, a, b) ->
+      let h = combine 0x95L (expr c) in
+      let h = combine h (stmt a) in
+      combine h (match b with None -> 0x96L | Some b -> stmt b)
+  | Stmt.Eval e -> combine 0x97L (expr e)
+
+and block_fp (b : Stmt.block) : t =
+  let h = combine 0xa1L (of_string b.Stmt.name) in
+  let h = fold_list iter_var_fp h b.Stmt.iter_vars in
+  let h = fold_list region_fp h b.Stmt.reads in
+  let h = fold_list region_fp h b.Stmt.writes in
+  let h = combine h (match b.Stmt.init with None -> 0xa2L | Some i -> stmt i) in
+  let h = fold_list buffer_fp h b.Stmt.alloc in
+  let h = combine h (pairs_fp b.Stmt.annotations) in
+  combine h (stmt b.Stmt.body)
+
+(* ------------------------------------------------------------------ *)
+(* Functions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let func_uncached (f : Primfunc.t) : t =
+  let h = combine 0xb1L (of_string f.Primfunc.name) in
+  let h = fold_list buffer_fp h f.Primfunc.params in
+  let h = combine h (pairs_fp f.Primfunc.attrs) in
+  combine h (stmt f.Primfunc.body)
+
+(* Per-domain physical-identity cache: searches fingerprint the same
+   (immutable) function value repeatedly — once per memo probe — and a
+   sketch's base function is a single shared value across every candidate.
+   [Hashtbl.hash] is depth-limited, so bucketing stays cheap on big trees;
+   [(==)] resolves the bucket. *)
+module FuncTbl = Hashtbl.Make (struct
+  type t = Primfunc.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let func_cache : t FuncTbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> FuncTbl.create 256)
+
+let func_cache_cap = 2048
+
+let func (f : Primfunc.t) : t =
+  let tbl = Domain.DLS.get func_cache in
+  match FuncTbl.find_opt tbl f with
+  | Some h -> h
+  | None ->
+      let h = func_uncached f in
+      if FuncTbl.length tbl >= func_cache_cap then FuncTbl.reset tbl;
+      FuncTbl.add tbl f h;
+      h

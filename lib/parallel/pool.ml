@@ -150,14 +150,37 @@ let in_region : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
    code path of [parallel_iteri] — including the jobs=1 and nested
    sequential fallbacks — so their values depend only on the work
    submitted, never on the job count (the determinism contract).
-   [pool.busy_frac] is a time-derived gauge (fraction of the last region's
-   worker-seconds spent executing tasks) and, like span durations, is
+   [pool.busy_frac] is a time-derived gauge and, like span durations, is
    exempt from that contract. *)
 let m_regions = Tir_obs.Metrics.counter "pool.regions"
 let m_tasks = Tir_obs.Metrics.counter "pool.tasks"
 let m_region_size = Tir_obs.Metrics.histogram "pool.region_size"
 let m_busy_frac = Tir_obs.Metrics.gauge "pool.busy_frac"
 let m_deadline = Tir_obs.Metrics.counter "pool.deadline_expired"
+
+(* Cumulative utilization sampling behind [pool.busy_frac]. Each task's
+   execution time is sampled inside the claim loop and accumulates into
+   [busy_us_total]; each region — on every code path, the jobs=1 / nested
+   sequential fallback included — adds its worker-capacity (wall time ×
+   participating domains) to [cap_us_total]. The gauge is the lifetime
+   ratio, so it reflects all regions so far instead of whichever parallel
+   region happened to run last (and is no longer stuck at 0.0 for
+   sequential runs, which never took the parallel path). *)
+let busy_us_total = Atomic.make 0
+let cap_us_total = Atomic.make 0
+
+let busy_frac_sample ~busy_us ~cap_us =
+  let b = Atomic.fetch_and_add busy_us_total busy_us + busy_us in
+  let c = Atomic.fetch_and_add cap_us_total cap_us + cap_us in
+  if c > 0 then
+    Tir_obs.Metrics.set m_busy_frac (float_of_int b /. float_of_int c)
+
+(** Lifetime task-busy fraction across every region so far (0 before the
+    first region). *)
+let busy_frac () =
+  let c = Atomic.get cap_us_total in
+  if c = 0 then 0.0
+  else float_of_int (Atomic.get busy_us_total) /. float_of_int c
 
 (** [parallel_iteri t ?chunk ?deadline_us n f] runs [f i] for [0 <= i < n]
     across the pool. Any exception from [f] is re-raised in the caller;
@@ -185,6 +208,20 @@ let parallel_iteri t ?chunk ?deadline_us n (f : int -> unit) =
            ~key:(Printf.sprintf "r%d:%d" region_id i) ());
       f i
   in
+  (* Per-task busy sampling for the cumulative [pool.busy_frac] gauge:
+     time each task inside the execution loop (both code paths share
+     [timed]), then fold the region's busy/capacity pair into the
+     process-lifetime totals when the region drains. *)
+  let region_busy = Atomic.make 0 in
+  let timed i =
+    let t0 = Tir_obs.Clock.now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        ignore
+          (Atomic.fetch_and_add region_busy
+             (int_of_float (Float.max 0.0 (Tir_obs.Clock.now_us () -. t0)))))
+      (fun () -> task i)
+  in
   let region_start = Tir_obs.Clock.now_us () in
   let deadline =
     match deadline_us with
@@ -209,16 +246,24 @@ let parallel_iteri t ?chunk ?deadline_us n (f : int -> unit) =
   in
   if t.jobs = 1 || n = 1 || Domain.DLS.get in_region then begin
     let i = ref 0 in
-    while !i < n && not (check_expired ()) do
-      task !i;
-      incr i
-    done;
+    Fun.protect
+      ~finally:(fun () ->
+        (* One participating domain: capacity = region wall time. *)
+        let wall_us =
+          Float.max 1.0 (Tir_obs.Clock.now_us () -. region_start)
+        in
+        busy_frac_sample ~busy_us:(Atomic.get region_busy)
+          ~cap_us:(int_of_float wall_us))
+      (fun () ->
+        while !i < n && not (check_expired ()) do
+          timed !i;
+          incr i
+        done);
     if !i < n then raise_expired !i
   end
   else begin
     let chunk = match chunk with Some c -> max 1 c | None -> default_chunk n t.jobs in
     let cursor = Atomic.make 0 in
-    let busy_us = Atomic.make 0 in
     let completed = Atomic.make 0 in
     let failure : (int * exn * Printexc.raw_backtrace) option Atomic.t =
       Atomic.make None
@@ -234,14 +279,13 @@ let parallel_iteri t ?chunk ?deadline_us n (f : int -> unit) =
     in
     let run _seq =
       Domain.DLS.set in_region true;
-      let t0 = Tir_obs.Clock.now_us () in
       let rec claim () =
         if not (check_expired ()) then begin
           let lo = Atomic.fetch_and_add cursor chunk in
           if lo < n then begin
             let hi = min n (lo + chunk) in
             for i = lo to hi - 1 do
-              match task i with
+              match timed i with
               | () -> ignore (Atomic.fetch_and_add completed 1)
               | exception e -> record_failure i e (Printexc.get_raw_backtrace ())
             done;
@@ -250,9 +294,6 @@ let parallel_iteri t ?chunk ?deadline_us n (f : int -> unit) =
         end
       in
       claim ();
-      ignore
-        (Atomic.fetch_and_add busy_us
-           (int_of_float (Float.max 0.0 (Tir_obs.Clock.now_us () -. t0))));
       Domain.DLS.set in_region false
     in
     (* One region at a time: hold [submit] from publish to drain. *)
@@ -274,8 +315,8 @@ let parallel_iteri t ?chunk ?deadline_us n (f : int -> unit) =
     Mutex.unlock t.mutex;
     Mutex.unlock t.submit;
     let wall_us = Float.max 1.0 (Tir_obs.Clock.now_us () -. region_start) in
-    Tir_obs.Metrics.set m_busy_frac
-      (float_of_int (Atomic.get busy_us) /. (wall_us *. float_of_int t.jobs));
+    busy_frac_sample ~busy_us:(Atomic.get region_busy)
+      ~cap_us:(int_of_float (wall_us *. float_of_int t.jobs));
     (match Atomic.get failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> if Atomic.get expired then raise_expired (Atomic.get completed))

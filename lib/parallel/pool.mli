@@ -10,8 +10,9 @@
     Every [parallel_iteri] — on any code path, including the jobs=1 and
     nested sequential fallbacks — bumps the [pool.regions]/[pool.tasks]
     counters and the [pool.region_size] histogram, so those metrics are
-    job-count independent; the [pool.busy_frac] gauge (worker utilization
-    of the last parallel region) is time-derived and is not. *)
+    job-count independent; the [pool.busy_frac] gauge (cumulative task-busy
+    fraction of the worker capacity over every region so far, sequential
+    regions included) is time-derived and is not. *)
 
 type t
 
@@ -27,6 +28,13 @@ val jobs : t -> int
 
 (** Resolved default job count ([TIR_JOBS] or the hardware's). *)
 val default_jobs : unit -> int
+
+(** Process-lifetime busy fraction: task execution time sampled inside the
+    claim loops, over the worker capacity (region wall time × participating
+    domains) of every region so far — all pools, sequential fallbacks
+    included. [0.0] before the first region. Mirrors the [pool.busy_frac]
+    gauge. *)
+val busy_frac : unit -> float
 
 (** The process-wide shared pool, created on first use and sized by
     [TIR_JOBS]. *)

@@ -36,151 +36,341 @@ let deep t =
           (Fmt.list ~sep:Fmt.cut Tir_analysis.Diagnostic.pp)
           ds
 
+(* The apply cache: on states created with [create_cached], every facade
+   step first probes the per-domain cache under (current chain node,
+   opcode+inputs pre-key). A hit adopts the snapshot — function, name
+   counter, a clone of the recorded builder, the primitive's outputs — in
+   O(1); a miss runs the transform and snapshots the result. Failed
+   primitives store nothing (a transform may mutate the state before
+   raising). Deep-check mode bypasses the cache so every step really
+   re-runs the analyzer. *)
+module A = Apply_cache
+
+let pk parts = String.concat "\x1f" parts
+
+let step t ~(key : unit -> string) ~(run : unit -> A.outs) : A.outs =
+  if (not (State.use_cache t)) || (not (A.is_enabled ())) || !deep_check_flag then
+    run ()
+  else
+    let parent = State.cache_node t in
+    let prekey = key () in
+    match A.find ~parent ~prekey with
+    | Some e ->
+        State.adopt t ~func:e.A.e_func ~name_counter:e.A.e_name_counter
+          ~tr:(Trace.clone e.A.e_builder) ~node:e.A.e_node;
+        e.A.e_outs
+    | None ->
+        let outs = run () in
+        let e =
+          A.store ~parent ~prekey ~func:(func t)
+            ~name_counter:(State.name_counter t)
+            ~builder:(Trace.clone (builder t)) ~outs
+        in
+        State.set_cache_node t e.A.e_node;
+        outs
+
+let as_unit = function A.R_unit -> () | _ -> assert false
+let as_loop = function A.R_loop v -> v | _ -> assert false
+let as_loops = function A.R_loops vs -> vs | _ -> assert false
+let as_block = function A.R_block n -> n | _ -> assert false
+let as_buf = function A.R_buf b -> b | _ -> assert false
+
 (* Loop transformations. Each primitive records a structured instruction on
    the schedule trace so a tuning result carries its own reproducible,
    serializable script. *)
 let split t v ~factors =
-  let r = Loop_transform.split t v ~factors in
-  Trace.record_split (builder t) ~loop:v ~factors ~outs:r;
-  deep t;
-  r
+  as_loops
+    (step t
+       ~key:(fun () ->
+         pk
+           ("split" :: Trace.loop_key (builder t) v
+           :: List.map string_of_int factors))
+       ~run:(fun () ->
+         let r = Loop_transform.split t v ~factors in
+         Trace.record_split (builder t) ~loop:v ~factors ~outs:r;
+         deep t;
+         A.R_loops r))
 
 let fuse t a b =
-  let r = Loop_transform.fuse t a b in
-  Trace.record_fuse (builder t) ~a ~b ~out:r;
-  deep t;
-  r
+  as_loop
+    (step t
+       ~key:(fun () ->
+         let b' = builder t in
+         pk [ "fuse"; Trace.loop_key b' a; Trace.loop_key b' b ])
+       ~run:(fun () ->
+         let r = Loop_transform.fuse t a b in
+         Trace.record_fuse (builder t) ~a ~b ~out:r;
+         deep t;
+         A.R_loop r))
 
 let fuse_many t vs =
-  let r = Loop_transform.fuse_many t vs in
-  Trace.record_fuse_many (builder t) ~loops:vs ~out:r;
-  deep t;
-  r
+  as_loop
+    (step t
+       ~key:(fun () ->
+         let b = builder t in
+         pk ("fuse_many" :: List.map (Trace.loop_key b) vs))
+       ~run:(fun () ->
+         let r = Loop_transform.fuse_many t vs in
+         Trace.record_fuse_many (builder t) ~loops:vs ~out:r;
+         deep t;
+         A.R_loop r))
 
 let reorder t vs =
-  Loop_transform.reorder t vs;
-  Trace.record_reorder (builder t) ~loops:vs;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () ->
+         let b = builder t in
+         pk ("reorder" :: List.map (Trace.loop_key b) vs))
+       ~run:(fun () ->
+         Loop_transform.reorder t vs;
+         Trace.record_reorder (builder t) ~loops:vs;
+         deep t;
+         A.R_unit))
 
 let bind t v axis =
-  Loop_transform.bind t v axis;
-  Trace.record_bind (builder t) ~loop:v ~thread:axis;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () -> pk [ "bind"; Trace.loop_key (builder t) v; axis ])
+       ~run:(fun () ->
+         Loop_transform.bind t v axis;
+         Trace.record_bind (builder t) ~loop:v ~thread:axis;
+         deep t;
+         A.R_unit))
 
 let parallel t v =
-  Loop_transform.parallel t v;
-  Trace.record_parallel (builder t) ~loop:v;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () -> pk [ "parallel"; Trace.loop_key (builder t) v ])
+       ~run:(fun () ->
+         Loop_transform.parallel t v;
+         Trace.record_parallel (builder t) ~loop:v;
+         deep t;
+         A.R_unit))
 
 let vectorize t v =
-  Loop_transform.vectorize t v;
-  Trace.record_vectorize (builder t) ~loop:v;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () -> pk [ "vectorize"; Trace.loop_key (builder t) v ])
+       ~run:(fun () ->
+         Loop_transform.vectorize t v;
+         Trace.record_vectorize (builder t) ~loop:v;
+         deep t;
+         A.R_unit))
 
 let unroll t v =
-  Loop_transform.unroll t v;
-  Trace.record_unroll (builder t) ~loop:v;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () -> pk [ "unroll"; Trace.loop_key (builder t) v ])
+       ~run:(fun () ->
+         Loop_transform.unroll t v;
+         Trace.record_unroll (builder t) ~loop:v;
+         deep t;
+         A.R_unit))
 
 let annotate t v k value =
-  Loop_transform.annotate t v k value;
-  Trace.record_annotate (builder t) ~loop:v ~key:k ~value;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () -> pk [ "annotate"; Trace.loop_key (builder t) v; k; value ])
+       ~run:(fun () ->
+         Loop_transform.annotate t v k value;
+         Trace.record_annotate (builder t) ~loop:v ~key:k ~value;
+         deep t;
+         A.R_unit))
 
 let annotate_block t name k value =
-  Loop_transform.annotate_block t name k value;
-  Trace.record_annotate_block (builder t) ~block:name ~key:k ~value;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () ->
+         pk [ "annotate_block"; Trace.block_key (builder t) name; k; value ])
+       ~run:(fun () ->
+         Loop_transform.annotate_block t name k value;
+         Trace.record_annotate_block (builder t) ~block:name ~key:k ~value;
+         deep t;
+         A.R_unit))
 
 (* Lookup. [get_loops] defines the loop RVs later instructions consume, so
-   it is itself traced (the internal [State.get_loops] is not). *)
+   it is itself traced (the internal [State.get_loops] is not) — and
+   therefore also a cache step, keeping the chain in lockstep with the
+   trace. *)
 let get_loops t name =
-  let ls = State.get_loops t name in
-  Trace.record_get_loops (builder t) ~block:name ~outs:ls;
-  ls
+  as_loops
+    (step t
+       ~key:(fun () -> pk [ "get_loops"; Trace.block_key (builder t) name ])
+       ~run:(fun () ->
+         let ls = State.get_loops t name in
+         Trace.record_get_loops (builder t) ~block:name ~outs:ls;
+         A.R_loops ls))
 
 (* Compute location *)
 let compute_at t name v =
-  Compute_location.compute_at t name v;
-  Trace.record_compute_at (builder t) ~block:name ~loop:v;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () ->
+         let b = builder t in
+         pk [ "compute_at"; Trace.block_key b name; Trace.loop_key b v ])
+       ~run:(fun () ->
+         Compute_location.compute_at t name v;
+         Trace.record_compute_at (builder t) ~block:name ~loop:v;
+         deep t;
+         A.R_unit))
 
 let reverse_compute_at t name v =
-  Compute_location.reverse_compute_at t name v;
-  Trace.record_reverse_compute_at (builder t) ~block:name ~loop:v;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () ->
+         let b = builder t in
+         pk [ "reverse_compute_at"; Trace.block_key b name; Trace.loop_key b v ])
+       ~run:(fun () ->
+         Compute_location.reverse_compute_at t name v;
+         Trace.record_reverse_compute_at (builder t) ~block:name ~loop:v;
+         deep t;
+         A.R_unit))
 
 let compute_inline t name =
-  Inline.compute_inline t name;
-  Trace.record_compute_inline (builder t) ~block:name;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () -> pk [ "compute_inline"; Trace.block_key (builder t) name ])
+       ~run:(fun () ->
+         Inline.compute_inline t name;
+         Trace.record_compute_inline (builder t) ~block:name;
+         deep t;
+         A.R_unit))
 
 let reverse_compute_inline t name =
-  Inline.reverse_compute_inline t name;
-  Trace.record_reverse_compute_inline (builder t) ~block:name;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () ->
+         pk [ "reverse_compute_inline"; Trace.block_key (builder t) name ])
+       ~run:(fun () ->
+         Inline.reverse_compute_inline t name;
+         Trace.record_reverse_compute_inline (builder t) ~block:name;
+         deep t;
+         A.R_unit))
 
 (* Block hierarchy *)
 let cache_read t name buf scope =
-  let r = Cache.cache_read t name buf scope in
-  Trace.record_cache_read (builder t) ~block:name ~buffer:buf.Tir_ir.Buffer.name
-    ~scope ~out:r;
-  deep t;
-  r
+  as_block
+    (step t
+       ~key:(fun () ->
+         pk
+           [
+             "cache_read"; Trace.block_key (builder t) name;
+             buf.Tir_ir.Buffer.name; scope;
+           ])
+       ~run:(fun () ->
+         let r = Cache.cache_read t name buf scope in
+         Trace.record_cache_read (builder t) ~block:name
+           ~buffer:buf.Tir_ir.Buffer.name ~scope ~out:r;
+         deep t;
+         A.R_block r))
 
 let cache_write t name buf scope =
-  let r = Cache.cache_write t name buf scope in
-  Trace.record_cache_write (builder t) ~block:name ~buffer:buf.Tir_ir.Buffer.name
-    ~scope ~out:r;
-  deep t;
-  r
+  as_block
+    (step t
+       ~key:(fun () ->
+         pk
+           [
+             "cache_write"; Trace.block_key (builder t) name;
+             buf.Tir_ir.Buffer.name; scope;
+           ])
+       ~run:(fun () ->
+         let r = Cache.cache_write t name buf scope in
+         Trace.record_cache_write (builder t) ~block:name
+           ~buffer:buf.Tir_ir.Buffer.name ~scope ~out:r;
+         deep t;
+         A.R_block r))
 
 let set_scope t buf scope =
-  let r = Cache.set_scope t buf scope in
-  Trace.record_set_scope (builder t) ~buffer:buf.Tir_ir.Buffer.name ~scope;
-  deep t;
-  r
+  as_buf
+    (step t
+       ~key:(fun () -> pk [ "set_scope"; buf.Tir_ir.Buffer.name; scope ])
+       ~run:(fun () ->
+         let r = Cache.set_scope t buf scope in
+         Trace.record_set_scope (builder t) ~buffer:buf.Tir_ir.Buffer.name ~scope;
+         deep t;
+         A.R_buf r))
 
 let blockize t v =
-  let r = Blockize.blockize t v in
-  Trace.record_blockize (builder t) ~loop:v ~out:r;
-  deep t;
-  r
+  as_block
+    (step t
+       ~key:(fun () -> pk [ "blockize"; Trace.loop_key (builder t) v ])
+       ~run:(fun () ->
+         let r = Blockize.blockize t v in
+         Trace.record_blockize (builder t) ~loop:v ~out:r;
+         deep t;
+         A.R_block r))
 
 let tensorize t v intrin =
-  let r = Tensorize.tensorize t v intrin in
-  Trace.record_tensorize (builder t) ~loop:v ~intrin ~out:r;
-  deep t;
-  r
+  as_block
+    (step t
+       ~key:(fun () -> pk [ "tensorize"; Trace.loop_key (builder t) v; intrin ])
+       ~run:(fun () ->
+         let r = Tensorize.tensorize t v intrin in
+         Trace.record_tensorize (builder t) ~loop:v ~intrin ~out:r;
+         deep t;
+         A.R_block r))
 
 let tensorize_block t name intrin =
-  Tensorize.tensorize_block t name intrin;
-  Trace.record_tensorize_block (builder t) ~block:name ~intrin;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () ->
+         pk [ "tensorize_block"; Trace.block_key (builder t) name; intrin ])
+       ~run:(fun () ->
+         Tensorize.tensorize_block t name intrin;
+         Trace.record_tensorize_block (builder t) ~block:name ~intrin;
+         deep t;
+         A.R_unit))
 
 let decompose_reduction t name v =
-  let r = Reduction.decompose_reduction t name v in
-  Trace.record_decompose_reduction (builder t) ~block:name ~loop:v ~out:r;
-  deep t;
-  r
+  as_block
+    (step t
+       ~key:(fun () ->
+         let b = builder t in
+         pk [ "decompose_reduction"; Trace.block_key b name; Trace.loop_key b v ])
+       ~run:(fun () ->
+         let r = Reduction.decompose_reduction t name v in
+         Trace.record_decompose_reduction (builder t) ~block:name ~loop:v ~out:r;
+         deep t;
+         A.R_block r))
 
 let merge_reduction t init update =
-  Reduction.merge_reduction t init update;
-  Trace.record_merge_reduction (builder t) ~init ~update;
-  deep t
+  as_unit
+    (step t
+       ~key:(fun () ->
+         let b = builder t in
+         pk [ "merge_reduction"; Trace.block_key b init; Trace.block_key b update ])
+       ~run:(fun () ->
+         Reduction.merge_reduction t init update;
+         Trace.record_merge_reduction (builder t) ~init ~update;
+         deep t;
+         A.R_unit))
 
 let rfactor t name v =
-  let r = Reduction.rfactor t name v in
-  Trace.record_rfactor (builder t) ~block:name ~loop:v ~out:r;
-  deep t;
-  r
+  as_block
+    (step t
+       ~key:(fun () ->
+         let b = builder t in
+         pk [ "rfactor"; Trace.block_key b name; Trace.loop_key b v ])
+       ~run:(fun () ->
+         let r = Reduction.rfactor t name v in
+         Trace.record_rfactor (builder t) ~block:name ~loop:v ~out:r;
+         deep t;
+         A.R_block r))
 
 (* Decisions *)
 
 (** Record a tuning-knob decision on the trace. Sketches call this for the
-    full knob vector before scheduling, so a serialized trace carries the
-    complete decision assignment it was generated from. *)
-let record_decision t knob choice = Trace.record_decide (builder t) ~knob ~choice
+    full knob vector while scheduling, so a serialized trace carries the
+    complete decision assignment it was generated from. [Decide] is not a
+    transformation, but it is a trace instruction, so it is a cache step
+    like any other — the chain stays in lockstep with the trace. *)
+let record_decision t knob choice =
+  as_unit
+    (step t
+       ~key:(fun () -> pk [ "decide"; knob; string_of_int choice ])
+       ~run:(fun () ->
+         Trace.record_decide (builder t) ~knob ~choice;
+         A.R_unit))
 
 (* Validation *)
 let validate t = Validate.check_func (func t)
@@ -195,9 +385,15 @@ let pp = pp_schedule
     each instruction defines them. Raises [Schedule_error] on an unbound RV,
     an arity mismatch, or any primitive failure — the trace is re-validated
     by construction since it goes through the same primitives. The rebuilt
-    schedule records the same trace: [instructions (replay tr f) = tr]. *)
+    schedule records the same trace: [instructions (replay tr f) = tr].
+
+    Replay is incremental: the state is cache-enabled, so re-replaying a
+    trace — or a trace sharing an instruction prefix with one already
+    applied on this domain against the same physical function — adopts the
+    shared prefix from the apply cache and only re-runs the divergent
+    suffix. *)
 let replay (tr : Trace.t) (f : Tir_ir.Primfunc.t) : t =
-  let t = create f in
+  let t = create_cached f in
   let loops : (Trace.loop_rv, Tir_ir.Var.t) Hashtbl.t = Hashtbl.create 64 in
   let blocks : (Trace.block_rv, string) Hashtbl.t = Hashtbl.create 16 in
   let loop rv =

@@ -17,6 +17,18 @@ type t
 (** {2 State} *)
 
 val create : Primfunc.t -> t
+
+(** Like [create], but primitive applications go through the per-domain
+    {!Apply_cache}: a step already applied to this exact state (same chain
+    of primitives from the same physical base function) adopts the cached
+    snapshot instead of re-running the transform, making repeated sketch
+    application and trace replay incremental. Results are bit-identical to
+    [create]. Safe only when every loop [Var] / [Buffer] handed to
+    primitives derives from this schedule's own lineage (primitive outputs,
+    [get_block]/[blocks] lookups); callers passing externally created
+    entities must use [create]. *)
+val create_cached : Primfunc.t -> t
+
 val func : t -> Primfunc.t
 val copy : t -> t
 

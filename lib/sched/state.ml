@@ -19,16 +19,48 @@ let err fmt = Fmt.kstr (fun s -> raise (Schedule_error s)) fmt
 type t = {
   mutable func : Primfunc.t;
   mutable name_counter : int;
-  tr : Trace.builder;  (** applied primitives, typed *)
+  mutable tr : Trace.builder;  (** applied primitives, typed *)
+  use_cache : bool;  (** consult {!Apply_cache} in the facade *)
+  mutable cache_node : int;  (** current {!Apply_cache} chain node; 0 = none *)
 }
 
-let create func = { func; name_counter = 0; tr = Trace.builder () }
+let create func =
+  { func; name_counter = 0; tr = Trace.builder (); use_cache = false; cache_node = 0 }
+
+(** Like [create], but facade primitives applied to this state go through
+    the per-domain {!Apply_cache}: a step already applied to this exact
+    state (same chain of primitives from the same physical base function)
+    adopts the cached result instead of re-running the transform. Safe only
+    because every entity the caller can hold was derived from this state's
+    own lineage — sketch application and trace replay qualify; states that
+    receive externally created loop [Var]s or [Buffer]s must use [create]. *)
+let create_cached func =
+  {
+    func;
+    name_counter = 0;
+    tr = Trace.builder ();
+    use_cache = true;
+    cache_node = Apply_cache.base_node func;
+  }
 
 let func t = t.func
 
-let copy t = { func = t.func; name_counter = t.name_counter; tr = Trace.clone t.tr }
+let copy t = { t with tr = Trace.clone t.tr }
 
 let builder t = t.tr
+
+let use_cache t = t.use_cache
+let cache_node t = t.cache_node
+let set_cache_node t n = t.cache_node <- n
+let name_counter t = t.name_counter
+
+(** Replace the whole mutable state with a cached snapshot (apply-cache
+    hit). [tr] must be a fresh clone — the caller keeps mutating it. *)
+let adopt t ~func ~name_counter ~tr ~node =
+  t.func <- func;
+  t.name_counter <- name_counter;
+  t.tr <- tr;
+  t.cache_node <- node
 
 (** Applied primitives as a typed trace, oldest first. *)
 let instructions t = Trace.instrs t.tr

@@ -16,10 +16,22 @@ val err : ('a, Format.formatter, unit, 'b) format4 -> 'a
 type t = {
   mutable func : Primfunc.t;
   mutable name_counter : int;
-  tr : Trace.builder;  (** applied primitives, typed *)
+  mutable tr : Trace.builder;  (** applied primitives, typed *)
+  use_cache : bool;  (** consult {!Apply_cache} in the facade *)
+  mutable cache_node : int;  (** current {!Apply_cache} chain node; 0 = none *)
 }
 
 val create : Primfunc.t -> t
+
+(** Like [create], but facade primitives go through the per-domain
+    {!Apply_cache}: a step already applied to this exact state (same chain
+    of primitives from the same physical base function) adopts the cached
+    result instead of re-running the transform. Safe only when every loop
+    [Var] / [Buffer] handed to primitives derives from this state's own
+    lineage — sketch application and trace replay qualify; callers passing
+    externally created entities must use [create]. *)
+val create_cached : Primfunc.t -> t
+
 val func : t -> Primfunc.t
 
 (** Independent copy: shares no mutable state with the original. *)
@@ -27,6 +39,18 @@ val copy : t -> t
 
 (** The trace recording state (used by the [Schedule] facade). *)
 val builder : t -> Trace.builder
+
+(** {2 Apply-cache plumbing (used by the [Schedule] facade)} *)
+
+val use_cache : t -> bool
+val cache_node : t -> int
+val set_cache_node : t -> int -> unit
+val name_counter : t -> int
+
+(** Replace the whole mutable state with a cached snapshot (apply-cache
+    hit). [tr] must be a fresh clone — the caller keeps mutating it. *)
+val adopt :
+  t -> func:Primfunc.t -> name_counter:int -> tr:Trace.builder -> node:int -> unit
 
 (** Applied primitives as a typed trace, oldest first. *)
 val instructions : t -> Trace.t

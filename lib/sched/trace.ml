@@ -392,13 +392,20 @@ let decisions (t : t) : (string * int) list =
 (* ------------------------------------------------------------------ *)
 
 (** Mutable recording state carried by a schedule: the instruction list
-    (newest first) plus the concrete-entity-to-RV interning tables. *)
+    (newest first) plus the concrete-entity-to-RV interning tables. Every
+    component is a persistent value behind a mutable field, so [clone] is
+    an O(1) record copy — the apply cache snapshots the builder after
+    every schedule step, which made a hashtable-backed clone an O(trace²)
+    tax on schedule application. *)
+module IntMap = Map.Make (Int)
+module StrMap = Map.Make (String)
+
 type builder = {
   mutable rev : instr list;
   mutable next_loop : int;
   mutable next_block : int;
-  loop_rvs : (int, loop_rv) Hashtbl.t;  (** [Var.id] -> latest loop RV *)
-  block_rvs : (string, block_rv) Hashtbl.t;  (** derived block name -> RV *)
+  mutable loop_rvs : loop_rv IntMap.t;  (** [Var.id] -> latest loop RV *)
+  mutable block_rvs : block_rv StrMap.t;  (** derived block name -> RV *)
 }
 
 let builder () =
@@ -406,8 +413,8 @@ let builder () =
     rev = [];
     next_loop = 0;
     next_block = 0;
-    loop_rvs = Hashtbl.create 64;
-    block_rvs = Hashtbl.create 16;
+    loop_rvs = IntMap.empty;
+    block_rvs = StrMap.empty;
   }
 
 let clone (b : builder) =
@@ -415,8 +422,8 @@ let clone (b : builder) =
     rev = b.rev;
     next_loop = b.next_loop;
     next_block = b.next_block;
-    loop_rvs = Hashtbl.copy b.loop_rvs;
-    block_rvs = Hashtbl.copy b.block_rvs;
+    loop_rvs = b.loop_rvs;
+    block_rvs = b.block_rvs;
   }
 
 let instrs (b : builder) : t = List.rev b.rev
@@ -434,28 +441,43 @@ let fresh_loop b =
    fresh RV that no instruction defines: recording never fails, and replay
    reports the unbound RV if the trace is genuinely incomplete. *)
 let loop_in b (v : Var.t) =
-  match Hashtbl.find_opt b.loop_rvs v.Var.id with
+  match IntMap.find_opt v.Var.id b.loop_rvs with
   | Some rv -> rv
   | None ->
       let rv = fresh_loop b in
-      Hashtbl.replace b.loop_rvs v.Var.id rv;
+      b.loop_rvs <- IntMap.add v.Var.id rv b.loop_rvs;
       rv
 
 let loop_out b (v : Var.t) =
   let rv = fresh_loop b in
-  Hashtbl.replace b.loop_rvs v.Var.id rv;
+  b.loop_rvs <- IntMap.add v.Var.id rv b.loop_rvs;
   rv
 
 let block_in b name =
-  match Hashtbl.find_opt b.block_rvs name with
+  match StrMap.find_opt name b.block_rvs with
   | Some rv -> Brv rv
   | None -> Bname name
 
 let block_out b name =
   let rv = b.next_block in
   b.next_block <- rv + 1;
-  Hashtbl.replace b.block_rvs name rv;
+  b.block_rvs <- StrMap.add name rv b.block_rvs;
   rv
+
+(* Pre-keys: the RV-relative spelling of a primitive {e input}, computed
+   before the primitive runs. RV numbering is a pure function of the
+   instruction sequence, so two schedules that applied the same primitives
+   to the same base spell the same inputs identically — which is what lets
+   the apply cache ([Apply_cache]) recognize a repeated step. Interning an
+   input is idempotent: computing a pre-key and then recording the
+   instruction assigns the same RV as recording directly. *)
+
+let loop_key b (v : Var.t) = Printf.sprintf "l%d" (loop_in b v)
+
+let block_key b name =
+  match block_in b name with
+  | Brv rv -> Printf.sprintf "b%d" rv
+  | Bname n -> "%" ^ n
 
 let record_get_loops b ~block ~outs =
   let block = block_in b block in

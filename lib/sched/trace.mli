@@ -111,6 +111,19 @@ val instrs : builder -> t
 
 val length : builder -> int
 
+(** {2 Pre-keys}
+
+    The RV-relative spelling of a primitive {e input} ([l<n>], [b<n>] or
+    [%name]), computed {e before} the primitive runs. RV numbering is a pure
+    function of the instruction sequence, so schedules that applied the same
+    primitives to the same base spell their inputs identically — the apply
+    cache keys on this. Interning is idempotent: computing a pre-key and
+    then recording the instruction assigns the same RVs as recording
+    directly. *)
+
+val loop_key : builder -> Tir_ir.Var.t -> string
+val block_key : builder -> string -> string
+
 val record_get_loops : builder -> block:string -> outs:Tir_ir.Var.t list -> unit
 val record_split :
   builder -> loop:Tir_ir.Var.t -> factors:int list -> outs:Tir_ir.Var.t list -> unit

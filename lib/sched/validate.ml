@@ -75,19 +75,19 @@ let check_realize ctx (br : Stmt.block_realize) =
   let domain = List.rev_map (fun (v, e, _) -> (v, e)) ctx.loops in
   let issues = ref [] in
   let add i = issues := i :: !issues in
-  let context = loops_desc ctx in
+  let context = lazy (loops_desc ctx) in
   (match Iter_map.detect ~domain ~bindings:br.Stmt.iter_values with
-  | Error msg -> add (issue ~context b.name "iterator binding is not bijective affine: %s" msg)
+  | Error msg -> add (issue ~context:(Lazy.force context) b.name "iterator binding is not bijective affine: %s" msg)
   | Ok { Iter_map.sums; extents } ->
       List.iter
         (fun ((iv : Stmt.iter_var), ext) ->
           if ext > iv.extent && Expr.equal br.Stmt.predicate (Expr.Bool true) then
             add
-              (issue ~context b.name "binding of %a spans %d > domain %d without a predicate"
+              (issue ~context:(Lazy.force context) b.name "binding of %a spans %d > domain %d without a predicate"
                  Var.pp iv.var ext iv.extent)
           else if ext < iv.extent then
             add
-              (issue ~context b.name "binding of %a spans %d < domain %d" Var.pp iv.var ext
+              (issue ~context:(Lazy.force context) b.name "binding of %a spans %d < domain %d" Var.pp iv.var ext
                  iv.extent))
         (List.combine b.iter_vars extents);
       (* Reduction iterators must not be bound to parallel loops. *)
@@ -99,11 +99,11 @@ let check_realize ctx (br : Stmt.block_realize) =
                 match kind_of_loop ctx sp.Iter_map.source with
                 | Some (Stmt.Parallel | Stmt.Vectorized) ->
                     add
-                      (issue ~context b.name "reduction iterator %a bound to parallel loop %a"
+                      (issue ~context:(Lazy.force context) b.name "reduction iterator %a bound to parallel loop %a"
                          Var.pp iv.var Var.pp sp.Iter_map.source)
                 | Some (Stmt.Thread_binding th) ->
                     add
-                      (issue ~context b.name
+                      (issue ~context:(Lazy.force context) b.name
                          "reduction iterator %a bound to thread axis %s (atomic \
                           reduction unsupported)"
                          Var.pp iv.var th)
@@ -116,14 +116,14 @@ let check_realize ctx (br : Stmt.block_realize) =
 let check_threads ctx (b : Stmt.block) =
   let issues = ref [] in
   let add i = issues := i :: !issues in
-  let context = loops_desc ctx in
+  let context = lazy (loops_desc ctx) in
   let tally = Hashtbl.create 8 in
   List.iter
     (fun (axis, ext, _) ->
       match Hashtbl.find_opt tally axis with
       | Some ext' when ext' <> ext ->
-          add (issue ~context b.name "thread axis %s bound twice with extents %d and %d" axis ext' ext)
-      | Some _ -> add (issue ~context b.name "thread axis %s bound twice on one path" axis)
+          add (issue ~context:(Lazy.force context) b.name "thread axis %s bound twice with extents %d and %d" axis ext' ext)
+      | Some _ -> add (issue ~context:(Lazy.force context) b.name "thread axis %s bound twice on one path" axis)
       | None -> Hashtbl.add tally axis ext)
     ctx.threads;
   let product =
@@ -134,7 +134,7 @@ let check_threads ctx (b : Stmt.block) =
       tally 1
   in
   if product > max_threads_per_block then
-    add (issue ~context b.name "thread block size %d exceeds limit %d" product max_threads_per_block);
+    add (issue ~context:(Lazy.force context) b.name "thread block size %d exceeds limit %d" product max_threads_per_block);
   (* Execution scope of warp-level intrinsics. *)
   (match List.assoc_opt "tensorized" b.annotations with
   | Some intrin_name -> (
@@ -145,13 +145,13 @@ let check_threads ctx (b : Stmt.block) =
             if List.exists (fun (axis, _, _) -> String.equal axis "threadIdx.x") ctx.threads
             then
               add
-                (issue ~context b.name
+                (issue ~context:(Lazy.force context) b.name
                    "warp-scope intrinsic %s must not execute under a threadIdx.x \
                     lane binding"
                    intrin_name)
           end
       | exception Tir_intrin.Tensor_intrin.Not_registered _ ->
-          add (issue ~context b.name "unknown intrinsic %s" intrin_name))
+          add (issue ~context:(Lazy.force context) b.name "unknown intrinsic %s" intrin_name))
   | None -> ());
   !issues
 

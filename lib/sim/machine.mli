@@ -55,5 +55,21 @@ val nest_latency_us : Target.t -> tally -> float
 val measure_us : ?fault_key:string -> Target.t -> Primfunc.t -> float
 
 (** Whole-function tally for feature extraction: work sums across nests,
-    parallelism takes the maximum. *)
+    parallelism takes the maximum. Per-nest tallies are served from a
+    per-domain cache keyed by the nest statement's physical identity —
+    schedule transforms path-copy, so candidate programs share unchanged
+    stages with the rest of the population and only re-walk the nests
+    their decisions touched. ([measure_us] does not use the cache: it
+    feeds the [sim.*] counters per nest walked.) *)
 val tally_func : Target.t -> Primfunc.t -> tally
+
+(** Cumulative (process-wide) hits/misses of the per-nest tally cache. *)
+val nest_cache_stats : unit -> int * int
+
+(** Toggle the per-nest tally cache (also [TIR_NEST_CACHE=0] in the
+    environment). Results are bit-identical either way; the switch exists
+    for the bench's pre-refactor arm and for debugging. *)
+val set_nest_cache_enabled : bool -> unit
+
+(** Drop the calling domain's nest-tally cache and zero its counters. *)
+val nest_cache_clear : unit -> unit

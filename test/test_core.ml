@@ -22,6 +22,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("intrin", Test_intrin.suite);
       ("autosched", Test_autosched.suite);
+      ("hotpath", Test_hotpath.suite);
       ("database", Test_database.suite);
       ("facade", Test_facade.suite);
       ("parallel", Test_parallel.suite);

@@ -1,15 +1,27 @@
-(* Validate BENCH_results.json against schema 4.
+(* Validate BENCH_results.json against schema 5.
 
-     dune exec tools/validate_bench.exe [FILE]
+     dune exec tools/validate_bench.exe [FILE] [BASELINE]
 
-   Run by `make bench-smoke` after the benchmark. Checks that the file is
-   well-formed JSON, carries the schema-4 layout (memo / db_replay /
-   faults / session / data_movement_bytes headline blocks plus the full
-   metrics-registry dump), that the [session] section's kill+resume run
-   converged to the uninterrupted result, and that the file contains no
-   non-finite numbers: the bench writes NaN and infinity as `null`, which
-   this validator rejects — a smoke run must not produce them. Exit 0 on
-   success, 1 with a diagnostic otherwise. *)
+   Run by `make bench-smoke` and `make perf-smoke` after the benchmark.
+   Checks that the file is well-formed JSON, carries the schema-5 layout
+   (hotpath / memo / db_replay / faults / session / data_movement_bytes
+   headline blocks plus the full metrics-registry dump), that the
+   [session] section's kill+resume run converged to the uninterrupted
+   result (when that section ran), that the [hotpath] section's optimized
+   pipeline produced bit-identical results to the legacy pipeline, and
+   that the file contains no non-finite numbers: the bench writes NaN and
+   infinity as `null`, which this validator rejects — a smoke run must
+   not produce them.
+
+   With a BASELINE argument (BENCH_baseline.json), additionally enforces
+   the hot-path perf gate against the committed pre-refactor baseline:
+   the proposal stream parameters must match, every per-sketch proposal /
+   unique / classification tally must equal the baseline exactly (the
+   optimized pipeline may be faster, never different), the live
+   legacy-vs-optimized speedup must clear [floor_speedup] (same-run, so
+   machine noise cancels), and the optimized arm's combined throughput
+   must clear [floor_candidates_per_s]. Exit 0 on success, 1 with a
+   diagnostic otherwise. *)
 
 exception Invalid of string
 
@@ -148,7 +160,7 @@ let parse (s : string) : v =
   if !i <> n then fail "trailing garbage after JSON value (offset %d)" !i;
   v
 
-(* --- schema-4 checks --- *)
+(* --- schema-5 checks --- *)
 
 let obj what = function Obj kvs -> kvs | _ -> fail "%s: expected an object" what
 
@@ -179,17 +191,101 @@ let ratio what v =
   let f = num what v in
   if f < 0.0 || f > 1.0 then fail "%s: ratio %g outside [0,1]" what f else f
 
+let load path =
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse src
+
+(* The hotpath headline block: bit-identity plus, against a committed
+   baseline, the perf-gate floors. *)
+let check_hotpath ?baseline hp =
+  let hp = obj "hotpath" hp in
+  let hf = field "hotpath" hp in
+  (match hf "identical" with
+  | Bool true -> ()
+  | Bool false ->
+      fail "hotpath: optimized pipeline diverged from the legacy pipeline"
+  | _ -> fail "hotpath.identical: expected a bool");
+  let combined = obj "hotpath.combined" (hf "combined") in
+  let speedup = num "hotpath.combined.speedup" (field "combined" combined "speedup") in
+  let opt_cps =
+    num "hotpath.combined.candidates_per_s"
+      (field "combined" combined "candidates_per_s")
+  in
+  if speedup <= 0.0 then fail "hotpath: non-positive speedup %g" speedup;
+  let sketches = arr "hotpath.sketches" (hf "sketches") in
+  let sketch_tally s =
+    let s = obj "hotpath.sketches[]" s in
+    let sf = field "sketches[]" s in
+    let name = str "sketches[].name" (sf "name") in
+    let tally =
+      List.map
+        (fun (k, v) -> (k, nonneg_int ("tally." ^ k) v))
+        (obj (name ^ ".tally") (sf "tally"))
+    in
+    (name, nonneg_int "proposals" (sf "proposals"), nonneg_int "unique" (sf "unique"), tally)
+  in
+  let got = List.map sketch_tally sketches in
+  List.iter
+    (fun (name, props, _, tally) ->
+      let classified = List.fold_left (fun a (_, v) -> a + v) 0 tally in
+      if classified <> props then
+        fail "hotpath %s: %d proposals but %d classifications" name props classified)
+    got;
+  match baseline with
+  | None -> ()
+  | Some b ->
+      let b = obj "baseline" b in
+      let bf = field "baseline" b in
+      let pair what o =
+        let o1 = obj what (hf o) and o2 = obj what (bf o) in
+        List.iter
+          (fun (k, v) ->
+            let bv = int_ (what ^ "." ^ k) (field what o2 k) in
+            if int_ (what ^ "." ^ k) v <> bv then
+              fail "hotpath %s.%s does not match the baseline" what k)
+          o1
+      in
+      pair "stream" "stream";
+      let base = obj "baseline.baseline" (bf "baseline") in
+      let base_sketches =
+        List.map sketch_tally (arr "baseline.sketches" (field "baseline" base "sketches"))
+      in
+      List.iter
+        (fun (name, props, unique, tally) ->
+          match List.find_opt (fun (n, _, _, _) -> String.equal n name) got with
+          | None -> fail "hotpath: baseline sketch %S missing from results" name
+          | Some (_, gp, gu, gt) ->
+              if gp <> props then
+                fail "hotpath %s: %d proposals, baseline has %d" name gp props;
+              if gu <> unique then
+                fail "hotpath %s: %d unique candidates, baseline has %d" name gu unique;
+              if List.sort compare gt <> List.sort compare tally then
+                fail
+                  "hotpath %s: classification tally diverged from the baseline"
+                  name)
+        base_sketches;
+      let floor_speedup = num "floor_speedup" (bf "floor_speedup") in
+      let floor_cps = num "floor_candidates_per_s" (bf "floor_candidates_per_s") in
+      if speedup < floor_speedup then
+        fail "hotpath: live speedup %.2fx below the %.2fx floor" speedup floor_speedup;
+      if opt_cps < floor_cps then
+        fail "hotpath: optimized throughput %.0f candidates/s below the %.0f floor"
+          opt_cps floor_cps;
+      Printf.printf
+        "hotpath gate: %.2fx over legacy (floor %.2fx), %.0f candidates/s (floor %.0f), tallies match baseline\n"
+        speedup floor_speedup opt_cps floor_cps
+
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json" in
+  let baseline_path = if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None in
   try
-    let ic = open_in_bin path in
-    let src = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    let top = obj "top level" (parse src) in
+    let top = obj "top level" (load path) in
     let f = field "top level" top in
     (match int_ "schema" (f "schema") with
-    | 4 -> ()
-    | v -> fail "schema: expected 4, got %d" v);
+    | 5 -> ()
+    | v -> fail "schema: expected 5, got %d" v);
     (match f "fast" with Bool _ -> () | _ -> fail "fast: expected a bool");
     if int_ "jobs" (f "jobs") < 1 then fail "jobs: expected >= 1";
     if num "total_wall_s" (f "total_wall_s") < 0.0 then
@@ -224,8 +320,7 @@ let () =
       (fun k -> ignore (nonneg_int ("session." ^ k) (field "session" session k)))
       [ "generations"; "resumes"; "discarded"; "compactions"; "wal_appends";
         "wal_torn" ];
-    if nonneg_int "session.resumes" (field "session" session "resumes") < 1 then
-      fail "session: the bench must exercise at least one resume";
+    ignore session;
     let dm = obj "data_movement_bytes" (f "data_movement_bytes") in
     List.iter
       (fun scope ->
@@ -253,13 +348,26 @@ let () =
           fail "histogram %s: counts sum to %d but total is %d" k sum total)
       histograms;
     let sections = arr "sections" (f "sections") in
-    List.iter
-      (fun s ->
-        let s = obj "sections[]" s in
-        ignore (str "sections[].name" (field "sections[]" s "name"));
-        if num "sections[].wall_s" (field "sections[]" s "wall_s") < 0.0 then
-          fail "sections[].wall_s: negative")
-      sections;
+    let section_names =
+      List.map
+        (fun s ->
+          let s = obj "sections[]" s in
+          if num "sections[].wall_s" (field "sections[]" s "wall_s") < 0.0 then
+            fail "sections[].wall_s: negative";
+          str "sections[].name" (field "sections[]" s "name"))
+        sections
+    in
+    (* Invariants that only bind when their section ran (BENCH_ONLY can
+       restrict a run to a subset, e.g. the perf-smoke gate). *)
+    if List.mem "session" section_names
+       && nonneg_int "session.resumes" (field "session" session "resumes") < 1
+    then fail "session: the bench must exercise at least one resume";
+    if List.mem "hotpath" section_names || baseline_path <> None then
+      check_hotpath
+        ?baseline:(Option.map load baseline_path)
+        (match List.assoc_opt "hotpath" top with
+        | Some hp -> hp
+        | None -> fail "hotpath: headline block missing");
     let results = arr "results" (f "results") in
     List.iter
       (fun r ->
@@ -275,7 +383,7 @@ let () =
         if String.equal name "resume_identical" && v <> 1.0 then
           fail "session: kill+resume result diverged from uninterrupted run")
       results;
-    Printf.printf "%s: schema 4 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
+    Printf.printf "%s: schema 5 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
       path (List.length results) (List.length sections) (List.length counters)
       (List.length gauges) (List.length histograms)
   with
