@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke perf-smoke crash-smoke lint check clean
+.PHONY: all build test bench bench-smoke perf-smoke crash-smoke serve-smoke lint check clean
 
 all: build
 
@@ -15,7 +15,7 @@ bench: build
 
 # Fast smoke run: truncated workload set and trial budgets, plus --check,
 # which exits non-zero if any reported latency is non-finite or <= 0; the
-# emitted BENCH_results.json is then validated against schema 5, including
+# emitted BENCH_results.json is then validated against schema 6, including
 # the hot-path perf gate against the committed pre-refactor baseline.
 bench-smoke: build
 	BENCH_FAST=1 dune exec bench/main.exe -- --check
@@ -47,18 +47,54 @@ crash-smoke: build
 	rm -f /tmp/tir_crash_smoke.wal
 	TIR_FAULTS=0.2:42 dune exec bin/tensorir_cli.exe -- tune GMM --trials 16
 
+# Multi-tenant server smoke test through the CLI: three jobs with mixed
+# priorities are submitted to a queue directory; a serve killed at a step
+# budget must exit 8 and leave resumable work in running/; a second serve
+# must drain the queue; a re-submitted workload must complete via a
+# cross-tenant database replay; and a malformed job must dead-letter to
+# failed/ with a diagnostic rather than wedge the server.
+serve-smoke: build
+	rm -rf /tmp/tir_serve_smoke
+	dune exec bin/tensorir_cli.exe -- submit --queue /tmp/tir_serve_smoke \
+	  GMM --trials 16 --seed 3 --priority 2
+	dune exec bin/tensorir_cli.exe -- submit --queue /tmp/tir_serve_smoke \
+	  C2D --trials 16 --seed 5
+	dune exec bin/tensorir_cli.exe -- submit --queue /tmp/tir_serve_smoke \
+	  C1D --trials 16 --seed 7
+	printf 'workload=GMM\nbogus=key\n' > /tmp/tir_serve_smoke/pending/broken.job
+	dune exec bin/tensorir_cli.exe -- serve --queue /tmp/tir_serve_smoke \
+	  --drain --max-steps 4 --metrics-out /tmp/tir_serve_smoke/metrics.json; \
+	  test $$? -eq 8
+	dune exec bin/tensorir_cli.exe -- jobs --queue /tmp/tir_serve_smoke \
+	  | grep -q running
+	dune exec bin/tensorir_cli.exe -- serve --queue /tmp/tir_serve_smoke \
+	  --drain --metrics-out /tmp/tir_serve_smoke/metrics.json
+	dune exec bin/tensorir_cli.exe -- jobs --queue /tmp/tir_serve_smoke \
+	  | grep -q "broken.*failed"
+	test $$(dune exec bin/tensorir_cli.exe -- jobs --queue /tmp/tir_serve_smoke \
+	  | grep -c done) -eq 3
+	dune exec bin/tensorir_cli.exe -- submit --queue /tmp/tir_serve_smoke \
+	  GMM --trials 16 --seed 9 --name gmm-replay
+	dune exec bin/tensorir_cli.exe -- serve --queue /tmp/tir_serve_smoke \
+	  --drain --metrics-out /tmp/tir_serve_smoke/metrics.json
+	grep -q '"db.replayed":[1-9]' /tmp/tir_serve_smoke/metrics.json
+	dune exec bin/tensorir_cli.exe -- jobs --queue /tmp/tir_serve_smoke \
+	  | grep -q "gmm-replay.*done"
+	rm -rf /tmp/tir_serve_smoke
+
 # Semantic static analysis (data races, region soundness, bounds) over
 # every seed workload and the example scripts; non-zero exit on findings.
 lint: build
 	dune exec bin/tensorir_cli.exe -- lint --all examples/*.tir
 
 # The full pre-merge gate: build, unit + property tests, lint, bench smoke
-# run, kill-and-resume smoke run.
+# run, kill-and-resume smoke run, multi-tenant serve smoke run.
 check: build
 	dune runtest
 	$(MAKE) lint
 	$(MAKE) bench-smoke
 	$(MAKE) crash-smoke
+	$(MAKE) serve-smoke
 
 clean:
 	dune clean

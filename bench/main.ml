@@ -8,12 +8,13 @@
      ... -- --check                           exit 1 on non-finite results
 
    Every section also records its numbers into BENCH_results.json
-   (schema 4: per-section latency/GFLOPs rows, per-section wall-clock, a
+   (schema 6: per-section latency/GFLOPs rows, per-section wall-clock, a
    dump of the process-wide metrics registry — memo hit rate, database
    replay rate, simulator data-movement counters — plus fault-injection /
-   retry and session headline counters) so the perf trajectory is
-   machine-trackable across PRs. [tools/validate_bench.exe] checks the
-   emitted file against the schema in the bench-smoke gate.
+   retry, session, and multi-tenant service headline counters) so the
+   perf trajectory is machine-trackable across PRs.
+   [tools/validate_bench.exe] checks the emitted file against the schema
+   in the bench-smoke gate.
 
    Sections:
      [fig8]     auto-tensorization mechanism walk-through
@@ -25,7 +26,9 @@
      [fig14]    ARM end-to-end vs PyTorch and TVM
      [ablation] design-choice ablations (AutoCopy, cost model, evolution)
      [micro]    Bechamel micro-benchmarks of the infrastructure
-     [session]  crash-safe sessions: kill+resume, fault-injected search *)
+     [session]  crash-safe sessions: kill+resume, fault-injected search
+     [service]  multi-tenant serve: mixed priorities, server kill+resume,
+                cross-tenant database replay *)
 
 module W = Tir_workloads.Workloads
 module Tune = Tir_autosched.Tune
@@ -130,7 +133,7 @@ let emit_json ~total_wall_s path =
   let retry_attempts = over_sites (fun s -> counter ("retry." ^ s ^ ".attempts")) in
   let retry_exhausted = over_sites (fun s -> counter ("retry." ^ s ^ ".exhausted")) in
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": 5,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
+  Printf.fprintf oc "{\n  \"schema\": 6,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
   Printf.fprintf oc "  \"total_wall_s\": %s,\n" (json_float total_wall_s);
   (match !hotpath_headline with
   | None -> ()
@@ -191,6 +194,14 @@ let emit_json ~total_wall_s path =
     (counter "session.compactions")
     (counter "wal.appends")
     (counter "wal.torn_tail");
+  Printf.fprintf oc
+    "  \"service\": {\"tenants_submitted\": %d, \"tenants_completed\": %d, \"tenants_failed\": %d, \"scheduler_steps\": %d, \"jobs_done\": %d, \"jobs_failed\": %d},\n"
+    (counter "scheduler.tenants_submitted")
+    (counter "scheduler.tenants_completed")
+    (counter "scheduler.tenants_failed")
+    (counter "scheduler.steps")
+    (counter "serve.jobs_done")
+    (counter "serve.jobs_failed");
   Printf.fprintf oc
     "  \"data_movement_bytes\": {\"global\": %d, \"shared\": %d, \"local\": %d},\n"
     (counter "sim.bytes.global") (counter "sim.bytes.shared")
@@ -991,6 +1002,97 @@ let session_bench () =
     (float_of_int faulted.Tune.stats.unmeasurable)
     "count"
 
+(* ------------------------------------------------------------------ *)
+(* service: multi-tenant scheduler + job-directory queue                *)
+(* ------------------------------------------------------------------ *)
+
+let service_bench () =
+  section "service"
+    "multi-tenant serve: 3 jobs mixed priorities, whole-server kill+resume, \
+     cross-tenant database replay";
+  let module J = Tir_service.Jobqueue in
+  let fresh () = Tir_autosched.Cost_model.clear_caches () in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let temp_queue tag =
+    let d = Filename.temp_file ("tir_serve_" ^ tag) "" in
+    Sys.remove d;
+    d
+  in
+  let tr = trials 16 in
+  let job name wl seed prio =
+    {
+      J.j_name = name;
+      j_workload = wl;
+      j_target = "gpu";
+      j_seed = seed;
+      j_trials = tr;
+      j_priority = prio;
+    }
+  in
+  let base_jobs =
+    [ job "gmm-hi" "GMM" 3 2; job "c2d-lo" "C2D" 5 1; job "c1d-lo" "C1D" 7 1 ]
+  in
+  let submit_all q = List.iter (fun j -> ignore (J.submit ~queue:q j)) base_jobs in
+  let serve ?max_steps q = J.serve { (J.default_config q) with J.max_steps } in
+  let trace_of q name = List.assoc_opt "trace" (J.read_result ~queue:q ~name) in
+  let snap_counter name =
+    Option.value ~default:0 (Metrics.find_counter (Metrics.snapshot ()) name)
+  in
+  (* Uninterrupted reference server. *)
+  let q_ref = temp_queue "ref" in
+  submit_all q_ref;
+  fresh ();
+  let o_ref = serve q_ref in
+  Fmt.pr "serve: %d tenants completed, %d failed@." o_ref.J.o_completed
+    o_ref.J.o_failed;
+  record "service" "tenants_completed" (float_of_int o_ref.J.o_completed) "count";
+  record "service" "tenants_failed" (float_of_int o_ref.J.o_failed) "count";
+  let busy = Metrics.gauge_value (Metrics.gauge "pool.busy_frac") in
+  Fmt.pr "pool.busy_frac: %.4f (wall-clock-weighted)@." busy;
+  record "service" "pool_busy_frac" busy "frac";
+  (* Kill the whole server at a step budget, then resume every tenant
+     from its WAL under a fresh server: per-tenant results must be
+     byte-identical to the uninterrupted queue. *)
+  let q_kill = temp_queue "kill" in
+  submit_all q_kill;
+  fresh ();
+  let o_half = serve ~max_steps:4 q_kill in
+  fresh ();
+  let o_rest = serve q_kill in
+  let identical =
+    List.for_all
+      (fun (j : J.job) ->
+        trace_of q_kill j.J.j_name = trace_of q_ref j.J.j_name)
+      base_jobs
+  in
+  Fmt.pr
+    "killed at 4 steps (budget hit: %b); resume completed %d; identical to \
+     uninterrupted: %b@."
+    o_half.J.o_budget o_rest.J.o_completed identical;
+  record "service" "resume_identical" (if identical then 1.0 else 0.0) "bool";
+  (* Cross-tenant amortization: a later tenant re-submits an
+     already-solved workload and replays the shared database entry
+     instead of searching. *)
+  let before = snap_counter "db.replayed" in
+  ignore (J.submit ~queue:q_ref (job "gmm-again" "GMM" 11 1));
+  fresh ();
+  let o2 = serve q_ref in
+  let replays = snap_counter "db.replayed" - before in
+  Fmt.pr "duplicate workload: %d completed, %d cross-tenant replays@."
+    o2.J.o_completed replays;
+  record "service" "db_replay" (float_of_int replays) "count";
+  record "service" "replay_identical"
+    (if trace_of q_ref "gmm-again" = trace_of q_ref "gmm-hi" then 1.0 else 0.0)
+    "bool";
+  rm_rf q_ref;
+  rm_rf q_kill
+
 let () =
   (* Monotone clock (never runs backwards under wall-clock adjustment), so
      section walls and the total are always non-negative. *)
@@ -1018,6 +1120,7 @@ let () =
   timed "hotpath" hotpath;
   timed "db" db_bench;
   timed "session" session_bench;
+  timed "service" service_bench;
   cache_summary ();
   let total = Clock.now_s () -. t0 in
   emit_json ~total_wall_s:total "BENCH_results.json";

@@ -10,16 +10,21 @@
      tensorir lint [targets] [--all]      semantic static analysis (races,
                                           region soundness, bounds)
      tensorir session <status|compact>    inspect / compact a session log
+     tensorir serve --queue <dir>         multi-tenant tuning server over a
+                                          job directory
+     tensorir submit <workload> [opts]    drop a job into a queue directory
+     tensorir jobs --queue <dir>          list a queue's jobs and states
 
    Exit codes: 0 ok, 1 findings, 2 usage, then one per error kind
    (Parse 3, Io 4, Corrupt 5, Timeout 6, Fault 7) and 8 when a session
-   run halted early (tune --halt-after). *)
+   run halted early (tune --halt-after, serve --max-steps). *)
 
 open Cmdliner
 module W = Tir_workloads.Workloads
 module Tune = Tir_autosched.Tune
 module TI = Tir_intrin.Tensor_intrin
 module Session = Tir_service.Session
+module Jobqueue = Tir_service.Jobqueue
 module Error = Tir_core.Error
 
 let () = Tir_intrin.Library.register_all ()
@@ -544,6 +549,163 @@ let intrinsics_cmd =
     (Cmd.info "intrinsics" ~doc:"List registered tensor intrinsics")
     Term.(const run $ const ())
 
+(* --- serve / submit / jobs --- *)
+
+let queue_arg =
+  let doc = "Queue directory (pending/, running/, done/, failed/, db.txt)." in
+  Arg.(required & opt (some string) None & info [ "queue"; "q" ] ~docv:"DIR" ~doc)
+
+let serve_cmd =
+  let run queue jobs drain max_steps metrics_out poll =
+    with_errors @@ fun () ->
+    let cfg =
+      {
+        Jobqueue.queue;
+        jobs;
+        drain;
+        max_steps;
+        metrics_out;
+        poll_interval_s = poll;
+      }
+    in
+    let o = Jobqueue.serve cfg in
+    Fmt.pr "serve: %d completed, %d failed@." o.Jobqueue.o_completed
+      o.Jobqueue.o_failed;
+    if o.Jobqueue.o_budget then begin
+      Fmt.pr "step budget exhausted; resume with: tensorir serve --queue %s@."
+        queue;
+      exit exit_halted
+    end
+  in
+  let jobs_arg =
+    let doc =
+      "Server-private evaluation pool size (default: the shared TIR_JOBS pool)."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let drain_arg =
+    Arg.(
+      value & flag
+      & info [ "drain" ]
+          ~doc:
+            "Exit once pending and running are empty instead of polling for \
+             new jobs.")
+  in
+  let max_steps_arg =
+    let doc =
+      "Stop after $(docv) scheduler steps (generations) across all tenants \
+       (exit code 8); every tenant's WAL stays committed, so a later serve \
+       resumes bit-identically. Used to exercise kill-and-resume."
+    in
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Dump the metrics registry as JSON to $(docv) (atomic rewrite) on every \
+       scheduler event — a scrape-able snapshot of counters, gauges, and \
+       histograms."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let poll_arg =
+    let doc = "Poll interval in seconds when waiting for new jobs." in
+    Arg.(value & opt float 0.2 & info [ "poll" ] ~docv:"SECONDS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a job-directory queue: multi-tenant fair-share tuning")
+    Term.(
+      const run $ queue_arg $ jobs_arg $ drain_arg $ max_steps_arg $ metrics_arg
+      $ poll_arg)
+
+let submit_cmd =
+  let run queue tag target trials seed priority name =
+    with_errors @@ fun () ->
+    let jname =
+      match name with
+      | Some n -> n
+      | None ->
+          (* Auto-name: workload-target-seed, suffixed until unique. *)
+          let base =
+            Printf.sprintf "%s-%s-s%d" (String.lowercase_ascii tag) target seed
+          in
+          let rec unique i =
+            let c = if i = 0 then base else Printf.sprintf "%s-%d" base (i + 1) in
+            if Jobqueue.find_job queue c = None then c else unique (i + 1)
+          in
+          unique 0
+    in
+    let j =
+      {
+        Jobqueue.j_name = jname;
+        j_workload = tag;
+        j_target = target;
+        j_seed = seed;
+        j_trials = trials;
+        j_priority = priority;
+      }
+    in
+    (* Resolve up front so a bad workload/target fails the client with a
+       Parse error instead of dead-lettering on the server. *)
+    ignore (Jobqueue.resolve ~name:jname j);
+    let path = Jobqueue.submit ~queue j in
+    Fmt.pr "submitted %s -> %s@." jname path
+  in
+  let priority_arg =
+    let doc =
+      "Scheduling weight: a priority-2 job gets ~2x the generations of a \
+       priority-1 job while both run."
+    in
+    Arg.(value & opt int 1 & info [ "priority" ] ~docv:"N" ~doc)
+  in
+  let name_arg =
+    let doc = "Job name (default: derived from workload/target/seed)." in
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Drop a tuning job into a queue directory")
+    Term.(
+      const run $ queue_arg $ workload_arg $ target_arg $ trials_arg $ seed_arg
+      $ priority_arg $ name_arg)
+
+let jobs_cmd =
+  let run queue =
+    with_errors @@ fun () ->
+    match Jobqueue.list_jobs ~queue with
+    | [] -> Fmt.pr "queue is empty@."
+    | jobs ->
+        List.iter
+          (fun (nm, st) ->
+            match st with
+            | Jobqueue.Done ->
+                let kv = Jobqueue.read_result ~queue ~name:nm in
+                let find k =
+                  Option.value ~default:"?" (List.assoc_opt k kv)
+                in
+                let lat =
+                  match List.assoc_opt "latency_us" kv with
+                  | Some h -> (
+                      match float_of_string_opt h with
+                      | Some f -> Printf.sprintf "%.2f us" f
+                      | None -> "?")
+                  | None -> "(no valid schedule)"
+                in
+                Fmt.pr "%-28s done     %s %s GFLOPS %s@." nm (find "workload")
+                  (find "gflops") lat
+            | Jobqueue.Failed ->
+                let kv =
+                  try Jobqueue.read_error ~queue ~name:nm with _ -> []
+                in
+                Fmt.pr "%-28s failed   %s@." nm
+                  (Option.value ~default:"(no diagnostic)"
+                     (List.assoc_opt "message" kv))
+            | st -> Fmt.pr "%-28s %s@." nm (Jobqueue.state_dir st))
+          jobs
+  in
+  Cmd.v
+    (Cmd.info "jobs" ~doc:"List a queue directory's jobs and their states")
+    Term.(const run $ queue_arg)
+
 let () =
   let info =
     Cmd.info "tensorir" ~version:"1.0.0"
@@ -551,4 +713,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ show_cmd; candidates_cmd; tune_cmd; model_cmd; parse_cmd; codegen_cmd;
-         intrinsics_cmd; report_cmd; lint_cmd; session_cmd ]))
+         intrinsics_cmd; report_cmd; lint_cmd; session_cmd; serve_cmd;
+         submit_cmd; jobs_cmd ]))

@@ -1,575 +1,76 @@
 (** Evolutionary search over tensorized program sketches (paper §4.4).
 
-    Each generation proposes decision vectors by mutating and crossing the
-    current elite set (plus fresh random samples for exploration), filters
-    them by schedule applicability and the §3.3 validator, ranks survivors
-    with the learned cost model, then measures the top batch on the machine
-    model. Measurements feed back into the cost model.
+    The search itself lives in {!Engine} — an explicit state machine where
+    one [Engine.step] runs one generation (proposal fan-out, evaluation,
+    ranked measurement, cost-model retrain, metrics/journal/checkpoint
+    flush). This module re-exports the engine's types under their
+    historical names and provides [search], the run-to-completion driver:
+    it loops [Engine.step] until the trial budget is reached or the space
+    is exhausted.
 
-    The candidate pipeline — decision application via [Sketch], §3.3
-    validation, [Features.extract], and the machine-model measurement — is
-    the tuner's hot path, and every stage is a pure function of
-    (target, sketch, decisions). Both proposal generation and evaluation
-    therefore fan out across a [Tir_parallel.Pool]:
-
-    - generation draws one split RNG per proposal slot (seeds drawn
-      sequentially from the search RNG), so each slot's random choices
-      depend only on its index — never on the execution interleaving;
-    - evaluation and measurement go through the process-wide memo in
-      [Cost_model], so duplicate proposals (mutation/crossover collisions,
-      ablation re-runs) never re-enter the simulator;
-    - every reduce walks results in slot order and mutates [stats], the
-      cost model, and the elite set sequentially.
-
-    Together these make the search bit-identical at any job count:
-    [TIR_JOBS=1] and [TIR_JOBS=n] return the same best program, the same
-    latencies, and the same trial statistics for a fixed seed.
-
-    Observability: every generation updates the [search.*] counters in the
-    metrics registry and — when a [journal] sink is given — emits one
-    [Generation] event (candidates proposed / deduped / invalid /
-    inapplicable, memo hits, mutation-acceptance counters, best-so-far
-    latency, cost-model rank correlation) plus one [Pair] event per
-    measured candidate (predicted score vs measured latency). All of those
-    are computed in the sequential slot-order reduce, so they inherit the
-    bit-identical-at-any-job-count guarantee. *)
+    All determinism properties are the engine's: generation randomness
+    derives from [(seed, gen)] only, pool fan-outs reduce in slot order,
+    and evaluation/measurement go through the process-wide memo in
+    [Cost_model] — so [TIR_JOBS=1] and [TIR_JOBS=n] return the same best
+    program, the same latencies, and the same trial statistics for a
+    fixed seed, no matter how many engines share the pool. *)
 
 open Tir_ir
-module Pool = Tir_parallel.Pool
-module Journal = Tir_obs.Journal
-module Metrics = Tir_obs.Metrics
 
-type measured = {
+type measured = Engine.measured = {
   sketch_name : string;
-  base : string;  (** [Sketch.base] — start-function recipe for replay *)
+  base : string;
   decisions : Space.decisions;
-      (** extracted from [trace] ([Trace.decisions]) — kept as a field for
-          cache keys and reporting *)
   trace : Tir_sched.Trace.t;
-      (** full instruction trace of the winning schedule; serialized into
-          database records so they replay without sketch regeneration *)
   func : Primfunc.t;
   latency_us : float;
 }
 
-type stats = {
-  mutable trials : int;  (** programs measured on hardware *)
-  mutable proposed : int;  (** programs proposed by the search *)
-  mutable invalid : int;  (** rejected by the §3.3 validator *)
-  mutable unsound : int;  (** rejected by the semantic analyzer *)
-  mutable inapplicable : int;  (** decision vectors the sketch rejects *)
+type stats = Engine.stats = {
+  mutable trials : int;
+  mutable proposed : int;
+  mutable invalid : int;
+  mutable unsound : int;
+  mutable inapplicable : int;
   mutable unmeasurable : int;
-      (** candidates dropped after measurement faults exhausted their
-          retries or the per-candidate budget expired *)
-  mutable best_curve : (int * float) list;  (** (trial, best latency) *)
-  mutable profiling_us : float;  (** simulated time spent measuring *)
-  mutable cache_hits : int;  (** evaluation/measurement memo hits *)
-  mutable cache_lookups : int;  (** evaluation/measurement memo probes *)
+  mutable best_curve : (int * float) list;
+  mutable profiling_us : float;
+  mutable cache_hits : int;
+  mutable cache_lookups : int;
 }
 
-let new_stats () =
-  {
-    trials = 0;
-    proposed = 0;
-    invalid = 0;
-    unsound = 0;
-    inapplicable = 0;
-    unmeasurable = 0;
-    best_curve = [];
-    profiling_us = 0.0;
-    cache_hits = 0;
-    cache_lookups = 0;
-  }
+let new_stats = Engine.new_stats
+let cache_hit_rate = Engine.cache_hit_rate
 
-(** Memo hit-rate over this search's probes (0 when nothing was probed). *)
-let cache_hit_rate stats =
-  if stats.cache_lookups = 0 then 0.0
-  else float_of_int stats.cache_hits /. float_of_int stats.cache_lookups
+type result = Engine.result = { best : measured option; stats : stats }
 
-type result = { best : measured option; stats : stats }
-
-(** Write-ahead checkpoint hooks, called synchronously from the search's
-    sequential reduces (never from pool domains). The callee must consume
-    its arguments before returning — [stats] is the search's live mutable
-    record. A generation is only {e committed} by [on_generation]; a crash
-    mid-generation loses nothing, because the generation re-runs
-    bit-identically from its [(seed, gen)]-derived stream. *)
-type checkpoint = {
+type checkpoint = Engine.checkpoint = {
   on_seen : gen:int -> string list -> unit;
-      (** fresh candidate keys deduplicated into the seen-set this
-          generation, in slot order *)
   on_measured : gen:int -> measured -> unit;
-      (** one successfully measured candidate, in measurement order *)
   on_generation : gen:int -> stats -> best_us:float -> unit;
-      (** generation completed; [stats] is the cumulative snapshot *)
 }
 
-(** State rebuilt from a checkpoint log, handed to [search ?resume] to
-    re-enter at generation [r_gen] with bit-identical behaviour. *)
-type resume = {
-  r_gen : int;  (** next generation to run *)
-  r_seen : string list;  (** every key deduplicated so far *)
-  r_measured : measured list;  (** in original measurement order *)
+type resume = Engine.resume = {
+  r_gen : int;
+  r_seen : string list;
+  r_measured : measured list;
   r_stats : stats;
-      (** cumulative counters at the last committed generation
-          ([best_curve] is ignored — it is rebuilt from [r_measured]) *)
 }
 
-(* Cost charged per hardware measurement: each candidate runs a few times
-   plus compilation/transfer overhead. This drives the Table 1 comparison:
-   searches that propose slower programs pay more profiling time. *)
-let measurement_overhead_us = 60_000.0
-let measurement_runs = 50.0
+let measurement_overhead_us = Engine.measurement_overhead_us
+let measurement_runs = Engine.measurement_runs
+let measurement_cap_us = Engine.measurement_cap_us
 
-(* Real tuners cap the per-candidate measurement time (min-repeat logic). *)
-let measurement_cap_us = 150_000.0
-
-(* Where a proposal came from — drives the journal's mutation-acceptance
-   accounting. *)
-type origin = Seeded | Random | Mutation | Crossover
-
-(* Registry counters; process-wide totals across every search. *)
-let m_proposed = Metrics.counter "search.proposed"
-let m_deduped = Metrics.counter "search.deduped"
-let m_invalid = Metrics.counter "search.invalid"
-let m_unsound = Metrics.counter "search.unsound"
-let m_inapplicable = Metrics.counter "search.inapplicable"
-let m_trials = Metrics.counter "search.trials"
-let m_generations = Metrics.counter "search.generations"
-let m_mutations = Metrics.counter "search.mutations"
-let m_crossovers = Metrics.counter "search.crossovers"
-let m_accepted = Metrics.counter "search.accepted"
-let m_unmeasurable = Metrics.counter "search.unmeasurable"
-let m_rank_corr = Metrics.gauge "costmodel.rank_corr"
-let m_memo_rate = Metrics.gauge "search.memo_hit_rate"
-
-(* Per-generation journal tallies, reset each round. *)
-type gen_tally = {
-  mutable g_proposed : int;
-  mutable g_deduped : int;
-  mutable g_invalid : int;
-  mutable g_unsound : int;
-  mutable g_inapplicable : int;
-  mutable g_memo_hits : int;
-  mutable g_lookups : int;  (** memo probes this generation (hit-rate base) *)
-  mutable g_measured : int;
-  mutable g_unmeasurable : int;
-  mutable g_mutations : int;
-  mutable g_crossovers : int;
-  mutable g_accepted : int;
-  mutable g_pairs : (float * float) list;  (** (predicted score, latency) *)
-}
-
-let new_gen_tally () =
-  {
-    g_proposed = 0;
-    g_deduped = 0;
-    g_invalid = 0;
-    g_unsound = 0;
-    g_inapplicable = 0;
-    g_memo_hits = 0;
-    g_lookups = 0;
-    g_measured = 0;
-    g_unmeasurable = 0;
-    g_mutations = 0;
-    g_crossovers = 0;
-    g_accepted = 0;
-    g_pairs = [];
-  }
-
-let search ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
-    ?(evolve = true) ?pool ?journal ?retry ?checkpoint ?resume ~seed ~target
-    ~trials (sketches : Sketch.t list) : result =
-  let pool = match pool with Some p -> p | None -> Pool.global () in
-  let stats = new_stats () in
-  let model = Cost_model.create target in
-  let key_prefix = Cost_model.cache_prefix target in
-  let seen = Hashtbl.create 256 in
-  let elites : measured list ref = ref [] in
-  let best = ref None in
-  let gen = ref 0 in
-  let g = ref (new_gen_tally ()) in
-  let consider (m : measured) =
-    (match !best with
-    | Some b when b.latency_us <= m.latency_us -> ()
-    | _ ->
-        best := Some m;
-        stats.best_curve <- (stats.trials, m.latency_us) :: stats.best_curve);
-    elites :=
-      List.filteri
-        (fun i _ -> i < population)
-        (List.sort (fun a b -> Float.compare a.latency_us b.latency_us) (m :: !elites))
+let search ?population ?measure_batch ?use_cost_model ?evolve ?pool ?journal
+    ?retry ?checkpoint ?resume ~seed ~target ~trials (sketches : Sketch.t list)
+    : result =
+  let e =
+    Engine.create ?population ?measure_batch ?use_cost_model ?evolve ?pool
+      ?journal ?retry ?checkpoint ?resume ~seed ~target ~trials sketches
   in
-  (* --- proposal generation (slot-parallel, split RNG per slot) --- *)
-  let random_specs rng n =
-    let rngs = Rng.split_n rng n in
-    Array.to_list
-      (Pool.parallel_map pool
-         (fun r ->
-           let sk = Rng.choose r sketches in
-           (sk, Space.random_decisions r sk.Sketch.knobs, Random))
-         rngs)
+  let rec drive () =
+    match Engine.step e with
+    | _, Engine.Stepped _ -> drive ()
+    | _, (Engine.Exhausted _ | Engine.Done) -> Engine.result e
   in
-  let evolved_specs rng n =
-    match !elites with
-    | [] -> []
-    | es ->
-        let rngs = Rng.split_n rng n in
-        Array.to_list
-          (Pool.parallel_map pool
-             (fun r ->
-               let parent = Rng.choose r es in
-               let sk =
-                 List.find
-                   (fun s -> String.equal s.Sketch.name parent.sketch_name)
-                   sketches
-               in
-               (* Decisions are mutated inside the parent's trace: the
-                  trace's [Decide] records are the authoritative knob
-                  assignment of the measured schedule. *)
-               let pd = Tir_sched.Trace.decisions parent.trace in
-               if Rng.bool r || List.length es < 2 then
-                 (sk, Space.mutate r sk.Sketch.knobs pd, Mutation)
-               else
-                 let other = Rng.choose r es in
-                 if String.equal other.sketch_name parent.sketch_name then
-                   ( sk,
-                     Space.crossover r sk.Sketch.knobs pd
-                       (Tir_sched.Trace.decisions other.trace),
-                     Crossover )
-                 else (sk, Space.mutate r sk.Sketch.knobs pd, Mutation))
-             rngs)
-  in
-  (* Heuristic initial samples (Ansor-style): a few structured decision
-     vectors per sketch anchor the first generation so small trial budgets
-     do not depend purely on random luck. *)
-  let seeded_specs () =
-    List.concat_map
-      (fun (sk : Sketch.t) ->
-        List.map
-          (fun pickf ->
-            ( sk,
-              List.map
-                (fun (k : Space.knob) -> (k.Space.name, pickf k.Space.count))
-                sk.Sketch.knobs,
-              Seeded ))
-          [
-            (fun _ -> 0);
-            (fun c -> c / 2);
-            (fun c -> max 0 (c - 1));
-            (fun c -> c / 3);
-            (fun c -> 2 * c / 3);
-          ])
-      sketches
-  in
-  (* Dedup in slot order, evaluate the fresh candidates across the pool
-     (memoized apply/validate/extract), account in slot order. *)
-  let propose_all specs =
-    let fresh =
-      List.filter_map
-        (fun ((sk : Sketch.t), d, origin) ->
-          (* Canonical key: the vector projected onto the sketch's knob
-             list. Raw [Space.key_of] would let a stale entry (a knob this
-             sketch does not read) split the memo entry for a behaviourally
-             identical candidate. *)
-          let key =
-            sk.Sketch.space_id ^ "|" ^ Space.canonical_key sk.Sketch.knobs d
-          in
-          if Hashtbl.mem seen key then begin
-            !g.g_deduped <- !g.g_deduped + 1;
-            None
-          end
-          else begin
-            Hashtbl.add seen key ();
-            stats.proposed <- stats.proposed + 1;
-            !g.g_proposed <- !g.g_proposed + 1;
-            (match origin with
-            | Mutation -> !g.g_mutations <- !g.g_mutations + 1
-            | Crossover -> !g.g_crossovers <- !g.g_crossovers + 1
-            | Seeded | Random -> ());
-            Some (sk, d, key, origin)
-          end)
-        specs
-    in
-    (* WAL the fresh keys before any evaluation: resuming a later
-       generation must re-seed the dedup set exactly. *)
-    (match checkpoint with
-    | Some c when fresh <> [] ->
-        c.on_seen ~gen:!gen (List.map (fun (_, _, key, _) -> key) fresh)
-    | _ -> ());
-    let evals =
-      Pool.parallel_map_list pool
-        (fun ((sk : Sketch.t), d, key, _) ->
-          Cost_model.evaluate_cached ~key:(key_prefix ^ key) ~target sk d)
-        fresh
-    in
-    List.concat
-      (List.map2
-         (fun (sk, d, key, origin) (hit, ev) ->
-           stats.cache_lookups <- stats.cache_lookups + 1;
-           !g.g_lookups <- !g.g_lookups + 1;
-           if hit then begin
-             stats.cache_hits <- stats.cache_hits + 1;
-             !g.g_memo_hits <- !g.g_memo_hits + 1
-           end;
-           match ev with
-           | Cost_model.Inapplicable ->
-               stats.inapplicable <- stats.inapplicable + 1;
-               !g.g_inapplicable <- !g.g_inapplicable + 1;
-               []
-           | Cost_model.Invalid ->
-               stats.invalid <- stats.invalid + 1;
-               !g.g_invalid <- !g.g_invalid + 1;
-               []
-           | Cost_model.Unsound ->
-               stats.unsound <- stats.unsound + 1;
-               !g.g_unsound <- !g.g_unsound + 1;
-               []
-           | Cost_model.Unsupported -> []
-           | Cost_model.Evaluated { func; fp; features; trace } ->
-               [ (sk, d, key, origin, func, fp, features, trace) ])
-         fresh evals)
-  in
-  (* Measure a ranked batch across the pool (memoized), then feed the cost
-     model, the elite set, and the journal tallies in rank order.
-
-     Measurement memo keys are program fingerprints (the simulator is a
-     pure function of (target, program)), so one batch can contain the
-     same key twice — distinct decision vectors that materialize
-     structurally identical programs. Each distinct key is probed exactly
-     once across the pool; a duplicate slot then reads the first slot's
-     outcome as a hit. That is what sequential probing would produce, and
-     it avoids same-key pending-wait races inside one region, which would
-     make the memo counters depend on the job count. *)
-  let measure_top scored =
-    let keyed =
-      List.map
-        (fun ((_, (_, _, _, _, _, fp, _, _)) as sc) ->
-          (key_prefix ^ "prog#" ^ Tir_ir.Fingerprint.to_hex fp, sc))
-        scored
-    in
-    let distinct_tbl = Hashtbl.create 16 in
-    let distinct =
-      List.filter_map
-        (fun (key, (_, (_, _, _, _, func, _, _, _))) ->
-          if Hashtbl.mem distinct_tbl key then None
-          else begin
-            Hashtbl.add distinct_tbl key ();
-            Some (key, func)
-          end)
-        keyed
-    in
-    let probes =
-      Pool.parallel_map_list pool
-        (fun (key, func) ->
-          Cost_model.measure_cached ?retry ~key ~target func)
-        distinct
-    in
-    let by_key = Hashtbl.create 16 in
-    List.iter2 (fun (key, _) r -> Hashtbl.replace by_key key r) distinct probes;
-    let seen_in_batch = Hashtbl.create 16 in
-    List.iter
-      (fun (key, (score, ((sk : Sketch.t), _, _, origin, func, _, features, trace)))
-           ->
-        let hit, outcome =
-          if Hashtbl.mem seen_in_batch key then
-            (true, snd (Hashtbl.find by_key key))
-          else begin
-            Hashtbl.add seen_in_batch key ();
-            Hashtbl.find by_key key
-          end
-        in
-        stats.cache_lookups <- stats.cache_lookups + 1;
-        !g.g_lookups <- !g.g_lookups + 1;
-        if hit then begin
-          stats.cache_hits <- stats.cache_hits + 1;
-          !g.g_memo_hits <- !g.g_memo_hits + 1
-        end;
-        match outcome with
-        | Cost_model.Unsupported_target -> ()
-        | Cost_model.Unmeasurable ->
-            (* Graceful degradation: scored but never measured — the
-               candidate is skipped without feeding the cost model, the
-               elite set, or (via the checkpoint) the database. *)
-            stats.unmeasurable <- stats.unmeasurable + 1;
-            !g.g_unmeasurable <- !g.g_unmeasurable + 1
-        | Cost_model.Measured latency_us ->
-            stats.trials <- stats.trials + 1;
-            stats.profiling_us <-
-              stats.profiling_us
-              +. Float.min measurement_cap_us (latency_us *. measurement_runs)
-              +. measurement_overhead_us;
-            !g.g_measured <- !g.g_measured + 1;
-            !g.g_pairs <- (score, latency_us) :: !g.g_pairs;
-            Cost_model.add model ~features ~latency_us;
-            let m =
-              {
-                sketch_name = sk.Sketch.name;
-                base = sk.Sketch.base;
-                decisions = Tir_sched.Trace.decisions trace;
-                trace;
-                func;
-                latency_us;
-              }
-            in
-            consider m;
-            (match checkpoint with
-            | Some c -> c.on_measured ~gen:!gen m
-            | None -> ());
-            (* A mutant/crossover is "accepted" when it survives into the
-               elite set — the population actually evolved. *)
-            (match origin with
-            | Mutation | Crossover ->
-                if List.memq m !elites then !g.g_accepted <- !g.g_accepted + 1
-            | Seeded | Random -> ()))
-      keyed
-  in
-  (* Flush the per-generation tallies: registry counters, rank-correlation
-     gauge, journal events. Runs in the sequential reduce, so everything
-     here is deterministic at any job count. *)
-  let finish_generation () =
-    let t = !g in
-    let best_us =
-      match !best with Some b -> b.latency_us | None -> Float.nan
-    in
-    (* Predicted score is "higher = faster"; correlate against -latency so
-       a perfect model scores +1. *)
-    let rank_corr =
-      Tir_obs.Stat.spearman
-        (Array.of_list (List.rev_map (fun (s, l) -> (s, -.l)) t.g_pairs))
-    in
-    Metrics.add m_proposed t.g_proposed;
-    Metrics.add m_deduped t.g_deduped;
-    Metrics.add m_invalid t.g_invalid;
-    Metrics.add m_unsound t.g_unsound;
-    Metrics.add m_inapplicable t.g_inapplicable;
-    Metrics.add m_trials t.g_measured;
-    Metrics.add m_mutations t.g_mutations;
-    Metrics.add m_crossovers t.g_crossovers;
-    Metrics.add m_accepted t.g_accepted;
-    Metrics.add m_unmeasurable t.g_unmeasurable;
-    Metrics.incr m_generations;
-    Metrics.set m_rank_corr rank_corr;
-    let gen_hit_rate =
-      if t.g_lookups = 0 then 0.0
-      else float_of_int t.g_memo_hits /. float_of_int t.g_lookups
-    in
-    Metrics.set m_memo_rate gen_hit_rate;
-    (match journal with
-    | None -> ()
-    | Some sink ->
-        List.iter
-          (fun (predicted, measured_us) ->
-            Journal.emit sink (Journal.Pair { gen = !gen; predicted; measured_us }))
-          (List.rev t.g_pairs);
-        Journal.emit sink
-          (Journal.Generation
-             {
-               gen = !gen;
-               proposed = t.g_proposed;
-               deduped = t.g_deduped;
-               (* analyzer rejections fold into the journal's invalid
-                  count: the schema predates the semantic analyzer *)
-               invalid = t.g_invalid + t.g_unsound;
-               inapplicable = t.g_inapplicable;
-               memo_hits = t.g_memo_hits;
-               measured = t.g_measured;
-               mutations = t.g_mutations;
-               crossovers = t.g_crossovers;
-               accepted = t.g_accepted;
-               best_us;
-               rank_corr;
-             });
-        (* Per-generation memo hit rates: this generation's probes, then
-           each table's cumulative rate. Computed from the memo's atomic
-           hit/miss counters — deterministic at any job count (exactly one
-           miss per key), unlike the registry's pending-wait meters. *)
-        Journal.emit sink
-          (Journal.Gauge { name = "memo.gen.hit_rate"; value = gen_hit_rate });
-        List.iter
-          (fun (name, (s : Cost_model.cache_stats)) ->
-            let probes = s.Cost_model.hits + s.Cost_model.misses in
-            let rate =
-              if probes = 0 then 0.0
-              else float_of_int s.Cost_model.hits /. float_of_int probes
-            in
-            Journal.emit sink
-              (Journal.Gauge { name = "memo." ^ name ^ ".hit_rate"; value = rate }))
-          (Cost_model.cache_breakdown ()));
-    (* Commit marker: everything this generation wrote becomes durable
-       only here. Emitted after the metrics/journal flush, before the
-       counter advances. *)
-    (match checkpoint with
-    | Some c -> c.on_generation ~gen:!gen stats ~best_us
-    | None -> ());
-    incr gen;
-    g := new_gen_tally ()
-  in
-  (* --- resume: rebuild the in-memory search state from a checkpoint
-     log. The dedup set and the measured list replay through the same
-     sequential code paths a live run uses, so the elite set, the best
-     curve, and the cost-model dataset come out bit-identical; the
-     aggregate counters are then restored from the committed snapshot. *)
-  (match resume with
-  | None -> ()
-  | Some r ->
-      gen := max 0 r.r_gen;
-      List.iter (fun k -> Hashtbl.replace seen k ()) r.r_seen;
-      List.iter
-        (fun (m : measured) ->
-          let features = Features.extract target m.func in
-          Cost_model.add model ~features ~latency_us:m.latency_us;
-          stats.trials <- stats.trials + 1;
-          consider m)
-        r.r_measured;
-      if r.r_measured <> [] then Cost_model.retrain model;
-      stats.trials <- r.r_stats.trials;
-      stats.proposed <- r.r_stats.proposed;
-      stats.invalid <- r.r_stats.invalid;
-      stats.unsound <- r.r_stats.unsound;
-      stats.inapplicable <- r.r_stats.inapplicable;
-      stats.unmeasurable <- r.r_stats.unmeasurable;
-      stats.profiling_us <- r.r_stats.profiling_us;
-      stats.cache_hits <- r.r_stats.cache_hits;
-      stats.cache_lookups <- r.r_stats.cache_lookups);
-  let rec rounds () =
-    if stats.trials >= trials then ()
-    else begin
-      (* Each generation draws from its own (seed, gen)-derived stream:
-         generation [g]'s randomness depends only on the seed and [g],
-         never on how many draws earlier generations made — the property
-         that lets a resumed process re-enter mid-search. *)
-      let rng = Rng.for_generation ~seed ~gen:!gen in
-      let fresh = if !elites = [] then population * 4 else population in
-      let seeds = if !elites = [] then seeded_specs () else [] in
-      let specs =
-        if evolve then
-          seeds @ random_specs rng fresh @ evolved_specs rng (population * 2)
-        else seeds @ random_specs rng (population * 3)
-      in
-      match propose_all specs with
-      | [] -> finish_generation () (* space exhausted *)
-      | cands ->
-          let scores =
-            if use_cost_model then
-              Array.to_list
-                (Cost_model.score_batch model
-                   (Array.of_list
-                      (List.map (fun (_, _, _, _, _, _, f, _) -> f) cands)))
-            else List.map (fun _ -> Rng.float rng 1.0) cands
-          in
-          let ranked =
-            (* stable sort: ties keep generation order *)
-            List.sort
-              (fun ((a : float), _) (b, _) -> Float.compare b a)
-              (List.combine scores cands)
-          in
-          let batch = min measure_batch (trials - stats.trials) in
-          measure_top (List.filteri (fun i _ -> i < batch) ranked);
-          Cost_model.retrain model;
-          finish_generation ();
-          rounds ()
-    end
-  in
-  rounds ();
-  { best = !best; stats }
+  drive ()

@@ -1,10 +1,14 @@
 (** Evolutionary search over program sketches (paper §4.4): mutate and
     cross the elite decision vectors, filter by applicability and the §3.3
-    validator, rank with the learned cost model, measure the top batch. *)
+    validator, rank with the learned cost model, measure the top batch.
+
+    The loop itself is {!Engine} (an explicit [step]-per-generation state
+    machine); this module re-exports its types under their historical
+    names and provides the run-to-completion driver [search]. *)
 
 open Tir_ir
 
-type measured = {
+type measured = Engine.measured = {
   sketch_name : string;
   base : string;  (** [Sketch.base] — start-function recipe for replay *)
   decisions : Space.decisions;
@@ -17,7 +21,7 @@ type measured = {
   latency_us : float;
 }
 
-type stats = {
+type stats = Engine.stats = {
   mutable trials : int;  (** programs measured *)
   mutable proposed : int;  (** programs proposed *)
   mutable invalid : int;  (** rejected by validation *)
@@ -37,14 +41,14 @@ val new_stats : unit -> stats
 (** [cache_hits / cache_lookups] (0 when nothing was probed). *)
 val cache_hit_rate : stats -> float
 
-type result = { best : measured option; stats : stats }
+type result = Engine.result = { best : measured option; stats : stats }
 
 (** Write-ahead checkpoint hooks, called synchronously from the search's
     sequential reduces (never from pool domains): [on_seen] receives the
     fresh dedup keys of each generation in slot order, [on_measured] each
     measured candidate in measurement order, and [on_generation] — the
     commit marker — the cumulative stats once a generation completes. *)
-type checkpoint = {
+type checkpoint = Engine.checkpoint = {
   on_seen : gen:int -> string list -> unit;
   on_measured : gen:int -> measured -> unit;
   on_generation : gen:int -> stats -> best_us:float -> unit;
@@ -54,7 +58,7 @@ type checkpoint = {
     generation [r_gen] with the dedup set, the measured history (original
     order) and the committed counter snapshot ([r_stats.best_curve] is
     ignored — the curve is rebuilt from [r_measured]). *)
-type resume = {
+type resume = Engine.resume = {
   r_gen : int;
   r_seen : string list;
   r_measured : measured list;

@@ -1,10 +1,13 @@
 (** Tuning driver: the end-to-end auto-scheduler of section 4.
 
-    [tune] takes a workload and a target, generates tensorization
+    [run] takes a workload and a target, generates tensorization
     candidates against the target's intrinsics (§4.2), builds program
     sketches (§4.3), and runs the evolutionary search (§4.4). The result
     carries the best program, its simulated latency, and search statistics
-    (used by the Table 1 tuning-time comparison).
+    (used by the Table 1 tuning-time comparison). [prepare]/[step] expose
+    the same run as an explicit state machine so a scheduler can
+    interleave many runs on one shared pool, preempting at generation
+    boundaries.
 
     Each phase runs under a [Tir_obs.Span] ([tune.sketch_gen],
     [tune.db_replay], [tune.search]), and a [journal] sink receives the
@@ -126,18 +129,43 @@ module Config = struct
   let with_retry retry t = { t with retry }
 end
 
-(** Tune a workload under [cfg]. When [cfg.database] holds a record for
-    this (target, workload), the stored schedule is replayed instead of
-    searching — the paper's §5.2 "no search is needed for an operator
-    already tuned"; fresh results are committed back. Results are
-    bit-identical at any job count for a fixed seed.
+(* --- steppable driver -------------------------------------------------- *)
 
-    [checkpoint]/[resume] wire the search's write-ahead hooks (see
-    [Evolutionary]); [Session] owns the on-disk log built on them. A
-    resumed call skips the database-replay short-circuit — it is
-    mid-search by definition. *)
-let run ?checkpoint ?resume (cfg : Config.t) (w : W.t)
-    (target : Tir_sim.Target.t) : result =
+type state =
+  | D_engine of Engine.t  (** search in flight *)
+  | D_finished of result  (** db commit + journal close already done *)
+
+type driver = {
+  d_cfg : Config.t;
+  d_w : W.t;
+  d_target : Tir_sim.Target.t;
+  d_t0 : float;
+  d_span0 : int;
+  mutable d_pool : Tir_parallel.Pool.t option;
+      (** private pool owned by this driver; [None] once released or when
+          the pool is shared/external *)
+  mutable d_state : state;
+}
+
+type progress =
+  | Stepped of { gen : int; trials_done : int; best_us : float }
+  | Finished of result
+
+let release d =
+  match d.d_pool with
+  | None -> ()
+  | Some p ->
+      d.d_pool <- None;
+      Tir_parallel.Pool.shutdown p
+
+(** Set up a tuning run without driving it: journal [Run_start], sketch
+    generation, the database-replay short-circuit, and — when the search
+    is actually needed — an [Engine.t]. [pool] overrides [cfg.jobs] with
+    an externally owned pool (the scheduler passes its shared pool and
+    keeps ownership); without it, [cfg.jobs = Some j] creates a private
+    pool that {!release} (or the last {!step}) joins. *)
+let prepare ?checkpoint ?resume ?pool (cfg : Config.t) (w : W.t)
+    (target : Tir_sim.Target.t) : driver =
   let { Config.seed; trials; use_cost_model; evolve; retry; _ } = cfg in
   let t0 = Clock.now_us () in
   let span0 = Span.count () in
@@ -145,9 +173,12 @@ let run ?checkpoint ?resume (cfg : Config.t) (w : W.t)
   | None -> ()
   | Some sink ->
       let jobs =
-        match cfg.Config.jobs with
-        | Some j -> j
-        | None -> Tir_parallel.Pool.jobs (Tir_parallel.Pool.global ())
+        match pool with
+        | Some p -> Tir_parallel.Pool.jobs p
+        | None -> (
+            match cfg.Config.jobs with
+            | Some j -> j
+            | None -> Tir_parallel.Pool.jobs (Tir_parallel.Pool.global ()))
       in
       Journal.emit sink
         (Journal.Run_start
@@ -188,52 +219,106 @@ let run ?checkpoint ?resume (cfg : Config.t) (w : W.t)
           journal_finish sink ~span0 ~t0 ~stats
             ~best_us:best.Evolutionary.latency_us)
         cfg.Config.journal;
-      { workload = w; target; best = Some best; stats }
+      {
+        d_cfg = cfg;
+        d_w = w;
+        d_target = target;
+        d_t0 = t0;
+        d_span0 = span0;
+        d_pool = None;
+        d_state = D_finished { workload = w; target; best = Some best; stats };
+      }
   | None ->
-      let pool =
-        Option.map (fun j -> Tir_parallel.Pool.create ~jobs:j ()) cfg.Config.jobs
+      let private_pool =
+        match pool with
+        | Some _ -> None
+        | None ->
+            Option.map
+              (fun j -> Tir_parallel.Pool.create ~jobs:j ())
+              cfg.Config.jobs
       in
-      let { Evolutionary.best; stats } =
-        (* Join the private pool's domains even when the search raises,
-           or the process hangs on exit waiting for them. *)
-        Fun.protect
-          ~finally:(fun () -> Option.iter Tir_parallel.Pool.shutdown pool)
-          (fun () ->
-            Span.with_span "tune.search" (fun () ->
-                Evolutionary.search ~use_cost_model ~evolve ?pool
-                  ?journal:cfg.Config.journal ~retry ?checkpoint ?resume ~seed
-                  ~target ~trials sketches))
+      let engine_pool =
+        match pool with Some p -> Some p | None -> private_pool
       in
-      (match (cfg.Config.database, best) with
-      | Some db, Some b -> Database.commit db target w b
-      | _ -> ());
-      Option.iter
-        (fun sink ->
-          journal_finish sink ~span0 ~t0 ~stats
-            ~best_us:
-              (match best with
-              | Some b -> b.Evolutionary.latency_us
-              | None -> Float.nan))
-        cfg.Config.journal;
-      { workload = w; target; best; stats }
+      let engine =
+        Engine.create ~use_cost_model ~evolve ?pool:engine_pool
+          ?journal:cfg.Config.journal ~retry ?checkpoint ?resume ~seed ~target
+          ~trials sketches
+      in
+      {
+        d_cfg = cfg;
+        d_w = w;
+        d_target = target;
+        d_t0 = t0;
+        d_span0 = span0;
+        d_pool = private_pool;
+        d_state = D_engine engine;
+      }
 
-(** Deprecated optional-argument shim over {!run}. *)
-let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches ?database
-    ?jobs ?journal (target : Tir_sim.Target.t) (w : W.t) : result =
-  let cfg =
-    {
-      Config.default with
-      Config.seed;
-      trials;
-      use_cost_model = Option.value use_cost_model ~default:true;
-      evolve = Option.value evolve ~default:true;
-      sketches;
-      database;
-      jobs;
-      journal;
-    }
-  in
-  run cfg w target
+(* Close out a run whose engine finished: commit the best schedule to the
+   database, finish the journal, join any private pool. Runs exactly once
+   per driver. *)
+let finalize d (e : Engine.t) : result =
+  let { Evolutionary.best; stats } = Engine.result e in
+  (match (d.d_cfg.Config.database, best) with
+  | Some db, Some b -> Database.commit db d.d_target d.d_w b
+  | _ -> ());
+  Option.iter
+    (fun sink ->
+      journal_finish sink ~span0:d.d_span0 ~t0:d.d_t0 ~stats
+        ~best_us:
+          (match best with
+          | Some b -> b.Evolutionary.latency_us
+          | None -> Float.nan))
+    d.d_cfg.Config.journal;
+  release d;
+  let r = { workload = d.d_w; target = d.d_target; best; stats } in
+  d.d_state <- D_finished r;
+  r
+
+(** Advance the run by one search generation. Returns [Finished] when the
+    run is over (replayed from the database, trial budget reached, or
+    space exhausted) — the first [Finished] transition commits the best
+    schedule to [cfg.database], closes the journal, and joins the
+    driver's private pool; later calls return the same result. *)
+let step d : progress =
+  match d.d_state with
+  | D_finished r -> Finished r
+  | D_engine e -> (
+      match Engine.step e with
+      | _, Engine.Stepped { gen; trials_done; best_us } ->
+          Stepped { gen; trials_done; best_us }
+      | _, (Engine.Exhausted _ | Engine.Done) -> Finished (finalize d e))
+
+(** Tune a workload under [cfg]. When [cfg.database] holds a record for
+    this (target, workload), the stored schedule is replayed instead of
+    searching — the paper's §5.2 "no search is needed for an operator
+    already tuned"; fresh results are committed back. Results are
+    bit-identical at any job count for a fixed seed.
+
+    [checkpoint]/[resume] wire the search's write-ahead hooks (see
+    [Evolutionary]); [Session] owns the on-disk log built on them. A
+    resumed call skips the database-replay short-circuit — it is
+    mid-search by definition. *)
+let run ?checkpoint ?resume (cfg : Config.t) (w : W.t)
+    (target : Tir_sim.Target.t) : result =
+  let d = prepare ?checkpoint ?resume cfg w target in
+  match d.d_state with
+  | D_finished r -> r
+  | D_engine e ->
+      (* Join the private pool's domains even when the search raises, or
+         the process hangs on exit waiting for them. *)
+      Fun.protect
+        ~finally:(fun () -> release d)
+        (fun () ->
+          Span.with_span "tune.search" (fun () ->
+              let rec drive () =
+                match Engine.step e with
+                | _, Engine.Stepped _ -> drive ()
+                | _, (Engine.Exhausted _ | Engine.Done) -> ()
+              in
+              drive ());
+          finalize d e)
 
 (** Simulated end-to-end tuning time in minutes: profiling cost plus a
     fixed per-proposal search overhead (candidate generation, cost-model

@@ -63,6 +63,43 @@ module Config : sig
   val with_retry : Tir_parallel.Retry.policy -> t -> t
 end
 
+(** A tuning run as an explicit state machine over {!Engine}: {!prepare}
+    sets it up (journal [Run_start], sketch generation, database-replay
+    short-circuit), each {!step} runs one search generation, and the
+    first [Finished] transition commits the best schedule to the
+    database, closes the journal, and joins the driver's private pool.
+    {!run} drives one to completion; [Tir_service.Scheduler] interleaves
+    many on one shared pool. *)
+type driver
+
+type progress =
+  | Stepped of { gen : int; trials_done : int; best_us : float }
+      (** one more generation committed; [best_us] is NaN until something
+          measured *)
+  | Finished of result
+
+(** [pool] overrides [Config.jobs] with an externally owned pool (the
+    caller keeps ownership and must shut it down); without it,
+    [Config.jobs = Some j] creates a private pool owned by the driver.
+    [checkpoint]/[resume] as in {!run}. *)
+val prepare :
+  ?checkpoint:Evolutionary.checkpoint ->
+  ?resume:Evolutionary.resume ->
+  ?pool:Tir_parallel.Pool.t ->
+  Config.t ->
+  W.t ->
+  Tir_sim.Target.t ->
+  driver
+
+(** Advance by one generation. Idempotent once [Finished]: later calls
+    return the same result without doing work. *)
+val step : driver -> progress
+
+(** Join the driver's private pool, if it still owns one. Called
+    automatically by the [Finished] transition; exception paths that
+    abandon a driver mid-run must call it explicitly. Idempotent. *)
+val release : driver -> unit
+
 (** Tune a workload under a {!Config.t}. Results are bit-identical at any
     job count for a fixed seed.
 
@@ -84,21 +121,6 @@ val run :
   W.t ->
   Tir_sim.Target.t ->
   result
-
-(** Optional-argument shim over {!run}, kept for existing call sites. *)
-val tune :
-  ?seed:int ->
-  ?trials:int ->
-  ?use_cost_model:bool ->
-  ?evolve:bool ->
-  ?sketches:Sketch.t list ->
-  ?database:Database.t ->
-  ?jobs:int ->
-  ?journal:Tir_obs.Journal.sink ->
-  Tir_sim.Target.t ->
-  W.t ->
-  result
-[@@deprecated "use Tune.run with a Tune.Config.t"]
 
 (** Simulated end-to-end tuning time in minutes (profiling plus search
     overhead) — the Table 1 quantity. *)

@@ -65,12 +65,15 @@ module Evolutionary = Tir_autosched.Evolutionary
 module Cost_model = Tir_autosched.Cost_model
 module Gbdt = Tir_autosched.Gbdt
 module Features = Tir_autosched.Features
+module Engine = Tir_autosched.Engine
 module Tune = Tir_autosched.Tune
 module Database = Tir_autosched.Database
 
-(* Sessions: crash-safe resumable tuning *)
+(* Service: crash-safe sessions, multi-tenant scheduling, job queues *)
 module Session = Tir_service.Session
 module Wal = Tir_service.Wal
+module Scheduler = Tir_service.Scheduler
+module Jobqueue = Tir_service.Jobqueue
 
 (* Evaluation substrates *)
 module Workloads = Tir_workloads.Workloads

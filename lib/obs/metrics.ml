@@ -186,3 +186,54 @@ let reset () =
       | M_histogram h ->
           Array.iter (fun shard -> Array.iter (fun cell -> Atomic.set cell 0) shard) h.buckets)
     metrics
+
+(* --- scrape-able JSON rendering --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+
+(** Render a snapshot as one JSON object (counters/gauges/histograms maps,
+    sorted by name; non-finite gauge values become [null]) — the payload
+    behind every scrape endpoint ([tensorir serve --metrics-out]). *)
+let snapshot_json (s : snapshot) =
+  let b = Buffer.create 4096 in
+  let map name render items =
+    Buffer.add_string b (Printf.sprintf "\"%s\":{" name);
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%s" (json_escape k) (render v)))
+      items;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_char b '{';
+  map "counters" string_of_int s.counters;
+  Buffer.add_char b ',';
+  map "gauges" json_float s.gauges;
+  Buffer.add_char b ',';
+  map "histograms"
+    (fun (h : hist_snapshot) ->
+      let arr render xs =
+        "[" ^ String.concat "," (List.map render (Array.to_list xs)) ^ "]"
+      in
+      Printf.sprintf "{\"le\":%s,\"counts\":%s,\"total\":%d}"
+        (arr json_float h.le) (arr string_of_int h.counts) h.total)
+    s.histograms;
+  Buffer.add_char b '}';
+  Buffer.contents b

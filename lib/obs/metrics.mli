@@ -55,3 +55,9 @@ val find_gauge : snapshot -> string -> float option
 
 (** Zero every metric; registrations (and held handles) stay valid. *)
 val reset : unit -> unit
+
+(** Render a snapshot as one JSON object:
+    [{"counters":{..},"gauges":{..},"histograms":{..}}], maps sorted by
+    name, non-finite gauges as [null] — the scrape payload behind
+    [tensorir serve --metrics-out]. *)
+val snapshot_json : snapshot -> string

@@ -20,8 +20,20 @@ type region = {
   seq : int;  (** region sequence number (wake-up edge detection) *)
 }
 
+(* One entry per pool ever created: the basis of the wall-clock-weighted
+   [pool.busy_frac] denominator. A pool's capacity accrues from [create]
+   to [shutdown] (or "now" while it lives) — so domains idling between
+   fan-outs are charged as capacity, which is exactly the utilization gap
+   a multi-tenant scheduler exists to close. *)
+type lifetime = {
+  l_jobs : int;
+  l_start : float;
+  mutable l_stop : float option;
+}
+
 type t = {
   jobs : int;
+  lifetime : lifetime;
   submit : Mutex.t;
       (** serializes regions: held by the orchestrating domain for the whole
           region, so concurrent [parallel_iteri] callers (e.g. two searches
@@ -89,11 +101,21 @@ let worker t =
   in
   loop ()
 
+let lifetimes : lifetime list ref = ref []
+let lifetimes_mu = Mutex.create ()
+
 let create ?jobs () =
   let jobs = match jobs with Some n -> clamp_jobs n | None -> default_jobs () in
+  let lifetime =
+    { l_jobs = jobs; l_start = Tir_obs.Clock.now_us (); l_stop = None }
+  in
+  Mutex.lock lifetimes_mu;
+  lifetimes := lifetime :: !lifetimes;
+  Mutex.unlock lifetimes_mu;
   let t =
     {
       jobs;
+      lifetime;
       submit = Mutex.create ();
       mutex = Mutex.create ();
       wake = Condition.create ();
@@ -111,6 +133,12 @@ let create ?jobs () =
   t
 
 let shutdown t =
+  (* Freeze this pool's capacity contribution (idempotent), even for
+     jobs=1 pools that never spawned a domain. *)
+  Mutex.lock lifetimes_mu;
+  if t.lifetime.l_stop = None then
+    t.lifetime.l_stop <- Some (Tir_obs.Clock.now_us ());
+  Mutex.unlock lifetimes_mu;
   if t.domains <> [] then begin
     Mutex.lock t.mutex;
     t.shutdown <- true;
@@ -156,31 +184,47 @@ let m_regions = Tir_obs.Metrics.counter "pool.regions"
 let m_tasks = Tir_obs.Metrics.counter "pool.tasks"
 let m_region_size = Tir_obs.Metrics.histogram "pool.region_size"
 let m_busy_frac = Tir_obs.Metrics.gauge "pool.busy_frac"
+let m_queue_depth = Tir_obs.Metrics.gauge "pool.queue_depth"
 let m_deadline = Tir_obs.Metrics.counter "pool.deadline_expired"
 
-(* Cumulative utilization sampling behind [pool.busy_frac]. Each task's
+(* Wall-clock-weighted utilization behind [pool.busy_frac]. Each task's
    execution time is sampled inside the claim loop and accumulates into
-   [busy_us_total]; each region — on every code path, the jobs=1 / nested
-   sequential fallback included — adds its worker-capacity (wall time ×
-   participating domains) to [cap_us_total]. The gauge is the lifetime
-   ratio, so it reflects all regions so far instead of whichever parallel
-   region happened to run last (and is no longer stuck at 0.0 for
-   sequential runs, which never took the parallel path). *)
+   [busy_us_total]; the denominator is the domain-seconds every pool has
+   existed for (Σ jobs × lifetime from the registry above), NOT the sum
+   of region wall times — so time the domains sit idle *between* regions
+   counts as unused capacity. A single offline tune therefore reads low
+   (one fan-out, long gaps), and a saturated multi-tenant scheduler reads
+   close to 1.0; the old region-only denominator could not tell those
+   apart. *)
 let busy_us_total = Atomic.make 0
-let cap_us_total = Atomic.make 0
 
-let busy_frac_sample ~busy_us ~cap_us =
-  let b = Atomic.fetch_and_add busy_us_total busy_us + busy_us in
-  let c = Atomic.fetch_and_add cap_us_total cap_us + cap_us in
-  if c > 0 then
-    Tir_obs.Metrics.set m_busy_frac (float_of_int b /. float_of_int c)
+let capacity_us () =
+  let now = Tir_obs.Clock.now_us () in
+  Mutex.lock lifetimes_mu;
+  let c =
+    List.fold_left
+      (fun acc l ->
+        let stop = match l.l_stop with Some s -> s | None -> now in
+        acc +. (float_of_int l.l_jobs *. Float.max 0.0 (stop -. l.l_start)))
+      0.0 !lifetimes
+  in
+  Mutex.unlock lifetimes_mu;
+  c
 
-(** Lifetime task-busy fraction across every region so far (0 before the
-    first region). *)
+(** Busy domain-seconds over total domain-seconds, across every pool ever
+    created (0 before the first pool). *)
 let busy_frac () =
-  let c = Atomic.get cap_us_total in
-  if c = 0 then 0.0
-  else float_of_int (Atomic.get busy_us_total) /. float_of_int c
+  let c = capacity_us () in
+  if c <= 0.0 then 0.0 else float_of_int (Atomic.get busy_us_total) /. c
+
+let busy_frac_sample ~busy_us =
+  ignore (Atomic.fetch_and_add busy_us_total busy_us);
+  Tir_obs.Metrics.set m_busy_frac (busy_frac ())
+
+(* Callers blocked on (or holding) the submit mutex: the scheduler's
+   backlog signal. Sampled into [pool.queue_depth] on every transition. *)
+let queue_waiters = Atomic.make 0
+let queue_depth () = Atomic.get queue_waiters
 
 (** [parallel_iteri t ?chunk ?deadline_us n f] runs [f i] for [0 <= i < n]
     across the pool. Any exception from [f] is re-raised in the caller;
@@ -247,13 +291,7 @@ let parallel_iteri t ?chunk ?deadline_us n (f : int -> unit) =
   if t.jobs = 1 || n = 1 || Domain.DLS.get in_region then begin
     let i = ref 0 in
     Fun.protect
-      ~finally:(fun () ->
-        (* One participating domain: capacity = region wall time. *)
-        let wall_us =
-          Float.max 1.0 (Tir_obs.Clock.now_us () -. region_start)
-        in
-        busy_frac_sample ~busy_us:(Atomic.get region_busy)
-          ~cap_us:(int_of_float wall_us))
+      ~finally:(fun () -> busy_frac_sample ~busy_us:(Atomic.get region_busy))
       (fun () ->
         while !i < n && not (check_expired ()) do
           timed !i;
@@ -296,7 +334,11 @@ let parallel_iteri t ?chunk ?deadline_us n (f : int -> unit) =
       claim ();
       Domain.DLS.set in_region false
     in
-    (* One region at a time: hold [submit] from publish to drain. *)
+    (* One region at a time: hold [submit] from publish to drain. The
+       waiter count (callers queued on or holding [submit]) is the
+       scheduler's backlog signal. *)
+    Tir_obs.Metrics.set m_queue_depth
+      (float_of_int (Atomic.fetch_and_add queue_waiters 1 + 1));
     Mutex.lock t.submit;
     (* Publish the region, wake the workers, participate, then wait. *)
     Mutex.lock t.mutex;
@@ -314,9 +356,9 @@ let parallel_iteri t ?chunk ?deadline_us n (f : int -> unit) =
     t.region <- None;
     Mutex.unlock t.mutex;
     Mutex.unlock t.submit;
-    let wall_us = Float.max 1.0 (Tir_obs.Clock.now_us () -. region_start) in
-    busy_frac_sample ~busy_us:(Atomic.get region_busy)
-      ~cap_us:(int_of_float (wall_us *. float_of_int t.jobs));
+    Tir_obs.Metrics.set m_queue_depth
+      (float_of_int (Atomic.fetch_and_add queue_waiters (-1) - 1));
+    busy_frac_sample ~busy_us:(Atomic.get region_busy);
     (match Atomic.get failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> if Atomic.get expired then raise_expired (Atomic.get completed))

@@ -10,9 +10,8 @@
     Every [parallel_iteri] — on any code path, including the jobs=1 and
     nested sequential fallbacks — bumps the [pool.regions]/[pool.tasks]
     counters and the [pool.region_size] histogram, so those metrics are
-    job-count independent; the [pool.busy_frac] gauge (cumulative task-busy
-    fraction of the worker capacity over every region so far, sequential
-    regions included) is time-derived and is not. *)
+    job-count independent; the [pool.busy_frac] and [pool.queue_depth]
+    gauges are time-derived and are not. *)
 
 type t
 
@@ -29,12 +28,19 @@ val jobs : t -> int
 (** Resolved default job count ([TIR_JOBS] or the hardware's). *)
 val default_jobs : unit -> int
 
-(** Process-lifetime busy fraction: task execution time sampled inside the
-    claim loops, over the worker capacity (region wall time × participating
-    domains) of every region so far — all pools, sequential fallbacks
-    included. [0.0] before the first region. Mirrors the [pool.busy_frac]
-    gauge. *)
+(** Wall-clock-weighted busy fraction: busy domain-seconds (task execution
+    time sampled inside the claim loops, sequential fallbacks included)
+    over total domain-seconds (Σ jobs × elapsed lifetime of every pool
+    ever created, [create] to [shutdown] or now). Domains idling between
+    fan-outs count as unused capacity, so one offline tune reads low and a
+    saturated multi-tenant scheduler reads near 1.0. [0.0] before the
+    first pool. Mirrors the [pool.busy_frac] gauge (refreshed as each
+    region drains). *)
 val busy_frac : unit -> float
+
+(** Callers currently queued on (or holding) a pool's region lock — the
+    scheduler's backlog signal. Mirrors the [pool.queue_depth] gauge. *)
+val queue_depth : unit -> int
 
 (** The process-wide shared pool, created on first use and sized by
     [TIR_JOBS]. *)

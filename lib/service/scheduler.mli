@@ -1,0 +1,79 @@
+(** Multi-tenant fair-share scheduler over steppable sessions.
+
+    Interleaves many tuning sessions on one shared domain pool, one
+    generation ({!Session.step}) at a time, with deficit round-robin
+    weighted by priority: each round every live tenant's deficit grows
+    by its priority and it takes one step per whole unit, so a
+    priority-2 tenant gets ~2× the generations of a priority-1 tenant
+    while both make progress. The loop is cooperative — exactly one
+    tenant steps at a time, parallelism lives inside the step's pool
+    fan-outs — so the interleaving is deterministic, preemption lands
+    only at generation boundaries (WAL already committed), and each
+    tenant's result is bit-identical to running its session standalone
+    at any [TIR_JOBS], including after killing and resuming the whole
+    server from the tenants' WALs.
+
+    Tenants share the process-wide measurement memo, the apply cache,
+    and (when sessions are resumed/created with one) a trace database —
+    all keyed by target/program/workload fingerprints, never by tenant,
+    so sharing accelerates without perturbing. A tenant submitting an
+    already-solved workload replays the stored trace ([db.replayed])
+    instead of searching.
+
+    Metrics: [scheduler.tenants_submitted]/[tenants_completed]/
+    [tenants_failed]/[steps] counters, [scheduler.active_tenants] gauge,
+    and per-tenant [tenant.<name>.steps]/[.generations] counters plus a
+    [tenant.<name>.best_us] gauge. *)
+
+module Tune = Tir_autosched.Tune
+
+type t
+
+type outcome =
+  | Completed of Tune.result
+  | Failed of Tir_core.Error.t
+      (** the tenant's step raised a classified error; its WAL stays
+          committed through the last generation marker *)
+
+type event =
+  | Step of { tenant : string; gen : int }  (** one generation committed *)
+  | Complete of { tenant : string; result : Tune.result }
+  | Fail of { tenant : string; error : Tir_core.Error.t }
+
+type stop =
+  | Idle  (** every tenant reached an outcome *)
+  | Budget  (** [max_steps] spent; call {!run} again to continue *)
+
+(** [pool] is the shared domain pool every tenant's fan-outs run on
+    (default: the process-wide [TIR_JOBS]-sized pool). *)
+val create : ?pool:Tir_parallel.Pool.t -> unit -> t
+
+val pool : t -> Tir_parallel.Pool.t
+
+(** Add a tenant (FIFO position = submission order; names must be
+    unique — [Invalid_argument] otherwise). [priority] is clamped to
+    [>= 1]. The session may be fresh ([Session.create]) or reopened
+    ([Session.resume]); stepping starts lazily at the tenant's first
+    scheduled step. *)
+val submit : ?priority:int -> t -> name:string -> Session.t -> unit
+
+(** Drive the round-robin until every tenant completes or fails
+    ([Idle]) or [max_steps] session-steps were taken this call
+    ([Budget] — the kill point: every WAL is committed, so the process
+    can exit and a fresh scheduler can resume each tenant). [on_event]
+    observes every transition synchronously from the scheduling loop. *)
+val run : ?max_steps:int -> ?on_event:(event -> unit) -> t -> stop
+
+(** Tenants not yet completed or failed. *)
+val active : t -> int
+
+(** Outcomes so far, in submission order (tenants still running are
+    absent). *)
+val outcomes : t -> (string * outcome) list
+
+(** Generations each tenant has committed under this scheduler, in
+    submission order. *)
+val generations : t -> (string * int) list
+
+(** [Session.step] calls made over this scheduler's lifetime. *)
+val steps_taken : t -> int

@@ -473,14 +473,27 @@ let reconstruct_result t (stats, _best_us, best_raw) : Tune.result =
 let env_halt_after () =
   Option.bind (Sys.getenv_opt "TIR_HALT_AFTER_GEN") int_of_string_opt
 
-let run ?halt_after t : Tune.result =
+(* --- stepping ----------------------------------------------------------- *)
+
+type stepper = {
+  st_t : t;
+  st_driver : Tune.driver option;  (** [None]: the log was already done *)
+  mutable st_result : Tune.result option;  (** set at the [`Done] transition *)
+}
+
+type step_result = [ `Stepped of int | `Done of Tune.result ]
+
+let start ?pool t =
   match t.s_done with
-  | Some d -> reconstruct_result t d
+  | Some d ->
+      { st_t = t; st_driver = None; st_result = Some (reconstruct_result t d) }
   | None ->
-      let halt_after =
-        match halt_after with Some h -> Some h | None -> env_halt_after ()
-      in
       let wr = writer t in
+      (* The WAL hooks; one generation's records become durable at the
+         [gen] commit marker appended by [on_generation]. Halting policy
+         lives in the drivers ([run]'s halt_after check, the scheduler's
+         step budget) — the hook itself never raises, so a stepper can be
+         preempted and re-stepped at any generation boundary. *)
       let checkpoint =
         {
           Evo.on_seen = (fun ~gen keys -> Wal.append wr (seen_line ~gen keys));
@@ -489,29 +502,66 @@ let run ?halt_after t : Tune.result =
             (fun ~gen stats ~best_us ->
               Wal.append wr (gen_line ~gen stats ~best_us);
               Metrics.incr m_generations;
-              t.s_gens_this_run <- t.s_gens_this_run + 1;
-              match halt_after with
-              | Some h when t.s_gens_this_run >= h ->
-                  raise (Halted { path = t.s_path; gen })
-              | _ -> ());
+              t.s_gens_this_run <- t.s_gens_this_run + 1);
         }
       in
-      Span.with_span "session.run" (fun () ->
-          match Tune.run ~checkpoint ?resume:t.s_resume t.s_cfg t.s_w t.s_target with
-          | result ->
+      let d =
+        Tune.prepare ~checkpoint ?resume:t.s_resume ?pool t.s_cfg t.s_w
+          t.s_target
+      in
+      { st_t = t; st_driver = Some d; st_result = None }
+
+let step st : step_result =
+  match st.st_result with
+  | Some r -> `Done r
+  | None -> (
+      let t = st.st_t in
+      match st.st_driver with
+      | None -> assert false (* st_result is always set when driver is absent *)
+      | Some d -> (
+          match Tune.step d with
+          | Tune.Stepped { gen; _ } -> `Stepped gen
+          | Tune.Finished result ->
               let best_us =
                 match result.Tune.best with
                 | Some b -> b.Evo.latency_us
                 | None -> Float.nan
               in
-              Wal.append wr (done_line result.Tune.stats ~best_us result.Tune.best);
+              Wal.append (writer t)
+                (done_line result.Tune.stats ~best_us result.Tune.best);
               close t;
-              result
+              st.st_result <- Some result;
+              `Done result))
+
+let abort st =
+  (* The WAL is already consistent (every append was flushed); just stop
+     writing and join any driver-owned pool. [Halted] and injected faults
+     reach the caller with the log committed through the last marker. *)
+  Option.iter Tune.release st.st_driver;
+  close st.st_t
+
+let run ?halt_after t : Tune.result =
+  match t.s_done with
+  | Some d -> reconstruct_result t d
+  | None ->
+      let halt_after =
+        match halt_after with Some h -> Some h | None -> env_halt_after ()
+      in
+      Span.with_span "session.run" (fun () ->
+          let st = start t in
+          let rec drive () =
+            match step st with
+            | `Done r -> r
+            | `Stepped gen -> (
+                match halt_after with
+                | Some h when t.s_gens_this_run >= h ->
+                    raise (Halted { path = t.s_path; gen })
+                | _ -> drive ())
+          in
+          match drive () with
+          | r -> r
           | exception e ->
-              (* The WAL is already consistent (every append was flushed);
-                 just stop writing. [Halted] and injected faults reach the
-                 caller with the log committed through the last marker. *)
-              close t;
+              abort st;
               raise e)
 
 type status = {

@@ -78,6 +78,31 @@ val resume :
     run} by raising {!Halted}. *)
 val run : ?halt_after:int -> t -> Tune.result
 
+(** A session being driven one generation at a time — the scheduler's
+    unit of preemption. *)
+type stepper
+
+type step_result = [ `Stepped of int | `Done of Tune.result ]
+
+(** Attach a stepper to the session: builds the WAL checkpoint hooks and
+    the underlying [Tune.driver]. [pool] runs the search's fan-outs on an
+    externally owned (typically shared) pool; without it, [Config.jobs]
+    applies as in [Tune.run]. On an already-completed session every
+    {!step} returns the reconstructed stored result. *)
+val start : ?pool:Tir_parallel.Pool.t -> t -> stepper
+
+(** Advance one generation. [`Stepped gen]: generation [gen] is committed
+    to the WAL (durable — the process can be killed and {!resume}d from
+    here). [`Done r]: the search finished; the [done] record is appended
+    and the writer closed. Idempotent past [`Done]. *)
+val step : stepper -> step_result
+
+(** Stop driving a stepper without completing it: closes the WAL writer
+    (the log stays committed through the last [gen] marker) and joins any
+    driver-owned private pool. Used on exception paths; {!resume} picks
+    the session back up. *)
+val abort : stepper -> unit
+
 (** Session inspection without running anything. *)
 type status = {
   workload : string;

@@ -28,4 +28,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
       ("session", Test_session.suite);
+      ("scheduler", Test_scheduler.suite);
     ]

@@ -55,24 +55,37 @@ let test_config_default_and_setters () =
   Alcotest.(check bool) "evolution off" false cfg.evolve;
   Alcotest.(check bool) "jobs set" true (cfg.jobs = Some 2)
 
-(* The deprecated optional-argument wrapper must agree with [run]. *)
-module Shim = struct
-  [@@@alert "-deprecated"]
-
-  let tune_via_wrapper w = Tune.tune ~seed:5 ~trials:12 gpu w
-end
-
-let test_deprecated_wrapper_matches_run () =
+(* Driving the steppable engine by hand must agree with [run]: one
+   [Tune.step] per generation, [Finished] carrying the same result. *)
+let test_stepper_matches_run () =
   let w = small_gmm () in
+  let cfg = Tune.Config.(default |> with_seed 5 |> with_trials 12) in
   fresh ();
-  let a = Shim.tune_via_wrapper w in
+  let a = Tune.run cfg w gpu in
   fresh ();
-  let b =
-    Tune.run Tune.Config.(default |> with_seed 5 |> with_trials 12) w gpu
+  let d = Tune.prepare cfg w gpu in
+  let steps = ref 0 in
+  let rec drive () =
+    match Tune.step d with
+    | Tune.Stepped { gen; _ } ->
+        Alcotest.(check int) "generations arrive in order" !steps gen;
+        incr steps;
+        drive ()
+    | Tune.Finished r -> r
   in
+  let b = drive () in
+  Alcotest.(check bool) "took at least one step" true (!steps > 0);
   Alcotest.(check string) "same best trace" (best_key a) (best_key b);
   Alcotest.(check (float 0.0)) "same latency" (Tune.latency_us a)
-    (Tune.latency_us b)
+    (Tune.latency_us b);
+  Alcotest.(check int) "same trials" a.Tune.stats.Evo.trials
+    b.Tune.stats.Evo.trials;
+  (* Idempotent past the end. *)
+  match Tune.step d with
+  | Tune.Finished r ->
+      Alcotest.(check string) "step past Finished rereads result" (best_key b)
+        (best_key r)
+  | Tune.Stepped _ -> Alcotest.fail "stepped past Finished"
 
 (* --- error surface -------------------------------------------------- *)
 
@@ -354,7 +367,7 @@ let test_backoff_deterministic () =
 let suite =
   [
     ("config default and setters", `Quick, test_config_default_and_setters);
-    ("deprecated wrapper matches run", `Quick, test_deprecated_wrapper_matches_run);
+    ("stepped driver matches run", `Quick, test_stepper_matches_run);
     ("error kinds map to exit codes", `Quick, test_error_kinds_and_exit_codes);
     ("result-returning parsers", `Quick, test_result_constructors);
     ("wal roundtrip and torn tail", `Quick, test_wal_roundtrip_and_torn_tail);

@@ -70,8 +70,7 @@ let check_valid msg (f : Primfunc.t) =
         issues
 
 (* Optional-argument wrapper over the Config-based tuning API, so tests
-   read like their call sites did before the redesign (the deprecated
-   [Tune.tune] shim itself is covered once, in test_session). *)
+   read like their call sites did before the redesign. *)
 let tune ?(seed = 42) ?(trials = 64) ?use_cost_model ?evolve ?sketches
     ?database ?jobs ?journal target w =
   let open Tir_autosched.Tune.Config in

@@ -1,13 +1,16 @@
-(* Validate BENCH_results.json against schema 5.
+(* Validate BENCH_results.json against schema 6.
 
      dune exec tools/validate_bench.exe [FILE] [BASELINE]
 
    Run by `make bench-smoke` and `make perf-smoke` after the benchmark.
-   Checks that the file is well-formed JSON, carries the schema-5 layout
-   (hotpath / memo / db_replay / faults / session / data_movement_bytes
-   headline blocks plus the full metrics-registry dump), that the
-   [session] section's kill+resume run converged to the uninterrupted
-   result (when that section ran), that the [hotpath] section's optimized
+   Checks that the file is well-formed JSON, carries the schema-6 layout
+   (hotpath / memo / db_replay / faults / session / service /
+   data_movement_bytes headline blocks plus the full metrics-registry
+   dump), that the [session] and [service] kill+resume runs converged to
+   the uninterrupted results (when those sections ran), that the
+   [service] section completed its tenants with a positive
+   wall-clock-weighted pool utilization and at least one cross-tenant
+   database replay, that the [hotpath] section's optimized
    pipeline produced bit-identical results to the legacy pipeline, and
    that the file contains no non-finite numbers: the bench writes NaN and
    infinity as `null`, which this validator rejects — a smoke run must
@@ -160,7 +163,7 @@ let parse (s : string) : v =
   if !i <> n then fail "trailing garbage after JSON value (offset %d)" !i;
   v
 
-(* --- schema-5 checks --- *)
+(* --- schema-6 checks --- *)
 
 let obj what = function Obj kvs -> kvs | _ -> fail "%s: expected an object" what
 
@@ -284,8 +287,8 @@ let () =
     let top = obj "top level" (load path) in
     let f = field "top level" top in
     (match int_ "schema" (f "schema") with
-    | 5 -> ()
-    | v -> fail "schema: expected 5, got %d" v);
+    | 6 -> ()
+    | v -> fail "schema: expected 6, got %d" v);
     (match f "fast" with Bool _ -> () | _ -> fail "fast: expected a bool");
     if int_ "jobs" (f "jobs") < 1 then fail "jobs: expected >= 1";
     if num "total_wall_s" (f "total_wall_s") < 0.0 then
@@ -321,6 +324,15 @@ let () =
       [ "generations"; "resumes"; "discarded"; "compactions"; "wal_appends";
         "wal_torn" ];
     ignore session;
+    let service = obj "service" (f "service") in
+    let service_int k = nonneg_int ("service." ^ k) (field "service" service k) in
+    List.iter
+      (fun k -> ignore (service_int k))
+      [ "tenants_submitted"; "tenants_completed"; "tenants_failed";
+        "scheduler_steps"; "jobs_done"; "jobs_failed" ];
+    if service_int "tenants_completed" + service_int "tenants_failed"
+       > service_int "tenants_submitted"
+    then fail "service: more tenant outcomes than submissions";
     let dm = obj "data_movement_bytes" (f "data_movement_bytes") in
     List.iter
       (fun scope ->
@@ -362,6 +374,17 @@ let () =
     if List.mem "session" section_names
        && nonneg_int "session.resumes" (field "session" session "resumes") < 1
     then fail "session: the bench must exercise at least one resume";
+    if List.mem "service" section_names then begin
+      if service_int "tenants_completed" < 1 then
+        fail "service: the bench must complete at least one tenant";
+      match List.assoc_opt "pool.busy_frac" gauges with
+      | None -> fail "service: pool.busy_frac gauge missing from the dump"
+      | Some v ->
+          if num "gauge pool.busy_frac" v <= 0.0 then
+            fail
+              "service: pool.busy_frac is not positive — wall-clock \
+               utilization accounting is broken"
+    end;
     if List.mem "hotpath" section_names || baseline_path <> None then
       check_hotpath
         ?baseline:(Option.map load baseline_path)
@@ -369,21 +392,33 @@ let () =
         | Some hp -> hp
         | None -> fail "hotpath: headline block missing");
     let results = arr "results" (f "results") in
+    let service_replays = ref None in
     List.iter
       (fun r ->
         let r = obj "results[]" r in
         let name = str "results[].name" (field "results[]" r "name") in
-        ignore (str "results[].section" (field "results[]" r "section"));
+        let sec = str "results[].section" (field "results[]" r "section") in
         let unit_ = str "results[].unit" (field "results[]" r "unit") in
         let v = num ("result " ^ name) (field "results[]" r "value") in
         if String.equal unit_ "us" && v <= 0.0 then
           fail "result %s: non-positive latency %g us" name v;
-        (* The session section's headline invariant: a killed-and-resumed
-           run converges to the uninterrupted result. *)
+        (* The kill+resume headline invariant, for both the single-session
+           and the whole-server runs: a killed-and-resumed search
+           converges to the uninterrupted result. *)
         if String.equal name "resume_identical" && v <> 1.0 then
-          fail "session: kill+resume result diverged from uninterrupted run")
+          fail "%s: kill+resume result diverged from uninterrupted run" sec;
+        if String.equal sec "service" && String.equal name "replay_identical"
+           && v <> 1.0
+        then fail "service: replayed trace diverged from the stored record";
+        if String.equal sec "service" && String.equal name "db_replay" then
+          service_replays := Some v)
       results;
-    Printf.printf "%s: schema 5 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
+    (if List.mem "service" section_names then
+       match !service_replays with
+       | Some v when v >= 1.0 -> ()
+       | Some v -> fail "service: %g cross-tenant database replays, expected >= 1" v
+       | None -> fail "service: db_replay result row missing");
+    Printf.printf "%s: schema 6 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
       path (List.length results) (List.length sections) (List.length counters)
       (List.length gauges) (List.length histograms)
   with
