@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke perf-smoke crash-smoke serve-smoke lint check clean
+.PHONY: all build test bench bench-smoke bench-diff perf-smoke crash-smoke serve-smoke trace-smoke lint check clean
 
 all: build
 
@@ -15,11 +15,21 @@ bench: build
 
 # Fast smoke run: truncated workload set and trial budgets, plus --check,
 # which exits non-zero if any reported latency is non-finite or <= 0; the
-# emitted BENCH_results.json is then validated against schema 6, including
+# emitted BENCH_results.json is then validated against schema 7, including
 # the hot-path perf gate against the committed pre-refactor baseline.
 bench-smoke: build
 	BENCH_FAST=1 dune exec bench/main.exe -- --check
 	dune exec tools/validate_bench.exe BENCH_results.json BENCH_baseline.json
+
+# Regression gate between the freshly-emitted BENCH_results.json (from
+# bench-smoke, which `check` runs first) and the committed smoke-run
+# snapshot: schema-aware per-metric tolerances (throughput floors, hit
+# rates, busy_frac, per-row latencies/GFLOPS). The second leg asserts
+# the gate itself: with an injected regression it must exit non-zero.
+bench-diff: build
+	dune exec tools/bench_diff.exe -- BENCH_results.json BENCH_diff_baseline.json
+	! dune exec tools/bench_diff.exe -- BENCH_results.json \
+	  BENCH_diff_baseline.json --inject-regression 2>/dev/null
 
 # Hot-path perf gate alone: rerun the legacy-vs-optimized pipeline
 # comparison (full proposal stream — BENCH_ONLY skips the figure sweeps,
@@ -82,19 +92,39 @@ serve-smoke: build
 	  | grep -q "gmm-replay.*done"
 	rm -rf /tmp/tir_serve_smoke
 
+# Observability smoke test: a short serve run with tracing and telemetry
+# enabled must produce a validating Chrome trace (well-formed JSON,
+# monotone timestamps, tenant/job context on every event) and a
+# telemetry snapshot that `tensorir top` can render.
+trace-smoke: build
+	rm -rf /tmp/tir_trace_smoke
+	dune exec bin/tensorir_cli.exe -- submit --queue /tmp/tir_trace_smoke \
+	  GMM --trials 16 --seed 11
+	dune exec bin/tensorir_cli.exe -- serve --queue /tmp/tir_trace_smoke \
+	  --drain --trace-out /tmp/tir_trace_smoke/trace.json \
+	  --telemetry-out /tmp/tir_trace_smoke/telemetry.prom
+	dune exec tools/validate_trace.exe /tmp/tir_trace_smoke/trace.json
+	dune exec bin/tensorir_cli.exe -- top /tmp/tir_trace_smoke/telemetry.prom \
+	  | grep -q "queue:"
+	rm -rf /tmp/tir_trace_smoke
+
 # Semantic static analysis (data races, region soundness, bounds) over
 # every seed workload and the example scripts; non-zero exit on findings.
 lint: build
 	dune exec bin/tensorir_cli.exe -- lint --all examples/*.tir
 
 # The full pre-merge gate: build, unit + property tests, lint, bench smoke
-# run, kill-and-resume smoke run, multi-tenant serve smoke run.
+# run (+ the regression diff against the committed snapshot),
+# kill-and-resume smoke run, multi-tenant serve smoke run, and the
+# tracing/telemetry smoke run.
 check: build
 	dune runtest
 	$(MAKE) lint
 	$(MAKE) bench-smoke
+	$(MAKE) bench-diff
 	$(MAKE) crash-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) trace-smoke
 
 clean:
 	dune clean

@@ -8,13 +8,14 @@
      ... -- --check                           exit 1 on non-finite results
 
    Every section also records its numbers into BENCH_results.json
-   (schema 6: per-section latency/GFLOPs rows, per-section wall-clock, a
+   (schema 7: per-section latency/GFLOPs rows, per-section wall-clock, a
    dump of the process-wide metrics registry — memo hit rate, database
    replay rate, simulator data-movement counters — plus fault-injection /
-   retry, session, and multi-tenant service headline counters) so the
-   perf trajectory is machine-trackable across PRs.
+   retry, session, multi-tenant service, and causal-trace [obs] headline
+   counters) so the perf trajectory is machine-trackable across PRs.
    [tools/validate_bench.exe] checks the emitted file against the schema
-   in the bench-smoke gate.
+   in the bench-smoke gate, and [tools/bench_diff.exe] compares two such
+   files for regressions.
 
    Sections:
      [fig8]     auto-tensorization mechanism walk-through
@@ -38,6 +39,7 @@ module M = Tir_graph.Models
 module Target = Tir_sim.Target
 module Clock = Tir_obs.Clock
 module Metrics = Tir_obs.Metrics
+module Trace = Tir_obs.Trace
 
 let () = Tir_intrin.Library.register_all ()
 
@@ -72,7 +74,7 @@ let section_walls : (string * float) list ref = ref []
    proposals/s on the deterministic elite-neighborhood proposal stream,
    with the per-sketch classification tallies that anchor bit-identity
    against BENCH_baseline.json, per-stage micro timings, and the
-   apply-cache / post-memo counters behind the speedup. *)
+   apply-cache counters behind the speedup. *)
 type hotpath_sketch = {
   hs_name : string;
   hs_props : int;  (** proposals in the stream (duplicates included) *)
@@ -91,7 +93,6 @@ type hotpath_headline = {
   hp_sketches : hotpath_sketch list;
   hp_stages_ns : (string * float) list;  (** per-candidate stage cost *)
   hp_apply_cache : int * int;  (** hits, misses *)
-  hp_post_memo : int * int;  (** hits, misses *)
 }
 
 let hotpath_headline : hotpath_headline option ref = ref None
@@ -133,7 +134,7 @@ let emit_json ~total_wall_s path =
   let retry_attempts = over_sites (fun s -> counter ("retry." ^ s ^ ".attempts")) in
   let retry_exhausted = over_sites (fun s -> counter ("retry." ^ s ^ ".exhausted")) in
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": 6,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
+  Printf.fprintf oc "{\n  \"schema\": 7,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
   Printf.fprintf oc "  \"total_wall_s\": %s,\n" (json_float total_wall_s);
   (match !hotpath_headline with
   | None -> ()
@@ -168,11 +169,9 @@ let emit_json ~total_wall_s path =
           Printf.fprintf oc "%s\"%s\": %s" (if i = 0 then "" else ", ")
             (json_escape k) (json_float v))
         hp.hp_stages_ns;
-      let ah, am = hp.hp_apply_cache and ph, pm = hp.hp_post_memo in
+      let ah, am = hp.hp_apply_cache in
       Printf.fprintf oc
-        "},\n    \"apply_cache\": {\"hits\": %d, \"misses\": %d},\n" ah am;
-      Printf.fprintf oc "    \"memo_post\": {\"hits\": %d, \"misses\": %d}\n  },\n"
-        ph pm);
+        "},\n    \"apply_cache\": {\"hits\": %d, \"misses\": %d}\n  },\n" ah am);
   Printf.fprintf oc
     "  \"memo\": {\"hits\": %d, \"misses\": %d, \"pending_waits\": %d, \"hit_rate\": %s},\n"
     memo_hits memo_misses memo_waits
@@ -206,6 +205,68 @@ let emit_json ~total_wall_s path =
     "  \"data_movement_bytes\": {\"global\": %d, \"shared\": %d, \"local\": %d},\n"
     (counter "sim.bytes.global") (counter "sim.bytes.shared")
     (counter "sim.bytes.local");
+  (* Schema 7 [obs] block: the causal-trace self-check. Validity is
+     asserted by the same validators the trace-smoke gate uses, so a run
+     that exports a malformed trace fails validate_bench. *)
+  let tc = Trace.counts () in
+  let chrome_valid, chrome_events =
+    match Trace.validate_chrome (Trace.export_chrome ()) with
+    | Ok n -> (true, n)
+    | Error _ -> (false, 0)
+  in
+  let collapsed = Trace.export_collapsed () in
+  let stacks = Trace.parse_collapsed collapsed in
+  let rerendered =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s %d\n" k v) stacks)
+  in
+  let roundtrip = String.equal collapsed rerendered in
+  (* Cumulative-bucket quantile: the upper bound of the first bucket
+     holding the p-th observation (overflow bucket renders as null). *)
+  let hist_quantile (h : Metrics.hist_snapshot) p =
+    if h.Metrics.total = 0 then Float.nan
+    else begin
+      let want =
+        int_of_float (Float.ceil (p *. float_of_int h.Metrics.total))
+      in
+      let seen = ref 0 and le = ref Float.infinity in
+      Array.iteri
+        (fun i c ->
+          if !seen < want then begin
+            seen := !seen + c;
+            if !seen >= want && i < Array.length h.Metrics.le then
+              le := h.Metrics.le.(i)
+          end)
+        h.Metrics.counts;
+      !le
+    end
+  in
+  let hist name =
+    List.assoc_opt name snap.Metrics.histograms
+  in
+  Printf.fprintf oc
+    "  \"obs\": {\n    \"trace\": {\"spans\": %d, \"instants\": %d, \"counters\": %d, \"dropped\": %d},\n"
+    tc.Trace.spans tc.Trace.instants tc.Trace.counters tc.Trace.dropped;
+  Printf.fprintf oc "    \"chrome\": {\"valid\": %b, \"events\": %d},\n"
+    chrome_valid chrome_events;
+  Printf.fprintf oc
+    "    \"collapsed\": {\"roundtrip\": %b, \"stacks\": %d},\n" roundtrip
+    (List.length stacks);
+  Printf.fprintf oc "    \"stalls\": %d,\n" (counter "search.stalled");
+  Printf.fprintf oc "    \"bytes_per_nest\": {";
+  List.iteri
+    (fun i scope ->
+      let count, p50, p99 =
+        match hist ("sim.bytes_per_nest." ^ scope) with
+        | Some h -> (h.Metrics.total, hist_quantile h 0.5, hist_quantile h 0.99)
+        | None -> (0, Float.nan, Float.nan)
+      in
+      Printf.fprintf oc
+        "%s\"%s\": {\"count\": %d, \"p50_le\": %s, \"p99_le\": %s}"
+        (if i = 0 then "" else ", ")
+        scope count (json_float p50) (json_float p99))
+    [ "global"; "shared"; "local" ];
+  Printf.fprintf oc "}\n  },\n";
   Printf.fprintf oc "  \"metrics\": {\n    \"counters\": {";
   List.iteri
     (fun i (name, v) ->
@@ -759,7 +820,6 @@ let hotpath () =
   (* The caches are cleared before every timed pass, so fold the counters
      up per sketch to report the combined optimized-pass totals. *)
   let ac_hits = ref 0 and ac_misses = ref 0 in
-  let post_hits = ref 0 and post_misses = ref 0 in
   let key_prefix = CM.cache_prefix gpu in
   let per_sketch =
     List.map
@@ -791,11 +851,6 @@ let hotpath () =
         let h, m = AC.stats () in
         ac_hits := !ac_hits + h;
         ac_misses := !ac_misses + m;
-        (match List.assoc_opt "post" (CM.cache_breakdown ()) with
-        | Some s ->
-            post_hits := !post_hits + s.CM.hits;
-            post_misses := !post_misses + s.CM.misses
-        | None -> ());
         let identical = List.for_all2 same_outcome legacy opt in
         let tally =
           let t = Hashtbl.create 8 in
@@ -830,7 +885,6 @@ let hotpath () =
       sketches
   in
   let apply_hits = !ac_hits and apply_misses = !ac_misses in
-  let post_hits = !post_hits and post_misses = !post_misses in
   let totals = List.map snd per_sketch in
   let total_n = List.fold_left (fun a (n, _, _, _, _) -> a + n) 0 totals in
   let legacy_s = List.fold_left (fun a (_, s, _, _, _) -> a +. s) 0.0 totals in
@@ -877,8 +931,8 @@ let hotpath () =
   in
   Machine.set_nest_cache_enabled true;
   Fmt.pr
-    "combined: %d proposals, legacy %.0f/s, optimized %.0f/s — %.1fx; apply-cache %d/%d hit/miss, post-memo %d/%d@."
-    total_n legacy_cps opt_cps speedup apply_hits apply_misses post_hits post_misses;
+    "combined: %d proposals, legacy %.0f/s, optimized %.0f/s — %.1fx; apply-cache %d/%d hit/miss@."
+    total_n legacy_cps opt_cps speedup apply_hits apply_misses;
   record "hotpath" "combined:legacy_cands_per_s" legacy_cps "cps";
   record "hotpath" "combined:candidates_per_s" opt_cps "cps";
   record "hotpath" "combined:speedup" speedup "x";
@@ -894,7 +948,6 @@ let hotpath () =
         hp_sketches = List.map fst per_sketch;
         hp_stages_ns = stages;
         hp_apply_cache = (apply_hits, apply_misses);
-        hp_post_memo = (post_hits, post_misses);
       };
   if check && not identical then begin
     Fmt.epr "hotpath: optimized pipeline diverged from the legacy pipeline@.";
@@ -956,6 +1009,33 @@ let cache_summary () =
   Fmt.pr "cache probes: %d, hits: %d (%.1f%%)@." probes hits rate;
   record "cache" "hit_rate_pct" rate "pct";
   record "cache" "hits" (float_of_int hits) "count"
+
+(* ------------------------------------------------------------------ *)
+(* obs: causal-trace self-check                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Tracing is enabled for the whole bench run (everything below the
+   [with_ctx ~tenant:"bench"] wrapper records), so this section checks
+   the full trace: both export formats validate, and the counts land in
+   the schema-7 [obs] block of BENCH_results.json. *)
+let obs_summary () =
+  section "obs" "causal trace: event counts, export validity, stall detection";
+  let c = Trace.counts () in
+  Fmt.pr "events: %d spans, %d instants, %d counters (%d dropped)@." c.Trace.spans
+    c.Trace.instants c.Trace.counters c.Trace.dropped;
+  (match Trace.validate_chrome (Trace.export_chrome ()) with
+  | Ok n -> Fmt.pr "chrome trace: valid, %d events@." n
+  | Error e -> Fmt.pr "chrome trace: INVALID (%s)@." e);
+  let collapsed = Trace.export_collapsed () in
+  Fmt.pr "collapsed stacks: %d distinct@."
+    (List.length (Trace.parse_collapsed collapsed));
+  let snap = Metrics.snapshot () in
+  let counter name = Option.value ~default:0 (Metrics.find_counter snap name) in
+  Fmt.pr "stall events: %d@." (counter "search.stalled");
+  record "obs" "trace_events"
+    (float_of_int (c.Trace.spans + c.Trace.instants + c.Trace.counters))
+    "count";
+  record "obs" "trace_dropped" (float_of_int c.Trace.dropped) "count"
 
 (* ------------------------------------------------------------------ *)
 (* session: crash-safe sessions                                         *)
@@ -1097,6 +1177,10 @@ let () =
   (* Monotone clock (never runs backwards under wall-clock adjustment), so
      section walls and the total are always non-negative. *)
   let t0 = Clock.now_s () in
+  (* Record the whole run: every event below carries at least the bench
+     tenant, which the Chrome-trace validator requires. *)
+  Trace.enable ();
+  Trace.with_ctx ~tenant:"bench" @@ fun () ->
   Fmt.pr "bench: jobs=%d%s%s@." jobs
     (if fast then " (BENCH_FAST)" else "")
     (if check then " (--check)" else "");
@@ -1122,6 +1206,7 @@ let () =
   timed "session" session_bench;
   timed "service" service_bench;
   cache_summary ();
+  obs_summary ();
   let total = Clock.now_s () -. t0 in
   emit_json ~total_wall_s:total "BENCH_results.json";
   Fmt.pr "@.results written to BENCH_results.json@.";

@@ -14,6 +14,7 @@
                                           job directory
      tensorir submit <workload> [opts]    drop a job into a queue directory
      tensorir jobs --queue <dir>          list a queue's jobs and states
+     tensorir top <telemetry-file>        render a serve telemetry snapshot
 
    Exit codes: 0 ok, 1 findings, 2 usage, then one per error kind
    (Parse 3, Io 4, Corrupt 5, Timeout 6, Fault 7) and 8 when a session
@@ -556,7 +557,7 @@ let queue_arg =
   Arg.(required & opt (some string) None & info [ "queue"; "q" ] ~docv:"DIR" ~doc)
 
 let serve_cmd =
-  let run queue jobs drain max_steps metrics_out poll =
+  let run queue jobs drain max_steps metrics_out telemetry_out trace_out poll =
     with_errors @@ fun () ->
     let cfg =
       {
@@ -565,6 +566,8 @@ let serve_cmd =
         drain;
         max_steps;
         metrics_out;
+        telemetry_out;
+        trace_out;
         poll_interval_s = poll;
       }
     in
@@ -601,11 +604,27 @@ let serve_cmd =
   in
   let metrics_arg =
     let doc =
-      "Dump the metrics registry as JSON to $(docv) (atomic rewrite) on every \
-       scheduler event — a scrape-able snapshot of counters, gauges, and \
-       histograms."
+      "Dump the metrics registry as JSON to $(docv) (atomic tmp+rename) on \
+       every scheduler event and every idle poll tick — a scrape-able \
+       snapshot of counters, gauges, and histograms."
     in
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let telemetry_arg =
+    let doc =
+      "Write a Prometheus-style text exposition of the metrics registry to \
+       $(docv) at the same cadence and atomicity as $(b,--metrics-out). \
+       $(b,tensorir top) renders this file."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "telemetry-out" ] ~docv:"FILE" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Enable causal tracing and snapshot a Chrome trace-event JSON (open in \
+       Perfetto or chrome://tracing) to $(docv), same cadence and atomicity."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
   in
   let poll_arg =
     let doc = "Poll interval in seconds when waiting for new jobs." in
@@ -616,7 +635,7 @@ let serve_cmd =
        ~doc:"Serve a job-directory queue: multi-tenant fair-share tuning")
     Term.(
       const run $ queue_arg $ jobs_arg $ drain_arg $ max_steps_arg $ metrics_arg
-      $ poll_arg)
+      $ telemetry_arg $ trace_arg $ poll_arg)
 
 let submit_cmd =
   let run queue tag target trials seed priority name =
@@ -668,6 +687,59 @@ let submit_cmd =
       const run $ queue_arg $ workload_arg $ target_arg $ trials_arg $ seed_arg
       $ priority_arg $ name_arg)
 
+let top_cmd =
+  let module Telemetry = Tir_obs.Telemetry in
+  let run file =
+    with_errors @@ fun () ->
+    let src =
+      try In_channel.with_open_text file In_channel.input_all
+      with Sys_error msg -> Error.raise_error Error.Io msg
+    in
+    let samples =
+      try Telemetry.parse src
+      with Failure msg ->
+        Error.raise_error ~context:file Error.Parse msg
+    in
+    let g name = Option.value ~default:0.0 (Telemetry.find samples name) in
+    Fmt.pr "queue: %.0f pending, %.0f running, %.0f done, %.0f failed@."
+      (g "tir_serve_queue_pending") (g "tir_serve_queue_running")
+      (g "tir_serve_queue_done") (g "tir_serve_queue_failed");
+    Fmt.pr "pool: busy %.0f%%, scheduler steps %.0f, stalled tenants %.0f@."
+      (100.0 *. g "tir_pool_busy_frac")
+      (g "tir_scheduler_steps")
+      (g "tir_search_stalled_tenants");
+    (match Telemetry.tenants samples with
+    | [] -> Fmt.pr "@.no tenants@."
+    | tenants ->
+        Fmt.pr "@.%-28s %6s %6s %12s  %s@." "TENANT" "GENS" "STEPS" "BEST_US"
+          "STATE";
+        List.iter
+          (fun tn ->
+            let v m = Telemetry.tenant_value samples m tn in
+            let num m = Option.value ~default:0.0 (v m) in
+            let best =
+              match v "best_us" with
+              | Some b when Float.is_finite b -> Printf.sprintf "%.2f" b
+              | _ -> "-"
+            in
+            let state = if num "stalled" > 0.0 then "stalled" else "running" in
+            Fmt.pr "%-28s %6.0f %6.0f %12s  %s@." tn (num "generations")
+              (num "steps") best state)
+          tenants)
+  in
+  let file_arg =
+    let doc =
+      "Telemetry snapshot written by $(b,tensorir serve --telemetry-out)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Render a serve telemetry snapshot: queue depth, pool utilization, \
+          per-tenant progress and stall state")
+    Term.(const run $ file_arg)
+
 let jobs_cmd =
   let run queue =
     with_errors @@ fun () ->
@@ -714,4 +786,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [ show_cmd; candidates_cmd; tune_cmd; model_cmd; parse_cmd; codegen_cmd;
          intrinsics_cmd; report_cmd; lint_cmd; session_cmd; serve_cmd;
-         submit_cmd; jobs_cmd ]))
+         submit_cmd; jobs_cmd; top_cmd ]))

@@ -10,7 +10,17 @@ open Tir_ir
 module Metrics = Tir_obs.Metrics
 
 let m_checked = Metrics.counter "analysis.checked"
+
+(* [analysis.flagged] counts functions with at least one error-severity
+   diagnostic — the candidates the search actually rejects as unsound.
+   It used to count any function with a non-empty diagnostic list, which
+   made it read ~99% of checked: nearly every scheduled candidate picks
+   up warning-level race notes. Warning-only functions are now counted
+   separately in [analysis.warned], and the raw diagnostic volume in
+   [analysis.diagnostics]. *)
 let m_flagged = Metrics.counter "analysis.flagged"
+let m_warned = Metrics.counter "analysis.warned"
+let m_diagnostics = Metrics.counter "analysis.diagnostics"
 let m_race = Metrics.counter "analysis.race"
 let m_region = Metrics.counter "analysis.region"
 let m_bounds = Metrics.counter "analysis.bounds"
@@ -25,7 +35,9 @@ let check_func (f : Primfunc.t) : Diagnostic.t list =
   Metrics.add m_race (count_kind ds Diagnostic.Race);
   Metrics.add m_region (count_kind ds Diagnostic.Region_unsound);
   Metrics.add m_bounds (count_kind ds Diagnostic.Out_of_bounds);
-  if ds <> [] then Metrics.incr m_flagged;
+  Metrics.add m_diagnostics (List.length ds);
+  if List.exists Diagnostic.is_error ds then Metrics.incr m_flagged
+  else if ds <> [] then Metrics.incr m_warned;
   ds
 
 let errors f = List.filter Diagnostic.is_error (check_func f)

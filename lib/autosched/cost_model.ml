@@ -127,37 +127,17 @@ let measure_cache : measurement Memo.t = Memo.create ~name:"measure" ()
     can never alias. *)
 let cache_prefix target = Tir_sim.Target.fingerprint target ^ "|"
 
-(* Post-apply outcome keyed by (target, program fingerprint): validation,
-   semantic analysis and feature extraction are pure functions of the
-   program structure, so distinct decision vectors that materialize
-   structurally identical programs (vectorization-width fallbacks collide
-   constantly) share one entry. The per-candidate trace is deliberately
-   NOT cached here — it differs between colliding vectors and must stay
-   the candidate's own. *)
-type post =
-  | P_invalid
-  | P_unsound
-  | P_unsupported
-  | P_ok of float array
-
-(* Deliberately unnamed (no registry meters): two decision vectors with the
-   same program fingerprint can race on this key inside one pool region, and
-   a registered table would count a nondeterministic [memo.post.pending_waits]
-   into the journal's counter dump, breaking the bit-identical-at-any-job-
-   count contract. Hit/miss atomics stay deterministic (exactly one miss per
-   key) and are reported via [cache_breakdown]. *)
-let post_cache : post Memo.t = Memo.create ()
-
-let classify_func ~target ~key f =
-  snd
-    (Memo.find_or_add post_cache key (fun () ->
-         match Tir_sched.Validate.check_func f with
-         | _ :: _ -> P_invalid
-         | [] when Tir_analysis.Analysis.errors f <> [] -> P_unsound
-         | [] -> (
-             match Features.extract target f with
-             | features -> P_ok features
-             | exception Tir_sim.Machine.Unsupported _ -> P_unsupported)))
+(* There used to be a second memo here keyed by (target, program
+   fingerprint), on the theory that distinct decision vectors often
+   materialize structurally identical programs whose post-apply work
+   (validate / analyze / extract) could be shared. Measured over full
+   bench runs it recorded 0 hits in ~1300 misses: [evaluate] only runs
+   behind the eval cache's canonical-decision-key dedup, and since the
+   exact knob pre-filter (PR 6) folded the vectorization-width fallback
+   into the decision space, surviving distinct vectors materialize
+   distinct programs. A memo with a guaranteed-cold key is pure overhead
+   (fingerprint-keyed allocation + probe per candidate), so the
+   classification now runs inline. *)
 
 (* [Space.Unknown_knob] deliberately propagates: the search only builds
    decision vectors from the sketch's own knob list, so an unknown knob is
@@ -169,20 +149,23 @@ let evaluate ~target (sk : Sketch.t) (d : Space.decisions) : evaluation =
     | exception Tir_sched.State.Schedule_error _ -> Inapplicable
     | sch -> (
         let f = Tir_sched.Schedule.func sch in
-        let fp = Tir_ir.Fingerprint.func f in
-        let key =
-          Tir_sim.Target.fingerprint target ^ "#" ^ Tir_ir.Fingerprint.to_hex fp
-        in
-        match classify_func ~target ~key f with
-        | P_invalid -> Invalid
-        | P_unsound -> Unsound
-        | P_unsupported -> Unsupported
-        | P_ok features ->
-            Evaluated
-              { func = f; fp; features; trace = Tir_sched.Schedule.instructions sch })
+        match Tir_sched.Validate.check_func f with
+        | _ :: _ -> Invalid
+        | [] when Tir_analysis.Analysis.errors f <> [] -> Unsound
+        | [] -> (
+            match Features.extract target f with
+            | features ->
+                Evaluated
+                  {
+                    func = f;
+                    fp = Tir_ir.Fingerprint.func f;
+                    features;
+                    trace = Tir_sched.Schedule.instructions sch;
+                  }
+            | exception Tir_sim.Machine.Unsupported _ -> Unsupported))
 
-(** The pre-refactor pipeline, byte for byte: no knob pre-filter, no
-    fingerprint post-memo — every candidate runs the full
+(** The pre-refactor pipeline, byte for byte: no knob pre-filter —
+    every candidate runs the full
     apply/validate/analyze/extract chain. Kept for the bench hot-path
     comparison and the differential property test ([evaluate] must classify
     identically). *)
@@ -256,23 +239,17 @@ let table_stats m =
 
 (** Per-table counters for the per-generation journal gauges. *)
 let cache_breakdown () =
-  [
-    ("eval", table_stats eval_cache);
-    ("measure", table_stats measure_cache);
-    ("post", table_stats post_cache);
-  ]
+  [ ("eval", table_stats eval_cache); ("measure", table_stats measure_cache) ]
 
 let cache_stats () =
   {
-    hits = Memo.hits eval_cache + Memo.hits measure_cache + Memo.hits post_cache;
-    misses =
-      Memo.misses eval_cache + Memo.misses measure_cache + Memo.misses post_cache;
-    entries = Memo.length eval_cache + Memo.length measure_cache + Memo.length post_cache;
+    hits = Memo.hits eval_cache + Memo.hits measure_cache;
+    misses = Memo.misses eval_cache + Memo.misses measure_cache;
+    entries = Memo.length eval_cache + Memo.length measure_cache;
   }
 
 (** Drop every cached evaluation and measurement (tests; fresh-process
     comparisons). *)
 let clear_caches () =
   Memo.clear eval_cache;
-  Memo.clear measure_cache;
-  Memo.clear post_cache
+  Memo.clear measure_cache

@@ -99,7 +99,7 @@ type cache_stats = { hits : int; misses : int; entries : int }
 val cache_stats : unit -> cache_stats
 
 (** Per-table counters, hits/misses from the memo atomics (deterministic at
-    any job count): [("eval", _); ("measure", _); ("post", _)]. Feeds the
+    any job count): [("eval", _); ("measure", _)]. Feeds the
     per-generation [memo.*.hit_rate] journal gauges. *)
 val cache_breakdown : unit -> (string * cache_stats) list
 

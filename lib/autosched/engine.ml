@@ -311,7 +311,10 @@ let propose_all t specs =
   let evals =
     Pool.parallel_map_list t.pool
       (fun ((sk : Sketch.t), d, key, _) ->
-        Cost_model.evaluate_cached ~key:(t.key_prefix ^ key) ~target:t.target sk d)
+        Tir_obs.Trace.with_ctx ~candidate:key (fun () ->
+            Tir_obs.Trace.with_span "evaluate" (fun () ->
+                Cost_model.evaluate_cached ~key:(t.key_prefix ^ key)
+                  ~target:t.target sk d)))
       fresh
   in
   List.concat
@@ -374,7 +377,11 @@ let measure_top t scored =
   let probes =
     Pool.parallel_map_list t.pool
       (fun (key, func) ->
-        Cost_model.measure_cached ?retry:t.retry ~key ~target:t.target func)
+        (* the program fingerprint is the candidate identity on the trace *)
+        Tir_obs.Trace.with_ctx ~candidate:key (fun () ->
+            Tir_obs.Trace.with_span "measure" (fun () ->
+                Cost_model.measure_cached ?retry:t.retry ~key ~target:t.target
+                  func)))
       distinct
   in
   let by_key = Hashtbl.create 16 in
@@ -506,6 +513,21 @@ let finish_generation t =
           Journal.emit sink
             (Journal.Gauge { name = "memo." ^ name ^ ".hit_rate"; value = rate }))
         (Cost_model.cache_breakdown ()));
+  (* Trace the generation boundary: a deterministic instant (identity
+     carries the tallies) plus counter tracks for the Perfetto view.
+     Runs in the sequential reduce, like everything above. *)
+  Tir_obs.Trace.instant "gen.commit"
+    ~args:
+      [
+        ("gen", string_of_int t.gen);
+        ("proposed", string_of_int tl.g_proposed);
+        ("deduped", string_of_int tl.g_deduped);
+        ("measured", string_of_int tl.g_measured);
+        ("trials", string_of_int t.stats.trials);
+        ("best_us", Printf.sprintf "%h" best_us);
+      ];
+  Tir_obs.Trace.counter "search.trials" (float_of_int t.stats.trials);
+  if Float.is_finite best_us then Tir_obs.Trace.counter "search.best_us" best_us;
   (* Commit marker: everything this generation wrote becomes durable
      only here. Emitted after the metrics/journal flush, before the
      counter advances. *)
@@ -575,7 +597,10 @@ let create ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
 
 let step t =
   if finished t then (t, Done)
-  else begin
+  else
+    Tir_obs.Trace.with_ctx ~generation:t.gen @@ fun () ->
+    Tir_obs.Trace.with_span "engine.step" @@ fun () ->
+    begin
     (* Each generation draws from its own (seed, gen)-derived stream:
        generation [g]'s randomness depends only on the seed and [g],
        never on how many draws earlier generations made — the property

@@ -1,0 +1,31 @@
+(** Minimal stdlib-only JSON parser shared by the trace exporter, the
+    bench validators and the tests. Raises {!Invalid} on malformed input
+    and on non-finite numbers reached through {!num} (our writers emit
+    NaN/infinity as [null], which validation rejects). *)
+
+exception Invalid of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Invalid} with a formatted message. *)
+
+type v =
+  | Obj of (string * v) list
+  | Arr of v list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+val parse : string -> v
+val parse_file : string -> v
+
+(** Typed accessors; [what] names the location for error messages. *)
+
+val obj : string -> v -> (string * v) list
+val arr : string -> v -> v list
+val field : string -> (string * v) list -> string -> v
+val str : string -> v -> string
+val num : string -> v -> float
+val int_ : string -> v -> int
+val nonneg_int : string -> v -> int
+val ratio : string -> v -> float

@@ -1,0 +1,41 @@
+(* Per-tenant search-stall watchdog: a tenant whose best latency has not
+   improved for [threshold] consecutive observations is stalled. Driven
+   by the scheduler once per generation step; purely sequential state,
+   so verdicts are deterministic for deterministic searches. *)
+
+type verdict = Improved | Ok | Stalled | Still_stalled
+
+type t = {
+  threshold : int;
+  mutable best : float;
+  mutable age : int;
+  mutable stalled : bool;
+}
+
+let default_threshold = 8
+
+let create ?(threshold = default_threshold) () =
+  { threshold = max 1 threshold; best = Float.infinity; age = 0; stalled = false }
+
+let observe t ~best_us =
+  (* NaN (no measurement yet) never counts as an improvement. *)
+  let improved = best_us < t.best in
+  if improved then begin
+    t.best <- best_us;
+    t.age <- 0;
+    t.stalled <- false;
+    Improved
+  end
+  else begin
+    t.age <- t.age + 1;
+    if t.stalled then Still_stalled
+    else if t.age >= t.threshold then begin
+      t.stalled <- true;
+      Stalled
+    end
+    else Ok
+  end
+
+let is_stalled t = t.stalled
+let age t = t.age
+let threshold t = t.threshold

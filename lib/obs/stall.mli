@@ -1,0 +1,27 @@
+(** Search-stall watchdog: tracks the best-seen latency and flags a
+    search whose best hasn't improved for [threshold] consecutive
+    observations. *)
+
+type t
+
+type verdict =
+  | Improved  (** strictly better than the best seen so far *)
+  | Ok  (** no improvement, but not yet at the threshold *)
+  | Stalled  (** this observation crossed the threshold *)
+  | Still_stalled  (** already stalled before this observation *)
+
+val default_threshold : int
+(** 8 generations. *)
+
+val create : ?threshold:int -> unit -> t
+(** [threshold] is clamped to at least 1. *)
+
+val observe : t -> best_us:float -> verdict
+(** Feed one generation's best latency. NaN (nothing measured yet) never
+    counts as an improvement. An improvement clears a stall. *)
+
+val is_stalled : t -> bool
+val age : t -> int
+(** Observations since the last improvement. *)
+
+val threshold : t -> int

@@ -1,0 +1,230 @@
+(* Prometheus-style text exposition of the metrics registry.
+
+   Every metric is prefixed [tir_] and sanitized to the Prometheus name
+   charset. Per-tenant metrics — registered as [tenant.<name>.<metric>]
+   by the scheduler — are folded into one family per metric with a
+   [tenant] label, so all tenants' gauges line up under e.g.
+   [tir_tenant_best_us{tenant="gmm-hi"}]. Histograms render as
+   cumulative [_bucket{le="..."}] series plus [_count].
+
+   [parse] inverts the exposition enough for [tensorir top] to read the
+   snapshot back; it is not a general Prometheus parser. *)
+
+type sample = {
+  s_name : string;  (** family name, already sanitized and prefixed *)
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+(* "tenant.<name>.<metric>" -> Some (<name>, <metric>); the metric is
+   the segment after the last dot, so tenant names may contain dots. *)
+let split_tenant name =
+  let prefix = "tenant." in
+  let plen = String.length prefix in
+  if String.length name > plen && String.sub name 0 plen = prefix then
+    match String.rindex_opt name '.' with
+    | Some j when j > plen ->
+        Some
+          ( String.sub name plen (j - plen),
+            String.sub name (j + 1) (String.length name - j - 1) )
+    | _ -> None
+  else None
+
+let family_of name =
+  match split_tenant name with
+  | Some (tenant, metric) ->
+      ("tir_tenant_" ^ sanitize metric, [ ("tenant", tenant) ])
+  | None -> ("tir_" ^ sanitize name, [])
+
+let escape_label v =
+  let b = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let fmt_value f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let render_sample b s =
+  Buffer.add_string b s.s_name;
+  (match s.s_labels with
+  | [] -> ()
+  | labels ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b k;
+          Buffer.add_string b "=\"";
+          Buffer.add_string b (escape_label v);
+          Buffer.add_char b '"')
+        labels;
+      Buffer.add_char b '}');
+  Buffer.add_char b ' ';
+  Buffer.add_string b (fmt_value s.s_value);
+  Buffer.add_char b '\n'
+
+let render (snap : Metrics.snapshot) =
+  let b = Buffer.create 4096 in
+  (* Group samples into families so each family gets one TYPE line even
+     when several tenants share it. Families keep first-seen order,
+     which is sorted because Metrics snapshots are sorted by name. *)
+  let families : (string, string * sample list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  let add_sample kind s =
+    match Hashtbl.find_opt families s.s_name with
+    | Some (_, samples) -> samples := s :: !samples
+    | None ->
+        Hashtbl.add families s.s_name (kind, ref [ s ]);
+        order := s.s_name :: !order
+  in
+  List.iter
+    (fun (name, v) ->
+      let fam, labels = family_of name in
+      add_sample "counter" { s_name = fam; s_labels = labels; s_value = float_of_int v })
+    snap.Metrics.counters;
+  List.iter
+    (fun (name, v) ->
+      let fam, labels = family_of name in
+      add_sample "gauge" { s_name = fam; s_labels = labels; s_value = v })
+    snap.Metrics.gauges;
+  List.iter
+    (fun (name, h) ->
+      let fam, labels = family_of name in
+      let cum = ref 0 in
+      let bucket_samples =
+        List.concat
+          [
+            List.mapi
+              (fun i le ->
+                cum := !cum + h.Metrics.counts.(i);
+                {
+                  s_name = fam ^ "_bucket";
+                  s_labels = labels @ [ ("le", Printf.sprintf "%g" le) ];
+                  s_value = float_of_int !cum;
+                })
+              (Array.to_list h.Metrics.le);
+            [
+              {
+                s_name = fam ^ "_bucket";
+                s_labels = labels @ [ ("le", "+Inf") ];
+                s_value = float_of_int h.Metrics.total;
+              };
+              { s_name = fam ^ "_count"; s_labels = labels; s_value = float_of_int h.Metrics.total };
+            ];
+          ]
+      in
+      match Hashtbl.find_opt families fam with
+      | Some (_, samples) -> samples := List.rev_append bucket_samples !samples
+      | None ->
+          Hashtbl.add families fam ("histogram", ref (List.rev bucket_samples));
+          order := fam :: !order)
+    snap.Metrics.histograms;
+  List.iter
+    (fun fam ->
+      match Hashtbl.find_opt families fam with
+      | None -> ()
+      | Some (kind, samples) ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" fam kind);
+          List.iter (render_sample b) (List.rev !samples))
+    (List.rev !order);
+  Buffer.contents b
+
+let parse src =
+  let parse_labels s =
+    (* k="v",k2="v2" — values may contain escaped quotes *)
+    let n = String.length s in
+    let i = ref 0 in
+    let labels = ref [] in
+    while !i < n do
+      let eq = String.index_from s !i '=' in
+      let k = String.sub s !i (eq - !i) in
+      if eq + 1 >= n || s.[eq + 1] <> '"' then failwith "telemetry: bad label";
+      let b = Buffer.create 16 in
+      let j = ref (eq + 2) in
+      let fin = ref false in
+      while not !fin do
+        if !j >= n then failwith "telemetry: unterminated label value";
+        (match s.[!j] with
+        | '\\' ->
+            incr j;
+            Buffer.add_char b
+              (match s.[!j] with 'n' -> '\n' | c -> c)
+        | '"' -> fin := true
+        | c -> Buffer.add_char b c);
+        incr j
+      done;
+      labels := (k, Buffer.contents b) :: !labels;
+      if !j < n && s.[!j] = ',' then incr j;
+      i := !j
+    done;
+    List.rev !labels
+  in
+  String.split_on_char '\n' src
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.rindex_opt line ' ' with
+           | None -> failwith ("telemetry: sample line without a value: " ^ line)
+           | Some sp ->
+               let head = String.sub line 0 sp in
+               let value =
+                 let tok = String.sub line (sp + 1) (String.length line - sp - 1) in
+                 match tok with
+                 | "NaN" -> Float.nan
+                 | "+Inf" -> Float.infinity
+                 | "-Inf" -> Float.neg_infinity
+                 | tok -> float_of_string tok
+               in
+               let name, labels =
+                 match String.index_opt head '{' with
+                 | None -> (head, [])
+                 | Some l ->
+                     let r = String.rindex head '}' in
+                     ( String.sub head 0 l,
+                       parse_labels (String.sub head (l + 1) (r - l - 1)) )
+               in
+               Some { s_name = name; s_labels = labels; s_value = value })
+
+let find samples name =
+  List.find_opt (fun s -> s.s_name = name && s.s_labels = []) samples
+  |> Option.map (fun s -> s.s_value)
+
+let tenants samples =
+  (* all distinct tenant label values, in first-appearance order *)
+  List.fold_left
+    (fun acc s ->
+      match List.assoc_opt "tenant" s.s_labels with
+      | Some t when not (List.mem t acc) -> acc @ [ t ]
+      | _ -> acc)
+    [] samples
+
+let tenant_value samples metric tenant =
+  List.find_opt
+    (fun s ->
+      s.s_name = "tir_tenant_" ^ metric
+      && List.assoc_opt "tenant" s.s_labels = Some tenant)
+    samples
+  |> Option.map (fun s -> s.s_value)

@@ -1,0 +1,30 @@
+(** Prometheus-style text exposition of the metrics registry, written
+    periodically by [tensorir serve --telemetry-out] and read back by
+    [tensorir top].
+
+    Metric names are prefixed [tir_] and sanitized; [tenant.<t>.<m>]
+    metrics become one family per metric with a [tenant] label
+    ([tir_tenant_<m>{tenant="<t>"}]); histograms render as cumulative
+    [_bucket{le="..."}] series plus [_count]. *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+val render : Metrics.snapshot -> string
+
+val parse : string -> sample list
+(** Inverts {!render} (raises [Failure] on malformed input); not a
+    general Prometheus parser. *)
+
+val find : sample list -> string -> float option
+(** Value of an unlabelled sample by family name. *)
+
+val tenants : sample list -> string list
+(** Distinct [tenant] label values in first-appearance order. *)
+
+val tenant_value : sample list -> string -> string -> float option
+(** [tenant_value samples metric tenant] reads
+    [tir_tenant_<metric>{tenant=<tenant>}]. *)

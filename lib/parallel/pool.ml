@@ -252,6 +252,13 @@ let parallel_iteri t ?chunk ?deadline_us n (f : int -> unit) =
            ~key:(Printf.sprintf "r%d:%d" region_id i) ());
       f i
   in
+  (* Capture the submitter's trace context here and install it in the
+     execution loop: tasks that land on worker domains keep the
+     submitting tenant/session/generation identity, and the event
+     multiset matches the jobs=1 inline path exactly (the recording
+     domain is a non-identity field). *)
+  let trace_ctx = Tir_obs.Trace.ambient () in
+  Tir_obs.Trace.instant "pool.region" ~args:[ ("tasks", string_of_int n) ];
   (* Per-task busy sampling for the cumulative [pool.busy_frac] gauge:
      time each task inside the execution loop (both code paths share
      [timed]), then fold the region's busy/capacity pair into the
@@ -264,7 +271,10 @@ let parallel_iteri t ?chunk ?deadline_us n (f : int -> unit) =
         ignore
           (Atomic.fetch_and_add region_busy
              (int_of_float (Float.max 0.0 (Tir_obs.Clock.now_us () -. t0)))))
-      (fun () -> task i)
+      (fun () ->
+        Tir_obs.Trace.with_span "pool.task"
+          ~args:[ ("i", string_of_int i) ]
+          (fun () -> task i))
   in
   let region_start = Tir_obs.Clock.now_us () in
   let deadline =
@@ -331,7 +341,7 @@ let parallel_iteri t ?chunk ?deadline_us n (f : int -> unit) =
           end
         end
       in
-      claim ();
+      Tir_obs.Trace.with_ambient trace_ctx claim;
       Domain.DLS.set in_region false
     in
     (* One region at a time: hold [submit] from publish to drain. The

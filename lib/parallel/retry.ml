@@ -37,6 +37,17 @@ let note_backoff policy ~attempt =
   let b = backoff_us policy ~attempt in
   if b > 0.0 then Metrics.add m_backoff (int_of_float b)
 
+(* Trace instants only on the failure paths (injection / exhaustion):
+   fault decisions are keyed hashes, so these events are deterministic at
+   any job count, and the success path stays silent. *)
+let trace_injected ~site ~key ~attempt =
+  Tir_obs.Trace.instant "fault.injected"
+    ~args:[ ("site", site); ("key", key); ("attempt", string_of_int attempt) ]
+
+let trace_exhausted ~site ~key ~attempts =
+  Tir_obs.Trace.instant "retry.exhausted"
+    ~args:[ ("site", site); ("key", key); ("attempts", string_of_int attempts) ]
+
 let with_retries ?(policy = default) ~site ~key f =
   let max_attempts = max 1 policy.max_attempts in
   let rec go attempt =
@@ -47,8 +58,10 @@ let with_retries ?(policy = default) ~site ~key f =
     | exception Fault.Injected _ ->
         Metrics.incr (m_failures site);
         Metrics.incr (m_injected site);
+        trace_injected ~site ~key ~attempt;
         if attempt >= max_attempts then begin
           Metrics.incr (m_exhausted site);
+          trace_exhausted ~site ~key ~attempts:attempt;
           raise (Exhausted { site; key; attempts = attempt })
         end
         else go (attempt + 1)
@@ -66,10 +79,12 @@ let absorb ?(policy = default) ~site ~key () =
       if Fault.should_fail site ~key:(Printf.sprintf "%s@%d" key attempt) then begin
         Metrics.incr (m_failures name);
         Metrics.incr (m_injected name);
+        trace_injected ~site:name ~key ~attempt;
         if attempt >= max_attempts then begin
           (* Graceful degradation: the operation proceeds anyway — the pool
              must run every task exactly once. *)
           Metrics.incr (m_exhausted name);
+          trace_exhausted ~site:name ~key ~attempts:attempt;
           failures + 1
         end
         else go (attempt + 1) (failures + 1)

@@ -275,8 +275,17 @@ type config = {
       (** total session-step budget; the kill point for crash testing *)
   metrics_out : string option;
       (** dump the registry as JSON here (atomic rewrite) on every
-          scheduler event *)
-  poll_interval_s : float;  (** pending/ poll cadence when not draining *)
+          scheduler event, after every scheduler run, and on every idle
+          poll tick — external scrapers always see live data *)
+  telemetry_out : string option;
+      (** Prometheus-style text exposition, same cadence and atomicity
+          as [metrics_out]; the file [tensorir top] reads *)
+  trace_out : string option;
+      (** enable causal tracing and snapshot the Chrome trace-event JSON
+          here, same cadence and atomicity as [metrics_out] *)
+  poll_interval_s : float;
+      (** pending/ poll cadence when not draining — also the telemetry
+          snapshot cadence while idle *)
 }
 
 let default_config queue =
@@ -286,6 +295,8 @@ let default_config queue =
     drain = true;
     max_steps = None;
     metrics_out = None;
+    telemetry_out = None;
+    trace_out = None;
     poll_interval_s = 0.2;
   }
 
@@ -299,12 +310,48 @@ let m_jobs_adopted = Metrics.counter "serve.jobs_adopted"
 let m_jobs_started = Metrics.counter "serve.jobs_started"
 let m_jobs_done = Metrics.counter "serve.jobs_done"
 let m_jobs_failed = Metrics.counter "serve.jobs_failed"
+let m_q_pending = Metrics.gauge "serve.queue.pending"
+let m_q_running = Metrics.gauge "serve.queue.running"
+let m_q_done = Metrics.gauge "serve.queue.done"
+let m_q_failed = Metrics.gauge "serve.queue.failed"
 
+let sample_queue_depth queue =
+  let count st = float_of_int (List.length (jobs_in queue st)) in
+  Metrics.set m_q_pending (count Pending);
+  Metrics.set m_q_running (count Running);
+  Metrics.set m_q_done (count Done);
+  Metrics.set m_q_failed (count Failed)
+
+(* One telemetry tick: queue-depth gauges, then every configured snapshot
+   through the same atomic tmp+rename publish. Called at server start, on
+   every scheduler event, after every scheduler run, and on every idle
+   poll tick. *)
 let dump_metrics cfg =
+  if cfg.metrics_out <> None || cfg.telemetry_out <> None || cfg.trace_out <> None
+  then sample_queue_depth cfg.queue;
+  let snap =
+    if cfg.metrics_out <> None || cfg.telemetry_out <> None then
+      Some (Metrics.snapshot ())
+    else None
+  in
   Option.iter
     (fun path ->
-      write_file_atomic path (Metrics.snapshot_json (Metrics.snapshot ()) ^ "\n"))
-    cfg.metrics_out
+      write_file_atomic path
+        (Metrics.snapshot_json (Option.get snap) ^ "\n"))
+    cfg.metrics_out;
+  Option.iter
+    (fun path ->
+      write_file_atomic path (Tir_obs.Telemetry.render (Option.get snap)))
+    cfg.telemetry_out;
+  Option.iter
+    (fun path -> write_file_atomic path (Tir_obs.Trace.export_chrome ()))
+    cfg.trace_out
+
+(* Job lifecycle instants, carrying the job (and its tenant identity) in
+   the propagated context. *)
+let job_instant ~name kind =
+  Tir_obs.Trace.with_ctx ~job:name ~tenant:name (fun () ->
+      Tir_obs.Trace.instant kind)
 
 (* Result files are deterministic renderings of the tuning result (no
    timestamps): byte-identical results across server restarts and job
@@ -357,10 +404,15 @@ let fail_job ~queue ~name ~from (e : Error.t) =
   | Some Running when Sys.file_exists (wal_file queue Running name) ->
       move (wal_file queue Running name) (wal_file queue Failed name)
   | _ -> ());
+  (* A job that never ran (malformed, or lost before adoption) is a
+     dead-letter; a running job that errored is a plain failure. *)
+  job_instant ~name
+    (match from with Some Running -> "job.failed" | _ -> "job.dead_letter");
   Metrics.incr m_jobs_failed
 
 let serve (cfg : config) : outcome =
   ensure_queue cfg.queue;
+  if cfg.trace_out <> None then Tir_obs.Trace.enable ();
   let queue = cfg.queue in
   let db =
     match Database.load_result (db_file queue) with
@@ -386,6 +438,7 @@ let serve (cfg : config) : outcome =
        tenant (or the next server process) replays this result for
        free. *)
     Database.save db (db_file queue);
+    job_instant ~name "job.done";
     Metrics.incr m_jobs_done;
     incr completed
   in
@@ -414,6 +467,7 @@ let serve (cfg : config) : outcome =
       let session =
         if st = Running && Sys.file_exists (wal_file queue Running name) then begin
           Metrics.incr m_jobs_adopted;
+          job_instant ~name "job.adopted";
           Session.resume ~workload:w ~database:db
             ~path:(wal_file queue Running name) ()
         end
@@ -422,6 +476,7 @@ let serve (cfg : config) : outcome =
           if st = Pending then
             move (job_file queue Pending name) (job_file queue Running name);
           Metrics.incr m_jobs_started;
+          job_instant ~name "job.started";
           let scfg =
             Tune.Config.(
               default |> with_seed j.j_seed |> with_trials j.j_trials
@@ -454,6 +509,10 @@ let serve (cfg : config) : outcome =
   Fun.protect
     ~finally:(fun () -> if own_pool then Tir_parallel.Pool.shutdown pool)
     (fun () ->
+      (* Everything the server records carries at least tenant="server";
+         tenant slices and job lifecycle sites override it with the real
+         identity. *)
+      Tir_obs.Trace.with_ctx ~tenant:"server" @@ fun () ->
       dump_metrics cfg;
       let rec loop first =
         if first then
@@ -472,6 +531,10 @@ let serve (cfg : config) : outcome =
               { o_completed = !completed; o_failed = !failed; o_budget = false }
             else begin
               Unix.sleepf (Float.max 0.01 cfg.poll_interval_s);
+              (* Periodic snapshots while idle: the poll tick is the
+                 telemetry cadence, so scrapers and `tensorir top` see
+                 live data even when no scheduler event fires. *)
+              dump_metrics cfg;
               loop false
             end
       in

@@ -97,9 +97,18 @@ type config = {
       (** total session-step budget across all tenants — the
           deterministic kill point for crash testing *)
   metrics_out : string option;
-      (** dump {!Tir_obs.Metrics.snapshot_json} here (atomic rewrite)
-          on every scheduler event *)
-  poll_interval_s : float;  (** pending/ poll cadence when not draining *)
+      (** dump {!Tir_obs.Metrics.snapshot_json} here (atomic tmp+rename)
+          on every scheduler event, after every scheduler run, and on
+          every idle poll tick *)
+  telemetry_out : string option;
+      (** {!Tir_obs.Telemetry.render} exposition, same cadence and
+          atomicity — the snapshot [tensorir top] reads *)
+  trace_out : string option;
+      (** enable {!Tir_obs.Trace} and snapshot the Chrome trace-event
+          JSON here, same cadence and atomicity *)
+  poll_interval_s : float;
+      (** pending/ poll cadence when not draining — also the telemetry
+          snapshot cadence while idle *)
 }
 
 (** Drain mode, shared pool, no step budget, no metrics dump. *)

@@ -30,6 +30,8 @@ module Tune = Tir_autosched.Tune
 module Error = Tir_core.Error
 module Metrics = Tir_obs.Metrics
 module Pool = Tir_parallel.Pool
+module Trace = Tir_obs.Trace
+module Stall = Tir_obs.Stall
 
 type outcome = Completed of Tune.result | Failed of Error.t
 
@@ -51,6 +53,8 @@ type tenant = {
   tn_m_steps : Metrics.counter;
   tn_m_gens : Metrics.counter;
   tn_m_best : Metrics.gauge;
+  tn_m_stalled : Metrics.gauge;
+  tn_stall : Stall.t;
 }
 
 type t = {
@@ -64,6 +68,16 @@ let m_completed = Metrics.counter "scheduler.tenants_completed"
 let m_failed = Metrics.counter "scheduler.tenants_failed"
 let m_steps = Metrics.counter "scheduler.steps"
 let m_active = Metrics.gauge "scheduler.active_tenants"
+let m_stalled = Metrics.counter "search.stalled"
+let m_stalled_tenants = Metrics.gauge "search.stalled_tenants"
+
+(* Generations without an improvement in best-µs before a tenant is
+   declared stalled (the [search.stalled] event + per-tenant gauge —
+   direct input to the cost-model diagnosis). *)
+let stall_threshold () =
+  match Option.bind (Sys.getenv_opt "TIR_STALL_GENS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> Stall.default_threshold
 
 let create ?pool () =
   let sch_pool = match pool with Some p -> p | None -> Pool.global () in
@@ -87,6 +101,8 @@ let submit ?(priority = 1) t ~name session =
       tn_m_steps = Metrics.counter ("tenant." ^ name ^ ".steps");
       tn_m_gens = Metrics.counter ("tenant." ^ name ^ ".generations");
       tn_m_best = Metrics.gauge ("tenant." ^ name ^ ".best_us");
+      tn_m_stalled = Metrics.gauge ("tenant." ^ name ^ ".stalled");
+      tn_stall = Stall.create ~threshold:(stall_threshold ()) ();
     }
   in
   Metrics.incr m_submitted;
@@ -109,7 +125,32 @@ let steps_taken t = t.sch_steps
    stepper aborted (WAL stays committed through its last marker); the
    loop and the other tenants keep running. Anything else is a
    programming error and propagates. *)
+let stalled_count t =
+  List.length
+    (List.filter
+       (fun tn -> tn.tn_outcome = None && Stall.is_stalled tn.tn_stall)
+       t.sch_tenants)
+
+(* Feed the stall watchdog one generation's best. Sequential (the loop is
+   cooperative), so verdicts and the emitted events are deterministic. *)
+let observe_stall t tn ~best_us =
+  (match Stall.observe tn.tn_stall ~best_us with
+  | Stall.Stalled ->
+      Metrics.incr m_stalled;
+      Metrics.set tn.tn_m_stalled 1.0;
+      Trace.instant "search.stalled"
+        ~args:
+          [
+            ("gens_without_improvement", string_of_int (Stall.age tn.tn_stall));
+            ("threshold", string_of_int (Stall.threshold tn.tn_stall));
+          ]
+  | Stall.Improved -> Metrics.set tn.tn_m_stalled 0.0
+  | Stall.Ok | Stall.Still_stalled -> ());
+  Metrics.set m_stalled_tenants (float_of_int (stalled_count t))
+
 let step_tenant t ~on_event tn =
+  Trace.with_ctx ~tenant:tn.tn_name @@ fun () ->
+  Trace.with_span "scheduler.slice" @@ fun () ->
   t.sch_steps <- t.sch_steps + 1;
   Metrics.incr m_steps;
   Metrics.incr tn.tn_m_steps;
@@ -125,6 +166,11 @@ let step_tenant t ~on_event tn =
   | `Stepped gen ->
       tn.tn_gens <- tn.tn_gens + 1;
       Metrics.incr tn.tn_m_gens;
+      (* Live per-tenant telemetry: the gauge used to be set only at
+         completion, so `tensorir top` saw NaN for every running tenant. *)
+      let best_us = Session.best_us stepper in
+      Metrics.set tn.tn_m_best best_us;
+      observe_stall t tn ~best_us;
       on_event (Step { tenant = tn.tn_name; gen })
   | `Done result ->
       tn.tn_outcome <- Some (Completed result);
@@ -133,6 +179,9 @@ let step_tenant t ~on_event tn =
         (match result.Tune.best with
         | Some b -> b.Tir_autosched.Evolutionary.latency_us
         | None -> Float.nan);
+      Metrics.set tn.tn_m_stalled 0.0;
+      Metrics.set m_stalled_tenants (float_of_int (stalled_count t));
+      Trace.instant "tenant.complete";
       on_event (Complete { tenant = tn.tn_name; result })
   | exception Error.Error err ->
       (match tn.tn_stepper with

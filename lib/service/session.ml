@@ -479,6 +479,10 @@ type stepper = {
   st_t : t;
   st_driver : Tune.driver option;  (** [None]: the log was already done *)
   mutable st_result : Tune.result option;  (** set at the [`Done] transition *)
+  mutable st_best_us : float;
+      (** live best after the last step; NaN until something measured.
+          Read by the scheduler for per-tenant gauges and stall
+          detection. *)
 }
 
 type step_result = [ `Stepped of int | `Done of Tune.result ]
@@ -486,7 +490,11 @@ type step_result = [ `Stepped of int | `Done of Tune.result ]
 let start ?pool t =
   match t.s_done with
   | Some d ->
-      { st_t = t; st_driver = None; st_result = Some (reconstruct_result t d) }
+      let r = reconstruct_result t d in
+      let best =
+        match r.Tune.best with Some b -> b.Evo.latency_us | None -> Float.nan
+      in
+      { st_t = t; st_driver = None; st_result = Some r; st_best_us = best }
   | None ->
       let wr = writer t in
       (* The WAL hooks; one generation's records become durable at the
@@ -496,11 +504,31 @@ let start ?pool t =
          preempted and re-stepped at any generation boundary. *)
       let checkpoint =
         {
-          Evo.on_seen = (fun ~gen keys -> Wal.append wr (seen_line ~gen keys));
-          on_measured = (fun ~gen m -> Wal.append wr (measure_line ~gen m));
+          Evo.on_seen =
+            (fun ~gen keys ->
+              Wal.append wr (seen_line ~gen keys);
+              Tir_obs.Trace.instant "wal.seen"
+                ~args:
+                  [ ("gen", string_of_int gen);
+                    ("keys", string_of_int (List.length keys)) ]);
+          on_measured =
+            (fun ~gen m ->
+              Wal.append wr (measure_line ~gen m);
+              Tir_obs.Trace.instant "wal.measure"
+                ~args:
+                  [ ("gen", string_of_int gen);
+                    ("sketch", m.Evo.sketch_name);
+                    ("latency_us", fl m.Evo.latency_us) ]);
           on_generation =
             (fun ~gen stats ~best_us ->
               Wal.append wr (gen_line ~gen stats ~best_us);
+              (* the gen line is the commit marker — the durability
+                 checkpoint worth seeing on a trace timeline *)
+              Tir_obs.Trace.instant "wal.checkpoint"
+                ~args:
+                  [ ("gen", string_of_int gen);
+                    ("trials", string_of_int stats.Evo.trials);
+                    ("best_us", fl best_us) ];
               Metrics.incr m_generations;
               t.s_gens_this_run <- t.s_gens_this_run + 1);
         }
@@ -509,7 +537,9 @@ let start ?pool t =
         Tune.prepare ~checkpoint ?resume:t.s_resume ?pool t.s_cfg t.s_w
           t.s_target
       in
-      { st_t = t; st_driver = Some d; st_result = None }
+      { st_t = t; st_driver = Some d; st_result = None; st_best_us = Float.nan }
+
+let best_us st = st.st_best_us
 
 let step st : step_result =
   match st.st_result with
@@ -519,8 +549,12 @@ let step st : step_result =
       match st.st_driver with
       | None -> assert false (* st_result is always set when driver is absent *)
       | Some d -> (
-          match Tune.step d with
-          | Tune.Stepped { gen; _ } -> `Stepped gen
+          match
+            Tir_obs.Trace.with_ctx ~session:t.s_path (fun () -> Tune.step d)
+          with
+          | Tune.Stepped { gen; best_us; _ } ->
+              st.st_best_us <- best_us;
+              `Stepped gen
           | Tune.Finished result ->
               let best_us =
                 match result.Tune.best with
@@ -531,6 +565,7 @@ let step st : step_result =
                 (done_line result.Tune.stats ~best_us result.Tune.best);
               close t;
               st.st_result <- Some result;
+              st.st_best_us <- best_us;
               `Done result))
 
 let abort st =

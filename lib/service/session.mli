@@ -97,6 +97,11 @@ val start : ?pool:Tir_parallel.Pool.t -> t -> stepper
     and the writer closed. Idempotent past [`Done]. *)
 val step : stepper -> step_result
 
+(** Best latency seen so far (µs), live after every step; NaN until
+    something has been measured. The scheduler reads this for the
+    per-tenant [tenant.<name>.best_us] gauge and stall detection. *)
+val best_us : stepper -> float
+
 (** Stop driving a stepper without completing it: closes the WAL writer
     (the log stays committed through the last [gen] marker) and joins any
     driver-owned private pool. Used on exception paths; {!resume} picks

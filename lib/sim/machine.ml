@@ -455,6 +455,13 @@ let m_bytes_global = Tir_obs.Metrics.counter "sim.bytes.global"
 let m_bytes_shared = Tir_obs.Metrics.counter "sim.bytes.shared"
 let m_bytes_local = Tir_obs.Metrics.counter "sim.bytes.local"
 
+(* Per-nest data-movement distributions (the totals above hide shape:
+   one huge kernel and a thousand small ones sum the same). The default
+   power-of-two buckets span bytes-per-nest from 1 B to ~0.5 TB. *)
+let h_bytes_global = Tir_obs.Metrics.histogram "sim.bytes_per_nest.global"
+let h_bytes_shared = Tir_obs.Metrics.histogram "sim.bytes_per_nest.shared"
+let h_bytes_local = Tir_obs.Metrics.histogram "sim.bytes_per_nest.local"
+
 let round_int v = int_of_float (Float.round v)
 
 let record_tally (t : tally) =
@@ -464,7 +471,10 @@ let record_tally (t : tally) =
   Tir_obs.Metrics.add m_scalar_ops (round_int t.scalar_ops);
   Tir_obs.Metrics.add m_bytes_global (round_int t.bytes_global);
   Tir_obs.Metrics.add m_bytes_shared (round_int t.bytes_shared);
-  Tir_obs.Metrics.add m_bytes_local (round_int t.bytes_local)
+  Tir_obs.Metrics.add m_bytes_local (round_int t.bytes_local);
+  Tir_obs.Metrics.observe h_bytes_global t.bytes_global;
+  Tir_obs.Metrics.observe h_bytes_shared t.bytes_shared;
+  Tir_obs.Metrics.observe h_bytes_local t.bytes_local
 
 (** Measured latency of a whole function, in microseconds. Root-level nests
     execute sequentially (separate kernels on GPU). Raises [Unsupported] if

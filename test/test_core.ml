@@ -27,6 +27,7 @@ let () =
       ("facade", Test_facade.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
+      ("tracing", Test_tracing.suite);
       ("session", Test_session.suite);
       ("scheduler", Test_scheduler.suite);
     ]

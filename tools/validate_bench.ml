@@ -1,20 +1,21 @@
-(* Validate BENCH_results.json against schema 6.
+(* Validate BENCH_results.json against schema 7.
 
      dune exec tools/validate_bench.exe [FILE] [BASELINE]
 
    Run by `make bench-smoke` and `make perf-smoke` after the benchmark.
-   Checks that the file is well-formed JSON, carries the schema-6 layout
+   Checks that the file is well-formed JSON, carries the schema-7 layout
    (hotpath / memo / db_replay / faults / session / service /
-   data_movement_bytes headline blocks plus the full metrics-registry
-   dump), that the [session] and [service] kill+resume runs converged to
-   the uninterrupted results (when those sections ran), that the
-   [service] section completed its tenants with a positive
+   data_movement_bytes / obs headline blocks plus the full
+   metrics-registry dump), that the [session] and [service] kill+resume
+   runs converged to the uninterrupted results (when those sections ran),
+   that the [service] section completed its tenants with a positive
    wall-clock-weighted pool utilization and at least one cross-tenant
-   database replay, that the [hotpath] section's optimized
-   pipeline produced bit-identical results to the legacy pipeline, and
-   that the file contains no non-finite numbers: the bench writes NaN and
-   infinity as `null`, which this validator rejects — a smoke run must
-   not produce them.
+   database replay, that the [hotpath] section's optimized pipeline
+   produced bit-identical results to the legacy pipeline, that the [obs]
+   block reports valid trace exports with no dropped events, and that the
+   file contains no non-finite numbers: the bench writes NaN and infinity
+   as `null`, which this validator rejects — a smoke run must not produce
+   them.
 
    With a BASELINE argument (BENCH_baseline.json), additionally enforces
    the hot-path perf gate against the committed pre-refactor baseline:
@@ -26,179 +27,11 @@
    must clear [floor_candidates_per_s]. Exit 0 on success, 1 with a
    diagnostic otherwise. *)
 
-exception Invalid of string
+(* The parser and typed accessors live in [Tir_obs.Json_min] (shared
+   with the trace validator and the tests). *)
+open Tir_obs.Json_min
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
-
-type v =
-  | Obj of (string * v) list
-  | Arr of v list
-  | Str of string
-  | Num of float
-  | Bool of bool
-  | Null
-
-(* --- minimal recursive-descent JSON parser (stdlib only) --- *)
-
-let parse (s : string) : v =
-  let n = String.length s in
-  let i = ref 0 in
-  let peek () = if !i < n then s.[!i] else fail "unexpected end of input" in
-  let next () =
-    let c = peek () in
-    incr i;
-    c
-  in
-  let skip_ws () =
-    while !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-      incr i
-    done
-  in
-  let expect c =
-    if next () <> c then fail "expected '%c' at offset %d" c (!i - 1)
-  in
-  let literal word value =
-    String.iter expect word;
-    value
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match next () with
-      | '"' -> Buffer.contents b
-      | '\\' -> (
-          (match next () with
-          | '"' -> Buffer.add_char b '"'
-          | '\\' -> Buffer.add_char b '\\'
-          | '/' -> Buffer.add_char b '/'
-          | 'n' -> Buffer.add_char b '\n'
-          | 't' -> Buffer.add_char b '\t'
-          | 'r' -> Buffer.add_char b '\r'
-          | 'b' -> Buffer.add_char b '\b'
-          | 'f' -> Buffer.add_char b '\012'
-          | 'u' ->
-              (* the bench never emits \u escapes; decode as a code point
-                 truncated to a byte, enough for validation *)
-              let hex c =
-                match c with
-                | '0' .. '9' -> Char.code c - Char.code '0'
-                | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-                | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-                | c -> fail "bad \\u escape character '%c'" c
-              in
-              let v =
-                (hex (next ()) * 4096) + (hex (next ()) * 256) + (hex (next ()) * 16)
-                + hex (next ())
-              in
-              Buffer.add_char b (Char.chr (v land 0xff))
-          | c -> fail "bad escape '\\%c'" c);
-          go ())
-      | c when Char.code c < 0x20 -> fail "raw control character in string"
-      | c ->
-          Buffer.add_char b c;
-          go ()
-    in
-    go ()
-  in
-  let parse_number () =
-    let start = !i in
-    let num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while !i < n && num_char s.[!i] do
-      incr i
-    done;
-    let tok = String.sub s start (!i - start) in
-    match float_of_string_opt tok with
-    | Some f -> Num f
-    | None -> fail "bad number token %S" tok
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '{' ->
-        incr i;
-        skip_ws ();
-        if peek () = '}' then (incr i; Obj [])
-        else
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match next () with
-            | ',' -> members ((k, v) :: acc)
-            | '}' -> Obj (List.rev ((k, v) :: acc))
-            | c -> fail "expected ',' or '}' but got '%c'" c
-          in
-          members []
-    | '[' ->
-        incr i;
-        skip_ws ();
-        if peek () = ']' then (incr i; Arr [])
-        else
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match next () with
-            | ',' -> elements (v :: acc)
-            | ']' -> Arr (List.rev (v :: acc))
-            | c -> fail "expected ',' or ']' but got '%c'" c
-          in
-          elements []
-    | '"' -> Str (parse_string ())
-    | 't' -> literal "true" (Bool true)
-    | 'f' -> literal "false" (Bool false)
-    | 'n' -> literal "null" Null
-    | '-' | '0' .. '9' -> parse_number ()
-    | c -> fail "unexpected character '%c' at offset %d" c !i
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !i <> n then fail "trailing garbage after JSON value (offset %d)" !i;
-  v
-
-(* --- schema-6 checks --- *)
-
-let obj what = function Obj kvs -> kvs | _ -> fail "%s: expected an object" what
-
-let arr what = function Arr vs -> vs | _ -> fail "%s: expected an array" what
-
-let field what kvs k =
-  match List.assoc_opt k kvs with
-  | Some v -> v
-  | None -> fail "%s: missing key %S" what k
-
-let str what = function Str s -> s | _ -> fail "%s: expected a string" what
-
-let num what = function
-  | Num f ->
-      if Float.is_finite f then f else fail "%s: non-finite number" what
-  | Null -> fail "%s: null (the bench writes non-finite values as null)" what
-  | _ -> fail "%s: expected a number" what
-
-let int_ what v =
-  let f = num what v in
-  if Float.is_integer f then int_of_float f else fail "%s: expected an integer" what
-
-let nonneg_int what v =
-  let x = int_ what v in
-  if x < 0 then fail "%s: negative count %d" what x else x
-
-let ratio what v =
-  let f = num what v in
-  if f < 0.0 || f > 1.0 then fail "%s: ratio %g outside [0,1]" what f else f
-
-let load path =
-  let ic = open_in_bin path in
-  let src = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  parse src
+let load = parse_file
 
 (* The hotpath headline block: bit-identity plus, against a committed
    baseline, the perf-gate floors. *)
@@ -287,8 +120,8 @@ let () =
     let top = obj "top level" (load path) in
     let f = field "top level" top in
     (match int_ "schema" (f "schema") with
-    | 6 -> ()
-    | v -> fail "schema: expected 6, got %d" v);
+    | 7 -> ()
+    | v -> fail "schema: expected 7, got %d" v);
     (match f "fast" with Bool _ -> () | _ -> fail "fast: expected a bool");
     if int_ "jobs" (f "jobs") < 1 then fail "jobs: expected >= 1";
     if num "total_wall_s" (f "total_wall_s") < 0.0 then
@@ -339,6 +172,46 @@ let () =
         ignore
           (nonneg_int ("data_movement_bytes." ^ scope)
              (field "data_movement_bytes" dm scope)))
+      [ "global"; "shared"; "local" ];
+    (* Schema 7: the causal-trace self-check block. The bench runs with
+       tracing on, so both export formats must have validated and no
+       events may have been dropped (a drop means the capacity cap is
+       too small for a smoke run — or a leak). *)
+    let obs = obj "obs" (f "obs") in
+    let of_ = field "obs" obs in
+    let trace = obj "obs.trace" (of_ "trace") in
+    let trace_events =
+      List.fold_left
+        (fun acc k -> acc + nonneg_int ("obs.trace." ^ k) (field "obs.trace" trace k))
+        0
+        [ "spans"; "instants"; "counters" ]
+    in
+    if trace_events = 0 then fail "obs: the bench recorded no trace events";
+    if nonneg_int "obs.trace.dropped" (field "obs.trace" trace "dropped") > 0 then
+      fail "obs: trace events were dropped (capacity cap hit)";
+    let chrome = obj "obs.chrome" (of_ "chrome") in
+    (match field "obs.chrome" chrome "valid" with
+    | Bool true -> ()
+    | Bool false -> fail "obs: the exported Chrome trace failed validation"
+    | _ -> fail "obs.chrome.valid: expected a bool");
+    let chrome_events =
+      nonneg_int "obs.chrome.events" (field "obs.chrome" chrome "events")
+    in
+    if chrome_events < trace_events then
+      fail "obs: Chrome export has %d events but the buffers recorded %d"
+        chrome_events trace_events;
+    let collapsed = obj "obs.collapsed" (of_ "collapsed") in
+    (match field "obs.collapsed" collapsed "roundtrip" with
+    | Bool true -> ()
+    | Bool false -> fail "obs: collapsed-stack dump did not roundtrip"
+    | _ -> fail "obs.collapsed.roundtrip: expected a bool");
+    ignore (nonneg_int "obs.collapsed.stacks" (field "obs.collapsed" collapsed "stacks"));
+    ignore (nonneg_int "obs.stalls" (of_ "stalls"));
+    let bpn = obj "obs.bytes_per_nest" (of_ "bytes_per_nest") in
+    List.iter
+      (fun scope ->
+        let h = obj ("obs.bytes_per_nest." ^ scope) (field "obs.bytes_per_nest" bpn scope) in
+        ignore (nonneg_int (scope ^ ".count") (field scope h "count")))
       [ "global"; "shared"; "local" ];
     let metrics = obj "metrics" (f "metrics") in
     let counters = obj "metrics.counters" (field "metrics" metrics "counters") in
@@ -418,7 +291,7 @@ let () =
        | Some v when v >= 1.0 -> ()
        | Some v -> fail "service: %g cross-tenant database replays, expected >= 1" v
        | None -> fail "service: db_replay result row missing");
-    Printf.printf "%s: schema 6 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
+    Printf.printf "%s: schema 7 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
       path (List.length results) (List.length sections) (List.length counters)
       (List.length gauges) (List.length histograms)
   with

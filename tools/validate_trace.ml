@@ -1,0 +1,28 @@
+(* Validate a Chrome trace-event JSON file exported by the tracing layer
+   ([tensorir serve --trace-out] or the bench).
+
+     dune exec tools/validate_trace.exe FILE
+
+   Runs the same checks as {!Tir_obs.Trace.validate_chrome}: well-formed
+   JSON, known phases only, finite non-negative sorted timestamps,
+   non-negative durations, and tenant/job context on every non-metadata
+   event. Exit 0 with the event count on success, 1 with a diagnostic
+   otherwise, 2 on usage errors. *)
+
+let () =
+  if Array.length Sys.argv <> 2 then begin
+    prerr_endline "usage: validate_trace FILE";
+    exit 2
+  end;
+  let path = Sys.argv.(1) in
+  let src =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  in
+  match Tir_obs.Trace.validate_chrome src with
+  | Ok n -> Printf.printf "%s: valid Chrome trace (%d events)\n" path n
+  | Error msg ->
+      Printf.eprintf "%s: INVALID: %s\n" path msg;
+      exit 1
