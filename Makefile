@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-diff perf-smoke crash-smoke serve-smoke trace-smoke lint check clean
+.PHONY: all build test bench bench-smoke bench-diff perf-smoke crash-smoke serve-smoke trace-smoke lint legality-smoke check clean
 
 all: build
 
@@ -15,7 +15,7 @@ bench: build
 
 # Fast smoke run: truncated workload set and trial budgets, plus --check,
 # which exits non-zero if any reported latency is non-finite or <= 0; the
-# emitted BENCH_results.json is then validated against schema 7, including
+# emitted BENCH_results.json is then validated against schema 8, including
 # the hot-path perf gate against the committed pre-refactor baseline.
 bench-smoke: build
 	BENCH_FAST=1 dune exec bench/main.exe -- --check
@@ -113,6 +113,22 @@ trace-smoke: build
 lint: build
 	dune exec bin/tensorir_cli.exe -- lint --all examples/*.tir
 
+# Legality prover smoke test through the lint JSON interface: the example
+# scripts must produce a clean machine-readable report (no error
+# diagnostics, no non-advisory illegal item), and the known-illegal
+# fixture (parallel reduction race + loop-reversing dependence) must exit
+# non-zero with an illegal parallel item and an illegal reorder advisory,
+# each naming its loop and block.
+legality-smoke: build
+	dune exec bin/tensorir_cli.exe -- lint --json examples/*.tir \
+	  > /tmp/tir_lint_clean.json
+	dune exec tools/validate_lint.exe -- --clean /tmp/tir_lint_clean.json
+	! dune exec bin/tensorir_cli.exe -- lint --json \
+	  test/fixtures/illegal_mix.tir > /tmp/tir_lint_illegal.json
+	dune exec tools/validate_lint.exe -- --expect-illegal \
+	  /tmp/tir_lint_illegal.json
+	rm -f /tmp/tir_lint_clean.json /tmp/tir_lint_illegal.json
+
 # The full pre-merge gate: build, unit + property tests, lint, bench smoke
 # run (+ the regression diff against the committed snapshot),
 # kill-and-resume smoke run, multi-tenant serve smoke run, and the
@@ -120,6 +136,7 @@ lint: build
 check: build
 	dune runtest
 	$(MAKE) lint
+	$(MAKE) legality-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-diff
 	$(MAKE) crash-smoke

@@ -8,11 +8,12 @@
      ... -- --check                           exit 1 on non-finite results
 
    Every section also records its numbers into BENCH_results.json
-   (schema 7: per-section latency/GFLOPs rows, per-section wall-clock, a
+   (schema 8: per-section latency/GFLOPs rows, per-section wall-clock, a
    dump of the process-wide metrics registry — memo hit rate, database
    replay rate, simulator data-movement counters — plus fault-injection /
-   retry, session, multi-tenant service, and causal-trace [obs] headline
-   counters) so the perf trajectory is machine-trackable across PRs.
+   retry, session, multi-tenant service, causal-trace [obs], and
+   schedule-legality [legality] headline counters) so the perf
+   trajectory is machine-trackable across PRs.
    [tools/validate_bench.exe] checks the emitted file against the schema
    in the bench-smoke gate, and [tools/bench_diff.exe] compares two such
    files for regressions.
@@ -27,6 +28,8 @@
      [fig14]    ARM end-to-end vs PyTorch and TVM
      [ablation] design-choice ablations (AutoCopy, cost model, evolution)
      [micro]    Bechamel micro-benchmarks of the infrastructure
+     [legality] dependence analysis + schedule-legality prover: survey
+                verdicts, static-vs-dynamic agreement, certify memo
      [session]  crash-safe sessions: kill+resume, fault-injected search
      [service]  multi-tenant serve: mixed priorities, server kill+resume,
                 cross-tenant database replay *)
@@ -97,6 +100,25 @@ type hotpath_headline = {
 
 let hotpath_headline : hotpath_headline option ref = ref None
 
+(* Headline block of the legality section (schema 8): survey verdict
+   tallies over the corpus, the static-vs-dynamic agreement ratio (a
+   proven-illegal certificate must coincide exactly with an
+   error-severity race diagnostic from the dynamic analyzers — the gate
+   requires 1.0), and the fingerprint-keyed certify memo's cold/warm
+   cost. The search-side prune tallies (search.pruned_static and the
+   legality.* verdict counters) are read from the metrics snapshot at
+   emit time: they are incremented only inside the eval memo's compute
+   function, so they are bit-identical at any TIR_JOBS. *)
+type legality_headline = {
+  lg_corpus : int;  (** seed workloads + scheduled mutants surveyed *)
+  lg_survey : (string * int) list;  (** verdict tallies over survey items *)
+  lg_agreement : float;  (** certify Illegal <=> dynamic race error *)
+  lg_certify_cold_us : float;  (** per-func, analysis memo cleared *)
+  lg_certify_warm_us : float;  (** per-func, served from the memo *)
+}
+
+let legality_headline : legality_headline option ref = ref None
+
 let json_escape s =
   let b = Stdlib.Buffer.create (String.length s) in
   String.iter
@@ -134,7 +156,7 @@ let emit_json ~total_wall_s path =
   let retry_attempts = over_sites (fun s -> counter ("retry." ^ s ^ ".attempts")) in
   let retry_exhausted = over_sites (fun s -> counter ("retry." ^ s ^ ".exhausted")) in
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": 7,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
+  Printf.fprintf oc "{\n  \"schema\": 8,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
   Printf.fprintf oc "  \"total_wall_s\": %s,\n" (json_float total_wall_s);
   (match !hotpath_headline with
   | None -> ()
@@ -172,6 +194,31 @@ let emit_json ~total_wall_s path =
       let ah, am = hp.hp_apply_cache in
       Printf.fprintf oc
         "},\n    \"apply_cache\": {\"hits\": %d, \"misses\": %d}\n  },\n" ah am);
+  (match !legality_headline with
+  | None -> ()
+  | Some lg ->
+      let v name = counter ("legality." ^ name) in
+      let certified = v "legal" + v "illegal" + v "unknown" in
+      let pruned = counter "search.pruned_static" in
+      Printf.fprintf oc "  \"legality\": {\n    \"corpus\": %d,\n" lg.lg_corpus;
+      Printf.fprintf oc "    \"survey\": {";
+      List.iteri
+        (fun i (k, n) ->
+          Printf.fprintf oc "%s\"%s\": %d" (if i = 0 then "" else ", ")
+            (json_escape k) n)
+        lg.lg_survey;
+      Printf.fprintf oc "},\n    \"agreement\": %s,\n"
+        (json_float lg.lg_agreement);
+      Printf.fprintf oc
+        "    \"certify_us\": {\"cold\": %s, \"warm\": %s},\n"
+        (json_float lg.lg_certify_cold_us)
+        (json_float lg.lg_certify_warm_us);
+      Printf.fprintf oc
+        "    \"verdicts\": {\"legal\": %d, \"illegal\": %d, \"unknown\": %d, \"agree\": %d, \"disagree\": %d},\n"
+        (v "legal") (v "illegal") (v "unknown") (v "agree") (v "disagree");
+      Printf.fprintf oc
+        "    \"pruned_static\": %d,\n    \"prune_rate\": %s\n  },\n" pruned
+        (json_float (rate pruned certified)));
   Printf.fprintf oc
     "  \"memo\": {\"hits\": %d, \"misses\": %d, \"pending_waits\": %d, \"hit_rate\": %s},\n"
     memo_hits memo_misses memo_waits
@@ -798,7 +845,8 @@ let hotpath () =
   let fresh_caches () =
     CM.clear_caches ();
     AC.clear ();
-    Machine.nest_cache_clear ()
+    Machine.nest_cache_clear ();
+    Tir_analysis.Analysis.clear_cache ()
   in
   (* Three repetitions per arm, best (shortest) time kept, heap compacted
      before each: run-to-run GC state is the dominant noise source at
@@ -830,13 +878,19 @@ let hotpath () =
         (match stream with
         | d :: _ -> ignore (CM.evaluate ~target:gpu sk d)
         | [] -> ());
+        (* The legacy arm predates every cache it could hit: apply cache,
+           nest cache, and the fingerprint-keyed analysis memo all stay
+           off so it pays the pre-refactor cost per unique candidate. *)
         AC.set_enabled false;
         Machine.set_nest_cache_enabled false;
+        let analysis_cache_was = Tir_analysis.Analysis.cache_enabled () in
+        Tir_analysis.Analysis.set_cache_enabled false;
         let legacy_s, legacy =
           best_time (fun () ->
               let tbl = Hashtbl.create 1024 in
               List.map (hotpath_legacy_eval tbl ~target:gpu sk) stream)
         in
+        Tir_analysis.Analysis.set_cache_enabled analysis_cache_was;
         AC.set_enabled true;
         Machine.set_nest_cache_enabled true;
         let sk_prefix = key_prefix ^ sk.Sk.space_id ^ "|" in
@@ -919,6 +973,8 @@ let hotpath () =
     (name, per)
   in
   Machine.set_nest_cache_enabled false;
+  let analysis_cache_was = Tir_analysis.Analysis.cache_enabled () in
+  Tir_analysis.Analysis.set_cache_enabled false;
   let stages =
     [
       stage "validate" (fun f -> ignore (Tir_sched.Validate.check_func f));
@@ -929,6 +985,7 @@ let hotpath () =
           ignore (Digest.string (Tir_ir.Printer.func_to_string f)));
     ]
   in
+  Tir_analysis.Analysis.set_cache_enabled analysis_cache_was;
   Machine.set_nest_cache_enabled true;
   Fmt.pr
     "combined: %d proposals, legacy %.0f/s, optimized %.0f/s — %.1fx; apply-cache %d/%d hit/miss@."
@@ -951,6 +1008,119 @@ let hotpath () =
       };
   if check && not identical then begin
     Fmt.epr "hotpath: optimized pipeline diverged from the legacy pipeline@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* legality: dependence analysis + schedule-legality prover             *)
+(* ------------------------------------------------------------------ *)
+
+let legality_bench () =
+  section "legality"
+    "schedule-legality prover: survey verdicts, static-vs-dynamic agreement, certify memo";
+  let module S = Tir_sched.Schedule in
+  let module L = Tir_analysis.Legality in
+  let module A = Tir_analysis.Analysis in
+  let module D = Tir_analysis.Diagnostic in
+  (* Corpus: every seed workload (all legal) plus scheduled gmm variants
+     on both sides of the line — a parallelized spatial loop (legal) and
+     the reduction loop flipped to each parallel kind by tree surgery
+     (all three provably racy). *)
+  let gmm = W.gmm ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 ~m:64 ~n:64 ~k:64 () in
+  let reduction_as kind =
+    let t = S.create gmm.W.func in
+    (match S.get_loops t "C" with
+    | [ _; _; _; k ] ->
+        let path, r = S.loop_path t k in
+        S.replace t path (Tir_ir.Stmt.For { r with kind })
+    | _ -> assert false);
+    S.func t
+  in
+  let spatial_parallel =
+    let t = S.create gmm.W.func in
+    (match S.get_loops t "C" with
+    | _ :: i :: _ -> S.parallel t i
+    | _ -> assert false);
+    S.func t
+  in
+  let corpus =
+    List.map (fun (w : W.t) -> w.W.func) (W.gpu_suite () @ W.arm_suite ())
+    @ [
+        spatial_parallel;
+        reduction_as Tir_ir.Stmt.Parallel;
+        reduction_as Tir_ir.Stmt.Vectorized;
+        reduction_as (Tir_ir.Stmt.Thread_binding "threadIdx.x");
+      ]
+  in
+  let n_corpus = List.length corpus in
+  (* Survey every function and tally item verdicts (advisories included). *)
+  let tally = Hashtbl.create 4 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (it : L.item) ->
+          let k = L.verdict_to_string it.L.it_verdict in
+          Hashtbl.replace tally k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+        (L.survey f))
+    corpus;
+  let survey =
+    List.filter_map
+      (fun k -> Option.map (fun v -> (k, v)) (Hashtbl.find_opt tally k))
+      [ "legal"; "illegal"; "unknown" ]
+  in
+  (* Function-level agreement: a proven-illegal certificate must coincide
+     exactly with an error-severity race diagnostic from the dynamic
+     analyzers. The two sides run through different memo tables
+     (certify through the race memo, check_func through the full one),
+     so this also asserts the tables stay coherent. *)
+  let race_error f =
+    List.exists
+      (fun (d : D.t) -> D.is_error d && d.D.kind = D.Race)
+      (A.check_func f)
+  in
+  let agreed =
+    List.fold_left
+      (fun acc f ->
+        let static_illegal =
+          match A.certify f with L.Illegal _ -> true | _ -> false
+        in
+        if static_illegal = race_error f then acc + 1 else acc)
+      0 corpus
+  in
+  let agreement = float_of_int agreed /. float_of_int n_corpus in
+  (* Certify cost per function: cold (memo cleared) vs warm (memo hit). *)
+  let certify_pass () =
+    let t0 = Clock.now_us () in
+    List.iter (fun f -> ignore (A.certify f)) corpus;
+    (Clock.now_us () -. t0) /. float_of_int n_corpus
+  in
+  A.clear_cache ();
+  let cold_us = certify_pass () in
+  let warm_us = certify_pass () in
+  Fmt.pr
+    "corpus=%d survey=%a agreement=%.2f certify cold=%.1fus warm=%.1fus@."
+    n_corpus
+    Fmt.(list ~sep:(any " ") (pair ~sep:(any ":") string int))
+    survey agreement cold_us warm_us;
+  record "legality" "corpus" (float_of_int n_corpus) "count";
+  List.iter
+    (fun (k, v) -> record "legality" ("survey:" ^ k) (float_of_int v) "count")
+    survey;
+  record "legality" "agreement" agreement "ratio";
+  record "legality" "certify:cold_us" cold_us "us";
+  record "legality" "certify:warm_us" warm_us "us";
+  legality_headline :=
+    Some
+      {
+        lg_corpus = n_corpus;
+        lg_survey = survey;
+        lg_agreement = agreement;
+        lg_certify_cold_us = cold_us;
+        lg_certify_warm_us = warm_us;
+      };
+  if check && agreement < 1.0 then begin
+    Fmt.epr "legality: static certificates disagree with the dynamic analyzers@.";
     exit 1
   end
 
@@ -1202,6 +1372,7 @@ let () =
   timed "ablation" ablation;
   timed "micro" micro;
   timed "hotpath" hotpath;
+  timed "legality" legality_bench;
   timed "db" db_bench;
   timed "session" session_bench;
   timed "service" service_bench;

@@ -349,7 +349,25 @@ let parse_cmd =
 let lint_cmd =
   let module A = Tir_analysis.Analysis in
   let module BC = Tir_analysis.Bounds_check in
-  let run targets all validate =
+  let module L = Tir_analysis.Legality in
+  let json_escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let item_message (it : L.item) =
+    match it.L.it_verdict with
+    | L.Illegal d -> d.Tir_analysis.Diagnostic.message
+    | L.Legal | L.Unknown -> ""
+  in
+  let run targets all validate json =
     let read_file path =
       let ic = open_in path in
       let n = in_channel_length ic in
@@ -380,31 +398,101 @@ let lint_cmd =
       exit 2
     end;
     let findings = ref 0 in
+    let json_files = ref [] in
     List.iter
       (fun (name, f) ->
         (* Validation issues (§3.3) are lint findings too when requested:
            the analyzer assumes a validated program. *)
         let issues = if validate then Tir_sched.Validate.check_func f else [] in
         let ds = A.lint f in
+        (* Per-primitive legality verdicts. Items are informational, not
+           findings: an "illegal to parallelize" advisory on a serial
+           reduce loop is the prover doing its job, and the non-advisory
+           illegal items are already covered by analyzer errors. *)
+        let items = L.survey f in
         let proven, unknown, oob = BC.tally (BC.collect f) in
         findings := !findings + List.length issues + List.length ds;
-        let summary =
-          Fmt.str "bounds: %d proven, %d unknown, %d out-of-bounds" proven
-            unknown oob
-        in
-        if issues = [] && ds = [] then Fmt.pr "%s: OK (%s)@." name summary
-        else begin
-          Fmt.pr "%s: %d finding(s) (%s)@." name
-            (List.length issues + List.length ds)
-            summary;
-          List.iter
-            (fun i -> Fmt.pr "  validate: %a@." Tir_sched.Validate.pp_issue i)
+        if json then begin
+          let b = Buffer.create 512 in
+          Printf.bprintf b "    {\"name\": \"%s\",\n" (json_escape name);
+          Printf.bprintf b "     \"findings\": %d,\n"
+            (List.length issues + List.length ds);
+          Printf.bprintf b
+            "     \"bounds\": {\"proven\": %d, \"unknown\": %d, \"oob\": %d},\n"
+            proven unknown oob;
+          Printf.bprintf b "     \"validate\": [";
+          List.iteri
+            (fun i is ->
+              Printf.bprintf b "%s\"%s\""
+                (if i = 0 then "" else ", ")
+                (json_escape (Fmt.str "%a" Tir_sched.Validate.pp_issue is)))
             issues;
+          Printf.bprintf b "],\n     \"diagnostics\": [";
+          List.iteri
+            (fun i (d : Tir_analysis.Diagnostic.t) ->
+              Printf.bprintf b
+                "%s\n      {\"severity\": \"%s\", \"kind\": \"%s\", \
+                 \"block\": \"%s\", \"buffer\": \"%s\", \"loops\": [%s], \
+                 \"message\": \"%s\"}"
+                (if i = 0 then "" else ",")
+                (Tir_analysis.Diagnostic.severity_to_string d.severity)
+                (Tir_analysis.Diagnostic.kind_to_string d.kind)
+                (json_escape d.block) (json_escape d.buffer)
+                (String.concat ", "
+                   (List.map (fun l -> "\"" ^ json_escape l ^ "\"") d.loops))
+                (json_escape d.message))
+            ds;
+          Printf.bprintf b "],\n     \"legality\": [";
+          List.iteri
+            (fun i (it : L.item) ->
+              Printf.bprintf b
+                "%s\n      {\"primitive\": \"%s\", \"loop\": \"%s\", \
+                 \"block\": \"%s\", \"advisory\": %b, \"detail\": \"%s\", \
+                 \"verdict\": \"%s\", \"message\": \"%s\"}"
+                (if i = 0 then "" else ",")
+                (json_escape it.L.it_primitive)
+                (json_escape it.L.it_loop)
+                (json_escape it.L.it_block)
+                it.L.it_advisory
+                (json_escape it.L.it_detail)
+                (L.verdict_to_string it.L.it_verdict)
+                (json_escape (item_message it)))
+            items;
+          Printf.bprintf b "]}";
+          json_files := Buffer.contents b :: !json_files
+        end
+        else begin
+          let summary =
+            Fmt.str "bounds: %d proven, %d unknown, %d out-of-bounds" proven
+              unknown oob
+          in
+          if issues = [] && ds = [] then Fmt.pr "%s: OK (%s)@." name summary
+          else begin
+            Fmt.pr "%s: %d finding(s) (%s)@." name
+              (List.length issues + List.length ds)
+              summary;
+            List.iter
+              (fun i -> Fmt.pr "  validate: %a@." Tir_sched.Validate.pp_issue i)
+              issues;
+            List.iter
+              (fun d -> Fmt.pr "  %a@." Tir_analysis.Diagnostic.pp d)
+              ds
+          end;
           List.iter
-            (fun d -> Fmt.pr "  %a@." Tir_analysis.Diagnostic.pp d)
-            ds
+            (fun (it : L.item) ->
+              let detail =
+                if it.L.it_detail = "" then "" else " (" ^ it.L.it_detail ^ ")"
+              in
+              Fmt.pr "  legality: %s%s loop %s — %a@." it.L.it_primitive detail
+                it.L.it_loop L.pp_verdict it.L.it_verdict)
+            items
         end)
       named;
+    if json then begin
+      Fmt.pr "{\"schema\": 1, \"findings\": %d, \"files\": [\n%s\n]}@."
+        !findings
+        (String.concat ",\n" (List.rev !json_files))
+    end;
     if !findings > 0 then exit 1
   in
   let targets =
@@ -422,12 +510,21 @@ let lint_cmd =
       & info [ "validate" ]
           ~doc:"Also report \\$(b,§3.3) validation issues, not just analyzer findings.")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one machine-readable JSON document (diagnostics, bounds \
+             tallies, and per-primitive legality verdicts) instead of text.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the semantic static analyzer (data races, region soundness, \
-          bounds) over workloads or script files; non-zero exit on findings")
-    Term.(const run $ targets $ all $ validate)
+          bounds) and the schedule-legality survey over workloads or script \
+          files; non-zero exit on analyzer findings")
+    Term.(const run $ targets $ all $ validate $ json)
 
 (* --- report --- *)
 

@@ -1,5 +1,8 @@
 (** Semantic static analysis over [Primfunc.t]: data-race detection,
-    region-soundness checking, and bounds proving. *)
+    region-soundness checking, and bounds proving. Results are memoized
+    per structural fingerprint; [TIR_ANALYSIS_CACHE=0] disables the
+    cache. Counters are recorded per call (cache hits included), so
+    totals are identical with the cache on or off and at any [TIR_JOBS]. *)
 
 open Tir_ir
 
@@ -13,5 +16,19 @@ val errors : Primfunc.t -> Diagnostic.t list
 (** No findings at all, warnings included. *)
 val is_clean : Primfunc.t -> bool
 
+(** Race-only legality certificate for the parallel structure of the
+    function as scheduled: [Illegal] on a proven race (with the proving
+    diagnostic), [Unknown] on warning-level findings, [Legal] when the
+    race report is clean. *)
+val certify : Primfunc.t -> Legality.verdict
+
 (** [check_func] under an [analysis.lint] span. *)
 val lint : Primfunc.t -> Diagnostic.t list
+
+(** {1 Cache control} *)
+
+val cache_enabled : unit -> bool
+val set_cache_enabled : bool -> unit
+
+(** Drop all memoized diagnostics and reset the memo counters. *)
+val clear_cache : unit -> unit

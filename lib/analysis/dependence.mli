@@ -1,0 +1,114 @@
+(** Dependence analysis over block accesses: per-loop access summaries,
+    loop-carried conflict verdicts, and distance/direction vectors over
+    loop chains.
+
+    The exact queries ({!distance_vectors}) under-approximate — every
+    vector returned is a dependence that really occurs — while the
+    conservative queries ({!direction_domains}, {!loop_conflicts})
+    over-approximate. Legality provers derive [Illegal] only from exact
+    answers and [Legal] only from conservative ones. *)
+
+open Tir_ir
+module Simplify = Tir_arith.Simplify
+module Region = Tir_arith.Region
+
+type access = {
+  a_id : int;  (** site identity, for self-conflict detection *)
+  a_block : string;
+  a_buffer : Buffer.t;
+  a_region : (Expr.t * int) list;  (** mins in loop-variable space *)
+  a_write : bool;
+  a_guarded : bool;  (** under a block predicate or [if] branch *)
+  a_hull : Region.hull option Lazy.t;
+  a_linear : Simplify.linear list Lazy.t;
+}
+
+val make_access :
+  ranges:Bound.interval Var.Map.t ->
+  id:int ->
+  block:string ->
+  buffer:Buffer.t ->
+  region:(Expr.t * int) list ->
+  write:bool ->
+  guarded:bool ->
+  access
+
+val is_parallel_kind : Stmt.for_kind -> bool
+
+(** Only ["global"] buffers participate in race-style checks: ["shared"]
+    cooperative fetches deliberately overlap and ["local"]/["wmma.*"] are
+    thread- or warp-private. *)
+val checked_scope : Buffer.t -> bool
+
+(** Per-dimension footprint of one access w.r.t. loop variable [v]:
+    [(stride, residual_lo, residual_hi, extent)], or [None] when [v] hides
+    inside a non-affine atom or the residual cannot be bounded. *)
+val dim_info :
+  ranges_no_v:Bound.interval Var.Map.t ->
+  Var.t ->
+  Simplify.linear ->
+  Expr.t * int ->
+  (int * int * int * int) option
+
+val exists_multiple : int -> dmax:int -> int -> int -> bool
+
+type verdict = No_conflict | Possible | Proven
+
+type info =
+  access * Region.hull option Lazy.t * (int * int * int * int) option list Lazy.t
+
+val analyze : e_loop:int -> self:bool -> info -> info -> verdict
+
+(** One loop of the function with the accesses beneath it. *)
+type site = {
+  site_for : Stmt.for_;
+  site_loops : string list;  (** enclosing loop names, innermost first *)
+  site_chain : Stmt.for_ list;
+      (** enclosing loops, outermost first, ending with this one *)
+  site_outer : Bound.interval Var.Map.t;
+  site_inner : Bound.interval Var.Map.t;
+  site_accesses : access list;
+}
+
+(** All loop-variable ranges in scope at the site (outer, own, inner). *)
+val site_ranges : site -> Bound.interval Var.Map.t
+
+(** Every loop of the function, post-order (innermost first). *)
+val collect : Primfunc.t -> site list
+
+type conflict = {
+  cf_write : access;  (** oriented: always a write *)
+  cf_other : access;
+  cf_self : bool;
+  cf_write_write : bool;
+  cf_verdict : verdict;  (** [Possible] or [Proven]; clean pairs are dropped *)
+}
+
+(** Write-involving same-buffer pairs on ["global"] buffers that cannot be
+    proven disjoint across iterations of the site's loop. [e_loop] narrows
+    the number of concurrently-live iterations (defaults to the loop
+    extent); the software-pipelining rule passes the stage count. *)
+val loop_conflicts : ?e_loop:int -> site -> conflict list
+
+(** Exact dependence distance vectors of the pair over [chain] (outermost
+    first, with extents), within the box [|d_v| <= min(extent-1, 3)]; the
+    zero vector is excluded. [None] when the footprints are inexact
+    (non-affine atoms, differing strides, guarded accesses, arity
+    mismatch, or an oversized box) — never an over-approximation. *)
+val distance_vectors :
+  chain:(Var.t * int) list -> access -> access -> int list list option
+
+type signs = { s_neg : bool; s_zero : bool; s_pos : bool }
+
+type directions = No_dependence | Domains of signs list
+
+(** Conservative per-chain-variable sign domains of the pair's dependence
+    distances ([ranges] bounds residuals — pass {!site_ranges}).
+    [No_dependence] means the pair provably never touches the same element;
+    [Domains] over-approximates the direction vectors. *)
+val direction_domains :
+  ranges:Bound.interval Var.Map.t ->
+  chain:(Var.t * int) list ->
+  access ->
+  access ->
+  directions

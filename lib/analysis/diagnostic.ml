@@ -6,7 +6,7 @@
 
 type severity = Error | Warning
 
-type kind = Race | Region_unsound | Out_of_bounds
+type kind = Race | Region_unsound | Out_of_bounds | Illegal_transform
 
 type t = {
   severity : severity;
@@ -28,9 +28,12 @@ let kind_to_string = function
   | Race -> "race"
   | Region_unsound -> "region"
   | Out_of_bounds -> "bounds"
+  | Illegal_transform -> "illegal"
 
 (* Stable ordering for deterministic output: severity first (errors before
-   warnings), then block, buffer, message. *)
+   warnings), then block, buffer, message; kind is the final tiebreaker so
+   diagnostics that agreed on every field before [Illegal_transform]
+   existed keep their relative order. *)
 let compare a b =
   let sev = function Error -> 0 | Warning -> 1 in
   let c = Int.compare (sev a.severity) (sev b.severity) in
@@ -43,7 +46,18 @@ let compare a b =
       if c <> 0 then c
       else
         let c = String.compare a.message b.message in
-        if c <> 0 then c else compare a.loops b.loops
+        if c <> 0 then c
+        else
+          let c = compare a.loops b.loops in
+          if c <> 0 then c
+          else
+            let k = function
+              | Race -> 0
+              | Region_unsound -> 1
+              | Out_of_bounds -> 2
+              | Illegal_transform -> 3
+            in
+            Int.compare (k a.kind) (k b.kind)
 
 let pp ppf d =
   Fmt.pf ppf "%s[%s] block %S buffer %S%s: %s" (severity_to_string d.severity)

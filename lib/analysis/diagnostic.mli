@@ -3,7 +3,7 @@
 
 type severity = Error | Warning
 
-type kind = Race | Region_unsound | Out_of_bounds
+type kind = Race | Region_unsound | Out_of_bounds | Illegal_transform
 
 type t = {
   severity : severity;
@@ -27,7 +27,8 @@ val is_error : t -> bool
 val severity_to_string : severity -> string
 val kind_to_string : kind -> string
 
-(** Total order: errors before warnings, then (block, buffer, message). *)
+(** Total order: errors before warnings, then (block, buffer, message,
+    loops, kind). *)
 val compare : t -> t -> int
 
 val pp : t Fmt.t

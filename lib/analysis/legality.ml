@@ -1,0 +1,859 @@
+(** Schedule-legality prover: one verdict per schedule primitive, decided
+    statically on the program the primitive is about to transform.
+
+    The verdict lattice is three-valued:
+    - [Legal]: the transform provably preserves semantics (and, for the
+      structural rules, provably applies without a [Schedule_error]);
+    - [Illegal d]: the transform provably breaks — it either cannot apply
+      (structural mirror of the primitive's own guards) or violates a
+      dependence that really occurs (exact distance-vector witness);
+    - [Unknown]: neither could be proven. The prover never guesses.
+
+    Soundness contract (checked by translation validation in deep-check
+    mode and by the fuzz suite): an [Illegal] verdict implies the dynamic
+    pipeline agrees — the primitive raises, the analyzers flag the applied
+    program, or the interpreter observes a different output on random
+    inputs. A [Legal] verdict implies the primitive applies cleanly and,
+    for the dependence rules, introduces no analyzer error. [Unknown]
+    implies nothing.
+
+    Dependence rules lean on {!Dependence}: [Illegal] only ever comes from
+    exact under-approximations ({!Dependence.distance_vectors} witnesses,
+    or a [Proven] pair conflict), [Legal] only from conservative
+    over-approximations ({!Dependence.direction_domains}, or the absence
+    of any surviving conflict pair). Reorder additionally claims [Illegal]
+    only for read-involving dependences: a reversed write-write (output)
+    dependence can still store identical values (e.g. broadcast writes),
+    so it caps the verdict at [Unknown]. *)
+
+open Tir_ir
+module D = Dependence
+module Metrics = Tir_obs.Metrics
+
+type verdict = Legal | Illegal of Diagnostic.t | Unknown
+
+let verdict_to_string = function
+  | Legal -> "legal"
+  | Illegal _ -> "illegal"
+  | Unknown -> "unknown"
+
+let pp_verdict ppf = function
+  | Legal -> Fmt.string ppf "legal"
+  | Unknown -> Fmt.string ppf "unknown"
+  | Illegal d -> Fmt.pf ppf "illegal: %a" Diagnostic.pp d
+
+(* Verdict tallies. Incremented by the deep-check gates and the search
+   pre-filter, both of which consult the prover a deterministic number of
+   times at any TIR_JOBS (deep-check runs inside a single schedule; the
+   search consults it once per fingerprint inside the evaluation memo). *)
+let m_legal = Metrics.counter "legality.legal"
+let m_illegal = Metrics.counter "legality.illegal"
+let m_unknown = Metrics.counter "legality.unknown"
+let m_agree = Metrics.counter "legality.agree"
+let m_disagree = Metrics.counter "legality.disagree"
+
+let count = function
+  | Legal -> Metrics.incr m_legal
+  | Illegal _ -> Metrics.incr m_illegal
+  | Unknown -> Metrics.incr m_unknown
+
+let count_agreement ok = Metrics.incr (if ok then m_agree else m_disagree)
+
+let illegal ?(block = "") ?(buffer = "") ?(loops = []) fmt =
+  Fmt.kstr
+    (fun m ->
+      Illegal
+        (Diagnostic.make ~kind:Diagnostic.Illegal_transform ~block ~buffer
+           ~loops m))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Structural lookups (State-free: the prover runs on a Primfunc)      *)
+
+let find_site sites v =
+  List.find_opt
+    (fun (s : D.site) -> Var.equal s.D.site_for.Stmt.loop_var v)
+    sites
+
+exception Found_loop of Stmt.for_
+
+(* First loop (pre-order) whose variable satisfies [p] — mirrors how
+   [Zipper.find] locates loops for the primitives. *)
+let first_loop_such (f : Primfunc.t) p =
+  try
+    Stmt.iter
+      (function
+        | Stmt.For r when p r.Stmt.loop_var -> raise (Found_loop r)
+        | _ -> ())
+      f.Primfunc.body;
+    None
+  with Found_loop r -> Some r
+
+let find_loop f v = first_loop_such f (Var.equal v)
+
+(* Would removing block [name]'s realize prune away the whole subtree?
+   Mirrors [State.prune_empty] after the realize is replaced by an empty
+   sequence. *)
+let rec prunes_away name (s : Stmt.t) =
+  match s with
+  | Stmt.Block br -> String.equal br.Stmt.block.Stmt.name name
+  | Stmt.For r -> prunes_away name r.Stmt.body
+  | Stmt.Seq ss -> List.for_all (prunes_away name) ss
+  | Stmt.If (_, t, e) -> (
+      prunes_away name t
+      && match e with None -> true | Some e -> prunes_away name e)
+  | Stmt.Eval _ | Stmt.Store _ -> false
+
+let blocks_in (s : Stmt.t) =
+  List.filter
+    (fun (br : Stmt.block_realize) ->
+      not (String.equal br.Stmt.block.Stmt.name Primfunc.root_block_name))
+    (Stmt.collect_blocks s)
+
+(* Realizes whose blocks access [buffer] according to [select]. *)
+let accessors_of select buffer brs =
+  List.filter
+    (fun (br : Stmt.block_realize) ->
+      List.exists
+        (fun (r : Stmt.buffer_region) -> Buffer.equal r.Stmt.buffer buffer)
+        (select br.Stmt.block))
+    brs
+
+(* ------------------------------------------------------------------ *)
+(* Carried-dependence rules: parallel / vectorize / bind / pipeline    *)
+
+(* No loop-carried dependence among [e_loop] concurrently-live iterations
+   of [site]'s loop, on "global" buffers — the same question the race
+   detector asks after the fact, which is what makes the deep-check
+   cross-validation exact. *)
+let carried_site ~what ?e_loop (site : D.site) =
+  let r = site.D.site_for in
+  let e_loop =
+    match e_loop with Some e -> min e r.Stmt.extent | None -> r.Stmt.extent
+  in
+  if e_loop <= 1 then Legal
+  else
+    let conflicts = D.loop_conflicts ~e_loop site in
+    let proven =
+      List.find_opt
+        (fun c -> match c.D.cf_verdict with D.Proven -> true | _ -> false)
+        conflicts
+    in
+    match proven with
+    | Some c ->
+        let a = c.D.cf_write and b = c.D.cf_other in
+        let blocks =
+          if String.equal a.D.a_block b.D.a_block then
+            Fmt.str "block %S" a.D.a_block
+          else Fmt.str "blocks %S and %S" a.D.a_block b.D.a_block
+        in
+        illegal ~block:a.D.a_block ~buffer:a.D.a_buffer.Buffer.name
+          ~loops:(List.rev site.D.site_loops)
+          "%s: %s conflict on %a between concurrent iterations of loop %s (%s)"
+          what
+          (if c.D.cf_write_write then "write-write" else "read-write")
+          Buffer.pp a.D.a_buffer r.Stmt.loop_var.Var.name blocks
+    | None -> if conflicts = [] then Legal else Unknown
+
+let parallelize_kind (f : Primfunc.t) v (kind : Stmt.for_kind) =
+  let what =
+    match kind with
+    | Stmt.Parallel -> "parallel"
+    | Stmt.Vectorized -> "vectorize"
+    | Stmt.Thread_binding t -> Fmt.str "bind %s" t
+    | Stmt.Serial | Stmt.Unrolled -> "set_kind"
+  in
+  if not (D.is_parallel_kind kind) then Legal
+  else
+    match find_site (D.collect f) v with
+    | None -> illegal "%s: no loop %a in function" what Var.pp v
+    | Some site -> carried_site ~what site
+
+let parallelize f v = parallelize_kind f v Stmt.Parallel
+let vectorize f v = parallelize_kind f v Stmt.Vectorized
+let bind f v thread = parallelize_kind f v (Stmt.Thread_binding thread)
+
+let software_pipeline (f : Primfunc.t) v ~stages =
+  if stages <= 1 then Legal
+  else
+    match find_site (D.collect f) v with
+    | None -> illegal "software_pipeline: no loop %a in function" Var.pp v
+    | Some site -> carried_site ~what:"software_pipeline" ~e_loop:stages site
+
+(* ------------------------------------------------------------------ *)
+(* Reorder: structural mirror + exact distance-vector lexicographic
+   check over the permuted chain                                       *)
+
+(* Sign of the lexicographically-first nonzero component of [d] read in
+   the order given by [positions] (a permutation of indices into [d]). *)
+let lex_sign positions d =
+  let arr = Array.of_list d in
+  let rec go = function
+    | [] -> 0
+    | p :: rest -> if arr.(p) <> 0 then compare arr.(p) 0 else go rest
+  in
+  go positions
+
+(* Can some concrete sign vector drawn from [doms] be lex-positive in one
+   order and lex-negative in the other? Conservative: enumeration capped
+   at 4096 combinations; an oversized domain counts as "yes". *)
+let can_flip (doms : D.signs list) ~old_order ~new_order =
+  let choices =
+    List.map
+      (fun (s : D.signs) ->
+        List.concat
+          [
+            (if s.D.s_neg then [ -1 ] else []);
+            (if s.D.s_zero then [ 0 ] else []);
+            (if s.D.s_pos then [ 1 ] else []);
+          ])
+      doms
+  in
+  let total = List.fold_left (fun acc c -> acc * List.length c) 1 choices in
+  if total = 0 then false
+  else if total > 4096 then true
+  else
+    let rec enum acc = function
+      | [] ->
+          let d = List.rev acc in
+          lex_sign old_order d * lex_sign new_order d < 0
+      | c :: rest -> List.exists (fun s -> enum (s :: acc) rest) c
+    in
+    enum [] choices
+
+type chain_entry = { ce_var : Var.t; ce_extent : int }
+
+(* Mirror of the reorder primitive's chain discovery: the maximal directly
+   nested loop chain starting at the first (pre-order) listed loop, with
+   every listed variable required to be in the chain. *)
+let reorder_chain f vars =
+  match first_loop_such f (fun lv -> List.exists (Var.equal lv) vars) with
+  | None -> Error (illegal "reorder: no listed loop found")
+  | Some r0 -> (
+      let rec chain acc (s : Stmt.t) =
+        match s with
+        | Stmt.For r ->
+            chain
+              ({ ce_var = r.Stmt.loop_var; ce_extent = r.Stmt.extent } :: acc)
+              r.Stmt.body
+        | _ -> List.rev acc
+      in
+      let loops = chain [] (Stmt.For r0) in
+      let in_chain v = List.exists (fun e -> Var.equal e.ce_var v) loops in
+      match List.find_opt (fun v -> not (in_chain v)) vars with
+      | Some v ->
+          Error (illegal "reorder: %a is not in the loop chain" Var.pp v)
+      | None ->
+          (* Permute the listed entries into the requested order; unlisted
+             entries keep their positions — same algorithm as the
+             primitive. *)
+          let listed =
+            List.filter (fun e -> List.exists (Var.equal e.ce_var) vars) loops
+          in
+          let reordered = Queue.create () in
+          List.iter
+            (fun v ->
+              Queue.add
+                (List.find (fun e -> Var.equal e.ce_var v) listed)
+                reordered)
+            vars;
+          let new_loops =
+            List.map
+              (fun e ->
+                if List.exists (Var.equal e.ce_var) vars then
+                  Queue.pop reordered
+                else e)
+              loops
+          in
+          Ok (r0, loops, new_loops))
+
+(* The dependence half of the reorder rule, given a discovered chain.
+   [Unknown] whenever exactness is out of reach; [Illegal] only on an
+   exact read-involving distance-vector witness whose lexicographic sign
+   flips under the permutation. A vector with a single nonzero component
+   can never flip (its lex sign is that component's sign in any order), so
+   plain reduction accumulator dependences are automatically legal. *)
+let reorder_carried_chain (f : Primfunc.t) (r0 : Stmt.for_)
+    (old_loops : chain_entry list) (new_loops : chain_entry list) =
+  if List.length old_loops <= 1 then Legal
+  else
+    match find_site (D.collect f) r0.Stmt.loop_var with
+    | None -> Unknown
+    | Some site -> (
+        let chain = List.map (fun e -> (e.ce_var, e.ce_extent)) old_loops in
+        let old_order = List.mapi (fun i _ -> i) old_loops in
+        let index_of v =
+          let rec idx i = function
+            | [] -> -1
+            | o :: rest -> if Var.equal o.ce_var v then i else idx (i + 1) rest
+          in
+          idx 0 old_loops
+        in
+        let new_order = List.map (fun e -> index_of e.ce_var) new_loops in
+        let ranges = D.site_ranges site in
+        let flip_possible = ref false in
+        let witness = ref None in
+        let consider (a : D.access) (b : D.access) =
+          if Option.is_none !witness then
+            match D.direction_domains ~ranges ~chain a b with
+            | D.No_dependence -> ()
+            | D.Domains doms ->
+                if can_flip doms ~old_order ~new_order then begin
+                  flip_possible := true;
+                  (* Only an exact witness upgrades to Illegal, and only a
+                     read-involving one: a reversed output dependence can
+                     still store identical values. *)
+                  if not (a.D.a_write && b.D.a_write) then
+                    match D.distance_vectors ~chain a b with
+                    | None -> ()
+                    | Some vecs -> (
+                        match
+                          List.find_opt
+                            (fun d ->
+                              lex_sign old_order d * lex_sign new_order d < 0)
+                            vecs
+                        with
+                        | None -> ()
+                        | Some d -> witness := Some (a, b, d))
+                end
+        in
+        let rec pairs = function
+          | [] -> ()
+          | (a : D.access) :: rest ->
+              if a.D.a_write then consider a a;
+              List.iter
+                (fun (b : D.access) ->
+                  if
+                    Buffer.equal a.D.a_buffer b.D.a_buffer
+                    && (a.D.a_write || b.D.a_write)
+                  then consider a b)
+                rest;
+              pairs rest
+        in
+        pairs site.D.site_accesses;
+        match !witness with
+        | Some (a, b, d) ->
+            (* First loop in the new order that carries the reversed
+               dependence — the one the diagnostic points at. *)
+            let arr = Array.of_list d in
+            let rec first_carrier = function
+              | [] -> r0.Stmt.loop_var
+              | p :: rest ->
+                  if arr.(p) <> 0 then (List.nth old_loops p).ce_var
+                  else first_carrier rest
+            in
+            let flipped = first_carrier new_order in
+            let blocks =
+              if String.equal a.D.a_block b.D.a_block then
+                Fmt.str "block %S" a.D.a_block
+              else Fmt.str "blocks %S and %S" a.D.a_block b.D.a_block
+            in
+            illegal ~block:a.D.a_block ~buffer:a.D.a_buffer.Buffer.name
+              ~loops:(List.map (fun e -> e.ce_var.Var.name) old_loops)
+              "reorder: dependence on %a with distance (%s) reverses across \
+               loop %s (%s)"
+              Buffer.pp a.D.a_buffer
+              (String.concat ", " (List.map string_of_int d))
+              flipped.Var.name blocks
+        | None -> if !flip_possible then Unknown else Legal)
+
+let reorder (f : Primfunc.t) vars =
+  match vars with
+  | [] -> Legal
+  | _ -> (
+      match reorder_chain f vars with
+      | Error v -> v
+      | Ok (r0, old_loops, new_loops) ->
+          reorder_carried_chain f r0 old_loops new_loops)
+
+(* Dependence half only: structural trouble degrades to [Unknown] so a
+   caller that already knows the primitive applies can still use the
+   carried verdict without double-reporting structural errors. *)
+let reorder_carried (f : Primfunc.t) vars =
+  match vars with
+  | [] -> Legal
+  | _ -> (
+      match reorder_chain f vars with
+      | Error _ -> Unknown
+      | Ok (r0, old_loops, new_loops) ->
+          reorder_carried_chain f r0 old_loops new_loops)
+
+(* ------------------------------------------------------------------ *)
+(* Structural mirrors: split / fuse                                    *)
+
+let split (f : Primfunc.t) v ~factors =
+  match find_loop f v with
+  | None -> illegal "split: no loop %a in function" Var.pp v
+  | Some r ->
+      if List.length factors < 2 then illegal "split needs at least two factors"
+      else
+        let holes = List.length (List.filter (fun x -> x = 0) factors) in
+        if holes > 1 then illegal "split: at most one factor may be inferred"
+        else
+          let known =
+            List.fold_left
+              (fun acc x -> if x = 0 then acc else acc * x)
+              1 factors
+          in
+          let factors =
+            if holes = 1 then
+              List.map
+                (fun x ->
+                  if x = 0 then (r.Stmt.extent + known - 1) / known else x)
+                factors
+            else factors
+          in
+          let product = List.fold_left ( * ) 1 factors in
+          if product < r.Stmt.extent then
+            illegal "split factors %d < extent %d" product r.Stmt.extent
+          else Legal
+
+let fuse_pair (r1 : Stmt.for_) v2 =
+  match r1.Stmt.body with
+  | Stmt.For r2 when Var.equal r2.Stmt.loop_var v2 -> Some r2
+  | _ -> None
+
+let fuse (f : Primfunc.t) v1 v2 =
+  match find_loop f v1 with
+  | None -> illegal "fuse: no loop %a in function" Var.pp v1
+  | Some r1 -> (
+      match fuse_pair r1 v2 with
+      | Some _ -> Legal
+      | None ->
+          illegal "fuse: %a is not directly nested in %a" Var.pp v2 Var.pp v1)
+
+let fuse_many (f : Primfunc.t) vars =
+  match vars with
+  | [] -> illegal "fuse_many: empty"
+  | v :: rest -> (
+      match find_loop f v with
+      | None -> illegal "fuse: no loop %a in function" Var.pp v
+      | Some r0 ->
+          let rec go r = function
+            | [] -> Legal
+            | v' :: rest -> (
+                match fuse_pair r v' with
+                | Some r2 -> go r2 rest
+                | None ->
+                    illegal "fuse: %a is not directly nested in %a" Var.pp v'
+                      Var.pp r.Stmt.loop_var)
+          in
+          go r0 rest)
+
+(* ------------------------------------------------------------------ *)
+(* Structural mirrors: inline                                          *)
+
+let plain_vars idx =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Expr.Var v :: rest -> go (v :: acc) rest
+    | _ :: _ -> None
+  in
+  go [] idx
+
+(* Argument counts of every load of [buf] that the compute_inline rewrite
+   would touch: loads in statement expressions outside block [skip], but
+   not in block-realize binding expressions (the rewrite leaves those
+   alone, and [skip]'s realize is removed before the rewrite runs). *)
+let load_arities ~skip buf (body : Stmt.t) =
+  let out = ref [] in
+  let collect_expr e =
+    Expr.iter
+      (function
+        | Expr.Load (b', args) when Buffer.equal b' buf ->
+            out := List.length args :: !out
+        | _ -> ())
+      e
+  in
+  let rec go (s : Stmt.t) =
+    match s with
+    | Stmt.Block br when String.equal br.Stmt.block.Stmt.name skip -> ()
+    | Stmt.Block br ->
+        Option.iter go br.Stmt.block.Stmt.init;
+        go br.Stmt.block.Stmt.body
+    | Stmt.For r -> go r.Stmt.body
+    | Stmt.Seq ss -> List.iter go ss
+    | Stmt.If (c, t, e) ->
+        collect_expr c;
+        go t;
+        Option.iter go e
+    | Stmt.Eval e -> collect_expr e
+    | Stmt.Store (_, idx, value) -> List.iter collect_expr (value :: idx)
+  in
+  go body;
+  !out
+
+let compute_inline (f : Primfunc.t) name =
+  match Stmt.find_block f.Primfunc.body name with
+  | None -> illegal "no block %S in function" name
+  | Some br -> (
+      let b = br.Stmt.block in
+      if b.Stmt.init <> None then
+        illegal ~block:name "compute_inline: %S is a reduction block" name
+      else if
+        List.exists
+          (fun (iv : Stmt.iter_var) -> iv.Stmt.itype <> Stmt.Spatial)
+          b.Stmt.iter_vars
+      then
+        illegal ~block:name "compute_inline: %S has non-spatial iterators" name
+      else
+        match b.Stmt.body with
+        | Stmt.Store (buf, idx, _) -> (
+            if List.exists (Buffer.equal buf) f.Primfunc.params then
+              illegal ~block:name ~buffer:buf.Buffer.name
+                "compute_inline: %S writes function output %a" name Buffer.pp
+                buf
+            else
+              match plain_vars idx with
+              | None ->
+                  illegal ~block:name
+                    "block %S store index is not a plain iterator" name
+              | Some ivars ->
+                  if
+                    List.exists
+                      (fun n -> n <> List.length ivars)
+                      (load_arities ~skip:name buf f.Primfunc.body)
+                  then Unknown
+                  else if prunes_away name f.Primfunc.body then Unknown
+                  else Legal)
+        | _ -> illegal ~block:name "block %S body is not a single store" name)
+
+let reverse_compute_inline (f : Primfunc.t) name =
+  match Stmt.find_block f.Primfunc.body name with
+  | None -> illegal "no block %S in function" name
+  | Some brc -> (
+      let c = brc.Stmt.block in
+      if c.Stmt.init <> None then
+        illegal ~block:name "reverse_compute_inline: %S is a reduction" name
+      else
+        match c.Stmt.body with
+        | Stmt.Store (_, _, c_value) -> (
+            match c.Stmt.reads with
+            | [ r ] -> (
+                let sites = ref [] in
+                Expr.iter
+                  (function
+                    | Expr.Load (b', args) when Buffer.equal b' r.Stmt.buffer
+                      ->
+                        sites := args :: !sites
+                    | _ -> ())
+                  c_value;
+                match !sites with
+                | [ args ] -> (
+                    match plain_vars args with
+                    | None ->
+                        illegal ~block:name
+                          "block %S store index is not a plain iterator" name
+                    | Some p_args -> (
+                        let producers =
+                          List.filter
+                            (fun (br : Stmt.block_realize) ->
+                              List.exists
+                                (fun (w : Stmt.buffer_region) ->
+                                  Buffer.equal w.Stmt.buffer r.Stmt.buffer)
+                                br.Stmt.block.Stmt.writes
+                              && not
+                                   (String.equal br.Stmt.block.Stmt.name name))
+                            (Primfunc.blocks f)
+                        in
+                        match producers with
+                        | [ brp ] -> (
+                            let producer = brp.Stmt.block in
+                            if producer.Stmt.init <> None then
+                              illegal ~block:producer.Stmt.name
+                                "reverse_compute_inline: producer %S is a \
+                                 reduction block"
+                                producer.Stmt.name
+                            else
+                              match producer.Stmt.body with
+                              | Stmt.Store (_, p_idx, _) ->
+                                  if List.length p_args <> List.length p_idx
+                                  then Unknown
+                                  else if prunes_away name f.Primfunc.body then
+                                    Unknown
+                                  else Legal
+                              | _ ->
+                                  illegal ~block:producer.Stmt.name
+                                    "block %S body is not a single store"
+                                    producer.Stmt.name)
+                        | _ ->
+                            illegal ~block:name
+                              "reverse_compute_inline: %S needs a unique \
+                               producer"
+                              name))
+                | _ ->
+                    illegal ~block:name
+                      "reverse_compute_inline: %S reads its input more than \
+                       once"
+                      name)
+            | _ ->
+                illegal ~block:name
+                  "reverse_compute_inline: %S must read exactly one buffer"
+                  name)
+        | _ -> illegal ~block:name "block %S body is not a single store" name)
+
+(* ------------------------------------------------------------------ *)
+(* Compute-location mirrors with producer–consumer coverage            *)
+
+let trivial_region_vars (r : Stmt.buffer_region) =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | (Expr.Var v, 1) :: rest -> go (v :: acc) rest
+    | _ :: _ -> None
+  in
+  go [] r.Stmt.region
+
+let compute_at_like (f : Primfunc.t) ~reverse name v =
+  let what = if reverse then "reverse_compute_at" else "compute_at" in
+  match Stmt.find_block f.Primfunc.body name with
+  | None -> illegal "no block %S in function" name
+  | Some br0 -> (
+      match find_loop f v with
+      | None -> illegal "%s: no loop %a in function" what Var.pp v
+      | Some rl -> (
+          let tying =
+            if not reverse then
+              (* Producer moves in: its single write region ties it. *)
+              match br0.Stmt.block.Stmt.writes with
+              | [ w ] -> Ok w
+              | _ ->
+                  Error
+                    (illegal ~block:name
+                       "compute_at: block %S must write exactly one buffer"
+                       name)
+            else
+              (* Consumer moves in: the single read produced inside the
+                 target loop ties it. *)
+              let written = Stmt.stored_buffers (Stmt.For rl) in
+              match
+                List.filter
+                  (fun (r : Stmt.buffer_region) ->
+                    Buffer.Set.mem r.Stmt.buffer written)
+                  br0.Stmt.block.Stmt.reads
+              with
+              | [ r ] -> Ok r
+              | _ ->
+                  Error
+                    (illegal ~block:name
+                       "reverse_compute_at: ambiguous or missing consumed \
+                        buffer")
+          in
+          match tying with
+          | Error verdict -> verdict
+          | Ok region -> (
+              match trivial_region_vars region with
+              | None ->
+                  illegal ~block:name ~buffer:region.Stmt.buffer.Buffer.name
+                    "block %S accesses %a non-trivially; cannot relocate" name
+                    Buffer.pp region.Stmt.buffer
+              | Some dim_vars ->
+                  let buffer = region.Stmt.buffer in
+                  (* The primitive re-finds the loop after detaching the
+                     block; if the block was the loop's only content the
+                     loop is pruned away and the primitive raises. *)
+                  if prunes_away name (Stmt.For rl) then Unknown
+                  else
+                    let select (b : Stmt.block) =
+                      if reverse then b.Stmt.writes else b.Stmt.reads
+                    in
+                    let inside =
+                      List.filter
+                        (fun (br : Stmt.block_realize) ->
+                          not (String.equal br.Stmt.block.Stmt.name name))
+                        (blocks_in (Stmt.For rl))
+                    in
+                    let feeders = accessors_of select buffer inside in
+                    if feeders = [] then
+                      illegal ~block:name ~buffer:buffer.Buffer.name
+                        "no block inside loop %a accesses buffer %a" Var.pp v
+                        Buffer.pp buffer
+                    else if
+                      (* A region-rank mismatch would make the primitive's
+                         dimension pairing raise outside Schedule_error. *)
+                      List.exists
+                        (fun (br : Stmt.block_realize) ->
+                          List.exists
+                            (fun (r : Stmt.buffer_region) ->
+                              Buffer.equal r.Stmt.buffer buffer
+                              && List.length r.Stmt.region
+                                 <> List.length dim_vars)
+                            (select br.Stmt.block))
+                        feeders
+                    then Unknown
+                    else
+                      (* Coverage: the regenerated nest only produces (or
+                         consumes) what the loop's own blocks touch, and
+                         moving the block changes when it runs relative to
+                         its peers. Legal requires (a) every counterparty
+                         access of the tying buffer to live inside the
+                         loop, (b) the moved block's other operands to be
+                         fully produced before the loop runs, and (c) for
+                         a moved consumer, no third party to read its
+                         outputs. *)
+                      let all = blocks_in f.Primfunc.body in
+                      let inside_name n =
+                        List.exists
+                          (fun (i : Stmt.block_realize) ->
+                            String.equal i.Stmt.block.Stmt.name n)
+                          inside
+                      in
+                      let outside_counterparties =
+                        accessors_of select buffer
+                          (List.filter
+                             (fun (br : Stmt.block_realize) ->
+                               let n = br.Stmt.block.Stmt.name in
+                               (not (String.equal n name))
+                               && not (inside_name n))
+                             all)
+                      in
+                      if outside_counterparties <> [] then Unknown
+                      else
+                        (* Pre-order realize positions approximate program
+                           order; the loop runs where its first block
+                           does. *)
+                        let order =
+                          List.mapi
+                            (fun i (br : Stmt.block_realize) ->
+                              (br.Stmt.block.Stmt.name, i))
+                            (Primfunc.blocks f)
+                        in
+                        let pos n =
+                          match List.assoc_opt n order with
+                          | Some i -> i
+                          | None -> max_int
+                        in
+                        let loop_pos =
+                          List.fold_left
+                            (fun acc (br : Stmt.block_realize) ->
+                              min acc (pos br.Stmt.block.Stmt.name))
+                            max_int
+                            (blocks_in (Stmt.For rl))
+                        in
+                        let reads_ready =
+                          List.for_all
+                            (fun (r : Stmt.buffer_region) ->
+                              Buffer.equal r.Stmt.buffer buffer
+                              || List.for_all
+                                   (fun (br : Stmt.block_realize) ->
+                                     String.equal br.Stmt.block.Stmt.name name
+                                     || pos br.Stmt.block.Stmt.name < loop_pos)
+                                   (accessors_of
+                                      (fun b -> b.Stmt.writes)
+                                      r.Stmt.buffer all))
+                            br0.Stmt.block.Stmt.reads
+                        in
+                        let writes_safe =
+                          (not reverse)
+                          || List.for_all
+                               (fun (w : Stmt.buffer_region) ->
+                                 List.for_all
+                                   (fun (br : Stmt.block_realize) ->
+                                     String.equal br.Stmt.block.Stmt.name name)
+                                   (accessors_of
+                                      (fun b -> b.Stmt.reads)
+                                      w.Stmt.buffer all))
+                               br0.Stmt.block.Stmt.writes
+                        in
+                        if reads_ready && writes_safe then Legal else Unknown)))
+
+let compute_at f name v = compute_at_like f ~reverse:false name v
+let reverse_compute_at f name v = compute_at_like f ~reverse:true name v
+
+(* ------------------------------------------------------------------ *)
+(* Lint survey                                                         *)
+
+type item = {
+  it_primitive : string;
+  it_loop : string;
+  it_block : string;
+  it_advisory : bool;
+      (** advisory items judge a hypothetical transform (e.g. interchange
+          of two directly nested loops); non-advisory items judge
+          artifacts already present in the program *)
+  it_detail : string;
+  it_verdict : verdict;
+}
+
+let item_block = function
+  | Illegal d -> d.Diagnostic.block
+  | Legal | Unknown -> ""
+
+let survey (f : Primfunc.t) : item list =
+  (* outermost-first reads better in a report *)
+  let sites = List.rev (D.collect f) in
+  let items = ref [] in
+  let add it = items := it :: !items in
+  List.iter
+    (fun (site : D.site) ->
+      let r = site.D.site_for in
+      let lname = r.Stmt.loop_var.Var.name in
+      (match r.Stmt.kind with
+      | Stmt.Parallel | Stmt.Vectorized | Stmt.Thread_binding _ ->
+          let prim =
+            match r.Stmt.kind with
+            | Stmt.Parallel -> "parallel"
+            | Stmt.Vectorized -> "vectorize"
+            | _ -> "bind"
+          in
+          let verdict = carried_site ~what:prim site in
+          add
+            {
+              it_primitive = prim;
+              it_loop = lname;
+              it_block = item_block verdict;
+              it_advisory = false;
+              it_detail = "";
+              it_verdict = verdict;
+            }
+      | Stmt.Serial | Stmt.Unrolled -> ());
+      (match List.assoc_opt "software_pipeline" r.Stmt.annotations with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some stages when stages > 1 ->
+              let verdict =
+                carried_site ~what:"software_pipeline" ~e_loop:stages site
+              in
+              add
+                {
+                  it_primitive = "software_pipeline";
+                  it_loop = lname;
+                  it_block = item_block verdict;
+                  it_advisory = false;
+                  it_detail = Fmt.str "stages=%d" stages;
+                  it_verdict = verdict;
+                }
+          | _ -> ())
+      | None -> ());
+      (* Interchange advisory: would swapping this serial loop with its
+         (serial, directly enclosing) parent be legal? *)
+      let rec last2 = function
+        | [ p; s ] -> Some (p, s)
+        | _ :: rest -> last2 rest
+        | [] -> None
+      in
+      match last2 site.D.site_chain with
+      | Some (parent, self) -> (
+          match parent.Stmt.body with
+          | Stmt.For inner
+            when Var.equal inner.Stmt.loop_var self.Stmt.loop_var -> (
+              match (self.Stmt.kind, parent.Stmt.kind) with
+              | Stmt.Serial, Stmt.Serial ->
+                  let verdict =
+                    reorder f [ self.Stmt.loop_var; parent.Stmt.loop_var ]
+                  in
+                  add
+                    {
+                      it_primitive = "reorder";
+                      it_loop = lname;
+                      it_block = item_block verdict;
+                      it_advisory = true;
+                      it_detail =
+                        Fmt.str "interchange with parent %s"
+                          parent.Stmt.loop_var.Var.name;
+                      it_verdict = verdict;
+                    }
+              | _ -> ())
+          | _ -> ())
+      | None -> ())
+    sites;
+  List.rev !items

@@ -1,0 +1,107 @@
+(** Schedule-legality prover: a three-valued verdict per schedule
+    primitive, decided statically on the program the primitive is about to
+    transform.
+
+    Soundness contract: [Illegal] implies the dynamic pipeline agrees (the
+    primitive raises a [Schedule_error], the analyzers flag the applied
+    program, or the interpreter observes different outputs on random
+    inputs); [Legal] implies the primitive applies cleanly and, for the
+    dependence rules, introduces no analyzer error; [Unknown] implies
+    nothing. [Illegal] only ever derives from exact under-approximations,
+    [Legal] only from conservative over-approximations. *)
+
+open Tir_ir
+
+type verdict = Legal | Illegal of Diagnostic.t | Unknown
+
+val verdict_to_string : verdict -> string
+val pp_verdict : verdict Fmt.t
+
+(** Record a verdict in the [legality.legal] / [legality.illegal] /
+    [legality.unknown] counters. *)
+val count : verdict -> unit
+
+(** Record a translation-validation outcome in [legality.agree] /
+    [legality.disagree]. *)
+val count_agreement : bool -> unit
+
+(** {1 Loop-carried dependence rules} *)
+
+(** No loop-carried dependence among concurrently-live iterations (the
+    question the race detector asks after the fact): [Illegal] on a proven
+    conflict, [Unknown] on an unprovable one, [Legal] when every pair is
+    provably disjoint. *)
+
+val parallelize : Primfunc.t -> Var.t -> verdict
+
+val vectorize : Primfunc.t -> Var.t -> verdict
+
+val bind : Primfunc.t -> Var.t -> string -> verdict
+
+(** Generic entry: [Legal] immediately for non-parallel kinds. *)
+val parallelize_kind : Primfunc.t -> Var.t -> Stmt.for_kind -> verdict
+
+(** Stage-disjointness for software pipelining: at most [stages]
+    iterations are in flight concurrently, so the carried-dependence check
+    runs with the concurrency window narrowed to [stages]. [stages <= 1]
+    is trivially [Legal]. *)
+val software_pipeline : Primfunc.t -> Var.t -> stages:int -> verdict
+
+(** {1 Reorder} *)
+
+(** Full rule: structural mirror of the primitive's chain discovery, then
+    the dependence check — [Illegal] only on an exact read-involving
+    distance-vector witness whose lexicographic sign flips under the
+    permutation, [Legal] only when no pair's direction domains admit a
+    flip. *)
+val reorder : Primfunc.t -> Var.t list -> verdict
+
+(** Dependence half only: structural failures degrade to [Unknown] instead
+    of [Illegal], for callers that let the primitive report its own
+    structural errors. *)
+val reorder_carried : Primfunc.t -> Var.t list -> verdict
+
+(** {1 Structural mirrors} *)
+
+(** [split] / [fuse] / [fuse_many] mirror the primitives' applicability
+    guards exactly (affine index preservation is by construction: the
+    rewrites substitute affine expressions for loop variables). *)
+
+val split : Primfunc.t -> Var.t -> factors:int list -> verdict
+
+val fuse : Primfunc.t -> Var.t -> Var.t -> verdict
+
+val fuse_many : Primfunc.t -> Var.t list -> verdict
+
+(** {1 Inlining and compute-location rules} *)
+
+val compute_inline : Primfunc.t -> string -> verdict
+
+val reverse_compute_inline : Primfunc.t -> string -> verdict
+
+(** Mirror of the primitive's guards plus producer–consumer coverage:
+    [Legal] additionally requires every counterparty access of the moved
+    buffer to live inside the target loop and the moved block's other
+    operands to be produced before the loop runs. *)
+val compute_at : Primfunc.t -> string -> Var.t -> verdict
+
+val reverse_compute_at : Primfunc.t -> string -> Var.t -> verdict
+
+(** {1 Lint survey} *)
+
+type item = {
+  it_primitive : string;
+  it_loop : string;
+  it_block : string;
+  it_advisory : bool;
+      (** advisory items judge a hypothetical transform (e.g. interchange
+          of two directly nested serial loops); non-advisory items judge
+          artifacts already present in the program *)
+  it_detail : string;
+  it_verdict : verdict;
+}
+
+(** Judge the legality artifacts present in [f] (parallel/vectorized/bound
+    loops, software-pipeline annotations) plus interchange advisories for
+    perfectly nested serial loop pairs, outermost first. *)
+val survey : Primfunc.t -> item list

@@ -3,11 +3,10 @@
     For every loop marked [Parallel] / [Vectorized] / [Thread_binding] the
     detector checks that distinct iterations touch disjoint elements:
     write-write conflicts between any two write accesses under the loop,
-    and read-write conflicts between writes and sibling reads. Accesses are
-    the declared regions of the blocks beneath the loop, substituted
-    through their iterator bindings into loop-variable space (region
-    soundness guarantees these over-approximate the bodies), plus raw
-    stores/loads appearing between a block and its nested blocks.
+    and read-write conflicts between writes and sibling reads. The access
+    collection and per-pair disjointness proofs live in {!Dependence}
+    (shared with the schedule-legality prover); this module only maps the
+    surviving conflicts to diagnostics.
 
     Legal exceptions (not flagged):
     - non-["global"] buffers: ["shared"] is per-thread-block storage whose
@@ -18,314 +17,48 @@
       when the reduce loop itself is parallelized;
     - conflicts that cannot be proven to occur on the declared regions are
       downgraded to warnings, as are conflicts involving predicated
-      (partial-tile) accesses.
-
-    Disjointness per dimension: writing each access's footprint for loop
-    iteration [v] as [c*v + residual + [0, ext-1]] with [residual] bounded
-    over the other variables in scope, two accesses with equal stride [c]
-    collide at iteration distance [d] only if [c*d] lands in the interval
-    of footprint differences; if no [d <> 0] within the loop extent does,
-    the dimension — and hence the pair — is disjoint. *)
+      (partial-tile) accesses. *)
 
 open Tir_ir
-module Simplify = Tir_arith.Simplify
-module Region = Tir_arith.Region
-
-type acc = {
-  r_id : int;  (** site identity, for self-conflict detection *)
-  r_block : string;
-  r_buffer : Buffer.t;
-  r_region : (Expr.t * int) list;  (** mins in loop-variable space *)
-  r_write : bool;
-  r_guarded : bool;  (** under a block predicate or [if] branch *)
-  r_hull : Region.hull option Lazy.t;
-      (** full-footprint hull, all variables relaxed over their extents *)
-  r_linear : Simplify.linear list Lazy.t;
-      (** simplified linear form of each region min *)
-}
-
-(* Every loop variable ranges over [0, extent) no matter which enclosing
-   loop is being checked, so an access's hull and the simplified linear
-   forms of its region mins are loop-invariant: compute them lazily once
-   per access instead of once per enclosing parallel loop (and, before
-   that, once per access pair). *)
-let make_acc ~ranges ~id ~block ~buffer ~region ~write ~guarded =
-  {
-    r_id = id;
-    r_block = block;
-    r_buffer = buffer;
-    r_region = region;
-    r_write = write;
-    r_guarded = guarded;
-    r_hull = lazy (Region.hull_of_region ranges { Stmt.buffer; region });
-    r_linear =
-      lazy
-        (List.map
-           (fun (mn, _) ->
-             Simplify.to_linear (Simplify.simplify { Simplify.ranges } mn))
-           region);
-  }
-
-let is_parallel_kind = function
-  | Stmt.Parallel | Stmt.Vectorized | Stmt.Thread_binding _ -> true
-  | Stmt.Serial | Stmt.Unrolled -> false
-
-let checked_scope (b : Buffer.t) = String.equal b.scope "global"
-
-(* Per-dimension footprint of one access w.r.t. the parallel loop variable
-   [v]: stride [c], residual interval [blo, bhi] over the other variables,
-   extent [ext]. [None] when [v] hides inside a non-affine atom or the
-   residual cannot be bounded. *)
-let dim_info ~ranges_no_v v (l : Simplify.linear) ((_, ext) : Expr.t * int) =
-  let is_v e = match e with Expr.Var u -> Var.equal u v | _ -> false in
-  let v_in_atom =
-    List.exists
-      (fun (e, _) -> (not (is_v e)) && Var.Set.mem v (Expr.free_vars e))
-      l.Simplify.terms
-  in
-  if v_in_atom then None
-  else
-    let c =
-      List.fold_left
-        (fun acc (e, k) -> if is_v e then acc + k else acc)
-        0 l.Simplify.terms
-    in
-    let residual =
-      { l with Simplify.terms = List.filter (fun (e, _) -> not (is_v e)) l.Simplify.terms }
-    in
-    match Bound.of_expr_map ranges_no_v (Simplify.of_linear residual) with
-    | Some { Bound.lo; hi } -> Some (c, lo, hi, ext)
-    | None -> None
-
-(* Is some multiple [c*d] with [1 <= d <= dmax] (either sign of the
-   product) inside [s_lo, s_hi]? [c = 0] asks whether 0 is. *)
-let exists_multiple c ~dmax s_lo s_hi =
-  if s_lo > s_hi then false
-  else if c = 0 then s_lo <= 0 && 0 <= s_hi
-  else
-    let bound = max (abs s_lo) (abs s_hi) in
-    let rec go d =
-      if d > dmax then false
-      else
-        let s = c * d in
-        if abs s > bound then false
-        else if (s >= s_lo && s <= s_hi) || (-s >= s_lo && -s <= s_hi) then true
-        else go (d + 1)
-    in
-    go 1
-
-type verdict = No_conflict | Possible | Proven
-
-(* Conflict verdict for one pair of accesses under loop var [v] of extent
-   [e_loop]. [self] marks the write-write pair of a single site with
-   itself. *)
-(* [ha]/[hb] and [da]/[db] are the per-access hull and per-dimension info,
-   computed lazily once per access per loop — the pair loop below is
-   quadratic, and recomputing the simplifier-heavy hull/stride analysis
-   per pair dominated the whole checker. *)
-let analyze ~e_loop ~self ((a : acc), ha, da) ((b : acc), hb, db) =
-  if List.length a.r_region <> List.length b.r_region then Possible
-  else
-    (* Static pre-check: if the full hulls never intersect, the accesses
-       are disjoint outright. *)
-    match (Lazy.force ha, Lazy.force hb) with
-    | Some ha, Some hb when Region.intersect_hull ha hb = None -> No_conflict
-    | _ ->
-        let da = Lazy.force da and db = Lazy.force db in
-        let dims = List.combine da db in
-        let dmax = e_loop - 1 in
-        let disjoint_dim = function
-          | Some (c1, b1lo, b1hi, e1), Some (c2, b2lo, b2hi, e2) when c1 = c2 ->
-              let s_lo = b1lo - b2hi - e2 + 1 and s_hi = b1hi - b2lo + e1 - 1 in
-              not (exists_multiple c1 ~dmax s_lo s_hi)
-          | _ -> false
-        in
-        if List.exists disjoint_dim dims then No_conflict
-        else
-          let known =
-            List.for_all
-              (function
-                | Some (c1, _, _, _), Some (c2, _, _, _) -> c1 = c2
-                | _ -> false)
-              dims
-          in
-          if not known then Possible
-          else if a.r_guarded || b.r_guarded then Possible
-          else
-            (* Witness search: one iteration distance d that collides in
-               every dimension simultaneously. *)
-            let collides_at d =
-              List.for_all
-                (function
-                  | Some (c, b1lo, b1hi, e1), Some (_, b2lo, b2hi, e2) ->
-                      if self then abs (c * d) <= e1 - 1
-                      else
-                        b1lo = b1hi && b2lo = b2hi
-                        &&
-                        let s = c * d in
-                        s >= b1lo - b2hi - e2 + 1 && s <= b1hi - b2lo + e1 - 1
-                  | _ -> false)
-                dims
-            in
-            let rec search d =
-              if d > min dmax 4096 then Possible
-              else if collides_at d || collides_at (-d) then Proven
-              else search (d + 1)
-            in
-            search 1
+module D = Dependence
 
 let check (f : Primfunc.t) : Diagnostic.t list =
   let diags = ref [] in
-  let next_id = ref 0 in
-  let fresh_id () = incr next_id; !next_id in
-  let check_loop ~outer ~inner ~loops (r : Stmt.for_) accs =
-    let v = r.loop_var in
-    let ranges_no_v = Var.Map.union (fun _ a _ -> Some a) outer inner in
-    let accs = List.filter (fun a -> checked_scope a.r_buffer) accs in
-    let infos =
-      List.map
-        (fun a ->
-          ( a,
-            a.r_hull,
-            lazy
-              (List.map2 (dim_info ~ranges_no_v v) (Lazy.force a.r_linear)
-                 a.r_region) ))
-        accs
-    in
-    let loop_desc =
-      Fmt.str "%s loop %s" (Stmt.for_kind_to_string r.kind) v.Var.name
-    in
-    let report kind_str verdict (a : acc) (b : acc) =
-      let severity =
-        match verdict with Proven -> Diagnostic.Error | _ -> Diagnostic.Warning
-      in
-      let blocks =
-        if String.equal a.r_block b.r_block then Fmt.str "block %S" a.r_block
-        else Fmt.str "blocks %S and %S" a.r_block b.r_block
-      in
-      diags :=
-        Diagnostic.make ~severity ~kind:Diagnostic.Race ~block:a.r_block
-          ~buffer:a.r_buffer.Buffer.name ~loops:(List.rev loops)
-          (Fmt.str "%s conflict on %a between iterations of %s (%s)%s" kind_str
-             Buffer.pp a.r_buffer loop_desc blocks
-             (match verdict with
-             | Proven -> ""
-             | _ -> " — cannot prove iterations disjoint"))
-        :: !diags
-    in
-    let pair ((a : acc), _, _ as ia) ((b : acc), _, _ as ib) =
-      if Buffer.equal a.r_buffer b.r_buffer && (a.r_write || b.r_write) then
-        let self = a.r_id = b.r_id in
-        (* orient so the first access is a write *)
-        let ia, ib = if a.r_write then (ia, ib) else (ib, ia) in
-        let (a, _, _) = ia and (b, _, _) = ib in
-        match analyze ~e_loop:r.extent ~self ia ib with
-        | No_conflict -> ()
-        | verdict ->
-            let kind_str = if a.r_write && b.r_write then "write-write" else "read-write" in
-            report kind_str verdict a b
-    in
-    let rec pairs = function
-      | [] -> ()
-      | a :: rest ->
-          if (let (x, _, _) = a in x.r_write) then pair a a;
-          List.iter (pair a) rest;
-          pairs rest
-    in
-    pairs infos
-  in
-  (* Walk bottom-up: returns the subtree's accesses (in loop-variable
-     space) and the ranges of the loop variables it contains. *)
-  let rec walk ~outer ~subst ~guarded ~block ~loops (s : Stmt.t) :
-      acc list * Bound.interval Var.Map.t =
-    let union_inner = Var.Map.union (fun _ a _ -> Some a) in
-    match s with
-    | Stmt.For r ->
-        let outer' = Var.Map.add r.loop_var (Bound.of_extent r.extent) outer in
-        let loops' = r.loop_var.Var.name :: loops in
-        let accs, inner = walk ~outer:outer' ~subst ~guarded ~block ~loops:loops' r.body in
-        if is_parallel_kind r.kind && r.extent > 1 then
-          check_loop ~outer ~inner ~loops:loops' r accs;
-        (accs, Var.Map.add r.loop_var (Bound.of_extent r.extent) inner)
-    | Stmt.Seq ss ->
-        List.fold_left
-          (fun (accs, inner) s ->
-            let a, i = walk ~outer ~subst ~guarded ~block ~loops s in
-            (a @ accs, union_inner inner i))
-          ([], Var.Map.empty) ss
-    | Stmt.If (c, t, e) ->
-        let reads = expr_accesses ~outer ~subst ~guarded:true ~block c in
-        let at, it = walk ~outer ~subst ~guarded:true ~block ~loops t in
-        let ae, ie =
-          match e with
-          | None -> ([], Var.Map.empty)
-          | Some e -> walk ~outer ~subst ~guarded:true ~block ~loops e
+  List.iter
+    (fun (site : D.site) ->
+      let r = site.D.site_for in
+      if D.is_parallel_kind r.Stmt.kind && r.Stmt.extent > 1 then
+        let loop_desc =
+          Fmt.str "%s loop %s"
+            (Stmt.for_kind_to_string r.Stmt.kind)
+            r.Stmt.loop_var.Var.name
         in
-        (reads @ at @ ae, union_inner it ie)
-    | Stmt.Eval e -> (expr_accesses ~outer ~subst ~guarded ~block e, Var.Map.empty)
-    | Stmt.Store (buf, idx, value) ->
-        let reads =
-          List.concat_map (expr_accesses ~outer ~subst ~guarded ~block) (value :: idx)
-        in
-        let write =
-          make_acc ~ranges:outer ~id:(fresh_id ()) ~block ~buffer:buf
-            ~region:(List.map (fun i -> (Expr.subst_map subst i, 1)) idx)
-            ~write:true ~guarded
-        in
-        (write :: reads, Var.Map.empty)
-    | Stmt.Block br ->
-        let b = br.block in
-        let binding_reads =
-          List.concat_map
-            (expr_accesses ~outer ~subst ~guarded ~block)
-            (br.predicate :: br.iter_values)
-        in
-        let subst' =
-          List.fold_left2
-            (fun m (iv : Stmt.iter_var) value ->
-              Var.Map.add iv.var (Expr.subst_map subst value) m)
-            subst b.iter_vars br.iter_values
-        in
-        let guarded' = guarded || br.predicate <> Expr.Bool true in
-        let _, inner_init =
-          match b.init with
-          | None -> ([], Var.Map.empty)
-          | Some init ->
-              walk ~outer ~subst:subst' ~guarded:guarded' ~block:b.name ~loops init
-        in
-        let _, inner_body =
-          walk ~outer ~subst:subst' ~guarded:guarded' ~block:b.name ~loops b.body
-        in
-        (* The block's summary for enclosing loops is its declared
-           signature, substituted into loop-variable space. *)
-        let declared write (r : Stmt.buffer_region) =
-          make_acc ~ranges:outer ~id:(fresh_id ()) ~block:b.name
-            ~buffer:r.buffer
-            ~region:
-              (List.map (fun (mn, ext) -> (Expr.subst_map subst' mn, ext)) r.region)
-            ~write ~guarded:guarded'
-        in
-        ( (if String.equal b.name Primfunc.root_block_name then []
-           else
-             List.map (declared false) b.reads @ List.map (declared true) b.writes)
-          @ binding_reads,
-          union_inner inner_init inner_body )
-  and expr_accesses ~outer ~subst ~guarded ~block e =
-    let out = ref [] in
-    Expr.iter
-      (function
-        | Expr.Load (buf, idx) | Expr.Ptr (buf, idx) ->
-            out :=
-              make_acc ~ranges:outer ~id:(fresh_id ()) ~block ~buffer:buf
-                ~region:(List.map (fun i -> (Expr.subst_map subst i, 1)) idx)
-                ~write:false ~guarded
-              :: !out
-        | _ -> ())
-      e;
-    !out
-  in
-  let root = Primfunc.root_block f in
-  ignore
-    (walk ~outer:Var.Map.empty ~subst:Var.Map.empty ~guarded:false
-       ~block:root.Stmt.name ~loops:[] f.body);
+        List.iter
+          (fun (c : D.conflict) ->
+            let a = c.D.cf_write and b = c.D.cf_other in
+            let severity =
+              match c.D.cf_verdict with
+              | D.Proven -> Diagnostic.Error
+              | _ -> Diagnostic.Warning
+            in
+            let blocks =
+              if String.equal a.D.a_block b.D.a_block then
+                Fmt.str "block %S" a.D.a_block
+              else Fmt.str "blocks %S and %S" a.D.a_block b.D.a_block
+            in
+            let kind_str =
+              if c.D.cf_write_write then "write-write" else "read-write"
+            in
+            diags :=
+              Diagnostic.make ~severity ~kind:Diagnostic.Race ~block:a.D.a_block
+                ~buffer:a.D.a_buffer.Buffer.name
+                ~loops:(List.rev site.D.site_loops)
+                (Fmt.str "%s conflict on %a between iterations of %s (%s)%s"
+                   kind_str Buffer.pp a.D.a_buffer loop_desc blocks
+                   (match c.D.cf_verdict with
+                   | D.Proven -> ""
+                   | _ -> " — cannot prove iterations disjoint"))
+              :: !diags)
+          (D.loop_conflicts site))
+    (D.collect f);
   List.rev !diags

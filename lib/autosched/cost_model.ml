@@ -139,6 +139,12 @@ let cache_prefix target = Tir_sim.Target.fingerprint target ^ "|"
    (fingerprint-keyed allocation + probe per candidate), so the
    classification now runs inline. *)
 
+(* Candidates rejected by the static legality certificate alone — the
+   search never ran the region/bounds analyzers or feature extraction on
+   them. Incremented only inside the eval memo's compute function, so the
+   count is bit-identical at any TIR_JOBS. *)
+let m_pruned_static = Tir_obs.Metrics.counter "search.pruned_static"
+
 (* [Space.Unknown_knob] deliberately propagates: the search only builds
    decision vectors from the sketch's own knob list, so an unknown knob is
    a programming error, not an invalid sample. *)
@@ -151,18 +157,31 @@ let evaluate ~target (sk : Sketch.t) (d : Space.decisions) : evaluation =
         let f = Tir_sched.Schedule.func sch in
         match Tir_sched.Validate.check_func f with
         | _ :: _ -> Invalid
-        | [] when Tir_analysis.Analysis.errors f <> [] -> Unsound
         | [] -> (
-            match Features.extract target f with
-            | features ->
-                Evaluated
-                  {
-                    func = f;
-                    fp = Tir_ir.Fingerprint.func f;
-                    features;
-                    trace = Tir_sched.Schedule.instructions sch;
-                  }
-            | exception Tir_sim.Machine.Unsupported _ -> Unsupported))
+            (* Static pre-filter: a proven-illegal parallel structure is
+               Unsound without running the remaining analyzers. The
+               certificate is served from the fingerprint-keyed race memo,
+               and [Analysis.errors] below shares it, so nothing is
+               analyzed twice. *)
+            let verdict = Tir_analysis.Analysis.certify f in
+            Tir_analysis.Legality.count verdict;
+            match verdict with
+            | Tir_analysis.Legality.Illegal _ ->
+                Tir_obs.Metrics.incr m_pruned_static;
+                Unsound
+            | Tir_analysis.Legality.Legal | Tir_analysis.Legality.Unknown -> (
+                if Tir_analysis.Analysis.errors f <> [] then Unsound
+                else
+                  match Features.extract target f with
+                  | features ->
+                      Evaluated
+                        {
+                          func = f;
+                          fp = Tir_ir.Fingerprint.func f;
+                          features;
+                          trace = Tir_sched.Schedule.instructions sch;
+                        }
+                  | exception Tir_sim.Machine.Unsupported _ -> Unsupported)))
 
 (** The pre-refactor pipeline, byte for byte: no knob pre-filter —
     every candidate runs the full

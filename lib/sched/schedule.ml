@@ -36,6 +36,111 @@ let deep t =
           (Fmt.list ~sep:Fmt.cut Tir_analysis.Diagnostic.pp)
           ds
 
+(* Translation validation of the legality prover, active only in
+   deep-check mode: every gated primitive asks {!Tir_analysis.Legality}
+   for a verdict on the pre-transform program and cross-checks it against
+   what actually happens. A disagreement in either direction — proven
+   [Illegal] yet the transform goes through cleanly, or proven [Legal] yet
+   the primitive raises (or the analyzer flags the result) — is a prover
+   bug and raises [Schedule_error]. Outcomes feed the [legality.agree] /
+   [legality.disagree] counters; [Unknown] verdicts validate nothing. *)
+module L = Tir_analysis.Legality
+module Diag = Tir_analysis.Diagnostic
+
+(* Static gate (reorder, software-pipeline annotations): the dynamic
+   primitive has no semantic check of its own, so a proven-illegal verdict
+   refuses the transform up front. *)
+let static_gate vf =
+  if !deep_check_flag then begin
+    let verdict = vf () in
+    L.count verdict;
+    match verdict with
+    | L.Illegal d -> err "legality: %a" Diag.pp d
+    | L.Legal | L.Unknown -> ()
+  end
+
+(* Mirror gate (split / fuse / inline / compute-location): the verdict
+   mirrors the primitive's own applicability guards, so [Illegal] must
+   coincide with a [Schedule_error] and [Legal] with clean application. *)
+let mirror_gate vf prim =
+  if not !deep_check_flag then prim ()
+  else begin
+    let verdict = vf () in
+    L.count verdict;
+    match prim () with
+    | r -> (
+        match verdict with
+        | L.Illegal d ->
+            L.count_agreement false;
+            err
+              "legality prover bug: proven illegal (%a) but the primitive \
+               applied cleanly"
+              Diag.pp d
+        | L.Legal ->
+            L.count_agreement true;
+            r
+        | L.Unknown -> r)
+    | exception (Schedule_error m as e) -> (
+        match verdict with
+        | L.Illegal _ ->
+            L.count_agreement true;
+            raise e
+        | L.Legal ->
+            L.count_agreement false;
+            err "legality prover bug: proven legal but the primitive failed: %s"
+              m
+        | L.Unknown -> raise e)
+  end
+
+(* Race gate (parallel / vectorize / bind): the carried-dependence verdict
+   predicts the race analyzer's judgement of the applied program, so the
+   gate applies the primitive and compares. The cross-check is skipped when
+   the program already carries analyzer errors (attribution would be
+   ambiguous); the usual [deep] sweep still raises afterwards. *)
+let race_gate t v kind prim =
+  if not !deep_check_flag then prim ()
+  else begin
+    let f0 = func t in
+    let pre_errors = Tir_analysis.Analysis.errors f0 in
+    let verdict = L.parallelize_kind f0 v kind in
+    L.count verdict;
+    match prim () with
+    | () ->
+        if pre_errors = [] then begin
+          let post_race =
+            List.filter
+              (fun (d : Diag.t) -> Diag.is_error d && d.Diag.kind = Diag.Race)
+              (Tir_analysis.Analysis.check_func (func t))
+          in
+          match verdict with
+          | L.Illegal d ->
+              if post_race = [] then begin
+                L.count_agreement false;
+                err
+                  "legality prover bug: proven illegal (%a) but the analyzer \
+                   finds no race after applying"
+                  Diag.pp d
+              end
+              else L.count_agreement true
+          | L.Legal -> (
+              match post_race with
+              | [] -> L.count_agreement true
+              | d :: _ ->
+                  L.count_agreement false;
+                  err
+                    "legality prover bug: proven legal but the analyzer finds \
+                     a race after applying: %a"
+                    Diag.pp d)
+          | L.Unknown -> ()
+        end
+    | exception (Schedule_error _ as e) ->
+        (match verdict with
+        | L.Illegal _ -> L.count_agreement true
+        | L.Legal -> L.count_agreement false
+        | L.Unknown -> ());
+        raise e
+  end
+
 (* The apply cache: on states created with [create_cached], every facade
    step first probes the per-domain cache under (current chain node,
    opcode+inputs pre-key). A hit adopts the snapshot — function, name
@@ -86,7 +191,11 @@ let split t v ~factors =
            ("split" :: Trace.loop_key (builder t) v
            :: List.map string_of_int factors))
        ~run:(fun () ->
-         let r = Loop_transform.split t v ~factors in
+         let r =
+           mirror_gate
+             (fun () -> L.split (func t) v ~factors)
+             (fun () -> Loop_transform.split t v ~factors)
+         in
          Trace.record_split (builder t) ~loop:v ~factors ~outs:r;
          deep t;
          A.R_loops r))
@@ -98,7 +207,11 @@ let fuse t a b =
          let b' = builder t in
          pk [ "fuse"; Trace.loop_key b' a; Trace.loop_key b' b ])
        ~run:(fun () ->
-         let r = Loop_transform.fuse t a b in
+         let r =
+           mirror_gate
+             (fun () -> L.fuse (func t) a b)
+             (fun () -> Loop_transform.fuse t a b)
+         in
          Trace.record_fuse (builder t) ~a ~b ~out:r;
          deep t;
          A.R_loop r))
@@ -110,7 +223,11 @@ let fuse_many t vs =
          let b = builder t in
          pk ("fuse_many" :: List.map (Trace.loop_key b) vs))
        ~run:(fun () ->
-         let r = Loop_transform.fuse_many t vs in
+         let r =
+           mirror_gate
+             (fun () -> L.fuse_many (func t) vs)
+             (fun () -> Loop_transform.fuse_many t vs)
+         in
          Trace.record_fuse_many (builder t) ~loops:vs ~out:r;
          deep t;
          A.R_loop r))
@@ -122,6 +239,10 @@ let reorder t vs =
          let b = builder t in
          pk ("reorder" :: List.map (Trace.loop_key b) vs))
        ~run:(fun () ->
+         (* The dynamic primitive checks structure only; the carried-
+            dependence half of the verdict is the prover's alone, so a
+            proven-illegal reorder is refused up front. *)
+         static_gate (fun () -> L.reorder_carried (func t) vs);
          Loop_transform.reorder t vs;
          Trace.record_reorder (builder t) ~loops:vs;
          deep t;
@@ -132,7 +253,8 @@ let bind t v axis =
     (step t
        ~key:(fun () -> pk [ "bind"; Trace.loop_key (builder t) v; axis ])
        ~run:(fun () ->
-         Loop_transform.bind t v axis;
+         race_gate t v (Tir_ir.Stmt.Thread_binding axis) (fun () ->
+             Loop_transform.bind t v axis);
          Trace.record_bind (builder t) ~loop:v ~thread:axis;
          deep t;
          A.R_unit))
@@ -142,7 +264,8 @@ let parallel t v =
     (step t
        ~key:(fun () -> pk [ "parallel"; Trace.loop_key (builder t) v ])
        ~run:(fun () ->
-         Loop_transform.parallel t v;
+         race_gate t v Tir_ir.Stmt.Parallel (fun () ->
+             Loop_transform.parallel t v);
          Trace.record_parallel (builder t) ~loop:v;
          deep t;
          A.R_unit))
@@ -152,7 +275,8 @@ let vectorize t v =
     (step t
        ~key:(fun () -> pk [ "vectorize"; Trace.loop_key (builder t) v ])
        ~run:(fun () ->
-         Loop_transform.vectorize t v;
+         race_gate t v Tir_ir.Stmt.Vectorized (fun () ->
+             Loop_transform.vectorize t v);
          Trace.record_vectorize (builder t) ~loop:v;
          deep t;
          A.R_unit))
@@ -172,6 +296,12 @@ let annotate t v k value =
     (step t
        ~key:(fun () -> pk [ "annotate"; Trace.loop_key (builder t) v; k; value ])
        ~run:(fun () ->
+         (if String.equal k "software_pipeline" then
+            match int_of_string_opt (String.trim value) with
+            | Some stages when stages > 1 ->
+                static_gate (fun () ->
+                    L.software_pipeline (func t) v ~stages)
+            | Some _ | None -> ());
          Loop_transform.annotate t v k value;
          Trace.record_annotate (builder t) ~loop:v ~key:k ~value;
          deep t;
@@ -209,7 +339,9 @@ let compute_at t name v =
          let b = builder t in
          pk [ "compute_at"; Trace.block_key b name; Trace.loop_key b v ])
        ~run:(fun () ->
-         Compute_location.compute_at t name v;
+         mirror_gate
+           (fun () -> L.compute_at (func t) name v)
+           (fun () -> Compute_location.compute_at t name v);
          Trace.record_compute_at (builder t) ~block:name ~loop:v;
          deep t;
          A.R_unit))
@@ -221,7 +353,9 @@ let reverse_compute_at t name v =
          let b = builder t in
          pk [ "reverse_compute_at"; Trace.block_key b name; Trace.loop_key b v ])
        ~run:(fun () ->
-         Compute_location.reverse_compute_at t name v;
+         mirror_gate
+           (fun () -> L.reverse_compute_at (func t) name v)
+           (fun () -> Compute_location.reverse_compute_at t name v);
          Trace.record_reverse_compute_at (builder t) ~block:name ~loop:v;
          deep t;
          A.R_unit))
@@ -231,7 +365,9 @@ let compute_inline t name =
     (step t
        ~key:(fun () -> pk [ "compute_inline"; Trace.block_key (builder t) name ])
        ~run:(fun () ->
-         Inline.compute_inline t name;
+         mirror_gate
+           (fun () -> L.compute_inline (func t) name)
+           (fun () -> Inline.compute_inline t name);
          Trace.record_compute_inline (builder t) ~block:name;
          deep t;
          A.R_unit))
@@ -242,7 +378,9 @@ let reverse_compute_inline t name =
        ~key:(fun () ->
          pk [ "reverse_compute_inline"; Trace.block_key (builder t) name ])
        ~run:(fun () ->
-         Inline.reverse_compute_inline t name;
+         mirror_gate
+           (fun () -> L.reverse_compute_inline (func t) name)
+           (fun () -> Inline.reverse_compute_inline t name);
          Trace.record_reverse_compute_inline (builder t) ~block:name;
          deep t;
          A.R_unit))

@@ -20,6 +20,7 @@ let () =
       ("candidate", Test_candidate.suite);
       ("validate", Test_validate.suite);
       ("analysis", Test_analysis.suite);
+      ("legality", Test_legality.suite);
       ("intrin", Test_intrin.suite);
       ("autosched", Test_autosched.suite);
       ("hotpath", Test_hotpath.suite);

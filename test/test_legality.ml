@@ -1,0 +1,306 @@
+(** Schedule-legality prover: hand-written mutants must be proven
+    [Illegal] with named context, [Illegal] must never be a false alarm
+    against the apply-then-interpret/analyze oracle, the structural
+    mirrors must agree with the primitives under deep check, the
+    fingerprint-keyed analysis memo must be invisible to results, and the
+    legality/prune counters must be bit-identical at any job count. *)
+
+open Tir_ir
+module S = Tir_sched.Schedule
+module L = Tir_analysis.Legality
+module A = Tir_analysis.Analysis
+module D = Tir_analysis.Diagnostic
+module CM = Tir_autosched.Cost_model
+module Metrics = Tir_obs.Metrics
+
+let gpu = Tir_sim.Target.by_name "gpu"
+
+let check_illegal msg ~block = function
+  | L.Illegal d ->
+      Alcotest.(check string) (msg ^ ": names the block") block d.D.block;
+      Alcotest.(check bool) (msg ^ ": names a loop") true (d.D.loops <> [])
+  | v -> Alcotest.failf "%s: expected Illegal, got %s" msg (L.verdict_to_string v)
+
+let check_verdict msg expected v =
+  Alcotest.(check string) msg expected (L.verdict_to_string v)
+
+(* A serial 2-d nest with the loop-reversing dependence (1, -1):
+   B[i+1][j] = B[i][j+1]. Interchanging i and j flips the lexicographic
+   sign of the carried dependence, so the reorder is provably illegal —
+   and actually changes results, which the interpreter oracle confirms. *)
+let shift_func () =
+  let b = Buffer.create "B" [ 16; 16 ] Dtype.F32 in
+  let vi = Var.fresh "vi" and vj = Var.fresh "vj" in
+  let e v = Expr.Var v in
+  let succ_ v = Expr.add (Expr.Var v) (Expr.Int 1) in
+  let block =
+    Stmt.make_block ~name:"shift"
+      ~iter_vars:[ Stmt.iter_var vi 15; Stmt.iter_var vj 15 ]
+      ~reads:[ { Stmt.buffer = b; region = [ (e vi, 1); (succ_ vj, 1) ] } ]
+      ~writes:[ { Stmt.buffer = b; region = [ (succ_ vi, 1); (e vj, 1) ] } ]
+      (Stmt.Store (b, [ succ_ vi; e vj ], Expr.Load (b, [ e vi; succ_ vj ])))
+  in
+  let li = Var.fresh "i" and lj = Var.fresh "j" in
+  Primfunc.make ~name:"shift" ~params:[ b ]
+    (Stmt.for_ li 15
+       (Stmt.for_ lj 15 (Stmt.block_realize [ Expr.Var li; Expr.Var lj ] block)))
+
+(* --- mutant 1: interchange across a negative-distance dependence ----- *)
+
+let test_reorder_mutant_illegal () =
+  let f = shift_func () in
+  let t = S.create f in
+  match S.get_loops t "shift" with
+  | [ i; j ] ->
+      check_illegal "shift interchange" ~block:"shift" (L.reorder f [ j; i ]);
+      (* Soundness against the oracle: the primitive applies cleanly (it
+         checks structure, not dependences), and the interchanged program
+         computes different values. *)
+      S.reorder t [ j; i ];
+      Alcotest.(check bool)
+        "interchange changes results" false
+        (Util.same_semantics f (S.func t))
+  | _ -> Alcotest.fail "expected a 2-loop nest"
+
+let test_reorder_matmul_all_legal () =
+  (* Every matmul dependence has a single nonzero distance component (the
+     accumulator carried only by k), so no permutation can flip it: all
+     six orders must be provably legal, including those moving k. *)
+  let f = Util.matmul () in
+  let t = S.create f in
+  match S.get_loops t "C" with
+  | [ i; j; k ] ->
+      List.iter
+        (fun perm ->
+          check_verdict "matmul reorder" "legal" (L.reorder f perm);
+          let t = S.create f in
+          S.reorder t perm;
+          Util.check_same_semantics "matmul reorder" f (S.func t))
+        [ [ i; j; k ]; [ i; k; j ]; [ j; i; k ]; [ j; k; i ]; [ k; i; j ]; [ k; j; i ] ]
+  | _ -> Alcotest.fail "expected a 3-loop nest"
+
+(* --- mutant 2: parallelizing a carried dependence -------------------- *)
+
+let test_parallel_reduction_illegal () =
+  let f = Util.matmul () in
+  let t = S.create f in
+  match S.get_loops t "C" with
+  | [ i; _; k ] ->
+      check_illegal "parallel k" ~block:"C" (L.parallelize f k);
+      check_illegal "vectorize k" ~block:"C" (L.vectorize f k);
+      check_illegal "bind k" ~block:"C" (L.bind f k "threadIdx.x");
+      check_verdict "parallel i" "legal" (L.parallelize f i);
+      ignore t
+  | _ -> Alcotest.fail "expected a 3-loop nest"
+
+(* --- mutant 3: overlapping software-pipeline stages ------------------ *)
+
+let test_pipeline_overlap_illegal () =
+  let f = Util.matmul () in
+  let t = S.create f in
+  match S.get_loops t "C" with
+  | [ i; _; k ] ->
+      (* Two in-flight reduction iterations collide on the accumulator. *)
+      check_illegal "pipeline k stages=2" ~block:"C"
+        (L.software_pipeline f k ~stages:2);
+      check_verdict "pipeline k stages=1" "legal"
+        (L.software_pipeline f k ~stages:1);
+      check_verdict "pipeline i stages=4" "legal"
+        (L.software_pipeline f i ~stages:4);
+      ignore t
+  | _ -> Alcotest.fail "expected a 3-loop nest"
+
+(* --- no false Illegal: prover vs apply + analyzers + interpreter ----- *)
+
+(* An [Illegal] parallelization must be confirmed by the dynamic race
+   analyzer on the transformed program; a [Legal] one must leave the
+   program free of race errors. Checked for every loop of every corpus
+   function and every parallel kind. *)
+let test_parallel_verdicts_vs_analyzer () =
+  let corpus =
+    [ Util.matmul (); Util.matmul_relu (); Util.elementwise_chain (); shift_func () ]
+  in
+  let kinds =
+    [ Stmt.Parallel; Stmt.Vectorized; Stmt.Thread_binding "threadIdx.x" ]
+  in
+  List.iter
+    (fun f ->
+      let loops =
+        List.concat_map
+          (fun (br : Stmt.block_realize) ->
+            let t = S.create f in
+            match S.get_loops t br.Stmt.block.Stmt.name with
+            | loops -> loops
+            | exception Tir_sched.State.Schedule_error _ -> [])
+          (Primfunc.blocks f)
+      in
+      List.iter
+        (fun v ->
+          List.iter
+            (fun kind ->
+              let verdict = L.parallelize_kind f v kind in
+              let t = S.create f in
+              let path, r = S.loop_path t v in
+              S.replace t path (Stmt.For { r with kind });
+              let race_errors =
+                List.filter
+                  (fun (d : D.t) -> D.is_error d && d.D.kind = D.Race)
+                  (A.check_func (S.func t))
+              in
+              match verdict with
+              | L.Illegal _ ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s loop %s: Illegal confirmed by analyzer"
+                       f.Primfunc.name v.Var.name)
+                    true (race_errors <> [])
+              | L.Legal ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s loop %s: Legal means race-free"
+                       f.Primfunc.name v.Var.name)
+                    true (race_errors = [])
+              | L.Unknown -> ())
+            kinds)
+        loops)
+    corpus
+
+(* Structural mirrors under fuzzed factors: [Illegal] must mean the
+   primitive raises, [Legal] must mean it applies cleanly and preserves
+   semantics. *)
+let test_split_mirror_vs_primitive () =
+  let f = Util.matmul () in
+  let t0 = S.create f in
+  let loops = S.get_loops t0 "C" in
+  let factor_sets =
+    [ [ 4; 8 ]; [ 2; 16 ]; [ 2; 2; 8 ]; [ 0; 8 ]; [ 4; 0 ]; [ 5; 7 ]; [ 32 ]; [ 3; 16 ] ]
+  in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun factors ->
+          let verdict = L.split f v ~factors in
+          let t = S.create f in
+          let applied =
+            match S.split t v ~factors with
+            | _ -> Ok ()
+            | exception Tir_sched.State.Schedule_error msg -> Error msg
+          in
+          let fs = String.concat "," (List.map string_of_int factors) in
+          match (verdict, applied) with
+          | L.Illegal _, Error _ -> ()
+          | L.Illegal _, Ok () ->
+              Alcotest.failf "split %s %s: proven illegal but applied"
+                v.Var.name fs
+          | L.Legal, Error msg ->
+              Alcotest.failf "split %s %s: proven legal but failed: %s"
+                v.Var.name fs msg
+          | L.Legal, Ok () ->
+              Util.check_same_semantics "legal split" f (S.func t)
+          | L.Unknown, _ -> ())
+        factor_sets)
+    loops
+
+(* --- deep check: translation validation records agreements ----------- *)
+
+let counter name =
+  Option.value ~default:0 (Metrics.find_counter (Metrics.snapshot ()) name)
+
+let test_deep_check_agreement () =
+  let agree0 = counter "legality.agree" and dis0 = counter "legality.disagree" in
+  S.set_deep_check true;
+  Fun.protect
+    ~finally:(fun () -> S.set_deep_check false)
+    (fun () ->
+      let t = S.create (Util.matmul ()) in
+      (match S.get_loops t "C" with
+      | [ i; j; _ ] ->
+          (match S.split t i ~factors:[ 4; 8 ] with
+          | [ io; ii ] -> ignore (S.fuse t io ii)
+          | _ -> assert false);
+          ignore (S.split t j ~factors:[ 8; 4 ])
+      | _ -> assert false);
+      let t2 = S.create (Util.elementwise_chain ()) in
+      S.compute_inline t2 "B";
+      (* A mirrored structural failure must agree too: proven illegal and
+         the primitive raises. *)
+      (match S.compute_inline t2 "nope" with
+      | exception Tir_sched.State.Schedule_error _ -> ()
+      | () -> Alcotest.fail "inlining a missing block must fail"));
+  Alcotest.(check bool)
+    "agreements recorded" true
+    (counter "legality.agree" > agree0);
+  Alcotest.(check int) "no disagreements" dis0 (counter "legality.disagree")
+
+(* --- analysis memo: invisible to results, off switch honored --------- *)
+
+let test_analysis_memo_equivalence () =
+  let fs = [ Util.matmul (); shift_func (); Util.matmul_relu () ] in
+  List.iter
+    (fun f ->
+      A.clear_cache ();
+      let cold = A.check_func f in
+      let warm = A.check_func f in
+      let was = A.cache_enabled () in
+      A.set_cache_enabled false;
+      let direct = A.check_func f in
+      A.set_cache_enabled was;
+      let eq = List.equal (fun a b -> D.compare a b = 0) in
+      Alcotest.(check bool) "memo hit identical" true (eq cold warm);
+      Alcotest.(check bool) "memo off identical" true (eq cold direct);
+      let v_cached = A.certify f in
+      A.set_cache_enabled false;
+      let v_direct = A.certify f in
+      A.set_cache_enabled was;
+      Alcotest.(check string) "certify identical"
+        (L.verdict_to_string v_cached)
+        (L.verdict_to_string v_direct))
+    fs
+
+(* --- counters: bit-identical at any job count ------------------------ *)
+
+let test_counters_jobs_deterministic () =
+  let w =
+    Tir_workloads.Workloads.gmm ~in_dtype:Dtype.F16 ~acc_dtype:Dtype.F32 ~m:128
+      ~n:128 ~k:128 ()
+  in
+  let names =
+    [ "legality.legal"; "legality.illegal"; "legality.unknown"; "search.pruned_static" ]
+  in
+  let run jobs =
+    (* The counters are incremented only inside the eval memo's compute
+       function, so a cold memo makes the deltas a pure function of the
+       proposal stream — which is seed-deterministic, not pool-sized. *)
+    CM.clear_caches ();
+    A.clear_cache ();
+    let before = List.map counter names in
+    ignore (Util.tune ~trials:16 ~jobs gpu w);
+    List.map2 (fun name b -> (name, counter name - b)) names before
+  in
+  let d1 = run 1 and d4 = run 4 in
+  List.iter2
+    (fun (name, a) (_, b) ->
+      Alcotest.(check int) (name ^ " delta jobs 1 vs 4") a b)
+    d1 d4;
+  Alcotest.(check bool)
+    "the search statically pruned at least one candidate" true
+    (List.assoc "search.pruned_static" d1 >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "reorder mutant illegal + oracle" `Quick
+      test_reorder_mutant_illegal;
+    Alcotest.test_case "matmul reorders all legal" `Quick
+      test_reorder_matmul_all_legal;
+    Alcotest.test_case "parallel reduction illegal" `Quick
+      test_parallel_reduction_illegal;
+    Alcotest.test_case "pipeline overlap illegal" `Quick
+      test_pipeline_overlap_illegal;
+    Alcotest.test_case "parallel verdicts vs analyzer" `Quick
+      test_parallel_verdicts_vs_analyzer;
+    Alcotest.test_case "split mirror vs primitive" `Quick
+      test_split_mirror_vs_primitive;
+    Alcotest.test_case "deep check agreement" `Quick test_deep_check_agreement;
+    Alcotest.test_case "analysis memo equivalence" `Quick
+      test_analysis_memo_equivalence;
+    Alcotest.test_case "counters jobs-deterministic" `Quick
+      test_counters_jobs_deterministic;
+  ]

@@ -2,13 +2,17 @@
 
      dune exec tools/bench_diff.exe CURRENT BASELINE [--inject-regression]
 
-   Compares the schema-7 headline blocks and per-row results with
+   Compares the schema-8 headline blocks and per-row results with
    per-metric tolerances:
 
      - hotpath combined throughput and speedup: wall-clock-derived, so a
        wide floor (>= 50% of baseline) that still catches order-of-
        magnitude regressions;
      - memo / db-replay hit rates: deterministic, >= baseline - 0.05;
+     - legality agreement: the static-vs-dynamic soundness check, must
+       match the baseline exactly (both are 1.0 in any healthy run);
+     - legality prune rate: deterministic given the proposal streams,
+       >= baseline - 0.05;
      - pool.busy_frac: utilization accounting, >= baseline - 0.20;
      - per-row "us" latencies and "gflops" rates: the simulator is
        deterministic, so 5% relative slack only (shared rows by
@@ -34,6 +38,7 @@ let usage () =
 type doc = {
   d_fast : bool;
   d_hotpath : (string * v) list option;
+  d_legality : (float * float) option;  (** agreement, prune_rate *)
   d_memo_rate : float;
   d_db_rate : float;
   d_busy_frac : float option;
@@ -45,8 +50,8 @@ let load_doc path =
   let top = obj "top level" (parse_file path) in
   let f = field "top level" top in
   (match int_ "schema" (f "schema") with
-  | 7 -> ()
-  | s -> fail "%s: schema 7 expected, got %d" path s);
+  | 8 -> ()
+  | s -> fail "%s: schema 8 expected, got %d" path s);
   let memo = obj "memo" (f "memo") in
   let db = obj "db_replay" (f "db_replay") in
   let gauges =
@@ -65,6 +70,14 @@ let load_doc path =
     d_fast = (match f "fast" with Bool b -> b | _ -> fail "%s: fast: expected a bool" path);
     d_hotpath = (match List.assoc_opt "hotpath" top with
       | Some hp -> Some (obj "hotpath" hp)
+      | None -> None);
+    d_legality =
+      (match List.assoc_opt "legality" top with
+      | Some lg ->
+          let lg = obj "legality" lg in
+          Some
+            ( num "legality.agreement" (field "legality" lg "agreement"),
+              ratio "legality.prune_rate" (field "legality" lg "prune_rate") )
       | None -> None);
     d_memo_rate = ratio "memo.hit_rate" (field "memo" memo "hit_rate");
     d_db_rate = ratio "db_replay.hit_rate" (field "db_replay" db "hit_rate");
@@ -140,6 +153,13 @@ let () =
           (hotpath_combined b "candidates_per_s");
         floor_rel "hotpath.speedup" ~floor:0.5
           (hotpath_combined c "speedup") (hotpath_combined b "speedup")
+    | _ -> ());
+    (match (cur.d_legality, base.d_legality) with
+    | Some (ca, cp), Some (ba, bp) ->
+        incr compared;
+        if ca <> ba then
+          bad "legality.agreement: %g differs from baseline %g" ca ba;
+        floor_abs "legality.prune_rate" ~slack:0.05 cp bp
     | _ -> ());
     floor_abs "memo.hit_rate" ~slack:0.05 cur.d_memo_rate base.d_memo_rate;
     floor_abs "db_replay.hit_rate" ~slack:0.05 cur.d_db_rate base.d_db_rate;

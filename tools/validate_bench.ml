@@ -1,21 +1,23 @@
-(* Validate BENCH_results.json against schema 7.
+(* Validate BENCH_results.json against schema 8.
 
      dune exec tools/validate_bench.exe [FILE] [BASELINE]
 
    Run by `make bench-smoke` and `make perf-smoke` after the benchmark.
-   Checks that the file is well-formed JSON, carries the schema-7 layout
-   (hotpath / memo / db_replay / faults / session / service /
+   Checks that the file is well-formed JSON, carries the schema-8 layout
+   (hotpath / legality / memo / db_replay / faults / session / service /
    data_movement_bytes / obs headline blocks plus the full
    metrics-registry dump), that the [session] and [service] kill+resume
    runs converged to the uninterrupted results (when those sections ran),
    that the [service] section completed its tenants with a positive
    wall-clock-weighted pool utilization and at least one cross-tenant
    database replay, that the [hotpath] section's optimized pipeline
-   produced bit-identical results to the legacy pipeline, that the [obs]
-   block reports valid trace exports with no dropped events, and that the
-   file contains no non-finite numbers: the bench writes NaN and infinity
-   as `null`, which this validator rejects — a smoke run must not produce
-   them.
+   produced bit-identical results to the legacy pipeline, that the
+   [legality] block reports perfect static-vs-dynamic agreement and (when
+   the search sweeps ran) a positive statically-pruned count, that the
+   [obs] block reports valid trace exports with no dropped events, and
+   that the file contains no non-finite numbers: the bench writes NaN and
+   infinity as `null`, which this validator rejects — a smoke run must
+   not produce them.
 
    With a BASELINE argument (BENCH_baseline.json), additionally enforces
    the hot-path perf gate against the committed pre-refactor baseline:
@@ -120,8 +122,8 @@ let () =
     let top = obj "top level" (load path) in
     let f = field "top level" top in
     (match int_ "schema" (f "schema") with
-    | 7 -> ()
-    | v -> fail "schema: expected 7, got %d" v);
+    | 8 -> ()
+    | v -> fail "schema: expected 8, got %d" v);
     (match f "fast" with Bool _ -> () | _ -> fail "fast: expected a bool");
     if int_ "jobs" (f "jobs") < 1 then fail "jobs: expected >= 1";
     if num "total_wall_s" (f "total_wall_s") < 0.0 then
@@ -258,6 +260,45 @@ let () =
               "service: pool.busy_frac is not positive — wall-clock \
                utilization accounting is broken"
     end;
+    (* Schema 8: the schedule-legality headline block. The prover's
+       soundness contract is that a proven-illegal certificate coincides
+       exactly with a dynamic race error, so agreement must be 1.0; and
+       when the search sweeps ran, the static pre-filter must actually
+       have pruned candidates. *)
+    if List.mem "legality" section_names then begin
+      let lg =
+        match List.assoc_opt "legality" top with
+        | Some lg -> obj "legality" lg
+        | None -> fail "legality: headline block missing"
+      in
+      let lf = field "legality" lg in
+      if nonneg_int "legality.corpus" (lf "corpus") < 1 then
+        fail "legality: empty corpus";
+      let survey = obj "legality.survey" (lf "survey") in
+      List.iter (fun (k, v) -> ignore (nonneg_int ("survey." ^ k) v)) survey;
+      if num "legality.agreement" (lf "agreement") <> 1.0 then
+        fail "legality: static certificates disagree with the dynamic analyzers";
+      let cu = obj "legality.certify_us" (lf "certify_us") in
+      if num "certify_us.cold" (field "certify_us" cu "cold") < 0.0 then
+        fail "legality: negative cold certify time";
+      if num "certify_us.warm" (field "certify_us" cu "warm") < 0.0 then
+        fail "legality: negative warm certify time";
+      let verdicts = obj "legality.verdicts" (lf "verdicts") in
+      List.iter
+        (fun k ->
+          ignore (nonneg_int ("verdicts." ^ k) (field "verdicts" verdicts k)))
+        [ "legal"; "illegal"; "unknown"; "agree"; "disagree" ];
+      if nonneg_int "verdicts.disagree" (field "verdicts" verdicts "disagree") > 0
+      then fail "legality: prover-vs-primitive disagreements recorded";
+      let pruned = nonneg_int "legality.pruned_static" (lf "pruned_static") in
+      ignore (ratio "legality.prune_rate" (lf "prune_rate"));
+      if List.mem "fig8" section_names && pruned < 1 then
+        fail
+          "legality: the search sweeps ran but the static pre-filter pruned \
+           nothing";
+      Printf.printf
+        "legality gate: agreement 1.0, %d candidates pruned statically\n" pruned
+    end;
     if List.mem "hotpath" section_names || baseline_path <> None then
       check_hotpath
         ?baseline:(Option.map load baseline_path)
@@ -291,7 +332,7 @@ let () =
        | Some v when v >= 1.0 -> ()
        | Some v -> fail "service: %g cross-tenant database replays, expected >= 1" v
        | None -> fail "service: db_replay result row missing");
-    Printf.printf "%s: schema 7 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
+    Printf.printf "%s: schema 8 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
       path (List.length results) (List.length sections) (List.length counters)
       (List.length gauges) (List.length histograms)
   with

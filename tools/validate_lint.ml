@@ -1,0 +1,188 @@
+(* Validate the JSON emitted by [tensorir lint --json].
+
+     dune exec tools/validate_lint.exe -- --clean FILE
+     dune exec tools/validate_lint.exe -- --expect-illegal FILE
+
+   Both modes first check the document shape: schema 1, per-file
+   [findings]/[bounds]/[diagnostics]/[legality] with known severities and
+   verdicts, and a top-level [findings] equal to the per-file sum.
+
+   [--clean] then asserts the report is quiet: zero findings, no
+   error-severity diagnostics, and no non-advisory illegal legality item
+   (advisory items — interchange surveys — may be any verdict).
+
+   [--expect-illegal] asserts the prover actually caught the planted
+   defects: at least one non-advisory illegal parallel/vectorize/bind
+   item and at least one illegal reorder advisory, each naming its loop
+   and block.
+
+   Exit 0 on success, 1 on a failed expectation or malformed JSON, 2 on
+   usage errors. *)
+
+module J = Tir_obs.Json_min
+
+let known_severities = [ "error"; "warning" ]
+let known_verdicts = [ "legal"; "illegal"; "unknown" ]
+
+type item = {
+  primitive : string;
+  loop : string;
+  block : string;
+  advisory : bool;
+  verdict : string;
+}
+
+type file = {
+  fname : string;
+  findings : int;
+  error_diags : int;
+  items : item list;
+}
+
+let check_member what allowed s =
+  if not (List.mem s allowed) then
+    J.fail "%s: unknown value %S (expected one of: %s)" what s
+      (String.concat ", " allowed)
+
+let parse_item what v =
+  let o = J.obj what v in
+  let str name = J.str (what ^ "." ^ name) (J.field what o name) in
+  let item =
+    {
+      primitive = str "primitive";
+      loop = str "loop";
+      block = str "block";
+      advisory =
+        (match J.field what o "advisory" with
+        | J.Bool b -> b
+        | _ -> J.fail "%s.advisory: expected bool" what);
+      verdict = str "verdict";
+    }
+  in
+  check_member (what ^ ".verdict") known_verdicts item.verdict;
+  ignore (str "detail");
+  ignore (str "message");
+  item
+
+let parse_diag what v =
+  let o = J.obj what v in
+  let sev = J.str (what ^ ".severity") (J.field what o "severity") in
+  check_member (what ^ ".severity") known_severities sev;
+  ignore (J.str (what ^ ".kind") (J.field what o "kind"));
+  ignore (J.str (what ^ ".message") (J.field what o "message"));
+  sev
+
+let parse_file v =
+  let o = J.obj "file" v in
+  let fname = J.str "file.name" (J.field "file" o "name") in
+  let what = fname in
+  let findings = J.nonneg_int (what ^ ".findings") (J.field what o "findings") in
+  let bounds = J.obj (what ^ ".bounds") (J.field what o "bounds") in
+  List.iter
+    (fun k ->
+      ignore (J.nonneg_int (what ^ ".bounds." ^ k) (J.field what bounds k)))
+    [ "proven"; "unknown"; "oob" ];
+  ignore (J.arr (what ^ ".validate") (J.field what o "validate"));
+  let diags =
+    J.arr (what ^ ".diagnostics") (J.field what o "diagnostics")
+    |> List.map (parse_diag (what ^ ".diagnostics"))
+  in
+  let items =
+    J.arr (what ^ ".legality") (J.field what o "legality")
+    |> List.map (parse_item (what ^ ".legality"))
+  in
+  let error_diags =
+    List.length (List.filter (String.equal "error") diags)
+  in
+  { fname; findings; error_diags; items }
+
+let parse_report path =
+  let doc = J.parse_file path in
+  let o = J.obj "report" doc in
+  let schema = J.int_ "schema" (J.field "report" o "schema") in
+  if schema <> 1 then J.fail "schema: expected 1, got %d" schema;
+  let total = J.nonneg_int "findings" (J.field "report" o "findings") in
+  let files =
+    J.arr "files" (J.field "report" o "files") |> List.map parse_file
+  in
+  let sum = List.fold_left (fun acc f -> acc + f.findings) 0 files in
+  if sum <> total then
+    J.fail "findings: top-level %d <> per-file sum %d" total sum;
+  (total, files)
+
+let is_parallel_kind p =
+  List.mem p [ "parallel"; "vectorize"; "bind" ]
+
+let check_clean (total, files) =
+  if total <> 0 then J.fail "expected a clean report, got %d finding(s)" total;
+  List.iter
+    (fun f ->
+      if f.error_diags > 0 then
+        J.fail "%s: %d error diagnostic(s) in a clean report" f.fname
+          f.error_diags;
+      List.iter
+        (fun it ->
+          if (not it.advisory) && String.equal it.verdict "illegal" then
+            J.fail "%s: illegal %s on loop %s (block %s) in a clean report"
+              f.fname it.primitive it.loop it.block)
+        f.items)
+    files
+
+let check_expect_illegal (total, files) =
+  if total = 0 then J.fail "expected findings, report is clean";
+  let items = List.concat_map (fun f -> f.items) files in
+  let named it = String.length it.loop > 0 && String.length it.block > 0 in
+  let illegal_parallel =
+    List.exists
+      (fun it ->
+        (not it.advisory)
+        && is_parallel_kind it.primitive
+        && String.equal it.verdict "illegal"
+        && named it)
+      items
+  in
+  let illegal_reorder =
+    List.exists
+      (fun it ->
+        it.advisory
+        && String.equal it.primitive "reorder"
+        && String.equal it.verdict "illegal"
+        && named it)
+      items
+  in
+  if not illegal_parallel then
+    J.fail "no illegal parallel/vectorize/bind item naming loop and block";
+  if not illegal_reorder then
+    J.fail "no illegal reorder advisory naming loop and block"
+
+let () =
+  let usage () =
+    prerr_endline "usage: validate_lint (--clean|--expect-illegal) FILE";
+    exit 2
+  in
+  if Array.length Sys.argv <> 3 then usage ();
+  let mode = Sys.argv.(1) and path = Sys.argv.(2) in
+  let check =
+    match mode with
+    | "--clean" -> check_clean
+    | "--expect-illegal" -> check_expect_illegal
+    | _ -> usage ()
+  in
+  match parse_report path with
+  | report ->
+      (try check report
+       with J.Invalid msg ->
+         Printf.eprintf "%s: INVALID: %s\n" path msg;
+         exit 1);
+      let total, files = report in
+      Printf.printf "%s: valid lint report (%d file(s), %d finding(s), %s)\n"
+        path (List.length files) total
+        (match mode with
+        | "--clean" -> "clean"
+        | _ -> "expected illegal items present")
+  | exception J.Invalid msg ->
+      Printf.eprintf "%s: INVALID: %s\n" path msg;
+      exit 1
+  | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
