@@ -15,8 +15,9 @@ bench: build
 
 # Fast smoke run: truncated workload set and trial budgets, plus --check,
 # which exits non-zero if any reported latency is non-finite or <= 0; the
-# emitted BENCH_results.json is then validated against schema 8, including
-# the hot-path perf gate against the committed pre-refactor baseline.
+# emitted BENCH_results.json is then validated against schema 9, including
+# the hot-path perf gate against the committed pre-refactor baseline and
+# the cost-model rank-correlation floor.
 bench-smoke: build
 	BENCH_FAST=1 dune exec bench/main.exe -- --check
 	dune exec tools/validate_bench.exe BENCH_results.json BENCH_baseline.json

@@ -8,12 +8,13 @@
      ... -- --check                           exit 1 on non-finite results
 
    Every section also records its numbers into BENCH_results.json
-   (schema 8: per-section latency/GFLOPs rows, per-section wall-clock, a
+   (schema 9: per-section latency/GFLOPs rows, per-section wall-clock, a
    dump of the process-wide metrics registry — memo hit rate, database
    replay rate, simulator data-movement counters — plus fault-injection /
-   retry, session, multi-tenant service, causal-trace [obs], and
-   schedule-legality [legality] headline counters) so the perf
-   trajectory is machine-trackable across PRs.
+   retry, session, multi-tenant service, causal-trace [obs],
+   schedule-legality [legality] and learned-cost-model [costmodel]
+   headline counters) so the perf trajectory is machine-trackable across
+   PRs.
    [tools/validate_bench.exe] checks the emitted file against the schema
    in the bench-smoke gate, and [tools/bench_diff.exe] compares two such
    files for regressions.
@@ -32,7 +33,9 @@
                 verdicts, static-vs-dynamic agreement, certify memo
      [session]  crash-safe sessions: kill+resume, fault-injected search
      [service]  multi-tenant serve: mixed priorities, server kill+resume,
-                cross-tenant database replay *)
+                cross-tenant database replay
+     [costmodel] rank-trained GBDT: held-out rank correlation, zero-shot
+                transfer, warm-start trials-to-best vs a cold run *)
 
 module W = Tir_workloads.Workloads
 module Tune = Tir_autosched.Tune
@@ -119,6 +122,25 @@ type legality_headline = {
 
 let legality_headline : legality_headline option ref = ref None
 
+(* Headline block of the costmodel section (schema 9): held-out rank
+   quality of the rank-trained GBDT on a mixed-workload dataset,
+   zero-shot transfer to an unseen workload, and the warm-start payoff —
+   whether a run seeded from a persisted model store comes within 1% of
+   the cold run's final best inside half the trial budget. All quantities
+   are
+   deterministic: the dataset comes from seeded random decision vectors
+   on the simulator, and the tuning runs are bit-identical per seed. *)
+type costmodel_headline = {
+  cm_rank_corr : float;  (** held-out within-task Spearman, trained tasks *)
+  cm_transfer_rank_corr : float;  (** Spearman on an unseen workload *)
+  cm_warm_start_hit : bool;  (** warm within 1% of cold best by budget/2 *)
+  cm_trials_to_best_cold : int;
+  cm_trials_to_best_warm : int;
+  cm_train_samples : int;  (** samples behind the held-out estimate *)
+}
+
+let costmodel_headline : costmodel_headline option ref = ref None
+
 let json_escape s =
   let b = Stdlib.Buffer.create (String.length s) in
   String.iter
@@ -156,7 +178,7 @@ let emit_json ~total_wall_s path =
   let retry_attempts = over_sites (fun s -> counter ("retry." ^ s ^ ".attempts")) in
   let retry_exhausted = over_sites (fun s -> counter ("retry." ^ s ^ ".exhausted")) in
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": 8,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
+  Printf.fprintf oc "{\n  \"schema\": 9,\n  \"fast\": %b,\n  \"jobs\": %d,\n" fast jobs;
   Printf.fprintf oc "  \"total_wall_s\": %s,\n" (json_float total_wall_s);
   (match !hotpath_headline with
   | None -> ()
@@ -219,6 +241,15 @@ let emit_json ~total_wall_s path =
       Printf.fprintf oc
         "    \"pruned_static\": %d,\n    \"prune_rate\": %s\n  },\n" pruned
         (json_float (rate pruned certified)));
+  (match !costmodel_headline with
+  | None -> ()
+  | Some cm ->
+      Printf.fprintf oc
+        "  \"costmodel\": {\"rank_corr\": %s, \"transfer_rank_corr\": %s, \"warm_start_hit\": %b, \"trials_to_best_cold\": %d, \"trials_to_best_warm\": %d, \"train_samples\": %d},\n"
+        (json_float cm.cm_rank_corr)
+        (json_float cm.cm_transfer_rank_corr)
+        cm.cm_warm_start_hit cm.cm_trials_to_best_cold
+        cm.cm_trials_to_best_warm cm.cm_train_samples);
   Printf.fprintf oc
     "  \"memo\": {\"hits\": %d, \"misses\": %d, \"pending_waits\": %d, \"hit_rate\": %s},\n"
     memo_hits memo_misses memo_waits
@@ -778,10 +809,10 @@ let hotpath_stream (sk : Tir_autosched.Sketch.t) ~gens ~per_gen ~elites:ne =
    analysis and feature extraction. Duplicates pay apply + print + digest
    before the memo can answer; the optimized pipeline answers from the
    canonical decision key before any program exists. *)
-let hotpath_legacy_eval (tbl : (string, Tir_autosched.Cost_model.evaluation) Hashtbl.t)
-    ~target (sk : Tir_autosched.Sketch.t) d : Tir_autosched.Cost_model.evaluation =
+let hotpath_legacy_eval (tbl : (string, Tir_autosched.Eval.evaluation) Hashtbl.t)
+    ~target (sk : Tir_autosched.Sketch.t) d : Tir_autosched.Eval.evaluation =
   let module Sk = Tir_autosched.Sketch in
-  let module CM = Tir_autosched.Cost_model in
+  let module CM = Tir_autosched.Eval in
   match sk.Sk.apply d with
   | exception Tir_sched.State.Schedule_error _ -> CM.Inapplicable
   | sch -> (
@@ -814,7 +845,7 @@ let hotpath () =
     "search hot path: legacy vs hash-consed/incremental pipeline (same stream, same results)";
   let module Sk = Tir_autosched.Sketch in
   let module Space = Tir_autosched.Space in
-  let module CM = Tir_autosched.Cost_model in
+  let module CM = Tir_autosched.Eval in
   let module AC = Tir_sched.Apply_cache in
   let module Machine = Tir_sim.Machine in
   let w = W.gmm ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 () in
@@ -1225,13 +1256,13 @@ let session_bench () =
   in
   (* The measurement memo is process-global; clear it between runs so each
      one exercises the full search, as a fresh process would. *)
-  Tir_autosched.Cost_model.clear_caches ();
+  Tir_autosched.Eval.clear_caches ();
   let reference = Tune.run cfg w gpu in
   let path = Filename.temp_file "tir_session" ".wal" in
-  Tir_autosched.Cost_model.clear_caches ();
+  Tir_autosched.Eval.clear_caches ();
   let s = S.create ~force:true ~path cfg w gpu in
   let halted = match S.run ~halt_after:1 s with _ -> false | exception S.Halted _ -> true in
-  Tir_autosched.Cost_model.clear_caches ();
+  Tir_autosched.Eval.clear_caches ();
   let resumed = S.run (S.resume ~path ()) in
   Sys.remove path;
   let identical = String.equal (best_key reference) (best_key resumed) in
@@ -1241,7 +1272,7 @@ let session_bench () =
   record_op "session" "resumed" w resumed;
   (* Under injected faults (simulator, pool and database sites) the retry
      layer must still deliver a measured best. *)
-  Tir_autosched.Cost_model.clear_caches ();
+  Tir_autosched.Eval.clear_caches ();
   F.set ~rate:0.2 ~seed:42 ();
   let faulted = Fun.protect ~finally:F.clear (fun () -> Tune.run cfg w gpu) in
   Fmt.pr "under faults 0.2:42 — best %.2f us, %d trials, %d unmeasurable@."
@@ -1261,7 +1292,7 @@ let service_bench () =
     "multi-tenant serve: 3 jobs mixed priorities, whole-server kill+resume, \
      cross-tenant database replay";
   let module J = Tir_service.Jobqueue in
-  let fresh () = Tir_autosched.Cost_model.clear_caches () in
+  let fresh () = Tir_autosched.Eval.clear_caches () in
   let rec rm_rf path =
     if Sys.is_directory path then begin
       Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
@@ -1343,6 +1374,158 @@ let service_bench () =
   rm_rf q_ref;
   rm_rf q_kill
 
+(* ------------------------------------------------------------------ *)
+(* costmodel: rank-trained GBDT quality + cross-workload warm start     *)
+(* ------------------------------------------------------------------ *)
+
+let costmodel_bench () =
+  section "costmodel"
+    "learned cost model: held-out rank correlation on mixed workloads, \
+     zero-shot transfer, warm-start trials-to-best vs cold";
+  let module Model = Tir_autosched.Model in
+  let module Sk = Tir_autosched.Sketch in
+  let module Space = Tir_autosched.Space in
+  let module CM = Tir_autosched.Eval in
+  let module Machine = Tir_sim.Machine in
+  let module Stat = Tir_obs.Stat in
+  (* Dataset: seeded random decision vectors from each workload's default
+     sketch set, evaluated through [Eval] and measured on the simulator.
+     Decision vectors are deduplicated by canonical key so the held-out
+     split never leaks a training point into the test set. *)
+  let samples_of ~seed ~n w =
+    let sketches = Sk.generate gpu w (Tune.target_intrinsics gpu) in
+    let rng = Tir_autosched.Rng.create seed in
+    let seen = Hashtbl.create (4 * n) in
+    let out = ref [] and got = ref 0 and budget = ref (n * 60) in
+    while !got < n && !budget > 0 do
+      List.iter
+        (fun (sk : Sk.t) ->
+          if !got < n && !budget > 0 then begin
+            decr budget;
+            let d = Space.random_decisions rng sk.Sk.knobs in
+            let key = sk.Sk.space_id ^ "|" ^ Space.canonical_key sk.Sk.knobs d in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              match CM.evaluate ~target:gpu sk d with
+              | CM.Evaluated { func; features; _ } -> (
+                  match Machine.measure_us gpu func with
+                  | us when Float.is_finite us && us > 0.0 ->
+                      incr got;
+                      out := (features, us) :: !out
+                  | _ -> ()
+                  | exception Machine.Unsupported _ -> ())
+              | _ -> ()
+            end
+          end)
+        sketches
+    done;
+    List.rev !out
+  in
+  let n = if fast then 48 else 96 in
+  let gmm = W.gmm ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 () in
+  let c2d = W.c2d () in
+  let c1d = W.c1d () in
+  let train_tasks =
+    [ (gmm.W.name, samples_of ~seed:42 ~n gmm); (c2d.W.name, samples_of ~seed:5 ~n c2d) ]
+  in
+  let split xs =
+    List.partition (fun (i, _) -> i mod 2 = 0) (List.mapi (fun i s -> (i, s)) xs)
+    |> fun (a, b) -> (List.map snd a, List.map snd b)
+  in
+  let model = Model.gbdt () in
+  let train_count = ref 0 in
+  let held_out =
+    List.map
+      (fun (group, samples) ->
+        let train, test = split samples in
+        List.iter
+          (fun (features, latency_us) ->
+            incr train_count;
+            Model.add model ~group ~features ~latency_us)
+          train;
+        (group, test))
+      train_tasks
+  in
+  Model.retrain model;
+  (* Within-task rank quality on the held-out half: Spearman of (score,
+     throughput), mean over tasks (equal test counts). *)
+  let spearman_on test =
+    Stat.spearman
+      (Array.of_list
+         (List.map (fun (f, us) -> (Model.score model f, 1.0 /. us)) test))
+  in
+  let per_task = List.map (fun (g, test) -> (g, spearman_on test)) held_out in
+  let rank_corr =
+    List.fold_left (fun a (_, r) -> a +. r) 0.0 per_task
+    /. float_of_int (List.length per_task)
+  in
+  List.iter (fun (g, r) -> Fmt.pr "held-out rank corr %-28s %+.3f@." g r) per_task;
+  Fmt.pr "held-out rank corr (mean over %d tasks): %+.3f@."
+    (List.length per_task) rank_corr;
+  (* Zero-shot transfer: score a workload the model never trained on. *)
+  let transfer = spearman_on (samples_of ~seed:7 ~n c1d) in
+  Fmt.pr "zero-shot transfer rank corr %-13s %+.3f@." c1d.W.name transfer;
+  record "costmodel" "rank_corr" rank_corr "corr";
+  record "costmodel" "transfer_rank_corr" transfer "corr";
+  (* Warm start: a donor run's model is absorbed into a store file, then a
+     run at a different seed starts from that snapshot. The warm run must
+     come within 1% of the cold run's final best inside half the trial
+     budget — exact equality would measure last-trial mutation luck (the
+     final fractions of a percent), not the model. The budget stays fixed
+     under BENCH_FAST: at the smoke-run trial floor the search ends before
+     ranking can matter. One small workload — still cheap. *)
+  let wl = W.gmm () in
+  let budget = 32 in
+  let cfg seed = Tune.Config.(default |> with_trials budget |> with_seed seed) in
+  CM.clear_caches ();
+  let donor = Tune.run (cfg 42) wl gpu in
+  let store = Filename.temp_file "tir_bench_model" ".txt" in
+  (match donor.Tune.model with
+  | Some m -> ignore (Model.Store.absorb ~path:store m)
+  | None -> ());
+  CM.clear_caches ();
+  let cold = Tune.run (cfg 7) wl gpu in
+  let warm_cfg =
+    match Model.Store.load store with
+    | Some m -> Tune.Config.with_model (Model.Warm (Model.save m)) (cfg 7)
+    | None -> cfg 7
+  in
+  Sys.remove store;
+  CM.clear_caches ();
+  let warm = Tune.run warm_cfg wl gpu in
+  let trials_to curve threshold =
+    List.fold_left
+      (fun acc (trial, best) -> if best <= threshold then min trial acc else acc)
+      max_int curve
+  in
+  let threshold = Tune.latency_us cold *. 1.01 in
+  let to_cold = trials_to cold.Tune.stats.Tir_autosched.Evolutionary.best_curve threshold in
+  let to_warm = trials_to warm.Tune.stats.Tir_autosched.Evolutionary.best_curve threshold in
+  let hit = to_warm <= budget / 2 in
+  Fmt.pr
+    "warm start: cold best %.2f us (within 1%% at trial %d); warm within 1%% \
+     at trial %s (budget %d, hit: %b)@."
+    (Tune.latency_us cold) to_cold
+    (if to_warm = max_int then "-" else string_of_int to_warm)
+    budget hit;
+  record_op "costmodel" "cold" wl cold;
+  record_op "costmodel" "warm" wl warm;
+  record "costmodel" "warm_start_hit" (if hit then 1.0 else 0.0) "bool";
+  record "costmodel" "trials_to_best_cold" (float_of_int to_cold) "count";
+  record "costmodel" "trials_to_best_warm"
+    (float_of_int (if to_warm = max_int then budget else to_warm))
+    "count";
+  costmodel_headline :=
+    Some
+      {
+        cm_rank_corr = rank_corr;
+        cm_transfer_rank_corr = transfer;
+        cm_warm_start_hit = hit;
+        cm_trials_to_best_cold = to_cold;
+        cm_trials_to_best_warm = (if to_warm = max_int then budget else to_warm);
+        cm_train_samples = !train_count;
+      }
+
 let () =
   (* Monotone clock (never runs backwards under wall-clock adjustment), so
      section walls and the total are always non-negative. *)
@@ -1376,6 +1559,7 @@ let () =
   timed "db" db_bench;
   timed "session" session_bench;
   timed "service" service_bench;
+  timed "costmodel" costmodel_bench;
   cache_summary ();
   obs_summary ();
   let total = Clock.now_s () -. t0 in

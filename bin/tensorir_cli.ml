@@ -133,10 +133,18 @@ let candidates_cmd =
 
 let tune_cmd =
   let run tag target trials seed print_best db_path journal_path session_path
-      resume halt_after jobs =
+      resume halt_after jobs model_store =
     with_errors @@ fun () ->
     let database = Option.map load_database db_path in
     let journal = Option.map Tir_obs.Journal.open_file journal_path in
+    (* Warm-start from the model store when it exists; a fresh or corrupt
+       store is a cold start, never an error. *)
+    let model =
+      match Option.map Tir_autosched.Model.Store.load model_store with
+      | Some (Some m) ->
+          Tir_autosched.Model.Warm (Tir_autosched.Model.save m)
+      | Some None | None -> Tune.Config.default.Tune.Config.model
+    in
     let r =
       Fun.protect
         ~finally:(fun () -> Option.iter Tir_obs.Journal.close journal)
@@ -146,19 +154,19 @@ let tune_cmd =
               let t, w = workload_for target tag in
               let cfg =
                 Tune.Config.
-                  { default with seed; trials; database; journal; jobs }
+                  { default with seed; trials; database; journal; jobs; model }
               in
               Tune.run cfg w t
           | Some path when resume ->
-              (* Workload, target, seed and trial budget come from the
-                 session log; the positional args are ignored. *)
+              (* Workload, target, seed, trial budget and model spec come
+                 from the session log; the positional args are ignored. *)
               let s = Session.resume ?jobs ?journal ?database ~path () in
               Session.run ?halt_after s
           | Some path ->
               let t, w = workload_for target tag in
               let cfg =
                 Tune.Config.
-                  { default with seed; trials; database; journal; jobs }
+                  { default with seed; trials; database; journal; jobs; model }
               in
               let s = Session.create ~path cfg w t in
               Session.run ?halt_after s)
@@ -167,6 +175,12 @@ let tune_cmd =
     Option.iter
       (fun db -> Tir_autosched.Database.save db (Option.get db_path))
       database;
+    (* Fold what this run learned back into the store. *)
+    (match (model_store, r.Tune.model) with
+    | Some path, Some m ->
+        ignore (Tir_autosched.Model.Store.absorb ~path m);
+        Fmt.pr "model store updated: %s@." path
+    | _ -> ());
     Option.iter
       (fun p -> Fmt.pr "journal written to %s (render with `tensorir report %s`)@." p p)
       journal_path;
@@ -225,12 +239,19 @@ let tune_cmd =
     let doc = "Evaluation pool size for this run (default: TIR_JOBS or all cores)." in
     Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
+  let model_store_arg =
+    let doc =
+      "Cost-model store file: warm-start the search from the stored model \
+       (cold start when missing) and fold this run's trained model back in."
+    in
+    Arg.(value & opt (some string) None & info [ "model-store" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "tune" ~doc:"Auto-schedule a workload with the tensorization-aware tuner")
     Term.(
       const run $ workload_arg $ target_arg $ trials_arg $ seed_arg $ print_best
       $ db_arg $ journal_arg $ session_arg $ resume_arg $ halt_after_arg
-      $ jobs_arg)
+      $ jobs_arg $ model_store_arg)
 
 (* --- session --- *)
 

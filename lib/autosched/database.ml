@@ -316,12 +316,12 @@ let replay_from_trace (target : Tir_sim.Target.t) (w : W.t) (r : record) :
                      record hits the entry a live search already paid
                      for (and vice versa). *)
                   let key =
-                    Cost_model.cache_prefix target ^ "prog#"
+                    Eval.cache_prefix target ^ "prog#"
                     ^ Sketch.workload_digest func
                   in
-                  match snd (Cost_model.measure_cached ~key ~target func) with
-                  | Cost_model.Unsupported_target | Cost_model.Unmeasurable -> None
-                  | Cost_model.Measured latency_us ->
+                  match snd (Eval.measure_cached ~key ~target func) with
+                  | Eval.Unsupported_target | Eval.Unmeasurable -> None
+                  | Eval.Measured latency_us ->
                       Some
                         {
                           Evolutionary.sketch_name = r.sketch_name;
@@ -349,23 +349,23 @@ let replay_from_sketch (target : Tir_sim.Target.t) (sketches : Sketch.t list)
          the record was written — parks the record as stale below. *)
       match
         let key =
-          Cost_model.cache_prefix target ^ sk.Sketch.space_id ^ "|"
+          Eval.cache_prefix target ^ sk.Sketch.space_id ^ "|"
           ^ Space.canonical_key sk.Sketch.knobs r.decisions
         in
-        snd (Cost_model.evaluate_cached ~key ~target sk r.decisions)
+        snd (Eval.evaluate_cached ~key ~target sk r.decisions)
       with
       | exception Space.Unknown_knob _ -> None
-      | Cost_model.Inapplicable | Cost_model.Invalid | Cost_model.Unsound
-      | Cost_model.Unsupported ->
+      | Eval.Inapplicable | Eval.Invalid | Eval.Unsound
+      | Eval.Unsupported ->
           None
-      | Cost_model.Evaluated { func; fp; trace; _ } -> (
+      | Eval.Evaluated { func; fp; trace; _ } -> (
           let key =
-            Cost_model.cache_prefix target ^ "prog#"
+            Eval.cache_prefix target ^ "prog#"
             ^ Tir_ir.Fingerprint.to_hex fp
           in
-          match snd (Cost_model.measure_cached ~key ~target func) with
-          | Cost_model.Unsupported_target | Cost_model.Unmeasurable -> None
-          | Cost_model.Measured latency_us ->
+          match snd (Eval.measure_cached ~key ~target func) with
+          | Eval.Unsupported_target | Eval.Unmeasurable -> None
+          | Eval.Measured latency_us ->
               Some
                 {
                   Evolutionary.sketch_name = r.sketch_name;
@@ -381,7 +381,7 @@ let replay_from_sketch (target : Tir_sim.Target.t) (sketches : Sketch.t list)
     re-applying the recorded decisions through [sketches] for v1 records.
     Returns [None] if neither path yields a valid, measurable schedule.
     Re-application and the verification measurement go through the
-    process-wide memo in [Cost_model], so replaying a schedule tuned
+    process-wide memo in [Eval], so replaying a schedule tuned
     earlier in the same process re-simulates nothing. *)
 let replay (target : Tir_sim.Target.t) ~(workload : W.t) ~(sketches : Sketch.t list)
     (r : record) : Evolutionary.measured option =

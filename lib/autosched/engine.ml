@@ -177,18 +177,29 @@ type t = {
   trials : int;
   sketches : Sketch.t list;
   stats : stats;
-  model : Cost_model.t;
+  model : Model.t;
+  group : string;  (** the model's label-normalization group for this task *)
   key_prefix : string;
   seen : (string, unit) Hashtbl.t;
   mutable elites : measured list;
   mutable best : measured option;
   mutable gen : int;  (** next generation to run *)
   mutable tally : gen_tally;
+  mutable pairs : (float * float) list;
+      (** cumulative (predicted score, latency) pairs across generations —
+          the engine-level rank-correlation sample. Not checkpointed: a
+          resumed engine's correlation restarts over post-resume
+          generations (it never feeds the search itself). *)
   mutable exhausted : bool;  (** a generation produced zero fresh candidates *)
 }
 
 type event =
-  | Stepped of { gen : int; trials_done : int; best_us : float }
+  | Stepped of {
+      gen : int;
+      trials_done : int;
+      best_us : float;
+      rank_corr : float;
+    }
   | Exhausted of { gen : int }
   | Done
 
@@ -197,6 +208,17 @@ let trials_done t = t.stats.trials
 let finished t = t.exhausted || t.stats.trials >= t.trials
 let result t = { best = t.best; stats = t.stats }
 let best_us t = match t.best with Some b -> b.latency_us | None -> Float.nan
+let model t = t.model
+
+(* Predicted score is "higher = faster"; correlate against -latency so a
+   perfect model scores +1. *)
+let spearman_of_pairs pairs =
+  Tir_obs.Stat.spearman
+    (Array.of_list (List.rev_map (fun (s, l) -> (s, -.l)) pairs))
+
+(** Cumulative rank correlation over every (score, latency) pair this
+    engine measured — NaN until two distinct pairs exist. *)
+let rank_corr t = spearman_of_pairs t.pairs
 
 let consider t (m : measured) =
   (match t.best with
@@ -313,7 +335,7 @@ let propose_all t specs =
       (fun ((sk : Sketch.t), d, key, _) ->
         Tir_obs.Trace.with_ctx ~candidate:key (fun () ->
             Tir_obs.Trace.with_span "evaluate" (fun () ->
-                Cost_model.evaluate_cached ~key:(t.key_prefix ^ key)
+                Eval.evaluate_cached ~key:(t.key_prefix ^ key)
                   ~target:t.target sk d)))
       fresh
   in
@@ -327,20 +349,20 @@ let propose_all t specs =
            g.g_memo_hits <- g.g_memo_hits + 1
          end;
          match ev with
-         | Cost_model.Inapplicable ->
+         | Eval.Inapplicable ->
              t.stats.inapplicable <- t.stats.inapplicable + 1;
              g.g_inapplicable <- g.g_inapplicable + 1;
              []
-         | Cost_model.Invalid ->
+         | Eval.Invalid ->
              t.stats.invalid <- t.stats.invalid + 1;
              g.g_invalid <- g.g_invalid + 1;
              []
-         | Cost_model.Unsound ->
+         | Eval.Unsound ->
              t.stats.unsound <- t.stats.unsound + 1;
              g.g_unsound <- g.g_unsound + 1;
              []
-         | Cost_model.Unsupported -> []
-         | Cost_model.Evaluated { func; fp; features; trace } ->
+         | Eval.Unsupported -> []
+         | Eval.Evaluated { func; fp; features; trace } ->
              [ (sk, d, key, origin, func, fp, features, trace) ])
        fresh evals)
 
@@ -380,7 +402,7 @@ let measure_top t scored =
         (* the program fingerprint is the candidate identity on the trace *)
         Tir_obs.Trace.with_ctx ~candidate:key (fun () ->
             Tir_obs.Trace.with_span "measure" (fun () ->
-                Cost_model.measure_cached ?retry:t.retry ~key ~target:t.target
+                Eval.measure_cached ?retry:t.retry ~key ~target:t.target
                   func)))
       distinct
   in
@@ -405,14 +427,14 @@ let measure_top t scored =
         g.g_memo_hits <- g.g_memo_hits + 1
       end;
       match outcome with
-      | Cost_model.Unsupported_target -> ()
-      | Cost_model.Unmeasurable ->
+      | Eval.Unsupported_target -> ()
+      | Eval.Unmeasurable ->
           (* Graceful degradation: scored but never measured — the
              candidate is skipped without feeding the cost model, the
              elite set, or (via the checkpoint) the database. *)
           t.stats.unmeasurable <- t.stats.unmeasurable + 1;
           g.g_unmeasurable <- g.g_unmeasurable + 1
-      | Cost_model.Measured latency_us ->
+      | Eval.Measured latency_us ->
           t.stats.trials <- t.stats.trials + 1;
           t.stats.profiling_us <-
             t.stats.profiling_us
@@ -420,7 +442,7 @@ let measure_top t scored =
             +. measurement_overhead_us;
           g.g_measured <- g.g_measured + 1;
           g.g_pairs <- (score, latency_us) :: g.g_pairs;
-          Cost_model.add t.model ~features ~latency_us;
+          Model.add t.model ~group:t.group ~features ~latency_us;
           let m =
             {
               sketch_name = sk.Sketch.name;
@@ -449,12 +471,13 @@ let measure_top t scored =
 let finish_generation t =
   let tl = t.tally in
   let best_us = best_us t in
-  (* Predicted score is "higher = faster"; correlate against -latency so
-     a perfect model scores +1. *)
-  let rank_corr =
-    Tir_obs.Stat.spearman
-      (Array.of_list (List.rev_map (fun (s, l) -> (s, -.l)) tl.g_pairs))
-  in
+  (* Per-generation correlation feeds the journal (the historical
+     schema); the registry gauge carries the cumulative figure over the
+     whole search, which is what actually says whether the model ranks
+     this task well — one measurement batch is too small a sample. *)
+  let gen_rank_corr = spearman_of_pairs tl.g_pairs in
+  t.pairs <- tl.g_pairs @ t.pairs;
+  let cum_rank_corr = spearman_of_pairs t.pairs in
   Metrics.add m_proposed tl.g_proposed;
   Metrics.add m_deduped tl.g_deduped;
   Metrics.add m_invalid tl.g_invalid;
@@ -466,12 +489,21 @@ let finish_generation t =
   Metrics.add m_accepted tl.g_accepted;
   Metrics.add m_unmeasurable tl.g_unmeasurable;
   Metrics.incr m_generations;
-  Metrics.set m_rank_corr rank_corr;
+  Metrics.set m_rank_corr cum_rank_corr;
   let gen_hit_rate =
     if tl.g_lookups = 0 then 0.0
     else float_of_int tl.g_memo_hits /. float_of_int tl.g_lookups
   in
-  Metrics.set m_memo_rate gen_hit_rate;
+  (* The gauge carries the cumulative process-wide memo hit rate (from
+     the memo atomics — deterministic at any job count). It used to be
+     set to the per-generation rate, whose final write — the empty
+     exhausted/committing generation, zero probes — pinned the reported
+     value at 0.0 (the ROADMAP's "memo_hit_rate gauge reads 0" bug). The
+     per-generation rate still reaches the journal below. *)
+  (let s = Eval.cache_stats () in
+   let probes = s.Eval.hits + s.Eval.misses in
+   if probes > 0 then
+     Metrics.set m_memo_rate (float_of_int s.Eval.hits /. float_of_int probes));
   (match t.journal with
   | None -> ()
   | Some sink ->
@@ -495,7 +527,7 @@ let finish_generation t =
              crossovers = tl.g_crossovers;
              accepted = tl.g_accepted;
              best_us;
-             rank_corr;
+             rank_corr = gen_rank_corr;
            });
       (* Per-generation memo hit rates: this generation's probes, then
          each table's cumulative rate. Computed from the memo's atomic
@@ -504,15 +536,15 @@ let finish_generation t =
       Journal.emit sink
         (Journal.Gauge { name = "memo.gen.hit_rate"; value = gen_hit_rate });
       List.iter
-        (fun (name, (s : Cost_model.cache_stats)) ->
-          let probes = s.Cost_model.hits + s.Cost_model.misses in
+        (fun (name, (s : Eval.cache_stats)) ->
+          let probes = s.Eval.hits + s.Eval.misses in
           let rate =
             if probes = 0 then 0.0
-            else float_of_int s.Cost_model.hits /. float_of_int probes
+            else float_of_int s.Eval.hits /. float_of_int probes
           in
           Journal.emit sink
             (Journal.Gauge { name = "memo." ^ name ^ ".hit_rate"; value = rate }))
-        (Cost_model.cache_breakdown ()));
+        (Eval.cache_breakdown ()));
   (* Trace the generation boundary: a deterministic instant (identity
      carries the tallies) plus counter tracks for the Perfetto view.
      Runs in the sequential reduce, like everything above. *)
@@ -538,9 +570,13 @@ let finish_generation t =
   t.tally <- new_gen_tally ()
 
 let create ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
-    ?(evolve = true) ?pool ?journal ?retry ?checkpoint ?resume ~seed ~target
-    ~trials (sketches : Sketch.t list) : t =
+    ?(evolve = true) ?model ?group ?pool ?journal ?retry ?checkpoint ?resume
+    ~seed ~target ~trials (sketches : Sketch.t list) : t =
   let pool = match pool with Some p -> p | None -> Pool.global () in
+  let model = match model with Some m -> m | None -> Model.gbdt () in
+  let group =
+    match group with Some g -> g | None -> target.Tir_sim.Target.name
+  in
   let t =
     {
       population;
@@ -556,13 +592,15 @@ let create ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
       trials;
       sketches;
       stats = new_stats ();
-      model = Cost_model.create target;
-      key_prefix = Cost_model.cache_prefix target;
+      model;
+      group;
+      key_prefix = Eval.cache_prefix target;
       seen = Hashtbl.create 256;
       elites = [];
       best = None;
       gen = 0;
       tally = new_gen_tally ();
+      pairs = [];
       exhausted = false;
     }
   in
@@ -579,11 +617,14 @@ let create ?(population = 32) ?(measure_batch = 16) ?(use_cost_model = true)
       List.iter
         (fun (m : measured) ->
           let features = Features.extract target m.func in
-          Cost_model.add t.model ~features ~latency_us:m.latency_us;
+          Model.add t.model ~group:t.group ~features ~latency_us:m.latency_us;
           t.stats.trials <- t.stats.trials + 1;
           consider t m)
         r.r_measured;
-      if r.r_measured <> [] then Cost_model.retrain t.model;
+      (* The model refits on the full dataset every round, so one retrain
+         after the replayed adds reproduces the live run's model state at
+         this generation boundary exactly. *)
+      if r.r_measured <> [] then Model.retrain t.model;
       t.stats.trials <- r.r_stats.trials;
       t.stats.proposed <- r.r_stats.proposed;
       t.stats.invalid <- r.r_stats.invalid;
@@ -625,7 +666,7 @@ let step t =
         let scores =
           if t.use_cost_model then
             Array.to_list
-              (Cost_model.score_batch t.model
+              (Model.score_batch t.model
                  (Array.of_list
                     (List.map (fun (_, _, _, _, _, _, f, _) -> f) cands)))
           else List.map (fun _ -> Rng.float rng 1.0) cands
@@ -638,8 +679,15 @@ let step t =
         in
         let batch = min t.measure_batch (t.trials - t.stats.trials) in
         measure_top t (List.filteri (fun i _ -> i < batch) ranked);
-        Cost_model.retrain t.model;
+        Model.retrain t.model;
         let g = t.gen in
         finish_generation t;
-        (t, Stepped { gen = g; trials_done = t.stats.trials; best_us = best_us t })
+        ( t,
+          Stepped
+            {
+              gen = g;
+              trials_done = t.stats.trials;
+              best_us = best_us t;
+              rank_corr = rank_corr t;
+            } )
   end

@@ -83,7 +83,13 @@ val measurement_cap_us : float
 type t
 
 type event =
-  | Stepped of { gen : int; trials_done : int; best_us : float }
+  | Stepped of {
+      gen : int;
+      trials_done : int;
+      best_us : float;
+      rank_corr : float;
+          (** cumulative {!rank_corr} after this generation *)
+    }
       (** generation [gen] committed; [best_us] is NaN until something
           measured *)
   | Exhausted of { gen : int }
@@ -93,18 +99,25 @@ type event =
 
 (** Build an engine. Same contract as [Evolutionary.search]:
     [use_cost_model:false] ranks randomly, [evolve:false] disables
-    mutation/crossover, [pool] is the domain pool the per-generation
-    pipeline fans out across (default: the process-wide [TIR_JOBS]-sized
-    pool) and may be shared with other engines, [retry] governs
-    measurement fault retries, [checkpoint]/[resume] are the WAL hooks
-    and the rebuilt re-entry state. Generation randomness derives from
-    [(seed, gen)] only, so results are bit-identical at any job count and
-    under any interleaving of engines. *)
+    mutation/crossover, [model] is the learned cost model ranking each
+    generation (default: a fresh [Model.gbdt ()]; pass a warm-started
+    model to transfer from earlier runs) and [group] the label
+    normalization group its samples are recorded under (default: the
+    target name; [Tune] passes ["target|workload"]), [pool] is the domain
+    pool the per-generation pipeline fans out across (default: the
+    process-wide [TIR_JOBS]-sized pool) and may be shared with other
+    engines, [retry] governs measurement fault retries,
+    [checkpoint]/[resume] are the WAL hooks and the rebuilt re-entry
+    state. Generation randomness derives from [(seed, gen)] only, so
+    results are bit-identical at any job count and under any interleaving
+    of engines. *)
 val create :
   ?population:int ->
   ?measure_batch:int ->
   ?use_cost_model:bool ->
   ?evolve:bool ->
+  ?model:Model.t ->
+  ?group:string ->
   ?pool:Tir_parallel.Pool.t ->
   ?journal:Tir_obs.Journal.sink ->
   ?retry:Tir_parallel.Retry.policy ->
@@ -134,6 +147,16 @@ val trials_done : t -> int
 
 (** Best-so-far latency in µs; NaN until something measured. *)
 val best_us : t -> float
+
+(** Cumulative Spearman rank correlation between the model's predicted
+    scores and measured speed over every pair this engine measured (0.0
+    until two pairs exist). Not checkpointed: a resumed engine's
+    correlation restarts over post-resume generations. *)
+val rank_corr : t -> float
+
+(** The engine's cost model — live, shared with the search. Read it after
+    the run to persist ([Model.save], [Model.Store.absorb]). *)
+val model : t -> Model.t
 
 (** Snapshot of the search outcome; valid at any point, shares the live
     mutable [stats] record. *)

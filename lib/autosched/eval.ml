@@ -1,12 +1,4 @@
-(** Learned cost model wrapper (paper §4.4) plus the process-wide
-    measurement memo.
-
-    The per-task model maintains the measurement dataset in growable
-    arrays — [retrain] hands the trainer a view of the cached feature rows
-    instead of rebuilding arrays from a list every round — and retrains the
-    boosted-tree ensemble after every measurement round. Scores are
-    normalized throughput ([best_latency / latency], higher is better) so
-    the model ranks candidates rather than regressing absolute time.
+(** Candidate evaluation pipeline plus the process-wide measurement memo.
 
     The memo tables cache the two expensive stages of candidate evaluation
     (schedule application + §3.3 validation + feature extraction, and the
@@ -17,74 +9,12 @@
     tables are shared by every search in the process and are safe to probe
     from pool domains concurrently. Duplicate proposals — mutation and
     crossover collide often across generations, and ablation runs re-tune
-    the same workloads — never re-enter the simulator. *)
+    the same workloads — never re-enter the simulator.
+
+    This used to live inside [Cost_model], fused with the learner; the
+    learner is now [Model] and this module owns evaluation end to end. *)
 
 module Memo = Tir_parallel.Memo
-
-type sample = { features : float array; latency_us : float }
-
-type t = {
-  target : Tir_sim.Target.t;
-  mutable feats : float array array;  (** row store, capacity >= [n] *)
-  mutable lats : float array;
-  mutable n : int;
-  mutable best : float;  (** running best latency over the samples *)
-  mutable model : Gbdt.t option;
-}
-
-let initial_capacity = 64
-
-let create target =
-  {
-    target;
-    feats = Array.make initial_capacity [||];
-    lats = Array.make initial_capacity 0.0;
-    n = 0;
-    best = Float.infinity;
-    model = None;
-  }
-
-let n_samples t = t.n
-
-let best_latency t = t.best
-
-let add t ~features ~latency_us =
-  if t.n = Array.length t.lats then begin
-    let grow a fill = Array.append a (Array.make (Array.length a) fill) in
-    t.feats <- grow t.feats [||];
-    t.lats <- grow t.lats 0.0
-  end;
-  t.feats.(t.n) <- features;
-  t.lats.(t.n) <- latency_us;
-  t.n <- t.n + 1;
-  if latency_us < t.best then t.best <- latency_us
-
-let retrain t =
-  if t.n > 0 then begin
-    (* [Array.sub] shares the feature rows — no per-sample copying. *)
-    let xs = Array.sub t.feats 0 t.n in
-    let ys = Array.init t.n (fun i -> t.best /. t.lats.(i)) in
-    t.model <- Some (Gbdt.fit xs ys)
-  end
-
-(* Analytic prior before any training data exists: prefer tensorized,
-   high-occupancy programs. *)
-let prior (features : float array) =
-  (0.5 *. features.(11)) +. (0.2 *. features.(17)) -. (0.05 *. features.(4))
-
-(** Predicted score (higher = faster). *)
-let score t (features : float array) =
-  match t.model with Some m -> Gbdt.predict m features | None -> prior features
-
-(** Score a whole population: one pass over the ensemble (see
-    [Gbdt.predict_batch]) instead of a tree-list walk per candidate.
-    Identical values to mapping [score]. *)
-let score_batch t (features : float array array) =
-  match t.model with
-  | Some m -> Gbdt.predict_batch m features
-  | None -> Array.map prior features
-
-(* --- measurement/feature memoization ------------------------------------ *)
 
 (** Outcome of the candidate evaluation pipeline (§4.3 apply, §3.3
     validate, feature extraction). Immutable, safe to share across

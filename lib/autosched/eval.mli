@@ -1,36 +1,13 @@
-(** Learned cost model (paper §4.4): per-task measurement dataset plus a
-    boosted-tree ensemble retrained after each measurement round. Scores
-    are normalized throughput (higher = faster), so the model ranks
-    candidates. Also hosts the process-wide measurement/feature memo used
-    by the parallel search. *)
-
-type sample = { features : float array; latency_us : float }
-
-type t
-
-val create : Tir_sim.Target.t -> t
-val n_samples : t -> int
-val best_latency : t -> float
-val add : t -> features:float array -> latency_us:float -> unit
-
-(** Refit the ensemble on the accumulated samples. Feature rows are reused
-    from the growable sample store (no per-round list-to-array rebuild). *)
-val retrain : t -> unit
-
-(** Predicted score; before any data, a crude analytic prior (prefer
-    tensorized, high-occupancy programs). *)
-val score : t -> float array -> float
-
-(** Score a population in one ensemble pass; same values as mapping
-    [score]. *)
-val score_batch : t -> float array array -> float array
-
-(** {1 Measurement memoization}
+(** Candidate evaluation pipeline plus the process-wide
+    measurement/feature memo used by the parallel search.
 
     Process-wide caches over the pure evaluation pipeline, keyed by
     [Target.fingerprint ^ "|" ^ sketch name ^ "|" ^ Space.key_of]. Safe to
     probe concurrently from pool domains; entries never go stale (the
-    simulator is a pure function of target and program). *)
+    simulator is a pure function of target and program).
+
+    The learned cost model that used to share a module with this pipeline
+    lives in {!Model}. *)
 
 type evaluation =
   | Inapplicable  (** the sketch rejected the decision vector *)
@@ -55,10 +32,8 @@ val cache_prefix : Tir_sim.Target.t -> string
 (** The evaluation pipeline: knob pre-filter ([Sketch.rejects], rejecting
     provably inapplicable vectors before any program is materialized),
     cached sketch application, then validation + semantic analysis +
-    feature extraction memoized under the program's structural fingerprint
-    (distinct vectors that materialize identical programs share one
-    entry). Does not consult the per-decision-vector memo — that is
-    [evaluate_cached]. *)
+    feature extraction. Does not consult the per-decision-vector memo —
+    that is [evaluate_cached]. *)
 val evaluate : target:Tir_sim.Target.t -> Sketch.t -> Space.decisions -> evaluation
 
 (** The pre-refactor pipeline, byte for byte: no pre-filter, no
@@ -95,7 +70,8 @@ val measure_cached :
 
 type cache_stats = { hits : int; misses : int; entries : int }
 
-(** Combined counters over both caches (bench reporting). *)
+(** Combined counters over both caches (bench reporting and the
+    cumulative [search.memo_hit_rate] gauge). *)
 val cache_stats : unit -> cache_stats
 
 (** Per-table counters, hits/misses from the memo atomics (deterministic at

@@ -11,7 +11,7 @@
     All determinism properties are the engine's: generation randomness
     derives from [(seed, gen)] only, pool fan-outs reduce in slot order,
     and evaluation/measurement go through the process-wide memo in
-    [Cost_model] — so [TIR_JOBS=1] and [TIR_JOBS=n] return the same best
+    [Eval] — so [TIR_JOBS=1] and [TIR_JOBS=n] return the same best
     program, the same latencies, and the same trial statistics for a
     fixed seed, no matter how many engines share the pool. *)
 
@@ -61,12 +61,13 @@ let measurement_overhead_us = Engine.measurement_overhead_us
 let measurement_runs = Engine.measurement_runs
 let measurement_cap_us = Engine.measurement_cap_us
 
-let search ?population ?measure_batch ?use_cost_model ?evolve ?pool ?journal
-    ?retry ?checkpoint ?resume ~seed ~target ~trials (sketches : Sketch.t list)
-    : result =
+let search ?population ?measure_batch ?use_cost_model ?evolve ?model ?group
+    ?pool ?journal ?retry ?checkpoint ?resume ~seed ~target ~trials
+    (sketches : Sketch.t list) : result =
   let e =
-    Engine.create ?population ?measure_batch ?use_cost_model ?evolve ?pool
-      ?journal ?retry ?checkpoint ?resume ~seed ~target ~trials sketches
+    Engine.create ?population ?measure_batch ?use_cost_model ?evolve ?model
+      ?group ?pool ?journal ?retry ?checkpoint ?resume ~seed ~target ~trials
+      sketches
   in
   let rec drive () =
     match Engine.step e with

@@ -84,10 +84,13 @@ val measurement_cap_us : float
     ([Rng.for_generation]), so a process resumed from a checkpoint
     ([resume]) re-enters any generation with bit-identical randomness.
     [retry] governs measurement fault retries and the per-candidate
-    measurement budget ([Cost_model.measure_cached]); candidates whose
+    measurement budget ([Eval.measure_cached]); candidates whose
     measurements exhaust it are counted [unmeasurable] and skipped —
     they never reach the cost model, the elite set, or the checkpoint
     log.
+
+    [model]/[group] select the learned cost model and its label
+    normalization group, as in [Engine.create].
 
     Every generation bumps the [search.*] counters and the
     [costmodel.rank_corr] gauge in the metrics registry. When [journal]
@@ -101,6 +104,8 @@ val search :
   ?measure_batch:int ->
   ?use_cost_model:bool ->
   ?evolve:bool ->
+  ?model:Model.t ->
+  ?group:string ->
   ?pool:Tir_parallel.Pool.t ->
   ?journal:Tir_obs.Journal.sink ->
   ?retry:Tir_parallel.Retry.policy ->

@@ -1,9 +1,10 @@
 (** Gradient-boosted regression trees, from scratch.
 
-    Stand-in for the XGBoost model the paper uses (§4.4): squared-loss
-    gradient boosting over depth-limited exact-greedy regression trees.
-    Training sets during tuning are small (hundreds of samples), so exact
-    split enumeration is cheap. *)
+    Stand-in for the XGBoost model the paper uses (§4.4): gradient
+    boosting over depth-limited exact-greedy regression trees, with two
+    objectives — squared-loss regression ([fit]) and a LambdaRank-style
+    pairwise rank loss ([fit_rank]). Training sets during tuning are small
+    (hundreds of samples), so exact split enumeration is cheap. *)
 
 type tree = Leaf of float | Node of { feat : int; thresh : float; left : tree; right : tree }
 
@@ -116,3 +117,170 @@ let fit ?(rounds = 40) ?(depth = 3) ?(eta = 0.3) (xs : float array array)
     done;
     { trees = List.rev !trees; eta; base }
   end
+
+(** Fit a LambdaRank-style pairwise ranking ensemble.
+
+    Labels are only compared {e within} a group ([groups.(i)] is the
+    sample's group id — one group per tuning task), so mixing workloads
+    with incomparable latency scales in one dataset is sound: the loss
+    never asks whether a c1d candidate beats a gmm candidate. Each round
+    computes, per ordered pair [(hi, lo)] with [ys.(hi) > ys.(lo)] in the
+    same group, the logistic pairwise gradient
+    [rho = 1 / (1 + exp (s_hi - s_lo))] weighted by the label gap, pushes
+    [+w*rho] on the winner and [-w*rho] on the loser, and fits the next
+    tree to those pseudo-residuals. The model's absolute output is
+    meaningless (base is 0); only the induced order matters, which is all
+    the search consumes. Sequential and deterministic: sample order and
+    group ids fully determine the ensemble. *)
+let fit_rank ?(rounds = 40) ?(depth = 3) ?(eta = 0.3)
+    (xs : float array array) (ys : float array) ~(groups : int array) : t =
+  let n = Array.length xs in
+  if n = 0 then { trees = []; eta; base = 0.0 }
+  else begin
+    (* Pairs are enumerated once: (winner, loser, label gap). *)
+    let pairs = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if groups.(i) = groups.(j) && ys.(i) <> ys.(j) then begin
+          let hi, lo = if ys.(i) > ys.(j) then (i, j) else (j, i) in
+          pairs := (hi, lo, ys.(hi) -. ys.(lo)) :: !pairs
+        end
+      done
+    done;
+    let pairs = !pairs in
+    if pairs = [] then { trees = []; eta; base = 0.0 }
+    else begin
+      let pred = Array.make n 0.0 in
+      let idx = List.init n (fun i -> i) in
+      let lambda = Array.make n 0.0 in
+      let trees = ref [] in
+      for _ = 1 to rounds do
+        Array.fill lambda 0 n 0.0;
+        List.iter
+          (fun (hi, lo, w) ->
+            let rho = 1.0 /. (1.0 +. exp (pred.(hi) -. pred.(lo))) in
+            lambda.(hi) <- lambda.(hi) +. (w *. rho);
+            lambda.(lo) <- lambda.(lo) -. (w *. rho))
+          pairs;
+        let tree = fit_tree xs lambda idx depth in
+        trees := tree :: !trees;
+        Array.iteri
+          (fun i _ -> pred.(i) <- pred.(i) +. (eta *. predict_tree tree xs.(i)))
+          pred
+      done;
+      { trees = List.rev !trees; eta; base = 0.0 }
+    end
+  end
+
+(* --- serialization ------------------------------------------------------ *)
+
+(* Trees serialize to a parenthesized pre-order form with [%h] floats, so
+   save -> load -> save is bit-identical:
+     (l <value>) | (n <feat> <thresh> <left> <right>) *)
+
+let rec tree_to_buf b = function
+  | Leaf v -> Printf.bprintf b "(l %h)" v
+  | Node { feat; thresh; left; right } ->
+      Printf.bprintf b "(n %d %h " feat thresh;
+      tree_to_buf b left;
+      Buffer.add_char b ' ';
+      tree_to_buf b right;
+      Buffer.add_char b ')'
+
+let to_string m =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "eta %h base %h trees %d\n" m.eta m.base (List.length m.trees);
+  List.iter
+    (fun t ->
+      tree_to_buf b t;
+      Buffer.add_char b '\n')
+    m.trees;
+  Buffer.contents b
+
+exception Parse_error of string
+
+let parse_fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Recursive-descent over the parenthesized form; tokens are separated by
+   single spaces exactly as [tree_to_buf] writes them. *)
+let tree_of_string line =
+  let len = String.length line in
+  let pos = ref 0 in
+  let expect c =
+    if !pos >= len || line.[!pos] <> c then
+      parse_fail "gbdt tree: expected %c at %d in %S" c !pos line;
+    incr pos
+  in
+  let token () =
+    let start = !pos in
+    while !pos < len && line.[!pos] <> ' ' && line.[!pos] <> ')' do
+      incr pos
+    done;
+    if !pos = start then parse_fail "gbdt tree: empty token at %d in %S" start line;
+    String.sub line start (!pos - start)
+  in
+  let float_tok () =
+    let s = token () in
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> parse_fail "gbdt tree: bad float %S" s
+  in
+  let int_tok () =
+    let s = token () in
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> parse_fail "gbdt tree: bad int %S" s
+  in
+  let rec node () =
+    expect '(';
+    let t =
+      match token () with
+      | "l" ->
+          expect ' ';
+          Leaf (float_tok ())
+      | "n" ->
+          expect ' ';
+          let feat = int_tok () in
+          expect ' ';
+          let thresh = float_tok () in
+          expect ' ';
+          let left = node () in
+          expect ' ';
+          let right = node () in
+          Node { feat; thresh; left; right }
+      | tok -> parse_fail "gbdt tree: unknown tag %S" tok
+    in
+    expect ')';
+    t
+  in
+  let t = node () in
+  if !pos <> len then parse_fail "gbdt tree: trailing garbage in %S" line;
+  t
+
+let of_string s =
+  match String.split_on_char '\n' s with
+  | [] -> parse_fail "gbdt: empty input"
+  | header :: rest -> (
+      match String.split_on_char ' ' header with
+      | [ "eta"; eta; "base"; base; "trees"; count ] ->
+          let eta =
+            match float_of_string_opt eta with
+            | Some f -> f
+            | None -> parse_fail "gbdt: bad eta %S" eta
+          in
+          let base =
+            match float_of_string_opt base with
+            | Some f -> f
+            | None -> parse_fail "gbdt: bad base %S" base
+          in
+          let count =
+            match int_of_string_opt count with
+            | Some i -> i
+            | None -> parse_fail "gbdt: bad tree count %S" count
+          in
+          let lines = List.filter (fun l -> l <> "") rest in
+          if List.length lines <> count then
+            parse_fail "gbdt: expected %d trees, got %d" count
+              (List.length lines);
+          { trees = List.map tree_of_string lines; eta; base }
+      | _ -> parse_fail "gbdt: bad header %S" header)

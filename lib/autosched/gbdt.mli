@@ -1,6 +1,7 @@
 (** Gradient-boosted regression trees, from scratch: the stand-in for the
-    paper's XGBoost cost model (§4.4). Squared-loss boosting over
-    depth-limited exact-greedy trees. *)
+    paper's XGBoost cost model (§4.4). Depth-limited exact-greedy trees
+    under either a squared loss ([fit]) or a LambdaRank-style pairwise
+    rank loss ([fit_rank]). *)
 
 type tree
 
@@ -13,5 +14,29 @@ val predict : t -> float array -> float
 val predict_batch : t -> float array array -> float array
 
 (** Fit [rounds] boosting rounds of depth-[depth] trees on (features,
-    target) pairs. *)
+    target) pairs — least-squares regression on the raw labels. *)
 val fit : ?rounds:int -> ?depth:int -> ?eta:float -> float array array -> float array -> t
+
+(** Fit a pairwise ranking ensemble: labels are compared only within a
+    group ([groups.(i)] is sample [i]'s group id), each round pushes
+    logistic pairwise gradients weighted by the label gap, and the next
+    tree fits those pseudo-residuals. Absolute outputs are meaningless
+    (base 0) — only the induced order matters. Deterministic: sample
+    order and group ids fully determine the ensemble. *)
+val fit_rank :
+  ?rounds:int ->
+  ?depth:int ->
+  ?eta:float ->
+  float array array ->
+  float array ->
+  groups:int array ->
+  t
+
+exception Parse_error of string
+
+(** Versioned text form of an ensemble ([%h] floats): save -> load ->
+    save is bit-identical. *)
+val to_string : t -> string
+
+(** Inverse of [to_string]; raises {!Parse_error} on malformed input. *)
+val of_string : string -> t

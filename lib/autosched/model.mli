@@ -1,0 +1,112 @@
+(** Learned cost models (paper §4.4): a first-class model interface with
+    two implementations — the rank-trained GBDT and the analytic prior —
+    plus a versioned on-disk store for cross-workload warm starts.
+
+    The search only consumes the order a model induces over a population,
+    so the GBDT trains on a pairwise rank loss with labels normalized per
+    group (one group per tuning task): a sample's label is
+    [best_group_latency / latency], relative throughput against the best
+    program of its own task. Workloads with incomparable latency scales
+    can therefore share one dataset — the transfer-learning foundation of
+    the warm-start path. *)
+
+type stats = {
+  samples : int;  (** measurement samples accumulated *)
+  groups : int;  (** distinct tuning tasks contributing samples *)
+  trained : bool;  (** an ensemble has been fitted *)
+}
+
+exception Parse_error of string
+
+(** The model interface. [add] records one measurement under a group
+    (labels are only compared within a group); [retrain] refits;
+    [score]/[score_batch] rank feature vectors (higher = predicted
+    faster); [save]/[load] round-trip the full training state
+    bit-identically, so a loaded model can keep training. *)
+module type S = sig
+  type t
+
+  val kind : string
+  val create : unit -> t
+  val add : t -> group:string -> features:float array -> latency_us:float -> unit
+  val retrain : t -> unit
+  val score : t -> float array -> float
+  val score_batch : t -> float array array -> float array
+
+  val iter_samples :
+    t -> (group:string -> features:float array -> latency_us:float -> unit) -> unit
+
+  val save : t -> string
+  val load : string -> t
+  val stats : t -> stats
+end
+
+(** The rank-trained GBDT (default): per-group throughput labels, signed
+    log1p feature squashing, [Gbdt.fit_rank] pairwise training. A group's
+    sample count is capped (512); deterministic first-come retention. *)
+module Gbdt_rank : S
+
+(** The stateless analytic prior (prefer tensorized, high-occupancy
+    programs) behind the same interface — [add]/[retrain] are no-ops. *)
+module Analytic : S
+
+(** The analytic scoring function itself, on raw feature vectors. *)
+val prior : float array -> float
+
+(** A model packed with its implementation. *)
+type t
+
+val gbdt : unit -> t
+val analytic : unit -> t
+val kind : t -> string
+val add : t -> group:string -> features:float array -> latency_us:float -> unit
+val retrain : t -> unit
+val score : t -> float array -> float
+val score_batch : t -> float array array -> float array
+
+val iter_samples :
+  t -> (group:string -> features:float array -> latency_us:float -> unit) -> unit
+
+(** Serialized snapshot (versioned, percent-escaped text; [%h] floats).
+    [save -> load -> save] is bit-identical. *)
+val save : t -> string
+
+(** Load any snapshot, dispatching on its header kind. Raises
+    {!Parse_error} on malformed input. *)
+val load : string -> t
+
+val stats : t -> stats
+
+(** How a tuning config (or a WAL meta record) names its model: a fresh
+    instance, or a warm start from a serialized snapshot. [Warm] embeds
+    the full snapshot text — the session WAL records it verbatim, which is
+    what keeps kill+resume bit-identical while the live store file keeps
+    absorbing other runs. *)
+type spec = Gbdt | Analytic | Warm of string
+
+val of_spec : spec -> t
+
+(** One-line round-trip for WAL meta records ([Warm] embeds the snapshot;
+    the WAL layer escapes it). [spec_of_string] raises {!Parse_error} on
+    unknown input. *)
+val spec_to_string : spec -> string
+
+val spec_of_string : string -> spec
+
+(** The persisted model store: one snapshot file maintained alongside a
+    trace database. [absorb] merges a finished run's samples into the
+    store, refits, and atomically republishes (tmp + rename) — the
+    cross-workload transfer loop of [tensorir serve]. *)
+module Store : sig
+  (** [None] when the file does not exist or does not parse (a corrupt
+      store degrades to a cold start, never a crash). *)
+  val load : string -> t option
+
+  val save : path:string -> t -> unit
+
+  (** Merge [model]'s samples into the store at [path], retrain, save;
+      returns the merged model. Exact-duplicate samples are dropped, so
+      absorbing a model that was itself warm-started from this store
+      never double-counts the store's own history. *)
+  val absorb : path:string -> t -> t
+end

@@ -27,6 +27,10 @@ type result = {
   target : Tir_sim.Target.t;
   best : Evolutionary.measured option;
   stats : Evolutionary.stats;
+  model : Model.t option;
+      (** the trained cost model, when a search actually ran ([None] on
+          the database-replay short-circuit) — persist it with
+          [Model.Store.absorb] to warm-start later runs *)
 }
 
 let latency_us r =
@@ -103,6 +107,11 @@ module Config = struct
     journal : Tir_obs.Journal.sink option;
     retry : Tir_parallel.Retry.policy;
         (** measurement fault retries + per-candidate budget *)
+    model : Model.spec;
+        (** which cost model ranks candidates: a fresh learner
+            ([Model.Gbdt], the default), the analytic prior, or a
+            warm-start snapshot ([Model.Warm]) carried over from earlier
+            runs *)
   }
 
   let default =
@@ -116,6 +125,7 @@ module Config = struct
       jobs = None;
       journal = None;
       retry = Tir_parallel.Retry.default;
+      model = Model.Gbdt;
     }
 
   let with_seed seed t = { t with seed }
@@ -127,6 +137,7 @@ module Config = struct
   let with_jobs jobs t = { t with jobs = Some jobs }
   let with_journal j t = { t with journal = Some j }
   let with_retry retry t = { t with retry }
+  let with_model model t = { t with model }
 end
 
 (* --- steppable driver -------------------------------------------------- *)
@@ -148,7 +159,12 @@ type driver = {
 }
 
 type progress =
-  | Stepped of { gen : int; trials_done : int; best_us : float }
+  | Stepped of {
+      gen : int;
+      trials_done : int;
+      best_us : float;
+      rank_corr : float;
+    }
   | Finished of result
 
 let release d =
@@ -226,7 +242,9 @@ let prepare ?checkpoint ?resume ?pool (cfg : Config.t) (w : W.t)
         d_t0 = t0;
         d_span0 = span0;
         d_pool = None;
-        d_state = D_finished { workload = w; target; best = Some best; stats };
+        d_state =
+          D_finished
+            { workload = w; target; best = Some best; stats; model = None };
       }
   | None ->
       let private_pool =
@@ -241,9 +259,11 @@ let prepare ?checkpoint ?resume ?pool (cfg : Config.t) (w : W.t)
         match pool with Some p -> Some p | None -> private_pool
       in
       let engine =
-        Engine.create ~use_cost_model ~evolve ?pool:engine_pool
-          ?journal:cfg.Config.journal ~retry ?checkpoint ?resume ~seed ~target
-          ~trials sketches
+        Engine.create ~use_cost_model ~evolve
+          ~model:(Model.of_spec cfg.Config.model)
+          ~group:(target.Tir_sim.Target.name ^ "|" ^ w.W.name)
+          ?pool:engine_pool ?journal:cfg.Config.journal ~retry ?checkpoint
+          ?resume ~seed ~target ~trials sketches
       in
       {
         d_cfg = cfg;
@@ -272,7 +292,15 @@ let finalize d (e : Engine.t) : result =
           | None -> Float.nan))
     d.d_cfg.Config.journal;
   release d;
-  let r = { workload = d.d_w; target = d.d_target; best; stats } in
+  let r =
+    {
+      workload = d.d_w;
+      target = d.d_target;
+      best;
+      stats;
+      model = Some (Engine.model e);
+    }
+  in
   d.d_state <- D_finished r;
   r
 
@@ -286,8 +314,8 @@ let step d : progress =
   | D_finished r -> Finished r
   | D_engine e -> (
       match Engine.step e with
-      | _, Engine.Stepped { gen; trials_done; best_us } ->
-          Stepped { gen; trials_done; best_us }
+      | _, Engine.Stepped { gen; trials_done; best_us; rank_corr } ->
+          Stepped { gen; trials_done; best_us; rank_corr }
       | _, (Engine.Exhausted _ | Engine.Done) -> Finished (finalize d e))
 
 (** Tune a workload under [cfg]. When [cfg.database] holds a record for

@@ -10,6 +10,10 @@ type result = {
   target : Tir_sim.Target.t;
   best : Evolutionary.measured option;
   stats : Evolutionary.stats;
+  model : Model.t option;
+      (** the trained cost model, when a search actually ran ([None] on
+          the database-replay short-circuit) — persist it with
+          [Model.Store.absorb] to warm-start later runs *)
 }
 
 val latency_us : result -> float
@@ -46,10 +50,16 @@ module Config : sig
     journal : Tir_obs.Journal.sink option;
     retry : Tir_parallel.Retry.policy;
         (** measurement fault retries + per-candidate budget *)
+    model : Model.spec;
+        (** which cost model ranks candidates: a fresh learner
+            ([Model.Gbdt], the default), the analytic prior, or a
+            warm-start snapshot ([Model.Warm]) carried over from earlier
+            runs *)
   }
 
   (** seed 42, 64 trials, cost model + evolution on, no sketches /
-      database / journal override, shared pool, [Retry.default]. *)
+      database / journal override, shared pool, [Retry.default], a fresh
+      [Model.Gbdt]. *)
   val default : t
 
   val with_seed : int -> t -> t
@@ -61,6 +71,7 @@ module Config : sig
   val with_jobs : int -> t -> t
   val with_journal : Tir_obs.Journal.sink -> t -> t
   val with_retry : Tir_parallel.Retry.policy -> t -> t
+  val with_model : Model.spec -> t -> t
 end
 
 (** A tuning run as an explicit state machine over {!Engine}: {!prepare}
@@ -73,7 +84,13 @@ end
 type driver
 
 type progress =
-  | Stepped of { gen : int; trials_done : int; best_us : float }
+  | Stepped of {
+      gen : int;
+      trials_done : int;
+      best_us : float;
+      rank_corr : float;
+          (** cumulative model rank correlation ([Engine.rank_corr]) *)
+    }
       (** one more generation committed; [best_us] is NaN until something
           measured *)
   | Finished of result

@@ -62,7 +62,8 @@ module Candidate = Tir_autosched.Candidate
 module Sketch = Tir_autosched.Sketch
 module Space = Tir_autosched.Space
 module Evolutionary = Tir_autosched.Evolutionary
-module Cost_model = Tir_autosched.Cost_model
+module Model = Tir_autosched.Model
+module Eval = Tir_autosched.Eval
 module Gbdt = Tir_autosched.Gbdt
 module Features = Tir_autosched.Features
 module Engine = Tir_autosched.Engine

@@ -12,6 +12,7 @@
       done/NAME.job        completed (+ NAME.result, NAME.wal kept)
       failed/NAME.job      rejected or errored (+ NAME.error diagnostic)
       db.txt               shared trace database (cross-tenant replay)
+      model.txt            shared cost-model store (cross-workload warm start)
     v}
 
     Job files are line-oriented [key=value] (values percent-escaped with
@@ -33,6 +34,7 @@
 
 module W = Tir_workloads.Workloads
 module Tune = Tir_autosched.Tune
+module Model = Tir_autosched.Model
 module Database = Tir_autosched.Database
 module Error = Tir_core.Error
 module Metrics = Tir_obs.Metrics
@@ -64,6 +66,7 @@ let wal_file queue st name = Filename.concat (dir queue st) (name ^ ".wal")
 let result_file queue name = Filename.concat (dir queue Done) (name ^ ".result")
 let error_file queue name = Filename.concat (dir queue Failed) (name ^ ".error")
 let db_file queue = Filename.concat queue "db.txt"
+let model_file queue = Filename.concat queue "model.txt"
 
 let parse_err ~name fmt =
   Printf.ksprintf (fun m -> Error.raise_error ~context:name Error.Parse m) fmt
@@ -419,6 +422,16 @@ let serve (cfg : config) : outcome =
     | Ok db -> db
     | Error e -> raise (Error.Error e)
   in
+  (* The warm-start snapshot is read once at server start and baked into
+     each fresh session's config (and hence its WAL meta record) as a
+     [Model.Warm] spec: a session's model is pinned at creation, so
+     kill+resume stays bit-identical even while completions keep
+     absorbing into the live store. A missing or corrupt store degrades
+     to cold starts. *)
+  let warm_spec =
+    Option.map (fun m -> Model.Warm (Model.save m))
+      (Model.Store.load (model_file queue))
+  in
   let pool =
     match cfg.jobs with
     | Some j -> Tir_parallel.Pool.create ~jobs:j ()
@@ -438,6 +451,12 @@ let serve (cfg : config) : outcome =
        tenant (or the next server process) replays this result for
        free. *)
     Database.save db (db_file queue);
+    (* And fold the run's trained cost model into the shared store — the
+       next server process warm-starts every fresh session from it
+       (database replays return [model = None]: nothing new learned). *)
+    Option.iter
+      (fun m -> ignore (Model.Store.absorb ~path:(model_file queue) m))
+      r.Tune.model;
     job_instant ~name "job.done";
     Metrics.incr m_jobs_done;
     incr completed
@@ -480,7 +499,11 @@ let serve (cfg : config) : outcome =
           let scfg =
             Tune.Config.(
               default |> with_seed j.j_seed |> with_trials j.j_trials
-              |> with_database db)
+              |> with_database db
+              |>
+              match warm_spec with
+              | Some spec -> with_model spec
+              | None -> Fun.id)
           in
           Session.create ~path:(wal_file queue Running name) scfg w target
         end

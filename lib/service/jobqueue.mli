@@ -11,6 +11,7 @@
       done/NAME.job        completed (+ NAME.result, NAME.wal kept)
       failed/NAME.job      rejected or errored (+ NAME.error diagnostic)
       db.txt               shared trace database (cross-tenant replay)
+      model.txt            shared cost-model store (cross-workload warm start)
     v}
 
     Job files are line-oriented [key=value] (values percent-escaped;
@@ -29,6 +30,12 @@
     bit-identical to an uninterrupted run. Completed jobs persist the
     shared database, so a later job with an already-solved workload
     replays the stored trace ([db.replayed]) instead of searching.
+
+    Completed jobs also fold their trained cost model into [model.txt]
+    ({!Tir_autosched.Model.Store.absorb}); at startup the server reads
+    the store once and warm-starts every fresh session from it
+    ([Model.Warm] spec, recorded in the session's WAL meta — so
+    kill+resume never depends on the moving store file).
 
     Metrics: [serve.jobs_started], [serve.jobs_adopted],
     [serve.jobs_done], [serve.jobs_failed]. *)
@@ -87,6 +94,9 @@ val wal_file : string -> state -> string -> string
 val result_file : string -> string -> string
 val error_file : string -> string -> string
 val db_file : string -> string
+
+(** The shared cost-model store maintained next to {!db_file}. *)
+val model_file : string -> string
 
 type config = {
   queue : string;

@@ -53,6 +53,7 @@ type tenant = {
   tn_m_steps : Metrics.counter;
   tn_m_gens : Metrics.counter;
   tn_m_best : Metrics.gauge;
+  tn_m_rank : Metrics.gauge;
   tn_m_stalled : Metrics.gauge;
   tn_stall : Stall.t;
 }
@@ -101,6 +102,7 @@ let submit ?(priority = 1) t ~name session =
       tn_m_steps = Metrics.counter ("tenant." ^ name ^ ".steps");
       tn_m_gens = Metrics.counter ("tenant." ^ name ^ ".generations");
       tn_m_best = Metrics.gauge ("tenant." ^ name ^ ".best_us");
+      tn_m_rank = Metrics.gauge ("tenant." ^ name ^ ".rank_corr");
       tn_m_stalled = Metrics.gauge ("tenant." ^ name ^ ".stalled");
       tn_stall = Stall.create ~threshold:(stall_threshold ()) ();
     }
@@ -170,6 +172,7 @@ let step_tenant t ~on_event tn =
          completion, so `tensorir top` saw NaN for every running tenant. *)
       let best_us = Session.best_us stepper in
       Metrics.set tn.tn_m_best best_us;
+      Metrics.set tn.tn_m_rank (Session.rank_corr stepper);
       observe_stall t tn ~best_us;
       on_event (Step { tenant = tn.tn_name; gen })
   | `Done result ->

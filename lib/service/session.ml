@@ -4,6 +4,7 @@
 module W = Tir_workloads.Workloads
 module Tune = Tir_autosched.Tune
 module Evo = Tir_autosched.Evolutionary
+module Model = Tir_autosched.Model
 module Database = Tir_autosched.Database
 module Error = Tir_core.Error
 module Metrics = Tir_obs.Metrics
@@ -85,6 +86,7 @@ let meta_line ~(w : W.t) ~(target : Tir_sim.Target.t) (cfg : Tune.Config.t) =
       string_of_int cfg.Tune.Config.trials;
       (if cfg.Tune.Config.use_cost_model then "1" else "0");
       (if cfg.Tune.Config.evolve then "1" else "0");
+      esc (Model.spec_to_string cfg.Tune.Config.model);
     ]
 
 let seen_line ~gen keys =
@@ -132,6 +134,7 @@ type parsed = {
   p_trials : int;
   p_ucm : bool;
   p_evolve : bool;
+  p_model : Model.spec;
   p_committed : string list;  (** canonical committed lines, meta first *)
   p_next_gen : int;
   p_seen : string list;  (** committed dedup keys, original order *)
@@ -218,15 +221,32 @@ let parse ~path =
   match lines with
   | [] -> corrupt ~path "empty or missing session log"
   | meta :: rest ->
-      let p_tag, p_wname, p_tname, p_seed, p_trials, p_ucm, p_evolve =
-        match String.split_on_char '|' meta with
+      (* Logs written before the model field existed have 8 meta fields;
+         they read back as the historical default (a fresh GBDT). *)
+      let parse_meta fields spec =
+        match fields with
         | [ "meta"; tag; name; tname; seed; trials; ucm; evolve ] -> (
             match (int_of_string_opt seed, int_of_string_opt trials) with
             | Some seed, Some trials ->
+                let model =
+                  match spec with
+                  | None -> Model.Gbdt
+                  | Some s -> (
+                      match Model.spec_of_string (unesc s) with
+                      | m -> m
+                      | exception Model.Parse_error _ ->
+                          corrupt ~path "bad meta model field")
+                in
                 ( unesc tag, unesc name, unesc tname, seed, trials,
-                  String.equal ucm "1", String.equal evolve "1" )
+                  String.equal ucm "1", String.equal evolve "1", model )
             | _ -> corrupt ~path "bad meta record")
         | _ -> corrupt ~path "missing meta record"
+      in
+      let p_tag, p_wname, p_tname, p_seed, p_trials, p_ucm, p_evolve, p_model =
+        match String.split_on_char '|' meta with
+        | [ _; _; _; _; _; _; _; _; spec ] as fields ->
+            parse_meta (List.filteri (fun i _ -> i < 8) fields) (Some spec)
+        | fields -> parse_meta fields None
       in
       (* Committed state grows only at [gen]/[done] markers; everything
          newer is pending and may be discarded. *)
@@ -285,6 +305,7 @@ let parse ~path =
         p_trials;
         p_ucm;
         p_evolve;
+        p_model;
         p_committed = List.rev !committed;
         p_next_gen = !next_gen;
         p_seen = List.rev !c_seen;
@@ -424,6 +445,7 @@ let resume ?workload ?jobs ?journal ?database ?retry ~path () =
           trials = p.p_trials;
           use_cost_model = p.p_ucm;
           evolve = p.p_evolve;
+          model = p.p_model;
           jobs;
           journal;
           database;
@@ -468,7 +490,7 @@ let reconstruct_result t (stats, _best_us, best_raw) : Tune.result =
   let best = Option.map (measured_of_raw ~path:t.s_path ~w:t.s_w) best_raw in
   stats.Evo.best_curve <-
     curve_of_latencies (List.map (fun rm -> rm.rm_latency) t.s_measured_raw);
-  { Tune.workload = t.s_w; target = t.s_target; best; stats }
+  { Tune.workload = t.s_w; target = t.s_target; best; stats; model = None }
 
 let env_halt_after () =
   Option.bind (Sys.getenv_opt "TIR_HALT_AFTER_GEN") int_of_string_opt
@@ -483,6 +505,10 @@ type stepper = {
       (** live best after the last step; NaN until something measured.
           Read by the scheduler for per-tenant gauges and stall
           detection. *)
+  mutable st_rank_corr : float;
+      (** cumulative model rank correlation after the last step; 0.0
+          until two candidates measured. Read by the scheduler for the
+          per-tenant [tenant.<name>.rank_corr] gauge. *)
 }
 
 type step_result = [ `Stepped of int | `Done of Tune.result ]
@@ -494,7 +520,8 @@ let start ?pool t =
       let best =
         match r.Tune.best with Some b -> b.Evo.latency_us | None -> Float.nan
       in
-      { st_t = t; st_driver = None; st_result = Some r; st_best_us = best }
+      { st_t = t; st_driver = None; st_result = Some r; st_best_us = best;
+        st_rank_corr = 0.0 }
   | None ->
       let wr = writer t in
       (* The WAL hooks; one generation's records become durable at the
@@ -537,9 +564,11 @@ let start ?pool t =
         Tune.prepare ~checkpoint ?resume:t.s_resume ?pool t.s_cfg t.s_w
           t.s_target
       in
-      { st_t = t; st_driver = Some d; st_result = None; st_best_us = Float.nan }
+      { st_t = t; st_driver = Some d; st_result = None; st_best_us = Float.nan;
+        st_rank_corr = 0.0 }
 
 let best_us st = st.st_best_us
+let rank_corr st = st.st_rank_corr
 
 let step st : step_result =
   match st.st_result with
@@ -552,8 +581,9 @@ let step st : step_result =
           match
             Tir_obs.Trace.with_ctx ~session:t.s_path (fun () -> Tune.step d)
           with
-          | Tune.Stepped { gen; best_us; _ } ->
+          | Tune.Stepped { gen; best_us; rank_corr; _ } ->
               st.st_best_us <- best_us;
+              st.st_rank_corr <- rank_corr;
               `Stepped gen
           | Tune.Finished result ->
               let best_us =

@@ -14,7 +14,7 @@
 
     Record grammar (fields percent-escaped, [|]-separated):
     {v
-    meta|tag|workload|target|seed|trials|use_cost_model|evolve
+    meta|tag|workload|target|seed|trials|use_cost_model|evolve|model
     seen|gen|key...              (fresh dedup keys, slot order)
     measure|gen|sketch|base|latency|trace
     gen|gen|<cumulative stats>|best_us          (the commit marker)
@@ -28,6 +28,12 @@
     silently dropped otherwise; newline-terminated garbage raises
     [Corrupt]. Floats are serialized in hex ([%h]) so every latency
     round-trips exactly.
+
+    The [model] meta field is the escaped [Tir_autosched.Model.spec_to_string]
+    of the session's cost-model spec — a [Warm] spec embeds the full
+    warm-start snapshot, so resume never depends on a live model store
+    file that may have moved on. Logs written before the field existed
+    (8-field meta) read back as the historical default, a fresh GBDT.
 
     Metrics: [session.resumes], [session.generations],
     [session.discarded], [session.compactions]; spans [session.run],
@@ -101,6 +107,11 @@ val step : stepper -> step_result
     something has been measured. The scheduler reads this for the
     per-tenant [tenant.<name>.best_us] gauge and stall detection. *)
 val best_us : stepper -> float
+
+(** Cumulative model rank correlation ([Engine.rank_corr]) after the last
+    step; 0.0 until two candidates measured this run. The scheduler reads
+    this for the per-tenant [tenant.<name>.rank_corr] gauge. *)
+val rank_corr : stepper -> float
 
 (** Stop driving a stepper without completing it: closes the WAL writer
     (the log stays committed through the last [gen] marker) and joins any

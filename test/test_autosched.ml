@@ -97,20 +97,21 @@ let test_gbdt_ranks () =
 (* --- Cost model --- *)
 
 let test_cost_model_prefers_fast () =
-  let cm = Tir_autosched.Cost_model.create gpu in
+  let module M = Tir_autosched.Model in
+  let m = M.gbdt () in
   (* Synthesize samples: feature 0 correlates with speed. *)
   for i = 1 to 40 do
     let f = Array.make Tir_autosched.Features.dim 0.0 in
     f.(0) <- float_of_int i;
-    Tir_autosched.Cost_model.add cm ~features:f ~latency_us:(float_of_int (1000 / i))
+    M.add m ~group:"gpu" ~features:f ~latency_us:(float_of_int (1000 / i))
   done;
-  Tir_autosched.Cost_model.retrain cm;
+  M.retrain m;
   let f_fast = Array.make Tir_autosched.Features.dim 0.0 in
   f_fast.(0) <- 40.0;
   let f_slow = Array.make Tir_autosched.Features.dim 0.0 in
   f_slow.(0) <- 1.0;
   Alcotest.(check bool) "fast scored higher" true
-    (Tir_autosched.Cost_model.score cm f_fast > Tir_autosched.Cost_model.score cm f_slow)
+    (M.score m f_fast > M.score m f_slow)
 
 (* --- Tuning --- *)
 

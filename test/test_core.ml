@@ -23,6 +23,7 @@ let () =
       ("legality", Test_legality.suite);
       ("intrin", Test_intrin.suite);
       ("autosched", Test_autosched.suite);
+      ("model", Test_model.suite);
       ("hotpath", Test_hotpath.suite);
       ("database", Test_database.suite);
       ("facade", Test_facade.suite);

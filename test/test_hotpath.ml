@@ -18,7 +18,7 @@
 open Tir_ir
 module Space = Tir_autosched.Space
 module Sk = Tir_autosched.Sketch
-module CM = Tir_autosched.Cost_model
+module CM = Tir_autosched.Eval
 module AC = Tir_sched.Apply_cache
 module Machine = Tir_sim.Machine
 module Rng = Tir_autosched.Rng

@@ -10,7 +10,7 @@ module S = Tir_sched.Schedule
 module L = Tir_analysis.Legality
 module A = Tir_analysis.Analysis
 module D = Tir_analysis.Diagnostic
-module CM = Tir_autosched.Cost_model
+module CM = Tir_autosched.Eval
 module Metrics = Tir_obs.Metrics
 
 let gpu = Tir_sim.Target.by_name "gpu"

@@ -1,0 +1,241 @@
+(** The pluggable cost-model API: rank-trained GBDT quality (Spearman on
+    synthetic data, rank loss vs least-squares on mixed latency scales),
+    bit-identical save/load, spec round-trips, and the warm-start store. *)
+
+module Model = Tir_autosched.Model
+module Gbdt = Tir_autosched.Gbdt
+module Features = Tir_autosched.Features
+module Tune = Tir_autosched.Tune
+module W = Tir_workloads.Workloads
+module Stat = Tir_obs.Stat
+
+let dim = Features.dim
+
+let feat ?(f1 = 0.0) x =
+  let f = Array.make dim 0.0 in
+  f.(0) <- x;
+  f.(1) <- f1;
+  f
+
+(* Spearman between model scores and measured speed (1/latency): the
+   quantity the search cares about, higher = better ranking. *)
+let rank_quality scores latencies =
+  Stat.spearman
+    (Array.init (Array.length scores) (fun i ->
+         (scores.(i), 1.0 /. latencies.(i))))
+
+(* --- ranking quality ---------------------------------------------------- *)
+
+let test_monotone_spearman () =
+  (* One task, speed strictly increasing in feature 0: a trained model
+     must recover (nearly) the exact order. *)
+  let n = 48 in
+  let m = Model.gbdt () in
+  let lats = Array.init n (fun i -> 5000.0 /. (1.0 +. float_of_int i)) in
+  Array.iteri
+    (fun i lat ->
+      Model.add m ~group:"gpu|gmm" ~features:(feat (float_of_int i))
+        ~latency_us:lat)
+    lats;
+  Model.retrain m;
+  let scores =
+    Model.score_batch m (Array.init n (fun i -> feat (float_of_int i)))
+  in
+  let s = rank_quality scores lats in
+  Alcotest.(check bool)
+    (Printf.sprintf "spearman %.3f > 0.9" s)
+    true (s > 0.9)
+
+let test_rank_beats_regression_on_mixed_scales () =
+  (* Two tasks sharing one dataset, latency scales 1e8 apart, and
+     *opposite* feature-speed relationships distinguished by feature 1.
+     Least-squares on raw latency spends every split on the large-scale
+     task (its residuals dominate the loss), so the small-scale task
+     inherits the wrong order; per-group normalized rank training weighs
+     both tasks equally. This is exactly the scale mixing a shared
+     warm-start store produces. *)
+  let n = 40 in
+  let xs_a = Array.init n (fun i -> feat (float_of_int i)) in
+  let xs_b = Array.init n (fun i -> feat ~f1:1.0 (float_of_int i)) in
+  let lat_a = Array.init n (fun i -> 1e8 /. (1.0 +. float_of_int i)) in
+  let lat_b = Array.init n (fun i -> 1.0 +. float_of_int i) in
+  (* Rank-trained, per-group labels. *)
+  let m = Model.gbdt () in
+  Array.iteri
+    (fun i f -> Model.add m ~group:"A" ~features:f ~latency_us:lat_a.(i))
+    xs_a;
+  Array.iteri
+    (fun i f -> Model.add m ~group:"B" ~features:f ~latency_us:lat_b.(i))
+    xs_b;
+  Model.retrain m;
+  let rank_b = rank_quality (Model.score_batch m xs_b) lat_b in
+  (* Least-squares regression on raw negative latency, tasks mixed — the
+     deprecated behaviour this PR removes. *)
+  let xs = Array.append xs_a xs_b in
+  let ys = Array.append lat_a lat_b |> Array.map (fun l -> -.l) in
+  let reg = Gbdt.fit xs ys in
+  let reg_b = rank_quality (Gbdt.predict_batch reg xs_b) lat_b in
+  Alcotest.(check bool)
+    (Printf.sprintf "rank %.3f > 0.8" rank_b)
+    true (rank_b > 0.8);
+  Alcotest.(check bool)
+    (Printf.sprintf "rank %.3f beats regression %.3f by 0.5" rank_b reg_b)
+    true (rank_b > reg_b +. 0.5)
+
+let test_analytic_prefers_tensorized () =
+  let m = Model.analytic () in
+  let plain = Array.make dim 0.0 in
+  let tensorized = Array.make dim 0.0 in
+  tensorized.(11) <- 1.0;
+  Alcotest.(check bool) "tensorized scored higher" true
+    (Model.score m tensorized > Model.score m plain)
+
+(* --- serialization ------------------------------------------------------ *)
+
+let trained_model () =
+  let m = Model.gbdt () in
+  for i = 1 to 30 do
+    let x = float_of_int i in
+    Model.add m ~group:"A" ~features:(feat x) ~latency_us:(3000.0 /. x);
+    Model.add m ~group:"B" ~features:(feat ~f1:1.0 x) ~latency_us:(7.0 *. x)
+  done;
+  Model.retrain m;
+  m
+
+let test_save_load_bit_identical () =
+  let m = trained_model () in
+  let s1 = Model.save m in
+  let m2 = Model.load s1 in
+  Alcotest.(check string) "save . load . save" s1 (Model.save m2);
+  (* The loaded model scores identically... *)
+  let probe = feat 17.0 in
+  Alcotest.(check (float 0.0)) "identical scores" (Model.score m probe)
+    (Model.score m2 probe);
+  (* ...and keeps training: the full sample set round-trips. *)
+  Model.add m2 ~group:"C" ~features:(feat 1.0) ~latency_us:5.0;
+  Model.retrain m2;
+  let st = Model.stats m2 in
+  Alcotest.(check int) "samples kept" 61 st.Model.samples;
+  Alcotest.(check int) "groups kept" 3 st.Model.groups
+
+let test_save_load_analytic_and_errors () =
+  let a = Model.analytic () in
+  let s = Model.save a in
+  Alcotest.(check string) "analytic kind" "analytic" (Model.kind (Model.load s));
+  (match Model.load "garbage" with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Model.Parse_error _ -> ());
+  match Model.load (s ^ "\nextra") with
+  | _ -> Alcotest.fail "expected Parse_error on trailing junk"
+  | exception Model.Parse_error _ -> ()
+
+let test_spec_roundtrip () =
+  let warm = Model.spec_to_string (Model.Warm (Model.save (trained_model ()))) in
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool) "spec round-trips" true
+        (Model.spec_of_string (Model.spec_to_string spec) = spec))
+    [ Model.Gbdt; Model.Analytic; Model.spec_of_string warm ];
+  match Model.spec_of_string "nonsense" with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Model.Parse_error _ -> ()
+
+(* --- tuning integration ------------------------------------------------- *)
+
+let gpu = Tir_sim.Target.gpu_tensorcore
+let small_gmm () =
+  W.gmm ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 ~m:128 ~n:128
+    ~k:128 ()
+
+let tune_model ~jobs =
+  Tir_autosched.Eval.clear_caches ();
+  let r = Util.tune ~seed:11 ~trials:12 ~jobs gpu (small_gmm ()) in
+  match r.Tune.model with
+  | Some m -> m
+  | None -> Alcotest.fail "tuning returned no model"
+
+let test_tuned_model_save_jobs_identical () =
+  (* The trained model is part of the deterministic search state: its
+     serialized snapshot is bit-identical at any job count. *)
+  let s1 = Model.save (tune_model ~jobs:1) in
+  let s4 = Model.save (tune_model ~jobs:4) in
+  Alcotest.(check bool) "snapshot has samples" true
+    (String.length s1 > 100);
+  Alcotest.(check string) "jobs=1 = jobs=4" s1 s4
+
+(* --- the store ---------------------------------------------------------- *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "tir_model" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_store_absorb_accumulates () =
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat dir "model.txt" in
+  Alcotest.(check bool) "missing store loads None" true
+    (Model.Store.load path = None);
+  (* First run: group A samples land in a fresh store. *)
+  let m1 = Model.gbdt () in
+  for i = 1 to 20 do
+    let x = float_of_int i in
+    Model.add m1 ~group:"A" ~features:(feat x) ~latency_us:(100.0 /. x)
+  done;
+  ignore (Model.Store.absorb ~path m1);
+  (match Model.Store.load path with
+  | None -> Alcotest.fail "store missing after absorb"
+  | Some s -> Alcotest.(check int) "20 samples" 20 (Model.stats s).Model.samples);
+  (* Second run, different workload: the store accumulates both tasks. *)
+  let m2 = Model.gbdt () in
+  for i = 1 to 15 do
+    let x = float_of_int i in
+    Model.add m2 ~group:"B" ~features:(feat ~f1:1.0 x) ~latency_us:(3.0 *. x)
+  done;
+  let merged = Model.Store.absorb ~path m2 in
+  let st = Model.stats merged in
+  Alcotest.(check int) "35 samples" 35 st.Model.samples;
+  Alcotest.(check int) "2 groups" 2 st.Model.groups;
+  Alcotest.(check bool) "merged store trained" true st.Model.trained;
+  (* A corrupt store degrades to a cold start, never a crash. *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "not a model\n");
+  Alcotest.(check bool) "corrupt store loads None" true
+    (Model.Store.load path = None)
+
+let test_warm_spec_restores_model () =
+  let m = trained_model () in
+  let warm = Model.of_spec (Model.Warm (Model.save m)) in
+  Alcotest.(check string) "warm start restores the snapshot" (Model.save m)
+    (Model.save warm);
+  Alcotest.(check string) "fresh gbdt spec" "gbdt-rank"
+    (Model.kind (Model.of_spec Model.Gbdt));
+  Alcotest.(check string) "analytic spec" "analytic"
+    (Model.kind (Model.of_spec Model.Analytic))
+
+let suite =
+  [
+    Alcotest.test_case "monotone data: spearman > 0.9" `Quick
+      test_monotone_spearman;
+    Alcotest.test_case "rank loss beats regression on mixed scales" `Quick
+      test_rank_beats_regression_on_mixed_scales;
+    Alcotest.test_case "analytic prior prefers tensorized" `Quick
+      test_analytic_prefers_tensorized;
+    Alcotest.test_case "save/load bit-identical, keeps training" `Quick
+      test_save_load_bit_identical;
+    Alcotest.test_case "analytic round-trip, garbage rejected" `Quick
+      test_save_load_analytic_and_errors;
+    Alcotest.test_case "spec round-trips" `Quick test_spec_roundtrip;
+    Alcotest.test_case "tuned model snapshot identical jobs=1 vs 4" `Quick
+      test_tuned_model_save_jobs_identical;
+    Alcotest.test_case "store absorbs across workloads" `Quick
+      test_store_absorb_accumulates;
+    Alcotest.test_case "warm spec restores the snapshot" `Quick
+      test_warm_spec_restores_model;
+  ]

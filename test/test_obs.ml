@@ -300,7 +300,7 @@ let test_journal_determinism_across_jobs () =
   let w = W.gmm ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 ~m:128 ~n:128 ~k:128 () in
   let run jobs =
     (* fresh process-wide state so neither run coasts on the other *)
-    Tir_autosched.Cost_model.clear_caches ();
+    Tir_autosched.Eval.clear_caches ();
     Metrics.reset ();
     let path = Filename.temp_file (Printf.sprintf "tir_jobs%d" jobs) ".jsonl" in
     let sink = Journal.open_file path in
@@ -337,7 +337,7 @@ let test_journal_determinism_across_jobs () =
 
 let test_rank_corr_gauge_set () =
   let w = W.gmm ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 ~m:128 ~n:128 ~k:128 () in
-  Tir_autosched.Cost_model.clear_caches ();
+  Tir_autosched.Eval.clear_caches ();
   Metrics.reset ();
   ignore (Util.tune ~seed:3 ~trials:12 gpu w);
   let snap = Metrics.snapshot () in
@@ -350,6 +350,25 @@ let test_rank_corr_gauge_set () =
     && counter "search.trials" = 12
     && counter "sim.measurements" > 0
     && counter "sim.bytes.global" > 0)
+
+let test_memo_hit_rate_gauge_set () =
+  (* Regression: the gauge was written per-generation, so the final —
+     empty, exhausted — generation always reset it to 0.0. It now reports
+     the cumulative eval/measure memo rate and must be positive after a
+     run that repeats itself. *)
+  let w = W.gmm ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 ~m:128 ~n:128 ~k:128 () in
+  Tir_autosched.Eval.clear_caches ();
+  Metrics.reset ();
+  ignore (Util.tune ~seed:3 ~trials:12 gpu w);
+  (* Second identical run: every evaluation and measurement memo-hits. *)
+  ignore (Util.tune ~seed:3 ~trials:12 gpu w);
+  match Metrics.find_gauge (Metrics.snapshot ()) "search.memo_hit_rate" with
+  | None -> Alcotest.fail "memo-hit-rate gauge missing"
+  | Some v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "memo rate %.3f in (0,1]" v)
+        true
+        (v > 0.0 && v <= 1.0)
 
 let suite =
   [
@@ -371,4 +390,6 @@ let suite =
       test_journal_determinism_across_jobs;
     Alcotest.test_case "metrics: rank-corr gauge after tuning" `Quick
       test_rank_corr_gauge_set;
+    Alcotest.test_case "metrics: memo-hit-rate gauge after tuning" `Quick
+      test_memo_hit_rate_gauge_set;
   ]

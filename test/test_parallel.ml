@@ -185,7 +185,7 @@ let test_tune_determinism () =
       ~k:128 ()
   in
   let run jobs =
-    Tir_autosched.Cost_model.clear_caches ();
+    Tir_autosched.Eval.clear_caches ();
     Util.tune ~seed:7 ~trials:24 ~jobs target w
   in
   let r1 = run 1 in

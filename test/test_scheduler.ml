@@ -32,7 +32,7 @@ let small_c2d () =
   W.c2d ~in_dtype:Tir_ir.Dtype.F16 ~acc_dtype:Tir_ir.Dtype.F32 ~h:28 ~w:28
     ~ci:32 ~co:32 ()
 
-let fresh () = Tir_autosched.Cost_model.clear_caches ()
+let fresh () = Tir_autosched.Eval.clear_caches ()
 
 let best_key (r : Tune.result) =
   match r.Tune.best with
@@ -254,6 +254,28 @@ let test_cross_tenant_replay () =
   Sys.remove wal_a;
   Sys.remove wal_b
 
+(* --- per-tenant telemetry -------------------------------------------- *)
+
+let test_tenant_rank_corr_gauge () =
+  fresh ();
+  let sch = Scheduler.create () in
+  let path = temp_wal () in
+  Scheduler.submit sch ~name:"ranked"
+    (Session.create ~path (cfg_of ~seed:3 ~trials:16) (small_gmm ()) gpu);
+  (match Scheduler.run sch with
+  | Scheduler.Idle -> ()
+  | Scheduler.Budget -> Alcotest.fail "no budget was set");
+  (match
+     Metrics.find_gauge (Metrics.snapshot ()) "tenant.ranked.rank_corr"
+   with
+  | None -> Alcotest.fail "tenant rank-corr gauge missing"
+  | Some v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rank corr %.3f in [-1,1]" v)
+        true
+        (v >= -1.0 && v <= 1.0 && Float.is_finite v));
+  Sys.remove path
+
 let test_duplicate_tenant_rejected () =
   let sch = Scheduler.create () in
   let path = temp_wal () in
@@ -392,6 +414,16 @@ let test_serve_completes_and_dead_letters () =
            go 0
          in
          has "\"serve.jobs_done\":1" && has "\"serve.jobs_failed\":1");
+      (* The completed job folded its trained model into the shared
+         warm-start store. *)
+      Alcotest.(check bool) "model store written" true
+        (Sys.file_exists (Jobqueue.model_file q));
+      (match Tir_autosched.Model.Store.load (Jobqueue.model_file q) with
+      | None -> Alcotest.fail "model store unreadable"
+      | Some m ->
+          let st = Tir_autosched.Model.stats m in
+          Alcotest.(check bool) "store has samples" true
+            (st.Tir_autosched.Model.samples > 0));
       (* Shared db persisted: a second serve of the same workload under a
          different name replays instead of searching. *)
       let replayed_before =
@@ -421,6 +453,7 @@ let suite =
     ("whole-server kill+resume", `Quick, test_kill_and_resume_whole_server);
     ("2:1 priority gives 2:1 generations", `Quick, test_priority_weights_generations);
     ("cross-tenant database replay", `Quick, test_cross_tenant_replay);
+    ("tenant rank-corr gauge", `Quick, test_tenant_rank_corr_gauge);
     ("duplicate tenant rejected", `Quick, test_duplicate_tenant_rejected);
     ("job file parse roundtrip", `Quick, test_job_parse_roundtrip);
     ( "serve completes and dead-letters",

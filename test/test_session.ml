@@ -23,7 +23,7 @@ let tiny_gmm () =
 (* Every run in these tests must behave like a fresh process: the
    measurement memo is process-global, and determinism claims are about
    full searches. *)
-let fresh () = Tir_autosched.Cost_model.clear_caches ()
+let fresh () = Tir_autosched.Eval.clear_caches ()
 
 let best_key (r : Tune.result) =
   match r.Tune.best with
@@ -193,6 +193,43 @@ let kill_and_resume ~jobs () =
 
 let test_kill_and_resume_jobs1 () = kill_and_resume ~jobs:1 ()
 let test_kill_and_resume_jobs4 () = kill_and_resume ~jobs:4 ()
+
+(* A warm-started session records its full model snapshot in the WAL meta
+   record, so kill+resume is bit-identical to an uninterrupted warm run
+   even though the live model store may have moved on. *)
+let test_warm_start_survives_resume () =
+  let module Model = Tir_autosched.Model in
+  let w = small_gmm () in
+  (* Build a warm snapshot from a first tuning run on another seed. *)
+  fresh ();
+  let donor = Tune.run Tune.Config.(default |> with_seed 9 |> with_trials 16) w gpu in
+  let snapshot =
+    match donor.Tune.model with
+    | Some m -> Model.save m
+    | None -> Alcotest.fail "donor run returned no model"
+  in
+  let cfg =
+    Tune.Config.(
+      default |> with_seed 42 |> with_trials 32
+      |> with_model (Model.Warm snapshot))
+  in
+  fresh ();
+  let reference = Tune.run cfg w gpu in
+  let path = temp_wal () in
+  fresh ();
+  let s = Session.create ~path cfg w gpu in
+  (match Session.run ~halt_after:1 s with
+  | _ -> Alcotest.fail "expected Halted after one generation"
+  | exception Session.Halted _ -> ());
+  fresh ();
+  (* Resume without re-passing the config: the warm spec must come back
+     from the meta record alone. *)
+  let resumed = Session.run (Session.resume ~workload:w ~path ()) in
+  Alcotest.(check string) "warm kill+resume bit-identical"
+    (best_key reference) (best_key resumed);
+  Alcotest.(check (float 0.0)) "same latency" (Tune.latency_us reference)
+    (Tune.latency_us resumed);
+  Sys.remove path
 
 let test_session_status_lifecycle () =
   let w = small_gmm () in
@@ -373,6 +410,7 @@ let suite =
     ("wal roundtrip and torn tail", `Quick, test_wal_roundtrip_and_torn_tail);
     ("kill+resume bit-identical (jobs=1)", `Quick, test_kill_and_resume_jobs1);
     ("kill+resume bit-identical (jobs=4)", `Quick, test_kill_and_resume_jobs4);
+    ("warm start survives kill+resume", `Quick, test_warm_start_survives_resume);
     ("session status lifecycle", `Quick, test_session_status_lifecycle);
     ("resume drops torn write", `Quick, test_resume_discards_torn_write);
     ("resume discards uncommitted records", `Quick, test_resume_discards_uncommitted_records);

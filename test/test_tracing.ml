@@ -61,7 +61,7 @@ let test_identities_jobs_invariant () =
   in
   let run jobs =
     (* fresh process-wide state so neither run coasts on the other *)
-    Tir_autosched.Cost_model.clear_caches ();
+    Tir_autosched.Eval.clear_caches ();
     Metrics.reset ();
     Trace.reset ();
     Trace.with_ctx ~tenant:"test" (fun () ->

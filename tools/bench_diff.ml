@@ -2,7 +2,7 @@
 
      dune exec tools/bench_diff.exe CURRENT BASELINE [--inject-regression]
 
-   Compares the schema-8 headline blocks and per-row results with
+   Compares the schema-9 headline blocks and per-row results with
    per-metric tolerances:
 
      - hotpath combined throughput and speedup: wall-clock-derived, so a
@@ -14,6 +14,8 @@
      - legality prune rate: deterministic given the proposal streams,
        >= baseline - 0.05;
      - pool.busy_frac: utilization accounting, >= baseline - 0.20;
+     - costmodel held-out and transfer rank correlations: deterministic
+       given the seeds, >= baseline - 0.05;
      - per-row "us" latencies and "gflops" rates: the simulator is
        deterministic, so 5% relative slack only (shared rows by
        section:name:unit; rows present in one file only are skipped —
@@ -39,6 +41,7 @@ type doc = {
   d_fast : bool;
   d_hotpath : (string * v) list option;
   d_legality : (float * float) option;  (** agreement, prune_rate *)
+  d_costmodel : (float * float) option;  (** rank_corr, transfer_rank_corr *)
   d_memo_rate : float;
   d_db_rate : float;
   d_busy_frac : float option;
@@ -50,8 +53,8 @@ let load_doc path =
   let top = obj "top level" (parse_file path) in
   let f = field "top level" top in
   (match int_ "schema" (f "schema") with
-  | 8 -> ()
-  | s -> fail "%s: schema 8 expected, got %d" path s);
+  | 9 -> ()
+  | s -> fail "%s: schema 9 expected, got %d" path s);
   let memo = obj "memo" (f "memo") in
   let db = obj "db_replay" (f "db_replay") in
   let gauges =
@@ -78,6 +81,15 @@ let load_doc path =
           Some
             ( num "legality.agreement" (field "legality" lg "agreement"),
               ratio "legality.prune_rate" (field "legality" lg "prune_rate") )
+      | None -> None);
+    d_costmodel =
+      (match List.assoc_opt "costmodel" top with
+      | Some cm ->
+          let cm = obj "costmodel" cm in
+          Some
+            ( num "costmodel.rank_corr" (field "costmodel" cm "rank_corr"),
+              num "costmodel.transfer_rank_corr"
+                (field "costmodel" cm "transfer_rank_corr") )
       | None -> None);
     d_memo_rate = ratio "memo.hit_rate" (field "memo" memo "hit_rate");
     d_db_rate = ratio "db_replay.hit_rate" (field "db_replay" db "hit_rate");
@@ -160,6 +172,11 @@ let () =
         if ca <> ba then
           bad "legality.agreement: %g differs from baseline %g" ca ba;
         floor_abs "legality.prune_rate" ~slack:0.05 cp bp
+    | _ -> ());
+    (match (cur.d_costmodel, base.d_costmodel) with
+    | Some (cr, ct), Some (br, bt) ->
+        floor_abs "costmodel.rank_corr" ~slack:0.05 cr br;
+        floor_abs "costmodel.transfer_rank_corr" ~slack:0.05 ct bt
     | _ -> ());
     floor_abs "memo.hit_rate" ~slack:0.05 cur.d_memo_rate base.d_memo_rate;
     floor_abs "db_replay.hit_rate" ~slack:0.05 cur.d_db_rate base.d_db_rate;

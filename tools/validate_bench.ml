@@ -1,11 +1,11 @@
-(* Validate BENCH_results.json against schema 8.
+(* Validate BENCH_results.json against schema 9.
 
      dune exec tools/validate_bench.exe [FILE] [BASELINE]
 
    Run by `make bench-smoke` and `make perf-smoke` after the benchmark.
-   Checks that the file is well-formed JSON, carries the schema-8 layout
-   (hotpath / legality / memo / db_replay / faults / session / service /
-   data_movement_bytes / obs headline blocks plus the full
+   Checks that the file is well-formed JSON, carries the schema-9 layout
+   (hotpath / legality / costmodel / memo / db_replay / faults / session /
+   service / data_movement_bytes / obs headline blocks plus the full
    metrics-registry dump), that the [session] and [service] kill+resume
    runs converged to the uninterrupted results (when those sections ran),
    that the [service] section completed its tenants with a positive
@@ -14,6 +14,9 @@
    produced bit-identical results to the legacy pipeline, that the
    [legality] block reports perfect static-vs-dynamic agreement and (when
    the search sweeps ran) a positive statically-pruned count, that the
+   [costmodel] block reports a finite held-out rank correlation above 0.5
+   and a warm-started run that came within 1% of the cold run's best in
+   half the trial budget, that the
    [obs] block reports valid trace exports with no dropped events, and
    that the file contains no non-finite numbers: the bench writes NaN and
    infinity as `null`, which this validator rejects — a smoke run must
@@ -122,8 +125,8 @@ let () =
     let top = obj "top level" (load path) in
     let f = field "top level" top in
     (match int_ "schema" (f "schema") with
-    | 8 -> ()
-    | v -> fail "schema: expected 8, got %d" v);
+    | 9 -> ()
+    | v -> fail "schema: expected 9, got %d" v);
     (match f "fast" with Bool _ -> () | _ -> fail "fast: expected a bool");
     if int_ "jobs" (f "jobs") < 1 then fail "jobs: expected >= 1";
     if num "total_wall_s" (f "total_wall_s") < 0.0 then
@@ -299,6 +302,47 @@ let () =
       Printf.printf
         "legality gate: agreement 1.0, %d candidates pruned statically\n" pruned
     end;
+    (* Schema 9: the learned-cost-model headline block. The rank-trained
+       GBDT must actually rank — a finite held-out Spearman above 0.5
+       (non-finite values render as null and already fail [num]) — and
+       the warm-started run must have come within 1% of the cold run's
+       final best inside half the trial budget. *)
+    if List.mem "costmodel" section_names then begin
+      let cm =
+        match List.assoc_opt "costmodel" top with
+        | Some cm -> obj "costmodel" cm
+        | None -> fail "costmodel: headline block missing"
+      in
+      let cf = field "costmodel" cm in
+      let rank_corr = num "costmodel.rank_corr" (cf "rank_corr") in
+      if rank_corr < -1.0 || rank_corr > 1.0 then
+        fail "costmodel.rank_corr: %g outside [-1, 1]" rank_corr;
+      if rank_corr <= 0.5 then
+        fail
+          "costmodel: held-out rank correlation %g below the 0.5 floor — \
+           the learned model is not ranking candidates"
+          rank_corr;
+      let transfer = num "costmodel.transfer_rank_corr" (cf "transfer_rank_corr") in
+      if transfer < -1.0 || transfer > 1.0 then
+        fail "costmodel.transfer_rank_corr: %g outside [-1, 1]" transfer;
+      (match cf "warm_start_hit" with
+      | Bool true -> ()
+      | Bool false ->
+          fail
+            "costmodel: the warm-started run did not come within 1%% of the \
+             cold run's best in half the trial budget"
+      | _ -> fail "costmodel.warm_start_hit: expected a bool");
+      let cold = nonneg_int "costmodel.trials_to_best_cold" (cf "trials_to_best_cold") in
+      let warm = nonneg_int "costmodel.trials_to_best_warm" (cf "trials_to_best_warm") in
+      if cold < 1 || warm < 1 then
+        fail "costmodel: trials-to-best must be >= 1 (cold %d, warm %d)" cold warm;
+      if nonneg_int "costmodel.train_samples" (cf "train_samples") < 1 then
+        fail "costmodel: no training samples behind the held-out estimate";
+      Printf.printf
+        "costmodel gate: rank_corr %.3f (floor 0.5), transfer %.3f, warm \
+         start at trial %d vs cold %d\n"
+        rank_corr transfer warm cold
+    end;
     if List.mem "hotpath" section_names || baseline_path <> None then
       check_hotpath
         ?baseline:(Option.map load baseline_path)
@@ -332,7 +376,7 @@ let () =
        | Some v when v >= 1.0 -> ()
        | Some v -> fail "service: %g cross-tenant database replays, expected >= 1" v
        | None -> fail "service: db_replay result row missing");
-    Printf.printf "%s: schema 8 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
+    Printf.printf "%s: schema 9 OK (%d results, %d sections, %d counters, %d gauges, %d histograms)\n"
       path (List.length results) (List.length sections) (List.length counters)
       (List.length gauges) (List.length histograms)
   with
